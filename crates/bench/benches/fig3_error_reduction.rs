@@ -1,0 +1,89 @@
+//! **Figure 3 (E1)** — error reduction of Overton over the previous
+//! production system at four resource levels, with the weak-supervision
+//! share of training data.
+//!
+//! Paper's table:
+//! ```text
+//! Resourcing  Error Reduction   Amount of Weak Supervision
+//! High        65% (2.9x)        80%
+//! Medium      82% (5.6x)        96%
+//! Medium      72% (3.6x)        98%
+//! Low         40% (1.7x)        99%
+//! ```
+//!
+//! Overton = label model + multitask + slice heads. Baseline = per-task
+//! models + majority vote + no slices (what the paper says Overton
+//! replaced). Error is end-to-end: a query is correct iff intent AND
+//! argument are both right.
+//!
+//! Run with: `cargo bench -p overton-bench --bench fig3_error_reduction`
+
+use overton_bench::{
+    build_baseline, build_overton, end_to_end_error, joint_accuracy, print_row, ResourceLevel,
+};
+use overton_monitor::{error_reduction_factor, error_reduction_percent};
+use overton_nlp::generate_workload;
+use overton_supervision::weak_supervision_fraction;
+
+fn main() {
+    let epochs = 6;
+    let widths = [10usize, 12, 12, 18, 24];
+    println!("Figure 3: Overton vs previous system (end-to-end query error)\n");
+    print_row(
+        &[
+            "Resourcing".into(),
+            "Prev err".into(),
+            "Overton err".into(),
+            "Error Reduction".into(),
+            "Weak Supervision".into(),
+        ],
+        &widths,
+    );
+
+    for (i, level) in [
+        ResourceLevel::High,
+        ResourceLevel::MediumA,
+        ResourceLevel::MediumB,
+        ResourceLevel::Low,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let dataset = generate_workload(&level.workload(100 + i as u64));
+
+        // Weak-supervision share (mean over tasks), as in the paper's
+        // rightmost column.
+        let tasks: Vec<&String> = dataset.schema().tasks.keys().collect();
+        let weak_share = tasks
+            .iter()
+            .map(|t| f64::from(weak_supervision_fraction(&dataset, t)))
+            .sum::<f64>()
+            / tasks.len() as f64;
+
+        let overton = build_overton(&dataset, epochs);
+        let overton_error = end_to_end_error(
+            overton.test_accuracy("Intent"),
+            overton.test_accuracy("IntentArg"),
+            Some(joint_accuracy(&overton, &dataset)),
+        );
+
+        let baseline = build_baseline(&dataset, epochs);
+        let baseline_error =
+            end_to_end_error(baseline["Intent"], baseline["IntentArg"], None);
+
+        let pct = error_reduction_percent(baseline_error, overton_error);
+        let factor = error_reduction_factor(baseline_error, overton_error);
+        print_row(
+            &[
+                level.name().into(),
+                format!("{baseline_error:.3}"),
+                format!("{overton_error:.3}"),
+                format!("{pct:.0}% ({factor:.1}x)"),
+                format!("{:.0}%", weak_share * 100.0),
+            ],
+            &widths,
+        );
+    }
+    println!("\n(paper: High 65% (2.9x) / 80%, Medium 82% (5.6x) / 96%,");
+    println!(" Medium 72% (3.6x) / 98%, Low 40% (1.7x) / 99%)");
+}

@@ -1,0 +1,161 @@
+//! **P1–P4** — criterion microbenchmarks for the substrates: tensor
+//! kernels, row-store scan/lookup, label-model fitting, and full training
+//! steps. These have no paper counterpart; they guard the performance of
+//! the infrastructure the experiments run on.
+//!
+//! Run with: `cargo bench -p overton-bench --bench micro_perf`
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use overton_model::{CompiledModel, FeatureSpace, ModelConfig};
+use overton_nlp::{generate_workload, WorkloadConfig};
+use overton_store::rowstore::RowStore;
+use overton_supervision::{LabelMatrix, LabelModel, LabelModelConfig};
+use overton_tensor::{Graph, Matrix};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn bench_tensor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tensor");
+    group.sample_size(30);
+    let a = Matrix::full(64, 64, 0.5);
+    let b = Matrix::full(64, 64, 0.25);
+    group.bench_function("matmul_64x64", |bench| {
+        bench.iter(|| black_box(a.matmul(&b)));
+    });
+    group.bench_function("forward_backward_mlp", |bench| {
+        bench.iter(|| {
+            let mut g = Graph::new();
+            let x = g.leaf(Matrix::full(16, 64, 0.1));
+            let w = g.leaf(Matrix::full(64, 64, 0.01));
+            let h = g.matmul(x, w);
+            let act = g.relu(h);
+            let loss = g.mean_all(act);
+            g.backward(loss);
+            black_box(g.grad(w).is_some())
+        });
+    });
+    group.finish();
+}
+
+fn bench_rowstore(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rowstore");
+    group.sample_size(30);
+    let dataset = generate_workload(&WorkloadConfig {
+        n_train: 1000,
+        n_dev: 0,
+        n_test: 0,
+        seed: 1,
+        ..Default::default()
+    });
+    group.bench_function("build_1k_rows", |bench| {
+        bench.iter(|| black_box(RowStore::build(dataset.records())));
+    });
+    let store = RowStore::build(dataset.records());
+    group.bench_function("scan_1k_rows", |bench| {
+        bench.iter(|| {
+            let mut n = 0usize;
+            for r in store.scan() {
+                n += r.expect("decodes").payloads.len();
+            }
+            black_box(n)
+        });
+    });
+    group.bench_function("point_lookup", |bench| {
+        let mut i = 0usize;
+        bench.iter(|| {
+            i = (i + 37) % store.len();
+            black_box(store.get(i).expect("decodes"))
+        });
+    });
+    group.finish();
+}
+
+fn bench_label_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("label_model");
+    group.sample_size(20);
+    let mut rng = SmallRng::seed_from_u64(5);
+    let mut matrix = LabelMatrix::new(5);
+    for _ in 0..2000 {
+        let y = rng.gen_range(0..4u32);
+        let votes: Vec<Option<u32>> = (0..5)
+            .map(|_| {
+                if rng.gen_bool(0.2) {
+                    None
+                } else if rng.gen_bool(0.8) {
+                    Some(y)
+                } else {
+                    Some(rng.gen_range(0..4))
+                }
+            })
+            .collect();
+        matrix.push_item(4, &votes);
+    }
+    group.bench_function("fit_em_2k_items_5_sources", |bench| {
+        bench.iter(|| black_box(LabelModel::fit(&matrix, &LabelModelConfig::default())));
+    });
+    let model = LabelModel::fit(&matrix, &LabelModelConfig::default());
+    group.bench_function("posterior_2k_items", |bench| {
+        bench.iter(|| black_box(model.predict_proba(&matrix)));
+    });
+    group.finish();
+}
+
+fn bench_training(c: &mut Criterion) {
+    let mut group = c.benchmark_group("training");
+    group.sample_size(20);
+    let dataset = generate_workload(&WorkloadConfig {
+        n_train: 64,
+        n_dev: 8,
+        n_test: 8,
+        seed: 2,
+        gold_train_fraction: 1.0,
+        ..Default::default()
+    });
+    let space = FeatureSpace::build(&dataset);
+    let model = CompiledModel::compile(dataset.schema(), &space, &ModelConfig::default(), None);
+    let examples: Vec<_> = dataset
+        .train_indices()
+        .into_iter()
+        .map(|i| {
+            let record = &dataset.records()[i];
+            let mut ex = overton_model::CompiledExample::from_record(record, i, &space, dataset.schema());
+            for task in dataset.schema().tasks.keys() {
+                if let Some(p) = overton_model::gold_to_prob(dataset.schema(), record, task) {
+                    ex.targets.insert(task.clone(), p);
+                }
+            }
+            ex
+        })
+        .collect();
+    group.bench_function("forward_backward_one_example", |bench| {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut i = 0usize;
+        bench.iter_batched(
+            || {
+                i = (i + 1) % examples.len();
+                examples[i].clone()
+            },
+            |ex| {
+                let mut g = Graph::new();
+                let pass = model.forward(&mut g, &ex, true, &mut rng);
+                if let Some(loss) = model.loss(&mut g, &pass, &ex, 0.3) {
+                    g.backward(loss);
+                }
+                black_box(g.len())
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("predict_one_example", |bench| {
+        let mut i = 0usize;
+        bench.iter(|| {
+            i = (i + 1) % examples.len();
+            black_box(model.predict(&examples[i]))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tensor, bench_rowstore, bench_label_model, bench_training);
+criterion_main!(benches);

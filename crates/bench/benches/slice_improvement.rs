@@ -1,0 +1,114 @@
+//! **E4 (paper §2.2)** — slice-based learning on a rare, hard slice:
+//! "A production system improved its performance on a slice of complex but
+//! rare disambiguations by over 50 points of F1 using the same training
+//! data."
+//!
+//! Two models, identical data and budget; the only difference is the
+//! engineer *declaring* the slice — which compiles in indicator + expert
+//! capacity and focuses training on the slice (Chen et al., NeurIPS'19).
+//! The slice is rare (~2% of queries) and its correct answers contradict
+//! the dominant default-sense pattern; in a capacity-constrained production
+//! model, the shared parameters never fit it — exactly the regime the paper
+//! describes.
+//!
+//! Run with: `cargo bench -p overton-bench --bench slice_improvement`
+
+use overton::{build, OvertonOptions};
+use overton_bench::print_row;
+use overton_model::{ModelConfig, TrainConfig};
+use overton_nlp::{generate_workload, SourceSpec, WorkloadConfig};
+
+fn main() {
+    // Slice supervision is decent (the "refine the labels in that slice"
+    // loop has already happened); what is missing without declaration is
+    // model capacity + focus.
+    let dataset = generate_workload(&WorkloadConfig {
+        n_train: 2500,
+        n_dev: 250,
+        n_test: 1200,
+        seed: 4242,
+        slice_rate: 0.02,
+        vague_rate: 0.03,
+        arg_sources: vec![
+            SourceSpec::new("lf_default_sense", 1.0, 1.0),
+            SourceSpec::new("lf_heuristic", 0.85, 0.9),
+            SourceSpec::new("crowd_arg", 0.95, 0.3),
+        ],
+        ..Default::default()
+    });
+    let slice = "complex-disambiguation";
+    let n_slice_train: usize = dataset
+        .in_slice(slice)
+        .iter()
+        .filter(|&&i| dataset.records()[i].has_tag("train"))
+        .count();
+    println!(
+        "workload: {} train records, {} in slice:{slice} ({:.1}%)\n",
+        dataset.train_indices().len(),
+        n_slice_train,
+        100.0 * n_slice_train as f64 / dataset.train_indices().len() as f64
+    );
+
+    // A small production model: the capacity-constrained regime where
+    // shared parameters cannot afford the rare exception pattern.
+    let base =
+        ModelConfig { token_dim: 8, hidden_dim: 8, entity_dim: 8, ..Default::default() };
+    let train = TrainConfig {
+        epochs: 5,
+        early_stop_patience: 0,
+        // Declared slices receive strong training focus (loss-side half of
+        // slice-based learning; only active when slice heads exist).
+        slice_loss_boost: 8.0,
+        indicator_loss_weight: 0.5,
+        ..Default::default()
+    };
+    let run = |slice_heads: bool| {
+        build(
+            &dataset,
+            &OvertonOptions {
+                base_model: ModelConfig { slice_heads, ..base.clone() },
+                train: train.clone(),
+                ..Default::default()
+            },
+        )
+        .expect("build")
+    };
+
+    println!("training WITHOUT the slice declared...");
+    let without = run(false);
+    println!("training WITH the slice declared (indicator + expert + focus)...\n");
+    let with = run(true);
+
+    let widths = [28usize, 14, 14, 12];
+    print_row(
+        &["IntentArg metric".into(), "undeclared".into(), "declared".into(), "delta".into()],
+        &widths,
+    );
+    let rows: Vec<(&str, f64, f64)> = vec![
+        (
+            "overall accuracy",
+            without.test_accuracy("IntentArg"),
+            with.test_accuracy("IntentArg"),
+        ),
+        (
+            "slice accuracy (F1)",
+            without.evaluation.slice_accuracy("IntentArg", slice).unwrap_or(0.0),
+            with.evaluation.slice_accuracy("IntentArg", slice).unwrap_or(0.0),
+        ),
+    ];
+    for (name, a, b) in rows {
+        print_row(
+            &[
+                name.into(),
+                format!("{a:.3}"),
+                format!("{b:.3}"),
+                format!("{:+.1} pts", 100.0 * (b - a)),
+            ],
+            &widths,
+        );
+    }
+    println!(
+        "\n(paper: >50 F1 points improvement on the rare complex-disambiguation slice,\n \
+         with no loss of overall quality; same training data for both models)"
+    );
+}

@@ -1,0 +1,42 @@
+//! # overton
+//!
+//! A from-scratch reproduction of **Overton** (Ré et al., CIDR 2020): a
+//! data system for monitoring and improving machine-learned products.
+//!
+//! The engineer's contract is two files — a *schema* (payloads + tasks) and
+//! a *data file* (records with multi-source weak supervision, tags and
+//! slices). Everything else is automated: supervision combination with a
+//! generative label model, compilation of the schema into a multitask deep
+//! model with slice-based learning, coarse architecture search, training,
+//! fine-grained per-tag/per-slice quality reports, and packaging into a
+//! deployable artifact with a stable serving signature.
+//!
+//! ```no_run
+//! use overton::{build, OvertonOptions};
+//! use overton_nlp::{generate_workload, WorkloadConfig};
+//!
+//! let dataset = generate_workload(&WorkloadConfig::default());
+//! let built = build(&dataset, &OvertonOptions::default()).unwrap();
+//! println!("Intent accuracy: {:.3}", built.test_accuracy("Intent"));
+//! println!("{}", built.evaluation.reports["Intent"]);
+//! ```
+
+#![warn(missing_docs)]
+
+mod pipeline;
+mod workflows;
+
+pub use pipeline::{build, OvertonBuild, OvertonError, OvertonOptions};
+pub use workflows::{
+    add_slice_supervision, cold_start, retrain_and_compare, worst_slices, ImprovementReport,
+    SliceDiagnosis,
+};
+
+// Re-export the subsystem crates so downstream users need a single
+// dependency.
+pub use overton_model as model;
+pub use overton_monitor as monitor;
+pub use overton_nlp as nlp;
+pub use overton_store as store;
+pub use overton_supervision as supervision;
+pub use overton_tensor as tensor;

@@ -1,0 +1,200 @@
+//! The end-to-end Overton pipeline (Figure 1): schema + data file in,
+//! deployable model + fine-grained quality reports out.
+
+use overton_model::{
+    evaluate, prepare, search, train_model, CompiledModel, DeployableModel, Evaluation,
+    FeatureSpace, ModelConfig, PretrainedEncoder, SearchConfig, TrainConfig, TrainReport,
+    TrialResult, TuningSpec,
+};
+use overton_store::Dataset;
+use overton_supervision::{CombineError, CombineMethod, SourceDiagnostics};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Errors from a pipeline run.
+#[derive(Debug)]
+pub enum OvertonError {
+    /// Supervision combination failed.
+    Combine(CombineError),
+    /// The dataset has no usable training data.
+    NoTrainingData,
+    /// Storage/serialization failure.
+    Store(overton_store::StoreError),
+}
+
+impl fmt::Display for OvertonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OvertonError::Combine(e) => write!(f, "supervision combination failed: {e}"),
+            OvertonError::NoTrainingData => write!(f, "dataset has no training records"),
+            OvertonError::Store(e) => write!(f, "storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OvertonError {}
+
+impl From<CombineError> for OvertonError {
+    fn from(e: CombineError) -> Self {
+        OvertonError::Combine(e)
+    }
+}
+
+impl From<overton_store::StoreError> for OvertonError {
+    fn from(e: overton_store::StoreError) -> Self {
+        OvertonError::Store(e)
+    }
+}
+
+/// Pipeline configuration. Everything has sensible defaults; an engineer
+/// usually touches none of it (that is the point of the system).
+#[derive(Default)]
+pub struct OvertonOptions {
+    /// How conflicting supervision is resolved.
+    pub combine: CombineMethod,
+    /// Base architecture settings (sizes etc. are overridden by search).
+    pub base_model: ModelConfig,
+    /// The coarse search space; `None` skips search and uses `base_model`.
+    pub tuning: Option<TuningSpec>,
+    /// Search budget.
+    pub search: SearchConfig,
+    /// Final training budget.
+    pub train: TrainConfig,
+    /// Optional pretrained embedding artifact (Figure 4b "with-BERT").
+    pub pretrained: Option<PretrainedEncoder>,
+}
+
+
+/// The output of one pipeline run.
+pub struct OvertonBuild {
+    /// The production-ready artifact.
+    pub artifact: DeployableModel,
+    /// The trained in-memory model (for further analysis).
+    pub model: CompiledModel,
+    /// Shared feature space.
+    pub space: FeatureSpace,
+    /// The architecture that was selected (searched or base).
+    pub chosen_config: ModelConfig,
+    /// All search trials, best first (empty when search was skipped).
+    pub trials: Vec<TrialResult>,
+    /// Final training summary.
+    pub train_report: TrainReport,
+    /// Per-task supervision diagnostics (estimated source accuracies).
+    pub diagnostics: BTreeMap<String, Vec<SourceDiagnostics>>,
+    /// Evaluation on the test split (per-task, per-tag, per-slice reports).
+    pub evaluation: Evaluation,
+}
+
+impl OvertonBuild {
+    /// Overall test accuracy of a task.
+    pub fn test_accuracy(&self, task: &str) -> f64 {
+        self.evaluation.accuracy(task)
+    }
+
+    /// Mean test accuracy over all tasks with reports.
+    pub fn mean_test_accuracy(&self) -> f64 {
+        if self.evaluation.reports.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = self
+            .evaluation
+            .reports
+            .values()
+            .filter_map(|r| r.overall().map(|m| m.accuracy))
+            .sum();
+        sum / self.evaluation.reports.len() as f64
+    }
+}
+
+/// Runs the full pipeline: combine supervision, (optionally) search, train,
+/// package, evaluate.
+pub fn build(dataset: &Dataset, options: &OvertonOptions) -> Result<OvertonBuild, OvertonError> {
+    if dataset.train_indices().is_empty() {
+        return Err(OvertonError::NoTrainingData);
+    }
+    let prepared = prepare(dataset, &options.combine)?;
+    if prepared.train.iter().all(|e| e.targets.is_empty()) {
+        return Err(OvertonError::NoTrainingData);
+    }
+
+    let (chosen_config, trials) = match &options.tuning {
+        Some(spec) => search(
+            dataset.schema(),
+            &prepared.space,
+            &prepared.train,
+            &prepared.dev,
+            spec,
+            &options.base_model,
+            options.pretrained.as_ref(),
+            &options.search,
+        ),
+        None => (options.base_model.clone(), Vec::new()),
+    };
+
+    let mut model = CompiledModel::compile(
+        dataset.schema(),
+        &prepared.space,
+        &chosen_config,
+        options.pretrained.as_ref(),
+    );
+    let train_report = train_model(&mut model, &prepared.train, &prepared.dev, &options.train);
+
+    let mut metadata = BTreeMap::new();
+    metadata.insert("train_records".into(), prepared.train.len().to_string());
+    metadata.insert("dev_records".into(), prepared.dev.len().to_string());
+    metadata.insert("encoder".into(), format!("{:?}", chosen_config.encoder));
+    let artifact = DeployableModel::package(&model, &prepared.space, metadata);
+
+    let evaluation = evaluate(&model, dataset, &dataset.test_indices(), &prepared.space);
+
+    Ok(OvertonBuild {
+        artifact,
+        model,
+        space: prepared.space,
+        chosen_config,
+        trials,
+        train_report,
+        diagnostics: prepared.diagnostics,
+        evaluation,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use overton_nlp::{generate_workload, WorkloadConfig};
+
+    fn quick_options() -> OvertonOptions {
+        OvertonOptions {
+            train: TrainConfig { epochs: 3, early_stop_patience: 0, ..Default::default() },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn end_to_end_build_beats_chance() {
+        let ds = generate_workload(&WorkloadConfig {
+            n_train: 250,
+            n_dev: 50,
+            n_test: 80,
+            seed: 9,
+            ..Default::default()
+        });
+        let out = build(&ds, &quick_options()).unwrap();
+        // Intent has 7 classes; chance is ~0.14.
+        assert!(
+            out.test_accuracy("Intent") > 0.5,
+            "intent accuracy {}",
+            out.test_accuracy("Intent")
+        );
+        assert!(out.mean_test_accuracy() > 0.4);
+        assert!(!out.diagnostics.is_empty());
+        assert!(out.trials.is_empty(), "no tuning spec => no trials");
+    }
+
+    #[test]
+    fn empty_dataset_rejected() {
+        let ds = Dataset::new(overton_nlp::workload_schema());
+        assert!(matches!(build(&ds, &quick_options()), Err(OvertonError::NoTrainingData)));
+    }
+}

@@ -1,0 +1,266 @@
+//! "A Day in the Life of an Overton Engineer" (paper §2.3): the two
+//! canonical workflows — improving an existing feature via supervision, and
+//! cold-starting a new feature from synthetic data — expressed over the
+//! pipeline. In both, the engineer only ever touches *data*.
+
+use crate::pipeline::{build, OvertonBuild, OvertonError, OvertonOptions};
+use overton_monitor::Metrics;
+use overton_store::{Dataset, Record, TaskLabel};
+
+/// A slice that needs attention: the monitoring output an engineer triages.
+#[derive(Debug, Clone)]
+pub struct SliceDiagnosis {
+    /// Task whose quality is low.
+    pub task: String,
+    /// Slice name (without the `slice:` prefix).
+    pub slice: String,
+    /// Current metrics on the slice.
+    pub metrics: Metrics,
+}
+
+/// Ranks (task, slice) pairs by accuracy ascending — the worklist an
+/// engineer monitors week to week. Slices with fewer than `min_count`
+/// scored examples are skipped (too noisy to act on).
+pub fn worst_slices(build: &OvertonBuild, min_count: usize) -> Vec<SliceDiagnosis> {
+    let mut out = Vec::new();
+    for (task, report) in &build.evaluation.reports {
+        for row in &report.rows {
+            let Some(slice) = row.group.strip_prefix(overton_store::SLICE_PREFIX) else {
+                continue;
+            };
+            if row.metrics.count < min_count {
+                continue;
+            }
+            out.push(SliceDiagnosis {
+                task: task.clone(),
+                slice: slice.to_string(),
+                metrics: row.metrics,
+            });
+        }
+    }
+    out.sort_by(|a, b| a.metrics.accuracy.partial_cmp(&b.metrics.accuracy).unwrap());
+    out
+}
+
+/// Adds supervision to every *training* record of a slice using an
+/// engineer-supplied labeler (a labeling function, an annotation pass, or a
+/// correction rule). Returns how many labels were written.
+///
+/// This is the core loop of "Improving an Existing Feature": diagnose a
+/// slice, then refine the labels in that slice.
+pub fn add_slice_supervision(
+    dataset: &mut Dataset,
+    slice: &str,
+    task: &str,
+    source: &str,
+    labeler: impl Fn(&Record) -> Option<TaskLabel>,
+) -> usize {
+    let indices = dataset.in_slice(slice);
+    let mut added = 0;
+    for i in indices {
+        let record = dataset.get_mut(i).expect("index from in_slice");
+        if !record.has_tag(overton_store::TAG_TRAIN) {
+            continue;
+        }
+        if let Some(label) = labeler(record) {
+            record
+                .tasks
+                .entry(task.to_string())
+                .or_default()
+                .insert(source.to_string(), label);
+            added += 1;
+        }
+    }
+    added
+}
+
+/// The outcome of an improve-and-retrain iteration.
+pub struct ImprovementReport {
+    /// The new build.
+    pub build: OvertonBuild,
+    /// Accuracy on the targeted (task, slice) before the change.
+    pub before: f64,
+    /// Accuracy after the change.
+    pub after: f64,
+}
+
+impl ImprovementReport {
+    /// Accuracy delta (positive = improved).
+    pub fn delta(&self) -> f64 {
+        self.after - self.before
+    }
+}
+
+/// Retrains after a supervision change and reports the targeted slice's
+/// before/after accuracy.
+pub fn retrain_and_compare(
+    dataset: &Dataset,
+    options: &OvertonOptions,
+    previous: &OvertonBuild,
+    task: &str,
+    slice: &str,
+) -> Result<ImprovementReport, OvertonError> {
+    let before = previous
+        .evaluation
+        .slice_accuracy(task, slice)
+        .unwrap_or(0.0);
+    let new_build = build(dataset, options)?;
+    let after = new_build
+        .evaluation
+        .slice_accuracy(task, slice)
+        .unwrap_or(0.0);
+    Ok(ImprovementReport { build: new_build, before, after })
+}
+
+/// Cold start (paper §2.3): a new feature launches with **zero** organic
+/// data. The engineer supplies synthetic records (tagged with their
+/// lineage) plus weak sources, and ships a first model entirely from them.
+///
+/// `synthesizer` produces one synthetic training record per call; dev/test
+/// records must already be in `dataset` (curated by the launch review).
+pub fn cold_start(
+    dataset: &mut Dataset,
+    n_synthetic: usize,
+    lineage_tag: &str,
+    mut synthesizer: impl FnMut(usize) -> Record,
+    options: &OvertonOptions,
+) -> Result<OvertonBuild, OvertonError> {
+    for i in 0..n_synthetic {
+        let record = synthesizer(i)
+            .with_tag(overton_store::TAG_TRAIN)
+            .with_tag(lineage_tag);
+        dataset.push(record)?;
+    }
+    build(dataset, options)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::OvertonOptions;
+    use overton_model::TrainConfig;
+    use overton_nlp::{generate_workload, WorkloadConfig};
+    use overton_store::GOLD_SOURCE;
+
+    fn quick_options() -> OvertonOptions {
+        OvertonOptions {
+            train: TrainConfig { epochs: 2, early_stop_patience: 0, ..Default::default() },
+            ..Default::default()
+        }
+    }
+
+    fn workload() -> Dataset {
+        generate_workload(&WorkloadConfig {
+            n_train: 150,
+            n_dev: 40,
+            n_test: 80,
+            seed: 13,
+            slice_rate: 0.2,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn worst_slices_ranks_ascending() {
+        let ds = workload();
+        let out = build(&ds, &quick_options()).unwrap();
+        let slices = worst_slices(&out, 3);
+        assert!(!slices.is_empty());
+        for pair in slices.windows(2) {
+            assert!(pair[0].metrics.accuracy <= pair[1].metrics.accuracy);
+        }
+    }
+
+    #[test]
+    fn add_slice_supervision_writes_labels() {
+        let mut ds = workload();
+        let added = add_slice_supervision(
+            &mut ds,
+            "complex-disambiguation",
+            "IntentArg",
+            "engineer_fix",
+            |record| record.gold("IntentArg").cloned().or(Some(TaskLabel::Select(1))),
+        );
+        assert!(added > 0);
+        let i = ds.in_slice("complex-disambiguation").into_iter().find(|&i| {
+            ds.records()[i].has_tag("train")
+        });
+        let record = &ds.records()[i.unwrap()];
+        assert!(record.tasks["IntentArg"].contains_key("engineer_fix"));
+    }
+
+    #[test]
+    fn retrain_and_compare_reports_delta() {
+        let ds = workload();
+        let options = quick_options();
+        let first = build(&ds, &options).unwrap();
+        let mut improved = ds.clone();
+        // Engineers add a high-quality corrective source on the slice. The
+        // synthetic generator knows the truth, so emulate an annotation
+        // pass by deriving from the existing record structure.
+        add_slice_supervision(
+            &mut improved,
+            "complex-disambiguation",
+            "IntentArg",
+            "annotator_pass",
+            |record| {
+                // Pick the non-default candidate the heuristics fight over.
+                match record.tasks.get("IntentArg").and_then(|m| m.get("lf_heuristic")) {
+                    Some(TaskLabel::Select(v)) if *v != 0 => Some(TaskLabel::Select(*v)),
+                    _ => None,
+                }
+            },
+        );
+        let report = retrain_and_compare(
+            &improved,
+            &options,
+            &first,
+            "IntentArg",
+            "complex-disambiguation",
+        )
+        .unwrap();
+        // The delta is noisy at this scale; we only require the machinery
+        // reports coherent numbers.
+        assert!((0.0..=1.0).contains(&report.before));
+        assert!((0.0..=1.0).contains(&report.after));
+    }
+
+    #[test]
+    fn cold_start_builds_from_synthetic_only() {
+        // Dataset with only dev/test (no organic training data).
+        let full = workload();
+        let keep: Vec<usize> =
+            full.dev_indices().into_iter().chain(full.test_indices()).collect();
+        let mut ds = full.subset(&keep);
+        assert!(ds.train_indices().is_empty());
+
+        // Synthesizer: clone gold-labeled dev records as synthetic training
+        // data (a stand-in for template-generated launch data), moving gold
+        // to a weak source.
+        let templates: Vec<Record> = ds.records().to_vec();
+        let options = OvertonOptions {
+            train: TrainConfig { epochs: 6, early_stop_patience: 0, ..Default::default() },
+            ..Default::default()
+        };
+        let built = cold_start(
+            &mut ds,
+            240,
+            "aug:launch-synthetic",
+            |i| {
+                let mut r = templates[i % templates.len()].clone();
+                r.tags.clear();
+                for sources in r.tasks.values_mut() {
+                    if let Some(gold) = sources.remove(GOLD_SOURCE) {
+                        sources.insert("launch_lf".to_string(), gold);
+                    }
+                }
+                r
+            },
+            &options,
+        )
+        .unwrap();
+        assert!(built.test_accuracy("Intent") > 0.4, "{}", built.test_accuracy("Intent"));
+        // Lineage is queryable.
+        assert!(!ds.tagged("aug:launch-synthetic").is_empty());
+    }
+}

@@ -1,0 +1,141 @@
+//! High-level build step: dataset → combined supervision → model-ready
+//! examples.
+//!
+//! This is the "Combine Supervision" box of Figure 1 wired to feature
+//! extraction: every task's sources are resolved by the configured
+//! combiner; training records get probabilistic targets (gold labels, when
+//! an annotator provided them, take precedence); dev records get gold
+//! one-hot targets for model selection.
+
+use crate::features::{gold_to_prob, CompiledExample, FeatureSpace};
+use overton_store::Dataset;
+use overton_supervision::{combine_task, CombineError, CombineMethod, SourceDiagnostics};
+use std::collections::BTreeMap;
+
+/// Everything needed to train: the feature space, train/dev examples, and
+/// per-task source diagnostics (estimated accuracies, coverage).
+#[derive(Debug, Clone)]
+pub struct PreparedData {
+    /// Shared vocabularies and slice space.
+    pub space: FeatureSpace,
+    /// Training examples with probabilistic targets.
+    pub train: Vec<CompiledExample>,
+    /// Dev examples with gold targets.
+    pub dev: Vec<CompiledExample>,
+    /// Per-task combiner diagnostics.
+    pub diagnostics: BTreeMap<String, Vec<SourceDiagnostics>>,
+}
+
+/// Combines supervision for every task and materializes train/dev examples.
+pub fn prepare(dataset: &Dataset, method: &CombineMethod) -> Result<PreparedData, CombineError> {
+    let schema = dataset.schema();
+    let space = FeatureSpace::build(dataset);
+
+    // Combine every task across the dataset.
+    let mut combined = BTreeMap::new();
+    let mut diagnostics = BTreeMap::new();
+    for task in schema.tasks.keys() {
+        match combine_task(dataset, task, method) {
+            Ok(result) => {
+                diagnostics.insert(task.clone(), result.sources.clone());
+                combined.insert(task.clone(), result);
+            }
+            Err(CombineError::UnknownSource { .. }) => {
+                // A single-source ablation may name a source that exists for
+                // some tasks only; tasks without it are left unsupervised.
+            }
+            Err(e) => return Err(e),
+        }
+    }
+
+    let mut train = Vec::with_capacity(dataset.train_indices().len());
+    for i in dataset.train_indices() {
+        let record = &dataset.records()[i];
+        let mut example = CompiledExample::from_record(record, i, &space, schema);
+        for task in schema.tasks.keys() {
+            // Annotator gold (when present on a training record) overrides
+            // the weak combination.
+            if let Some(gold) = gold_to_prob(schema, record, task) {
+                example.targets.insert(task.clone(), gold);
+                continue;
+            }
+            if let Some(result) = combined.get(task) {
+                if let Some(label) = &result.labels[i] {
+                    example.targets.insert(task.clone(), label.clone());
+                }
+            }
+        }
+        train.push(example);
+    }
+
+    let mut dev = Vec::with_capacity(dataset.dev_indices().len());
+    for i in dataset.dev_indices() {
+        let record = &dataset.records()[i];
+        let mut example = CompiledExample::from_record(record, i, &space, schema);
+        for task in schema.tasks.keys() {
+            if let Some(gold) = gold_to_prob(schema, record, task) {
+                example.targets.insert(task.clone(), gold);
+            }
+        }
+        dev.push(example);
+    }
+
+    Ok(PreparedData { space, train, dev, diagnostics })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use overton_nlp::{generate_workload, WorkloadConfig};
+
+    fn workload(gold_fraction: f64) -> Dataset {
+        generate_workload(&WorkloadConfig {
+            n_train: 80,
+            n_dev: 20,
+            n_test: 20,
+            seed: 77,
+            gold_train_fraction: gold_fraction,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn prepare_attaches_targets() {
+        let ds = workload(0.0);
+        let prepared = prepare(&ds, &CombineMethod::default()).unwrap();
+        assert_eq!(prepared.train.len(), 80);
+        assert_eq!(prepared.dev.len(), 20);
+        // Most training examples should have an Intent target (weak coverage
+        // is high).
+        let with_intent =
+            prepared.train.iter().filter(|e| e.targets.contains_key("Intent")).count();
+        assert!(with_intent > 60, "{with_intent} examples have Intent targets");
+        // Dev examples carry gold targets for every task.
+        for ex in &prepared.dev {
+            assert_eq!(ex.targets.len(), 4, "dev targets: {:?}", ex.targets.keys());
+        }
+        // Diagnostics exist for all four tasks.
+        assert_eq!(prepared.diagnostics.len(), 4);
+    }
+
+    #[test]
+    fn gold_overrides_weak_on_train() {
+        let ds = workload(1.0);
+        let prepared = prepare(&ds, &CombineMethod::default()).unwrap();
+        // With full gold coverage every Intent target is one-hot.
+        for ex in &prepared.train {
+            if let Some(overton_supervision::ProbLabel::Dist(d)) = ex.targets.get("Intent") {
+                let max = d.iter().copied().fold(0.0f32, f32::max);
+                assert!((max - 1.0).abs() < 1e-6, "expected one-hot, got {d:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn label_model_diagnostics_have_accuracies() {
+        let ds = workload(0.0);
+        let prepared = prepare(&ds, &CombineMethod::default()).unwrap();
+        let intent = &prepared.diagnostics["Intent"];
+        assert!(intent.iter().all(|d| d.estimated_accuracy.is_some()));
+    }
+}

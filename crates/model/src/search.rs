@@ -1,0 +1,178 @@
+//! Coarse-grained architecture and hyperparameter search.
+//!
+//! "Overton searches over relatively limited large blocks, e.g., should we
+//! use an LSTM or CNN, not at a fine-grained level of connections" (§4).
+//! Trials run in parallel on scoped threads; each trains a short-budget
+//! model and is scored by dev agreement; the winner is retrained to
+//! convergence by the caller.
+
+use crate::config::{EmbeddingKind, ModelConfig, TrainConfig, TuningSpec};
+use crate::features::{CompiledExample, FeatureSpace};
+use crate::network::CompiledModel;
+use crate::pretrained::PretrainedEncoder;
+use crate::trainer::{dev_agreement, train_model};
+use overton_store::Schema;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Search budget and parallelism.
+#[derive(Debug, Clone)]
+pub struct SearchConfig {
+    /// Maximum trials (the spec's cross-product is subsampled when larger).
+    pub trials: usize,
+    /// Worker threads.
+    pub threads: usize,
+    /// Subsampling seed.
+    pub seed: u64,
+    /// Per-trial training budget (keep short; winners are retrained).
+    pub train: TrainConfig,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        Self {
+            trials: 6,
+            threads: 4,
+            seed: 0,
+            train: TrainConfig { epochs: 3, early_stop_patience: 0, ..Default::default() },
+        }
+    }
+}
+
+/// One trial's outcome.
+#[derive(Debug, Clone)]
+pub struct TrialResult {
+    /// The configuration tried.
+    pub config: ModelConfig,
+    /// Dev agreement achieved after the short training budget.
+    pub dev_score: f64,
+}
+
+/// Runs the search and returns the winning configuration plus all trials
+/// (sorted best-first).
+///
+/// # Panics
+/// Panics if the spec contains `Pretrained` embeddings but no artifact is
+/// supplied, or if there are no dev examples to score on.
+#[allow(clippy::too_many_arguments)] // mirrors the pipeline stages 1:1
+pub fn search(
+    schema: &Schema,
+    space: &FeatureSpace,
+    train: &[CompiledExample],
+    dev: &[CompiledExample],
+    spec: &TuningSpec,
+    base: &ModelConfig,
+    pretrained: Option<&PretrainedEncoder>,
+    config: &SearchConfig,
+) -> (ModelConfig, Vec<TrialResult>) {
+    assert!(!dev.is_empty(), "search needs dev examples to score trials");
+    let mut candidates = spec.enumerate(base);
+    if pretrained.is_none() {
+        assert!(
+            candidates.iter().all(|c| c.embedding == EmbeddingKind::Learned),
+            "spec includes pretrained embeddings but no artifact was supplied"
+        );
+    }
+    // Subsample without replacement when the space exceeds the budget.
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    for i in (1..candidates.len()).rev() {
+        candidates.swap(i, rng.gen_range(0..=i));
+    }
+    candidates.truncate(config.trials.max(1));
+
+    let results = parking_lot::Mutex::new(Vec::<TrialResult>::with_capacity(candidates.len()));
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let threads = config.threads.clamp(1, candidates.len().max(1));
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= candidates.len() {
+                    break;
+                }
+                let trial_config = candidates[i].clone();
+                let artifact = match trial_config.embedding {
+                    EmbeddingKind::Pretrained => pretrained,
+                    EmbeddingKind::Learned => None,
+                };
+                let mut model = CompiledModel::compile(schema, space, &trial_config, artifact);
+                train_model(&mut model, train, dev, &config.train);
+                let dev_score = dev_agreement(&model, dev);
+                results.lock().push(TrialResult { config: trial_config, dev_score });
+            });
+        }
+    })
+    .expect("search worker panicked");
+
+    let mut trials = results.into_inner();
+    trials.sort_by(|a, b| b.dev_score.partial_cmp(&a.dev_score).unwrap());
+    (trials[0].config.clone(), trials)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::prepare;
+    use crate::config::{AggregationKind, EncoderKind};
+    use overton_nlp::{generate_workload, WorkloadConfig};
+    use overton_supervision::CombineMethod;
+
+    #[test]
+    fn search_ranks_trials_and_returns_best() {
+        let ds = generate_workload(&WorkloadConfig {
+            n_train: 100,
+            n_dev: 30,
+            n_test: 10,
+            seed: 3,
+            ..Default::default()
+        });
+        let prepared = prepare(&ds, &CombineMethod::default()).unwrap();
+        let spec = TuningSpec {
+            sizes: vec![(24, 32)],
+            encoders: vec![EncoderKind::MeanBag, EncoderKind::Cnn],
+            embeddings: vec![EmbeddingKind::Learned],
+            aggregations: vec![AggregationKind::Mean],
+        };
+        let (best, trials) = search(
+            ds.schema(),
+            &prepared.space,
+            &prepared.train,
+            &prepared.dev,
+            &spec,
+            &ModelConfig::default(),
+            None,
+            &SearchConfig {
+                trials: 2,
+                threads: 2,
+                train: TrainConfig { epochs: 2, ..Default::default() },
+                ..Default::default()
+            },
+        );
+        assert_eq!(trials.len(), 2);
+        assert!(trials[0].dev_score >= trials[1].dev_score);
+        assert_eq!(best, trials[0].config);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs dev examples")]
+    fn empty_dev_rejected() {
+        let ds = generate_workload(&WorkloadConfig {
+            n_train: 10,
+            n_dev: 0,
+            n_test: 5,
+            seed: 3,
+            ..Default::default()
+        });
+        let prepared = prepare(&ds, &CombineMethod::default()).unwrap();
+        let _ = search(
+            ds.schema(),
+            &prepared.space,
+            &prepared.train,
+            &prepared.dev,
+            &TuningSpec::default(),
+            &ModelConfig::default(),
+            None,
+            &SearchConfig::default(),
+        );
+    }
+}

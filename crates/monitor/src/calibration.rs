@@ -1,0 +1,136 @@
+//! Confidence calibration: do predicted probabilities mean what they say?
+//!
+//! Production monitoring cares about calibration because downstream logic
+//! thresholds on model confidence (e.g. "only answer when P > 0.8"). The
+//! standard summary is the expected calibration error (ECE): bucket
+//! predictions by confidence and compare each bucket's mean confidence to
+//! its accuracy.
+
+/// One confidence bucket of a reliability diagram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibrationBin {
+    /// Inclusive lower edge of the confidence range.
+    pub lo: f64,
+    /// Exclusive upper edge (inclusive for the last bin).
+    pub hi: f64,
+    /// Predictions in this bucket.
+    pub count: usize,
+    /// Mean confidence of those predictions.
+    pub mean_confidence: f64,
+    /// Fraction that were correct.
+    pub accuracy: f64,
+}
+
+/// A reliability diagram plus its ECE summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibrationReport {
+    /// Fixed-width confidence buckets.
+    pub bins: Vec<CalibrationBin>,
+    /// Expected calibration error: count-weighted mean |confidence - accuracy|.
+    pub ece: f64,
+}
+
+/// Builds a calibration report from `(confidence, correct)` pairs.
+///
+/// # Panics
+/// Panics if `n_bins == 0` or any confidence is outside `[0, 1]`.
+pub fn calibration_report(
+    predictions: &[(f64, bool)],
+    n_bins: usize,
+) -> CalibrationReport {
+    assert!(n_bins > 0, "need at least one bin");
+    assert!(
+        predictions.iter().all(|(c, _)| (0.0..=1.0).contains(c)),
+        "confidences must be in [0, 1]"
+    );
+    let width = 1.0 / n_bins as f64;
+    let mut sums = vec![(0usize, 0.0f64, 0usize); n_bins]; // (count, conf sum, correct)
+    for &(confidence, correct) in predictions {
+        let mut bin = (confidence / width) as usize;
+        if bin >= n_bins {
+            bin = n_bins - 1; // confidence == 1.0
+        }
+        sums[bin].0 += 1;
+        sums[bin].1 += confidence;
+        sums[bin].2 += usize::from(correct);
+    }
+    let total = predictions.len().max(1) as f64;
+    let mut ece = 0.0;
+    let bins = sums
+        .iter()
+        .enumerate()
+        .map(|(i, &(count, conf_sum, correct))| {
+            let mean_confidence = if count == 0 { 0.0 } else { conf_sum / count as f64 };
+            let accuracy = if count == 0 { 0.0 } else { correct as f64 / count as f64 };
+            if count > 0 {
+                ece += (count as f64 / total) * (mean_confidence - accuracy).abs();
+            }
+            CalibrationBin {
+                lo: i as f64 * width,
+                hi: (i + 1) as f64 * width,
+                count,
+                mean_confidence,
+                accuracy,
+            }
+        })
+        .collect();
+    CalibrationReport { bins, ece }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfectly_calibrated_has_zero_ece() {
+        // In each bucket, accuracy == confidence exactly.
+        let mut preds = Vec::new();
+        for _ in 0..80 {
+            preds.push((0.8, true));
+        }
+        for _ in 0..20 {
+            preds.push((0.8, false));
+        }
+        let report = calibration_report(&preds, 10);
+        assert!(report.ece < 1e-9, "ece {}", report.ece);
+    }
+
+    #[test]
+    fn overconfident_model_has_positive_ece() {
+        // Claims 0.95 but is right half the time.
+        let preds: Vec<(f64, bool)> =
+            (0..100).map(|i| (0.95, i % 2 == 0)).collect();
+        let report = calibration_report(&preds, 10);
+        assert!((report.ece - 0.45).abs() < 1e-9, "ece {}", report.ece);
+    }
+
+    #[test]
+    fn bins_partition_predictions() {
+        let preds = vec![(0.05, true), (0.55, false), (1.0, true)];
+        let report = calibration_report(&preds, 10);
+        let total: usize = report.bins.iter().map(|b| b.count).sum();
+        assert_eq!(total, 3);
+        assert_eq!(report.bins[0].count, 1);
+        assert_eq!(report.bins[5].count, 1);
+        assert_eq!(report.bins[9].count, 1); // 1.0 clamps to the last bin
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let report = calibration_report(&[], 5);
+        assert_eq!(report.ece, 0.0);
+        assert_eq!(report.bins.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_rejected() {
+        let _ = calibration_report(&[(0.5, true)], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in")]
+    fn out_of_range_confidence_rejected() {
+        let _ = calibration_report(&[(1.5, true)], 5);
+    }
+}

@@ -1,0 +1,215 @@
+//! Confusion matrices.
+
+use std::fmt;
+
+/// A `k x k` confusion matrix; rows are gold classes, columns predictions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    k: usize,
+    counts: Vec<u64>,
+    labels: Vec<String>,
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty matrix with numeric class names.
+    pub fn new(k: usize) -> Self {
+        Self::with_labels((0..k).map(|c| c.to_string()).collect())
+    }
+
+    /// Creates an empty matrix with the given class names.
+    pub fn with_labels(labels: Vec<String>) -> Self {
+        let k = labels.len();
+        Self { k, counts: vec![0; k * k], labels }
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.k
+    }
+
+    /// Class names.
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// Records one observation.
+    ///
+    /// # Panics
+    /// Panics if either class is out of range.
+    pub fn record(&mut self, gold: usize, pred: usize) {
+        assert!(gold < self.k && pred < self.k, "class out of range");
+        self.counts[gold * self.k + pred] += 1;
+    }
+
+    /// Count of (gold, pred) cells.
+    pub fn count(&self, gold: usize, pred: usize) -> u64 {
+        self.counts[gold * self.k + pred]
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Overall accuracy (0 when empty).
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: u64 = (0..self.k).map(|c| self.count(c, c)).sum();
+        correct as f64 / total as f64
+    }
+
+    /// Precision of one class: TP / (TP + FP); 0 when nothing predicted.
+    pub fn precision(&self, class: usize) -> f64 {
+        let tp = self.count(class, class);
+        let predicted: u64 = (0..self.k).map(|g| self.count(g, class)).sum();
+        if predicted == 0 {
+            0.0
+        } else {
+            tp as f64 / predicted as f64
+        }
+    }
+
+    /// Recall of one class: TP / (TP + FN); 0 when the class never occurs.
+    pub fn recall(&self, class: usize) -> f64 {
+        let tp = self.count(class, class);
+        let actual: u64 = (0..self.k).map(|p| self.count(class, p)).sum();
+        if actual == 0 {
+            0.0
+        } else {
+            tp as f64 / actual as f64
+        }
+    }
+
+    /// F1 of one class.
+    pub fn f1(&self, class: usize) -> f64 {
+        let p = self.precision(class);
+        let r = self.recall(class);
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Unweighted mean of per-class F1 over classes that occur.
+    pub fn macro_f1(&self) -> f64 {
+        let present: Vec<usize> = (0..self.k)
+            .filter(|&c| (0..self.k).any(|p| self.count(c, p) > 0))
+            .collect();
+        if present.is_empty() {
+            return 0.0;
+        }
+        present.iter().map(|&c| self.f1(c)).sum::<f64>() / present.len() as f64
+    }
+
+    /// Merges another matrix into this one.
+    ///
+    /// # Panics
+    /// Panics on class-count mismatch.
+    pub fn merge(&mut self, other: &ConfusionMatrix) {
+        assert_eq!(self.k, other.k, "confusion matrix size mismatch");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+}
+
+impl fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let width = self
+            .labels
+            .iter()
+            .map(String::len)
+            .max()
+            .unwrap_or(4)
+            .max(6);
+        write!(f, "{:>width$} |", "gold\\pred")?;
+        for l in &self.labels {
+            write!(f, " {l:>width$}")?;
+        }
+        writeln!(f)?;
+        for g in 0..self.k {
+            write!(f, "{:>width$} |", self.labels[g])?;
+            for p in 0..self.k {
+                write!(f, " {:>width$}", self.count(g, p))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ConfusionMatrix {
+        let mut m = ConfusionMatrix::new(2);
+        // gold 0: 8 right, 2 wrong; gold 1: 3 right, 1 wrong.
+        for _ in 0..8 {
+            m.record(0, 0);
+        }
+        for _ in 0..2 {
+            m.record(0, 1);
+        }
+        for _ in 0..3 {
+            m.record(1, 1);
+        }
+        m.record(1, 0);
+        m
+    }
+
+    #[test]
+    fn accuracy_and_counts() {
+        let m = sample();
+        assert_eq!(m.total(), 14);
+        assert!((m.accuracy() - 11.0 / 14.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precision_recall_f1() {
+        let m = sample();
+        assert!((m.precision(1) - 3.0 / 5.0).abs() < 1e-12);
+        assert!((m.recall(1) - 3.0 / 4.0).abs() < 1e-12);
+        let p = 0.6;
+        let r = 0.75;
+        assert!((m.f1(1) - 2.0 * p * r / (p + r)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_matrix_is_all_zero() {
+        let m = ConfusionMatrix::new(3);
+        assert_eq!(m.accuracy(), 0.0);
+        assert_eq!(m.macro_f1(), 0.0);
+        assert_eq!(m.precision(0), 0.0);
+    }
+
+    #[test]
+    fn macro_f1_skips_absent_classes() {
+        let mut m = ConfusionMatrix::new(3);
+        m.record(0, 0);
+        m.record(1, 1);
+        // Class 2 never occurs as gold: macro over classes 0 and 1 only.
+        assert!((m.macro_f1() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = sample();
+        let b = sample();
+        a.merge(&b);
+        assert_eq!(a.total(), 28);
+        assert_eq!(a.count(0, 0), 16);
+    }
+
+    #[test]
+    fn display_contains_labels() {
+        let mut m = ConfusionMatrix::with_labels(vec!["yes".into(), "no".into()]);
+        m.record(0, 1);
+        let text = m.to_string();
+        assert!(text.contains("yes") && text.contains("no"));
+    }
+}

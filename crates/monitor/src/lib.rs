@@ -1,0 +1,21 @@
+//! # overton-monitor
+//!
+//! Fine-grained quality monitoring (the paper's first key challenge):
+//! confusion matrices, multiclass/bitvector metrics, per-tag and per-slice
+//! quality reports with CSV (Pandas) export, and version-over-version
+//! regression detection.
+
+#![warn(missing_docs)]
+
+mod calibration;
+mod confusion;
+mod metrics;
+mod report;
+
+pub use calibration::{calibration_report, CalibrationBin, CalibrationReport};
+pub use confusion::ConfusionMatrix;
+pub use metrics::{
+    binary_f1, bitvector_metrics, error_reduction_factor, error_reduction_percent,
+    multiclass_metrics, relative_quality, Metrics,
+};
+pub use report::{regressions, QualityReport, Regression, ReportRow};

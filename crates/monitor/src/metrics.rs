@@ -1,0 +1,219 @@
+//! Scalar quality metrics over prediction/gold pairs.
+
+use crate::confusion::ConfusionMatrix;
+
+/// A bundle of quality metrics for one group of examples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Metrics {
+    /// Number of scored examples.
+    pub count: usize,
+    /// Fraction exactly correct.
+    pub accuracy: f64,
+    /// Unweighted mean per-class F1.
+    pub macro_f1: f64,
+    /// Micro-averaged F1 (= accuracy for single-label multiclass).
+    pub micro_f1: f64,
+}
+
+impl Metrics {
+    /// Metrics of an empty group.
+    pub fn empty() -> Self {
+        Self { count: 0, accuracy: 0.0, macro_f1: 0.0, micro_f1: 0.0 }
+    }
+
+    /// The error rate, `1 - accuracy`.
+    pub fn error(&self) -> f64 {
+        1.0 - self.accuracy
+    }
+}
+
+/// Computes multiclass metrics from parallel prediction/gold class slices.
+///
+/// # Panics
+/// Panics if lengths differ or a class is `>= k`.
+pub fn multiclass_metrics(k: usize, preds: &[usize], golds: &[usize]) -> Metrics {
+    assert_eq!(preds.len(), golds.len(), "preds/golds length mismatch");
+    if preds.is_empty() {
+        return Metrics::empty();
+    }
+    let mut cm = ConfusionMatrix::new(k);
+    for (&p, &g) in preds.iter().zip(golds) {
+        cm.record(g, p);
+    }
+    Metrics {
+        count: preds.len(),
+        accuracy: cm.accuracy(),
+        macro_f1: cm.macro_f1(),
+        micro_f1: cm.accuracy(),
+    }
+}
+
+/// Computes bit-level metrics for bitvector tasks from parallel bit masks.
+/// Precision/recall/F1 are micro-averaged over all (example, bit) pairs with
+/// the positive class as the target; accuracy is per-bit accuracy.
+///
+/// # Panics
+/// Panics if shapes differ.
+pub fn bitvector_metrics(preds: &[Vec<bool>], golds: &[Vec<bool>]) -> Metrics {
+    assert_eq!(preds.len(), golds.len(), "preds/golds length mismatch");
+    let mut tp = 0u64;
+    let mut fp = 0u64;
+    let mut fn_ = 0u64;
+    let mut correct = 0u64;
+    let mut total = 0u64;
+    for (p_row, g_row) in preds.iter().zip(golds) {
+        assert_eq!(p_row.len(), g_row.len(), "bit width mismatch");
+        for (&p, &g) in p_row.iter().zip(g_row) {
+            total += 1;
+            if p == g {
+                correct += 1;
+            }
+            match (p, g) {
+                (true, true) => tp += 1,
+                (true, false) => fp += 1,
+                (false, true) => fn_ += 1,
+                (false, false) => {}
+            }
+        }
+    }
+    if total == 0 {
+        return Metrics::empty();
+    }
+    let precision = if tp + fp == 0 { 0.0 } else { tp as f64 / (tp + fp) as f64 };
+    let recall = if tp + fn_ == 0 { 0.0 } else { tp as f64 / (tp + fn_) as f64 };
+    let f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    Metrics {
+        count: preds.len(),
+        accuracy: correct as f64 / total as f64,
+        macro_f1: f1,
+        micro_f1: f1,
+    }
+}
+
+/// Binary F1 for one positive class from multiclass pairs (used for
+/// per-slice F1 reporting, e.g. the paper's ">50 points of F1" slice claim).
+pub fn binary_f1(positive: usize, preds: &[usize], golds: &[usize]) -> f64 {
+    assert_eq!(preds.len(), golds.len());
+    let mut tp = 0u64;
+    let mut fp = 0u64;
+    let mut fn_ = 0u64;
+    for (&p, &g) in preds.iter().zip(golds) {
+        match (p == positive, g == positive) {
+            (true, true) => tp += 1,
+            (true, false) => fp += 1,
+            (false, true) => fn_ += 1,
+            _ => {}
+        }
+    }
+    if 2 * tp + fp + fn_ == 0 {
+        0.0
+    } else {
+        2.0 * tp as f64 / (2 * tp + fp + fn_) as f64
+    }
+}
+
+/// Relative quality of `subject` vs `baseline` as used in Figure 4
+/// ("if the baseline F1 is 0.8 and the subject F1 is 0.9, the relative
+/// quality is 0.9/0.8 = 1.125").
+pub fn relative_quality(subject: f64, baseline: f64) -> f64 {
+    if baseline == 0.0 {
+        if subject == 0.0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        subject / baseline
+    }
+}
+
+/// Error-reduction factor of `new` vs `old` error rates, as reported in
+/// Figure 3 (e.g. old error 0.10 → new error 0.034 is a 2.9x reduction and
+/// "65% fewer errors").
+pub fn error_reduction_factor(old_error: f64, new_error: f64) -> f64 {
+    if new_error <= 0.0 {
+        f64::INFINITY
+    } else {
+        old_error / new_error
+    }
+}
+
+/// Percentage of errors removed: `1 - new/old` (Figure 3's first column).
+pub fn error_reduction_percent(old_error: f64, new_error: f64) -> f64 {
+    if old_error <= 0.0 {
+        0.0
+    } else {
+        (1.0 - new_error / old_error) * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multiclass_perfect() {
+        let m = multiclass_metrics(3, &[0, 1, 2], &[0, 1, 2]);
+        assert_eq!(m.accuracy, 1.0);
+        assert_eq!(m.macro_f1, 1.0);
+        assert_eq!(m.count, 3);
+    }
+
+    #[test]
+    fn multiclass_empty() {
+        let m = multiclass_metrics(3, &[], &[]);
+        assert_eq!(m, Metrics::empty());
+    }
+
+    #[test]
+    fn multiclass_partial() {
+        let m = multiclass_metrics(2, &[0, 0, 1, 1], &[0, 1, 1, 0]);
+        assert_eq!(m.accuracy, 0.5);
+        assert_eq!(m.error(), 0.5);
+    }
+
+    #[test]
+    fn bitvector_micro_f1() {
+        let preds = vec![vec![true, false], vec![true, true]];
+        let golds = vec![vec![true, true], vec![false, true]];
+        let m = bitvector_metrics(&preds, &golds);
+        // tp=2 (0,0 and 1,1), fp=1 (1,0), fn=1 (0,1), accuracy 2/4.
+        assert_eq!(m.accuracy, 0.5);
+        let p = 2.0 / 3.0;
+        let r = 2.0 / 3.0;
+        assert!((m.micro_f1 - 2.0 * p * r / (p + r)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn binary_f1_matches_hand_computation() {
+        // positive=1: tp=1, fp=1, fn=1 -> F1 = 2/(2+1+1) = 0.5
+        let f1 = binary_f1(1, &[1, 1, 0], &[1, 0, 1]);
+        assert!((f1 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn binary_f1_no_positives_is_zero() {
+        assert_eq!(binary_f1(1, &[0, 0], &[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn relative_quality_paper_example() {
+        assert!((relative_quality(0.9, 0.8) - 1.125).abs() < 1e-12);
+        assert_eq!(relative_quality(0.0, 0.0), 1.0);
+        assert_eq!(relative_quality(0.5, 0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn error_reduction_figures() {
+        // "65% (2.9x)" from Figure 3: old error e, new error e/2.9.
+        let old = 0.29;
+        let new = 0.10;
+        assert!((error_reduction_factor(old, new) - 2.9).abs() < 1e-9);
+        assert!((error_reduction_percent(old, new) - (1.0 - 0.10 / 0.29) * 100.0).abs() < 1e-9);
+        assert_eq!(error_reduction_factor(0.1, 0.0), f64::INFINITY);
+    }
+}

@@ -1,0 +1,184 @@
+//! Fine-grained quality reports: per-tag and per-slice metric tables.
+//!
+//! This is the artifact an Overton engineer actually looks at every day
+//! (paper §2.2 "Monitoring"): aggregate quality plus one row per tag/slice,
+//! exportable to CSV for Pandas.
+
+use crate::metrics::Metrics;
+use std::fmt;
+use std::io::Write;
+
+/// One row of a quality report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportRow {
+    /// Group name (`overall`, a tag, or `slice:<name>`).
+    pub group: String,
+    /// Metrics over the group.
+    pub metrics: Metrics,
+}
+
+/// A per-group quality report for one task.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct QualityReport {
+    /// Task the report describes.
+    pub task: String,
+    /// Rows, usually led by `overall`.
+    pub rows: Vec<ReportRow>,
+}
+
+impl QualityReport {
+    /// Creates an empty report for a task.
+    pub fn new(task: &str) -> Self {
+        Self { task: task.to_string(), rows: Vec::new() }
+    }
+
+    /// Appends a group row.
+    pub fn push(&mut self, group: &str, metrics: Metrics) {
+        self.rows.push(ReportRow { group: group.to_string(), metrics });
+    }
+
+    /// Looks up a group's metrics.
+    pub fn group(&self, name: &str) -> Option<&Metrics> {
+        self.rows.iter().find(|r| r.group == name).map(|r| &r.metrics)
+    }
+
+    /// The `overall` row, if present.
+    pub fn overall(&self) -> Option<&Metrics> {
+        self.group("overall")
+    }
+
+    /// Writes the report as CSV (`task,group,count,accuracy,macro_f1,micro_f1`).
+    pub fn write_csv(&self, mut w: impl Write) -> std::io::Result<()> {
+        writeln!(w, "task,group,count,accuracy,macro_f1,micro_f1")?;
+        for row in &self.rows {
+            writeln!(
+                w,
+                "{},{},{},{:.6},{:.6},{:.6}",
+                self.task,
+                row.group,
+                row.metrics.count,
+                row.metrics.accuracy,
+                row.metrics.macro_f1,
+                row.metrics.micro_f1
+            )?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for QualityReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let width = self.rows.iter().map(|r| r.group.len()).max().unwrap_or(7).max(7);
+        writeln!(f, "task: {}", self.task)?;
+        writeln!(f, "{:>width$}  {:>6}  {:>8}  {:>8}  {:>8}", "group", "n", "acc", "maF1", "miF1")?;
+        for row in &self.rows {
+            writeln!(
+                f,
+                "{:>width$}  {:>6}  {:>8.4}  {:>8.4}  {:>8.4}",
+                row.group,
+                row.metrics.count,
+                row.metrics.accuracy,
+                row.metrics.macro_f1,
+                row.metrics.micro_f1
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Detects quality regressions between two reports of the same task:
+/// groups whose accuracy dropped by more than `threshold`.
+pub fn regressions(
+    before: &QualityReport,
+    after: &QualityReport,
+    threshold: f64,
+) -> Vec<Regression> {
+    let mut out = Vec::new();
+    for row in &before.rows {
+        if let Some(new) = after.group(&row.group) {
+            let drop = row.metrics.accuracy - new.accuracy;
+            if drop > threshold {
+                out.push(Regression {
+                    group: row.group.clone(),
+                    before: row.metrics.accuracy,
+                    after: new.accuracy,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// A detected per-group quality regression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Affected group.
+    pub group: String,
+    /// Accuracy before.
+    pub before: f64,
+    /// Accuracy after.
+    pub after: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(acc: f64, n: usize) -> Metrics {
+        Metrics { count: n, accuracy: acc, macro_f1: acc, micro_f1: acc }
+    }
+
+    fn report(pairs: &[(&str, f64)]) -> QualityReport {
+        let mut r = QualityReport::new("Intent");
+        for (g, a) in pairs {
+            r.push(g, metrics(*a, 100));
+        }
+        r
+    }
+
+    #[test]
+    fn lookup_and_overall() {
+        let r = report(&[("overall", 0.9), ("slice:hard", 0.6)]);
+        assert_eq!(r.overall().unwrap().accuracy, 0.9);
+        assert_eq!(r.group("slice:hard").unwrap().accuracy, 0.6);
+        assert!(r.group("nope").is_none());
+    }
+
+    #[test]
+    fn csv_export_shape() {
+        let r = report(&[("overall", 0.9)]);
+        let mut buf = Vec::new();
+        r.write_csv(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("task,group"));
+        assert!(lines[1].starts_with("Intent,overall,100,0.9"));
+    }
+
+    #[test]
+    fn display_renders_rows() {
+        let r = report(&[("overall", 0.95), ("slice:rare", 0.5)]);
+        let text = r.to_string();
+        assert!(text.contains("overall"));
+        assert!(text.contains("slice:rare"));
+        assert!(text.contains("0.5000"));
+    }
+
+    #[test]
+    fn regression_detection() {
+        let before = report(&[("overall", 0.9), ("slice:hard", 0.8), ("slice:ok", 0.7)]);
+        let after = report(&[("overall", 0.91), ("slice:hard", 0.6), ("slice:ok", 0.69)]);
+        let regs = regressions(&before, &after, 0.05);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].group, "slice:hard");
+        assert!((regs[0].before - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn regression_ignores_missing_groups() {
+        let before = report(&[("slice:gone", 0.9)]);
+        let after = report(&[("overall", 0.5)]);
+        assert!(regressions(&before, &after, 0.01).is_empty());
+    }
+}

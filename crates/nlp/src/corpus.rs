@@ -1,0 +1,76 @@
+//! Raw-text corpus generation for pretraining (the "BERT-sim" substrate).
+//!
+//! Figure 4b contrasts a large pretrained language model against plain word
+//! embeddings. We reproduce the *pretraining* part honestly: a corpus of
+//! in-domain sentences is generated here, a masked-token encoder is
+//! pretrained on it (in `overton-model::pretrained`), and fine-tuned against
+//! training from scratch.
+
+use crate::kb::KnowledgeBase;
+use crate::queries::QueryGenerator;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Statement templates that widen the corpus beyond question forms.
+const STATEMENT_TEMPLATES: &[&[&str]] = &[
+    &["{e}", "is", "a", "very", "famous", "name"],
+    &["many", "people", "ask", "about", "{e}"],
+    &["the", "story", "of", "{e}", "is", "well", "known"],
+    &["{e}", "appears", "in", "the", "news", "today"],
+    &["people", "often", "search", "for", "{e}"],
+];
+
+/// Generates `n_sentences` token sequences mixing queries and statements.
+pub fn pretraining_corpus(kb: &KnowledgeBase, n_sentences: usize, seed: u64) -> Vec<Vec<String>> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let generator = QueryGenerator::new(kb);
+    let mut corpus = Vec::with_capacity(n_sentences);
+    for _ in 0..n_sentences {
+        if rng.gen_bool(0.7) {
+            let force_ambiguous = rng.gen_bool(0.1);
+            corpus.push(generator.generate(&mut rng, force_ambiguous).tokens);
+        } else {
+            let template = STATEMENT_TEMPLATES[rng.gen_range(0..STATEMENT_TEMPLATES.len())];
+            let entity = kb.entity(rng.gen_range(0..kb.len()));
+            let alias = &entity.aliases[rng.gen_range(0..entity.aliases.len())];
+            let mut sentence = Vec::new();
+            for &word in template {
+                if word == "{e}" {
+                    sentence.extend(alias.split(' ').map(str::to_string));
+                } else {
+                    sentence.push(word.to_string());
+                }
+            }
+            corpus.push(sentence);
+        }
+    }
+    corpus
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_has_requested_size() {
+        let kb = KnowledgeBase::standard();
+        let corpus = pretraining_corpus(&kb, 100, 1);
+        assert_eq!(corpus.len(), 100);
+        assert!(corpus.iter().all(|s| !s.is_empty() && s.len() <= 16));
+    }
+
+    #[test]
+    fn corpus_mixes_queries_and_statements() {
+        let kb = KnowledgeBase::standard();
+        let corpus = pretraining_corpus(&kb, 300, 2);
+        let has_question = corpus.iter().any(|s| s[0] == "how" || s[0] == "what" || s[0] == "who");
+        let has_statement = corpus.iter().any(|s| s.contains(&"news".to_string()));
+        assert!(has_question && has_statement);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let kb = KnowledgeBase::standard();
+        assert_eq!(pretraining_corpus(&kb, 50, 9), pretraining_corpus(&kb, 50, 9));
+    }
+}

@@ -1,0 +1,236 @@
+//! A small knowledge base of entities backing the synthetic factoid
+//! workload (the stand-in for the paper's production knowledge graph).
+//!
+//! Ambiguous aliases ("washington", "paris", "apple", ...) map to several
+//! entities with an explicit *sense priority*; queries whose correct reading
+//! is a non-default sense form the "complex disambiguation" slice the paper
+//! highlights (§2.2: a production system improved such a slice by >50 F1).
+
+use std::collections::BTreeMap;
+
+/// Entity type labels used by the `EntityType` bitvector task.
+pub const ENTITY_TYPES: [&str; 6] = ["person", "country", "city", "state", "food", "organization"];
+
+/// One knowledge-base entity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entity {
+    /// Stable external id (e.g. `george_washington`).
+    pub id: String,
+    /// Types from [`ENTITY_TYPES`].
+    pub types: Vec<&'static str>,
+    /// Surface forms (lowercase, space-separated tokens).
+    pub aliases: Vec<String>,
+}
+
+impl Entity {
+    /// True if the entity carries the given type.
+    pub fn has_type(&self, t: &str) -> bool {
+        self.types.contains(&t)
+    }
+}
+
+/// The knowledge base: entities plus an alias index with sense priorities.
+#[derive(Debug, Clone, Default)]
+pub struct KnowledgeBase {
+    entities: Vec<Entity>,
+    /// alias -> `(rank, entity index)`, kept sorted by rank (default sense
+    /// first).
+    by_alias: BTreeMap<String, Vec<(u8, usize)>>,
+}
+
+impl KnowledgeBase {
+    /// Creates an empty knowledge base.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an entity with `(alias, rank)` surface forms — lower rank
+    /// means more-default sense for that alias. Returns the entity index.
+    ///
+    /// # Panics
+    /// Panics on an unknown entity type.
+    pub fn add(&mut self, id: &str, types: &[&'static str], aliases: &[(&str, u8)]) -> usize {
+        for t in types {
+            assert!(ENTITY_TYPES.contains(t), "unknown entity type '{t}'");
+        }
+        let idx = self.entities.len();
+        self.entities.push(Entity {
+            id: id.to_string(),
+            types: types.to_vec(),
+            aliases: aliases.iter().map(|(a, _)| a.to_string()).collect(),
+        });
+        for (alias, rank) in aliases {
+            let senses = self.by_alias.entry(alias.to_string()).or_default();
+            let pos = senses.iter().position(|(r, _)| *r > *rank).unwrap_or(senses.len());
+            senses.insert(pos, (*rank, idx));
+        }
+        idx
+    }
+
+    /// Number of entities.
+    pub fn len(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// True when the knowledge base has no entities.
+    pub fn is_empty(&self) -> bool {
+        self.entities.is_empty()
+    }
+
+    /// Entity by index.
+    pub fn entity(&self, idx: usize) -> &Entity {
+        &self.entities[idx]
+    }
+
+    /// All entities.
+    pub fn entities(&self) -> &[Entity] {
+        &self.entities
+    }
+
+    /// Entity indices for an alias, default sense first.
+    pub fn senses(&self, alias: &str) -> Vec<usize> {
+        self.by_alias
+            .get(alias)
+            .map(|v| v.iter().map(|(_, idx)| *idx).collect())
+            .unwrap_or_default()
+    }
+
+    /// Aliases with more than one sense, sorted.
+    pub fn ambiguous_aliases(&self) -> Vec<&str> {
+        self.by_alias
+            .iter()
+            .filter(|(_, senses)| senses.len() > 1)
+            .map(|(alias, _)| alias.as_str())
+            .collect()
+    }
+
+    /// Entity indices having a given type.
+    pub fn with_type(&self, t: &str) -> Vec<usize> {
+        (0..self.entities.len()).filter(|&i| self.entities[i].has_type(t)).collect()
+    }
+
+    /// The standard workload knowledge base: ~50 entities across people,
+    /// countries, cities, states, foods and organizations, with six
+    /// deliberately ambiguous aliases.
+    pub fn standard() -> Self {
+        let mut kb = Self::new();
+        // People. "washington", "paris", "lincoln" participate in
+        // ambiguities; ranks define the default reading of each alias.
+        kb.add("george_washington", &["person"], &[("george washington", 0), ("washington", 0)]);
+        kb.add("abraham_lincoln", &["person"], &[("abraham lincoln", 0), ("lincoln", 0)]);
+        kb.add("donald_trump", &["person"], &[("donald trump", 0), ("trump", 0)]);
+        kb.add("barack_obama", &["person"], &[("barack obama", 0), ("obama", 0)]);
+        kb.add("emmanuel_macron", &["person"], &[("emmanuel macron", 0), ("macron", 0)]);
+        kb.add("lebron_james", &["person"], &[("lebron james", 0), ("lebron", 0)]);
+        kb.add("lionel_messi", &["person"], &[("lionel messi", 0), ("messi", 0)]);
+        kb.add("serena_williams", &["person"], &[("serena williams", 0), ("serena", 0)]);
+        kb.add("marie_curie", &["person"], &[("marie curie", 0), ("curie", 0)]);
+        kb.add("albert_einstein", &["person"], &[("albert einstein", 0), ("einstein", 0)]);
+        kb.add("paris_hilton", &["person"], &[("paris hilton", 0), ("paris", 1)]);
+        // Countries.
+        kb.add("united_states", &["country"], &[("united states", 0), ("america", 0), ("usa", 0)]);
+        kb.add("france", &["country"], &[("france", 0)]);
+        kb.add("germany", &["country"], &[("germany", 0)]);
+        kb.add("japan", &["country"], &[("japan", 0)]);
+        kb.add("brazil", &["country"], &[("brazil", 0)]);
+        kb.add("india", &["country"], &[("india", 0)]);
+        kb.add("egypt", &["country"], &[("egypt", 0)]);
+        kb.add("canada", &["country"], &[("canada", 0)]);
+        kb.add("australia", &["country"], &[("australia", 0)]);
+        kb.add("mexico", &["country"], &[("mexico", 0)]);
+        kb.add("georgia_country", &["country"], &[("georgia", 0)]);
+        // Cities.
+        kb.add("washington_dc", &["city"], &[("washington dc", 0), ("washington", 1)]);
+        kb.add("paris_city", &["city"], &[("paris", 0)]);
+        kb.add("berlin", &["city"], &[("berlin", 0)]);
+        kb.add("tokyo", &["city"], &[("tokyo", 0)]);
+        kb.add("brasilia", &["city"], &[("brasilia", 0)]);
+        kb.add("new_delhi", &["city"], &[("new delhi", 0), ("delhi", 0)]);
+        kb.add("cairo", &["city"], &[("cairo", 0)]);
+        kb.add("ottawa", &["city"], &[("ottawa", 0)]);
+        kb.add("canberra", &["city"], &[("canberra", 0)]);
+        kb.add("mexico_city", &["city"], &[("mexico city", 0), ("mexico", 1)]);
+        kb.add("olympia", &["city"], &[("olympia", 0)]);
+        kb.add("atlanta", &["city"], &[("atlanta", 0)]);
+        kb.add("austin", &["city"], &[("austin", 0)]);
+        kb.add("sacramento", &["city"], &[("sacramento", 0)]);
+        kb.add("lincoln_city", &["city"], &[("lincoln city", 0), ("lincoln", 1)]);
+        kb.add("tbilisi", &["city"], &[("tbilisi", 0)]);
+        // States.
+        kb.add("washington_state", &["state"], &[("washington state", 0), ("washington", 2)]);
+        kb.add("texas", &["state"], &[("texas", 0)]);
+        kb.add("california", &["state"], &[("california", 0)]);
+        kb.add("georgia_state", &["state"], &[("georgia", 1)]);
+        // Foods.
+        kb.add("apple_food", &["food"], &[("apple", 1)]);
+        kb.add("banana", &["food"], &[("banana", 0)]);
+        kb.add("pizza", &["food"], &[("pizza", 0)]);
+        kb.add("rice", &["food"], &[("rice", 0)]);
+        kb.add("cheese", &["food"], &[("cheese", 0)]);
+        kb.add("avocado", &["food"], &[("avocado", 0)]);
+        // Organizations.
+        kb.add("apple_inc", &["organization"], &[("apple", 0)]);
+        kb
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_kb_is_populated() {
+        let kb = KnowledgeBase::standard();
+        assert!(kb.len() >= 45, "{} entities", kb.len());
+        assert!(!kb.with_type("person").is_empty());
+        assert!(!kb.with_type("food").is_empty());
+    }
+
+    #[test]
+    fn washington_sense_priority() {
+        let kb = KnowledgeBase::standard();
+        let senses = kb.senses("washington");
+        assert_eq!(senses.len(), 3);
+        assert_eq!(kb.entity(senses[0]).id, "george_washington");
+        assert_eq!(kb.entity(senses[1]).id, "washington_dc");
+        assert_eq!(kb.entity(senses[2]).id, "washington_state");
+    }
+
+    #[test]
+    fn apple_defaults_to_organization() {
+        let kb = KnowledgeBase::standard();
+        let senses = kb.senses("apple");
+        assert_eq!(kb.entity(senses[0]).id, "apple_inc");
+        assert_eq!(kb.entity(senses[1]).id, "apple_food");
+    }
+
+    #[test]
+    fn ambiguous_aliases_found() {
+        let kb = KnowledgeBase::standard();
+        let amb = kb.ambiguous_aliases();
+        for a in ["washington", "paris", "georgia", "lincoln", "mexico", "apple"] {
+            assert!(amb.contains(&a), "missing ambiguity '{a}'");
+        }
+    }
+
+    #[test]
+    fn unknown_alias_has_no_senses() {
+        let kb = KnowledgeBase::standard();
+        assert!(kb.senses("narnia").is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown entity type")]
+    fn bad_type_rejected() {
+        let mut kb = KnowledgeBase::new();
+        kb.add("x", &["alien"], &[("x", 0)]);
+    }
+
+    #[test]
+    fn types_and_lookup() {
+        let kb = KnowledgeBase::standard();
+        let idx = kb.senses("tokyo")[0];
+        assert!(kb.entity(idx).has_type("city"));
+        assert!(!kb.entity(idx).has_type("person"));
+    }
+}

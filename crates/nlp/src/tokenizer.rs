@@ -1,0 +1,75 @@
+//! A small deterministic tokenizer for the synthetic workload.
+
+/// Lowercases and splits text into word tokens; punctuation characters
+/// become their own tokens; apostrophes are kept inside words.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut word = String::new();
+    for ch in text.chars() {
+        if ch.is_alphanumeric() || ch == '\'' || ch == '_' {
+            for lower in ch.to_lowercase() {
+                word.push(lower);
+            }
+        } else {
+            if !word.is_empty() {
+                out.push(std::mem::take(&mut word));
+            }
+            if !ch.is_whitespace() {
+                out.push(ch.to_string());
+            }
+        }
+    }
+    if !word.is_empty() {
+        out.push(word);
+    }
+    out
+}
+
+/// Joins tokens back into a display string (spaces between word tokens,
+/// punctuation attached to the previous token).
+pub fn detokenize(tokens: &[String]) -> String {
+    let mut out = String::new();
+    for (i, tok) in tokens.iter().enumerate() {
+        let is_punct = tok.chars().all(|c| !c.is_alphanumeric() && c != '\'' && c != '_');
+        if i > 0 && !is_punct {
+            out.push(' ');
+        }
+        out.push_str(tok);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_tokenization() {
+        assert_eq!(
+            tokenize("How tall is the President?"),
+            vec!["how", "tall", "is", "the", "president", "?"]
+        );
+    }
+
+    #[test]
+    fn apostrophes_stay_in_words() {
+        assert_eq!(tokenize("who is obama's wife"), vec!["who", "is", "obama's", "wife"]);
+    }
+
+    #[test]
+    fn empty_and_whitespace() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("   \t\n").is_empty());
+    }
+
+    #[test]
+    fn numbers_kept() {
+        assert_eq!(tokenize("top 10 foods"), vec!["top", "10", "foods"]);
+    }
+
+    #[test]
+    fn detokenize_roundtrips_simple_text() {
+        let toks = tokenize("how tall is washington ?");
+        assert_eq!(detokenize(&toks), "how tall is washington?");
+    }
+}

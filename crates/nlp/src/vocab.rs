@@ -1,0 +1,141 @@
+//! Token and entity vocabularies mapping strings to dense ids.
+
+use std::collections::BTreeMap;
+
+/// Reserved id for padding.
+pub const PAD: usize = 0;
+/// Reserved id for unknown tokens.
+pub const UNK: usize = 1;
+/// Reserved id for the mask token used by masked-token pretraining.
+pub const MASK: usize = 2;
+
+/// A frozen string-to-id vocabulary with `<pad>`, `<unk>`, `<mask>`
+/// reserved at ids 0..3.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Vocab {
+    by_token: BTreeMap<String, usize>,
+    tokens: Vec<String>,
+}
+
+impl Vocab {
+    /// Builds a vocabulary from token occurrences, keeping tokens appearing
+    /// at least `min_count` times. Ordering is deterministic (by count
+    /// descending, then lexicographic).
+    pub fn build<'a>(tokens: impl IntoIterator<Item = &'a str>, min_count: usize) -> Self {
+        let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+        for t in tokens {
+            *counts.entry(t).or_default() += 1;
+        }
+        let mut entries: Vec<(&str, usize)> =
+            counts.into_iter().filter(|(_, c)| *c >= min_count).collect();
+        entries.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        let mut vocab = Self::reserved();
+        for (tok, _) in entries {
+            vocab.push(tok);
+        }
+        vocab
+    }
+
+    /// A vocabulary containing only the reserved tokens.
+    pub fn reserved() -> Self {
+        let mut v = Self { by_token: BTreeMap::new(), tokens: Vec::new() };
+        for special in ["<pad>", "<unk>", "<mask>"] {
+            v.push(special);
+        }
+        v
+    }
+
+    fn push(&mut self, token: &str) -> usize {
+        if let Some(&id) = self.by_token.get(token) {
+            return id;
+        }
+        let id = self.tokens.len();
+        self.tokens.push(token.to_string());
+        self.by_token.insert(token.to_string(), id);
+        id
+    }
+
+    /// Adds a token if absent, returning its id (used for entity vocabs).
+    pub fn intern(&mut self, token: &str) -> usize {
+        self.push(token)
+    }
+
+    /// Number of entries including reserved tokens.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// True when only reserved tokens exist.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.len() <= 3
+    }
+
+    /// The id for a token, or [`UNK`].
+    pub fn id(&self, token: &str) -> usize {
+        self.by_token.get(token).copied().unwrap_or(UNK)
+    }
+
+    /// The token for an id.
+    pub fn token(&self, id: usize) -> Option<&str> {
+        self.tokens.get(id).map(String::as_str)
+    }
+
+    /// Encodes a token sequence to ids (unknowns map to [`UNK`]).
+    pub fn encode(&self, tokens: &[String]) -> Vec<usize> {
+        tokens.iter().map(|t| self.id(t)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserved_ids_are_stable() {
+        let v = Vocab::reserved();
+        assert_eq!(v.id("<pad>"), PAD);
+        assert_eq!(v.id("<unk>"), UNK);
+        assert_eq!(v.id("<mask>"), MASK);
+        assert_eq!(v.len(), 3);
+    }
+
+    #[test]
+    fn build_orders_by_frequency() {
+        let toks = ["b", "a", "a", "a", "b", "c"];
+        let v = Vocab::build(toks.iter().copied(), 1);
+        assert_eq!(v.id("a"), 3);
+        assert_eq!(v.id("b"), 4);
+        assert_eq!(v.id("c"), 5);
+    }
+
+    #[test]
+    fn min_count_prunes() {
+        let toks = ["a", "a", "rare"];
+        let v = Vocab::build(toks.iter().copied(), 2);
+        assert_eq!(v.id("rare"), UNK);
+        assert_eq!(v.len(), 4);
+    }
+
+    #[test]
+    fn encode_maps_unknowns() {
+        let v = Vocab::build(["hello"].iter().copied(), 1);
+        let ids = v.encode(&["hello".into(), "world".into()]);
+        assert_eq!(ids, vec![3, UNK]);
+    }
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut v = Vocab::reserved();
+        let a = v.intern("E1");
+        let b = v.intern("E1");
+        assert_eq!(a, b);
+        assert_eq!(v.token(a), Some("E1"));
+    }
+
+    #[test]
+    fn deterministic_tie_break() {
+        let a = Vocab::build(["x", "y"].iter().copied(), 1);
+        let b = Vocab::build(["y", "x"].iter().copied(), 1);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,504 @@
+//! Assembling full Overton datasets: queries + weak sources + tags.
+//!
+//! This module is the stand-in for a production log pipeline: it emits a
+//! [`Dataset`] whose records carry multi-source weak supervision with
+//! *controlled* accuracy/coverage, curated gold dev/test splits, and slice
+//! tags — the knobs the paper's evaluation varies (training-set scale,
+//! weak-supervision share, resource level).
+
+use crate::kb::{KnowledgeBase, ENTITY_TYPES};
+use crate::queries::{GeneratedQuery, QueryGenerator, INTENTS, POS_TAGS, VAGUE_INTENTS};
+use overton_store::{
+    Dataset, PayloadValue, Record, Schema, SetElement, TaskLabel, GOLD_SOURCE, TAG_DEV, TAG_TEST,
+    TAG_TRAIN,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The schema of the synthetic factoid product (the paper's Figure 2a
+/// schema, with the workload's label vocabularies filled in).
+pub fn workload_schema() -> Schema {
+    let intents: Vec<String> = INTENTS.iter().map(|s| s.to_string()).collect();
+    let pos: Vec<String> = POS_TAGS.iter().map(|s| s.to_string()).collect();
+    let types: Vec<String> = ENTITY_TYPES.iter().map(|s| s.to_string()).collect();
+    let json = serde_json::json!({
+        "payloads": {
+            "tokens":   { "type": "sequence", "max_length": 16 },
+            "query":    { "type": "singleton", "base": ["tokens"] },
+            "entities": { "type": "set", "range": "tokens" }
+        },
+        "tasks": {
+            "POS":        { "payload": "tokens", "type": "multiclass", "classes": pos },
+            "EntityType": { "payload": "tokens", "type": "bitvector", "labels": types },
+            "Intent":     { "payload": "query", "type": "multiclass", "classes": intents },
+            "IntentArg":  { "payload": "entities", "type": "select" }
+        }
+    });
+    Schema::from_json(&json.to_string()).expect("workload schema is valid")
+}
+
+/// A weak source's quality knobs.
+#[derive(Debug, Clone)]
+pub struct SourceSpec {
+    /// Source name (lineage tag in the data file).
+    pub name: String,
+    /// Probability a non-abstaining vote is correct.
+    pub accuracy: f64,
+    /// Probability of voting at all.
+    pub coverage: f64,
+    /// Whether errors are per-record coin flips (crowd workers) rather
+    /// than deterministic per text stratum (labeling functions). Mixing
+    /// both failure modes matters: stochastic sources wash out with scale,
+    /// deterministic ones do not.
+    pub stochastic: bool,
+}
+
+impl SourceSpec {
+    /// A deterministic (LF-style) source.
+    pub fn new(name: &str, accuracy: f64, coverage: f64) -> Self {
+        assert!((0.0..=1.0).contains(&accuracy), "accuracy out of range");
+        assert!((0.0..=1.0).contains(&coverage), "coverage out of range");
+        Self { name: name.to_string(), accuracy, coverage, stochastic: false }
+    }
+
+    /// A per-record stochastic (crowd-style) source.
+    pub fn stochastic(name: &str, accuracy: f64, coverage: f64) -> Self {
+        Self { stochastic: true, ..Self::new(name, accuracy, coverage) }
+    }
+}
+
+/// Configuration of a synthetic product workload.
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// Training records.
+    pub n_train: usize,
+    /// Development records (gold-labeled).
+    pub n_dev: usize,
+    /// Test records (gold-labeled).
+    pub n_test: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Fraction of queries drawn from the complex-disambiguation pool.
+    pub slice_rate: f64,
+    /// Fraction of *vague* queries whose intent is not determined by the
+    /// text (the irreducible error floor of a real product).
+    pub vague_rate: f64,
+    /// Fraction of *train* records that also carry gold labels (annotator
+    /// budget; dev/test are always gold).
+    pub gold_train_fraction: f64,
+    /// Weak sources for the Intent task.
+    pub intent_sources: Vec<SourceSpec>,
+    /// Weak sources for the POS task.
+    pub pos_sources: Vec<SourceSpec>,
+    /// Weak sources for the EntityType task.
+    pub type_sources: Vec<SourceSpec>,
+    /// Weak sources for the IntentArg task. The first source named
+    /// `lf_default_sense` deterministically votes candidate 0 — right on
+    /// regular queries, systematically wrong on the slice.
+    pub arg_sources: Vec<SourceSpec>,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        Self {
+            n_train: 2000,
+            n_dev: 300,
+            n_test: 600,
+            seed: 0,
+            slice_rate: 0.06,
+            vague_rate: 0.05,
+            gold_train_fraction: 0.0,
+            intent_sources: vec![
+                SourceSpec::new("lf_keyword", 0.88, 0.95),
+                SourceSpec::new("lf_pattern", 0.72, 0.80),
+                SourceSpec::stochastic("crowd", 0.78, 0.35),
+            ],
+            pos_sources: vec![
+                SourceSpec::new("spacy_sim", 0.90, 1.0),
+                SourceSpec::new("lf_lexicon", 0.75, 0.90),
+            ],
+            type_sources: vec![
+                SourceSpec::new("eproj", 0.85, 0.95),
+                SourceSpec::new("lf_gazetteer", 0.72, 0.85),
+            ],
+            arg_sources: vec![
+                SourceSpec::new("lf_default_sense", 1.0, 1.0),
+                SourceSpec::new("lf_heuristic", 0.86, 0.9),
+                SourceSpec::stochastic("crowd_arg", 0.9, 0.4),
+            ],
+        }
+    }
+}
+
+/// Generates a complete dataset for the configured product.
+pub fn generate_workload(config: &WorkloadConfig) -> Dataset {
+    let kb = KnowledgeBase::standard();
+    generate_workload_with_kb(config, &kb)
+}
+
+/// Deterministic labeling-function behaviour: what a source emits for one
+/// *stratum* — a (template, mention) pair. Real keyword/pattern LFs are
+/// pure functions of the text, so they are consistently right or wrong on
+/// ALL queries of a stratum; different sources misfire on different strata
+/// and toward different wrong intents, which is exactly the structure the
+/// label model exploits and a single-source system cannot escape.
+fn lf_intent_label(
+    workload_seed: u64,
+    source_index: usize,
+    spec: &SourceSpec,
+    query: &GeneratedQuery,
+) -> &'static str {
+    // Stable stratum hash: (seed, source, template, mention).
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ workload_seed;
+    let mut mix = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    mix(source_index as u64 + 1);
+    mix(query.template_id as u64 + 1);
+    for b in query.mention_text().bytes() {
+        mix(u64::from(b));
+    }
+    let mut rng = SmallRng::seed_from_u64(h);
+    let gold = query.intent;
+    if query.template_id >= crate::queries::VAGUE_TEMPLATE_OFFSET {
+        // Vague queries: the LF emits a fixed guess for the stratum.
+        return VAGUE_INTENTS[rng.gen_range(0..VAGUE_INTENTS.len())];
+    }
+    if rng.gen_bool(spec.accuracy) {
+        gold
+    } else if rng.gen_bool(0.15) {
+        // Misfire toward the naturally confusable intent...
+        confusable_intent(gold)
+    } else {
+        // ...or toward this source's own quirk on this stratum.
+        loop {
+            let w = INTENTS[rng.gen_range(0..INTENTS.len())];
+            if w != gold {
+                break w;
+            }
+        }
+    }
+}
+
+/// Like [`generate_workload`] but over a caller-provided knowledge base.
+pub fn generate_workload_with_kb(config: &WorkloadConfig, kb: &KnowledgeBase) -> Dataset {
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let generator = QueryGenerator::new(kb);
+    let mut dataset = Dataset::new(workload_schema());
+    let total = config.n_train + config.n_dev + config.n_test;
+    for i in 0..total {
+        let split = if i < config.n_train {
+            TAG_TRAIN
+        } else if i < config.n_train + config.n_dev {
+            TAG_DEV
+        } else {
+            TAG_TEST
+        };
+        let query = if rng.gen_bool(config.vague_rate) {
+            generator.generate_vague(&mut rng)
+        } else {
+            let force_ambiguous = rng.gen_bool(config.slice_rate);
+            generator.generate(&mut rng, force_ambiguous)
+        };
+        let with_gold = split != TAG_TRAIN || rng.gen_bool(config.gold_train_fraction);
+        let record = build_record(kb, &query, split, with_gold, config, &mut rng);
+        dataset.push_unchecked(record);
+    }
+    debug_assert!(
+        dataset.records().iter().all(|r| r.validate(dataset.schema()).is_ok()),
+        "generated records must validate"
+    );
+    dataset
+}
+
+fn build_record(
+    kb: &KnowledgeBase,
+    query: &GeneratedQuery,
+    split: &str,
+    with_gold: bool,
+    config: &WorkloadConfig,
+    rng: &mut SmallRng,
+) -> Record {
+    let mut record = Record::new()
+        .with_payload("tokens", PayloadValue::Sequence(query.tokens.clone()))
+        .with_payload("query", PayloadValue::Singleton(query.text()))
+        .with_payload(
+            "entities",
+            PayloadValue::Set(
+                query
+                    .candidates
+                    .iter()
+                    .map(|c| SetElement { id: kb.entity(c.entity).id.clone(), span: c.span })
+                    .collect(),
+            ),
+        )
+        .with_tag(split);
+    for slice in &query.slices {
+        record = record.with_slice(slice);
+    }
+
+    // Gold labels (dev/test always; train per annotator budget).
+    if with_gold {
+        record = record
+            .with_label("Intent", GOLD_SOURCE, TaskLabel::MulticlassOne(query.intent.into()))
+            .with_label(
+                "POS",
+                GOLD_SOURCE,
+                TaskLabel::MulticlassSeq(query.pos.iter().map(|s| s.to_string()).collect()),
+            )
+            .with_label(
+                "EntityType",
+                GOLD_SOURCE,
+                TaskLabel::BitvectorSeq(
+                    query
+                        .token_types
+                        .iter()
+                        .map(|ts| ts.iter().map(|s| s.to_string()).collect())
+                        .collect(),
+                ),
+            )
+            .with_label("IntentArg", GOLD_SOURCE, TaskLabel::Select(query.gold_arg));
+    }
+
+    // Weak supervision only on training data (dev/test are curated).
+    if split != TAG_TRAIN {
+        return record;
+    }
+
+    for (j, spec) in config.intent_sources.iter().enumerate() {
+        if !rng.gen_bool(spec.coverage) {
+            continue;
+        }
+        let label = if spec.stochastic {
+            // Crowd-style: independent per-record errors.
+            if rng.gen_bool(spec.accuracy) {
+                query.intent.to_string()
+            } else {
+                random_other(&INTENTS, query.intent, rng).to_string()
+            }
+        } else if rng.gen_bool(0.03) {
+            // LF-style: a fixed function of its stratum, plus a small
+            // per-record slip rate (OCR-style noise keeps sources from
+            // being perfectly deterministic).
+            random_other(&INTENTS, query.intent, rng).to_string()
+        } else {
+            lf_intent_label(config.seed, j, spec, query).to_string()
+        };
+        record = record.with_label("Intent", &spec.name, TaskLabel::MulticlassOne(label));
+    }
+
+    for spec in &config.pos_sources {
+        if !rng.gen_bool(spec.coverage) {
+            continue;
+        }
+        let tags: Vec<String> = query
+            .pos
+            .iter()
+            .map(|&gold| {
+                if rng.gen_bool(spec.accuracy) {
+                    gold.to_string()
+                } else {
+                    random_other(&POS_TAGS, gold, rng).to_string()
+                }
+            })
+            .collect();
+        record = record.with_label("POS", &spec.name, TaskLabel::MulticlassSeq(tags));
+    }
+
+    for spec in &config.type_sources {
+        if !rng.gen_bool(spec.coverage) {
+            continue;
+        }
+        let rows: Vec<Vec<String>> = query
+            .token_types
+            .iter()
+            .map(|gold| {
+                if rng.gen_bool(spec.accuracy) {
+                    gold.iter().map(|s| s.to_string()).collect()
+                } else {
+                    // Corruption: a random single type, or nothing.
+                    if rng.gen_bool(0.5) {
+                        vec![ENTITY_TYPES[rng.gen_range(0..ENTITY_TYPES.len())].to_string()]
+                    } else {
+                        Vec::new()
+                    }
+                }
+            })
+            .collect();
+        record = record.with_label("EntityType", &spec.name, TaskLabel::BitvectorSeq(rows));
+    }
+
+    let n_candidates = query.candidates.len();
+    for spec in &config.arg_sources {
+        if !rng.gen_bool(spec.coverage) {
+            continue;
+        }
+        let choice = if spec.name == "lf_default_sense" {
+            // Deterministic heuristic: always the default sense. Correct on
+            // regular queries by construction, wrong on the slice.
+            0
+        } else if rng.gen_bool(spec.accuracy) {
+            query.gold_arg
+        } else if n_candidates > 1 {
+            let mut wrong = rng.gen_range(0..n_candidates - 1);
+            if wrong >= query.gold_arg {
+                wrong += 1;
+            }
+            wrong
+        } else {
+            0
+        };
+        record = record.with_label("IntentArg", &spec.name, TaskLabel::Select(choice));
+    }
+
+    record
+}
+
+/// The intent a keyword heuristic most plausibly confuses with `intent`
+/// (shared leading tokens in the query templates).
+fn confusable_intent(intent: &str) -> &'static str {
+    match intent {
+        "Height" => "Age",
+        "Age" => "Height",
+        "Capital" => "President",
+        "President" => "Capital",
+        "Population" => "Calories",
+        "Calories" => "Population",
+        _ => "Height", // Spouse and anything else
+    }
+}
+
+fn random_other<'x>(vocab: &[&'x str], not: &str, rng: &mut SmallRng) -> &'x str {
+    loop {
+        let pick = vocab[rng.gen_range(0..vocab.len())];
+        if pick != not {
+            return pick;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use overton_store::SLICE_PREFIX;
+
+    fn small_config() -> WorkloadConfig {
+        WorkloadConfig { n_train: 200, n_dev: 40, n_test: 60, seed: 42, ..Default::default() }
+    }
+
+    #[test]
+    fn generates_requested_splits() {
+        let ds = generate_workload(&small_config());
+        assert_eq!(ds.len(), 300);
+        assert_eq!(ds.train_indices().len(), 200);
+        assert_eq!(ds.dev_indices().len(), 40);
+        assert_eq!(ds.test_indices().len(), 60);
+    }
+
+    #[test]
+    fn all_records_validate_against_schema() {
+        let ds = generate_workload(&small_config());
+        for r in ds.records() {
+            r.validate(ds.schema()).unwrap();
+        }
+    }
+
+    #[test]
+    fn dev_and_test_have_gold_everywhere() {
+        let ds = generate_workload(&small_config());
+        for &i in ds.dev_indices().iter().chain(ds.test_indices().iter()) {
+            let r = &ds.records()[i];
+            for task in ["Intent", "POS", "EntityType", "IntentArg"] {
+                assert!(r.gold(task).is_some(), "missing gold {task}");
+            }
+        }
+    }
+
+    #[test]
+    fn train_is_weak_only_by_default() {
+        let ds = generate_workload(&small_config());
+        let with_gold = ds
+            .train_indices()
+            .iter()
+            .filter(|&&i| ds.records()[i].gold("Intent").is_some())
+            .count();
+        assert_eq!(with_gold, 0);
+        // But weak supervision is plentiful.
+        let with_weak = ds
+            .train_indices()
+            .iter()
+            .filter(|&&i| ds.records()[i].weak_sources("Intent").next().is_some())
+            .count();
+        assert!(with_weak > 150, "only {with_weak} records have weak Intent labels");
+    }
+
+    #[test]
+    fn gold_fraction_controls_annotator_budget() {
+        let config = WorkloadConfig { gold_train_fraction: 0.5, ..small_config() };
+        let ds = generate_workload(&config);
+        let with_gold = ds
+            .train_indices()
+            .iter()
+            .filter(|&&i| ds.records()[i].gold("Intent").is_some())
+            .count();
+        assert!((60..140).contains(&with_gold), "got {with_gold} gold train records");
+    }
+
+    #[test]
+    fn slice_rate_produces_slices() {
+        let ds = generate_workload(&small_config());
+        let sliced = ds.in_slice("complex-disambiguation").len();
+        assert!(sliced > 5, "only {sliced} slice records");
+        assert!(
+            ds.slice_names().iter().any(|s| s == "complex-disambiguation"),
+            "slices: {:?}",
+            ds.slice_names()
+        );
+        // Tag form is the canonical slice prefix.
+        let r = &ds.records()[ds.in_slice("complex-disambiguation")[0]];
+        assert!(r.tags.iter().any(|t| t.starts_with(SLICE_PREFIX)));
+    }
+
+    #[test]
+    fn default_sense_source_is_wrong_on_slice() {
+        let ds = generate_workload(&WorkloadConfig {
+            n_train: 600,
+            slice_rate: 0.3,
+            ..small_config()
+        });
+        let mut slice_wrong = 0usize;
+        let mut slice_total = 0usize;
+        for &i in &ds.train_indices() {
+            let r = &ds.records()[i];
+            if !r.in_slice("complex-disambiguation") {
+                continue;
+            }
+            if let Some(TaskLabel::Select(v)) =
+                r.tasks.get("IntentArg").and_then(|m| m.get("lf_default_sense"))
+            {
+                slice_total += 1;
+                // Slice records have gold_arg != 0 while the LF votes 0.
+                if *v == 0 {
+                    slice_wrong += 1;
+                }
+            }
+        }
+        assert!(slice_total > 10);
+        assert_eq!(slice_wrong, slice_total, "default-sense LF must be systematically wrong");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = generate_workload(&small_config());
+        let b = generate_workload(&small_config());
+        assert_eq!(a.records(), b.records());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate_workload(&small_config());
+        let b = generate_workload(&WorkloadConfig { seed: 43, ..small_config() });
+        assert_ne!(a.records(), b.records());
+    }
+}

@@ -1,0 +1,292 @@
+//! A schema plus its records: the "data file" an engineer edits.
+//!
+//! The paper's interface is deliberately file-shaped: the data file is
+//! JSON-lines so it stays human-readable and greppable (`jq`-able). All
+//! quality work — adding labeling functions, correcting labels, defining
+//! slices — happens by editing this file, never model code.
+
+use crate::error::{Result, StoreError};
+use crate::record::{Record, TAG_DEV, TAG_TEST, TAG_TRAIN};
+use crate::schema::Schema;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// An in-memory dataset: a [`Schema`] and the [`Record`]s conforming to it.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    schema: Schema,
+    records: Vec<Record>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset over a schema.
+    pub fn new(schema: Schema) -> Self {
+        Self { schema, records: Vec::new() }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// All records.
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when the dataset holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Validates, normalizes and appends a record.
+    pub fn push(&mut self, mut record: Record) -> Result<()> {
+        record.normalize_labels(&self.schema);
+        record.validate(&self.schema)?;
+        self.records.push(record);
+        Ok(())
+    }
+
+    /// Appends a record without validation (for trusted generators).
+    pub fn push_unchecked(&mut self, record: Record) {
+        self.records.push(record);
+    }
+
+    /// Record by index.
+    pub fn get(&self, idx: usize) -> Option<&Record> {
+        self.records.get(idx)
+    }
+
+    /// Mutable record access (engineers "refine labels in that slice").
+    pub fn get_mut(&mut self, idx: usize) -> Option<&mut Record> {
+        self.records.get_mut(idx)
+    }
+
+    /// Indices of records carrying `tag`.
+    pub fn tagged(&self, tag: &str) -> Vec<usize> {
+        self.records
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.has_tag(tag))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Indices of records in the named slice.
+    pub fn in_slice(&self, slice: &str) -> Vec<usize> {
+        self.records
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.in_slice(slice))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// All slice names present in the data, sorted.
+    pub fn slice_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .records
+            .iter()
+            .flat_map(|r| r.slices().map(str::to_string))
+            .collect();
+        names.sort();
+        names.dedup();
+        names
+    }
+
+    /// All tags present in the data, sorted.
+    pub fn tag_names(&self) -> Vec<String> {
+        let mut names: Vec<String> =
+            self.records.iter().flat_map(|r| r.tags.iter().cloned()).collect();
+        names.sort();
+        names.dedup();
+        names
+    }
+
+    /// Indices of the train split.
+    pub fn train_indices(&self) -> Vec<usize> {
+        self.tagged(TAG_TRAIN)
+    }
+
+    /// Indices of the dev split.
+    pub fn dev_indices(&self) -> Vec<usize> {
+        self.tagged(TAG_DEV)
+    }
+
+    /// Indices of the test split.
+    pub fn test_indices(&self) -> Vec<usize> {
+        self.tagged(TAG_TEST)
+    }
+
+    /// Names of all supervision sources appearing for `task`, sorted,
+    /// excluding gold.
+    pub fn sources_for_task(&self, task: &str) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .records
+            .iter()
+            .flat_map(|r| r.weak_sources(task).map(|(s, _)| s.to_string()))
+            .collect();
+        names.sort();
+        names.dedup();
+        names
+    }
+
+    /// Reads a dataset from a JSON-lines reader (one record per line; blank
+    /// lines are skipped). Every record is normalized and validated.
+    pub fn from_jsonl_reader(schema: Schema, reader: impl Read) -> Result<Self> {
+        let mut ds = Dataset::new(schema);
+        let mut line = String::new();
+        let mut reader = BufReader::new(reader);
+        let mut lineno = 0usize;
+        loop {
+            line.clear();
+            if reader.read_line(&mut line)? == 0 {
+                break;
+            }
+            lineno += 1;
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            let record = Record::from_json(trimmed).map_err(|e| {
+                StoreError::Validation(format!("line {lineno}: {e}"))
+            })?;
+            ds.push(record).map_err(|e| {
+                StoreError::Validation(format!("line {lineno}: {e}"))
+            })?;
+        }
+        Ok(ds)
+    }
+
+    /// Reads a dataset from a JSON-lines file.
+    pub fn from_jsonl_file(schema: Schema, path: impl AsRef<Path>) -> Result<Self> {
+        let file = std::fs::File::open(path)?;
+        Self::from_jsonl_reader(schema, file)
+    }
+
+    /// Writes the records as JSON-lines.
+    pub fn write_jsonl(&self, writer: impl Write) -> Result<()> {
+        let mut w = BufWriter::new(writer);
+        for r in &self.records {
+            writeln!(w, "{}", r.to_json())?;
+        }
+        w.flush()?;
+        Ok(())
+    }
+
+    /// Writes the records to a JSON-lines file.
+    pub fn write_jsonl_file(&self, path: impl AsRef<Path>) -> Result<()> {
+        let file = std::fs::File::create(path)?;
+        self.write_jsonl(file)
+    }
+
+    /// Splits off a new dataset containing only the given indices (cloned).
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        Dataset {
+            schema: self.schema.clone(),
+            records: indices.iter().map(|&i| self.records[i].clone()).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{PayloadValue, TaskLabel};
+    use crate::schema::example_schema;
+
+    fn tiny_dataset() -> Dataset {
+        let mut ds = Dataset::new(example_schema());
+        for (i, intent) in ["Height", "Age", "Height"].iter().enumerate() {
+            let r = Record::new()
+                .with_payload("query", PayloadValue::Singleton(format!("query {i}")))
+                .with_label("Intent", "weak1", TaskLabel::MulticlassOne(intent.to_string()))
+                .with_tag(if i < 2 { "train" } else { "test" });
+            ds.push(if i == 0 { r.with_slice("nutrition") } else { r }).unwrap();
+        }
+        ds
+    }
+
+    #[test]
+    fn push_validates() {
+        let mut ds = Dataset::new(example_schema());
+        let bad = Record::new().with_label(
+            "Intent",
+            "w",
+            TaskLabel::MulticlassOne("NotAClass".into()),
+        );
+        assert!(ds.push(bad).is_err());
+        assert!(ds.is_empty());
+    }
+
+    #[test]
+    fn splits_and_tags() {
+        let ds = tiny_dataset();
+        assert_eq!(ds.train_indices(), vec![0, 1]);
+        assert_eq!(ds.test_indices(), vec![2]);
+        assert_eq!(ds.dev_indices(), Vec::<usize>::new());
+        assert_eq!(ds.in_slice("nutrition"), vec![0]);
+        assert_eq!(ds.slice_names(), vec!["nutrition".to_string()]);
+        assert!(ds.tag_names().contains(&"train".to_string()));
+    }
+
+    #[test]
+    fn jsonl_roundtrip() {
+        let ds = tiny_dataset();
+        let mut buf = Vec::new();
+        ds.write_jsonl(&mut buf).unwrap();
+        let back = Dataset::from_jsonl_reader(example_schema(), buf.as_slice()).unwrap();
+        assert_eq!(back.len(), ds.len());
+        assert_eq!(back.records(), ds.records());
+    }
+
+    #[test]
+    fn jsonl_reports_line_numbers() {
+        let text = "{\"payloads\": {}}\nnot json\n";
+        let err = Dataset::from_jsonl_reader(example_schema(), text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let text = "\n{\"payloads\": {}}\n\n";
+        let ds = Dataset::from_jsonl_reader(example_schema(), text.as_bytes()).unwrap();
+        assert_eq!(ds.len(), 1);
+    }
+
+    #[test]
+    fn sources_for_task_sorted_unique() {
+        let mut ds = tiny_dataset();
+        let r = Record::new()
+            .with_label("Intent", "weak2", TaskLabel::MulticlassOne("Age".into()))
+            .with_label("Intent", "gold", TaskLabel::MulticlassOne("Age".into()));
+        ds.push(r).unwrap();
+        assert_eq!(ds.sources_for_task("Intent"), vec!["weak1".to_string(), "weak2".to_string()]);
+    }
+
+    #[test]
+    fn subset_clones_selected() {
+        let ds = tiny_dataset();
+        let sub = ds.subset(&[2, 0]);
+        assert_eq!(sub.len(), 2);
+        assert!(sub.records()[0].has_tag("test"));
+        assert!(sub.records()[1].in_slice("nutrition"));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let ds = tiny_dataset();
+        let dir = std::env::temp_dir().join("overton-store-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("data.jsonl");
+        ds.write_jsonl_file(&path).unwrap();
+        let back = Dataset::from_jsonl_file(example_schema(), &path).unwrap();
+        assert_eq!(back.records(), ds.records());
+        std::fs::remove_file(path).ok();
+    }
+}

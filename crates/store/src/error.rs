@@ -1,0 +1,56 @@
+//! Error type for the data layer.
+
+use std::fmt;
+
+/// Errors raised by schema parsing, record validation, datasets and the row
+/// store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The schema document is malformed.
+    Schema(String),
+    /// A record does not conform to the schema.
+    Validation(String),
+    /// A JSON document could not be parsed.
+    Json(serde_json::Error),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A binary row or row-store file is corrupt.
+    Corrupt(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Schema(msg) => write!(f, "schema error: {msg}"),
+            StoreError::Validation(msg) => write!(f, "record validation error: {msg}"),
+            StoreError::Json(e) => write!(f, "json error: {e}"),
+            StoreError::Io(e) => write!(f, "io error: {e}"),
+            StoreError::Corrupt(msg) => write!(f, "corrupt row store: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Json(e) => Some(e),
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<serde_json::Error> for StoreError {
+    fn from(e: serde_json::Error) -> Self {
+        StoreError::Json(e)
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, StoreError>;

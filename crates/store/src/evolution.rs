@@ -1,0 +1,199 @@
+//! Schema evolution: what changes between two schema versions, and whether
+//! deployed serving code survives them.
+//!
+//! The paper: "The schema changes very infrequently — many production
+//! services have not updated their schema in over a year." When it *does*
+//! change, the question is whether existing serving integrations break.
+//! Additive changes (new task, new payload, new class appended) are
+//! backward compatible; removals and in-place edits are not.
+
+use crate::schema::{Schema, TaskKind};
+
+/// One difference between two schemas.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemaChange {
+    /// A payload present in the old schema is gone.
+    PayloadRemoved(String),
+    /// A new payload was added (compatible).
+    PayloadAdded(String),
+    /// A payload's kind/base/range changed in place.
+    PayloadAltered(String),
+    /// A task present in the old schema is gone.
+    TaskRemoved(String),
+    /// A new task was added (compatible).
+    TaskAdded(String),
+    /// A task's payload binding or output type changed.
+    TaskAltered(String),
+    /// Classes were appended to a task's vocabulary (compatible).
+    ClassesAppended {
+        /// Task name.
+        task: String,
+        /// Number of appended classes.
+        added: usize,
+    },
+    /// A task's vocabulary was reordered, truncated or edited in place.
+    ClassesRewritten(String),
+}
+
+impl SchemaChange {
+    /// Whether serving code compiled against the old schema keeps working.
+    pub fn is_backward_compatible(&self) -> bool {
+        matches!(
+            self,
+            SchemaChange::PayloadAdded(_)
+                | SchemaChange::TaskAdded(_)
+                | SchemaChange::ClassesAppended { .. }
+        )
+    }
+}
+
+/// Computes the changes from `old` to `new`.
+pub fn diff_schemas(old: &Schema, new: &Schema) -> Vec<SchemaChange> {
+    let mut changes = Vec::new();
+    for (name, old_def) in &old.payloads {
+        match new.payloads.get(name) {
+            None => changes.push(SchemaChange::PayloadRemoved(name.clone())),
+            Some(new_def) if new_def != old_def => {
+                changes.push(SchemaChange::PayloadAltered(name.clone()))
+            }
+            _ => {}
+        }
+    }
+    for name in new.payloads.keys() {
+        if !old.payloads.contains_key(name) {
+            changes.push(SchemaChange::PayloadAdded(name.clone()));
+        }
+    }
+    for (name, old_def) in &old.tasks {
+        let Some(new_def) = new.tasks.get(name) else {
+            changes.push(SchemaChange::TaskRemoved(name.clone()));
+            continue;
+        };
+        if new_def.payload != old_def.payload {
+            changes.push(SchemaChange::TaskAltered(name.clone()));
+            continue;
+        }
+        match (&old_def.kind, &new_def.kind) {
+            (TaskKind::Select, TaskKind::Select) => {}
+            (
+                TaskKind::Multiclass { classes: old_classes },
+                TaskKind::Multiclass { classes: new_classes },
+            )
+            | (
+                TaskKind::Bitvector { labels: old_classes },
+                TaskKind::Bitvector { labels: new_classes },
+            ) => {
+                if old_classes == new_classes {
+                    // unchanged
+                } else if new_classes.len() > old_classes.len()
+                    && new_classes[..old_classes.len()] == old_classes[..]
+                {
+                    changes.push(SchemaChange::ClassesAppended {
+                        task: name.clone(),
+                        added: new_classes.len() - old_classes.len(),
+                    });
+                } else {
+                    changes.push(SchemaChange::ClassesRewritten(name.clone()));
+                }
+            }
+            _ => changes.push(SchemaChange::TaskAltered(name.clone())),
+        }
+    }
+    for name in new.tasks.keys() {
+        if !old.tasks.contains_key(name) {
+            changes.push(SchemaChange::TaskAdded(name.clone()));
+        }
+    }
+    changes
+}
+
+/// True when every change from `old` to `new` is backward compatible, i.e.
+/// a model compiled from `new` can replace one compiled from `old` without
+/// touching serving integrations.
+pub fn is_backward_compatible(old: &Schema, new: &Schema) -> bool {
+    diff_schemas(old, new).iter().all(SchemaChange::is_backward_compatible)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::example_schema;
+
+    #[test]
+    fn identical_schemas_have_no_changes() {
+        let s = example_schema();
+        assert!(diff_schemas(&s, &s).is_empty());
+        assert!(is_backward_compatible(&s, &s));
+    }
+
+    #[test]
+    fn appended_class_is_compatible() {
+        let old = example_schema();
+        let mut new = old.clone();
+        if let TaskKind::Multiclass { classes } = &mut new.tasks.get_mut("Intent").unwrap().kind {
+            classes.push("Weather".into());
+        }
+        let changes = diff_schemas(&old, &new);
+        assert_eq!(
+            changes,
+            vec![SchemaChange::ClassesAppended { task: "Intent".into(), added: 1 }]
+        );
+        assert!(is_backward_compatible(&old, &new));
+    }
+
+    #[test]
+    fn reordered_classes_are_breaking() {
+        let old = example_schema();
+        let mut new = old.clone();
+        if let TaskKind::Multiclass { classes } = &mut new.tasks.get_mut("Intent").unwrap().kind {
+            classes.swap(0, 1);
+        }
+        let changes = diff_schemas(&old, &new);
+        assert_eq!(changes, vec![SchemaChange::ClassesRewritten("Intent".into())]);
+        assert!(!is_backward_compatible(&old, &new));
+    }
+
+    #[test]
+    fn removed_task_is_breaking_added_task_is_not() {
+        let old = example_schema();
+        let mut new = old.clone();
+        let pos = new.tasks.remove("POS").unwrap();
+        let changes = diff_schemas(&old, &new);
+        assert_eq!(changes, vec![SchemaChange::TaskRemoved("POS".into())]);
+        assert!(!is_backward_compatible(&old, &new));
+
+        let mut widened = old.clone();
+        widened.tasks.insert("POS2".into(), pos);
+        assert!(is_backward_compatible(&old, &widened));
+    }
+
+    #[test]
+    fn retargeted_task_is_breaking() {
+        let old = example_schema();
+        let mut new = old.clone();
+        new.tasks.get_mut("Intent").unwrap().payload = "tokens".into();
+        let changes = diff_schemas(&old, &new);
+        assert_eq!(changes, vec![SchemaChange::TaskAltered("Intent".into())]);
+    }
+
+    #[test]
+    fn altered_payload_detected() {
+        let old = example_schema();
+        let mut new = old.clone();
+        new.payloads.get_mut("tokens").unwrap().kind =
+            crate::schema::PayloadKind::Sequence { max_length: 32 };
+        let changes = diff_schemas(&old, &new);
+        assert_eq!(changes, vec![SchemaChange::PayloadAltered("tokens".into())]);
+        assert!(!is_backward_compatible(&old, &new));
+    }
+
+    #[test]
+    fn type_change_is_task_altered() {
+        let old = example_schema();
+        let mut new = old.clone();
+        new.tasks.get_mut("Intent").unwrap().kind =
+            TaskKind::Bitvector { labels: vec!["a".into()] };
+        let changes = diff_schemas(&old, &new);
+        assert_eq!(changes, vec![SchemaChange::TaskAltered("Intent".into())]);
+    }
+}

@@ -1,0 +1,38 @@
+//! # overton-store
+//!
+//! Overton's data layer: the **schema** (payloads + tasks, paper §2.1), the
+//! **data file** of JSON records carrying multi-source weak supervision and
+//! tags/slices (paper §2.2), a compact binary **row store** (the paper's
+//! memory-mapped row store, footnote 5), and a **tag index** with
+//! Pandas-compatible CSV export.
+//!
+//! The central design idea reproduced here is *model independence*: the
+//! schema describes what the model computes — never how — so supervision
+//! data evolves rapidly while the schema (and everything downstream of it,
+//! like the serving signature) stays fixed.
+
+#![warn(missing_docs)]
+
+mod dataset;
+mod error;
+mod evolution;
+mod record;
+mod schema;
+mod stats;
+mod tags;
+
+pub mod rowstore;
+
+pub use dataset::Dataset;
+pub use error::{Result, StoreError};
+pub use evolution::{diff_schemas, is_backward_compatible, SchemaChange};
+pub use record::{
+    PayloadValue, Record, SetElement, TaskLabel, GOLD_SOURCE, SLICE_PREFIX, TAG_DEV, TAG_TEST,
+    TAG_TRAIN,
+};
+pub use schema::{
+    example_schema, PayloadDef, PayloadKind, Schema, ServingSignature, SignatureInput,
+    SignatureOutput, TaskDef, TaskKind,
+};
+pub use stats::{DatasetStats, TaskStats};
+pub use tags::TagIndex;

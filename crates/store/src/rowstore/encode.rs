@@ -1,0 +1,286 @@
+//! Compact binary encoding of [`Record`]s for the row store.
+//!
+//! All fields of an example are read together at training/serving time, so a
+//! row layout (record-contiguous) beats a columnar one here — this mirrors
+//! the paper's footnote 5. The encoding is length-prefixed throughout; no
+//! alignment, no padding.
+
+use crate::error::{Result, StoreError};
+use crate::record::{PayloadValue, Record, SetElement, TaskLabel};
+use crate::rowstore::varint::{read_str, read_u64, write_str, write_u64};
+
+const PAYLOAD_SINGLETON: u8 = 0;
+const PAYLOAD_SEQUENCE: u8 = 1;
+const PAYLOAD_SET: u8 = 2;
+
+const LABEL_MC_ONE: u8 = 0;
+const LABEL_MC_SEQ: u8 = 1;
+const LABEL_BV_ONE: u8 = 2;
+const LABEL_BV_SEQ: u8 = 3;
+const LABEL_SELECT: u8 = 4;
+
+/// Serializes a record into `out`.
+pub fn encode_record(record: &Record, out: &mut Vec<u8>) {
+    write_u64(out, record.payloads.len() as u64);
+    for (name, value) in &record.payloads {
+        write_str(out, name);
+        encode_payload(value, out);
+    }
+    write_u64(out, record.tasks.len() as u64);
+    for (task, sources) in &record.tasks {
+        write_str(out, task);
+        write_u64(out, sources.len() as u64);
+        for (source, label) in sources {
+            write_str(out, source);
+            encode_label(label, out);
+        }
+    }
+    write_u64(out, record.tags.len() as u64);
+    for tag in &record.tags {
+        write_str(out, tag);
+    }
+}
+
+/// Deserializes a record from the front of `buf`, advancing it.
+pub fn decode_record(buf: &mut &[u8]) -> Result<Record> {
+    let mut record = Record::new();
+    let n_payloads = read_u64(buf)? as usize;
+    for _ in 0..n_payloads {
+        let name = read_str(buf)?;
+        let value = decode_payload(buf)?;
+        record.payloads.insert(name, value);
+    }
+    let n_tasks = read_u64(buf)? as usize;
+    for _ in 0..n_tasks {
+        let task = read_str(buf)?;
+        let n_sources = read_u64(buf)? as usize;
+        let mut sources = std::collections::BTreeMap::new();
+        for _ in 0..n_sources {
+            let source = read_str(buf)?;
+            let label = decode_label(buf)?;
+            sources.insert(source, label);
+        }
+        record.tasks.insert(task, sources);
+    }
+    let n_tags = read_u64(buf)? as usize;
+    for _ in 0..n_tags {
+        record.tags.insert(read_str(buf)?);
+    }
+    Ok(record)
+}
+
+fn encode_payload(value: &PayloadValue, out: &mut Vec<u8>) {
+    match value {
+        PayloadValue::Singleton(s) => {
+            out.push(PAYLOAD_SINGLETON);
+            write_str(out, s);
+        }
+        PayloadValue::Sequence(items) => {
+            out.push(PAYLOAD_SEQUENCE);
+            write_u64(out, items.len() as u64);
+            for item in items {
+                write_str(out, item);
+            }
+        }
+        PayloadValue::Set(items) => {
+            out.push(PAYLOAD_SET);
+            write_u64(out, items.len() as u64);
+            for el in items {
+                write_str(out, &el.id);
+                write_u64(out, el.span.0 as u64);
+                write_u64(out, el.span.1 as u64);
+            }
+        }
+    }
+}
+
+fn decode_payload(buf: &mut &[u8]) -> Result<PayloadValue> {
+    let tag = take_byte(buf)?;
+    match tag {
+        PAYLOAD_SINGLETON => Ok(PayloadValue::Singleton(read_str(buf)?)),
+        PAYLOAD_SEQUENCE => {
+            let n = read_u64(buf)? as usize;
+            let mut items = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                items.push(read_str(buf)?);
+            }
+            Ok(PayloadValue::Sequence(items))
+        }
+        PAYLOAD_SET => {
+            let n = read_u64(buf)? as usize;
+            let mut items = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                let id = read_str(buf)?;
+                let lo = read_u64(buf)? as usize;
+                let hi = read_u64(buf)? as usize;
+                items.push(SetElement { id, span: (lo, hi) });
+            }
+            Ok(PayloadValue::Set(items))
+        }
+        other => Err(StoreError::Corrupt(format!("unknown payload tag {other}"))),
+    }
+}
+
+fn encode_label(label: &TaskLabel, out: &mut Vec<u8>) {
+    match label {
+        TaskLabel::MulticlassOne(c) => {
+            out.push(LABEL_MC_ONE);
+            write_str(out, c);
+        }
+        TaskLabel::MulticlassSeq(cs) => {
+            out.push(LABEL_MC_SEQ);
+            write_u64(out, cs.len() as u64);
+            for c in cs {
+                write_str(out, c);
+            }
+        }
+        TaskLabel::BitvectorOne(bits) => {
+            out.push(LABEL_BV_ONE);
+            write_u64(out, bits.len() as u64);
+            for b in bits {
+                write_str(out, b);
+            }
+        }
+        TaskLabel::BitvectorSeq(rows) => {
+            out.push(LABEL_BV_SEQ);
+            write_u64(out, rows.len() as u64);
+            for bits in rows {
+                write_u64(out, bits.len() as u64);
+                for b in bits {
+                    write_str(out, b);
+                }
+            }
+        }
+        TaskLabel::Select(idx) => {
+            out.push(LABEL_SELECT);
+            write_u64(out, *idx as u64);
+        }
+    }
+}
+
+fn decode_label(buf: &mut &[u8]) -> Result<TaskLabel> {
+    let tag = take_byte(buf)?;
+    match tag {
+        LABEL_MC_ONE => Ok(TaskLabel::MulticlassOne(read_str(buf)?)),
+        LABEL_MC_SEQ => {
+            let n = read_u64(buf)? as usize;
+            let mut cs = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                cs.push(read_str(buf)?);
+            }
+            Ok(TaskLabel::MulticlassSeq(cs))
+        }
+        LABEL_BV_ONE => {
+            let n = read_u64(buf)? as usize;
+            let mut bits = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                bits.push(read_str(buf)?);
+            }
+            Ok(TaskLabel::BitvectorOne(bits))
+        }
+        LABEL_BV_SEQ => {
+            let n = read_u64(buf)? as usize;
+            let mut rows = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                let m = read_u64(buf)? as usize;
+                let mut bits = Vec::with_capacity(m.min(1024));
+                for _ in 0..m {
+                    bits.push(read_str(buf)?);
+                }
+                rows.push(bits);
+            }
+            Ok(TaskLabel::BitvectorSeq(rows))
+        }
+        LABEL_SELECT => Ok(TaskLabel::Select(read_u64(buf)? as usize)),
+        other => Err(StoreError::Corrupt(format!("unknown label tag {other}"))),
+    }
+}
+
+fn take_byte(buf: &mut &[u8]) -> Result<u8> {
+    let (&b, rest) =
+        buf.split_first().ok_or_else(|| StoreError::Corrupt("row truncated".into()))?;
+    *buf = rest;
+    Ok(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_record() -> Record {
+        Record::new()
+            .with_payload("query", PayloadValue::Singleton("how tall".into()))
+            .with_payload(
+                "tokens",
+                PayloadValue::Sequence(vec!["how".into(), "tall".into()]),
+            )
+            .with_payload(
+                "entities",
+                PayloadValue::Set(vec![SetElement { id: "E1".into(), span: (0, 2) }]),
+            )
+            .with_label("Intent", "weak1", TaskLabel::MulticlassOne("Height".into()))
+            .with_label("POS", "spacy", TaskLabel::MulticlassSeq(vec!["ADV".into(), "ADJ".into()]))
+            .with_label("Types", "kb", TaskLabel::BitvectorSeq(vec![vec![], vec!["x".into()]]))
+            .with_label("Topics", "lf", TaskLabel::BitvectorOne(vec!["a".into()]))
+            .with_label("Arg", "w", TaskLabel::Select(0))
+            .with_tag("train")
+            .with_slice("hard")
+    }
+
+    #[test]
+    fn roundtrip_full_record() {
+        let r = sample_record();
+        let mut buf = Vec::new();
+        encode_record(&r, &mut buf);
+        let mut slice = buf.as_slice();
+        let back = decode_record(&mut slice).unwrap();
+        assert!(slice.is_empty(), "{} bytes left over", slice.len());
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn roundtrip_empty_record() {
+        let r = Record::new();
+        let mut buf = Vec::new();
+        encode_record(&r, &mut buf);
+        let mut slice = buf.as_slice();
+        assert_eq!(decode_record(&mut slice).unwrap(), r);
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let r = sample_record();
+        let mut buf = Vec::new();
+        encode_record(&r, &mut buf);
+        for cut in [1, buf.len() / 2, buf.len() - 1] {
+            let mut slice = &buf[..cut];
+            assert!(decode_record(&mut slice).is_err(), "cut at {cut} not detected");
+        }
+    }
+
+    #[test]
+    fn unknown_tag_is_detected() {
+        let mut buf = Vec::new();
+        // One payload with a bogus kind tag.
+        crate::rowstore::varint::write_u64(&mut buf, 1);
+        crate::rowstore::varint::write_str(&mut buf, "p");
+        buf.push(99);
+        let mut slice = buf.as_slice();
+        let err = decode_record(&mut slice).unwrap_err();
+        assert!(err.to_string().contains("unknown payload tag"), "{err}");
+    }
+
+    #[test]
+    fn encoding_is_compact() {
+        // Binary row should be much smaller than the JSON form.
+        let r = sample_record();
+        let mut buf = Vec::new();
+        encode_record(&r, &mut buf);
+        let json_len = r.to_json().len();
+        assert!(
+            buf.len() * 4 < json_len * 3,
+            "binary {} bytes vs json {json_len} bytes",
+            buf.len()
+        );
+    }
+}

@@ -1,0 +1,9 @@
+//! Binary row store: compact record encoding + persistable store.
+
+mod encode;
+mod store;
+mod varint;
+
+pub use encode::{decode_record, encode_record};
+pub use store::RowStore;
+pub use varint::{fnv1a, read_str, read_u64, write_str, write_u64};

@@ -1,0 +1,266 @@
+//! An immutable, persistable row store over binary-encoded records.
+//!
+//! Layout on disk:
+//!
+//! ```text
+//! magic "OVRS" | version u32 | row_count u64
+//! | offsets (row_count + 1) x u64   -- prefix offsets into the blob
+//! | blob                             -- concatenated encoded rows
+//! | checksum u64                     -- FNV-1a over the blob
+//! ```
+//!
+//! In memory the blob is a [`bytes::Bytes`]; per-row access hands out
+//! zero-copy slices of it. `Bytes` stands in for a real `mmap` so the crate
+//! stays free of platform-specific dependencies while preserving the access
+//! pattern (shared immutable buffer, cheap slicing).
+
+use crate::error::{Result, StoreError};
+use crate::record::Record;
+use crate::rowstore::encode::{decode_record, encode_record};
+use crate::rowstore::varint::fnv1a;
+use bytes::Bytes;
+use std::io::{BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"OVRS";
+const VERSION: u32 = 1;
+
+/// An immutable collection of binary-encoded rows with O(1) point access.
+#[derive(Debug, Clone)]
+pub struct RowStore {
+    blob: Bytes,
+    /// `offsets[i]..offsets[i+1]` is row `i` within `blob`.
+    offsets: Vec<u64>,
+}
+
+impl RowStore {
+    /// Encodes records into a new store.
+    pub fn build<'a>(records: impl IntoIterator<Item = &'a Record>) -> Self {
+        let mut blob = Vec::new();
+        let mut offsets = vec![0u64];
+        for record in records {
+            encode_record(record, &mut blob);
+            offsets.push(blob.len() as u64);
+        }
+        Self { blob: Bytes::from(blob), offsets }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// True when the store holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total encoded size in bytes.
+    pub fn blob_len(&self) -> usize {
+        self.blob.len()
+    }
+
+    /// The raw encoded bytes of row `i` (zero-copy).
+    pub fn row_bytes(&self, i: usize) -> Option<Bytes> {
+        if i >= self.len() {
+            return None;
+        }
+        let lo = self.offsets[i] as usize;
+        let hi = self.offsets[i + 1] as usize;
+        Some(self.blob.slice(lo..hi))
+    }
+
+    /// Decodes row `i`.
+    pub fn get(&self, i: usize) -> Result<Record> {
+        let bytes = self
+            .row_bytes(i)
+            .ok_or_else(|| StoreError::Corrupt(format!("row {i} out of {}", self.len())))?;
+        let mut slice: &[u8] = &bytes;
+        let record = decode_record(&mut slice)?;
+        if !slice.is_empty() {
+            return Err(StoreError::Corrupt(format!(
+                "row {i} has {} trailing bytes",
+                slice.len()
+            )));
+        }
+        Ok(record)
+    }
+
+    /// Iterates over all rows, decoding each.
+    pub fn scan(&self) -> impl Iterator<Item = Result<Record>> + '_ {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+
+    /// Writes the store to a writer in the on-disk format.
+    pub fn write(&self, writer: impl Write) -> Result<()> {
+        let mut w = BufWriter::new(writer);
+        w.write_all(MAGIC)?;
+        w.write_all(&VERSION.to_le_bytes())?;
+        w.write_all(&(self.len() as u64).to_le_bytes())?;
+        for off in &self.offsets {
+            w.write_all(&off.to_le_bytes())?;
+        }
+        w.write_all(&self.blob)?;
+        w.write_all(&fnv1a(&self.blob).to_le_bytes())?;
+        w.flush()?;
+        Ok(())
+    }
+
+    /// Writes the store to a file.
+    pub fn write_file(&self, path: impl AsRef<Path>) -> Result<()> {
+        self.write(std::fs::File::create(path)?)
+    }
+
+    /// Reads a store from a reader, verifying magic, version and checksum.
+    pub fn read(reader: impl Read) -> Result<Self> {
+        let mut bytes = Vec::new();
+        let mut reader = reader;
+        reader.read_to_end(&mut bytes)?;
+        Self::from_bytes(bytes)
+    }
+
+    /// Reads a store from a file.
+    pub fn read_file(path: impl AsRef<Path>) -> Result<Self> {
+        Self::read(std::fs::File::open(path)?)
+    }
+
+    /// Parses an owned byte buffer in the on-disk format.
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<Self> {
+        let total = bytes.len();
+        let need = |n: usize, what: &str| -> Result<()> {
+            if total < n {
+                return Err(StoreError::Corrupt(format!("file too short for {what}")));
+            }
+            Ok(())
+        };
+        need(16, "header")?;
+        if &bytes[0..4] != MAGIC {
+            return Err(StoreError::Corrupt("bad magic".into()));
+        }
+        let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+        if version != VERSION {
+            return Err(StoreError::Corrupt(format!("unsupported version {version}")));
+        }
+        let row_count = u64::from_le_bytes(bytes[8..16].try_into().unwrap()) as usize;
+        let offsets_end = 16 + (row_count + 1) * 8;
+        need(offsets_end, "offset table")?;
+        let mut offsets = Vec::with_capacity(row_count + 1);
+        for i in 0..=row_count {
+            let at = 16 + i * 8;
+            offsets.push(u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap()));
+        }
+        let blob_len = *offsets.last().unwrap() as usize;
+        let blob_end = offsets_end + blob_len;
+        need(blob_end + 8, "blob and checksum")?;
+        let stored_checksum =
+            u64::from_le_bytes(bytes[blob_end..blob_end + 8].try_into().unwrap());
+        let blob = Bytes::from(bytes).slice(offsets_end..blob_end);
+        if fnv1a(&blob) != stored_checksum {
+            return Err(StoreError::Corrupt("checksum mismatch".into()));
+        }
+        // Offsets must be monotone and in bounds.
+        if offsets[0] != 0 || offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(StoreError::Corrupt("offset table is not monotone".into()));
+        }
+        Ok(Self { blob, offsets })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{PayloadValue, TaskLabel};
+
+    fn records(n: usize) -> Vec<Record> {
+        (0..n)
+            .map(|i| {
+                Record::new()
+                    .with_payload("query", PayloadValue::Singleton(format!("query number {i}")))
+                    .with_label(
+                        "Intent",
+                        "weak1",
+                        TaskLabel::MulticlassOne(if i % 2 == 0 { "A" } else { "B" }.into()),
+                    )
+                    .with_tag(if i % 10 == 0 { "test" } else { "train" })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn build_and_point_access() {
+        let rs = records(20);
+        let store = RowStore::build(&rs);
+        assert_eq!(store.len(), 20);
+        for (i, r) in rs.iter().enumerate() {
+            assert_eq!(&store.get(i).unwrap(), r);
+        }
+        assert!(store.get(20).is_err());
+    }
+
+    #[test]
+    fn scan_yields_all_rows_in_order() {
+        let rs = records(7);
+        let store = RowStore::build(&rs);
+        let decoded: Vec<Record> = store.scan().collect::<Result<_>>().unwrap();
+        assert_eq!(decoded, rs);
+    }
+
+    #[test]
+    fn empty_store() {
+        let store = RowStore::build([]);
+        assert!(store.is_empty());
+        assert_eq!(store.scan().count(), 0);
+    }
+
+    #[test]
+    fn file_format_roundtrip() {
+        let rs = records(13);
+        let store = RowStore::build(&rs);
+        let mut buf = Vec::new();
+        store.write(&mut buf).unwrap();
+        let back = RowStore::from_bytes(buf).unwrap();
+        assert_eq!(back.len(), 13);
+        for (i, r) in rs.iter().enumerate() {
+            assert_eq!(&back.get(i).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn checksum_detects_corruption() {
+        let store = RowStore::build(&records(5));
+        let mut buf = Vec::new();
+        store.write(&mut buf).unwrap();
+        // Flip a byte inside the blob region.
+        let mid = buf.len() - 12;
+        buf[mid] ^= 0xff;
+        let err = RowStore::from_bytes(buf).unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
+    }
+
+    #[test]
+    fn bad_magic_detected() {
+        let store = RowStore::build(&records(2));
+        let mut buf = Vec::new();
+        store.write(&mut buf).unwrap();
+        buf[0] = b'X';
+        assert!(RowStore::from_bytes(buf).is_err());
+    }
+
+    #[test]
+    fn truncated_file_detected() {
+        let store = RowStore::build(&records(2));
+        let mut buf = Vec::new();
+        store.write(&mut buf).unwrap();
+        buf.truncate(buf.len() - 4);
+        assert!(RowStore::from_bytes(buf).is_err());
+    }
+
+    #[test]
+    fn row_bytes_are_zero_copy_slices() {
+        let store = RowStore::build(&records(3));
+        let b0 = store.row_bytes(0).unwrap();
+        let b1 = store.row_bytes(1).unwrap();
+        assert!(!b0.is_empty() && !b1.is_empty());
+        assert!(store.row_bytes(3).is_none());
+    }
+}

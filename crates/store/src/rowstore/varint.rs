@@ -1,0 +1,119 @@
+//! LEB128 variable-length integers for the row encoding.
+
+use crate::error::{Result, StoreError};
+
+/// Appends `value` as LEB128 to `out`.
+pub fn write_u64(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads a LEB128 integer from the front of `buf`, advancing it.
+pub fn read_u64(buf: &mut &[u8]) -> Result<u64> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let (&byte, rest) = buf
+            .split_first()
+            .ok_or_else(|| StoreError::Corrupt("varint truncated".into()))?;
+        *buf = rest;
+        if shift >= 64 {
+            return Err(StoreError::Corrupt("varint overflows u64".into()));
+        }
+        value |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+    }
+}
+
+/// Appends a length-prefixed UTF-8 string.
+pub fn write_str(out: &mut Vec<u8>, s: &str) {
+    write_u64(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Reads a length-prefixed UTF-8 string from the front of `buf`.
+pub fn read_str(buf: &mut &[u8]) -> Result<String> {
+    let len = read_u64(buf)? as usize;
+    if buf.len() < len {
+        return Err(StoreError::Corrupt(format!(
+            "string of {len} bytes truncated ({} remain)",
+            buf.len()
+        )));
+    }
+    let (bytes, rest) = buf.split_at(len);
+    *buf = rest;
+    String::from_utf8(bytes.to_vec())
+        .map_err(|_| StoreError::Corrupt("string is not valid UTF-8".into()))
+}
+
+/// FNV-1a over a byte slice (integrity check for store files).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_edge_values() {
+        for v in [0u64, 1, 127, 128, 16383, 16384, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v);
+            let mut slice = buf.as_slice();
+            assert_eq!(read_u64(&mut slice).unwrap(), v);
+            assert!(slice.is_empty());
+        }
+    }
+
+    #[test]
+    fn small_values_are_one_byte() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, 100);
+        assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    fn truncated_varint_errors() {
+        let mut slice: &[u8] = &[0x80];
+        assert!(read_u64(&mut slice).is_err());
+    }
+
+    #[test]
+    fn string_roundtrip() {
+        let mut buf = Vec::new();
+        write_str(&mut buf, "héllo wörld");
+        let mut slice = buf.as_slice();
+        assert_eq!(read_str(&mut slice).unwrap(), "héllo wörld");
+    }
+
+    #[test]
+    fn truncated_string_errors() {
+        let mut buf = Vec::new();
+        write_str(&mut buf, "hello");
+        let mut slice = &buf[..3];
+        assert!(read_str(&mut slice).is_err());
+    }
+
+    #[test]
+    fn fnv1a_known_vector() {
+        // FNV-1a of empty input is the offset basis.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
+    }
+}

@@ -1,0 +1,176 @@
+//! Dataset statistics: the first thing an engineer looks at when handed a
+//! data file — split sizes, per-task supervision coverage, per-source vote
+//! counts, slice sizes.
+
+use crate::dataset::Dataset;
+use crate::record::{GOLD_SOURCE, TAG_DEV, TAG_TEST, TAG_TRAIN};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Supervision coverage for one task.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskStats {
+    /// Records with at least one weak source vote.
+    pub weakly_supervised: usize,
+    /// Records with a gold label.
+    pub gold_labeled: usize,
+    /// Vote counts per source (excluding gold).
+    pub source_votes: BTreeMap<String, usize>,
+}
+
+/// A full dataset summary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DatasetStats {
+    /// Total records.
+    pub records: usize,
+    /// Train/dev/test split sizes (records may be untagged).
+    pub train: usize,
+    /// Dev records.
+    pub dev: usize,
+    /// Test records.
+    pub test: usize,
+    /// Per-task supervision coverage.
+    pub tasks: BTreeMap<String, TaskStats>,
+    /// Records per slice.
+    pub slices: BTreeMap<String, usize>,
+}
+
+impl DatasetStats {
+    /// Computes statistics over a dataset.
+    pub fn compute(dataset: &Dataset) -> Self {
+        let mut tasks: BTreeMap<String, TaskStats> = dataset
+            .schema()
+            .tasks
+            .keys()
+            .map(|t| {
+                (
+                    t.clone(),
+                    TaskStats {
+                        weakly_supervised: 0,
+                        gold_labeled: 0,
+                        source_votes: BTreeMap::new(),
+                    },
+                )
+            })
+            .collect();
+        let mut slices: BTreeMap<String, usize> = BTreeMap::new();
+        let (mut train, mut dev, mut test) = (0, 0, 0);
+        for record in dataset.records() {
+            match record.split() {
+                Some(TAG_TRAIN) => train += 1,
+                Some(TAG_DEV) => dev += 1,
+                Some(TAG_TEST) => test += 1,
+                _ => {}
+            }
+            for slice in record.slices() {
+                *slices.entry(slice.to_string()).or_default() += 1;
+            }
+            for (task, sources) in &record.tasks {
+                let Some(stats) = tasks.get_mut(task) else { continue };
+                let mut any_weak = false;
+                for source in sources.keys() {
+                    if source == GOLD_SOURCE {
+                        stats.gold_labeled += 1;
+                    } else {
+                        any_weak = true;
+                        *stats.source_votes.entry(source.clone()).or_default() += 1;
+                    }
+                }
+                if any_weak {
+                    stats.weakly_supervised += 1;
+                }
+            }
+        }
+        Self { records: dataset.len(), train, dev, test, tasks, slices }
+    }
+}
+
+impl fmt::Display for DatasetStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} records  (train {} / dev {} / test {})",
+            self.records, self.train, self.dev, self.test
+        )?;
+        for (task, stats) in &self.tasks {
+            writeln!(
+                f,
+                "task {task}: {} weakly supervised, {} gold",
+                stats.weakly_supervised, stats.gold_labeled
+            )?;
+            for (source, votes) in &stats.source_votes {
+                writeln!(f, "    {source}: {votes} votes")?;
+            }
+        }
+        for (slice, count) in &self.slices {
+            writeln!(f, "slice:{slice}: {count} records")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{PayloadValue, Record, TaskLabel};
+    use crate::schema::example_schema;
+
+    fn dataset() -> Dataset {
+        let mut ds = Dataset::new(example_schema());
+        let mk = |i: usize| {
+            Record::new().with_payload("query", PayloadValue::Singleton(format!("q{i}")))
+        };
+        ds.push(
+            mk(0)
+                .with_tag("train")
+                .with_slice("hard")
+                .with_label("Intent", "w1", TaskLabel::MulticlassOne("Height".into()))
+                .with_label("Intent", "w2", TaskLabel::MulticlassOne("Age".into())),
+        )
+        .unwrap();
+        ds.push(
+            mk(1)
+                .with_tag("train")
+                .with_label("Intent", "w1", TaskLabel::MulticlassOne("Height".into()))
+                .with_label("Intent", "gold", TaskLabel::MulticlassOne("Height".into())),
+        )
+        .unwrap();
+        ds.push(mk(2).with_tag("test").with_label(
+            "Intent",
+            "gold",
+            TaskLabel::MulticlassOne("Age".into()),
+        ))
+        .unwrap();
+        ds
+    }
+
+    #[test]
+    fn split_and_slice_counts() {
+        let stats = DatasetStats::compute(&dataset());
+        assert_eq!(stats.records, 3);
+        assert_eq!(stats.train, 2);
+        assert_eq!(stats.test, 1);
+        assert_eq!(stats.dev, 0);
+        assert_eq!(stats.slices["hard"], 1);
+    }
+
+    #[test]
+    fn task_supervision_counts() {
+        let stats = DatasetStats::compute(&dataset());
+        let intent = &stats.tasks["Intent"];
+        assert_eq!(intent.weakly_supervised, 2);
+        assert_eq!(intent.gold_labeled, 2);
+        assert_eq!(intent.source_votes["w1"], 2);
+        assert_eq!(intent.source_votes["w2"], 1);
+        // Tasks without supervision exist with zero counts.
+        assert_eq!(stats.tasks["POS"].weakly_supervised, 0);
+    }
+
+    #[test]
+    fn display_renders() {
+        let text = DatasetStats::compute(&dataset()).to_string();
+        assert!(text.contains("3 records"));
+        assert!(text.contains("task Intent: 2 weakly supervised, 2 gold"));
+        assert!(text.contains("slice:hard: 1 records"));
+    }
+}

@@ -1,0 +1,150 @@
+//! Tag index: fast per-tag row lookup plus Pandas-compatible export.
+//!
+//! The paper: "tags are stored in a format that is compatible with Pandas",
+//! so engineers can pull per-tag examples into downstream analytics. The
+//! interchange format here is CSV.
+
+use crate::dataset::Dataset;
+use std::collections::BTreeMap;
+use std::io::Write;
+
+/// An inverted index from tag name to the (sorted) row indices carrying it.
+#[derive(Debug, Clone, Default)]
+pub struct TagIndex {
+    by_tag: BTreeMap<String, Vec<u32>>,
+    num_rows: usize,
+}
+
+impl TagIndex {
+    /// Builds the index from a dataset.
+    pub fn build(dataset: &Dataset) -> Self {
+        let mut by_tag: BTreeMap<String, Vec<u32>> = BTreeMap::new();
+        for (i, record) in dataset.records().iter().enumerate() {
+            for tag in &record.tags {
+                by_tag.entry(tag.clone()).or_default().push(i as u32);
+            }
+        }
+        Self { by_tag, num_rows: dataset.len() }
+    }
+
+    /// All tags, sorted.
+    pub fn tags(&self) -> impl Iterator<Item = &str> {
+        self.by_tag.keys().map(String::as_str)
+    }
+
+    /// Row indices carrying `tag` (empty if unknown).
+    pub fn rows(&self, tag: &str) -> &[u32] {
+        self.by_tag.get(tag).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of rows carrying `tag`.
+    pub fn count(&self, tag: &str) -> usize {
+        self.rows(tag).len()
+    }
+
+    /// Rows carrying **all** of the given tags (set intersection).
+    pub fn rows_with_all(&self, tags: &[&str]) -> Vec<u32> {
+        let mut iter = tags.iter();
+        let Some(first) = iter.next() else { return (0..self.num_rows as u32).collect() };
+        let mut acc: Vec<u32> = self.rows(first).to_vec();
+        for tag in iter {
+            let other = self.rows(tag);
+            acc.retain(|r| other.binary_search(r).is_ok());
+        }
+        acc
+    }
+
+    /// Number of rows in the indexed dataset.
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Writes a Pandas-loadable CSV with one row per example and one 0/1
+    /// column per tag (`pd.read_csv(..., index_col="row")`).
+    pub fn write_csv(&self, mut writer: impl Write) -> std::io::Result<()> {
+        let tags: Vec<&str> = self.tags().collect();
+        write!(writer, "row")?;
+        for t in &tags {
+            write!(writer, ",{}", csv_escape(t))?;
+        }
+        writeln!(writer)?;
+        // Row-major sweep over membership.
+        let mut cursors = vec![0usize; tags.len()];
+        for row in 0..self.num_rows as u32 {
+            write!(writer, "{row}")?;
+            for (ti, tag) in tags.iter().enumerate() {
+                let rows = self.rows(tag);
+                let cursor = &mut cursors[ti];
+                let member = *cursor < rows.len() && rows[*cursor] == row;
+                if member {
+                    *cursor += 1;
+                }
+                write!(writer, ",{}", u8::from(member))?;
+            }
+            writeln!(writer)?;
+        }
+        Ok(())
+    }
+}
+
+fn csv_escape(field: &str) -> String {
+    if field.contains([',', '"', '\n']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{PayloadValue, Record};
+    use crate::schema::example_schema;
+
+    fn dataset() -> Dataset {
+        let mut ds = Dataset::new(example_schema());
+        let mk = |i: usize| {
+            Record::new().with_payload("query", PayloadValue::Singleton(format!("q{i}")))
+        };
+        ds.push(mk(0).with_tag("train").with_slice("hard")).unwrap();
+        ds.push(mk(1).with_tag("train")).unwrap();
+        ds.push(mk(2).with_tag("test").with_slice("hard")).unwrap();
+        ds
+    }
+
+    #[test]
+    fn counts_and_rows() {
+        let idx = TagIndex::build(&dataset());
+        assert_eq!(idx.count("train"), 2);
+        assert_eq!(idx.rows("train"), &[0, 1]);
+        assert_eq!(idx.rows("slice:hard"), &[0, 2]);
+        assert_eq!(idx.count("missing"), 0);
+    }
+
+    #[test]
+    fn intersection() {
+        let idx = TagIndex::build(&dataset());
+        assert_eq!(idx.rows_with_all(&["train", "slice:hard"]), vec![0]);
+        assert_eq!(idx.rows_with_all(&[]), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn csv_shape() {
+        let idx = TagIndex::build(&dataset());
+        let mut buf = Vec::new();
+        idx.write_csv(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4); // header + 3 rows
+        assert_eq!(lines[0], "row,slice:hard,test,train");
+        assert_eq!(lines[1], "0,1,0,1");
+        assert_eq!(lines[3], "2,1,1,0");
+    }
+
+    #[test]
+    fn csv_escaping() {
+        assert_eq!(csv_escape("plain"), "plain");
+        assert_eq!(csv_escape("a,b"), "\"a,b\"");
+        assert_eq!(csv_escape("q\"x"), "\"q\"\"x\"");
+    }
+}

@@ -1,0 +1,278 @@
+//! Data augmentation: programmatic creation of new training records.
+//!
+//! Augmentation is one of the paper's supervision actions ("Add synthetic
+//! examples", Figure 1). Transforms here are label-preserving by
+//! construction on the payloads they touch; every augmented record is tagged
+//! with its lineage (`aug:<transform>`), so its quality can be monitored
+//! per-source like any other supervision.
+
+use overton_store::{PayloadValue, Record};
+use rand::Rng;
+use std::collections::BTreeMap;
+
+/// Tag prefix recording which transform produced an augmented record.
+pub const AUG_TAG_PREFIX: &str = "aug:";
+
+/// A label-preserving record transform.
+pub trait Transform {
+    /// Short name used for lineage tags.
+    fn name(&self) -> &str;
+    /// Produces an augmented copy, or `None` when the transform does not
+    /// apply to this record.
+    fn apply(&self, record: &Record, rng: &mut dyn rand::RngCore) -> Option<Record>;
+}
+
+/// Replaces tokens with synonyms from a fixed map. Token-level labels are
+/// preserved (a synonym keeps the token's role).
+pub struct SynonymSwap {
+    payload: String,
+    synonyms: BTreeMap<String, Vec<String>>,
+    /// Probability of swapping each eligible token.
+    prob: f64,
+}
+
+impl SynonymSwap {
+    /// Creates a synonym transform over the given sequence payload.
+    pub fn new(payload: &str, synonyms: BTreeMap<String, Vec<String>>, prob: f64) -> Self {
+        Self { payload: payload.into(), synonyms, prob }
+    }
+}
+
+impl Transform for SynonymSwap {
+    fn name(&self) -> &str {
+        "synonym"
+    }
+
+    fn apply(&self, record: &Record, rng: &mut dyn rand::RngCore) -> Option<Record> {
+        let PayloadValue::Sequence(tokens) = record.payloads.get(&self.payload)? else {
+            return None;
+        };
+        let mut out = tokens.clone();
+        let mut changed = false;
+        for token in &mut out {
+            if let Some(alts) = self.synonyms.get(token) {
+                if !alts.is_empty() && rng.gen_bool(self.prob) {
+                    *token = alts[rng.gen_range(0..alts.len())].clone();
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return None;
+        }
+        let mut record = record.clone();
+        record.payloads.insert(self.payload.clone(), PayloadValue::Sequence(out));
+        Some(record)
+    }
+}
+
+/// Duplicates a record while dropping a random *unlabeled-safe* token — only
+/// applies when the record has no per-token labels (dropping a token would
+/// misalign them).
+pub struct TokenDropout {
+    payload: String,
+}
+
+impl TokenDropout {
+    /// Creates a token-dropout transform over the given sequence payload.
+    pub fn new(payload: &str) -> Self {
+        Self { payload: payload.into() }
+    }
+}
+
+impl Transform for TokenDropout {
+    fn name(&self) -> &str {
+        "token-dropout"
+    }
+
+    fn apply(&self, record: &Record, rng: &mut dyn rand::RngCore) -> Option<Record> {
+        let PayloadValue::Sequence(tokens) = record.payloads.get(&self.payload)? else {
+            return None;
+        };
+        if tokens.len() < 3 {
+            return None;
+        }
+        // Per-token labels or span-bearing sets would be invalidated.
+        let has_token_level_labels = record.tasks.values().any(|sources| {
+            sources.values().any(|l| {
+                matches!(
+                    l,
+                    overton_store::TaskLabel::MulticlassSeq(_)
+                        | overton_store::TaskLabel::BitvectorSeq(_)
+                )
+            })
+        });
+        let has_span_payloads = record
+            .payloads
+            .values()
+            .any(|p| matches!(p, PayloadValue::Set(items) if !items.is_empty()));
+        if has_token_level_labels || has_span_payloads {
+            return None;
+        }
+        let drop = rng.gen_range(0..tokens.len());
+        let mut out = tokens.clone();
+        out.remove(drop);
+        let mut record = record.clone();
+        record.payloads.insert(self.payload.clone(), PayloadValue::Sequence(out));
+        Some(record)
+    }
+}
+
+/// An augmentation policy: a weighted set of transforms applied to a corpus.
+pub struct AugmentPolicy {
+    transforms: Vec<(Box<dyn Transform>, f64)>,
+}
+
+impl AugmentPolicy {
+    /// Creates an empty policy.
+    pub fn new() -> Self {
+        Self { transforms: Vec::new() }
+    }
+
+    /// Adds a transform with a relative sampling weight.
+    pub fn with(mut self, transform: Box<dyn Transform>, weight: f64) -> Self {
+        assert!(weight > 0.0, "transform weight must be positive");
+        self.transforms.push((transform, weight));
+        self
+    }
+
+    /// Number of registered transforms.
+    pub fn len(&self) -> usize {
+        self.transforms.len()
+    }
+
+    /// True when no transforms are registered.
+    pub fn is_empty(&self) -> bool {
+        self.transforms.is_empty()
+    }
+
+    /// Generates up to `count` augmented records by sampling transforms over
+    /// `records`. Each output carries an `aug:<name>` lineage tag.
+    pub fn generate(
+        &self,
+        records: &[Record],
+        count: usize,
+        rng: &mut impl Rng,
+    ) -> Vec<Record> {
+        if self.transforms.is_empty() || records.is_empty() {
+            return Vec::new();
+        }
+        let total_weight: f64 = self.transforms.iter().map(|(_, w)| w).sum();
+        let mut out = Vec::with_capacity(count);
+        let mut attempts = 0usize;
+        while out.len() < count && attempts < count * 20 {
+            attempts += 1;
+            let record = &records[rng.gen_range(0..records.len())];
+            let mut pick = rng.gen::<f64>() * total_weight;
+            let mut chosen = &self.transforms[0].0;
+            for (t, w) in &self.transforms {
+                if pick < *w {
+                    chosen = t;
+                    break;
+                }
+                pick -= w;
+            }
+            if let Some(aug) = chosen.apply(record, rng) {
+                out.push(aug.with_tag(&format!("{AUG_TAG_PREFIX}{}", chosen.name())));
+            }
+        }
+        out
+    }
+}
+
+impl Default for AugmentPolicy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use overton_store::TaskLabel;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn base_record() -> Record {
+        Record::new()
+            .with_payload(
+                "tokens",
+                PayloadValue::Sequence(vec![
+                    "how".into(),
+                    "tall".into(),
+                    "is".into(),
+                    "he".into(),
+                ]),
+            )
+            .with_label("Intent", "w", TaskLabel::MulticlassOne("Height".into()))
+            .with_tag("train")
+    }
+
+    fn synonyms() -> BTreeMap<String, Vec<String>> {
+        let mut m = BTreeMap::new();
+        m.insert("tall".to_string(), vec!["high".to_string()]);
+        m
+    }
+
+    #[test]
+    fn synonym_swap_preserves_labels_and_changes_tokens() {
+        let t = SynonymSwap::new("tokens", synonyms(), 1.0);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let aug = t.apply(&base_record(), &mut rng).unwrap();
+        let PayloadValue::Sequence(tokens) = &aug.payloads["tokens"] else { panic!() };
+        assert_eq!(tokens[1], "high");
+        assert_eq!(aug.tasks, base_record().tasks);
+    }
+
+    #[test]
+    fn synonym_swap_skips_when_nothing_matches() {
+        let t = SynonymSwap::new("tokens", BTreeMap::new(), 1.0);
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert!(t.apply(&base_record(), &mut rng).is_none());
+    }
+
+    #[test]
+    fn token_dropout_shortens_sequence() {
+        let t = TokenDropout::new("tokens");
+        let mut rng = SmallRng::seed_from_u64(1);
+        let aug = t.apply(&base_record(), &mut rng).unwrap();
+        let PayloadValue::Sequence(tokens) = &aug.payloads["tokens"] else { panic!() };
+        assert_eq!(tokens.len(), 3);
+    }
+
+    #[test]
+    fn token_dropout_refuses_token_labeled_records() {
+        let r = base_record().with_label(
+            "POS",
+            "w",
+            TaskLabel::MulticlassSeq(vec!["ADV".into(); 4]),
+        );
+        let t = TokenDropout::new("tokens");
+        let mut rng = SmallRng::seed_from_u64(2);
+        assert!(t.apply(&r, &mut rng).is_none());
+    }
+
+    #[test]
+    fn policy_generates_tagged_records() {
+        let policy = AugmentPolicy::new()
+            .with(Box::new(SynonymSwap::new("tokens", synonyms(), 1.0)), 1.0)
+            .with(Box::new(TokenDropout::new("tokens")), 1.0);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let out = policy.generate(&[base_record()], 10, &mut rng);
+        assert!(!out.is_empty());
+        for r in &out {
+            assert!(
+                r.tags.iter().any(|t| t.starts_with(AUG_TAG_PREFIX)),
+                "missing lineage tag: {:?}",
+                r.tags
+            );
+        }
+    }
+
+    #[test]
+    fn empty_policy_generates_nothing() {
+        let policy = AugmentPolicy::new();
+        let mut rng = SmallRng::seed_from_u64(4);
+        assert!(policy.generate(&[base_record()], 5, &mut rng).is_empty());
+    }
+}

@@ -1,0 +1,88 @@
+//! Class rebalancing weights ("this also allows Overton to automatically
+//! handle common issues like rebalancing classes", §2.2).
+
+use crate::prob::ProbLabel;
+
+/// Per-class inverse-frequency weights from a set of probabilistic labels
+/// (all of which must be `Dist` with the same arity). Classes with zero
+/// expected mass get weight 0.
+pub fn class_weights(labels: &[&ProbLabel], k: usize) -> Vec<f32> {
+    let mut mass = vec![0.0f32; k];
+    let mut total = 0.0f32;
+    for label in labels {
+        if let ProbLabel::Dist(d) = label {
+            debug_assert_eq!(d.len(), k, "class_weights arity mismatch");
+            for (c, &p) in d.iter().enumerate() {
+                mass[c] += p;
+            }
+            total += 1.0;
+        }
+    }
+    if total == 0.0 {
+        return vec![1.0; k];
+    }
+    // weight_c = total / (k * mass_c): a perfectly balanced dataset gets
+    // all-ones; rare classes are up-weighted.
+    mass.iter()
+        .map(|&m| if m > 0.0 { total / (k as f32 * m) } else { 0.0 })
+        .collect()
+}
+
+/// The loss weight of one example: expected class weight under its label
+/// distribution.
+pub fn example_weight(label: &ProbLabel, weights: &[f32]) -> f32 {
+    match label {
+        ProbLabel::Dist(d) => d.iter().zip(weights).map(|(p, w)| p * w).sum(),
+        // Sequence/bitvector labels are weighted uniformly here; their
+        // element-level balance is handled by the per-bit combiner.
+        _ => 1.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_data_gets_unit_weights() {
+        let a = ProbLabel::one_hot(0, 2);
+        let b = ProbLabel::one_hot(1, 2);
+        let w = class_weights(&[&a, &b], 2);
+        assert!((w[0] - 1.0).abs() < 1e-6);
+        assert!((w[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rare_class_upweighted() {
+        let a = ProbLabel::one_hot(0, 2);
+        let b = ProbLabel::one_hot(0, 2);
+        let c = ProbLabel::one_hot(0, 2);
+        let d = ProbLabel::one_hot(1, 2);
+        let w = class_weights(&[&a, &b, &c, &d], 2);
+        assert!(w[1] > w[0]);
+        assert!((w[1] - 2.0).abs() < 1e-6);
+        assert!((w[0] - 4.0 / 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_class_gets_zero() {
+        let a = ProbLabel::one_hot(0, 3);
+        let w = class_weights(&[&a], 3);
+        assert_eq!(w[1], 0.0);
+        assert_eq!(w[2], 0.0);
+    }
+
+    #[test]
+    fn no_dist_labels_fall_back_to_ones() {
+        let a = ProbLabel::Bits(vec![0.5]);
+        let w = class_weights(&[&a], 2);
+        assert_eq!(w, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn example_weight_is_expectation() {
+        let label = ProbLabel::Dist(vec![0.25, 0.75]);
+        let w = example_weight(&label, &[2.0, 4.0]);
+        assert!((w - 3.5).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,687 @@
+//! Combining multi-source supervision over a dataset, task by task.
+//!
+//! This is the "Combine Supervision" stage of Figure 1: for each task, the
+//! (conflicting, incomplete) source votes are flattened into label matrices
+//! at the task's granularity, a combiner resolves them, and the resulting
+//! probabilistic labels are attached back to records for training.
+
+use crate::label_model::{LabelModel, LabelModelConfig};
+use crate::majority::majority_vote;
+use crate::matrix::LabelMatrix;
+use crate::prob::ProbLabel;
+use overton_store::{Dataset, PayloadKind, PayloadValue, Record, TaskKind, TaskLabel};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// How to resolve conflicting sources.
+#[derive(Debug, Clone)]
+pub enum CombineMethod {
+    /// Unweighted majority vote (baseline).
+    MajorityVote,
+    /// Generative label model fit by EM (the Overton/Snorkel approach).
+    LabelModel(LabelModelConfig),
+    /// Trust a single named source, ignoring all others (ablation).
+    SingleSource(String),
+}
+
+impl Default for CombineMethod {
+    fn default() -> Self {
+        CombineMethod::LabelModel(LabelModelConfig::default())
+    }
+}
+
+/// Errors from supervision combination.
+#[derive(Debug)]
+pub enum CombineError {
+    /// The task is not in the dataset's schema.
+    UnknownTask(String),
+    /// A label mentions a class missing from the task vocabulary.
+    UnknownClass {
+        /// Task whose vocabulary was violated.
+        task: String,
+        /// The out-of-vocabulary class name.
+        class: String,
+    },
+    /// Requested source never appears for the task.
+    UnknownSource {
+        /// Task that was being combined.
+        task: String,
+        /// The missing source name.
+        source: String,
+    },
+}
+
+impl fmt::Display for CombineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CombineError::UnknownTask(t) => write!(f, "unknown task '{t}'"),
+            CombineError::UnknownClass { task, class } => {
+                write!(f, "task '{task}': label '{class}' not in vocabulary")
+            }
+            CombineError::UnknownSource { task, source } => {
+                write!(f, "task '{task}': source '{source}' has no votes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CombineError {}
+
+/// Per-source diagnostics from a combination run.
+#[derive(Debug, Clone)]
+pub struct SourceDiagnostics {
+    /// Source name.
+    pub name: String,
+    /// Estimated accuracy (label model) or `None` for other methods.
+    pub estimated_accuracy: Option<f32>,
+    /// Fraction of items the source voted on.
+    pub coverage: f32,
+}
+
+/// The result of combining supervision for one task.
+#[derive(Debug, Clone)]
+pub struct CombinedSupervision {
+    /// One entry per dataset record: `None` when the record carries no
+    /// supervision for this task.
+    pub labels: Vec<Option<ProbLabel>>,
+    /// Per-source diagnostics (accuracy estimates feed the monitoring UI).
+    pub sources: Vec<SourceDiagnostics>,
+}
+
+impl CombinedSupervision {
+    /// Number of records with supervision.
+    pub fn supervised_count(&self) -> usize {
+        self.labels.iter().filter(|l| l.is_some()).count()
+    }
+}
+
+/// Combines supervision for `task` across the whole dataset.
+pub fn combine_task(
+    dataset: &Dataset,
+    task: &str,
+    method: &CombineMethod,
+) -> Result<CombinedSupervision, CombineError> {
+    let schema = dataset.schema();
+    let task_def = schema
+        .tasks
+        .get(task)
+        .ok_or_else(|| CombineError::UnknownTask(task.to_string()))?;
+    let payload_kind =
+        schema.payloads.get(&task_def.payload).map(|p| p.kind.clone()).unwrap_or(PayloadKind::Singleton);
+
+    let sources = dataset.sources_for_task(task);
+    if let CombineMethod::SingleSource(name) = method {
+        if !sources.iter().any(|s| s == name) {
+            return Err(CombineError::UnknownSource {
+                task: task.to_string(),
+                source: name.clone(),
+            });
+        }
+    }
+
+    match (&task_def.kind, &payload_kind) {
+        (TaskKind::Multiclass { classes }, PayloadKind::Singleton) => {
+            combine_multiclass_singleton(dataset, task, classes, &sources, method)
+        }
+        (TaskKind::Multiclass { classes }, PayloadKind::Sequence { .. }) => {
+            combine_multiclass_sequence(dataset, task, classes, &sources, method)
+        }
+        (TaskKind::Bitvector { labels }, PayloadKind::Singleton) => {
+            combine_bitvector(dataset, task, labels, &sources, method, false)
+        }
+        (TaskKind::Bitvector { labels }, PayloadKind::Sequence { .. }) => {
+            combine_bitvector(dataset, task, labels, &sources, method, true)
+        }
+        (TaskKind::Select, _) => combine_select(dataset, task, &task_def.payload, &sources, method),
+        (kind, payload) => {
+            // Multiclass/bitvector over a set payload is not used by the
+            // paper's schema; treat per-element like a sequence if needed.
+            unreachable!("unsupported task/payload combination: {kind:?} over {payload:?}")
+        }
+    }
+}
+
+/// Runs the chosen combiner over a matrix, returning per-item distributions
+/// (`None` = the method produces no label for this item, e.g. a
+/// single-source combiner whose source abstained) and per-source
+/// diagnostics.
+fn run_combiner(
+    matrix: &LabelMatrix,
+    source_names: &[String],
+    method: &CombineMethod,
+) -> (Vec<Option<Vec<f32>>>, Vec<SourceDiagnostics>) {
+    let coverage: Vec<f32> = (0..matrix.n_sources()).map(|j| matrix.coverage(j)).collect();
+    match method {
+        CombineMethod::MajorityVote => {
+            let dists = majority_vote(matrix).into_iter().map(Some).collect();
+            let diags = source_names
+                .iter()
+                .zip(&coverage)
+                .map(|(n, &c)| SourceDiagnostics {
+                    name: n.clone(),
+                    estimated_accuracy: None,
+                    coverage: c,
+                })
+                .collect();
+            (dists, diags)
+        }
+        CombineMethod::LabelModel(config) => {
+            let model = LabelModel::fit(matrix, config);
+            let dists = model.predict_proba(matrix).into_iter().map(Some).collect();
+            let diags = source_names
+                .iter()
+                .enumerate()
+                .map(|(j, n)| SourceDiagnostics {
+                    name: n.clone(),
+                    estimated_accuracy: Some(model.accuracies()[j]),
+                    coverage: coverage[j],
+                })
+                .collect();
+            (dists, diags)
+        }
+        CombineMethod::SingleSource(name) => {
+            let j = source_names.iter().position(|s| s == name).expect("validated above");
+            let dists = (0..matrix.n_items())
+                .map(|i| {
+                    let k = matrix.cardinality(i) as usize;
+                    matrix.vote(i, j).map(|v| {
+                        let mut d = vec![0.0; k];
+                        d[v as usize] = 1.0;
+                        d
+                    })
+                })
+                .collect();
+            let diags = source_names
+                .iter()
+                .zip(&coverage)
+                .map(|(n, &c)| SourceDiagnostics {
+                    name: n.clone(),
+                    estimated_accuracy: None,
+                    coverage: c,
+                })
+                .collect();
+            (dists, diags)
+        }
+    }
+}
+
+fn class_index(
+    classes: &[String],
+    name: &str,
+    task: &str,
+) -> Result<u32, CombineError> {
+    classes
+        .iter()
+        .position(|c| c == name)
+        .map(|i| i as u32)
+        .ok_or_else(|| CombineError::UnknownClass { task: task.to_string(), class: name.to_string() })
+}
+
+fn combine_multiclass_singleton(
+    dataset: &Dataset,
+    task: &str,
+    classes: &[String],
+    sources: &[String],
+    method: &CombineMethod,
+) -> Result<CombinedSupervision, CombineError> {
+    let k = classes.len() as u32;
+    let mut matrix = LabelMatrix::new(sources.len());
+    let mut item_record: Vec<usize> = Vec::new();
+    for (ri, record) in dataset.records().iter().enumerate() {
+        let votes = collect_votes(record, task, sources, |label| match label {
+            TaskLabel::MulticlassOne(c) => Some(class_index(classes, c, task)),
+            _ => None,
+        });
+        let votes = transpose_errors(votes)?;
+        if votes.iter().any(Option::is_some) {
+            matrix.push_item(k, &votes);
+            item_record.push(ri);
+        }
+    }
+    let (dists, diags) = run_combiner(&matrix, sources, method);
+    let mut labels = vec![None; dataset.len()];
+    for (item, ri) in item_record.iter().enumerate() {
+        if let Some(dist) = &dists[item] {
+            labels[*ri] = Some(ProbLabel::Dist(dist.clone()));
+        }
+    }
+    Ok(CombinedSupervision { labels, sources: diags })
+}
+
+fn combine_multiclass_sequence(
+    dataset: &Dataset,
+    task: &str,
+    classes: &[String],
+    sources: &[String],
+    method: &CombineMethod,
+) -> Result<CombinedSupervision, CombineError> {
+    let k = classes.len() as u32;
+    let payload_name = &dataset.schema().tasks[task].payload;
+    let mut matrix = LabelMatrix::new(sources.len());
+    // (record, token) per item.
+    let mut item_pos: Vec<(usize, usize)> = Vec::new();
+    let mut record_len: BTreeMap<usize, usize> = BTreeMap::new();
+    for (ri, record) in dataset.records().iter().enumerate() {
+        let Some(PayloadValue::Sequence(tokens)) = record.payloads.get(payload_name) else {
+            continue;
+        };
+        if record.weak_sources(task).next().is_none() {
+            continue;
+        }
+        record_len.insert(ri, tokens.len());
+        for t in 0..tokens.len() {
+            let votes = collect_votes(record, task, sources, |label| match label {
+                TaskLabel::MulticlassSeq(cs) => {
+                    cs.get(t).map(|c| class_index(classes, c, task))
+                }
+                _ => None,
+            });
+            let votes = transpose_errors(votes)?;
+            matrix.push_item(k, &votes);
+            item_pos.push((ri, t));
+        }
+    }
+    let (dists, diags) = run_combiner(&matrix, sources, method);
+    let mut per_record: BTreeMap<usize, Vec<Vec<f32>>> = BTreeMap::new();
+    let mut skipped: std::collections::BTreeSet<usize> = Default::default();
+    for (ri, len) in &record_len {
+        per_record.insert(*ri, vec![Vec::new(); *len]);
+    }
+    for (item, (ri, t)) in item_pos.iter().enumerate() {
+        match &dists[item] {
+            Some(dist) => per_record.get_mut(ri).expect("record registered")[*t] = dist.clone(),
+            // A source labels a whole sequence or nothing; one missing
+            // element means the combiner had nothing for this record.
+            None => {
+                skipped.insert(*ri);
+            }
+        }
+    }
+    let mut labels = vec![None; dataset.len()];
+    for (ri, rows) in per_record {
+        if !skipped.contains(&ri) {
+            labels[ri] = Some(ProbLabel::SeqDist(rows));
+        }
+    }
+    Ok(CombinedSupervision { labels, sources: diags })
+}
+
+fn combine_bitvector(
+    dataset: &Dataset,
+    task: &str,
+    bit_names: &[String],
+    sources: &[String],
+    method: &CombineMethod,
+    sequence: bool,
+) -> Result<CombinedSupervision, CombineError> {
+    let payload_name = &dataset.schema().tasks[task].payload;
+    // One binary matrix per bit; items align across bits.
+    let mut matrices: Vec<LabelMatrix> =
+        (0..bit_names.len()).map(|_| LabelMatrix::new(sources.len())).collect();
+    // item -> (record, element index or 0)
+    let mut item_pos: Vec<(usize, usize)> = Vec::new();
+    let mut record_len: BTreeMap<usize, usize> = BTreeMap::new();
+
+    for (ri, record) in dataset.records().iter().enumerate() {
+        if record.weak_sources(task).next().is_none() {
+            continue;
+        }
+        let elements = if sequence {
+            match record.payloads.get(payload_name) {
+                Some(PayloadValue::Sequence(tokens)) => tokens.len(),
+                _ => continue,
+            }
+        } else {
+            1
+        };
+        record_len.insert(ri, elements);
+        for t in 0..elements {
+            for (b, bit) in bit_names.iter().enumerate() {
+                let votes = collect_votes(record, task, sources, |label| {
+                    let bits: Option<&Vec<String>> = match (label, sequence) {
+                        (TaskLabel::BitvectorOne(bits), false) => Some(bits),
+                        (TaskLabel::BitvectorSeq(rows), true) => rows.get(t),
+                        _ => None,
+                    };
+                    bits.map(|bits| Ok(u32::from(bits.iter().any(|x| x == bit))))
+                });
+                let votes = transpose_errors(votes)?;
+                matrices[b].push_item(2, &votes);
+            }
+            item_pos.push((ri, t));
+        }
+    }
+
+    // Combine each bit independently; diagnostics averaged over bits.
+    let mut per_bit_dists: Vec<Vec<Option<Vec<f32>>>> = Vec::with_capacity(bit_names.len());
+    let mut acc_sums: Vec<(f32, usize)> = vec![(0.0, 0); sources.len()];
+    let mut coverage: Vec<f32> = vec![0.0; sources.len()];
+    for matrix in &matrices {
+        let (dists, diags) = run_combiner(matrix, sources, method);
+        for (j, d) in diags.iter().enumerate() {
+            if let Some(a) = d.estimated_accuracy {
+                acc_sums[j].0 += a;
+                acc_sums[j].1 += 1;
+            }
+            coverage[j] = d.coverage;
+        }
+        per_bit_dists.push(dists);
+    }
+    let diags = sources
+        .iter()
+        .enumerate()
+        .map(|(j, n)| SourceDiagnostics {
+            name: n.clone(),
+            estimated_accuracy: (acc_sums[j].1 > 0).then(|| acc_sums[j].0 / acc_sums[j].1 as f32),
+            coverage: coverage[j],
+        })
+        .collect();
+
+    let mut per_record: BTreeMap<usize, Vec<Vec<f32>>> = BTreeMap::new();
+    let mut skipped: std::collections::BTreeSet<usize> = Default::default();
+    for (ri, len) in &record_len {
+        per_record.insert(*ri, vec![vec![0.0; bit_names.len()]; *len]);
+    }
+    for (item, (ri, t)) in item_pos.iter().enumerate() {
+        for (b, bit_dists) in per_bit_dists.iter().enumerate() {
+            // P(bit = 1) is the posterior mass on class 1.
+            match &bit_dists[item] {
+                Some(dist) => per_record.get_mut(ri).expect("registered")[*t][b] = dist[1],
+                None => {
+                    skipped.insert(*ri);
+                }
+            }
+        }
+    }
+    let mut labels = vec![None; dataset.len()];
+    for (ri, rows) in per_record {
+        if skipped.contains(&ri) {
+            continue;
+        }
+        labels[ri] = Some(if sequence {
+            ProbLabel::SeqBits(rows)
+        } else {
+            ProbLabel::Bits(rows.into_iter().next().expect("one element"))
+        });
+    }
+    Ok(CombinedSupervision { labels, sources: diags })
+}
+
+fn combine_select(
+    dataset: &Dataset,
+    task: &str,
+    payload_name: &str,
+    sources: &[String],
+    method: &CombineMethod,
+) -> Result<CombinedSupervision, CombineError> {
+    let mut matrix = LabelMatrix::new(sources.len());
+    let mut item_record: Vec<(usize, usize)> = Vec::new(); // (record, set size)
+    for (ri, record) in dataset.records().iter().enumerate() {
+        let Some(PayloadValue::Set(items)) = record.payloads.get(payload_name) else { continue };
+        if items.is_empty() {
+            continue;
+        }
+        let votes = collect_votes(record, task, sources, |label| match label {
+            TaskLabel::Select(idx) => Some(Ok(*idx as u32)),
+            _ => None,
+        });
+        let votes = transpose_errors(votes)?;
+        if votes.iter().any(Option::is_some) {
+            matrix.push_item(items.len() as u32, &votes);
+            item_record.push((ri, items.len()));
+        }
+    }
+    let (dists, diags) = run_combiner(&matrix, sources, method);
+    let mut labels = vec![None; dataset.len()];
+    for (item, (ri, _)) in item_record.iter().enumerate() {
+        if let Some(dist) = &dists[item] {
+            labels[*ri] = Some(ProbLabel::Dist(dist.clone()));
+        }
+    }
+    Ok(CombinedSupervision { labels, sources: diags })
+}
+
+/// Extracts one vote per source from a record, using `extract` to map a
+/// label to a class index (None = wrong granularity = abstain).
+fn collect_votes(
+    record: &Record,
+    task: &str,
+    sources: &[String],
+    extract: impl Fn(&TaskLabel) -> Option<Result<u32, CombineError>>,
+) -> Vec<Option<Result<u32, CombineError>>> {
+    sources
+        .iter()
+        .map(|source| {
+            record
+                .tasks
+                .get(task)
+                .and_then(|m| m.get(source))
+                .and_then(&extract)
+        })
+        .collect()
+}
+
+/// Turns per-vote `Option<Result<..>>` into `Result<Vec<Option<..>>>`.
+fn transpose_errors(
+    votes: Vec<Option<Result<u32, CombineError>>>,
+) -> Result<Vec<Option<u32>>, CombineError> {
+    votes.into_iter().map(Option::transpose).collect()
+}
+
+/// The fraction of supervised training records for a task whose supervision
+/// is weak-only (no gold label) — the "Amount of Weak Supervision" column of
+/// Figure 3.
+pub fn weak_supervision_fraction(dataset: &Dataset, task: &str) -> f32 {
+    let mut supervised = 0usize;
+    let mut weak_only = 0usize;
+    for record in dataset.records() {
+        if !record.has_tag(overton_store::TAG_TRAIN) {
+            continue;
+        }
+        let has_weak = record.weak_sources(task).next().is_some();
+        let has_gold = record.gold(task).is_some();
+        if has_weak || has_gold {
+            supervised += 1;
+            if !has_gold {
+                weak_only += 1;
+            }
+        }
+    }
+    if supervised == 0 {
+        0.0
+    } else {
+        weak_only as f32 / supervised as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use overton_store::{example_schema, Record, SetElement};
+
+    fn dataset_with_intent_votes() -> Dataset {
+        let mut ds = Dataset::new(example_schema());
+        // weak1 is reliable, weak2 is noisy: weak1 says Height, weak2 varies.
+        for i in 0..30 {
+            let w2 = if i % 3 == 0 { "Age" } else { "Height" };
+            let r = Record::new()
+                .with_payload("query", PayloadValue::Singleton(format!("q{i}")))
+                .with_label("Intent", "weak1", TaskLabel::MulticlassOne("Height".into()))
+                .with_label("Intent", "weak2", TaskLabel::MulticlassOne(w2.into()))
+                .with_tag("train");
+            ds.push(r).unwrap();
+        }
+        ds
+    }
+
+    #[test]
+    fn majority_vote_singleton() {
+        let ds = dataset_with_intent_votes();
+        let combined = combine_task(&ds, "Intent", &CombineMethod::MajorityVote).unwrap();
+        assert_eq!(combined.supervised_count(), 30);
+        let dist = match combined.labels[1].as_ref().unwrap() {
+            ProbLabel::Dist(d) => d,
+            other => panic!("expected Dist, got {other:?}"),
+        };
+        // Height is class 0 in the example schema's Intent classes.
+        assert_eq!(dist[0], 1.0);
+    }
+
+    #[test]
+    fn label_model_singleton_prefers_consistent_source() {
+        let ds = dataset_with_intent_votes();
+        let combined = combine_task(&ds, "Intent", &CombineMethod::default()).unwrap();
+        let weak1 = combined.sources.iter().find(|s| s.name == "weak1").unwrap();
+        let weak2 = combined.sources.iter().find(|s| s.name == "weak2").unwrap();
+        assert!(weak1.estimated_accuracy.unwrap() > weak2.estimated_accuracy.unwrap());
+    }
+
+    #[test]
+    fn single_source_method() {
+        let ds = dataset_with_intent_votes();
+        let combined =
+            combine_task(&ds, "Intent", &CombineMethod::SingleSource("weak2".into())).unwrap();
+        // Record 0: weak2 voted Age (class 1).
+        let dist = match combined.labels[0].as_ref().unwrap() {
+            ProbLabel::Dist(d) => d,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(dist[1], 1.0);
+    }
+
+    #[test]
+    fn unknown_source_errors() {
+        let ds = dataset_with_intent_votes();
+        let err = combine_task(&ds, "Intent", &CombineMethod::SingleSource("nope".into()));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn unknown_task_errors() {
+        let ds = dataset_with_intent_votes();
+        assert!(combine_task(&ds, "NotATask", &CombineMethod::MajorityVote).is_err());
+    }
+
+    #[test]
+    fn records_without_votes_get_none() {
+        let mut ds = dataset_with_intent_votes();
+        ds.push(
+            Record::new().with_payload("query", PayloadValue::Singleton("unlabeled".into())),
+        )
+        .unwrap();
+        let combined = combine_task(&ds, "Intent", &CombineMethod::MajorityVote).unwrap();
+        assert!(combined.labels[30].is_none());
+        assert_eq!(combined.supervised_count(), 30);
+    }
+
+    #[test]
+    fn sequence_task_combination() {
+        let mut ds = Dataset::new(example_schema());
+        for _ in 0..10 {
+            let r = Record::new()
+                .with_payload(
+                    "tokens",
+                    PayloadValue::Sequence(vec!["how".into(), "tall".into()]),
+                )
+                .with_label(
+                    "POS",
+                    "spacy",
+                    TaskLabel::MulticlassSeq(vec!["ADV".into(), "ADJ".into()]),
+                )
+                .with_label(
+                    "POS",
+                    "heur",
+                    TaskLabel::MulticlassSeq(vec!["ADV".into(), "VERB".into()]),
+                )
+                .with_tag("train");
+            ds.push(r).unwrap();
+        }
+        let combined = combine_task(&ds, "POS", &CombineMethod::MajorityVote).unwrap();
+        let rows = match combined.labels[0].as_ref().unwrap() {
+            ProbLabel::SeqDist(rows) => rows,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(rows.len(), 2);
+        // Token 0: both agree on ADV (class 0) -> probability 1.
+        assert_eq!(rows[0][0], 1.0);
+        // Token 1: split between ADJ (1) and VERB (2).
+        assert_eq!(rows[1][1], 0.5);
+        assert_eq!(rows[1][2], 0.5);
+    }
+
+    #[test]
+    fn bitvector_task_combination() {
+        let mut ds = Dataset::new(example_schema());
+        for _ in 0..10 {
+            let r = Record::new()
+                .with_payload("tokens", PayloadValue::Sequence(vec!["united".into()]))
+                .with_label(
+                    "EntityType",
+                    "kb1",
+                    TaskLabel::BitvectorSeq(vec![vec!["location".into(), "country".into()]]),
+                )
+                .with_label(
+                    "EntityType",
+                    "kb2",
+                    TaskLabel::BitvectorSeq(vec![vec!["location".into()]]),
+                )
+                .with_tag("train");
+            ds.push(r).unwrap();
+        }
+        let combined = combine_task(&ds, "EntityType", &CombineMethod::MajorityVote).unwrap();
+        let rows = match combined.labels[0].as_ref().unwrap() {
+            ProbLabel::SeqBits(rows) => rows,
+            other => panic!("{other:?}"),
+        };
+        // Bits order: ["person", "location", "country", "title", "organization"]
+        assert_eq!(rows[0][0], 0.0); // person: both vote 0
+        assert_eq!(rows[0][1], 1.0); // location: both vote 1
+        assert_eq!(rows[0][2], 0.5); // country: split
+    }
+
+    #[test]
+    fn select_task_combination() {
+        let mut ds = Dataset::new(example_schema());
+        for _ in 0..10 {
+            let r = Record::new()
+                .with_payload("tokens", PayloadValue::Sequence(vec!["a".into(), "b".into()]))
+                .with_payload(
+                    "entities",
+                    PayloadValue::Set(vec![
+                        SetElement { id: "E0".into(), span: (0, 1) },
+                        SetElement { id: "E1".into(), span: (1, 2) },
+                        SetElement { id: "E2".into(), span: (0, 2) },
+                    ]),
+                )
+                .with_label("IntentArg", "w1", TaskLabel::Select(1))
+                .with_label("IntentArg", "w2", TaskLabel::Select(1))
+                .with_label("IntentArg", "w3", TaskLabel::Select(2))
+                .with_tag("train");
+            ds.push(r).unwrap();
+        }
+        let combined = combine_task(&ds, "IntentArg", &CombineMethod::default()).unwrap();
+        let dist = match combined.labels[0].as_ref().unwrap() {
+            ProbLabel::Dist(d) => d,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(dist.len(), 3);
+        let arg = dist.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
+        assert_eq!(arg, 1);
+    }
+
+    #[test]
+    fn weak_fraction_counts_gold() {
+        let mut ds = dataset_with_intent_votes();
+        // Add 10 train records that ALSO carry gold labels.
+        for i in 0..10 {
+            let r = Record::new()
+                .with_payload("query", PayloadValue::Singleton(format!("g{i}")))
+                .with_label("Intent", "gold", TaskLabel::MulticlassOne("Height".into()))
+                .with_label("Intent", "weak1", TaskLabel::MulticlassOne("Height".into()))
+                .with_tag("train");
+            ds.push(r).unwrap();
+        }
+        let frac = weak_supervision_fraction(&ds, "Intent");
+        assert!((frac - 0.75).abs() < 1e-6, "fraction {frac}");
+    }
+}

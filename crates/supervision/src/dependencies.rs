@@ -1,0 +1,198 @@
+//! Source-dependency diagnostics.
+//!
+//! The label model assumes sources are conditionally independent given the
+//! truth. Correlated sources (one LF derived from another, two annotators
+//! sharing guidelines) violate that and silently inflate confidence —
+//! Varma et al. (ICML'19), cited by the paper, learn such structure. This
+//! module provides the monitoring half: detect source pairs that **err
+//! together**, so an engineer can merge or drop one.
+//!
+//! The statistic: for a pair `(a, b)`, take the plurality consensus of the
+//! *remaining* sources as a truth proxy, and compare the rate at which `a`
+//! and `b` make the *same* mistake against what independent errors would
+//! produce (`e_a * e_b / (k - 1)`). Dependent pairs show large positive
+//! excess; independent pairs are near zero regardless of their accuracy.
+
+use crate::matrix::LabelMatrix;
+
+/// Excess co-error between a pair of sources.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DependencyDiagnostic {
+    /// First source index.
+    pub source_a: usize,
+    /// Second source index.
+    pub source_b: usize,
+    /// Observed rate of identical errors (vs. the leave-pair-out consensus).
+    pub observed_co_error: f64,
+    /// The rate independent errors would produce.
+    pub expected_co_error: f64,
+    /// `observed - expected`; large positive values indicate dependence.
+    pub excess: f64,
+    /// Items that contributed (both voted, consensus existed).
+    pub support: usize,
+}
+
+/// Computes pairwise co-error diagnostics. Pairs are returned sorted by
+/// descending excess. Requires at least 3 sources (the consensus must
+/// exclude the pair under test).
+pub fn source_dependencies(matrix: &LabelMatrix) -> Vec<DependencyDiagnostic> {
+    let m = matrix.n_sources();
+    if m < 3 {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for a in 0..m {
+        for b in (a + 1)..m {
+            let mut support = 0usize;
+            let mut err_a = 0usize;
+            let mut err_b = 0usize;
+            let mut same_error = 0usize;
+            let mut inv_k_minus_1 = 0.0f64;
+            for i in 0..matrix.n_items() {
+                let (Some(va), Some(vb)) = (matrix.vote(i, a), matrix.vote(i, b)) else {
+                    continue;
+                };
+                let k = matrix.cardinality(i);
+                if k < 2 {
+                    continue;
+                }
+                let Some(consensus) = leave_pair_out_consensus(matrix, i, a, b) else {
+                    continue;
+                };
+                support += 1;
+                inv_k_minus_1 += 1.0 / f64::from(k - 1);
+                if va != consensus {
+                    err_a += 1;
+                }
+                if vb != consensus {
+                    err_b += 1;
+                }
+                if va == vb && va != consensus {
+                    same_error += 1;
+                }
+            }
+            if support == 0 {
+                continue;
+            }
+            let n = support as f64;
+            let (ea, eb) = (err_a as f64 / n, err_b as f64 / n);
+            let observed = same_error as f64 / n;
+            // Independent errors land on the same wrong class with
+            // probability 1/(k-1) (averaged over items).
+            let expected = ea * eb * (inv_k_minus_1 / n);
+            out.push(DependencyDiagnostic {
+                source_a: a,
+                source_b: b,
+                observed_co_error: observed,
+                expected_co_error: expected,
+                excess: observed - expected,
+                support,
+            });
+        }
+    }
+    out.sort_by(|x, y| y.excess.partial_cmp(&x.excess).unwrap());
+    out
+}
+
+/// Plurality vote among all sources except `a` and `b`; `None` on ties or
+/// when nobody voted.
+fn leave_pair_out_consensus(
+    matrix: &LabelMatrix,
+    item: usize,
+    a: usize,
+    b: usize,
+) -> Option<u32> {
+    let k = matrix.cardinality(item) as usize;
+    let mut counts = vec![0u32; k];
+    for (j, vote) in matrix.votes(item).iter().enumerate() {
+        if j == a || j == b {
+            continue;
+        }
+        if let Some(v) = vote {
+            counts[*v as usize] += 1;
+        }
+    }
+    let max = *counts.iter().max()?;
+    if max == 0 {
+        return None;
+    }
+    let winners: Vec<usize> =
+        (0..k).filter(|&c| counts[c] == max).collect();
+    (winners.len() == 1).then(|| winners[0] as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Three independent sources plus a fourth that copies source 0 with
+    /// small noise.
+    fn matrix_with_copycat(n: usize, seed: u64) -> LabelMatrix {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut matrix = LabelMatrix::new(5);
+        for _ in 0..n {
+            let y = rng.gen_range(0..3u32);
+            let vote = |y: u32, acc: f32, rng: &mut SmallRng| {
+                if rng.gen::<f32>() < acc {
+                    y
+                } else {
+                    let mut w = rng.gen_range(0..2u32);
+                    if w >= y {
+                        w += 1;
+                    }
+                    w
+                }
+            };
+            let v0 = vote(y, 0.8, &mut rng);
+            let v1 = vote(y, 0.75, &mut rng);
+            let v2 = vote(y, 0.7, &mut rng);
+            let v4 = vote(y, 0.72, &mut rng);
+            // Copycat: follows v0 95% of the time.
+            let v3 = if rng.gen::<f32>() < 0.95 { v0 } else { vote(y, 0.8, &mut rng) };
+            matrix.push_item(3, &[Some(v0), Some(v1), Some(v2), Some(v3), Some(v4)]);
+        }
+        matrix
+    }
+
+    #[test]
+    fn copycat_pair_ranks_first() {
+        let matrix = matrix_with_copycat(4000, 1);
+        let deps = source_dependencies(&matrix);
+        assert!(!deps.is_empty());
+        let top = &deps[0];
+        assert_eq!((top.source_a, top.source_b), (0, 3), "top pair: {top:?}");
+        assert!(top.excess > 0.08, "excess {:.3}", top.excess);
+    }
+
+    #[test]
+    fn independent_pairs_score_well_below_the_dependent_pair() {
+        // A wrong consensus (swayed by the copycat pair itself) correlates
+        // everyone's "errors" slightly, so independent pairs are not at
+        // exactly zero — but they stay far below the dependent pair.
+        let matrix = matrix_with_copycat(4000, 2);
+        let deps = source_dependencies(&matrix);
+        let top = deps[0].excess;
+        for d in &deps {
+            if d.source_b != 3 && d.source_a != 3 {
+                assert!(
+                    d.excess < top * 0.5,
+                    "independent pair too close to the copycat pair: {d:?} (top {top:.3})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn two_sources_yield_nothing() {
+        let matrix = LabelMatrix::from_rows(2, &[vec![Some(0), Some(1)]]);
+        assert!(source_dependencies(&matrix).is_empty());
+    }
+
+    #[test]
+    fn empty_matrix_yields_no_diagnostics() {
+        let matrix = LabelMatrix::new(4);
+        assert!(source_dependencies(&matrix).is_empty());
+    }
+}

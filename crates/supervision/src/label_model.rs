@@ -1,0 +1,376 @@
+//! The generative label model (data programming, Ratner et al. NIPS'16).
+//!
+//! Sources are modeled as conditionally independent given the true label,
+//! with a per-source **accuracy** (probability of voting the truth when not
+//! abstaining; errors are spread uniformly over the other classes) and
+//! **propensity** (probability of voting at all). Parameters are estimated
+//! by EM from the label matrix alone — no ground truth — and the resulting
+//! posterior over each item's true label becomes the training distribution
+//! ("Overton estimates the accuracy of these sources and then uses these
+//! accuracies to compute a probability that each training point is
+//! correct", §2.2).
+
+use crate::matrix::LabelMatrix;
+
+/// Hyperparameters for [`LabelModel::fit`].
+#[derive(Debug, Clone)]
+pub struct LabelModelConfig {
+    /// Maximum EM iterations.
+    pub max_iter: usize,
+    /// Stop when the largest parameter change falls below this.
+    pub tol: f32,
+    /// Beta-prior pseudo-counts smoothing accuracy estimates (guards against
+    /// degenerate 0/1 accuracies on small data).
+    pub smoothing: f32,
+    /// Initial accuracy assumed for every source (better than chance).
+    pub init_accuracy: f32,
+    /// Whether to estimate the class balance (only possible with uniform
+    /// cardinality); otherwise a uniform prior is used.
+    pub estimate_balance: bool,
+}
+
+impl Default for LabelModelConfig {
+    fn default() -> Self {
+        Self {
+            max_iter: 100,
+            tol: 1e-5,
+            smoothing: 1.0,
+            init_accuracy: 0.7,
+            estimate_balance: true,
+        }
+    }
+}
+
+/// A fitted label model.
+#[derive(Debug, Clone)]
+pub struct LabelModel {
+    accuracies: Vec<f32>,
+    propensities: Vec<f32>,
+    class_balance: Option<Vec<f32>>,
+    iterations: usize,
+}
+
+impl LabelModel {
+    /// Fits the model to a label matrix by EM.
+    ///
+    /// # Panics
+    /// Panics if the matrix has no sources.
+    pub fn fit(matrix: &LabelMatrix, config: &LabelModelConfig) -> Self {
+        assert!(matrix.n_sources() > 0, "label model needs at least one source");
+        let m = matrix.n_sources();
+        let uniform_k = matrix.uniform_cardinality();
+        let mut accuracies = vec![config.init_accuracy.clamp(0.05, 0.95); m];
+        let mut balance: Option<Vec<f32>> = match (config.estimate_balance, uniform_k) {
+            (true, Some(k)) if k > 0 => Some(vec![1.0 / k as f32; k as usize]),
+            _ => None,
+        };
+        let propensities: Vec<f32> = (0..m).map(|j| matrix.coverage(j)).collect();
+
+        let mut iterations = 0;
+        for _ in 0..config.max_iter {
+            iterations += 1;
+            let posteriors = posterior_given(matrix, &accuracies, balance.as_deref());
+
+            // M-step: accuracy_j = E[#correct votes] / #votes (+ smoothing).
+            let mut new_acc = vec![0.0f32; m];
+            let mut votes = vec![0.0f32; m];
+            for (i, post) in posteriors.iter().enumerate() {
+                for (j, vote) in matrix.votes(i).iter().enumerate() {
+                    if let Some(v) = vote {
+                        new_acc[j] += post[*v as usize];
+                        votes[j] += 1.0;
+                    }
+                }
+            }
+            let mut max_delta = 0.0f32;
+            for j in 0..m {
+                let est = (new_acc[j] + config.smoothing)
+                    / (votes[j] + 2.0 * config.smoothing);
+                let est = est.clamp(0.01, 0.99);
+                max_delta = max_delta.max((est - accuracies[j]).abs());
+                accuracies[j] = est;
+            }
+            if let Some(bal) = &mut balance {
+                let k = bal.len();
+                let mut new_bal = vec![config.smoothing; k];
+                for post in &posteriors {
+                    for (c, &p) in post.iter().enumerate() {
+                        new_bal[c] += p;
+                    }
+                }
+                let total: f32 = new_bal.iter().sum();
+                for (b, nb) in bal.iter_mut().zip(&new_bal) {
+                    let est = nb / total;
+                    max_delta = max_delta.max((est - *b).abs());
+                    *b = est;
+                }
+            }
+            if max_delta < config.tol {
+                break;
+            }
+        }
+        Self { accuracies, propensities, class_balance: balance, iterations }
+    }
+
+    /// Estimated per-source accuracies.
+    pub fn accuracies(&self) -> &[f32] {
+        &self.accuracies
+    }
+
+    /// Observed per-source propensities (vote rates).
+    pub fn propensities(&self) -> &[f32] {
+        &self.propensities
+    }
+
+    /// Estimated class balance (None when cardinality varies per item).
+    pub fn class_balance(&self) -> Option<&[f32]> {
+        self.class_balance.as_deref()
+    }
+
+    /// EM iterations used.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Posterior distribution over each item's true label.
+    pub fn predict_proba(&self, matrix: &LabelMatrix) -> Vec<Vec<f32>> {
+        posterior_given(matrix, &self.accuracies, self.class_balance.as_deref())
+    }
+
+    /// Hard posterior predictions (argmax; first class on ties).
+    pub fn predict(&self, matrix: &LabelMatrix) -> Vec<u32> {
+        self.predict_proba(matrix)
+            .iter()
+            .map(|dist| {
+                let mut best = 0usize;
+                for (c, &p) in dist.iter().enumerate() {
+                    if p > dist[best] {
+                        best = c;
+                    }
+                }
+                best as u32
+            })
+            .collect()
+    }
+}
+
+/// E-step: `P(y_i = c | votes, params)` in log space.
+fn posterior_given(
+    matrix: &LabelMatrix,
+    accuracies: &[f32],
+    balance: Option<&[f32]>,
+) -> Vec<Vec<f32>> {
+    (0..matrix.n_items())
+        .map(|i| {
+            let k = matrix.cardinality(i) as usize;
+            let mut log_post: Vec<f64> = (0..k)
+                .map(|c| match balance {
+                    Some(b) if b.len() == k => (b[c].max(1e-9) as f64).ln(),
+                    _ => (1.0 / k as f64).ln(),
+                })
+                .collect();
+            for (j, vote) in matrix.votes(i).iter().enumerate() {
+                let Some(v) = vote else { continue };
+                let acc = accuracies[j] as f64;
+                // With a single candidate the vote carries no information.
+                if k <= 1 {
+                    continue;
+                }
+                let wrong = ((1.0 - acc) / (k as f64 - 1.0)).max(1e-12);
+                for (c, lp) in log_post.iter_mut().enumerate() {
+                    *lp += if c as u32 == *v { acc.max(1e-12).ln() } else { wrong.ln() };
+                }
+            }
+            // Normalize stably.
+            let max = log_post.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let mut probs: Vec<f64> = log_post.iter().map(|lp| (lp - max).exp()).collect();
+            let z: f64 = probs.iter().sum();
+            for p in &mut probs {
+                *p /= z;
+            }
+            probs.into_iter().map(|p| p as f32).collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Generates a synthetic label matrix from known source accuracies.
+    /// Returns (matrix, true labels).
+    pub(crate) fn synth(
+        n: usize,
+        k: u32,
+        accs: &[f32],
+        coverage: &[f32],
+        seed: u64,
+    ) -> (LabelMatrix, Vec<u32>) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut matrix = LabelMatrix::new(accs.len());
+        let mut truth = Vec::with_capacity(n);
+        for _ in 0..n {
+            let y = rng.gen_range(0..k);
+            truth.push(y);
+            let votes: Vec<Option<u32>> = accs
+                .iter()
+                .zip(coverage)
+                .map(|(&a, &c)| {
+                    if rng.gen::<f32>() > c {
+                        return None;
+                    }
+                    if rng.gen::<f32>() < a {
+                        Some(y)
+                    } else {
+                        // Uniform wrong class.
+                        let mut w = rng.gen_range(0..k - 1);
+                        if w >= y {
+                            w += 1;
+                        }
+                        Some(w)
+                    }
+                })
+                .collect();
+            matrix.push_item(k, &votes);
+        }
+        (matrix, truth)
+    }
+
+    fn accuracy(pred: &[u32], truth: &[u32]) -> f32 {
+        let correct = pred.iter().zip(truth).filter(|(a, b)| a == b).count();
+        correct as f32 / truth.len() as f32
+    }
+
+    #[test]
+    fn recovers_source_accuracies() {
+        let true_accs = [0.9, 0.7, 0.55];
+        let (matrix, _) = synth(4000, 3, &true_accs, &[0.9, 0.8, 0.7], 7);
+        let model = LabelModel::fit(&matrix, &LabelModelConfig::default());
+        for (est, truth) in model.accuracies().iter().zip(&true_accs) {
+            assert!(
+                (est - truth).abs() < 0.05,
+                "estimated {est}, true {truth} (all: {:?})",
+                model.accuracies()
+            );
+        }
+    }
+
+    #[test]
+    fn beats_majority_vote_with_unequal_sources() {
+        // One excellent source + two noisy ones: MV is dragged down by the
+        // noise; the label model learns to trust the good source.
+        let (matrix, truth) = synth(3000, 2, &[0.95, 0.6, 0.6], &[1.0, 1.0, 1.0], 13);
+        let model = LabelModel::fit(&matrix, &LabelModelConfig::default());
+        let lm_acc = accuracy(&model.predict(&matrix), &truth);
+        let mv_acc = accuracy(&crate::majority::majority_vote_hard(&matrix), &truth);
+        assert!(
+            lm_acc > mv_acc + 0.02,
+            "label model {lm_acc} should beat majority vote {mv_acc}"
+        );
+        assert!(lm_acc > 0.9, "label model accuracy {lm_acc}");
+    }
+
+    #[test]
+    fn posterior_rows_sum_to_one() {
+        let (matrix, _) = synth(100, 4, &[0.8, 0.6], &[0.7, 0.5], 3);
+        let model = LabelModel::fit(&matrix, &LabelModelConfig::default());
+        for dist in model.predict_proba(&matrix) {
+            let s: f32 = dist.iter().sum();
+            assert!((s - 1.0).abs() < 1e-4, "sums to {s}");
+            assert!(dist.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn abstain_only_items_fall_back_to_prior() {
+        let mut matrix = LabelMatrix::new(2);
+        matrix.push_item(2, &[Some(0), Some(0)]);
+        matrix.push_item(2, &[None, None]);
+        let model = LabelModel::fit(&matrix, &LabelModelConfig::default());
+        let post = model.predict_proba(&matrix);
+        // Item 1 has no evidence: posterior equals the class balance.
+        let bal = model.class_balance().unwrap();
+        assert!((post[1][0] - bal[0]).abs() < 1e-5);
+    }
+
+    #[test]
+    fn varying_cardinality_select_items() {
+        // Select task: items have different candidate-set sizes. Three
+        // sources are needed for the accuracies to be identifiable (with
+        // two, only their product is constrained by agreement rates).
+        let mut rng = SmallRng::seed_from_u64(21);
+        let mut matrix = LabelMatrix::new(3);
+        let mut truth = Vec::new();
+        for _ in 0..2000 {
+            let k = rng.gen_range(2..6u32);
+            let y = rng.gen_range(0..k);
+            truth.push(y);
+            let votes: Vec<Option<u32>> = [0.9f32, 0.55, 0.7]
+                .iter()
+                .map(|&a| {
+                    if rng.gen::<f32>() < a {
+                        Some(y)
+                    } else {
+                        let mut w = rng.gen_range(0..k - 1);
+                        if w >= y {
+                            w += 1;
+                        }
+                        Some(w)
+                    }
+                })
+                .collect();
+            matrix.push_item(k, &votes);
+        }
+        let model = LabelModel::fit(&matrix, &LabelModelConfig::default());
+        assert!(model.class_balance().is_none(), "no balance for varying k");
+        assert!(
+            model.accuracies()[0] > model.accuracies()[1] + 0.1,
+            "should rank the good source higher: {:?}",
+            model.accuracies()
+        );
+        let acc = accuracy(&model.predict(&matrix), &truth);
+        assert!(acc > 0.85, "posterior accuracy {acc}");
+    }
+
+    #[test]
+    fn skewed_class_balance_is_estimated() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut matrix = LabelMatrix::new(2);
+        for _ in 0..3000 {
+            let y = u32::from(rng.gen::<f32>() < 0.2); // 80% class 0
+            let votes: Vec<Option<u32>> = (0..2)
+                .map(|_| {
+                    if rng.gen::<f32>() < 0.85 {
+                        Some(y)
+                    } else {
+                        Some(1 - y)
+                    }
+                })
+                .collect();
+            matrix.push_item(2, &votes);
+        }
+        let model = LabelModel::fit(&matrix, &LabelModelConfig::default());
+        let bal = model.class_balance().unwrap();
+        assert!((bal[0] - 0.8).abs() < 0.08, "balance {bal:?}");
+    }
+
+    #[test]
+    fn converges_and_reports_iterations() {
+        let (matrix, _) = synth(500, 2, &[0.8, 0.8], &[1.0, 1.0], 11);
+        let model = LabelModel::fit(&matrix, &LabelModelConfig::default());
+        assert!(model.iterations() >= 1);
+        assert!(model.iterations() <= 100);
+    }
+
+    #[test]
+    fn single_candidate_items_are_harmless() {
+        let mut matrix = LabelMatrix::new(1);
+        matrix.push_item(1, &[Some(0)]); // only one candidate: trivially true
+        matrix.push_item(3, &[Some(2)]);
+        let model = LabelModel::fit(&matrix, &LabelModelConfig::default());
+        let post = model.predict_proba(&matrix);
+        assert_eq!(post[0], vec![1.0]);
+    }
+}

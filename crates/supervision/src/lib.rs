@@ -1,0 +1,34 @@
+//! # overton-supervision
+//!
+//! Weak supervision management (paper §2.2 and design decision "Design for
+//! Weakly Supervised Code", §2.4): label matrices over abstaining sources,
+//! a majority-vote baseline, the generative **label model** fit by EM (the
+//! Snorkel data-programming estimator), a closed-form **triplet**
+//! method-of-moments alternative, class rebalancing, per-task combination at
+//! every granularity (singleton / sequence / set / bitvector), and
+//! label-preserving **data augmentation** with lineage tags.
+
+#![warn(missing_docs)]
+
+mod augment;
+mod balance;
+mod combine;
+mod dependencies;
+mod label_model;
+mod majority;
+mod matrix;
+mod prob;
+mod triplet;
+
+pub use augment::{AugmentPolicy, SynonymSwap, TokenDropout, Transform, AUG_TAG_PREFIX};
+pub use balance::{class_weights, example_weight};
+pub use combine::{
+    combine_task, weak_supervision_fraction, CombineError, CombineMethod, CombinedSupervision,
+    SourceDiagnostics,
+};
+pub use dependencies::{source_dependencies, DependencyDiagnostic};
+pub use label_model::{LabelModel, LabelModelConfig};
+pub use majority::{majority_vote, majority_vote_hard};
+pub use matrix::LabelMatrix;
+pub use prob::ProbLabel;
+pub use triplet::{triplet_accuracies, TripletEstimate};

@@ -1,0 +1,80 @@
+//! Majority-vote baseline combiner.
+
+use crate::matrix::LabelMatrix;
+
+/// Combines votes by unweighted majority. Ties split probability mass
+/// uniformly among the tied classes; items with no votes get a uniform
+/// distribution.
+///
+/// This is the baseline the label model is compared against (the paper's
+/// "previous system" resolved conflicting supervision ad hoc; majority vote
+/// is the strongest generic ad-hoc rule).
+pub fn majority_vote(matrix: &LabelMatrix) -> Vec<Vec<f32>> {
+    (0..matrix.n_items())
+        .map(|i| {
+            let k = matrix.cardinality(i) as usize;
+            let mut counts = vec![0u32; k];
+            for vote in matrix.votes(i).iter().flatten() {
+                counts[*vote as usize] += 1;
+            }
+            let max = counts.iter().copied().max().unwrap_or(0);
+            if max == 0 {
+                return vec![1.0 / k as f32; k];
+            }
+            let winners = counts.iter().filter(|&&c| c == max).count() as f32;
+            counts
+                .iter()
+                .map(|&c| if c == max { 1.0 / winners } else { 0.0 })
+                .collect()
+        })
+        .collect()
+}
+
+/// Hard predictions from the majority distribution (first class on ties).
+pub fn majority_vote_hard(matrix: &LabelMatrix) -> Vec<u32> {
+    majority_vote(matrix)
+        .iter()
+        .map(|dist| {
+            let mut best = 0;
+            for (c, &p) in dist.iter().enumerate() {
+                if p > dist[best] {
+                    best = c;
+                }
+            }
+            best as u32
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clear_majority_wins() {
+        let m = LabelMatrix::from_rows(3, &[vec![Some(1), Some(1), Some(2)]]);
+        let dist = majority_vote(&m);
+        assert_eq!(dist[0], vec![0.0, 1.0, 0.0]);
+        assert_eq!(majority_vote_hard(&m), vec![1]);
+    }
+
+    #[test]
+    fn ties_split_mass() {
+        let m = LabelMatrix::from_rows(2, &[vec![Some(0), Some(1)]]);
+        let dist = majority_vote(&m);
+        assert_eq!(dist[0], vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn all_abstain_is_uniform() {
+        let m = LabelMatrix::from_rows(4, &[vec![None, None]]);
+        let dist = majority_vote(&m);
+        assert_eq!(dist[0], vec![0.25; 4]);
+    }
+
+    #[test]
+    fn abstains_do_not_count() {
+        let m = LabelMatrix::from_rows(2, &[vec![Some(0), None, None]]);
+        assert_eq!(majority_vote(&m)[0], vec![1.0, 0.0]);
+    }
+}

@@ -1,0 +1,160 @@
+//! Closed-form (method-of-moments) accuracy estimation via the triplet
+//! method, a Snorkel-family alternative to EM for binary tasks.
+//!
+//! For sources mapped to votes in `{-1, +1}` (abstain excluded) that are
+//! conditionally independent given the truth, the vote correlations satisfy
+//! `E[l_i l_j] = a_i a_j` where `a_j = 2*accuracy_j - 1`. Any triplet
+//! `(i, j, k)` then gives `|a_i| = sqrt(|M_ij * M_ik / M_jk|)`; we take the
+//! median over all triplets for robustness and resolve signs by assuming
+//! sources are better than random on average.
+
+use crate::matrix::LabelMatrix;
+
+/// Accuracy estimates from the triplet method.
+#[derive(Debug, Clone)]
+pub struct TripletEstimate {
+    /// Per-source accuracy in `[0, 1]`.
+    pub accuracies: Vec<f32>,
+}
+
+/// Estimates binary-source accuracies without EM.
+///
+/// # Panics
+/// Panics unless the matrix is binary (all cardinalities 2) with at least 3
+/// sources.
+#[allow(clippy::needless_range_loop)] // symmetric (a, b) moment fill is clearest indexed
+pub fn triplet_accuracies(matrix: &LabelMatrix) -> TripletEstimate {
+    assert_eq!(matrix.uniform_cardinality(), Some(2), "triplet method requires binary labels");
+    let m = matrix.n_sources();
+    assert!(m >= 3, "triplet method needs >= 3 sources, got {m}");
+
+    // Pairwise second moments over co-voting items.
+    let mut moments = vec![vec![0.0f64; m]; m];
+    for a in 0..m {
+        for b in (a + 1)..m {
+            let mut sum = 0.0f64;
+            let mut count = 0usize;
+            for i in 0..matrix.n_items() {
+                if let (Some(x), Some(y)) = (matrix.vote(i, a), matrix.vote(i, b)) {
+                    let xs = if x == 1 { 1.0 } else { -1.0 };
+                    let ys = if y == 1 { 1.0 } else { -1.0 };
+                    sum += xs * ys;
+                    count += 1;
+                }
+            }
+            let mom = if count == 0 { 0.0 } else { sum / count as f64 };
+            moments[a][b] = mom;
+            moments[b][a] = mom;
+        }
+    }
+
+    let mut accuracies = Vec::with_capacity(m);
+    for i in 0..m {
+        let mut estimates: Vec<f64> = Vec::new();
+        for j in 0..m {
+            if j == i {
+                continue;
+            }
+            for k in (j + 1)..m {
+                if k == i {
+                    continue;
+                }
+                let denom = moments[j][k];
+                if denom.abs() < 1e-6 {
+                    continue;
+                }
+                let sq = (moments[i][j] * moments[i][k] / denom).abs();
+                estimates.push(sq.sqrt().min(1.0));
+            }
+        }
+        let a_i = median(&mut estimates).unwrap_or(0.0);
+        // Sign convention: sources are (on average) better than random, so
+        // take the positive root; accuracy = (a + 1) / 2.
+        accuracies.push(((a_i + 1.0) / 2.0) as f32);
+    }
+    TripletEstimate { accuracies }
+}
+
+fn median(values: &mut [f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mid = values.len() / 2;
+    Some(if values.len() % 2 == 1 {
+        values[mid]
+    } else {
+        (values[mid - 1] + values[mid]) / 2.0
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn synth_binary(n: usize, accs: &[f32], seed: u64) -> LabelMatrix {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut matrix = LabelMatrix::new(accs.len());
+        for _ in 0..n {
+            let y = u32::from(rng.gen_bool(0.5));
+            let votes: Vec<Option<u32>> = accs
+                .iter()
+                .map(|&a| Some(if rng.gen::<f32>() < a { y } else { 1 - y }))
+                .collect();
+            matrix.push_item(2, &votes);
+        }
+        matrix
+    }
+
+    #[test]
+    fn recovers_accuracies_within_tolerance() {
+        let true_accs = [0.9, 0.75, 0.6, 0.8];
+        let matrix = synth_binary(8000, &true_accs, 17);
+        let est = triplet_accuracies(&matrix);
+        for (e, t) in est.accuracies.iter().zip(&true_accs) {
+            assert!((e - t).abs() < 0.06, "estimated {e}, true {t}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_em_ranking() {
+        let true_accs = [0.92, 0.7, 0.55];
+        let matrix = synth_binary(6000, &true_accs, 29);
+        let trip = triplet_accuracies(&matrix);
+        let em = crate::label_model::LabelModel::fit(
+            &matrix,
+            &crate::label_model::LabelModelConfig::default(),
+        );
+        // Both estimators must rank the sources identically.
+        let rank = |accs: &[f32]| {
+            let mut idx: Vec<usize> = (0..accs.len()).collect();
+            idx.sort_by(|&a, &b| accs[b].partial_cmp(&accs[a]).unwrap());
+            idx
+        };
+        assert_eq!(rank(&trip.accuracies), rank(em.accuracies()));
+    }
+
+    #[test]
+    #[should_panic(expected = "requires binary")]
+    fn non_binary_rejected() {
+        let m = LabelMatrix::from_rows(3, &[vec![Some(0), Some(1), Some(2)]]);
+        let _ = triplet_accuracies(&m);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs >= 3 sources")]
+    fn too_few_sources_rejected() {
+        let m = LabelMatrix::from_rows(2, &[vec![Some(0), Some(1)]]);
+        let _ = triplet_accuracies(&m);
+    }
+
+    #[test]
+    fn median_helper() {
+        assert_eq!(median(&mut []), None);
+        assert_eq!(median(&mut [3.0]), Some(3.0));
+        assert_eq!(median(&mut [3.0, 1.0]), Some(2.0));
+        assert_eq!(median(&mut [5.0, 1.0, 3.0]), Some(3.0));
+    }
+}

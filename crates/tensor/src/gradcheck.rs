@@ -1,0 +1,258 @@
+//! Finite-difference gradient verification.
+//!
+//! Every differentiable op and layer in this crate is validated against
+//! central finite differences. This is the ground truth for autograd
+//! correctness — a wrong backward rule surfaces as a large relative error.
+
+use crate::graph::{Graph, NodeId};
+use crate::matrix::Matrix;
+
+/// Result of a gradient check: the worst relative error across all inputs.
+#[derive(Debug, Clone, Copy)]
+pub struct GradCheckReport {
+    /// max |analytic - numeric| / max(1, |analytic|, |numeric|)
+    pub max_rel_error: f32,
+    /// Number of scalar entries checked.
+    pub entries_checked: usize,
+}
+
+impl GradCheckReport {
+    /// Whether the check passed at the given tolerance.
+    pub fn passes(&self, tol: f32) -> bool {
+        self.max_rel_error <= tol
+    }
+}
+
+/// Checks analytic gradients of `f` (which must build a scalar-valued graph
+/// from leaf nodes created from `inputs`) against central finite differences.
+///
+/// `f` is invoked many times; it must be deterministic in its inputs.
+pub fn check_gradients(
+    inputs: &[Matrix],
+    eps: f32,
+    f: impl Fn(&mut Graph, &[NodeId]) -> NodeId,
+) -> GradCheckReport {
+    // Analytic pass.
+    let mut g = Graph::new();
+    let ids: Vec<NodeId> = inputs.iter().map(|m| g.leaf(m.clone())).collect();
+    let loss = f(&mut g, &ids);
+    assert_eq!(g.value(loss).shape(), (1, 1), "gradcheck requires a scalar output");
+    g.backward(loss);
+    let analytic: Vec<Matrix> = ids
+        .iter()
+        .map(|&id| {
+            g.grad(id)
+                .cloned()
+                .unwrap_or_else(|| Matrix::zeros(g.value(id).rows(), g.value(id).cols()))
+        })
+        .collect();
+
+    let eval = |perturbed: &[Matrix]| -> f32 {
+        let mut g = Graph::new();
+        let ids: Vec<NodeId> = perturbed.iter().map(|m| g.leaf(m.clone())).collect();
+        let loss = f(&mut g, &ids);
+        g.value(loss).scalar_value()
+    };
+
+    let mut max_rel = 0.0f32;
+    let mut checked = 0usize;
+    let mut work: Vec<Matrix> = inputs.to_vec();
+    for (which, input) in inputs.iter().enumerate() {
+        for idx in 0..input.len() {
+            let orig = input.as_slice()[idx];
+            work[which].as_mut_slice()[idx] = orig + eps;
+            let up = eval(&work);
+            work[which].as_mut_slice()[idx] = orig - eps;
+            let down = eval(&work);
+            work[which].as_mut_slice()[idx] = orig;
+            let numeric = (up - down) / (2.0 * eps);
+            let a = analytic[which].as_slice()[idx];
+            let denom = 1.0f32.max(a.abs()).max(numeric.abs());
+            let rel = (a - numeric).abs() / denom;
+            max_rel = max_rel.max(rel);
+            checked += 1;
+        }
+    }
+    GradCheckReport { max_rel_error: max_rel, entries_checked: checked }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f32 = 2e-2; // f32 finite differences are noisy; rules are exact.
+    const EPS: f32 = 1e-2;
+
+    fn m(rows: &[Vec<f32>]) -> Matrix {
+        Matrix::from_rows(rows)
+    }
+
+    #[test]
+    fn gradcheck_add_mul_chain() {
+        let a = m(&[vec![0.5, -1.0], vec![2.0, 0.3]]);
+        let b = m(&[vec![1.5, 0.7], vec![-0.2, 1.1]]);
+        let r = check_gradients(&[a, b], EPS, |g, ids| {
+            let s = g.add(ids[0], ids[1]);
+            let p = g.mul(s, ids[0]);
+            g.sum_all(p)
+        });
+        assert!(r.passes(TOL), "max rel err {}", r.max_rel_error);
+        assert_eq!(r.entries_checked, 8);
+    }
+
+    #[test]
+    fn gradcheck_matmul() {
+        let a = m(&[vec![0.5, -1.0, 0.2], vec![2.0, 0.3, -0.7]]);
+        let b = m(&[vec![1.0, 0.5], vec![-0.5, 0.25], vec![0.8, -1.2]]);
+        let r = check_gradients(&[a, b], EPS, |g, ids| {
+            let p = g.matmul(ids[0], ids[1]);
+            let t = g.tanh(p);
+            g.sum_all(t)
+        });
+        assert!(r.passes(TOL), "max rel err {}", r.max_rel_error);
+    }
+
+    #[test]
+    fn gradcheck_activations() {
+        let a = m(&[vec![0.5, -1.0, 0.2, 2.0]]);
+        for act in ["relu", "tanh", "sigmoid", "exp"] {
+            let r = check_gradients(std::slice::from_ref(&a), EPS, |g, ids| {
+                let y = match act {
+                    "relu" => g.relu(ids[0]),
+                    "tanh" => g.tanh(ids[0]),
+                    "sigmoid" => g.sigmoid(ids[0]),
+                    _ => g.exp(ids[0]),
+                };
+                let sq = g.mul(y, y);
+                g.sum_all(sq)
+            });
+            assert!(r.passes(TOL), "{act}: max rel err {}", r.max_rel_error);
+        }
+    }
+
+    #[test]
+    fn gradcheck_ln() {
+        let a = m(&[vec![0.5, 1.0, 2.0, 3.0]]); // positive, away from clamp
+        let r = check_gradients(&[a], 1e-3, |g, ids| {
+            let y = g.ln(ids[0]);
+            g.sum_all(y)
+        });
+        assert!(r.passes(TOL), "max rel err {}", r.max_rel_error);
+    }
+
+    #[test]
+    fn gradcheck_softmax_rows() {
+        let a = m(&[vec![0.5, -1.0, 0.2], vec![1.0, 1.2, -0.4]]);
+        let w = m(&[vec![1.0, 2.0, 3.0], vec![-1.0, 0.5, 0.2]]);
+        let r = check_gradients(&[a, w], EPS, |g, ids| {
+            let s = g.softmax_rows(ids[0]);
+            let p = g.mul(s, ids[1]);
+            g.sum_all(p)
+        });
+        assert!(r.passes(TOL), "max rel err {}", r.max_rel_error);
+    }
+
+    #[test]
+    fn gradcheck_cross_entropy() {
+        let logits = m(&[vec![0.5, -1.0, 0.2], vec![1.0, 1.2, -0.4]]);
+        let targets = m(&[vec![1.0, 0.0, 0.0], vec![0.2, 0.5, 0.3]]);
+        let r = check_gradients(&[logits], EPS, move |g, ids| {
+            g.cross_entropy(ids[0], &targets, &[0.7, 1.3])
+        });
+        assert!(r.passes(TOL), "max rel err {}", r.max_rel_error);
+    }
+
+    #[test]
+    fn gradcheck_bce_with_logits() {
+        let logits = m(&[vec![0.5, -1.0], vec![1.0, 1.2]]);
+        let targets = m(&[vec![1.0, 0.0], vec![0.5, 1.0]]);
+        let mask = m(&[vec![1.0, 1.0], vec![0.0, 1.0]]);
+        let r = check_gradients(&[logits], EPS, move |g, ids| {
+            g.bce_with_logits(ids[0], &targets, &mask)
+        });
+        assert!(r.passes(TOL), "max rel err {}", r.max_rel_error);
+    }
+
+    #[test]
+    fn gradcheck_reductions() {
+        let a = m(&[vec![0.5, -1.0], vec![2.0, 0.3], vec![-0.4, 1.7]]);
+        for red in ["mean_rows", "sum_rows", "mean_all"] {
+            let r = check_gradients(std::slice::from_ref(&a), EPS, |g, ids| {
+                let y = match red {
+                    "mean_rows" => g.mean_rows(ids[0]),
+                    "sum_rows" => g.sum_rows(ids[0]),
+                    _ => g.mean_all(ids[0]),
+                };
+                let sq = g.mul(y, y);
+                g.sum_all(sq)
+            });
+            assert!(r.passes(TOL), "{red}: max rel err {}", r.max_rel_error);
+        }
+    }
+
+    #[test]
+    fn gradcheck_broadcast_ops() {
+        let a = m(&[vec![0.5, -1.0], vec![2.0, 0.3]]);
+        let bias = m(&[vec![0.1, -0.2]]);
+        let scal = m(&[vec![0.5], vec![-1.5]]);
+        let r = check_gradients(&[a, bias, scal], EPS, |g, ids| {
+            let y = g.add_row_broadcast(ids[0], ids[1]);
+            let z = g.mul_row_scalar(y, ids[2]);
+            let t = g.tanh(z);
+            g.sum_all(t)
+        });
+        assert!(r.passes(TOL), "max rel err {}", r.max_rel_error);
+    }
+
+    #[test]
+    fn gradcheck_shape_ops() {
+        let a = m(&[vec![0.5, -1.0], vec![2.0, 0.3]]);
+        let b = m(&[vec![1.5, 0.7], vec![-0.2, 1.1]]);
+        let r = check_gradients(&[a, b], EPS, |g, ids| {
+            let cat = g.concat_cols(&[ids[0], ids[1]]);
+            let rows = g.concat_rows(&[cat, cat]);
+            let sel = g.select_rows(rows, &[0, 3, 1]);
+            let sli = g.slice_cols(sel, 1, 3);
+            let rev = g.reverse_rows(sli);
+            let sq = g.mul(rev, rev);
+            g.sum_all(sq)
+        });
+        assert!(r.passes(TOL), "max rel err {}", r.max_rel_error);
+    }
+
+    #[test]
+    fn gradcheck_im2row() {
+        let a = m(&[vec![0.5, -1.0], vec![2.0, 0.3], vec![-0.4, 1.7], vec![0.9, -0.6]]);
+        let r = check_gradients(&[a], EPS, |g, ids| {
+            let w = g.im2row(ids[0], 3, 1);
+            let sq = g.mul(w, w);
+            g.sum_all(sq)
+        });
+        assert!(r.passes(TOL), "max rel err {}", r.max_rel_error);
+    }
+
+    #[test]
+    fn gradcheck_layer_norm() {
+        let x = m(&[vec![0.5, -1.0, 0.2, 1.4], vec![2.0, 0.3, -0.7, 0.1]]);
+        let gain = m(&[vec![1.0, 0.8, 1.2, 0.9]]);
+        let bias = m(&[vec![0.0, 0.1, -0.1, 0.2]]);
+        let r = check_gradients(&[x, gain, bias], 5e-3, |g, ids| {
+            let y = g.layer_norm(ids[0], ids[1], ids[2], 1e-5);
+            let sq = g.mul(y, y);
+            g.sum_all(sq)
+        });
+        assert!(r.passes(5e-2), "max rel err {}", r.max_rel_error);
+    }
+
+    #[test]
+    fn gradcheck_max_rows() {
+        // Values well-separated so the argmax does not flip under eps.
+        let a = m(&[vec![0.5, -1.0], vec![2.0, 0.3], vec![-0.4, 1.7]]);
+        let r = check_gradients(&[a], 1e-3, |g, ids| {
+            let y = g.max_rows(ids[0]);
+            let sq = g.mul(y, y);
+            g.sum_all(sq)
+        });
+        assert!(r.passes(TOL), "max rel err {}", r.max_rel_error);
+    }
+}

@@ -1,0 +1,23 @@
+//! Neural-network layers built from graph ops.
+//!
+//! Layers own [`ParamId`](crate::params::ParamId)s into a shared
+//! [`ParamStore`](crate::params::ParamStore) and expose a
+//! `forward(&self, graph, store, input) -> NodeId` method. A layer can be
+//! used in any number of graphs; the store is the single source of truth for
+//! weights.
+
+mod attention;
+mod conv;
+mod dropout;
+mod embedding;
+mod linear;
+mod lstm;
+mod norm;
+
+pub use attention::MultiHeadSelfAttention;
+pub use conv::Conv1d;
+pub use dropout::Dropout;
+pub use embedding::Embedding;
+pub use linear::Linear;
+pub use lstm::{BiLstm, Lstm};
+pub use norm::LayerNorm;

@@ -1,0 +1,148 @@
+//! Learning-rate schedules.
+//!
+//! Schedules compose with any [`Optimizer`](crate::optim::Optimizer): call
+//! [`LrSchedule::at`] each step and pass the result to
+//! `set_learning_rate`. Kept separate from optimizers so searches can mix
+//! and match.
+
+/// A deterministic learning-rate schedule over optimizer steps.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LrSchedule {
+    /// The same rate forever.
+    Constant {
+        /// The rate.
+        lr: f32,
+    },
+    /// Linear warmup from 0 to `lr` over `warmup_steps`, then constant.
+    Warmup {
+        /// Peak rate.
+        lr: f32,
+        /// Steps to reach the peak.
+        warmup_steps: u64,
+    },
+    /// Multiply by `factor` every `every` steps.
+    StepDecay {
+        /// Initial rate.
+        lr: f32,
+        /// Multiplier (0 < factor <= 1).
+        factor: f32,
+        /// Steps between decays.
+        every: u64,
+    },
+    /// Linear warmup then cosine decay to `min_lr` at `total_steps`.
+    WarmupCosine {
+        /// Peak rate.
+        lr: f32,
+        /// Warmup length.
+        warmup_steps: u64,
+        /// Total schedule length.
+        total_steps: u64,
+        /// Floor after decay.
+        min_lr: f32,
+    },
+}
+
+impl LrSchedule {
+    /// The learning rate at a given (0-based) step.
+    pub fn at(&self, step: u64) -> f32 {
+        match *self {
+            LrSchedule::Constant { lr } => lr,
+            LrSchedule::Warmup { lr, warmup_steps } => {
+                if warmup_steps == 0 || step >= warmup_steps {
+                    lr
+                } else {
+                    lr * (step + 1) as f32 / warmup_steps as f32
+                }
+            }
+            LrSchedule::StepDecay { lr, factor, every } => {
+                debug_assert!(factor > 0.0 && factor <= 1.0, "decay factor out of range");
+                if every == 0 {
+                    return lr;
+                }
+                lr * factor.powi((step / every) as i32)
+            }
+            LrSchedule::WarmupCosine { lr, warmup_steps, total_steps, min_lr } => {
+                if step < warmup_steps {
+                    return lr * (step + 1) as f32 / warmup_steps.max(1) as f32;
+                }
+                if step >= total_steps || total_steps <= warmup_steps {
+                    return min_lr;
+                }
+                let progress =
+                    (step - warmup_steps) as f32 / (total_steps - warmup_steps) as f32;
+                let cosine = 0.5 * (1.0 + (std::f32::consts::PI * progress).cos());
+                min_lr + (lr - min_lr) * cosine
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_never_changes() {
+        let s = LrSchedule::Constant { lr: 0.01 };
+        assert_eq!(s.at(0), 0.01);
+        assert_eq!(s.at(1_000_000), 0.01);
+    }
+
+    #[test]
+    fn warmup_ramps_linearly() {
+        let s = LrSchedule::Warmup { lr: 1.0, warmup_steps: 4 };
+        assert!((s.at(0) - 0.25).abs() < 1e-6);
+        assert!((s.at(1) - 0.5).abs() < 1e-6);
+        assert!((s.at(3) - 1.0).abs() < 1e-6);
+        assert_eq!(s.at(100), 1.0);
+    }
+
+    #[test]
+    fn step_decay_halves() {
+        let s = LrSchedule::StepDecay { lr: 0.8, factor: 0.5, every: 10 };
+        assert_eq!(s.at(0), 0.8);
+        assert_eq!(s.at(9), 0.8);
+        assert_eq!(s.at(10), 0.4);
+        assert_eq!(s.at(25), 0.2);
+    }
+
+    #[test]
+    fn warmup_cosine_envelope() {
+        let s = LrSchedule::WarmupCosine {
+            lr: 1.0,
+            warmup_steps: 10,
+            total_steps: 110,
+            min_lr: 0.1,
+        };
+        // Rises during warmup.
+        assert!(s.at(0) < s.at(5));
+        assert!((s.at(9) - 1.0).abs() < 1e-6);
+        // Midpoint of cosine is halfway between peak and floor.
+        let mid = s.at(60);
+        assert!((mid - 0.55).abs() < 0.02, "mid {mid}");
+        // Floor after the end.
+        assert_eq!(s.at(110), 0.1);
+        assert_eq!(s.at(10_000), 0.1);
+        // Monotone decrease after warmup.
+        for step in 10..109 {
+            assert!(s.at(step) >= s.at(step + 1) - 1e-6);
+        }
+    }
+
+    #[test]
+    fn integrates_with_an_optimizer() {
+        use crate::optim::{Optimizer, Sgd};
+        let schedule = LrSchedule::StepDecay { lr: 0.1, factor: 0.1, every: 1 };
+        let mut opt = Sgd::new(schedule.at(0));
+        let mut ps = crate::ParamStore::new();
+        let w = ps.add("w", crate::Matrix::scalar(1.0));
+        for step in 0..3u64 {
+            opt.set_learning_rate(schedule.at(step));
+            ps.grad_mut(w).add_assign(&crate::Matrix::scalar(1.0));
+            opt.step(&mut ps);
+            ps.zero_grads();
+        }
+        // Updates: 0.1 + 0.01 + 0.001 subtracted from 1.0.
+        assert!((ps.value(w).scalar_value() - (1.0 - 0.111)).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based gradient verification: random shapes, random values,
+//! random op chains — analytic gradients must always match finite
+//! differences. This is the strongest guarantee the autograd engine offers.
+
+use overton_tensor::gradcheck::check_gradients;
+use overton_tensor::Matrix;
+use proptest::prelude::*;
+
+const TOL: f32 = 5e-2; // f32 central differences are noisy
+const EPS: f32 = 1e-2;
+
+fn arb_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-2.0f32..2.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn matmul_chain_gradients(
+        m in 1usize..4,
+        k in 1usize..4,
+        n in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let a = Matrix::from_vec(m, k, (0..m * k).map(|_| rng.gen_range(-1.0..1.0)).collect());
+        let b = Matrix::from_vec(k, n, (0..k * n).map(|_| rng.gen_range(-1.0..1.0)).collect());
+        let report = check_gradients(&[a, b], EPS, |g, ids| {
+            let p = g.matmul(ids[0], ids[1]);
+            let t = g.tanh(p);
+            g.sum_all(t)
+        });
+        prop_assert!(report.passes(TOL), "max rel err {}", report.max_rel_error);
+    }
+
+    #[test]
+    fn elementwise_pipeline_gradients(a in arb_matrix(3, 4), b in arb_matrix(3, 4)) {
+        let report = check_gradients(&[a, b], EPS, |g, ids| {
+            let s = g.add(ids[0], ids[1]);
+            let m = g.mul(s, ids[0]);
+            let r = g.relu(m);
+            let sc = g.scale(r, 0.5);
+            g.mean_all(sc)
+        });
+        prop_assert!(report.passes(TOL), "max rel err {}", report.max_rel_error);
+    }
+
+    #[test]
+    fn softmax_cross_entropy_gradients(logits in arb_matrix(2, 5)) {
+        // A fixed, valid target distribution.
+        let targets = Matrix::from_rows(&[
+            vec![0.1, 0.2, 0.3, 0.2, 0.2],
+            vec![1.0, 0.0, 0.0, 0.0, 0.0],
+        ]);
+        let report = check_gradients(&[logits], EPS, move |g, ids| {
+            g.cross_entropy(ids[0], &targets, &[0.5, 1.5])
+        });
+        prop_assert!(report.passes(TOL), "max rel err {}", report.max_rel_error);
+    }
+
+    #[test]
+    fn bce_gradients(logits in arb_matrix(3, 3)) {
+        let targets = Matrix::from_vec(3, 3, vec![1.0, 0.0, 0.5, 0.0, 1.0, 1.0, 0.0, 0.0, 1.0]);
+        let mask = Matrix::from_vec(3, 3, vec![1.0, 1.0, 0.0, 1.0, 1.0, 1.0, 0.0, 1.0, 1.0]);
+        let report = check_gradients(&[logits], EPS, move |g, ids| {
+            g.bce_with_logits(ids[0], &targets, &mask)
+        });
+        prop_assert!(report.passes(TOL), "max rel err {}", report.max_rel_error);
+    }
+
+    #[test]
+    fn shape_op_chain_gradients(a in arb_matrix(4, 3)) {
+        let report = check_gradients(&[a], EPS, |g, ids| {
+            let t = g.transpose(ids[0]); // 3x4
+            let rev = g.reverse_rows(t);
+            let sel = g.select_rows(rev, &[0, 2, 2]);
+            let sli = g.slice_cols(sel, 1, 4);
+            let sq = g.mul(sli, sli);
+            g.sum_all(sq)
+        });
+        prop_assert!(report.passes(TOL), "max rel err {}", report.max_rel_error);
+    }
+
+    #[test]
+    fn broadcast_and_reduce_gradients(a in arb_matrix(3, 4)) {
+        let bias = Matrix::row_vector(&[0.1, -0.2, 0.3, 0.0]);
+        let report = check_gradients(&[a, bias], EPS, |g, ids| {
+            let with_bias = g.add_row_broadcast(ids[0], ids[1]);
+            let act = g.sigmoid(with_bias);
+            let pooled = g.mean_rows(act);
+            let sq = g.mul(pooled, pooled);
+            g.sum_all(sq)
+        });
+        prop_assert!(report.passes(TOL), "max rel err {}", report.max_rel_error);
+    }
+
+    #[test]
+    fn softmax_rows_distribution_property(a in arb_matrix(4, 6)) {
+        // Softmax rows always sum to 1 and are positive.
+        let mut g = overton_tensor::Graph::new();
+        let x = g.constant(a);
+        let s = g.softmax_rows(x);
+        let v = g.value(s);
+        for r in 0..v.rows() {
+            let sum: f32 = v.row(r).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(v.row(r).iter().all(|&p| p >= 0.0));
+        }
+    }
+
+    #[test]
+    fn im2row_gradients(a in arb_matrix(5, 2)) {
+        let report = check_gradients(&[a], EPS, |g, ids| {
+            let unfolded = g.im2row(ids[0], 3, 1);
+            let sq = g.mul(unfolded, unfolded);
+            g.sum_all(sq)
+        });
+        prop_assert!(report.passes(TOL), "max rel err {}", report.max_rel_error);
+    }
+}

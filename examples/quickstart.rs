@@ -1,0 +1,93 @@
+//! Quickstart: the complete Overton loop in one file.
+//!
+//! Builds a synthetic factoid-QA product (schema + weakly-supervised data
+//! file), runs the pipeline (combine supervision → train → package), prints
+//! the fine-grained quality reports an engineer monitors, and serves a
+//! query through the deployable artifact.
+//!
+//! Run with: `cargo run --release -p overton-examples --bin quickstart`
+
+use overton::{build, OvertonOptions};
+use overton_model::{Server, TrainConfig};
+use overton_nlp::{generate_workload, WorkloadConfig};
+use overton_store::{PayloadValue, Record, SetElement};
+
+fn main() {
+    // 1. The "data file": a workload of factoid queries with three weak
+    //    sources per task, slices, and curated gold dev/test splits.
+    println!("== generating workload ==");
+    let dataset = generate_workload(&WorkloadConfig {
+        n_train: 1500,
+        n_dev: 200,
+        n_test: 400,
+        seed: 7,
+        ..Default::default()
+    });
+    println!(
+        "{} records ({} train / {} dev / {} test), slices: {:?}",
+        dataset.len(),
+        dataset.train_indices().len(),
+        dataset.dev_indices().len(),
+        dataset.test_indices().len(),
+        dataset.slice_names(),
+    );
+
+    // 2. Build: Overton combines the conflicting supervision with a label
+    //    model, compiles the schema into a multitask model with slice
+    //    heads, trains, and packages a deployable artifact.
+    println!("\n== building (combine supervision, train, package) ==");
+    let options = OvertonOptions {
+        train: TrainConfig { epochs: 8, ..Default::default() },
+        ..Default::default()
+    };
+    let built = build(&dataset, &options).expect("pipeline succeeds");
+
+    println!("chosen architecture: {:?}", built.chosen_config.encoder);
+    println!("model weights: {}", built.model.num_weights());
+    println!("\nestimated source accuracies (Intent):");
+    for diag in &built.diagnostics["Intent"] {
+        println!(
+            "  {:<14} coverage {:.2}  est. accuracy {}",
+            diag.name,
+            diag.coverage,
+            diag.estimated_accuracy
+                .map_or("n/a".to_string(), |a| format!("{a:.3}")),
+        );
+    }
+
+    // 3. The monitoring view: per-task reports with per-tag/per-slice rows.
+    println!("\n== fine-grained quality reports (test split) ==");
+    for (task, report) in &built.evaluation.reports {
+        let _ = task;
+        println!("{report}");
+    }
+
+    // 4. Serving: load the artifact and answer a query.
+    println!("== serving ==");
+    let server = Server::load(&built.artifact);
+    let record = Record::new()
+        .with_payload(
+            "tokens",
+            PayloadValue::Sequence(
+                ["how", "tall", "is", "washington"].iter().map(|s| s.to_string()).collect(),
+            ),
+        )
+        .with_payload(
+            "query",
+            PayloadValue::Singleton("how tall is washington".into()),
+        )
+        .with_payload(
+            "entities",
+            PayloadValue::Set(vec![
+                SetElement { id: "george_washington".into(), span: (3, 4) },
+                SetElement { id: "washington_dc".into(), span: (3, 4) },
+                SetElement { id: "washington_state".into(), span: (3, 4) },
+            ]),
+        );
+    let response = server.predict(&record).expect("valid record");
+    println!("query: \"how tall is washington\"");
+    for (task, output) in &response.tasks {
+        println!("  {task}: {output:?}");
+    }
+    println!("  slice memberships: {:?}", response.slices);
+}

@@ -1,0 +1,144 @@
+//! Integration: the deployment lifecycle — distillation, registry
+//! versioning, regression gates, calibration — across crates.
+
+use overton::{build, OvertonOptions};
+use overton_model::{
+    distill, prepare, CompiledModel, ModelConfig, ModelPair, ModelRegistry, Server, TrainConfig,
+};
+use overton_monitor::{calibration_report, regressions};
+use overton_nlp::{generate_workload, WorkloadConfig};
+use overton_supervision::CombineMethod;
+use std::collections::BTreeMap;
+
+fn workload(seed: u64) -> overton_store::Dataset {
+    generate_workload(&WorkloadConfig {
+        n_train: 300,
+        n_dev: 60,
+        n_test: 120,
+        seed,
+        ..Default::default()
+    })
+}
+
+#[test]
+fn distilled_pair_stays_synchronized_and_servable() {
+    let ds = workload(91);
+    let prepared = prepare(&ds, &CombineMethod::default()).unwrap();
+    let train_cfg = TrainConfig { epochs: 4, early_stop_patience: 0, ..Default::default() };
+
+    // Teacher trained normally; student distilled from it.
+    let mut teacher =
+        CompiledModel::compile(ds.schema(), &prepared.space, &ModelConfig::default(), None);
+    overton_model::train_model(&mut teacher, &prepared.train, &prepared.dev, &train_cfg);
+    let small_cfg = ModelConfig { token_dim: 16, hidden_dim: 16, ..Default::default() };
+    let mut student = CompiledModel::compile(ds.schema(), &prepared.space, &small_cfg, None);
+    distill(&teacher, &mut student, &prepared.train, &prepared.dev, &train_cfg);
+
+    let pair = ModelPair {
+        large: overton_model::DeployableModel::package(&teacher, &prepared.space, BTreeMap::new()),
+        small: overton_model::DeployableModel::package(&student, &prepared.space, BTreeMap::new()),
+    };
+    assert!(pair.synchronized());
+
+    // Both halves serve the same record without error.
+    let record = &ds.records()[ds.test_indices()[0]];
+    let large_response = Server::load(&pair.large).predict(record).unwrap();
+    let small_response = Server::load(&pair.small).predict(record).unwrap();
+    assert_eq!(
+        large_response.tasks.keys().collect::<Vec<_>>(),
+        small_response.tasks.keys().collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn registry_versions_advance_through_retraining() {
+    let ds = workload(92);
+    let dir = std::env::temp_dir().join(format!("overton-it-lifecycle-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let registry = ModelRegistry::open(&dir).unwrap();
+
+    let opts = OvertonOptions {
+        train: TrainConfig { epochs: 1, early_stop_patience: 0, ..Default::default() },
+        ..Default::default()
+    };
+    let v1 = build(&ds, &opts).unwrap();
+    registry.publish(&v1.artifact, "prod").unwrap();
+
+    let mut opts2 = opts;
+    opts2.train.epochs = 3;
+    let v2 = build(&ds, &opts2).unwrap();
+    let id2 = registry.publish(&v2.artifact, "prod").unwrap();
+
+    assert_eq!(registry.list().unwrap().len(), 2);
+    assert_eq!(registry.latest("prod").unwrap().unwrap(), id2);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn regression_gate_catches_induced_regression() {
+    // Build a decent model, then an intentionally crippled one (zero
+    // epochs of training after compile = random weights), and confirm the
+    // monitor flags the drop on overall groups.
+    let ds = workload(93);
+    let good = build(
+        &ds,
+        &OvertonOptions {
+            train: TrainConfig { epochs: 4, early_stop_patience: 0, ..Default::default() },
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let bad = build(
+        &ds,
+        &OvertonOptions {
+            train: TrainConfig { epochs: 1, learning_rate: 0.0, ..Default::default() },
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let before = &good.evaluation.reports["Intent"];
+    let after = &bad.evaluation.reports["Intent"];
+    let regs = regressions(before, after, 0.10);
+    assert!(
+        regs.iter().any(|r| r.group == "overall"),
+        "expected an overall regression, got {regs:?}"
+    );
+}
+
+#[test]
+fn trained_model_is_not_wildly_miscalibrated() {
+    let ds = workload(94);
+    let built = build(
+        &ds,
+        &OvertonOptions {
+            train: TrainConfig { epochs: 5, early_stop_patience: 0, ..Default::default() },
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let mut confidences = Vec::new();
+    for (record_idx, prediction) in &built.evaluation.predictions {
+        let record = &ds.records()[*record_idx];
+        if let (
+            Some(overton_model::TaskOutput::Multiclass { class, dist }),
+            Some(overton_store::TaskLabel::MulticlassOne(gold)),
+        ) = (prediction.tasks.get("Intent"), record.gold("Intent"))
+        {
+            let correct = overton_nlp::INTENTS.get(*class).is_some_and(|c| c == gold);
+            confidences.push((f64::from(dist[*class]), correct));
+        }
+    }
+    assert!(confidences.len() > 50);
+    let report = calibration_report(&confidences, 10);
+    // Small models trained on near-one-hot posteriors are overconfident;
+    // the gate catches pathologies, not miscalibration per se.
+    assert!(report.ece < 0.5, "ECE {:.3} is pathological", report.ece);
+    // High-confidence predictions must still be mostly right.
+    let confident: Vec<&(f64, bool)> =
+        confidences.iter().filter(|(c, _)| *c > 0.9).collect();
+    if confident.len() > 20 {
+        let acc = confident.iter().filter(|(_, ok)| *ok).count() as f64
+            / confident.len() as f64;
+        assert!(acc > 0.6, "high-confidence accuracy {acc:.3}");
+    }
+}

@@ -1,0 +1,2 @@
+//! Integration-test package for the Overton workspace. All content lives in
+//! the sibling `*.rs` integration-test targets; this library is empty.

@@ -1,0 +1,158 @@
+//! Cross-crate property-based tests (proptest) on serialization and
+//! supervision invariants.
+
+use overton_store::rowstore::{decode_record, encode_record, read_str, read_u64, write_str, write_u64, RowStore};
+use overton_store::{PayloadValue, Record, SetElement, TaskLabel};
+use overton_supervision::{majority_vote, LabelMatrix, LabelModel, LabelModelConfig};
+use proptest::prelude::*;
+
+fn arb_payload() -> impl Strategy<Value = PayloadValue> {
+    prop_oneof![
+        "[a-z ]{0,24}".prop_map(PayloadValue::Singleton),
+        prop::collection::vec("[a-z]{1,8}", 0..12).prop_map(PayloadValue::Sequence),
+        prop::collection::vec(("[a-zA-Z_]{1,12}", 0usize..8, 1usize..4), 0..5).prop_map(|els| {
+            PayloadValue::Set(
+                els.into_iter()
+                    .map(|(id, lo, w)| SetElement { id, span: (lo, lo + w) })
+                    .collect(),
+            )
+        }),
+    ]
+}
+
+fn arb_label() -> impl Strategy<Value = TaskLabel> {
+    prop_oneof![
+        "[A-Z][a-z]{0,8}".prop_map(TaskLabel::MulticlassOne),
+        prop::collection::vec("[A-Z]{1,4}", 1..8).prop_map(TaskLabel::MulticlassSeq),
+        prop::collection::vec("[a-z]{1,6}", 0..4).prop_map(TaskLabel::BitvectorOne),
+        prop::collection::vec(prop::collection::vec("[a-z]{1,6}", 0..3), 1..6)
+            .prop_map(TaskLabel::BitvectorSeq),
+        (0usize..16).prop_map(TaskLabel::Select),
+    ]
+}
+
+fn arb_record() -> impl Strategy<Value = Record> {
+    (
+        prop::collection::btree_map("[a-z]{1,8}", arb_payload(), 0..4),
+        prop::collection::btree_map(
+            "[A-Z][a-z]{0,6}",
+            prop::collection::btree_map("[a-z0-9_]{1,8}", arb_label(), 0..4),
+            0..4,
+        ),
+        prop::collection::btree_set("[a-z:.-]{1,12}", 0..5),
+    )
+        .prop_map(|(payloads, tasks, tags)| Record { payloads, tasks, tags })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn varint_roundtrip(v in any::<u64>()) {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, v);
+        let mut slice = buf.as_slice();
+        prop_assert_eq!(read_u64(&mut slice).unwrap(), v);
+        prop_assert!(slice.is_empty());
+    }
+
+    #[test]
+    fn string_roundtrip(s in "\\PC{0,64}") {
+        let mut buf = Vec::new();
+        write_str(&mut buf, &s);
+        let mut slice = buf.as_slice();
+        prop_assert_eq!(read_str(&mut slice).unwrap(), s);
+    }
+
+    #[test]
+    fn record_binary_roundtrip(record in arb_record()) {
+        let mut buf = Vec::new();
+        encode_record(&record, &mut buf);
+        let mut slice = buf.as_slice();
+        let back = decode_record(&mut slice).unwrap();
+        prop_assert!(slice.is_empty());
+        prop_assert_eq!(back, record);
+    }
+
+    #[test]
+    fn record_json_roundtrip(record in arb_record()) {
+        // JSON cannot distinguish BitvectorOne from MulticlassSeq without a
+        // schema, so compare through a second encode (fixed point).
+        let json = record.to_json();
+        let back = Record::from_json(&json).unwrap();
+        prop_assert_eq!(back.to_json(), json);
+    }
+
+    #[test]
+    fn rowstore_roundtrip(records in prop::collection::vec(arb_record(), 0..20)) {
+        let store = RowStore::build(&records);
+        let mut bytes = Vec::new();
+        store.write(&mut bytes).unwrap();
+        let loaded = RowStore::from_bytes(bytes).unwrap();
+        prop_assert_eq!(loaded.len(), records.len());
+        for (i, r) in records.iter().enumerate() {
+            prop_assert_eq!(&loaded.get(i).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn majority_vote_outputs_distributions(
+        rows in prop::collection::vec(
+            prop::collection::vec(prop::option::of(0u32..4), 3),
+            1..30,
+        )
+    ) {
+        let matrix = LabelMatrix::from_rows(4, &rows);
+        for dist in majority_vote(&matrix) {
+            let sum: f32 = dist.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(dist.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn label_model_posteriors_are_distributions(
+        rows in prop::collection::vec(
+            prop::collection::vec(prop::option::of(0u32..3), 4),
+            2..40,
+        )
+    ) {
+        let matrix = LabelMatrix::from_rows(3, &rows);
+        let model = LabelModel::fit(&matrix, &LabelModelConfig {
+            max_iter: 20,
+            ..Default::default()
+        });
+        for acc in model.accuracies() {
+            prop_assert!((0.0..=1.0).contains(acc));
+        }
+        for dist in model.predict_proba(&matrix) {
+            let sum: f32 = dist.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn tensor_matmul_associates_with_identity(
+        rows in 1usize..6,
+        cols in 1usize..6,
+        data in prop::collection::vec(-10.0f32..10.0, 36),
+    ) {
+        let m = overton_tensor::Matrix::from_vec(
+            rows, cols, data[..rows * cols].to_vec(),
+        );
+        let eye = overton_tensor::Matrix::eye(cols);
+        prop_assert_eq!(m.matmul(&eye), m);
+    }
+
+    #[test]
+    fn tensor_transpose_involution(
+        rows in 1usize..6,
+        cols in 1usize..6,
+        data in prop::collection::vec(-10.0f32..10.0, 36),
+    ) {
+        let m = overton_tensor::Matrix::from_vec(
+            rows, cols, data[..rows * cols].to_vec(),
+        );
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+}
