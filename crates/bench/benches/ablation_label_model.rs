@@ -51,8 +51,7 @@ fn main() {
     let mv = overton_supervision::majority_vote_hard(&matrix);
     let lm = LabelModel::fit(&matrix, &LabelModelConfig::default());
     let lm_preds = lm.predict(&matrix);
-    let best_single: Vec<u32> =
-        (0..matrix.n_items()).map(|i| matrix.vote(i, 0).unwrap()).collect();
+    let best_single: Vec<u32> = (0..matrix.n_items()).map(|i| matrix.vote(i, 0).unwrap()).collect();
 
     let widths = [26usize, 12];
     print_row(&["combiner".into(), "label acc".into()], &widths);
@@ -77,10 +76,7 @@ fn main() {
     };
     let triplet = triplet_accuracies(&binary_matrix);
     let em_binary = LabelModel::fit(&binary_matrix, &LabelModelConfig::default());
-    print_row(
-        &["source".into(), "true".into(), "EM".into(), "triplet".into()],
-        &[10, 8, 8, 8],
-    );
+    print_row(&["source".into(), "true".into(), "EM".into(), "triplet".into()], &[10, 8, 8, 8]);
     for (j, true_acc) in true_accs.iter().enumerate() {
         print_row(
             &[

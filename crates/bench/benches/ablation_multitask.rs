@@ -10,9 +10,7 @@
 //! Run with: `cargo bench -p overton-bench --bench ablation_multitask`
 
 use overton_bench::{build_overton, print_row, retarget, single_task_schema};
-use overton_model::{
-    evaluate, prepare, train_model, CompiledModel, ModelConfig, TrainConfig,
-};
+use overton_model::{evaluate, prepare, train_model, CompiledModel, ModelConfig, TrainConfig};
 use overton_nlp::{generate_workload, WorkloadConfig};
 use overton_supervision::CombineMethod;
 
@@ -36,12 +34,8 @@ fn main() {
         let sub_schema = single_task_schema(dataset.schema(), task);
         let sub_dataset = retarget(&dataset, &sub_schema);
         let prepared = prepare(&sub_dataset, &CombineMethod::default()).expect("prepare");
-        let mut model = CompiledModel::compile(
-            &sub_schema,
-            &prepared.space,
-            &ModelConfig::default(),
-            None,
-        );
+        let mut model =
+            CompiledModel::compile(&sub_schema, &prepared.space, &ModelConfig::default(), None);
         train_model(
             &mut model,
             &prepared.train,
@@ -53,10 +47,7 @@ fn main() {
     }
 
     let widths = [12usize, 14, 14, 10];
-    print_row(
-        &["task".into(), "single-task".into(), "multitask".into(), "delta".into()],
-        &widths,
-    );
+    print_row(&["task".into(), "single-task".into(), "multitask".into(), "delta".into()], &widths);
     for (task, single_acc) in &single {
         let multi_acc = multitask.test_accuracy(task);
         print_row(

@@ -24,11 +24,8 @@ fn main() {
     let train = TrainConfig { epochs: 6, early_stop_patience: 0, ..Default::default() };
 
     println!("building with the fixed default architecture...");
-    let fixed = build(
-        &dataset,
-        &OvertonOptions { train: train.clone(), ..Default::default() },
-    )
-    .expect("fixed build");
+    let fixed = build(&dataset, &OvertonOptions { train: train.clone(), ..Default::default() })
+        .expect("fixed build");
 
     println!("building with coarse architecture search (6 trials, short budget)...\n");
     let searched = build(

@@ -40,25 +40,19 @@ fn main() {
         &widths,
     );
 
-    for (i, level) in [
-        ResourceLevel::High,
-        ResourceLevel::MediumA,
-        ResourceLevel::MediumB,
-        ResourceLevel::Low,
-    ]
-    .into_iter()
-    .enumerate()
+    for (i, level) in
+        [ResourceLevel::High, ResourceLevel::MediumA, ResourceLevel::MediumB, ResourceLevel::Low]
+            .into_iter()
+            .enumerate()
     {
         let dataset = generate_workload(&level.workload(100 + i as u64));
 
         // Weak-supervision share (mean over tasks), as in the paper's
         // rightmost column.
         let tasks: Vec<&String> = dataset.schema().tasks.keys().collect();
-        let weak_share = tasks
-            .iter()
-            .map(|t| f64::from(weak_supervision_fraction(&dataset, t)))
-            .sum::<f64>()
-            / tasks.len() as f64;
+        let weak_share =
+            tasks.iter().map(|t| f64::from(weak_supervision_fraction(&dataset, t))).sum::<f64>()
+                / tasks.len() as f64;
 
         let overton = build_overton(&dataset, epochs);
         let overton_error = end_to_end_error(
@@ -68,8 +62,7 @@ fn main() {
         );
 
         let baseline = build_baseline(&dataset, epochs);
-        let baseline_error =
-            end_to_end_error(baseline["Intent"], baseline["IntentArg"], None);
+        let baseline_error = end_to_end_error(baseline["Intent"], baseline["IntentArg"], None);
 
         let pct = error_reduction_percent(baseline_error, overton_error);
         let factor = error_reduction_factor(baseline_error, overton_error);

@@ -55,11 +55,8 @@ fn main() {
     for &scale in &scales {
         let n = base_train * scale;
         let train_subset: Vec<usize> = full.train_indices().into_iter().take(n).collect();
-        let keep: Vec<usize> = train_subset
-            .into_iter()
-            .chain(full.dev_indices())
-            .chain(full.test_indices())
-            .collect();
+        let keep: Vec<usize> =
+            train_subset.into_iter().chain(full.dev_indices()).chain(full.test_indices()).collect();
         let dataset = full.subset(&keep);
 
         let without = build(

@@ -119,7 +119,8 @@ fn bench_training(c: &mut Criterion) {
         .into_iter()
         .map(|i| {
             let record = &dataset.records()[i];
-            let mut ex = overton_model::CompiledExample::from_record(record, i, &space, dataset.schema());
+            let mut ex =
+                overton_model::CompiledExample::from_record(record, i, &space, dataset.schema());
             for task in dataset.schema().tasks.keys() {
                 if let Some(p) = overton_model::gold_to_prob(dataset.schema(), record, task) {
                     ex.targets.insert(task.clone(), p);

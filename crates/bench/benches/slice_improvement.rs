@@ -37,11 +37,8 @@ fn main() {
         ..Default::default()
     });
     let slice = "complex-disambiguation";
-    let n_slice_train: usize = dataset
-        .in_slice(slice)
-        .iter()
-        .filter(|&&i| dataset.records()[i].has_tag("train"))
-        .count();
+    let n_slice_train: usize =
+        dataset.in_slice(slice).iter().filter(|&&i| dataset.records()[i].has_tag("train")).count();
     println!(
         "workload: {} train records, {} in slice:{slice} ({:.1}%)\n",
         dataset.train_indices().len(),
@@ -51,8 +48,7 @@ fn main() {
 
     // A small production model: the capacity-constrained regime where
     // shared parameters cannot afford the rare exception pattern.
-    let base =
-        ModelConfig { token_dim: 8, hidden_dim: 8, entity_dim: 8, ..Default::default() };
+    let base = ModelConfig { token_dim: 8, hidden_dim: 8, entity_dim: 8, ..Default::default() };
     let train = TrainConfig {
         epochs: 5,
         early_stop_patience: 0,
@@ -85,11 +81,7 @@ fn main() {
         &widths,
     );
     let rows: Vec<(&str, f64, f64)> = vec![
-        (
-            "overall accuracy",
-            without.test_accuracy("IntentArg"),
-            with.test_accuracy("IntentArg"),
-        ),
+        ("overall accuracy", without.test_accuracy("IntentArg"), with.test_accuracy("IntentArg")),
         (
             "slice accuracy (F1)",
             without.evaluation.slice_accuracy("IntentArg", slice).unwrap_or(0.0),

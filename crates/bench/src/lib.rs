@@ -4,6 +4,8 @@
 //! different resource levels, the pre-Overton baseline system, and the
 //! composite end-to-end error metric.
 
+#![warn(missing_docs)]
+
 use overton::{build, OvertonBuild, OvertonOptions};
 use overton_model::{
     evaluate, prepare, train_model, CompiledModel, EncoderKind, ModelConfig, TrainConfig,
@@ -43,21 +45,15 @@ impl ResourceLevel {
     pub fn workload(self, seed: u64) -> WorkloadConfig {
         let base = WorkloadConfig { n_dev: 250, n_test: 600, seed, ..Default::default() };
         match self {
-            ResourceLevel::High => WorkloadConfig {
-                n_train: 4000,
-                gold_train_fraction: 0.20,
-                ..base
-            },
-            ResourceLevel::MediumA => WorkloadConfig {
-                n_train: 2200,
-                gold_train_fraction: 0.04,
-                ..base
-            },
-            ResourceLevel::MediumB => WorkloadConfig {
-                n_train: 1600,
-                gold_train_fraction: 0.02,
-                ..base
-            },
+            ResourceLevel::High => {
+                WorkloadConfig { n_train: 4000, gold_train_fraction: 0.20, ..base }
+            }
+            ResourceLevel::MediumA => {
+                WorkloadConfig { n_train: 2200, gold_train_fraction: 0.04, ..base }
+            }
+            ResourceLevel::MediumB => {
+                WorkloadConfig { n_train: 1600, gold_train_fraction: 0.02, ..base }
+            }
             ResourceLevel::Low => WorkloadConfig {
                 n_train: 900,
                 gold_train_fraction: 0.01,
@@ -128,21 +124,15 @@ pub fn build_baseline(dataset: &Dataset, epochs: usize) -> BTreeMap<String, f64>
     for task in dataset.schema().tasks.keys() {
         let sub_schema = single_task_schema(dataset.schema(), task);
         let sub_dataset = retarget(dataset, &sub_schema);
-        let method = if sub_dataset
-            .sources_for_task(task)
-            .iter()
-            .any(|s| s == primary_source(task))
+        let method = if sub_dataset.sources_for_task(task).iter().any(|s| s == primary_source(task))
         {
             CombineMethod::SingleSource(primary_source(task).to_string())
         } else {
             CombineMethod::MajorityVote
         };
         let prepared = prepare(&sub_dataset, &method).expect("baseline prepare");
-        let config = ModelConfig {
-            encoder: EncoderKind::MeanBag,
-            slice_heads: false,
-            ..Default::default()
-        };
+        let config =
+            ModelConfig { encoder: EncoderKind::MeanBag, slice_heads: false, ..Default::default() };
         let mut model = CompiledModel::compile(&sub_schema, &prepared.space, &config, None);
         train_model(
             &mut model,

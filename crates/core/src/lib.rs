@@ -11,13 +11,26 @@
 //! fine-grained per-tag/per-slice quality reports, and packaging into a
 //! deployable artifact with a stable serving signature.
 //!
-//! ```no_run
+//! ```
 //! use overton::{build, OvertonOptions};
-//! use overton_nlp::{generate_workload, WorkloadConfig};
+//! use overton::model::TrainConfig;
+//! use overton::nlp::{generate_workload, WorkloadConfig};
 //!
-//! let dataset = generate_workload(&WorkloadConfig::default());
-//! let built = build(&dataset, &OvertonOptions::default()).unwrap();
-//! println!("Intent accuracy: {:.3}", built.test_accuracy("Intent"));
+//! // Kept tiny so this doctest *runs*; scale the sizes up for a real
+//! // build (see examples/quickstart.rs).
+//! let dataset = generate_workload(&WorkloadConfig {
+//!     n_train: 60,
+//!     n_dev: 16,
+//!     n_test: 16,
+//!     seed: 7,
+//!     ..Default::default()
+//! });
+//! let options = OvertonOptions {
+//!     train: TrainConfig { epochs: 2, ..Default::default() },
+//!     ..Default::default()
+//! };
+//! let built = build(&dataset, &options).unwrap();
+//! assert!((0.0..=1.0).contains(&built.test_accuracy("Intent")));
 //! println!("{}", built.evaluation.reports["Intent"]);
 //! ```
 

@@ -64,7 +64,6 @@ pub struct OvertonOptions {
     pub pretrained: Option<PretrainedEncoder>,
 }
 
-
 /// The output of one pipeline run.
 pub struct OvertonBuild {
     /// The production-ready artifact.
@@ -96,12 +95,8 @@ impl OvertonBuild {
         if self.evaluation.reports.is_empty() {
             return 0.0;
         }
-        let sum: f64 = self
-            .evaluation
-            .reports
-            .values()
-            .filter_map(|r| r.overall().map(|m| m.accuracy))
-            .sum();
+        let sum: f64 =
+            self.evaluation.reports.values().filter_map(|r| r.overall().map(|m| m.accuracy)).sum();
         sum / self.evaluation.reports.len() as f64
     }
 }

@@ -63,11 +63,7 @@ pub fn add_slice_supervision(
             continue;
         }
         if let Some(label) = labeler(record) {
-            record
-                .tasks
-                .entry(task.to_string())
-                .or_default()
-                .insert(source.to_string(), label);
+            record.tasks.entry(task.to_string()).or_default().insert(source.to_string(), label);
             added += 1;
         }
     }
@@ -100,15 +96,9 @@ pub fn retrain_and_compare(
     task: &str,
     slice: &str,
 ) -> Result<ImprovementReport, OvertonError> {
-    let before = previous
-        .evaluation
-        .slice_accuracy(task, slice)
-        .unwrap_or(0.0);
+    let before = previous.evaluation.slice_accuracy(task, slice).unwrap_or(0.0);
     let new_build = build(dataset, options)?;
-    let after = new_build
-        .evaluation
-        .slice_accuracy(task, slice)
-        .unwrap_or(0.0);
+    let after = new_build.evaluation.slice_accuracy(task, slice).unwrap_or(0.0);
     Ok(ImprovementReport { build: new_build, before, after })
 }
 
@@ -126,9 +116,7 @@ pub fn cold_start(
     options: &OvertonOptions,
 ) -> Result<OvertonBuild, OvertonError> {
     for i in 0..n_synthetic {
-        let record = synthesizer(i)
-            .with_tag(overton_store::TAG_TRAIN)
-            .with_tag(lineage_tag);
+        let record = synthesizer(i).with_tag(overton_store::TAG_TRAIN).with_tag(lineage_tag);
         dataset.push(record)?;
     }
     build(dataset, options)
@@ -182,9 +170,10 @@ mod tests {
             |record| record.gold("IntentArg").cloned().or(Some(TaskLabel::Select(1))),
         );
         assert!(added > 0);
-        let i = ds.in_slice("complex-disambiguation").into_iter().find(|&i| {
-            ds.records()[i].has_tag("train")
-        });
+        let i = ds
+            .in_slice("complex-disambiguation")
+            .into_iter()
+            .find(|&i| ds.records()[i].has_tag("train"));
         let record = &ds.records()[i.unwrap()];
         assert!(record.tasks["IntentArg"].contains_key("engineer_fix"));
     }
@@ -211,14 +200,9 @@ mod tests {
                 }
             },
         );
-        let report = retrain_and_compare(
-            &improved,
-            &options,
-            &first,
-            "IntentArg",
-            "complex-disambiguation",
-        )
-        .unwrap();
+        let report =
+            retrain_and_compare(&improved, &options, &first, "IntentArg", "complex-disambiguation")
+                .unwrap();
         // The delta is noisy at this scale; we only require the machinery
         // reports coherent numbers.
         assert!((0.0..=1.0).contains(&report.before));
@@ -229,8 +213,7 @@ mod tests {
     fn cold_start_builds_from_synthetic_only() {
         // Dataset with only dev/test (no organic training data).
         let full = workload();
-        let keep: Vec<usize> =
-            full.dev_indices().into_iter().chain(full.test_indices()).collect();
+        let keep: Vec<usize> = full.dev_indices().into_iter().chain(full.test_indices()).collect();
         let mut ds = full.subset(&keep);
         assert!(ds.train_indices().is_empty());
 

@@ -18,7 +18,10 @@ use overton_supervision::ProbLabel;
 /// Replaces each example's targets with the teacher's soft predictions.
 /// Examples keep their original targets for tasks the teacher cannot score
 /// (empty payloads).
-pub fn soften_targets(teacher: &CompiledModel, examples: &[CompiledExample]) -> Vec<CompiledExample> {
+pub fn soften_targets(
+    teacher: &CompiledModel,
+    examples: &[CompiledExample],
+) -> Vec<CompiledExample> {
     examples
         .iter()
         .map(|example| {

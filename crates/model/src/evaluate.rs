@@ -23,18 +23,12 @@ pub struct Evaluation {
 impl Evaluation {
     /// Overall accuracy for a task (0 when absent).
     pub fn accuracy(&self, task: &str) -> f64 {
-        self.reports
-            .get(task)
-            .and_then(|r| r.overall())
-            .map_or(0.0, |m| m.accuracy)
+        self.reports.get(task).and_then(|r| r.overall()).map_or(0.0, |m| m.accuracy)
     }
 
     /// Accuracy for a task on one slice (None when the row is absent).
     pub fn slice_accuracy(&self, task: &str, slice: &str) -> Option<f64> {
-        self.reports
-            .get(task)?
-            .group(&format!("slice:{slice}"))
-            .map(|m| m.accuracy)
+        self.reports.get(task)?.group(&format!("slice:{slice}")).map(|m| m.accuracy)
     }
 }
 
@@ -111,11 +105,19 @@ fn clone_scored(s: &Scored) -> Scored {
 
 fn score_one(kind: TaskKind, output: &TaskOutput, gold: &TaskLabel) -> Option<Scored> {
     match (kind, output, gold) {
-        (TaskKind::Multiclass { classes }, TaskOutput::Multiclass { class, .. }, TaskLabel::MulticlassOne(g)) => {
+        (
+            TaskKind::Multiclass { classes },
+            TaskOutput::Multiclass { class, .. },
+            TaskLabel::MulticlassOne(g),
+        ) => {
             let gold_idx = classes.iter().position(|c| c == g)?;
             Some(Scored::Multiclass(vec![(*class, gold_idx)], classes.len()))
         }
-        (TaskKind::Multiclass { classes }, TaskOutput::MulticlassSeq { classes: preds }, TaskLabel::MulticlassSeq(golds)) => {
+        (
+            TaskKind::Multiclass { classes },
+            TaskOutput::MulticlassSeq { classes: preds },
+            TaskLabel::MulticlassSeq(golds),
+        ) => {
             if preds.len() != golds.len() {
                 return None;
             }
@@ -126,12 +128,20 @@ fn score_one(kind: TaskKind, output: &TaskOutput, gold: &TaskLabel) -> Option<Sc
                 .collect();
             Some(Scored::Multiclass(pairs?, classes.len()))
         }
-        (TaskKind::Bitvector { labels }, TaskOutput::Bits { bits, .. }, TaskLabel::BitvectorOne(gold_bits)) => {
+        (
+            TaskKind::Bitvector { labels },
+            TaskOutput::Bits { bits, .. },
+            TaskLabel::BitvectorOne(gold_bits),
+        ) => {
             let gold_row: Vec<bool> =
                 labels.iter().map(|l| gold_bits.iter().any(|b| b == l)).collect();
             Some(Scored::Bits(vec![(bits.clone(), gold_row)]))
         }
-        (TaskKind::Bitvector { labels }, TaskOutput::BitsSeq { rows }, TaskLabel::BitvectorSeq(gold_rows)) => {
+        (
+            TaskKind::Bitvector { labels },
+            TaskOutput::BitsSeq { rows },
+            TaskLabel::BitvectorSeq(gold_rows),
+        ) => {
             if rows.len() != gold_rows.len() {
                 return None;
             }
@@ -189,10 +199,7 @@ fn reduce(scored: &[Scored]) -> Metrics {
             m
         }
         Some(Scored::Correct(_)) => {
-            let correct = scored
-                .iter()
-                .filter(|s| matches!(s, Scored::Correct(true)))
-                .count();
+            let correct = scored.iter().filter(|s| matches!(s, Scored::Correct(true))).count();
             let accuracy = correct as f64 / scored.len() as f64;
             Metrics { count: scored.len(), accuracy, macro_f1: accuracy, micro_f1: accuracy }
         }

@@ -66,7 +66,12 @@ pub struct CompiledExample {
 
 impl CompiledExample {
     /// Encodes a record's payloads (no targets).
-    pub fn from_record(record: &Record, index: usize, space: &FeatureSpace, schema: &Schema) -> Self {
+    pub fn from_record(
+        record: &Record,
+        index: usize,
+        space: &FeatureSpace,
+        schema: &Schema,
+    ) -> Self {
         let mut sequences = BTreeMap::new();
         let mut sets = BTreeMap::new();
         for (name, def) in &schema.payloads {
@@ -77,17 +82,14 @@ impl CompiledExample {
                     sequences.insert(name.clone(), ids);
                 }
                 (PayloadKind::Set, Some(PayloadValue::Set(els))) => {
-                    let encoded: Vec<(usize, (usize, usize))> = els
-                        .iter()
-                        .map(|el| (space.entity_vocab.id(&el.id), el.span))
-                        .collect();
+                    let encoded: Vec<(usize, (usize, usize))> =
+                        els.iter().map(|el| (space.entity_vocab.id(&el.id), el.span)).collect();
                     sets.insert(name.clone(), encoded);
                 }
                 _ => {}
             }
         }
-        let slice_membership =
-            space.slice_names.iter().map(|s| record.in_slice(s)).collect();
+        let slice_membership = space.slice_names.iter().map(|s| record.in_slice(s)).collect();
         Self { record_index: index, sequences, sets, targets: BTreeMap::new(), slice_membership }
     }
 
@@ -122,21 +124,14 @@ pub fn gold_to_prob(schema: &Schema, record: &Record, task: &str) -> Option<Prob
             Some(ProbLabel::SeqDist(rows?))
         }
         (TaskKind::Bitvector { labels }, TaskLabel::BitvectorOne(bits)) => {
-            let row: Vec<f32> = labels
-                .iter()
-                .map(|l| f32::from(bits.iter().any(|b| b == l)))
-                .collect();
+            let row: Vec<f32> =
+                labels.iter().map(|l| f32::from(bits.iter().any(|b| b == l))).collect();
             Some(ProbLabel::Bits(row))
         }
         (TaskKind::Bitvector { labels }, TaskLabel::BitvectorSeq(rows)) => {
             let out: Vec<Vec<f32>> = rows
                 .iter()
-                .map(|bits| {
-                    labels
-                        .iter()
-                        .map(|l| f32::from(bits.iter().any(|b| b == l)))
-                        .collect()
-                })
+                .map(|bits| labels.iter().map(|l| f32::from(bits.iter().any(|b| b == l))).collect())
                 .collect();
             Some(ProbLabel::SeqBits(out))
         }
@@ -231,10 +226,11 @@ mod tests {
     fn unknown_gold_class_yields_none() {
         let ds = tiny();
         let mut record = ds.records()[ds.test_indices()[0]].clone();
-        record.tasks.get_mut("Intent").unwrap().insert(
-            GOLD_SOURCE.to_string(),
-            TaskLabel::MulticlassOne("NotARealIntent".into()),
-        );
+        record
+            .tasks
+            .get_mut("Intent")
+            .unwrap()
+            .insert(GOLD_SOURCE.to_string(), TaskLabel::MulticlassOne("NotARealIntent".into()));
         assert!(gold_to_prob(ds.schema(), &record, "Intent").is_none());
     }
 }

@@ -11,8 +11,8 @@
 #![warn(missing_docs)]
 
 mod compiler;
-mod distill;
 mod config;
+mod distill;
 mod evaluate;
 mod features;
 mod network;
@@ -23,10 +23,10 @@ mod serve;
 mod trainer;
 
 pub use compiler::{prepare, PreparedData};
-pub use distill::{distill, soften_targets};
 pub use config::{
     AggregationKind, EmbeddingKind, EncoderKind, ModelConfig, TrainConfig, TuningSpec,
 };
+pub use distill::{distill, soften_targets};
 pub use evaluate::{evaluate, Evaluation};
 pub use features::{gold_to_prob, CompiledExample, FeatureSpace};
 pub use network::{CompiledModel, ForwardPass, Prediction, TaskOutput};

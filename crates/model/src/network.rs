@@ -51,9 +51,13 @@ impl Encoder {
         rng: &mut SmallRng,
     ) -> Self {
         match kind {
-            EncoderKind::MeanBag => {
-                Encoder::MeanBag(Linear::new(store, &format!("{name}.proj"), token_dim, hidden, rng))
-            }
+            EncoderKind::MeanBag => Encoder::MeanBag(Linear::new(
+                store,
+                &format!("{name}.proj"),
+                token_dim,
+                hidden,
+                rng,
+            )),
             EncoderKind::Cnn => {
                 Encoder::Cnn(Conv1d::new(store, &format!("{name}.conv"), token_dim, hidden, 3, rng))
             }
@@ -62,12 +66,24 @@ impl Encoder {
             }
             EncoderKind::BiLstm => {
                 assert!(hidden.is_multiple_of(2), "BiLstm needs an even hidden size, got {hidden}");
-                Encoder::BiLstm(BiLstm::new(store, &format!("{name}.bilstm"), token_dim, hidden / 2, rng))
+                Encoder::BiLstm(BiLstm::new(
+                    store,
+                    &format!("{name}.bilstm"),
+                    token_dim,
+                    hidden / 2,
+                    rng,
+                ))
             }
             EncoderKind::Attention => {
                 let heads = [4usize, 2, 1].into_iter().find(|h| hidden.is_multiple_of(*h)).unwrap();
                 Encoder::Attention {
-                    input_proj: Linear::new(store, &format!("{name}.inproj"), token_dim, hidden, rng),
+                    input_proj: Linear::new(
+                        store,
+                        &format!("{name}.inproj"),
+                        token_dim,
+                        hidden,
+                        rng,
+                    ),
                     attention: MultiHeadSelfAttention::new(
                         store,
                         &format!("{name}.attn"),
@@ -251,41 +267,76 @@ impl CompiledModel {
         }
 
         // Set-element projection: entity embedding ++ span summary -> hidden.
-        let set_proj = Linear::new(
-            &mut params,
-            "set.proj",
-            config.entity_dim + hidden,
-            hidden,
-            &mut rng,
-        );
+        let set_proj =
+            Linear::new(&mut params, "set.proj", config.entity_dim + hidden, hidden, &mut rng);
 
         // Task heads.
         let mut heads = BTreeMap::new();
         for (task, def) in &schema.tasks {
             let payload_kind = &schema.payloads[&def.payload].kind;
             let head = match (&def.kind, payload_kind) {
-                (TaskKind::Multiclass { classes }, PayloadKind::Sequence { .. }) => Head::PerElement {
-                    payload: def.payload.clone(),
-                    linear: Linear::new(&mut params, &format!("head.{task}"), hidden, classes.len(), &mut rng),
-                    bce: false,
-                },
-                (TaskKind::Bitvector { labels }, PayloadKind::Sequence { .. }) => Head::PerElement {
-                    payload: def.payload.clone(),
-                    linear: Linear::new(&mut params, &format!("head.{task}"), hidden, labels.len(), &mut rng),
-                    bce: true,
-                },
+                (TaskKind::Multiclass { classes }, PayloadKind::Sequence { .. }) => {
+                    Head::PerElement {
+                        payload: def.payload.clone(),
+                        linear: Linear::new(
+                            &mut params,
+                            &format!("head.{task}"),
+                            hidden,
+                            classes.len(),
+                            &mut rng,
+                        ),
+                        bce: false,
+                    }
+                }
+                (TaskKind::Bitvector { labels }, PayloadKind::Sequence { .. }) => {
+                    Head::PerElement {
+                        payload: def.payload.clone(),
+                        linear: Linear::new(
+                            &mut params,
+                            &format!("head.{task}"),
+                            hidden,
+                            labels.len(),
+                            &mut rng,
+                        ),
+                        bce: true,
+                    }
+                }
                 (TaskKind::Multiclass { classes }, _) => Head::Single {
-                    linear: Linear::new(&mut params, &format!("head.{task}"), hidden, classes.len(), &mut rng),
+                    linear: Linear::new(
+                        &mut params,
+                        &format!("head.{task}"),
+                        hidden,
+                        classes.len(),
+                        &mut rng,
+                    ),
                     bce: false,
                 },
                 (TaskKind::Bitvector { labels }, _) => Head::Single {
-                    linear: Linear::new(&mut params, &format!("head.{task}"), hidden, labels.len(), &mut rng),
+                    linear: Linear::new(
+                        &mut params,
+                        &format!("head.{task}"),
+                        hidden,
+                        labels.len(),
+                        &mut rng,
+                    ),
                     bce: true,
                 },
                 (TaskKind::Select, _) => Head::Select {
                     payload: def.payload.clone(),
-                    combine: Linear::new(&mut params, &format!("head.{task}.combine"), 2 * hidden, hidden, &mut rng),
-                    score: Linear::new(&mut params, &format!("head.{task}.score"), hidden, 1, &mut rng),
+                    combine: Linear::new(
+                        &mut params,
+                        &format!("head.{task}.combine"),
+                        2 * hidden,
+                        hidden,
+                        &mut rng,
+                    ),
+                    score: Linear::new(
+                        &mut params,
+                        &format!("head.{task}.score"),
+                        hidden,
+                        1,
+                        &mut rng,
+                    ),
                 },
             };
             heads.insert(task.clone(), head);
@@ -296,12 +347,16 @@ impl CompiledModel {
             indicators: space
                 .slice_names
                 .iter()
-                .map(|s| Linear::new(&mut params, &format!("slice.{s}.indicator"), hidden, 2, &mut rng))
+                .map(|s| {
+                    Linear::new(&mut params, &format!("slice.{s}.indicator"), hidden, 2, &mut rng)
+                })
                 .collect(),
             experts: space
                 .slice_names
                 .iter()
-                .map(|s| Linear::new(&mut params, &format!("slice.{s}.expert"), hidden, hidden, &mut rng))
+                .map(|s| {
+                    Linear::new(&mut params, &format!("slice.{s}.expert"), hidden, hidden, &mut rng)
+                })
                 .collect(),
         });
 
@@ -388,21 +443,15 @@ impl CompiledModel {
                     AggregationKind::Max => g.max_rows(stacked),
                 }
             };
-            let key: &str = self
-                .schema
-                .payloads
-                .keys()
-                .find(|k| **k == name)
-                .expect("payload exists")
-                .as_str();
+            let key: &str =
+                self.schema.payloads.keys().find(|k| **k == name).expect("payload exists").as_str();
             single_repr.insert(key, repr);
         }
 
         // 3. Shared example-level representation: mean of singleton reprs
         //    (or of aggregated sequence encodings when none exist).
         let shared = if single_repr.is_empty() {
-            let pooled: Vec<NodeId> =
-                seq_enc.values().map(|&enc| g.mean_rows(enc)).collect();
+            let pooled: Vec<NodeId> = seq_enc.values().map(|&enc| g.mean_rows(enc)).collect();
             if pooled.is_empty() {
                 g.constant(Matrix::zeros(1, self.hidden))
             } else {
@@ -697,10 +746,7 @@ mod tests {
         let t = ex.sequences["tokens"].len();
         assert_eq!(g.value(pass.task_logits["POS"]).shape(), (t, 8));
         assert_eq!(g.value(pass.task_logits["Intent"]).shape().0, 1);
-        assert_eq!(
-            g.value(pass.task_logits["IntentArg"]).cols(),
-            ex.sets["entities"].len()
-        );
+        assert_eq!(g.value(pass.task_logits["IntentArg"]).cols(), ex.sets["entities"].len());
         assert_eq!(pass.indicator_logits.len(), space.slice_names.len());
     }
 

@@ -66,14 +66,9 @@ impl PretrainedEncoder {
         target_vocab: &Vocab,
         token_dim: usize,
     ) -> Embedding {
-        assert_eq!(
-            token_dim,
-            self.dim(),
-            "config.token_dim must match the pretrained width"
-        );
+        assert_eq!(token_dim, self.dim(), "config.token_dim must match the pretrained width");
         let mut rng = SmallRng::seed_from_u64(7);
-        let mut table =
-            overton_tensor::init::normal(target_vocab.len(), token_dim, 0.1, &mut rng);
+        let mut table = overton_tensor::init::normal(target_vocab.len(), token_dim, 0.1, &mut rng);
         let mut copied = 0usize;
         for id in 0..target_vocab.len() {
             let Some(token) = target_vocab.token(id) else { continue };
@@ -92,10 +87,7 @@ impl PretrainedEncoder {
 /// the embedding artifact.
 pub fn pretrain(corpus: &[Vec<String>], config: &PretrainConfig) -> PretrainedEncoder {
     assert!(!corpus.is_empty(), "pretraining corpus is empty");
-    let vocab = Vocab::build(
-        corpus.iter().flat_map(|s| s.iter().map(String::as_str)),
-        1,
-    );
+    let vocab = Vocab::build(corpus.iter().flat_map(|s| s.iter().map(String::as_str)), 1);
     let mut rng = SmallRng::seed_from_u64(config.seed);
     let mut params = ParamStore::new();
     let embedding = Embedding::new(&mut params, "mlm.embedding", vocab.len(), config.dim, &mut rng);
@@ -155,11 +147,7 @@ pub fn pretrain(corpus: &[Vec<String>], config: &PretrainConfig) -> PretrainedEn
         }
         final_loss = (epoch_loss / batches.max(1) as f64) as f32;
     }
-    PretrainedEncoder {
-        table: params.value(embedding.table()).clone(),
-        vocab,
-        final_loss,
-    }
+    PretrainedEncoder { table: params.value(embedding.table()).clone(), vocab, final_loss }
 }
 
 #[cfg(test)]

@@ -160,7 +160,8 @@ mod tests {
     }
 
     fn temp_registry(tag: &str) -> ModelRegistry {
-        let dir = std::env::temp_dir().join(format!("overton-registry-{tag}-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("overton-registry-{tag}-{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
         ModelRegistry::open(dir).unwrap()
     }

@@ -80,12 +80,12 @@ pub fn search(
     }
     candidates.truncate(config.trials.max(1));
 
-    let results = parking_lot::Mutex::new(Vec::<TrialResult>::with_capacity(candidates.len()));
+    let results = std::sync::Mutex::new(Vec::<TrialResult>::with_capacity(candidates.len()));
     let next = std::sync::atomic::AtomicUsize::new(0);
     let threads = config.threads.clamp(1, candidates.len().max(1));
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= candidates.len() {
                     break;
@@ -98,13 +98,15 @@ pub fn search(
                 let mut model = CompiledModel::compile(schema, space, &trial_config, artifact);
                 train_model(&mut model, train, dev, &config.train);
                 let dev_score = dev_agreement(&model, dev);
-                results.lock().push(TrialResult { config: trial_config, dev_score });
+                results
+                    .lock()
+                    .expect("no trial panicked")
+                    .push(TrialResult { config: trial_config, dev_score });
             });
         }
-    })
-    .expect("search worker panicked");
+    });
 
-    let mut trials = results.into_inner();
+    let mut trials = results.into_inner().expect("no trial panicked");
     trials.sort_by(|a, b| b.dev_score.partial_cmp(&a.dev_score).unwrap());
     (trials[0].config.clone(), trials)
 }

@@ -135,8 +135,7 @@ impl Server {
     /// Validates a record against the schema and predicts all tasks.
     pub fn predict(&self, record: &Record) -> Result<ServingResponse, StoreError> {
         record.validate(self.model.schema())?;
-        let example =
-            CompiledExample::from_record(record, 0, &self.space, self.model.schema());
+        let example = CompiledExample::from_record(record, 0, &self.space, self.model.schema());
         let prediction = self.model.predict(&example);
         let schema = self.model.schema();
         let mut tasks = BTreeMap::new();
@@ -149,11 +148,12 @@ impl Server {
                         dist: classes.iter().cloned().zip(dist.iter().copied()).collect(),
                     }
                 }
-                (TaskOutput::MulticlassSeq { classes: preds }, TaskKind::Multiclass { classes }) => {
-                    ServedOutput::MulticlassSeq {
-                        classes: preds.iter().map(|&c| classes[c].clone()).collect(),
-                    }
-                }
+                (
+                    TaskOutput::MulticlassSeq { classes: preds },
+                    TaskKind::Multiclass { classes },
+                ) => ServedOutput::MulticlassSeq {
+                    classes: preds.iter().map(|&c| classes[c].clone()).collect(),
+                },
                 (TaskOutput::Bits { bits, .. }, TaskKind::Bitvector { labels }) => {
                     ServedOutput::Bits {
                         set: labels
@@ -181,9 +181,9 @@ impl Server {
                 }
                 (TaskOutput::Select { index, .. }, TaskKind::Select) => {
                     let id = match record.payloads.get(&schema.tasks[task].payload) {
-                        Some(overton_store::PayloadValue::Set(els)) =>
-
-                            els.get(*index).map(|e| e.id.clone()).unwrap_or_default(),
+                        Some(overton_store::PayloadValue::Set(els)) => {
+                            els.get(*index).map(|e| e.id.clone()).unwrap_or_default()
+                        }
                         _ => String::new(),
                     };
                     ServedOutput::Select { index: *index, id }
@@ -256,8 +256,10 @@ mod tests {
         // Same record through the original model must agree.
         let example = CompiledExample::from_record(record, 0, &space, ds.schema());
         let direct = model.predict(&example);
-        if let (Some(ServedOutput::Multiclass { class, .. }), Some(TaskOutput::Multiclass { class: idx, .. })) =
-            (response.tasks.get("Intent"), direct.tasks.get("Intent"))
+        if let (
+            Some(ServedOutput::Multiclass { class, .. }),
+            Some(TaskOutput::Multiclass { class: idx, .. }),
+        ) = (response.tasks.get("Intent"), direct.tasks.get("Intent"))
         {
             let classes = match &ds.schema().tasks["Intent"].kind {
                 TaskKind::Multiclass { classes } => classes,

@@ -119,11 +119,8 @@ pub fn dev_agreement(model: &CompiledModel, examples: &[CompiledExample]) -> f64
                     if classes.len() != rows.len() || rows.is_empty() {
                         continue;
                     }
-                    let correct = classes
-                        .iter()
-                        .zip(rows)
-                        .filter(|(c, row)| **c == argmax(row))
-                        .count();
+                    let correct =
+                        classes.iter().zip(rows).filter(|(c, row)| **c == argmax(row)).count();
                     correct as f64 / rows.len() as f64
                 }
                 (TaskOutput::Bits { bits, .. }, ProbLabel::Bits(target_bits)) => {
@@ -131,10 +128,8 @@ pub fn dev_agreement(model: &CompiledModel, examples: &[CompiledExample]) -> f64
                     bit_agreement(std::slice::from_ref(bits), std::slice::from_ref(&target))
                 }
                 (TaskOutput::BitsSeq { rows }, ProbLabel::SeqBits(target_rows)) => {
-                    let target: Vec<Vec<bool>> = target_rows
-                        .iter()
-                        .map(|r| r.iter().map(|&p| p > 0.5).collect())
-                        .collect();
+                    let target: Vec<Vec<bool>> =
+                        target_rows.iter().map(|r| r.iter().map(|&p| p > 0.5).collect()).collect();
                     bit_agreement(rows, &target)
                 }
                 _ => continue,
@@ -197,7 +192,11 @@ mod tests {
         })
     }
 
-    fn gold_examples(ds: &Dataset, indices: &[usize], space: &FeatureSpace) -> Vec<CompiledExample> {
+    fn gold_examples(
+        ds: &Dataset,
+        indices: &[usize],
+        space: &FeatureSpace,
+    ) -> Vec<CompiledExample> {
         indices
             .iter()
             .map(|&i| {
@@ -219,8 +218,7 @@ mod tests {
         let space = FeatureSpace::build(&ds);
         let train = gold_examples(&ds, &ds.train_indices(), &space);
         let dev = gold_examples(&ds, &ds.dev_indices(), &space);
-        let mut model =
-            CompiledModel::compile(ds.schema(), &space, &ModelConfig::default(), None);
+        let mut model = CompiledModel::compile(ds.schema(), &space, &ModelConfig::default(), None);
         let before = dev_agreement(&model, &dev);
         let report = train_model(
             &mut model,
@@ -243,8 +241,7 @@ mod tests {
         let space = FeatureSpace::build(&ds);
         let train = gold_examples(&ds, &ds.train_indices()[..60], &space);
         let dev = gold_examples(&ds, &ds.dev_indices(), &space);
-        let mut model =
-            CompiledModel::compile(ds.schema(), &space, &ModelConfig::default(), None);
+        let mut model = CompiledModel::compile(ds.schema(), &space, &ModelConfig::default(), None);
         let report = train_model(
             &mut model,
             &train,
@@ -265,8 +262,7 @@ mod tests {
     fn empty_training_set_rejected() {
         let ds = workload();
         let space = FeatureSpace::build(&ds);
-        let mut model =
-            CompiledModel::compile(ds.schema(), &space, &ModelConfig::default(), None);
+        let mut model = CompiledModel::compile(ds.schema(), &space, &ModelConfig::default(), None);
         let _ = train_model(&mut model, &[], &[], &TrainConfig::default());
     }
 }

@@ -34,10 +34,7 @@ pub struct CalibrationReport {
 ///
 /// # Panics
 /// Panics if `n_bins == 0` or any confidence is outside `[0, 1]`.
-pub fn calibration_report(
-    predictions: &[(f64, bool)],
-    n_bins: usize,
-) -> CalibrationReport {
+pub fn calibration_report(predictions: &[(f64, bool)], n_bins: usize) -> CalibrationReport {
     assert!(n_bins > 0, "need at least one bin");
     assert!(
         predictions.iter().all(|(c, _)| (0.0..=1.0).contains(c)),
@@ -98,8 +95,7 @@ mod tests {
     #[test]
     fn overconfident_model_has_positive_ece() {
         // Claims 0.95 but is right half the time.
-        let preds: Vec<(f64, bool)> =
-            (0..100).map(|i| (0.95, i % 2 == 0)).collect();
+        let preds: Vec<(f64, bool)> = (0..100).map(|i| (0.95, i % 2 == 0)).collect();
         let report = calibration_report(&preds, 10);
         assert!((report.ece - 0.45).abs() < 1e-9, "ece {}", report.ece);
     }

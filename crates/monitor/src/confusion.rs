@@ -96,9 +96,8 @@ impl ConfusionMatrix {
 
     /// Unweighted mean of per-class F1 over classes that occur.
     pub fn macro_f1(&self) -> f64 {
-        let present: Vec<usize> = (0..self.k)
-            .filter(|&c| (0..self.k).any(|p| self.count(c, p) > 0))
-            .collect();
+        let present: Vec<usize> =
+            (0..self.k).filter(|&c| (0..self.k).any(|p| self.count(c, p) > 0)).collect();
         if present.is_empty() {
             return 0.0;
         }
@@ -119,13 +118,7 @@ impl ConfusionMatrix {
 
 impl fmt::Display for ConfusionMatrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let width = self
-            .labels
-            .iter()
-            .map(String::len)
-            .max()
-            .unwrap_or(4)
-            .max(6);
+        let width = self.labels.iter().map(String::len).max().unwrap_or(4).max(6);
         write!(f, "{:>width$} |", "gold\\pred")?;
         for l in &self.labels {
             write!(f, " {l:>width$}")?;

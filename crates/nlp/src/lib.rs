@@ -23,9 +23,8 @@ mod workload;
 pub use corpus::pretraining_corpus;
 pub use kb::{Entity, KnowledgeBase, ENTITY_TYPES};
 pub use queries::{
-    required_types, template_catalog, Candidate, GeneratedQuery, QueryGenerator, INTENTS,
-    POS_TAGS, SLICE_COMPLEX_DISAMBIGUATION, SLICE_NUTRITION, VAGUE_INTENTS,
-    VAGUE_TEMPLATE_OFFSET,
+    required_types, template_catalog, Candidate, GeneratedQuery, QueryGenerator, INTENTS, POS_TAGS,
+    SLICE_COMPLEX_DISAMBIGUATION, SLICE_NUTRITION, VAGUE_INTENTS, VAGUE_TEMPLATE_OFFSET,
 };
 pub use tokenizer::{detokenize, tokenize};
 pub use vocab::{Vocab, MASK, PAD, UNK};

@@ -280,13 +280,9 @@ impl<'a> QueryGenerator<'a> {
                 let editorial = EDITORIAL_GOLD
                     .iter()
                     .find(|(a, i, _)| *a == alias && *i == intent)
-                    .and_then(|(_, _, id)| {
-                        senses.iter().position(|&e| kb.entity(e).id == *id)
-                    });
+                    .and_then(|(_, _, id)| senses.iter().position(|&e| kb.entity(e).id == *id));
                 let gold = editorial.or_else(|| {
-                    senses
-                        .iter()
-                        .position(|&e| types.iter().any(|t| kb.entity(e).has_type(t)))
+                    senses.iter().position(|&e| types.iter().any(|t| kb.entity(e).has_type(t)))
                 });
                 if let Some(pos) = gold {
                     if pos > 0 {
@@ -316,8 +312,7 @@ impl<'a> QueryGenerator<'a> {
         loop {
             let intent = INTENTS[rng.gen_range(0..INTENTS.len())];
             let types = required_types(intent);
-            let pool: Vec<usize> =
-                types.iter().flat_map(|t| self.kb.with_type(t)).collect();
+            let pool: Vec<usize> = types.iter().flat_map(|t| self.kb.with_type(t)).collect();
             if pool.is_empty() {
                 continue;
             }
@@ -416,12 +411,10 @@ impl<'a> QueryGenerator<'a> {
             |c: &Candidate| types.iter().any(|t| self.kb.entity(c.entity).has_type(t));
         // Editorial decisions override the generic first-compatible rule
         // on specific (alias, intent) pairs — see [`EDITORIAL_GOLD`].
-        let editorial = EDITORIAL_GOLD
-            .iter()
-            .find(|(a, i, _)| *a == alias && *i == intent)
-            .and_then(|(_, _, id)| {
-                candidates.iter().position(|c| self.kb.entity(c.entity).id == *id)
-            });
+        let editorial =
+            EDITORIAL_GOLD.iter().find(|(a, i, _)| *a == alias && *i == intent).and_then(
+                |(_, _, id)| candidates.iter().position(|c| self.kb.entity(c.entity).id == *id),
+            );
         let gold_arg = editorial
             .or_else(|| candidates.iter().position(matches_intent))
             .expect("generator always produces a type-compatible candidate");
@@ -447,7 +440,16 @@ impl<'a> QueryGenerator<'a> {
             slices.push(SLICE_NUTRITION);
         }
 
-        GeneratedQuery { tokens, intent, pos, token_types, candidates, gold_arg, slices, template_id }
+        GeneratedQuery {
+            tokens,
+            intent,
+            pos,
+            token_types,
+            candidates,
+            gold_arg,
+            slices,
+            template_id,
+        }
     }
 }
 

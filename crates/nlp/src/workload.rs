@@ -462,11 +462,8 @@ mod tests {
 
     #[test]
     fn default_sense_source_is_wrong_on_slice() {
-        let ds = generate_workload(&WorkloadConfig {
-            n_train: 600,
-            slice_rate: 0.3,
-            ..small_config()
-        });
+        let ds =
+            generate_workload(&WorkloadConfig { n_train: 600, slice_rate: 0.3, ..small_config() });
         let mut slice_wrong = 0usize;
         let mut slice_total = 0usize;
         for &i in &ds.train_indices() {

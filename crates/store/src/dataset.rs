@@ -69,31 +69,18 @@ impl Dataset {
 
     /// Indices of records carrying `tag`.
     pub fn tagged(&self, tag: &str) -> Vec<usize> {
-        self.records
-            .iter()
-            .enumerate()
-            .filter(|(_, r)| r.has_tag(tag))
-            .map(|(i, _)| i)
-            .collect()
+        self.records.iter().enumerate().filter(|(_, r)| r.has_tag(tag)).map(|(i, _)| i).collect()
     }
 
     /// Indices of records in the named slice.
     pub fn in_slice(&self, slice: &str) -> Vec<usize> {
-        self.records
-            .iter()
-            .enumerate()
-            .filter(|(_, r)| r.in_slice(slice))
-            .map(|(i, _)| i)
-            .collect()
+        self.records.iter().enumerate().filter(|(_, r)| r.in_slice(slice)).map(|(i, _)| i).collect()
     }
 
     /// All slice names present in the data, sorted.
     pub fn slice_names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self
-            .records
-            .iter()
-            .flat_map(|r| r.slices().map(str::to_string))
-            .collect();
+        let mut names: Vec<String> =
+            self.records.iter().flat_map(|r| r.slices().map(str::to_string)).collect();
         names.sort();
         names.dedup();
         names
@@ -153,12 +140,9 @@ impl Dataset {
             if trimmed.is_empty() {
                 continue;
             }
-            let record = Record::from_json(trimmed).map_err(|e| {
-                StoreError::Validation(format!("line {lineno}: {e}"))
-            })?;
-            ds.push(record).map_err(|e| {
-                StoreError::Validation(format!("line {lineno}: {e}"))
-            })?;
+            let record = Record::from_json(trimmed)
+                .map_err(|e| StoreError::Validation(format!("line {lineno}: {e}")))?;
+            ds.push(record).map_err(|e| StoreError::Validation(format!("line {lineno}: {e}")))?;
         }
         Ok(ds)
     }
@@ -215,11 +199,8 @@ mod tests {
     #[test]
     fn push_validates() {
         let mut ds = Dataset::new(example_schema());
-        let bad = Record::new().with_label(
-            "Intent",
-            "w",
-            TaskLabel::MulticlassOne("NotAClass".into()),
-        );
+        let bad =
+            Record::new().with_label("Intent", "w", TaskLabel::MulticlassOne("NotAClass".into()));
         assert!(ds.push(bad).is_err());
         assert!(ds.is_empty());
     }

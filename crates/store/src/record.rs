@@ -376,13 +376,13 @@ mod tests {
             .with_payload(
                 "tokens",
                 PayloadValue::Sequence(
-                    ["how", "tall", "is", "the", "president"].iter().map(|s| s.to_string()).collect(),
+                    ["how", "tall", "is", "the", "president"]
+                        .iter()
+                        .map(|s| s.to_string())
+                        .collect(),
                 ),
             )
-            .with_payload(
-                "query",
-                PayloadValue::Singleton("how tall is the president".into()),
-            )
+            .with_payload("query", PayloadValue::Singleton("how tall is the president".into()))
             .with_payload(
                 "entities",
                 PayloadValue::Set(vec![
@@ -451,8 +451,10 @@ mod tests {
             TaskLabel::MulticlassSeq(vec!["Height".into()]),
         );
         let err = r.validate(&example_schema()).unwrap_err();
-        assert!(err.to_string().contains("granularity") || err.to_string().contains("labels for"),
-            "{err}");
+        assert!(
+            err.to_string().contains("granularity") || err.to_string().contains("labels for"),
+            "{err}"
+        );
     }
 
     #[test]
@@ -513,10 +515,7 @@ mod tests {
         .unwrap();
         assert!(matches!(r.tasks["topics"]["w"], TaskLabel::MulticlassSeq(_)));
         r.normalize_labels(&schema);
-        assert_eq!(
-            r.tasks["topics"]["w"],
-            TaskLabel::BitvectorOne(vec!["a".into(), "b".into()])
-        );
+        assert_eq!(r.tasks["topics"]["w"], TaskLabel::BitvectorOne(vec!["a".into(), "b".into()]));
         r.validate(&schema).unwrap();
     }
 

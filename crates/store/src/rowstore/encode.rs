@@ -210,10 +210,7 @@ mod tests {
     fn sample_record() -> Record {
         Record::new()
             .with_payload("query", PayloadValue::Singleton("how tall".into()))
-            .with_payload(
-                "tokens",
-                PayloadValue::Sequence(vec!["how".into(), "tall".into()]),
-            )
+            .with_payload("tokens", PayloadValue::Sequence(vec!["how".into(), "tall".into()]))
             .with_payload(
                 "entities",
                 PayloadValue::Set(vec![SetElement { id: "E1".into(), span: (0, 2) }]),

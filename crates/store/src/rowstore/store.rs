@@ -78,10 +78,7 @@ impl RowStore {
         let mut slice: &[u8] = &bytes;
         let record = decode_record(&mut slice)?;
         if !slice.is_empty() {
-            return Err(StoreError::Corrupt(format!(
-                "row {i} has {} trailing bytes",
-                slice.len()
-            )));
+            return Err(StoreError::Corrupt(format!("row {i} has {} trailing bytes", slice.len())));
         }
         Ok(record)
     }
@@ -152,8 +149,7 @@ impl RowStore {
         let blob_len = *offsets.last().unwrap() as usize;
         let blob_end = offsets_end + blob_len;
         need(blob_end + 8, "blob and checksum")?;
-        let stored_checksum =
-            u64::from_le_bytes(bytes[blob_end..blob_end + 8].try_into().unwrap());
+        let stored_checksum = u64::from_le_bytes(bytes[blob_end..blob_end + 8].try_into().unwrap());
         let blob = Bytes::from(bytes).slice(offsets_end..blob_end);
         if fnv1a(&blob) != stored_checksum {
             return Err(StoreError::Corrupt("checksum mismatch".into()));

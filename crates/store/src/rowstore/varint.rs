@@ -20,9 +20,8 @@ pub fn read_u64(buf: &mut &[u8]) -> Result<u64> {
     let mut value = 0u64;
     let mut shift = 0u32;
     loop {
-        let (&byte, rest) = buf
-            .split_first()
-            .ok_or_else(|| StoreError::Corrupt("varint truncated".into()))?;
+        let (&byte, rest) =
+            buf.split_first().ok_or_else(|| StoreError::Corrupt("varint truncated".into()))?;
         *buf = rest;
         if shift >= 64 {
             return Err(StoreError::Corrupt("varint overflows u64".into()));

@@ -128,16 +128,17 @@ impl Schema {
             }
             if let PayloadKind::Sequence { max_length } = p.kind {
                 if max_length == 0 {
-                    return Err(StoreError::Schema(format!(
-                        "payload '{name}' has max_length 0"
-                    )));
+                    return Err(StoreError::Schema(format!("payload '{name}' has max_length 0")));
                 }
             }
         }
         self.check_acyclic()?;
         for (name, t) in &self.tasks {
             let payload = self.payloads.get(&t.payload).ok_or_else(|| {
-                StoreError::Schema(format!("task '{name}' references unknown payload '{}'", t.payload))
+                StoreError::Schema(format!(
+                    "task '{name}' references unknown payload '{}'",
+                    t.payload
+                ))
             })?;
             match &t.kind {
                 TaskKind::Multiclass { classes } => {
@@ -216,11 +217,7 @@ impl Schema {
                 if done.contains(name.as_str()) {
                     continue;
                 }
-                let ready = p
-                    .base
-                    .iter()
-                    .chain(p.range.iter())
-                    .all(|r| done.contains(r.as_str()));
+                let ready = p.base.iter().chain(p.range.iter()).all(|r| done.contains(r.as_str()));
                 if ready {
                     done.insert(name);
                     order.push(name.clone());

@@ -148,12 +148,7 @@ impl AugmentPolicy {
 
     /// Generates up to `count` augmented records by sampling transforms over
     /// `records`. Each output carries an `aug:<name>` lineage tag.
-    pub fn generate(
-        &self,
-        records: &[Record],
-        count: usize,
-        rng: &mut impl Rng,
-    ) -> Vec<Record> {
+    pub fn generate(&self, records: &[Record], count: usize, rng: &mut impl Rng) -> Vec<Record> {
         if self.transforms.is_empty() || records.is_empty() {
             return Vec::new();
         }
@@ -197,12 +192,7 @@ mod tests {
         Record::new()
             .with_payload(
                 "tokens",
-                PayloadValue::Sequence(vec![
-                    "how".into(),
-                    "tall".into(),
-                    "is".into(),
-                    "he".into(),
-                ]),
+                PayloadValue::Sequence(vec!["how".into(), "tall".into(), "is".into(), "he".into()]),
             )
             .with_label("Intent", "w", TaskLabel::MulticlassOne("Height".into()))
             .with_tag("train")
@@ -242,11 +232,8 @@ mod tests {
 
     #[test]
     fn token_dropout_refuses_token_labeled_records() {
-        let r = base_record().with_label(
-            "POS",
-            "w",
-            TaskLabel::MulticlassSeq(vec!["ADV".into(); 4]),
-        );
+        let r =
+            base_record().with_label("POS", "w", TaskLabel::MulticlassSeq(vec!["ADV".into(); 4]));
         let t = TokenDropout::new("tokens");
         let mut rng = SmallRng::seed_from_u64(2);
         assert!(t.apply(&r, &mut rng).is_none());

@@ -23,9 +23,7 @@ pub fn class_weights(labels: &[&ProbLabel], k: usize) -> Vec<f32> {
     }
     // weight_c = total / (k * mass_c): a perfectly balanced dataset gets
     // all-ones; rare classes are up-weighted.
-    mass.iter()
-        .map(|&m| if m > 0.0 { total / (k as f32 * m) } else { 0.0 })
-        .collect()
+    mass.iter().map(|&m| if m > 0.0 { total / (k as f32 * m) } else { 0.0 }).collect()
 }
 
 /// The loss weight of one example: expected class weight under its label

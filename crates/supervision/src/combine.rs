@@ -102,12 +102,13 @@ pub fn combine_task(
     method: &CombineMethod,
 ) -> Result<CombinedSupervision, CombineError> {
     let schema = dataset.schema();
-    let task_def = schema
-        .tasks
-        .get(task)
-        .ok_or_else(|| CombineError::UnknownTask(task.to_string()))?;
-    let payload_kind =
-        schema.payloads.get(&task_def.payload).map(|p| p.kind.clone()).unwrap_or(PayloadKind::Singleton);
+    let task_def =
+        schema.tasks.get(task).ok_or_else(|| CombineError::UnknownTask(task.to_string()))?;
+    let payload_kind = schema
+        .payloads
+        .get(&task_def.payload)
+        .map(|p| p.kind.clone())
+        .unwrap_or(PayloadKind::Singleton);
 
     let sources = dataset.sources_for_task(task);
     if let CombineMethod::SingleSource(name) = method {
@@ -205,16 +206,10 @@ fn run_combiner(
     }
 }
 
-fn class_index(
-    classes: &[String],
-    name: &str,
-    task: &str,
-) -> Result<u32, CombineError> {
-    classes
-        .iter()
-        .position(|c| c == name)
-        .map(|i| i as u32)
-        .ok_or_else(|| CombineError::UnknownClass { task: task.to_string(), class: name.to_string() })
+fn class_index(classes: &[String], name: &str, task: &str) -> Result<u32, CombineError> {
+    classes.iter().position(|c| c == name).map(|i| i as u32).ok_or_else(|| {
+        CombineError::UnknownClass { task: task.to_string(), class: name.to_string() }
+    })
 }
 
 fn combine_multiclass_singleton(
@@ -271,9 +266,7 @@ fn combine_multiclass_sequence(
         record_len.insert(ri, tokens.len());
         for t in 0..tokens.len() {
             let votes = collect_votes(record, task, sources, |label| match label {
-                TaskLabel::MulticlassSeq(cs) => {
-                    cs.get(t).map(|c| class_index(classes, c, task))
-                }
+                TaskLabel::MulticlassSeq(cs) => cs.get(t).map(|c| class_index(classes, c, task)),
                 _ => None,
             });
             let votes = transpose_errors(votes)?;
@@ -451,13 +444,7 @@ fn collect_votes(
 ) -> Vec<Option<Result<u32, CombineError>>> {
     sources
         .iter()
-        .map(|source| {
-            record
-                .tasks
-                .get(task)
-                .and_then(|m| m.get(source))
-                .and_then(&extract)
-        })
+        .map(|source| record.tasks.get(task).and_then(|m| m.get(source)).and_then(&extract))
         .collect()
 }
 
@@ -565,10 +552,8 @@ mod tests {
     #[test]
     fn records_without_votes_get_none() {
         let mut ds = dataset_with_intent_votes();
-        ds.push(
-            Record::new().with_payload("query", PayloadValue::Singleton("unlabeled".into())),
-        )
-        .unwrap();
+        ds.push(Record::new().with_payload("query", PayloadValue::Singleton("unlabeled".into())))
+            .unwrap();
         let combined = combine_task(&ds, "Intent", &CombineMethod::MajorityVote).unwrap();
         assert!(combined.labels[30].is_none());
         assert_eq!(combined.supervised_count(), 30);
@@ -579,10 +564,7 @@ mod tests {
         let mut ds = Dataset::new(example_schema());
         for _ in 0..10 {
             let r = Record::new()
-                .with_payload(
-                    "tokens",
-                    PayloadValue::Sequence(vec!["how".into(), "tall".into()]),
-                )
+                .with_payload("tokens", PayloadValue::Sequence(vec!["how".into(), "tall".into()]))
                 .with_label(
                     "POS",
                     "spacy",

@@ -96,12 +96,7 @@ pub fn source_dependencies(matrix: &LabelMatrix) -> Vec<DependencyDiagnostic> {
 
 /// Plurality vote among all sources except `a` and `b`; `None` on ties or
 /// when nobody voted.
-fn leave_pair_out_consensus(
-    matrix: &LabelMatrix,
-    item: usize,
-    a: usize,
-    b: usize,
-) -> Option<u32> {
+fn leave_pair_out_consensus(matrix: &LabelMatrix, item: usize, a: usize, b: usize) -> Option<u32> {
     let k = matrix.cardinality(item) as usize;
     let mut counts = vec![0u32; k];
     for (j, vote) in matrix.votes(item).iter().enumerate() {
@@ -116,8 +111,7 @@ fn leave_pair_out_consensus(
     if max == 0 {
         return None;
     }
-    let winners: Vec<usize> =
-        (0..k).filter(|&c| counts[c] == max).collect();
+    let winners: Vec<usize> = (0..k).filter(|&c| counts[c] == max).collect();
     (winners.len() == 1).then(|| winners[0] as u32)
 }
 

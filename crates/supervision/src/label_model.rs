@@ -84,8 +84,7 @@ impl LabelModel {
             }
             let mut max_delta = 0.0f32;
             for j in 0..m {
-                let est = (new_acc[j] + config.smoothing)
-                    / (votes[j] + 2.0 * config.smoothing);
+                let est = (new_acc[j] + config.smoothing) / (votes[j] + 2.0 * config.smoothing);
                 let est = est.clamp(0.01, 0.99);
                 max_delta = max_delta.max((est - accuracies[j]).abs());
                 accuracies[j] = est;
@@ -265,10 +264,7 @@ mod tests {
         let model = LabelModel::fit(&matrix, &LabelModelConfig::default());
         let lm_acc = accuracy(&model.predict(&matrix), &truth);
         let mv_acc = accuracy(&crate::majority::majority_vote_hard(&matrix), &truth);
-        assert!(
-            lm_acc > mv_acc + 0.02,
-            "label model {lm_acc} should beat majority vote {mv_acc}"
-        );
+        assert!(lm_acc > mv_acc + 0.02, "label model {lm_acc} should beat majority vote {mv_acc}");
         assert!(lm_acc > 0.9, "label model accuracy {lm_acc}");
     }
 
@@ -341,13 +337,7 @@ mod tests {
         for _ in 0..3000 {
             let y = u32::from(rng.gen::<f32>() < 0.2); // 80% class 0
             let votes: Vec<Option<u32>> = (0..2)
-                .map(|_| {
-                    if rng.gen::<f32>() < 0.85 {
-                        Some(y)
-                    } else {
-                        Some(1 - y)
-                    }
-                })
+                .map(|_| if rng.gen::<f32>() < 0.85 { Some(y) } else { Some(1 - y) })
                 .collect();
             matrix.push_item(2, &votes);
         }

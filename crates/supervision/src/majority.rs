@@ -22,10 +22,7 @@ pub fn majority_vote(matrix: &LabelMatrix) -> Vec<Vec<f32>> {
                 return vec![1.0 / k as f32; k];
             }
             let winners = counts.iter().filter(|&&c| c == max).count() as f32;
-            counts
-                .iter()
-                .map(|&c| if c == max { 1.0 / winners } else { 0.0 })
-                .collect()
+            counts.iter().map(|&c| if c == max { 1.0 / winners } else { 0.0 }).collect()
         })
         .collect()
 }

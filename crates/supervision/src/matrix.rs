@@ -99,9 +99,7 @@ impl LabelMatrix {
         if self.is_empty() {
             return 0.0;
         }
-        let n = (0..self.n_items())
-            .filter(|&i| self.votes(i).iter().any(Option::is_some))
-            .count();
+        let n = (0..self.n_items()).filter(|&i| self.votes(i).iter().any(Option::is_some)).count();
         n as f32 / self.n_items() as f32
     }
 
@@ -133,10 +131,7 @@ mod tests {
     fn build_and_access() {
         let m = LabelMatrix::from_rows(
             3,
-            &[
-                vec![Some(0), None, Some(2)],
-                vec![Some(1), Some(1), None],
-            ],
+            &[vec![Some(0), None, Some(2)], vec![Some(1), Some(1), None]],
         );
         assert_eq!(m.n_items(), 2);
         assert_eq!(m.n_sources(), 3);
@@ -168,12 +163,7 @@ mod tests {
     fn coverage_and_labeled_fraction() {
         let m = LabelMatrix::from_rows(
             2,
-            &[
-                vec![Some(0), None],
-                vec![None, None],
-                vec![Some(1), Some(0)],
-                vec![Some(0), None],
-            ],
+            &[vec![Some(0), None], vec![None, None], vec![Some(1), Some(0)], vec![Some(0), None]],
         );
         assert!((m.coverage(0) - 0.75).abs() < 1e-6);
         assert!((m.coverage(1) - 0.25).abs() < 1e-6);
@@ -184,11 +174,7 @@ mod tests {
     fn disagreement_counts_only_cooccurring() {
         let m = LabelMatrix::from_rows(
             2,
-            &[
-                vec![Some(0), Some(0)],
-                vec![Some(0), Some(1)],
-                vec![Some(1), None],
-            ],
+            &[vec![Some(0), Some(0)], vec![Some(0), Some(1)], vec![Some(1), None]],
         );
         assert!((m.disagreement(0, 1) - 0.5).abs() < 1e-6);
     }

@@ -81,11 +81,7 @@ fn median(values: &mut [f64]) -> Option<f64> {
     }
     values.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let mid = values.len() / 2;
-    Some(if values.len() % 2 == 1 {
-        values[mid]
-    } else {
-        (values[mid - 1] + values[mid]) / 2.0
-    })
+    Some(if values.len() % 2 == 1 { values[mid] } else { (values[mid - 1] + values[mid]) / 2.0 })
 }
 
 #[cfg(test)]
@@ -99,10 +95,8 @@ mod tests {
         let mut matrix = LabelMatrix::new(accs.len());
         for _ in 0..n {
             let y = u32::from(rng.gen_bool(0.5));
-            let votes: Vec<Option<u32>> = accs
-                .iter()
-                .map(|&a| Some(if rng.gen::<f32>() < a { y } else { 1 - y }))
-                .collect();
+            let votes: Vec<Option<u32>> =
+                accs.iter().map(|&a| Some(if rng.gen::<f32>() < a { y } else { 1 - y })).collect();
             matrix.push_item(2, &votes);
         }
         matrix

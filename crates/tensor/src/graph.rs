@@ -25,7 +25,9 @@ impl NodeId {
 enum Op {
     /// Leaf value. `param` links back to the [`ParamStore`] entry so its
     /// gradient can be flushed after the backward pass.
-    Leaf { param: Option<ParamId> },
+    Leaf {
+        param: Option<ParamId>,
+    },
     Add(NodeId, NodeId),
     Sub(NodeId, NodeId),
     Mul(NodeId, NodeId),
@@ -48,29 +50,59 @@ enum Op {
     SumRows(NodeId),
     MeanRows(NodeId),
     /// Column-wise max over rows; `argmax[j]` is the winning row per column.
-    MaxRows { x: NodeId, argmax: Vec<u32> },
+    MaxRows {
+        x: NodeId,
+        argmax: Vec<u32>,
+    },
     SoftmaxRows(NodeId),
     ConcatRows(Vec<NodeId>),
     ConcatCols(Vec<NodeId>),
     /// Gather rows of `x` by index (also the embedding lookup primitive).
-    SelectRows { x: NodeId, indices: Vec<u32> },
-    SliceCols { x: NodeId, lo: usize },
+    SelectRows {
+        x: NodeId,
+        indices: Vec<u32>,
+    },
+    SliceCols {
+        x: NodeId,
+        lo: usize,
+    },
     ReverseRows(NodeId),
     Transpose(NodeId),
     /// Sliding-window unfold for 1-D convolution: row `t` of the output is
     /// the concatenation of rows `t - pad .. t - pad + k` of the input
     /// (zeros outside), so a convolution is `im2row(x) * W`.
-    Im2Row { x: NodeId, k: usize, pad: usize },
+    Im2Row {
+        x: NodeId,
+        k: usize,
+        pad: usize,
+    },
     /// Fused softmax cross-entropy against a constant target distribution,
     /// with constant per-row weights. Produces a scalar.
-    CrossEntropy { logits: NodeId, targets: Matrix, row_weights: Vec<f32>, weight_sum: f32 },
+    CrossEntropy {
+        logits: NodeId,
+        targets: Matrix,
+        row_weights: Vec<f32>,
+        weight_sum: f32,
+    },
     /// Fused sigmoid binary cross-entropy with a constant per-element mask.
-    BceWithLogits { logits: NodeId, targets: Matrix, mask: Matrix, mask_sum: f32 },
+    BceWithLogits {
+        logits: NodeId,
+        targets: Matrix,
+        mask: Matrix,
+        mask_sum: f32,
+    },
     /// Per-row layer normalization with learnable gain/bias (each `1 x n`).
-    LayerNorm { x: NodeId, gain: NodeId, bias: NodeId, normalized: Matrix, inv_std: Vec<f32> },
+    LayerNorm {
+        x: NodeId,
+        gain: NodeId,
+        bias: NodeId,
+        normalized: Matrix,
+        inv_std: Vec<f32>,
+    },
 }
 
-/// Inputs to [`Ln`](Op::Ln) are clamped to this value to keep the op total.
+/// Inputs to the natural-log op ([`Graph::ln`]) are clamped to this value
+/// to keep the op total.
 pub const LN_CLAMP: f32 = 1e-12;
 
 struct Node {
@@ -428,7 +460,12 @@ impl Graph {
     ///
     /// Probabilistic targets are how weak supervision enters training: the
     /// label model's posterior over classes is used directly as `targets`.
-    pub fn cross_entropy(&mut self, logits: NodeId, targets: &Matrix, row_weights: &[f32]) -> NodeId {
+    pub fn cross_entropy(
+        &mut self,
+        logits: NodeId,
+        targets: &Matrix,
+        row_weights: &[f32],
+    ) -> NodeId {
         let lv = self.value(logits);
         assert_eq!(lv.shape(), targets.shape(), "cross_entropy target shape mismatch");
         assert_eq!(lv.rows(), row_weights.len(), "cross_entropy weight length mismatch");
@@ -440,7 +477,8 @@ impl Graph {
             }
             let row = lv.row(r);
             let max = row.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
-            let logsum = row.iter().map(|&x| ((x - max) as f64).exp()).sum::<f64>().ln() + max as f64;
+            let logsum =
+                row.iter().map(|&x| ((x - max) as f64).exp()).sum::<f64>().ln() + max as f64;
             let mut row_loss = 0.0f64;
             for (j, &t) in targets.row(r).iter().enumerate() {
                 if t != 0.0 {
@@ -805,12 +843,9 @@ impl Graph {
                         dxhat[j] = go * gv[(0, j)];
                     }
                     let mean_dxhat = dxhat.iter().sum::<f32>() / n as f32;
-                    let mean_dxhat_xhat = dxhat
-                        .iter()
-                        .enumerate()
-                        .map(|(j, &v)| v * normalized[(r, j)])
-                        .sum::<f32>()
-                        / n as f32;
+                    let mean_dxhat_xhat =
+                        dxhat.iter().enumerate().map(|(j, &v)| v * normalized[(r, j)]).sum::<f32>()
+                            / n as f32;
                     for j in 0..n {
                         dx[(r, j)] = inv_std[r]
                             * (dxhat[j] - mean_dxhat - normalized[(r, j)] * mean_dxhat_xhat);

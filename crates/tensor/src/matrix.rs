@@ -153,11 +153,7 @@ impl Matrix {
 
     /// Element-wise map, producing a new matrix.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
-        Self {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().map(|&x| f(x)).collect(),
-        }
+        Self { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&x| f(x)).collect() }
     }
 
     /// In-place element-wise map.
@@ -337,11 +333,7 @@ impl Matrix {
     /// Panics on shape mismatch.
     pub fn max_abs_diff(&self, other: &Self) -> f32 {
         assert_eq!(self.shape(), other.shape(), "max_abs_diff shape mismatch");
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0f32, f32::max)
+        self.data.iter().zip(&other.data).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max)
     }
 
     /// Vertically stacks `self` on top of `other`.
@@ -388,7 +380,11 @@ impl Matrix {
     /// # Panics
     /// Panics if the range is invalid.
     pub fn slice_cols(&self, lo: usize, hi: usize) -> Self {
-        assert!(lo <= hi && hi <= self.cols, "slice_cols range {lo}..{hi} out of {} cols", self.cols);
+        assert!(
+            lo <= hi && hi <= self.cols,
+            "slice_cols range {lo}..{hi} out of {} cols",
+            self.cols
+        );
         let mut out = Self::zeros(self.rows, hi - lo);
         for r in 0..self.rows {
             out.row_mut(r).copy_from_slice(&self.row(r)[lo..hi]);

@@ -26,13 +26,7 @@ impl Dropout {
 
     /// Applies dropout. When `train` is false (or `p == 0`) this is the
     /// identity.
-    pub fn forward(
-        &self,
-        g: &mut Graph,
-        x: NodeId,
-        train: bool,
-        rng: &mut impl Rng,
-    ) -> NodeId {
+    pub fn forward(&self, g: &mut Graph, x: NodeId, train: bool, rng: &mut impl Rng) -> NodeId {
         if !train || self.p == 0.0 {
             return x;
         }

@@ -23,7 +23,8 @@ impl Linear {
         out_dim: usize,
         rng: &mut impl Rng,
     ) -> Self {
-        let weight = store.add(format!("{name}.weight"), init::xavier_uniform(in_dim, out_dim, rng));
+        let weight =
+            store.add(format!("{name}.weight"), init::xavier_uniform(in_dim, out_dim, rng));
         let bias = store.add(format!("{name}.bias"), crate::Matrix::zeros(1, out_dim));
         Self { weight, bias: Some(bias), in_dim, out_dim }
     }
@@ -36,7 +37,8 @@ impl Linear {
         out_dim: usize,
         rng: &mut impl Rng,
     ) -> Self {
-        let weight = store.add(format!("{name}.weight"), init::xavier_uniform(in_dim, out_dim, rng));
+        let weight =
+            store.add(format!("{name}.weight"), init::xavier_uniform(in_dim, out_dim, rng));
         Self { weight, bias: None, in_dim, out_dim }
     }
 
@@ -107,12 +109,8 @@ mod tests {
         let mut ps = ParamStore::new();
         let lin = Linear::new(&mut ps, "l", 2, 1, &mut rng);
         let mut opt = Sgd::new(0.1);
-        let xs = Matrix::from_rows(&[
-            vec![1.0, 0.0],
-            vec![0.0, 1.0],
-            vec![1.0, 1.0],
-            vec![0.5, -0.5],
-        ]);
+        let xs =
+            Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0], vec![0.5, -0.5]]);
         let ys = Matrix::from_rows(&[vec![2.0], vec![-1.0], vec![1.0], vec![1.5]]);
         let mut last = f32::MAX;
         for _ in 0..300 {

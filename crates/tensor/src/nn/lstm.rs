@@ -171,14 +171,16 @@ mod tests {
 
     #[test]
     fn hidden_states_are_bounded() {
-        // h = o * tanh(c) with o in (0,1): |h| < 1 always.
+        // h = o * tanh(c) with o in (0,1): |h| < 1 in exact arithmetic, but
+        // f32 saturation (sigmoid/tanh rounding to exactly 1.0 on huge
+        // inputs) makes equality attainable.
         let mut rng = SmallRng::seed_from_u64(2);
         let mut ps = ParamStore::new();
         let lstm = Lstm::new(&mut ps, "l", 2, 3, &mut rng);
         let mut g = Graph::new();
         let x = g.constant(Matrix::full(10, 2, 100.0));
         let y = lstm.forward(&mut g, &ps, x);
-        assert!(g.value(y).as_slice().iter().all(|&v| v.abs() < 1.0));
+        assert!(g.value(y).as_slice().iter().all(|&v| v.abs() <= 1.0));
     }
 
     #[test]
@@ -192,7 +194,8 @@ mod tests {
         let mut opt = Adam::new(0.02);
 
         let make_seq = |rng: &mut SmallRng| -> (Matrix, usize) {
-            let vals: Vec<f32> = (0..5).map(|_| if rng.gen_bool(0.5) { 1.0 } else { -1.0 }).collect();
+            let vals: Vec<f32> =
+                (0..5).map(|_| if rng.gen_bool(0.5) { 1.0 } else { -1.0 }).collect();
             let label = usize::from(vals[4] > 0.0);
             (Matrix::from_rows(&vals.iter().map(|&v| vec![v]).collect::<Vec<_>>()), label)
         };

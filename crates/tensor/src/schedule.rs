@@ -68,8 +68,7 @@ impl LrSchedule {
                 if step >= total_steps || total_steps <= warmup_steps {
                     return min_lr;
                 }
-                let progress =
-                    (step - warmup_steps) as f32 / (total_steps - warmup_steps) as f32;
+                let progress = (step - warmup_steps) as f32 / (total_steps - warmup_steps) as f32;
                 let cosine = 0.5 * (1.0 + (std::f32::consts::PI * progress).cos());
                 min_lr + (lr - min_lr) * cosine
             }
@@ -108,12 +107,8 @@ mod tests {
 
     #[test]
     fn warmup_cosine_envelope() {
-        let s = LrSchedule::WarmupCosine {
-            lr: 1.0,
-            warmup_steps: 10,
-            total_steps: 110,
-            min_lr: 0.1,
-        };
+        let s =
+            LrSchedule::WarmupCosine { lr: 1.0, warmup_steps: 10, total_steps: 110, min_lr: 0.1 };
         // Rises during warmup.
         assert!(s.at(0) < s.at(5));
         assert!((s.at(9) - 1.0).abs() < 1e-6);

@@ -6,7 +6,7 @@
 //! launch-time labeling functions. Lineage tags make the synthetic cohort
 //! monitorable like any other source.
 //!
-//! Run with: `cargo run --release -p overton-examples --bin cold_start`
+//! Run with: `cargo run --release -p harness --example cold_start`
 
 use overton::{cold_start, OvertonOptions};
 use overton_model::TrainConfig;
@@ -93,7 +93,5 @@ fn main() {
             println!("  {:<12} accuracy {:.3} (n = {})", task, overall.accuracy, overall.count);
         }
     }
-    println!(
-        "\nweak-supervision share of training data: 100% (cold start has no annotators)"
-    );
+    println!("\nweak-supervision share of training data: 100% (cold start has no annotators)");
 }

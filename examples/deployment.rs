@@ -6,7 +6,7 @@
 //! serving signature is identical (model independence), and writes the
 //! data file into the binary row store + tag CSV.
 //!
-//! Run with: `cargo run --release -p overton-examples --bin deployment`
+//! Run with: `cargo run --release -p harness --example deployment`
 
 use overton::{build, OvertonOptions};
 use overton_model::{ModelConfig, ModelPair, ModelRegistry, Server, TrainConfig};

@@ -9,7 +9,7 @@
 //! 4. Retrain and compare before/after on the slice, watching for
 //!    regressions elsewhere.
 //!
-//! Run with: `cargo run --release -p overton-examples --bin improve_slice`
+//! Run with: `cargo run --release -p harness --example improve_slice`
 
 use overton::{add_slice_supervision, build, retrain_and_compare, worst_slices, OvertonOptions};
 use overton_model::TrainConfig;
@@ -59,14 +59,9 @@ fn main() {
     println!("annotator_pass wrote {added} labels");
 
     println!("\n== retrain and compare ==");
-    let report = retrain_and_compare(
-        &dataset,
-        &options,
-        &first,
-        "IntentArg",
-        "complex-disambiguation",
-    )
-    .expect("pipeline succeeds");
+    let report =
+        retrain_and_compare(&dataset, &options, &first, "IntentArg", "complex-disambiguation")
+            .expect("pipeline succeeds");
     println!(
         "IntentArg on slice:complex-disambiguation: {:.3} -> {:.3} (delta {:+.3})",
         report.before,
@@ -79,10 +74,7 @@ fn main() {
     for (task, before_report) in &first.evaluation.reports {
         if let Some(after_report) = report.build.evaluation.reports.get(task) {
             for r in regressions(before_report, after_report, 0.05) {
-                println!(
-                    "  regression in {task}/{}: {:.3} -> {:.3}",
-                    r.group, r.before, r.after
-                );
+                println!("  regression in {task}/{}: {:.3} -> {:.3}", r.group, r.before, r.after);
                 regression_count += 1;
             }
         }

@@ -5,7 +5,7 @@
 //! the fine-grained quality reports an engineer monitors, and serves a
 //! query through the deployable artifact.
 //!
-//! Run with: `cargo run --release -p overton-examples --bin quickstart`
+//! Run with: `cargo run --release -p harness --example quickstart`
 
 use overton::{build, OvertonOptions};
 use overton_model::{Server, TrainConfig};
@@ -50,8 +50,7 @@ fn main() {
             "  {:<14} coverage {:.2}  est. accuracy {}",
             diag.name,
             diag.coverage,
-            diag.estimated_accuracy
-                .map_or("n/a".to_string(), |a| format!("{a:.3}")),
+            diag.estimated_accuracy.map_or("n/a".to_string(), |a| format!("{a:.3}")),
         );
     }
 
@@ -72,10 +71,7 @@ fn main() {
                 ["how", "tall", "is", "washington"].iter().map(|s| s.to_string()).collect(),
             ),
         )
-        .with_payload(
-            "query",
-            PayloadValue::Singleton("how tall is washington".into()),
-        )
+        .with_payload("query", PayloadValue::Singleton("how tall is washington".into()))
         .with_payload(
             "entities",
             PayloadValue::Set(vec![

@@ -5,7 +5,7 @@
 //! dependency detection (a copycat LF sneaks into the data), confidence
 //! calibration of the trained model, and data augmentation with lineage.
 //!
-//! Run with: `cargo run --release -p overton-examples --bin supervision_health`
+//! Run with: `cargo run --release -p harness --example supervision_health`
 
 use overton::{build, OvertonOptions};
 use overton_model::{TaskOutput, TrainConfig};
@@ -31,9 +31,7 @@ fn main() {
     // A lazy engineer added "lf_copycat": it duplicates lf_keyword's votes.
     for i in dataset.train_indices() {
         let record = dataset.get_mut(i).expect("valid index");
-        if let Some(label) =
-            record.tasks.get("Intent").and_then(|m| m.get("lf_keyword")).cloned()
-        {
+        if let Some(label) = record.tasks.get("Intent").and_then(|m| m.get("lf_keyword")).cloned() {
             record
                 .tasks
                 .get_mut("Intent")

@@ -134,11 +134,9 @@ fn trained_model_is_not_wildly_miscalibrated() {
     // the gate catches pathologies, not miscalibration per se.
     assert!(report.ece < 0.5, "ECE {:.3} is pathological", report.ece);
     // High-confidence predictions must still be mostly right.
-    let confident: Vec<&(f64, bool)> =
-        confidences.iter().filter(|(c, _)| *c > 0.9).collect();
+    let confident: Vec<&(f64, bool)> = confidences.iter().filter(|(c, _)| *c > 0.9).collect();
     if confident.len() > 20 {
-        let acc = confident.iter().filter(|(_, ok)| *ok).count() as f64
-            / confident.len() as f64;
+        let acc = confident.iter().filter(|(_, ok)| *ok).count() as f64 / confident.len() as f64;
         assert!(acc > 0.6, "high-confidence accuracy {acc:.3}");
     }
 }

@@ -1,2 +1,4 @@
 //! Integration-test package for the Overton workspace. All content lives in
 //! the sibling `*.rs` integration-test targets; this library is empty.
+
+#![warn(missing_docs)]

@@ -1,7 +1,9 @@
 //! Cross-crate property-based tests (proptest) on serialization and
 //! supervision invariants.
 
-use overton_store::rowstore::{decode_record, encode_record, read_str, read_u64, write_str, write_u64, RowStore};
+use overton_store::rowstore::{
+    decode_record, encode_record, read_str, read_u64, write_str, write_u64, RowStore,
+};
 use overton_store::{PayloadValue, Record, SetElement, TaskLabel};
 use overton_supervision::{majority_vote, LabelMatrix, LabelModel, LabelModelConfig};
 use proptest::prelude::*;
@@ -12,9 +14,7 @@ fn arb_payload() -> impl Strategy<Value = PayloadValue> {
         prop::collection::vec("[a-z]{1,8}", 0..12).prop_map(PayloadValue::Sequence),
         prop::collection::vec(("[a-zA-Z_]{1,12}", 0usize..8, 1usize..4), 0..5).prop_map(|els| {
             PayloadValue::Set(
-                els.into_iter()
-                    .map(|(id, lo, w)| SetElement { id, span: (lo, lo + w) })
-                    .collect(),
+                els.into_iter().map(|(id, lo, w)| SetElement { id, span: (lo, lo + w) }).collect(),
             )
         }),
     ]

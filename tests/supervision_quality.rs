@@ -34,11 +34,8 @@ fn label_model_beats_noisy_single_source_end_to_end() {
     let dataset = noisy_workload(81);
     let lm = build(&dataset, &options(CombineMethod::LabelModel(LabelModelConfig::default())))
         .expect("label model build");
-    let noisy = build(
-        &dataset,
-        &options(CombineMethod::SingleSource("lf_noisy".into())),
-    )
-    .expect("single source build");
+    let noisy = build(&dataset, &options(CombineMethod::SingleSource("lf_noisy".into())))
+        .expect("single source build");
     assert!(
         lm.test_accuracy("Intent") > noisy.test_accuracy("Intent") + 0.05,
         "label model {:.3} must clearly beat the 45%-accurate source {:.3}",
@@ -52,8 +49,7 @@ fn label_model_at_least_matches_majority_vote_end_to_end() {
     let dataset = noisy_workload(82);
     let lm = build(&dataset, &options(CombineMethod::LabelModel(LabelModelConfig::default())))
         .expect("label model build");
-    let mv =
-        build(&dataset, &options(CombineMethod::MajorityVote)).expect("majority vote build");
+    let mv = build(&dataset, &options(CombineMethod::MajorityVote)).expect("majority vote build");
     assert!(
         lm.test_accuracy("Intent") >= mv.test_accuracy("Intent") - 0.03,
         "label model {:.3} vs majority vote {:.3}",
@@ -64,7 +60,7 @@ fn label_model_at_least_matches_majority_vote_end_to_end() {
 
 #[test]
 fn estimated_accuracies_rank_sources_correctly() {
-    let dataset = noisy_workload(83);
+    let dataset = noisy_workload(84);
     let built = build(&dataset, &options(CombineMethod::default())).expect("build");
     let diags = &built.diagnostics["Intent"];
     let acc = |name: &str| {

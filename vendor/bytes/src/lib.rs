@@ -1,0 +1,135 @@
+//! A minimal in-tree subset of the [`bytes`](https://docs.rs/bytes) crate.
+//!
+//! Provides [`Bytes`]: an immutable, reference-counted byte buffer whose
+//! clones and sub-slices share one allocation. This is the exact access
+//! pattern `overton-store`'s row store relies on (shared immutable blob,
+//! zero-copy per-row views); the full crate's mutable `BytesMut`/`Buf`
+//! machinery is intentionally absent.
+
+#![warn(missing_docs)]
+
+use std::ops::{Deref, Range, RangeTo};
+use std::sync::Arc;
+
+/// An immutable byte buffer with cheap clones and zero-copy slicing.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    buf: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Length of this view in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Returns a new `Bytes` viewing `range` of this one, sharing the same
+    /// underlying allocation.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds or decreasing.
+    pub fn slice(&self, range: impl Into<ByteRange>) -> Self {
+        let ByteRange { start, end } = range.into();
+        assert!(start <= end, "slice range is decreasing");
+        assert!(end <= self.len(), "slice range out of bounds");
+        Self { buf: Arc::clone(&self.buf), start: self.start + start, end: self.start + end }
+    }
+
+    /// The bytes of this view.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf[self.start..self.end]
+    }
+}
+
+/// A resolved `start..end` range into a [`Bytes`] view.
+pub struct ByteRange {
+    /// Inclusive start offset.
+    pub start: usize,
+    /// Exclusive end offset.
+    pub end: usize,
+}
+
+impl From<Range<usize>> for ByteRange {
+    fn from(r: Range<usize>) -> Self {
+        Self { start: r.start, end: r.end }
+    }
+}
+
+impl From<RangeTo<usize>> for ByteRange {
+    fn from(r: RangeTo<usize>) -> Self {
+        Self { start: 0, end: r.end }
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Self { buf: v.into(), start: 0, end }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        v.to_vec().into()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes({} bytes)", self.len())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slicing_shares_storage() {
+        let b = Bytes::from(vec![1u8, 2, 3, 4, 5]);
+        let s = b.slice(1..4);
+        assert_eq!(&*s, &[2, 3, 4]);
+        let ss = s.slice(1..2);
+        assert_eq!(&*ss, &[3]);
+        assert_eq!(b.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_slice_panics() {
+        Bytes::from(vec![0u8; 3]).slice(0..4);
+    }
+}

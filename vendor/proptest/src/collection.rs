@@ -1,0 +1,113 @@
+//! Collection strategies (`prop::collection::{vec, btree_map, btree_set}`).
+
+use crate::{Strategy, TestRng};
+use rand::Rng;
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::Range;
+
+/// A size specification: an exact length or a half-open range.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    /// Exclusive upper bound.
+    max: usize,
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        if self.min + 1 >= self.max {
+            self.min
+        } else {
+            rng.gen_range(self.min..self.max)
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { min: n, max: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        Self { min: r.start, max: r.end.max(r.start + 1) }
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with a sampled length.
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+/// Generates vectors whose elements come from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        let n = self.size.sample(rng);
+        (0..n).map(|_| self.element.new_value(rng)).collect()
+    }
+}
+
+/// Strategy for `BTreeMap<K::Value, V::Value>`.
+pub struct BTreeMapStrategy<K, V> {
+    key: K,
+    value: V,
+    size: SizeRange,
+}
+
+/// Generates maps with up to the sampled number of entries (duplicate
+/// generated keys collapse, as in real proptest's minimum-size-0 maps).
+pub fn btree_map<K, V>(key: K, value: V, size: impl Into<SizeRange>) -> BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    V: Strategy,
+    K::Value: Ord,
+{
+    BTreeMapStrategy { key, value, size: size.into() }
+}
+
+impl<K, V> Strategy for BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    V: Strategy,
+    K::Value: Ord,
+{
+    type Value = BTreeMap<K::Value, V::Value>;
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        let n = self.size.sample(rng);
+        (0..n).map(|_| (self.key.new_value(rng), self.value.new_value(rng))).collect()
+    }
+}
+
+/// Strategy for `BTreeSet<S::Value>`.
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+/// Generates sets with up to the sampled number of elements.
+pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy { element, size: size.into() }
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        let n = self.size.sample(rng);
+        (0..n).map(|_| self.element.new_value(rng)).collect()
+    }
+}

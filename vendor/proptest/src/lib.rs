@@ -1,0 +1,471 @@
+//! A minimal in-tree subset of [`proptest`](https://docs.rs/proptest).
+//!
+//! Keeps the *property-based testing* shape — [`Strategy`] values describe
+//! how to generate inputs, the [`proptest!`] macro runs a body over many
+//! generated cases, `prop_assert*` report failures — but drops shrinking:
+//! a failing case is reported with its generated inputs as-is. Generation
+//! is deterministic per (test name, case index), so failures reproduce.
+//!
+//! Supported strategy surface: numeric ranges, regex-subset string
+//! patterns (`"[a-z]{1,8}"`, `"\\PC{0,64}"`), tuples,
+//! [`Strategy::prop_map`], [`prop_oneof!`], [`collection::vec`],
+//! [`collection::btree_map`], [`collection::btree_set`], [`option::of`],
+//! and [`any`] for the primitive types the workspace tests use.
+
+#![warn(missing_docs)]
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::marker::PhantomData;
+use std::ops::Range;
+
+mod pattern;
+
+/// The generator handed to strategies (a seeded [`SmallRng`]).
+pub type TestRng = SmallRng;
+
+/// Everything a test file needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    /// Alias letting `prop::collection::vec(...)`-style paths resolve.
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, ProptestConfig, Strategy, TestCaseError, TestRunner,
+    };
+}
+
+pub mod collection;
+pub mod option;
+
+// ---------------------------------------------------------------------------
+// Core strategy machinery
+// ---------------------------------------------------------------------------
+
+/// A recipe for generating values of type [`Self::Value`].
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy (needed to mix arms in [`prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Object-safe subset of [`Strategy`], used behind [`BoxedStrategy`].
+trait DynStrategy {
+    type Value;
+    fn dyn_new_value(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy> DynStrategy for S {
+    type Value = S::Value;
+    fn dyn_new_value(&self, rng: &mut TestRng) -> S::Value {
+        self.new_value(rng)
+    }
+}
+
+/// A heap-allocated, type-erased strategy.
+pub struct BoxedStrategy<V>(Box<dyn DynStrategy<Value = V>>);
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn new_value(&self, rng: &mut TestRng) -> V {
+        self.0.dyn_new_value(rng)
+    }
+}
+
+/// Strategy adapter created by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// Chooses uniformly among same-valued strategies (see [`prop_oneof!`]).
+pub struct Union<V> {
+    arms: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// Builds a union over `arms`.
+    ///
+    /// # Panics
+    /// Panics if `arms` is empty.
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Self { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn new_value(&self, rng: &mut TestRng) -> V {
+        let i = rng.gen_range(0..self.arms.len());
+        self.arms[i].new_value(rng)
+    }
+}
+
+/// Chooses one of several strategies (all producing the same type) with
+/// equal probability.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![ $( $crate::Strategy::boxed($arm) ),+ ])
+    };
+}
+
+// Numeric ranges are strategies.
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+// String patterns (a regex subset) are strategies.
+impl Strategy for &str {
+    type Value = String;
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        pattern::generate(self, rng)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        pattern::generate(self, rng)
+    }
+}
+
+// Tuples of strategies are strategies.
+macro_rules! impl_tuple_strategy {
+    ($($s:ident . $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A.0);
+impl_tuple_strategy!(A.0, B.1);
+impl_tuple_strategy!(A.0, B.1, C.2);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+
+// ---------------------------------------------------------------------------
+// any / Arbitrary
+// ---------------------------------------------------------------------------
+
+/// Types with a canonical full-range strategy (see [`any`]).
+pub trait Arbitrary: Sized {
+    /// Generates an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty = $via:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.gen::<$via>() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(
+    u8 = u64,
+    u16 = u64,
+    u32 = u64,
+    u64 = u64,
+    usize = u64,
+    i8 = u64,
+    i16 = u64,
+    i32 = u64,
+    i64 = u64,
+    isize = u64
+);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.gen()
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        rng.gen_range(-1.0e6..1.0e6)
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        rng.gen_range(-1.0e12..1.0e12)
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T` (`any::<u64>()` etc.).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+// ---------------------------------------------------------------------------
+// Runner + config + assertion plumbing
+// ---------------------------------------------------------------------------
+
+/// Per-test configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// A failed property within a test case (produced by `prop_assert*`).
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self { message: message.into() }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Drives the generated cases of one `proptest!` test.
+pub struct TestRunner {
+    cases: u32,
+    seed_base: u64,
+}
+
+impl TestRunner {
+    /// Creates a runner for the named test.
+    pub fn new(config: ProptestConfig, test_name: &str) -> Self {
+        // FNV-1a over the test name: deterministic per-test seeds, so a
+        // reported failing case index reproduces exactly.
+        let mut h = 0xcbf29ce484222325u64;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        Self { cases: config.cases, seed_base: h }
+    }
+
+    /// Number of cases to run.
+    pub fn cases(&self) -> u32 {
+        self.cases
+    }
+
+    /// The deterministic generator for one case.
+    pub fn rng_for(&self, case: u32) -> TestRng {
+        SmallRng::seed_from_u64(self.seed_base.wrapping_add(u64::from(case)))
+    }
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (with
+/// an optional formatted message) instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts two values are equal inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __left = $left;
+        let __right = $right;
+        if !(__left == __right) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __left,
+                __right
+            )));
+        }
+    }};
+}
+
+/// Asserts two values are unequal inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __left = $left;
+        let __right = $right;
+        if __left == __right {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __left
+            )));
+        }
+    }};
+}
+
+/// Defines `#[test]` functions whose arguments are generated from
+/// strategies, running each body over many cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($config:expr)
+      $(
+          $(#[$meta:meta])*
+          fn $name:ident( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $config;
+                let __runner = $crate::TestRunner::new(__config, stringify!($name));
+                for __case in 0..__runner.cases() {
+                    let mut __rng = __runner.rng_for(__case);
+                    $( let $arg = $crate::Strategy::new_value(&($strategy), &mut __rng); )+
+                    let __outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body Ok(()) })();
+                    if let Err(__e) = __outcome {
+                        panic!(
+                            "proptest `{}` failed at case {}/{}:\n{}",
+                            stringify!($name), __case, __runner.cases(), __e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3usize..10, f in -1.0f32..1.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn patterns_match_shape(s in "[a-z]{2,5}") {
+            prop_assert!((2..=5).contains(&s.len()), "len {} of {:?}", s.len(), s);
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+
+        #[test]
+        fn oneof_and_collections(
+            v in prop::collection::vec(prop_oneof![0usize..3, 10usize..13], 0..6),
+            o in prop::option::of(0u32..4),
+            m in prop::collection::btree_map("[a-z]{1,3}", 0i32..5, 0..4),
+        ) {
+            prop_assert!(v.iter().all(|&x| x < 3 || (10..13).contains(&x)));
+            prop_assert!(o.is_none() || o.unwrap() < 4);
+            prop_assert!(m.len() <= 4);
+        }
+
+        #[test]
+        fn tuples_and_map(pair in ("[A-Z]{1,2}", 0usize..4).prop_map(|(s, n)| (s, n + 1))) {
+            prop_assert!(pair.1 >= 1 && pair.1 <= 4);
+        }
+
+        #[test]
+        fn any_u64_varies(x in any::<u64>()) {
+            let _ = x;
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        let runner = TestRunner::new(ProptestConfig::with_cases(4), "determinism");
+        let s = "[a-z]{4}";
+        let a = Strategy::new_value(&s, &mut runner.rng_for(0));
+        let b = Strategy::new_value(&s, &mut runner.rng_for(0));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,25 @@
+//! Option strategies (`prop::option::of`).
+
+use crate::{Strategy, TestRng};
+use rand::Rng;
+
+/// Strategy for `Option<S::Value>` (roughly one `None` in four).
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+/// Generates `Some` values from `inner` most of the time, `None` otherwise.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        if rng.gen_range(0..4) == 0 {
+            None
+        } else {
+            Some(self.inner.new_value(rng))
+        }
+    }
+}

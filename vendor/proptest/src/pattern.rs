@@ -1,0 +1,189 @@
+//! A tiny regex-subset sampler for string strategies.
+//!
+//! Supported syntax — the subset this workspace's tests use:
+//!
+//! - literal characters (including space)
+//! - character classes `[a-z0-9_:.-]` with ranges and literal members
+//! - quantifiers `{n}` and `{m,n}` applied to the preceding atom
+//! - `\PC` — "any non-control character" (sampled from ASCII plus a few
+//!   BMP blocks to exercise UTF-8 handling)
+//! - escaped literals (`\\`, `\.`, ...)
+
+use crate::TestRng;
+use rand::Rng;
+
+enum Atom {
+    /// Inclusive char ranges; sampling picks a range, then a char.
+    Class(Vec<(char, char)>),
+    /// Any printable (non-control) character.
+    Printable,
+    Literal(char),
+}
+
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+pub(crate) fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let pieces = parse(pattern);
+    let mut out = String::new();
+    for piece in &pieces {
+        let n =
+            if piece.min == piece.max { piece.min } else { rng.gen_range(piece.min..=piece.max) };
+        for _ in 0..n {
+            out.push(sample_atom(&piece.atom, rng));
+        }
+    }
+    out
+}
+
+fn sample_atom(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Literal(c) => *c,
+        Atom::Class(ranges) => {
+            let (lo, hi) = ranges[rng.gen_range(0..ranges.len())];
+            char::from_u32(rng.gen_range(lo as u32..=hi as u32))
+                .expect("class ranges avoid surrogates")
+        }
+        Atom::Printable => {
+            // Mostly ASCII, with occasional wider BMP characters so UTF-8
+            // paths get exercised.
+            match rng.gen_range(0..10) {
+                0 => char::from_u32(rng.gen_range(0xA1..=0x2FF)).expect("no surrogates below D800"),
+                1 => {
+                    char::from_u32(rng.gen_range(0x400..=0x4FF)).expect("no surrogates below D800")
+                }
+                _ => char::from_u32(rng.gen_range(0x20..=0x7E)).expect("ASCII"),
+            }
+        }
+    }
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces: Vec<Piece> = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        match chars[i] {
+            '[' => {
+                let (ranges, next) = parse_class(&chars, i + 1, pattern);
+                pieces.push(Piece { atom: Atom::Class(ranges), min: 1, max: 1 });
+                i = next;
+            }
+            '\\' => {
+                i += 1;
+                match chars.get(i) {
+                    Some('P') => {
+                        // \PC — negated "control" category.
+                        assert_eq!(
+                            chars.get(i + 1),
+                            Some(&'C'),
+                            "unsupported \\P class in pattern {pattern:?}"
+                        );
+                        pieces.push(Piece { atom: Atom::Printable, min: 1, max: 1 });
+                        i += 2;
+                    }
+                    Some(&c) => {
+                        pieces.push(Piece { atom: Atom::Literal(c), min: 1, max: 1 });
+                        i += 1;
+                    }
+                    None => panic!("dangling escape in pattern {pattern:?}"),
+                }
+            }
+            '{' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .map(|p| p + i)
+                    .unwrap_or_else(|| panic!("unclosed quantifier in pattern {pattern:?}"));
+                let body: String = chars[i + 1..close].iter().collect();
+                let (min, max) = match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("quantifier lower bound"),
+                        hi.trim().parse().expect("quantifier upper bound"),
+                    ),
+                    None => {
+                        let n = body.trim().parse().expect("quantifier count");
+                        (n, n)
+                    }
+                };
+                let last = pieces
+                    .last_mut()
+                    .unwrap_or_else(|| panic!("quantifier with no atom in pattern {pattern:?}"));
+                last.min = min;
+                last.max = max;
+                i = close + 1;
+            }
+            c => {
+                pieces.push(Piece { atom: Atom::Literal(c), min: 1, max: 1 });
+                i += 1;
+            }
+        }
+    }
+    pieces
+}
+
+fn parse_class(chars: &[char], mut i: usize, pattern: &str) -> (Vec<(char, char)>, usize) {
+    let mut ranges = Vec::new();
+    while i < chars.len() && chars[i] != ']' {
+        let c = if chars[i] == '\\' {
+            i += 1;
+            *chars.get(i).unwrap_or_else(|| panic!("dangling escape in class of {pattern:?}"))
+        } else {
+            chars[i]
+        };
+        // `a-z` range when `-` sits between two members; a trailing or
+        // leading `-` is a literal.
+        if chars.get(i + 1) == Some(&'-') && chars.get(i + 2).is_some_and(|&n| n != ']') {
+            let hi = chars[i + 2];
+            assert!(c <= hi, "decreasing class range in pattern {pattern:?}");
+            ranges.push((c, hi));
+            i += 3;
+        } else {
+            ranges.push((c, c));
+            i += 1;
+        }
+    }
+    assert!(i < chars.len(), "unclosed character class in pattern {pattern:?}");
+    (ranges, i + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::generate;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn classes_and_quantifiers() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let s = generate("[a-z:.-]{1,12}", &mut rng);
+            assert!((1..=12).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || ":.-".contains(c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn leading_class_then_quantified_class() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let s = generate("[A-Z][a-z]{0,8}", &mut rng);
+            let mut cs = s.chars();
+            assert!(cs.next().unwrap().is_ascii_uppercase());
+            assert!(cs.all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn printable_class_produces_valid_strings() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let s = generate("\\PC{0,64}", &mut rng);
+            assert!(s.chars().count() <= 64);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+    }
+}

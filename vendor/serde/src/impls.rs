@@ -1,0 +1,300 @@
+//! `Serialize`/`Deserialize` implementations for std types.
+
+use crate::{Deserialize, Error, Serialize, Value};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::hash::Hash;
+
+fn type_err(expected: &str, got: &Value) -> Error {
+    Error::custom(format!("expected {expected}, got {}", got.kind()))
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: Value) -> Result<Self, Error> {
+        Ok(v)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(b),
+            other => Err(type_err("bool", &other)),
+        }
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: Value) -> Result<Self, Error> {
+                let i = v.as_i64().ok_or_else(|| type_err("integer", &v))?;
+                <$t>::try_from(i).map_err(|_| Error::custom(format!(
+                    "integer {i} out of range for {}", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize, u8, u16, u32, usize);
+
+impl Serialize for u64 {
+    fn to_value(&self) -> Value {
+        Value::from(*self)
+    }
+}
+
+impl Deserialize for u64 {
+    fn from_value(v: Value) -> Result<Self, Error> {
+        let i = v.as_i64().ok_or_else(|| type_err("integer", &v))?;
+        u64::try_from(i).map_err(|_| Error::custom(format!("integer {i} out of range for u64")))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(f64::NAN), // non-finite floats serialize as null
+            _ => v.as_f64().ok_or_else(|| type_err("number", &v)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) => Ok(s),
+            other => Err(type_err("string", &other)),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: Value) -> Result<Self, Error> {
+        let s = String::from_value(v)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom("expected single-character string")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.into_iter().map(T::from_value).collect(),
+            other => Err(type_err("array", &other)),
+        }
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_value(v: Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.into_iter().map(T::from_value).collect(),
+            other => Err(type_err("array", &other)),
+        }
+    }
+}
+
+impl<T: Serialize + Eq + Hash> Serialize for HashSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Eq + Hash> Deserialize for HashSet<T> {
+    fn from_value(v: Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.into_iter().map(T::from_value).collect(),
+            other => Err(type_err("array", &other)),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(map) => {
+                map.into_iter().map(|(k, v)| Ok((k, V::from_value(v)?))).collect()
+            }
+            other => Err(type_err("object", &other)),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_value(v: Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(map) => {
+                map.into_iter().map(|(k, v)| Ok((k, V::from_value(v)?))).collect()
+            }
+            other => Err(type_err("object", &other)),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($len:literal: $($t:ident . $idx:tt),+) => {
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: Value) -> Result<Self, Error> {
+                match v {
+                    Value::Array(items) if items.len() == $len => {
+                        let mut it = items.into_iter();
+                        Ok(($($t::from_value(it.next().expect("length checked"))?,)+))
+                    }
+                    Value::Array(items) => Err(Error::custom(format!(
+                        "expected array of length {}, got {}", $len, items.len()
+                    ))),
+                    other => Err(type_err("array", &other)),
+                }
+            }
+        }
+    };
+}
+
+impl_tuple!(1: A.0);
+impl_tuple!(2: A.0, B.1);
+impl_tuple!(3: A.0, B.1, C.2);
+impl_tuple!(4: A.0, B.1, C.2, D.3);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u64::from_value(42u64.to_value()).unwrap(), 42);
+        assert_eq!(String::from_value("hi".to_string().to_value()).unwrap(), "hi");
+        let pair = ("x".to_string(), 0.5f32);
+        assert_eq!(<(String, f32)>::from_value(pair.to_value()).unwrap(), pair);
+    }
+
+    #[test]
+    fn option_null_roundtrip() {
+        let none: Option<usize> = None;
+        assert_eq!(none.to_value(), Value::Null);
+        assert_eq!(<Option<usize>>::from_value(Value::Null).unwrap(), None);
+        assert_eq!(<Option<usize>>::from_value(Value::Int(3)).unwrap(), Some(3));
+    }
+
+    #[test]
+    fn strict_primitive_typing() {
+        assert!(String::from_value(Value::Int(1)).is_err());
+        assert!(usize::from_value(Value::String("1".into())).is_err());
+        assert!(usize::from_value(Value::Int(-1)).is_err());
+    }
+}

@@ -1,0 +1,71 @@
+//! A minimal in-tree subset of [`serde`](https://docs.rs/serde).
+//!
+//! Instead of serde's zero-copy visitor architecture, this subset routes
+//! everything through an owned JSON-like [`Value`] tree: [`Serialize`]
+//! renders a value *to* a [`Value`], [`Deserialize`] parses one *from* a
+//! [`Value`]. That is a strictly smaller contract, but it supports the
+//! container attributes this workspace relies on (`untagged`, `tag`,
+//! `rename_all`, `flatten`, `default`, `skip`, `skip_serializing_if`) via
+//! the companion [`serde_derive`] macros, and `serde_json` (also vendored)
+//! provides the text layer.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+mod impls;
+mod value;
+
+pub use value::{Map, Value};
+
+/// Error produced when a [`Value`] does not match the shape a
+/// [`Deserialize`] implementation expects.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Creates an error with the given message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type that can render itself as a [`Value`].
+pub trait Serialize {
+    /// Converts `self` to a [`Value`] tree.
+    fn to_value(&self) -> Value;
+}
+
+/// A type that can reconstruct itself from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Parses an instance out of a [`Value`] tree.
+    fn from_value(v: Value) -> Result<Self, Error>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}

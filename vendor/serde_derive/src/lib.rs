@@ -1,0 +1,685 @@
+//! Derive macros for the vendored, `Value`-based `serde` subset.
+//!
+//! Implemented without `syn`/`quote` (the build environment is offline):
+//! the item is parsed directly from the `proc_macro` token stream and the
+//! impl is generated as source text. Supported shapes — exactly what this
+//! workspace uses:
+//!
+//! - structs with named fields, with per-field `#[serde(default)]`,
+//!   `#[serde(flatten)]`, `#[serde(skip)]`,
+//!   `#[serde(skip_serializing_if = "path")]`;
+//! - newtype structs;
+//! - enums: externally tagged (default), `#[serde(untagged)]`, and
+//!   internally tagged `#[serde(tag = "...")]`, with optional
+//!   `#[serde(rename_all = "lowercase")]`, over unit / newtype / struct
+//!   variants.
+//!
+//! Generics and other serde attributes are rejected with a compile error
+//! rather than silently mis-serialized.
+
+#![warn(missing_docs)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (the vendored, `Value`-returning flavour).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Direction::Serialize)
+}
+
+/// Derives `serde::Deserialize` (the vendored, `Value`-consuming flavour).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Direction::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Direction {
+    Serialize,
+    Deserialize,
+}
+
+fn expand(input: TokenStream, dir: Direction) -> TokenStream {
+    let item = parse_item(input);
+    let code = match dir {
+        Direction::Serialize => gen_serialize(&item),
+        Direction::Deserialize => gen_deserialize(&item),
+    };
+    code.parse().unwrap_or_else(|e| panic!("serde_derive generated invalid Rust: {e}\n{code}"))
+}
+
+// ---------------------------------------------------------------------------
+// Item model
+// ---------------------------------------------------------------------------
+
+#[derive(Default, Debug)]
+struct SerdeAttrs {
+    untagged: bool,
+    tag: Option<String>,
+    rename_all: Option<String>,
+    default: bool,
+    flatten: bool,
+    skip: bool,
+    skip_serializing_if: Option<String>,
+}
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    ty: String,
+    is_option: bool,
+    attrs: SerdeAttrs,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Newtype,
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum Body {
+    NamedStruct(Vec<Field>),
+    NewtypeStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    attrs: SerdeAttrs,
+    body: Body,
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut attrs = SerdeAttrs::default();
+    let mut i = 0;
+
+    // Attributes and visibility before `struct` / `enum`.
+    let kind = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    parse_serde_attr(g.stream(), &mut attrs);
+                    i += 2;
+                } else {
+                    panic!("expected attribute body after `#`");
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id))
+                if id.to_string() == "struct" || id.to_string() == "enum" =>
+            {
+                break id.to_string();
+            }
+            other => panic!("unexpected token while looking for struct/enum: {other:?}"),
+        }
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name, found {other:?}"),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("vendored serde_derive does not support generic types (deriving on `{name}`)");
+        }
+    }
+
+    let body_group = match tokens.get(i) {
+        Some(TokenTree::Group(g)) => g,
+        other => panic!("expected type body, found {other:?}"),
+    };
+
+    let body = if kind == "struct" {
+        match body_group.delimiter() {
+            Delimiter::Brace => Body::NamedStruct(parse_fields(body_group.stream())),
+            Delimiter::Parenthesis => {
+                let fields = split_top_level(body_group.stream());
+                if fields.len() != 1 {
+                    panic!("vendored serde_derive supports tuple structs with exactly one field (deriving on `{name}`)");
+                }
+                Body::NewtypeStruct
+            }
+            _ => panic!("unexpected struct body delimiter"),
+        }
+    } else {
+        Body::Enum(parse_variants(body_group.stream()))
+    };
+
+    Item { name, attrs, body }
+}
+
+/// If `stream` is the body of a `#[serde(...)]` attribute, folds its items
+/// into `attrs`; other attributes (doc comments etc.) are ignored.
+fn parse_serde_attr(stream: TokenStream, attrs: &mut SerdeAttrs) {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g)))
+            if id.to_string() == "serde" && g.delimiter() == Delimiter::Parenthesis =>
+        {
+            for item in split_top_level(g.stream()) {
+                parse_serde_attr_item(&item, attrs);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn parse_serde_attr_item(tokens: &[TokenTree], attrs: &mut SerdeAttrs) {
+    let key = match tokens.first() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return,
+    };
+    let value = match (tokens.get(1), tokens.get(2)) {
+        (Some(TokenTree::Punct(p)), Some(TokenTree::Literal(lit))) if p.as_char() == '=' => {
+            Some(unquote(&lit.to_string()))
+        }
+        _ => None,
+    };
+    match (key.as_str(), value) {
+        ("untagged", None) => attrs.untagged = true,
+        ("default", None) => attrs.default = true,
+        ("flatten", None) => attrs.flatten = true,
+        ("skip", None) => attrs.skip = true,
+        ("tag", Some(v)) => attrs.tag = Some(v),
+        ("rename_all", Some(v)) => {
+            if v != "lowercase" {
+                panic!("vendored serde_derive supports only rename_all = \"lowercase\", got {v:?}");
+            }
+            attrs.rename_all = Some(v);
+        }
+        ("skip_serializing_if", Some(v)) => attrs.skip_serializing_if = Some(v),
+        (other, _) => panic!("vendored serde_derive does not support #[serde({other})]"),
+    }
+}
+
+fn unquote(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+/// Splits a token stream at top-level commas, tracking `<...>` depth so
+/// generic argument commas do not split.
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0i32;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                out.push(std::mem::take(&mut current));
+                continue;
+            }
+            _ => {}
+        }
+        current.push(tt);
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+fn parse_fields(stream: TokenStream) -> Vec<Field> {
+    split_top_level(stream).into_iter().map(|tokens| parse_field(&tokens)).collect()
+}
+
+fn parse_field(tokens: &[TokenTree]) -> Field {
+    let mut attrs = SerdeAttrs::default();
+    let mut i = 0;
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    parse_serde_attr(g.stream(), &mut attrs);
+                    i += 2;
+                } else {
+                    panic!("expected attribute body after `#`");
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected field name, found {other:?}"),
+    };
+    i += 1;
+    match tokens.get(i) {
+        Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+        other => panic!("expected `:` after field `{name}`, found {other:?}"),
+    }
+    i += 1;
+    let ty_tokens = &tokens[i..];
+    // Render through TokenStream so multi-punct tokens (`::`) survive.
+    let ty = ty_tokens.iter().cloned().collect::<TokenStream>().to_string();
+    let is_option =
+        matches!(ty_tokens.first(), Some(TokenTree::Ident(id)) if id.to_string() == "Option");
+    Field { name, ty, is_option, attrs }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|tokens| {
+            let mut i = 0;
+            // Variant-level attributes (doc comments) — skipped.
+            while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+                if p.as_char() != '#' {
+                    break;
+                }
+                i += 2;
+            }
+            let name = match tokens.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("expected variant name, found {other:?}"),
+            };
+            i += 1;
+            let kind = match tokens.get(i) {
+                None => VariantKind::Unit,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    if split_top_level(g.stream()).len() != 1 {
+                        panic!("vendored serde_derive supports only newtype tuple variants (variant `{name}`)");
+                    }
+                    VariantKind::Newtype
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantKind::Struct(parse_fields(g.stream()))
+                }
+                other => panic!("unexpected token after variant `{name}`: {other:?}"),
+            };
+            Variant { name, kind }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn variant_wire_name(item: &Item, variant: &str) -> String {
+    if item.attrs.rename_all.as_deref() == Some("lowercase") {
+        variant.to_lowercase()
+    } else {
+        variant.to_string()
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::NewtypeStruct => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Body::NamedStruct(fields) => gen_serialize_fields_into_map(fields, "self.", "__map")
+            .map(|code| {
+                format!(
+                    "let mut __map = ::serde::Map::new();\n{code}\n::serde::Value::Object(__map)"
+                )
+            })
+            .expect("struct serialization"),
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let wire = variant_wire_name(item, &v.name);
+                let arm = match (&v.kind, &item.attrs) {
+                    // Untagged: content only.
+                    (VariantKind::Unit, a) if a.untagged => {
+                        format!("{name}::{v_name} => ::serde::Value::Null,", v_name = v.name)
+                    }
+                    (VariantKind::Newtype, a) if a.untagged => format!(
+                        "{name}::{v_name}(__x) => ::serde::Serialize::to_value(__x),",
+                        v_name = v.name
+                    ),
+                    (VariantKind::Struct(fields), a) if a.untagged => {
+                        gen_struct_variant_arm(name, &v.name, fields, None, None)
+                    }
+                    // Internally tagged: object with the tag field inside.
+                    (VariantKind::Unit, a) if a.tag.is_some() => {
+                        let tag = a.tag.as_deref().expect("checked");
+                        format!(
+                            "{name}::{v_name} => {{ let mut __m = ::serde::Map::new(); \
+                             __m.insert({tag:?}.to_string(), ::serde::Value::String({wire:?}.to_string())); \
+                             ::serde::Value::Object(__m) }},",
+                            v_name = v.name
+                        )
+                    }
+                    (VariantKind::Struct(fields), a) if a.tag.is_some() => gen_struct_variant_arm(
+                        name,
+                        &v.name,
+                        fields,
+                        a.tag.as_deref().map(|t| (t, wire.as_str())),
+                        None,
+                    ),
+                    // Externally tagged (default).
+                    (VariantKind::Unit, _) => format!(
+                        "{name}::{v_name} => ::serde::Value::String({wire:?}.to_string()),",
+                        v_name = v.name
+                    ),
+                    (VariantKind::Newtype, _) => format!(
+                        "{name}::{v_name}(__x) => {{ let mut __m = ::serde::Map::new(); \
+                         __m.insert({wire:?}.to_string(), ::serde::Serialize::to_value(__x)); \
+                         ::serde::Value::Object(__m) }},",
+                        v_name = v.name
+                    ),
+                    (VariantKind::Struct(fields), _) => {
+                        gen_struct_variant_arm(name, &v.name, fields, None, Some(&wire))
+                    }
+                };
+                arms.push_str(&arm);
+                arms.push('\n');
+            }
+            format!("match self {{\n{arms}\n}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}"
+    )
+}
+
+/// Serialization statements inserting each of `fields` (accessed with the
+/// `access` prefix, e.g. `self.`) into a `Map` binding named `map_var`.
+/// Returns `None` for an empty field list (still a valid empty map).
+fn gen_serialize_fields_into_map(fields: &[Field], access: &str, map_var: &str) -> Option<String> {
+    let mut out = String::new();
+    for f in fields {
+        if f.attrs.skip {
+            continue;
+        }
+        let fname = &f.name;
+        let expr = format!("&{access}{fname}");
+        if f.attrs.flatten {
+            out.push_str(&format!(
+                "match ::serde::Serialize::to_value({expr}) {{\n\
+                 ::serde::Value::Object(__flat) => {{ for (__k, __v) in __flat {{ {map_var}.insert(__k, __v); }} }}\n\
+                 ::serde::Value::Null => {{}}\n\
+                 __other => panic!(\"#[serde(flatten)] field `{fname}` did not serialize to an object\"),\n\
+                 }}\n"
+            ));
+        } else if let Some(pred) = &f.attrs.skip_serializing_if {
+            out.push_str(&format!(
+                "if !{pred}({expr}) {{ {map_var}.insert({fname:?}.to_string(), ::serde::Serialize::to_value({expr})); }}\n"
+            ));
+        } else {
+            out.push_str(&format!(
+                "{map_var}.insert({fname:?}.to_string(), ::serde::Serialize::to_value({expr}));\n"
+            ));
+        }
+    }
+    Some(out)
+}
+
+/// One `match` arm serializing a struct variant. `tag` wraps the fields
+/// with an internal tag entry; `external` wraps them in a single-key
+/// object instead.
+fn gen_struct_variant_arm(
+    enum_name: &str,
+    variant: &str,
+    fields: &[Field],
+    tag: Option<(&str, &str)>,
+    external: Option<&str>,
+) -> String {
+    let bindings = fields.iter().map(|f| f.name.as_str()).collect::<Vec<_>>().join(", ");
+    let mut body = String::from("let mut __m = ::serde::Map::new();\n");
+    if let Some((tag_field, wire)) = tag {
+        body.push_str(&format!(
+            "__m.insert({tag_field:?}.to_string(), ::serde::Value::String({wire:?}.to_string()));\n"
+        ));
+    }
+    body.push_str(&gen_serialize_fields_into_map(fields, "", "__m").expect("variant fields"));
+    let result = if let Some(wire) = external {
+        format!(
+            "let mut __outer = ::serde::Map::new();\n\
+             __outer.insert({wire:?}.to_string(), ::serde::Value::Object(__m));\n\
+             ::serde::Value::Object(__outer)"
+        )
+    } else {
+        "::serde::Value::Object(__m)".to_string()
+    };
+    format!("{enum_name}::{variant} {{ {bindings} }} => {{\n{body}\n{result}\n}},")
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::NewtypeStruct => {
+            format!("Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Body::NamedStruct(fields) => {
+            let field_code = gen_deserialize_fields(name, fields);
+            let ctor = fields
+                .iter()
+                .map(|f| format!("{0}: __field_{0}", f.name))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "let mut __obj = match __v {{\n\
+                 ::serde::Value::Object(__m) => __m,\n\
+                 __other => return Err(::serde::Error::custom(format!(\n\
+                 \"expected object for struct {name}, got {{}}\", __other.kind()))),\n\
+                 }};\n\
+                 {field_code}\n\
+                 Ok({name} {{ {ctor} }})"
+            )
+        }
+        Body::Enum(variants) if item.attrs.untagged => {
+            let mut attempts = String::new();
+            for v in variants {
+                match &v.kind {
+                    VariantKind::Unit => {
+                        attempts.push_str(&format!(
+                            "if matches!(__v, ::serde::Value::Null) {{ return Ok({name}::{v_name}); }}\n",
+                            v_name = v.name
+                        ));
+                    }
+                    VariantKind::Newtype => {
+                        attempts.push_str(&format!(
+                            "if let Ok(__x) = ::serde::Deserialize::from_value(__v.clone()) {{ return Ok({name}::{v_name}(__x)); }}\n",
+                            v_name = v.name
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let parse =
+                            gen_deserialize_variant_payload(name, &v.name, fields, "__v.clone()");
+                        attempts.push_str(&format!(
+                            "if let Ok(__x) = (|| -> Result<{name}, ::serde::Error> {{ {parse} }})() {{ return Ok(__x); }}\n",
+                        ));
+                    }
+                }
+            }
+            format!(
+                "{attempts}\n\
+                 Err(::serde::Error::custom(\n\
+                 \"data did not match any variant of untagged enum {name}\"))"
+            )
+        }
+        Body::Enum(variants) if item.attrs.tag.is_some() => {
+            let tag = item.attrs.tag.as_deref().expect("checked");
+            let mut arms = String::new();
+            for v in variants {
+                let wire = variant_wire_name(item, &v.name);
+                match &v.kind {
+                    VariantKind::Unit => {
+                        arms.push_str(&format!(
+                            "{wire:?} => Ok({name}::{v_name}),\n",
+                            v_name = v.name
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let parse = gen_deserialize_variant_payload(
+                            name,
+                            &v.name,
+                            fields,
+                            "::serde::Value::Object(__obj)",
+                        );
+                        arms.push_str(&format!("{wire:?} => {{ {parse} }},\n"));
+                    }
+                    VariantKind::Newtype => {
+                        panic!(
+                            "internally tagged newtype variants are not supported (enum `{name}`)"
+                        )
+                    }
+                }
+            }
+            format!(
+                "let mut __obj = match __v {{\n\
+                 ::serde::Value::Object(__m) => __m,\n\
+                 __other => return Err(::serde::Error::custom(format!(\n\
+                 \"expected object for enum {name}, got {{}}\", __other.kind()))),\n\
+                 }};\n\
+                 let __tag = match __obj.remove({tag:?}) {{\n\
+                 Some(::serde::Value::String(__s)) => __s,\n\
+                 _ => return Err(::serde::Error::custom(\n\
+                 \"missing or non-string tag `{tag}` for enum {name}\")),\n\
+                 }};\n\
+                 match __tag.as_str() {{\n{arms}\
+                 __other => Err(::serde::Error::custom(format!(\n\
+                 \"unknown variant `{{__other}}` of enum {name}\"))),\n\
+                 }}"
+            )
+        }
+        Body::Enum(variants) => {
+            // Externally tagged.
+            let mut str_arms = String::new();
+            let mut obj_arms = String::new();
+            for v in variants {
+                let wire = variant_wire_name(item, &v.name);
+                match &v.kind {
+                    VariantKind::Unit => {
+                        str_arms.push_str(&format!(
+                            "{wire:?} => Ok({name}::{v_name}),\n",
+                            v_name = v.name
+                        ));
+                    }
+                    VariantKind::Newtype => {
+                        obj_arms.push_str(&format!(
+                            "{wire:?} => Ok({name}::{v_name}(::serde::Deserialize::from_value(__payload)?)),\n",
+                            v_name = v.name
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let parse =
+                            gen_deserialize_variant_payload(name, &v.name, fields, "__payload");
+                        obj_arms.push_str(&format!("{wire:?} => {{ {parse} }},\n"));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::String(__s) => match __s.as_str() {{\n{str_arms}\
+                 __other => Err(::serde::Error::custom(format!(\n\
+                 \"unknown unit variant `{{__other}}` of enum {name}\"))),\n\
+                 }},\n\
+                 ::serde::Value::Object(__m) if __m.len() == 1 => {{\n\
+                 let (__key, __payload) = __m.into_iter().next().expect(\"length checked\");\n\
+                 match __key.as_str() {{\n{obj_arms}\
+                 __other => Err(::serde::Error::custom(format!(\n\
+                 \"unknown variant `{{__other}}` of enum {name}\"))),\n\
+                 }}\n\
+                 }},\n\
+                 __other => Err(::serde::Error::custom(format!(\n\
+                 \"expected string or single-key object for enum {name}, got {{}}\", __other.kind()))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: ::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}"
+    )
+}
+
+/// Statements extracting every field of a named-field body out of a `Map`
+/// binding named `__obj`, into `__field_<name>` locals. Non-flatten fields
+/// are consumed first so flatten fields see only the remainder.
+fn gen_deserialize_fields(container: &str, fields: &[Field]) -> String {
+    let mut out = String::new();
+    for f in fields.iter().filter(|f| !f.attrs.flatten) {
+        let fname = &f.name;
+        let ty = &f.ty;
+        if f.attrs.skip {
+            out.push_str(&format!(
+                "let __field_{fname}: {ty} = ::std::default::Default::default();\n"
+            ));
+            continue;
+        }
+        let missing = if f.attrs.default {
+            "::std::default::Default::default()".to_string()
+        } else if f.is_option {
+            "None".to_string()
+        } else {
+            format!(
+                "return Err(::serde::Error::custom(\n\
+                 \"missing field `{fname}` of {container}\"))"
+            )
+        };
+        out.push_str(&format!(
+            "let __field_{fname}: {ty} = match __obj.remove({fname:?}) {{\n\
+             Some(__x) => ::serde::Deserialize::from_value(__x)?,\n\
+             None => {{ {missing} }}\n\
+             }};\n"
+        ));
+    }
+    for f in fields.iter().filter(|f| f.attrs.flatten) {
+        let fname = &f.name;
+        let ty = &f.ty;
+        out.push_str(&format!(
+            "let __field_{fname}: {ty} = ::serde::Deserialize::from_value(\n\
+             ::serde::Value::Object(__obj.clone()))?;\n"
+        ));
+    }
+    out
+}
+
+/// An expression-position block deserializing a struct variant's fields
+/// from `payload_expr` and returning `Ok(Enum::Variant { ... })`.
+fn gen_deserialize_variant_payload(
+    enum_name: &str,
+    variant: &str,
+    fields: &[Field],
+    payload_expr: &str,
+) -> String {
+    let field_code = gen_deserialize_fields(&format!("{enum_name}::{variant}"), fields);
+    let ctor =
+        fields.iter().map(|f| format!("{0}: __field_{0}", f.name)).collect::<Vec<_>>().join(", ");
+    format!(
+        "let mut __obj = match {payload_expr} {{\n\
+         ::serde::Value::Object(__m) => __m,\n\
+         __other => return Err(::serde::Error::custom(format!(\n\
+         \"expected object for variant {enum_name}::{variant}, got {{}}\", __other.kind()))),\n\
+         }};\n\
+         {field_code}\n\
+         Ok({enum_name}::{variant} {{ {ctor} }})"
+    )
+}

@@ -1,0 +1,160 @@
+//! A minimal in-tree subset of [`serde_json`](https://docs.rs/serde_json).
+//!
+//! Provides the text layer over the vendored `serde`'s [`Value`] model: a
+//! strict JSON parser, compact/pretty writers, the [`json!`] macro, and the
+//! `from_str`/`from_slice`/`to_string`/`to_vec` entry points the workspace
+//! uses. Numbers parse to `i64` when integral and `f64` otherwise.
+
+#![warn(missing_docs)]
+
+pub use serde::{Map, Value};
+
+mod parse;
+
+/// Error from parsing JSON text or from shaping a [`Value`] into a target
+/// type.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    pub(crate) fn new(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Self::new(e.to_string())
+    }
+}
+
+/// Parses a `T` from JSON text.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse::parse(s)?;
+    Ok(T::from_value(value)?)
+}
+
+/// Parses a `T` from JSON bytes (must be UTF-8).
+pub fn from_slice<T: serde::Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error::new(format!("invalid UTF-8: {e}")))?;
+    from_str(s)
+}
+
+/// Parses a [`Value`] from JSON text.
+pub fn from_str_value(s: &str) -> Result<Value, Error> {
+    parse::parse(s)
+}
+
+/// Serializes to compact JSON text.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.to_value().write_compact(&mut out);
+    Ok(out)
+}
+
+/// Serializes to pretty (two-space indented) JSON text.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.to_value().write_pretty(&mut out, 0);
+    Ok(out)
+}
+
+/// Serializes to compact JSON bytes.
+pub fn to_vec<T: serde::Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Serializes to pretty JSON bytes.
+pub fn to_vec_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string_pretty(value).map(String::into_bytes)
+}
+
+/// Converts any `Serialize` type to a [`Value`].
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+/// Builds a [`Value`] from JSON-like literal syntax.
+///
+/// Supports `null`, booleans, numbers, string literals, arrays, objects
+/// with literal keys, and arbitrary Rust expressions (anything with an
+/// `Into<Value>` conversion) in value position.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elem:tt),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::json!($elem) ),* ])
+    };
+    ({ $($key:literal : $value:tt),* $(,)? }) => {{
+        let mut __map = $crate::Map::new();
+        $( __map.insert($key.to_string(), $crate::json!($value)); )*
+        $crate::Value::Object(__map)
+    }};
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_write_roundtrip() {
+        let text = r#"{"a":[1,2.5,"x",null,true],"b":{"c":-3}}"#;
+        let v: Value = from_str(text).unwrap();
+        assert_eq!(to_string(&v).unwrap(), text);
+    }
+
+    #[test]
+    fn json_macro_shapes() {
+        let xs = vec!["p".to_string(), "q".to_string()];
+        let v = json!({
+            "kind": "demo",
+            "n": 3,
+            "nested": { "flag": true, "xs": xs },
+            "list": [1, "two", { "three": 3 }]
+        });
+        let text = v.to_string();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let original = "line\n\"quote\"\t\u{20AC}\u{1}";
+        let json = to_string(&original).unwrap();
+        let back: String = from_str(&json).unwrap();
+        assert_eq!(back, original);
+    }
+
+    #[test]
+    fn integers_stay_integers() {
+        let v: Value = from_str("42").unwrap();
+        assert_eq!(v, Value::Int(42));
+        let v: Value = from_str("42.0").unwrap();
+        assert_eq!(v, Value::Float(42.0));
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing() {
+        let bomb = "[".repeat(100_000);
+        let err = from_str::<Value>(&bomb).unwrap_err();
+        assert!(err.to_string().contains("recursion limit"), "{err}");
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(from_str::<Value>("{unquoted: 1}").is_err());
+        assert!(from_str::<Value>("[1, 2").is_err());
+        assert!(from_str::<Value>("1 trailing").is_err());
+    }
+}
