@@ -1,0 +1,88 @@
+//! **P5** — serving throughput: the per-record `Server::predict` loop vs
+//! the batched forward path vs the worker pool, on the same model and the
+//! same records. The batched path exists because `Graph::param` copies
+//! every weight matrix into the inference tape: per-record graphs re-copy
+//! the whole model per query, batched graphs once per batch.
+//!
+//! Run with: `cargo bench -p overton-bench --bench serving_throughput`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use overton_model::{CompiledModel, DeployableModel, FeatureSpace, ModelConfig, Server};
+use overton_nlp::{generate_workload, KnowledgeBase, TrafficConfig, TrafficStream, WorkloadConfig};
+use overton_serving::{CascadeEngine, ServingConfig, WorkerPool};
+use overton_store::Record;
+use std::collections::BTreeMap;
+use std::hint::black_box;
+use std::sync::Arc;
+
+const BATCH: usize = 32;
+const REQUESTS: usize = 256;
+
+fn setup() -> (Server, Vec<Record>) {
+    let ds = generate_workload(&WorkloadConfig {
+        n_train: 400,
+        n_dev: 50,
+        n_test: 50,
+        seed: 5,
+        ..Default::default()
+    });
+    let space = FeatureSpace::build(&ds);
+    let model = CompiledModel::compile(ds.schema(), &space, &ModelConfig::default(), None);
+    let artifact = DeployableModel::package(&model, &space, BTreeMap::new());
+    let kb = KnowledgeBase::standard();
+    let records = TrafficStream::new(
+        &kb,
+        TrafficConfig { qps: 1000.0, seed: 6, with_gold: false, ..Default::default() },
+    )
+    .records(REQUESTS);
+    (Server::load(&artifact), records)
+}
+
+fn bench_serving(c: &mut Criterion) {
+    let (server, records) = setup();
+    let mut group = c.benchmark_group("serving");
+    group.sample_size(10);
+
+    group.bench_function(&format!("per_record_x{REQUESTS}"), |bench| {
+        bench.iter(|| {
+            for record in &records {
+                black_box(server.predict(record).expect("valid"));
+            }
+        });
+    });
+
+    group.bench_function(&format!("batched_{BATCH}_x{REQUESTS}"), |bench| {
+        bench.iter(|| {
+            for chunk in records.chunks(BATCH) {
+                for result in server.predict_batch(chunk) {
+                    black_box(result.expect("valid"));
+                }
+            }
+        });
+    });
+
+    group.bench_function(&format!("batched_full_x{REQUESTS}"), |bench| {
+        bench.iter(|| {
+            for result in server.predict_batch(&records) {
+                black_box(result.expect("valid"));
+            }
+        });
+    });
+
+    let (pooled_server, _) = setup();
+    let engine = Arc::new(CascadeEngine::single(pooled_server));
+    let pool = WorkerPool::start(engine, ServingConfig { workers: 4, max_batch: BATCH }, None);
+    group.bench_function(&format!("pool_4workers_{BATCH}_x{REQUESTS}"), |bench| {
+        bench.iter(|| {
+            for reply in pool.process(records.clone()) {
+                black_box(reply.result.expect("valid"));
+            }
+        });
+    });
+
+    group.finish();
+    pool.shutdown();
+}
+
+criterion_group!(benches, bench_serving);
+criterion_main!(benches);

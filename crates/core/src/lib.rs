@@ -50,6 +50,7 @@ pub use workflows::{
 pub use overton_model as model;
 pub use overton_monitor as monitor;
 pub use overton_nlp as nlp;
+pub use overton_serving as serving;
 pub use overton_store as store;
 pub use overton_supervision as supervision;
 pub use overton_tensor as tensor;

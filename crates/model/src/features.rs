@@ -43,6 +43,22 @@ impl FeatureSpace {
     pub fn slice_index(&self, name: &str) -> Option<usize> {
         self.slice_names.iter().position(|s| s == name)
     }
+
+    /// Encodes a batch of records into model-ready examples (no targets).
+    ///
+    /// The counterpart of
+    /// [`CompiledModel::predict_batch`](crate::CompiledModel::predict_batch)
+    /// on the input side: serving
+    /// drains a queue of records and encodes them together before one
+    /// batched forward pass. `record_index` is the position within the
+    /// batch.
+    pub fn encode_batch(&self, records: &[Record], schema: &Schema) -> Vec<CompiledExample> {
+        records
+            .iter()
+            .enumerate()
+            .map(|(i, r)| CompiledExample::from_record(r, i, self, schema))
+            .collect()
+    }
 }
 
 /// Encoded set payload elements: `(entity id, span)` per element.

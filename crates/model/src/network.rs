@@ -663,6 +663,33 @@ impl CompiledModel {
         let mut g = Graph::new();
         let mut rng = SmallRng::seed_from_u64(0);
         let pass = self.forward(&mut g, example, false, &mut rng);
+        self.decode(&g, &pass)
+    }
+
+    /// Runs inference over a batch of examples through one shared graph.
+    ///
+    /// This is the serving hot loop: [`Graph::param`] copies each weight
+    /// matrix into the tape, so per-example graphs re-copy the entire model
+    /// (embedding tables included) for every record. The batched path uses a
+    /// param-cached graph ([`Graph::with_param_cache`]) so weights are
+    /// brought in once per *batch*, amortizing the per-example overhead.
+    /// Outputs are identical to calling [`CompiledModel::predict`] per
+    /// example.
+    pub fn predict_batch(&self, examples: &[CompiledExample]) -> Vec<Prediction> {
+        let mut g = Graph::with_param_cache();
+        let mut rng = SmallRng::seed_from_u64(0);
+        examples
+            .iter()
+            .map(|example| {
+                let pass = self.forward(&mut g, example, false, &mut rng);
+                self.decode(&g, &pass)
+            })
+            .collect()
+    }
+
+    /// Decodes one forward pass into per-task outputs and slice
+    /// probabilities.
+    fn decode(&self, g: &Graph, pass: &ForwardPass) -> Prediction {
         let mut tasks = BTreeMap::new();
         for (task, &logits) in &pass.task_logits {
             let head = &self.heads[task];
@@ -816,6 +843,22 @@ mod tests {
         if let TaskOutput::Multiclass { dist, .. } = &pred.tasks["Intent"] {
             let s: f32 = dist.iter().sum();
             assert!((s - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn predict_batch_matches_per_example_predict() {
+        let (ds, space) = setup();
+        let model = compile(&ds, &space, EncoderKind::Cnn);
+        let examples: Vec<CompiledExample> = ds
+            .test_indices()
+            .iter()
+            .map(|&i| CompiledExample::from_record(&ds.records()[i], i, &space, ds.schema()))
+            .collect();
+        let batched = model.predict_batch(&examples);
+        assert_eq!(batched.len(), examples.len());
+        for (ex, pred) in examples.iter().zip(&batched) {
+            assert_eq!(*pred, model.predict(ex), "batched path diverged");
         }
     }
 

@@ -9,7 +9,7 @@
 
 use crate::config::ModelConfig;
 use crate::features::{CompiledExample, FeatureSpace};
-use crate::network::{CompiledModel, TaskOutput};
+use crate::network::{CompiledModel, Prediction, TaskOutput};
 use overton_store::{Record, Schema, ServingSignature, StoreError, TaskKind};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -108,6 +108,11 @@ pub struct ServingResponse {
     pub tasks: BTreeMap<String, ServedOutput>,
     /// Predicted slice memberships (name, probability).
     pub slices: Vec<(String, f32)>,
+    /// Response confidence: the minimum top-probability across the tasks
+    /// that produce a distribution (multiclass and select heads); `1.0`
+    /// when no such task fired. The model-pair cascade (§2.4) escalates
+    /// low-confidence responses from the small model to the large one.
+    pub confidence: f32,
 }
 
 /// A loaded model ready to answer queries.
@@ -132,17 +137,62 @@ impl Server {
         &self.signature
     }
 
+    /// The schema the loaded model was compiled from.
+    pub fn schema(&self) -> &Schema {
+        self.model.schema()
+    }
+
+    /// The feature space (vocabularies and slice names) of the loaded model.
+    pub fn feature_space(&self) -> &FeatureSpace {
+        &self.space
+    }
+
     /// Validates a record against the schema and predicts all tasks.
     pub fn predict(&self, record: &Record) -> Result<ServingResponse, StoreError> {
         record.validate(self.model.schema())?;
         let example = CompiledExample::from_record(record, 0, &self.space, self.model.schema());
         let prediction = self.model.predict(&example);
+        self.decode_response(record, &prediction)
+    }
+
+    /// Validates and predicts a batch of records through the batched
+    /// forward path ([`CompiledModel::predict_batch`]), returning one result
+    /// per record in input order. Invalid records fail individually without
+    /// poisoning the rest of the batch; weights are brought into the
+    /// inference graph once per batch rather than once per record.
+    pub fn predict_batch(&self, records: &[Record]) -> Vec<Result<ServingResponse, StoreError>> {
+        let schema = self.model.schema();
+        let mut out: Vec<Option<Result<ServingResponse, StoreError>>> =
+            records.iter().map(|r| r.validate(schema).err().map(Err)).collect();
+        let valid: Vec<usize> = (0..records.len()).filter(|&i| out[i].is_none()).collect();
+        let examples: Vec<CompiledExample> = valid
+            .iter()
+            .map(|&i| CompiledExample::from_record(&records[i], i, &self.space, schema))
+            .collect();
+        let predictions = self.model.predict_batch(&examples);
+        for (&i, prediction) in valid.iter().zip(&predictions) {
+            out[i] = Some(self.decode_response(&records[i], prediction));
+        }
+        out.into_iter().map(|r| r.expect("every slot filled")).collect()
+    }
+
+    /// Decodes a raw prediction into label-named outputs. A task whose
+    /// output shape disagrees with the schema's task kind is an error (a
+    /// desynchronized artifact must not silently drop tasks from the
+    /// response).
+    fn decode_response(
+        &self,
+        record: &Record,
+        prediction: &Prediction,
+    ) -> Result<ServingResponse, StoreError> {
         let schema = self.model.schema();
         let mut tasks = BTreeMap::new();
+        let mut confidence = 1.0f32;
         for (task, output) in &prediction.tasks {
             let kind = &schema.tasks[task].kind;
             let served = match (output, kind) {
                 (TaskOutput::Multiclass { class, dist }, TaskKind::Multiclass { classes }) => {
+                    confidence = confidence.min(dist.get(*class).copied().unwrap_or(0.0));
                     ServedOutput::Multiclass {
                         class: classes[*class].clone(),
                         dist: classes.iter().cloned().zip(dist.iter().copied()).collect(),
@@ -179,7 +229,8 @@ impl Server {
                             .collect(),
                     }
                 }
-                (TaskOutput::Select { index, .. }, TaskKind::Select) => {
+                (TaskOutput::Select { index, dist }, TaskKind::Select) => {
+                    confidence = confidence.min(dist.get(*index).copied().unwrap_or(0.0));
                     let id = match record.payloads.get(&schema.tasks[task].payload) {
                         Some(overton_store::PayloadValue::Set(els)) => {
                             els.get(*index).map(|e| e.id.clone()).unwrap_or_default()
@@ -188,7 +239,12 @@ impl Server {
                     };
                     ServedOutput::Select { index: *index, id }
                 }
-                _ => continue,
+                _ => {
+                    return Err(StoreError::Validation(format!(
+                        "task '{task}': model output does not match the schema's task kind \
+                         (artifact and schema are out of sync)"
+                    )));
+                }
             };
             tasks.insert(task.clone(), served);
         }
@@ -199,7 +255,7 @@ impl Server {
             .cloned()
             .zip(prediction.slice_probs.iter().copied())
             .collect();
-        Ok(ServingResponse { tasks, slices })
+        Ok(ServingResponse { tasks, slices, confidence })
     }
 }
 
@@ -303,6 +359,55 @@ mod tests {
             overton_store::TaskLabel::MulticlassOne("NotAClass".into()),
         );
         assert!(server.predict(&bad).is_err());
+    }
+
+    #[test]
+    fn mismatched_task_output_is_an_error_not_a_dropped_task() {
+        let (ds, space, model) = setup();
+        let artifact = DeployableModel::package(&model, &space, BTreeMap::new());
+        let server = Server::load(&artifact);
+        let record = &ds.records()[ds.test_indices()[0]];
+        // A desynchronized artifact: the model emitted bit probabilities for
+        // the multiclass "Intent" task. The old behaviour silently dropped
+        // the task from the response; it must be a StoreError instead.
+        let mut prediction =
+            model.predict(&CompiledExample::from_record(record, 0, &space, ds.schema()));
+        prediction
+            .tasks
+            .insert("Intent".into(), TaskOutput::Bits { bits: vec![true], probs: vec![0.9] });
+        let err = server.decode_response(record, &prediction).unwrap_err();
+        assert!(
+            matches!(&err, StoreError::Validation(msg) if msg.contains("Intent")),
+            "unexpected error {err}"
+        );
+    }
+
+    #[test]
+    fn predict_batch_matches_predict_and_isolates_invalid_records() {
+        let (ds, space, model) = setup();
+        let artifact = DeployableModel::package(&model, &space, BTreeMap::new());
+        let server = Server::load(&artifact);
+        let mut records: Vec<Record> =
+            ds.test_indices().iter().map(|&i| ds.records()[i].clone()).collect();
+        // Poison the middle of the batch with an invalid record.
+        let bad = Record::new().with_label(
+            "Intent",
+            "w",
+            overton_store::TaskLabel::MulticlassOne("NotAClass".into()),
+        );
+        records.insert(records.len() / 2, bad);
+        let results = server.predict_batch(&records);
+        assert_eq!(results.len(), records.len());
+        for (record, result) in records.iter().zip(&results) {
+            match result {
+                Ok(response) => {
+                    assert_eq!(*response, server.predict(record).unwrap());
+                    assert!((0.0..=1.0).contains(&response.confidence));
+                }
+                Err(_) => assert!(record.validate(ds.schema()).is_err()),
+            }
+        }
+        assert_eq!(results.iter().filter(|r| r.is_err()).count(), 1);
     }
 
     #[test]

@@ -48,14 +48,17 @@ impl QualityReport {
     }
 
     /// Writes the report as CSV (`task,group,count,accuracy,macro_f1,micro_f1`).
+    /// Task and group names are CSV-escaped: slice and tag names are
+    /// free-form and can contain commas or quotes.
     pub fn write_csv(&self, mut w: impl Write) -> std::io::Result<()> {
         writeln!(w, "task,group,count,accuracy,macro_f1,micro_f1")?;
+        let task = csv_escape(&self.task);
         for row in &self.rows {
             writeln!(
                 w,
                 "{},{},{},{:.6},{:.6},{:.6}",
-                self.task,
-                row.group,
+                task,
+                csv_escape(&row.group),
                 row.metrics.count,
                 row.metrics.accuracy,
                 row.metrics.macro_f1,
@@ -63,6 +66,17 @@ impl QualityReport {
             )?;
         }
         Ok(())
+    }
+}
+
+/// RFC 4180 field escaping. Mirrors `csv_escape` in `overton-store`'s
+/// `tags.rs` (`TagIndex::write_csv`); duplicated rather than imported so
+/// this crate stays dependency-free.
+fn csv_escape(field: &str) -> String {
+    if field.contains([',', '"', '\n']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
     }
 }
 
@@ -87,7 +101,10 @@ impl fmt::Display for QualityReport {
 }
 
 /// Detects quality regressions between two reports of the same task:
-/// groups whose accuracy dropped by more than `threshold`.
+/// groups whose accuracy dropped by more than `threshold`, plus groups
+/// present in `before` but missing from `after` entirely — a vanished
+/// slice is the worst regression, so it is always reported regardless of
+/// the threshold (with `vanished` set and an `after` accuracy of 0).
 pub fn regressions(
     before: &QualityReport,
     after: &QualityReport,
@@ -95,15 +112,24 @@ pub fn regressions(
 ) -> Vec<Regression> {
     let mut out = Vec::new();
     for row in &before.rows {
-        if let Some(new) = after.group(&row.group) {
-            let drop = row.metrics.accuracy - new.accuracy;
-            if drop > threshold {
-                out.push(Regression {
-                    group: row.group.clone(),
-                    before: row.metrics.accuracy,
-                    after: new.accuracy,
-                });
+        match after.group(&row.group) {
+            Some(new) => {
+                let drop = row.metrics.accuracy - new.accuracy;
+                if drop > threshold {
+                    out.push(Regression {
+                        group: row.group.clone(),
+                        before: row.metrics.accuracy,
+                        after: new.accuracy,
+                        vanished: false,
+                    });
+                }
             }
+            None => out.push(Regression {
+                group: row.group.clone(),
+                before: row.metrics.accuracy,
+                after: 0.0,
+                vanished: true,
+            }),
         }
     }
     out
@@ -116,8 +142,10 @@ pub struct Regression {
     pub group: String,
     /// Accuracy before.
     pub before: f64,
-    /// Accuracy after.
+    /// Accuracy after (0 when the group vanished).
     pub after: f64,
+    /// The group has no row at all in the `after` report.
+    pub vanished: bool,
 }
 
 #[cfg(test)]
@@ -176,9 +204,42 @@ mod tests {
     }
 
     #[test]
-    fn regression_ignores_missing_groups() {
-        let before = report(&[("slice:gone", 0.9)]);
+    fn vanished_groups_are_always_reported() {
+        let before = report(&[("overall", 0.9), ("slice:gone", 0.9)]);
+        let after = report(&[("overall", 0.9)]);
+        // Huge threshold: an accuracy drop this small would never fire, but
+        // a vanished group is reported unconditionally.
+        let regs = regressions(&before, &after, 10.0);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].group, "slice:gone");
+        assert!(regs[0].vanished);
+        assert_eq!(regs[0].after, 0.0);
+        assert!((regs[0].before - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn surviving_groups_are_not_marked_vanished() {
+        let before = report(&[("overall", 0.9)]);
         let after = report(&[("overall", 0.5)]);
-        assert!(regressions(&before, &after, 0.01).is_empty());
+        let regs = regressions(&before, &after, 0.1);
+        assert_eq!(regs.len(), 1);
+        assert!(!regs[0].vanished);
+    }
+
+    #[test]
+    fn csv_escapes_task_and_group_fields() {
+        let mut r = QualityReport::new("Intent,v2");
+        r.push("slice:hard, rare \"tail\"", metrics(0.5, 10));
+        let mut buf = Vec::new();
+        r.write_csv(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        // Both free-form fields are quoted with inner quotes doubled, so
+        // the row parses back into exactly 6 fields under RFC 4180.
+        assert_eq!(
+            lines[1],
+            "\"Intent,v2\",\"slice:hard, rare \"\"tail\"\"\",10,0.500000,0.500000,0.500000"
+        );
     }
 }

@@ -17,6 +17,7 @@ mod corpus;
 mod kb;
 mod queries;
 mod tokenizer;
+mod traffic;
 mod vocab;
 mod workload;
 
@@ -27,7 +28,9 @@ pub use queries::{
     SLICE_COMPLEX_DISAMBIGUATION, SLICE_NUTRITION, VAGUE_INTENTS, VAGUE_TEMPLATE_OFFSET,
 };
 pub use tokenizer::{detokenize, tokenize};
+pub use traffic::{TrafficConfig, TrafficEvent, TrafficStream};
 pub use vocab::{Vocab, MASK, PAD, UNK};
 pub use workload::{
-    generate_workload, generate_workload_with_kb, workload_schema, SourceSpec, WorkloadConfig,
+    generate_workload, generate_workload_with_kb, query_record, workload_schema, SourceSpec,
+    WorkloadConfig,
 };

@@ -1,0 +1,171 @@
+//! Live-traffic simulation for the serving runtime.
+//!
+//! Production serving (the ROADMAP's "heavy traffic from millions of
+//! users") is driven by an open-loop arrival process, not by a dataset:
+//! requests arrive at random times, in bursts, with a different slice mix
+//! than the training distribution. [`TrafficStream`] generates that — a
+//! Poisson process (exponential inter-arrival times at a configured QPS)
+//! over the template query generator, emitting schema-conformant records
+//! tagged [`TAG_LIVE`](overton_store::TAG_LIVE). Because the queries are
+//! synthetic, each record can optionally carry gold labels, standing in for
+//! the production reality that a sample of live traffic is labeled after
+//! the fact and used to score canaries.
+
+use crate::kb::KnowledgeBase;
+use crate::queries::QueryGenerator;
+use crate::workload::query_record;
+use overton_store::{Record, TAG_LIVE};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+/// Configuration of a simulated traffic stream.
+#[derive(Debug, Clone)]
+pub struct TrafficConfig {
+    /// Mean arrival rate, queries per second (Poisson process).
+    pub qps: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Fraction of queries drawn from the complex-disambiguation pool.
+    /// Setting this away from the training workload's rate simulates
+    /// traffic drift.
+    pub slice_rate: f64,
+    /// Fraction of vague queries (intent not determined by the text).
+    pub vague_rate: f64,
+    /// Whether records carry gold labels (after-the-fact labeling of a
+    /// traffic sample; required for canary scoring).
+    pub with_gold: bool,
+}
+
+impl Default for TrafficConfig {
+    fn default() -> Self {
+        Self { qps: 100.0, seed: 0, slice_rate: 0.06, vague_rate: 0.05, with_gold: true }
+    }
+}
+
+/// One simulated request: its arrival offset from stream start and the
+/// query record.
+#[derive(Debug, Clone)]
+pub struct TrafficEvent {
+    /// Arrival time, as an offset from the start of the stream.
+    pub at: Duration,
+    /// The request payloads (plus gold labels when configured).
+    pub record: Record,
+}
+
+/// An infinite, deterministic stream of simulated live requests.
+///
+/// ```
+/// use overton_nlp::{KnowledgeBase, TrafficConfig, TrafficStream};
+///
+/// let kb = KnowledgeBase::standard();
+/// let mut stream = TrafficStream::new(&kb, TrafficConfig::default());
+/// let burst: Vec<_> = stream.by_ref().take(100).collect();
+/// assert!(burst.windows(2).all(|w| w[0].at <= w[1].at));
+/// ```
+pub struct TrafficStream<'a> {
+    kb: &'a KnowledgeBase,
+    generator: QueryGenerator<'a>,
+    config: TrafficConfig,
+    rng: SmallRng,
+    clock: Duration,
+}
+
+impl<'a> TrafficStream<'a> {
+    /// Prepares a stream over a knowledge base.
+    pub fn new(kb: &'a KnowledgeBase, config: TrafficConfig) -> Self {
+        assert!(config.qps > 0.0, "traffic qps must be positive");
+        let rng = SmallRng::seed_from_u64(config.seed);
+        Self { kb, generator: QueryGenerator::new(kb), config, rng, clock: Duration::ZERO }
+    }
+
+    /// Drains the next `n` requests, dropping arrival times (the common
+    /// shape for feeding a batch into the worker pool or a canary).
+    pub fn records(&mut self, n: usize) -> Vec<Record> {
+        self.by_ref().take(n).map(|e| e.record).collect()
+    }
+}
+
+impl Iterator for TrafficStream<'_> {
+    type Item = TrafficEvent;
+
+    fn next(&mut self) -> Option<TrafficEvent> {
+        // Exponential inter-arrival via inverse-CDF; clamp u away from 0 so
+        // ln stays finite.
+        let u: f64 = self.rng.gen::<f64>().max(1e-12);
+        self.clock += Duration::from_secs_f64(-u.ln() / self.config.qps);
+        let query = if self.rng.gen_bool(self.config.vague_rate) {
+            self.generator.generate_vague(&mut self.rng)
+        } else {
+            let force_ambiguous = self.rng.gen_bool(self.config.slice_rate);
+            self.generator.generate(&mut self.rng, force_ambiguous)
+        };
+        let record = query_record(self.kb, &query, TAG_LIVE, self.config.with_gold);
+        Some(TrafficEvent { at: self.clock, record })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::workload_schema;
+    use overton_store::GOLD_SOURCE;
+
+    #[test]
+    fn events_are_monotone_and_roughly_at_qps() {
+        let kb = KnowledgeBase::standard();
+        let config = TrafficConfig { qps: 200.0, seed: 3, ..Default::default() };
+        let events: Vec<TrafficEvent> = TrafficStream::new(&kb, config).take(2000).collect();
+        assert!(events.windows(2).all(|w| w[0].at <= w[1].at));
+        // 2000 arrivals at 200 qps take ~10s; Poisson noise is a few %.
+        let horizon = events.last().unwrap().at.as_secs_f64();
+        assert!((7.0..14.0).contains(&horizon), "horizon {horizon:.2}s");
+    }
+
+    #[test]
+    fn records_validate_and_carry_gold_and_live_tag() {
+        let kb = KnowledgeBase::standard();
+        let schema = workload_schema();
+        let mut stream = TrafficStream::new(&kb, TrafficConfig { seed: 9, ..Default::default() });
+        for event in stream.by_ref().take(200) {
+            event.record.validate(&schema).unwrap();
+            assert!(event.record.tags.contains(TAG_LIVE));
+            assert!(event.record.gold("Intent").is_some());
+        }
+    }
+
+    #[test]
+    fn gold_can_be_disabled() {
+        let kb = KnowledgeBase::standard();
+        let config = TrafficConfig { with_gold: false, seed: 1, ..Default::default() };
+        let mut stream = TrafficStream::new(&kb, config);
+        let record = stream.next().unwrap().record;
+        assert!(record.tasks.values().all(|m| !m.contains_key(GOLD_SOURCE)));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let kb = KnowledgeBase::standard();
+        let config = TrafficConfig { seed: 17, ..Default::default() };
+        let mut a = TrafficStream::new(&kb, config.clone());
+        let mut b = TrafficStream::new(&kb, config);
+        for _ in 0..50 {
+            let (ea, eb) = (a.next().unwrap(), b.next().unwrap());
+            assert_eq!(ea.at, eb.at);
+            assert_eq!(ea.record, eb.record);
+        }
+    }
+
+    #[test]
+    fn slice_rate_shifts_the_traffic_mix() {
+        let kb = KnowledgeBase::standard();
+        let drifted = TrafficConfig { slice_rate: 0.5, seed: 4, ..Default::default() };
+        let mut stream = TrafficStream::new(&kb, drifted);
+        let sliced = stream
+            .records(500)
+            .iter()
+            .filter(|r| r.in_slice(crate::SLICE_COMPLEX_DISAMBIGUATION))
+            .count();
+        assert!(sliced > 150, "only {sliced}/500 slice records at rate 0.5");
+    }
+}

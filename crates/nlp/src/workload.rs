@@ -212,13 +212,16 @@ pub fn generate_workload_with_kb(config: &WorkloadConfig, kb: &KnowledgeBase) ->
     dataset
 }
 
-fn build_record(
+/// Builds the schema-conformant record for one generated query: payloads,
+/// the given tag, the query's slice tags, and (optionally) gold labels for
+/// all four tasks. This is the supervision-free core shared by the
+/// workload assembler (which layers weak sources on top) and the live
+/// traffic generator ([`crate::TrafficStream`]).
+pub fn query_record(
     kb: &KnowledgeBase,
     query: &GeneratedQuery,
-    split: &str,
+    tag: &str,
     with_gold: bool,
-    config: &WorkloadConfig,
-    rng: &mut SmallRng,
 ) -> Record {
     let mut record = Record::new()
         .with_payload("tokens", PayloadValue::Sequence(query.tokens.clone()))
@@ -233,12 +236,11 @@ fn build_record(
                     .collect(),
             ),
         )
-        .with_tag(split);
+        .with_tag(tag);
     for slice in &query.slices {
         record = record.with_slice(slice);
     }
 
-    // Gold labels (dev/test always; train per annotator budget).
     if with_gold {
         record = record
             .with_label("Intent", GOLD_SOURCE, TaskLabel::MulticlassOne(query.intent.into()))
@@ -260,6 +262,19 @@ fn build_record(
             )
             .with_label("IntentArg", GOLD_SOURCE, TaskLabel::Select(query.gold_arg));
     }
+    record
+}
+
+fn build_record(
+    kb: &KnowledgeBase,
+    query: &GeneratedQuery,
+    split: &str,
+    with_gold: bool,
+    config: &WorkloadConfig,
+    rng: &mut SmallRng,
+) -> Record {
+    // Gold labels: dev/test always; train per annotator budget.
+    let mut record = query_record(kb, query, split, with_gold);
 
     // Weak supervision only on training data (dev/test are curated).
     if split != TAG_TRAIN {

@@ -1,0 +1,40 @@
+//! # overton-serving
+//!
+//! The production serving runtime for the Overton reproduction — the
+//! post-deployment half of the paper's loop, where the "deployable
+//! production model" of §2.4 actually meets traffic:
+//!
+//! - **Worker pool with dynamic micro-batching** ([`WorkerPool`]): requests
+//!   queue behind `std::thread` workers that drain whatever is waiting (up
+//!   to `max_batch`) and run it through the batched forward path
+//!   ([`overton_model::Server::predict_batch`]), amortizing per-record
+//!   overhead under load without adding latency when idle.
+//! - **Model-pair cascade** ([`CascadeEngine`]): the small (SLA) model
+//!   answers everything; low-confidence responses escalate to the large
+//!   (quality) model, with per-route counters (§2.4's large/small pairs as
+//!   a runtime policy).
+//! - **Canary deployment** ([`DeploymentManager`]): candidates from the
+//!   [`overton_model::ModelRegistry`] shadow live traffic, are scored
+//!   per-tag/per-slice with [`overton_monitor::QualityReport`], and are
+//!   promoted (hot-swap behind the stable serving signature) or
+//!   auto-rolled-back on any per-group regression.
+//! - **Live telemetry** ([`Telemetry`]): QPS, latency quantiles
+//!   (p50/p95/p99), per-slice traffic shares and confidence drift against
+//!   a training-time [`TrafficBaseline`] — the pre-gold-label monitoring
+//!   signals of §1.
+//!
+//! Drive it with `overton-nlp`'s `TrafficStream` (Poisson arrivals over
+//! the synthetic query generator); see `tests/serving.rs` for the full loop
+//! and `crates/bench`'s `serving_throughput` for the batching win.
+
+#![warn(missing_docs)]
+
+mod cascade;
+mod deploy;
+mod pool;
+mod telemetry;
+
+pub use cascade::{CascadeCounters, CascadeEngine, Route};
+pub use deploy::{CanaryConfig, CanaryOutcome, DeployEvent, DeploymentManager};
+pub use pool::{ServeReply, ServingConfig, Ticket, WorkerPool};
+pub use telemetry::{LatencyHistogram, Telemetry, TelemetrySnapshot, TrafficBaseline};

@@ -1,0 +1,339 @@
+//! Live serving telemetry: QPS, latency quantiles, per-slice traffic
+//! shares and confidence drift against a training-time baseline.
+//!
+//! The paper's monitoring story (§1, §2.2) is about *fine-grained* product
+//! quality; post-deployment, the first signals arrive before any gold
+//! label does — traffic mix shifting toward a hard slice, the serving
+//! model's confidence sagging, tail latencies growing. This module
+//! aggregates those from the worker pool with lock-free counters so the
+//! hot path never blocks on monitoring.
+
+use overton_model::{Server, ServingResponse};
+use overton_store::{Record, StoreError};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Power-of-two latency buckets from 1µs up: bucket `i` counts latencies
+/// in `[2^(i-1), 2^i)` µs, with the final bucket absorbing everything
+/// slower (~9 minutes and up).
+const LATENCY_BUCKETS: usize = 30;
+
+/// A lock-free fixed-bucket latency histogram (log2 µs scale).
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    counts: [AtomicU64; LATENCY_BUCKETS],
+    sum_micros: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self {
+            counts: [const { AtomicU64::new(0) }; LATENCY_BUCKETS],
+            sum_micros: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Records one observation.
+    pub fn record(&self, latency: Duration) {
+        let micros = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        let bucket = (64 - micros.leading_zeros() as usize).min(LATENCY_BUCKETS - 1);
+        self.counts[bucket].fetch_add(1, Ordering::Relaxed);
+        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Mean latency (zero when empty).
+    pub fn mean(&self) -> Duration {
+        let n = self.count();
+        if n == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_micros(self.sum_micros.load(Ordering::Relaxed) / n)
+    }
+
+    /// The `q`-quantile (`0 < q <= 1`), resolved to the upper bound of the
+    /// bucket containing it — a conservative estimate with at most 2x
+    /// resolution error, which is what an SLA dashboard needs.
+    pub fn quantile(&self, q: f64) -> Duration {
+        let total = self.count();
+        if total == 0 {
+            return Duration::ZERO;
+        }
+        let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c.load(Ordering::Relaxed);
+            if seen >= target {
+                return Duration::from_micros(1u64 << i);
+            }
+        }
+        Duration::from_micros(1u64 << (LATENCY_BUCKETS - 1))
+    }
+}
+
+/// Training-time reference distribution for drift detection: what slice
+/// shares and confidence looked like on curated data when the artifact
+/// shipped.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficBaseline {
+    /// `(slice name, share of records predicted in the slice)`.
+    pub slice_shares: Vec<(String, f64)>,
+    /// Mean response confidence.
+    pub mean_confidence: f64,
+}
+
+impl TrafficBaseline {
+    /// Measures the baseline by running `server` over a reference set
+    /// (typically the dev or test split the artifact was accepted on).
+    pub fn collect(server: &Server, records: &[Record]) -> Result<Self, StoreError> {
+        let slice_names = server.feature_space().slice_names.clone();
+        let mut slice_counts = vec![0u64; slice_names.len()];
+        let mut confidence_sum = 0.0f64;
+        let mut n = 0u64;
+        for result in server.predict_batch(records) {
+            let response = result?;
+            for (i, (_, prob)) in response.slices.iter().enumerate() {
+                if *prob > 0.5 {
+                    slice_counts[i] += 1;
+                }
+            }
+            confidence_sum += f64::from(response.confidence);
+            n += 1;
+        }
+        if n == 0 {
+            return Err(StoreError::Validation(
+                "cannot collect a traffic baseline from zero records".into(),
+            ));
+        }
+        Ok(Self {
+            slice_shares: slice_names
+                .into_iter()
+                .zip(slice_counts)
+                .map(|(name, c)| (name, c as f64 / n as f64))
+                .collect(),
+            mean_confidence: confidence_sum / n as f64,
+        })
+    }
+}
+
+/// Shared, lock-free telemetry sink for the worker pool.
+#[derive(Debug)]
+pub struct Telemetry {
+    started: Instant,
+    served: AtomicU64,
+    errors: AtomicU64,
+    latency: LatencyHistogram,
+    slice_names: Vec<String>,
+    slice_counts: Vec<AtomicU64>,
+    /// Confidence accumulated in millionths, so the sum stays atomic.
+    confidence_sum_millionths: AtomicU64,
+    baseline: Option<TrafficBaseline>,
+}
+
+impl Telemetry {
+    /// Creates a sink for a serving model with the given slice space;
+    /// `baseline` enables drift reporting.
+    pub fn new(slice_names: Vec<String>, baseline: Option<TrafficBaseline>) -> Self {
+        let slice_counts = slice_names.iter().map(|_| AtomicU64::new(0)).collect();
+        Self {
+            started: Instant::now(),
+            served: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            latency: LatencyHistogram::default(),
+            slice_names,
+            slice_counts,
+            confidence_sum_millionths: AtomicU64::new(0),
+            baseline,
+        }
+    }
+
+    /// Records one served request.
+    pub fn observe(&self, result: &Result<ServingResponse, StoreError>, latency: Duration) {
+        self.latency.record(latency);
+        match result {
+            Ok(response) => {
+                self.served.fetch_add(1, Ordering::Relaxed);
+                self.confidence_sum_millionths.fetch_add(
+                    (f64::from(response.confidence.clamp(0.0, 1.0)) * 1e6) as u64,
+                    Ordering::Relaxed,
+                );
+                for (i, (_, prob)) in response.slices.iter().enumerate() {
+                    if *prob > 0.5 {
+                        if let Some(c) = self.slice_counts.get(i) {
+                            c.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            }
+            Err(_) => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// The underlying latency histogram.
+    pub fn latency(&self) -> &LatencyHistogram {
+        &self.latency
+    }
+
+    /// A consistent-enough point-in-time view for dashboards and gates.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let served = self.served.load(Ordering::Relaxed);
+        let elapsed = self.started.elapsed().as_secs_f64().max(1e-9);
+        let mean_confidence = if served == 0 {
+            0.0
+        } else {
+            self.confidence_sum_millionths.load(Ordering::Relaxed) as f64 / 1e6 / served as f64
+        };
+        let slice_shares: Vec<(String, f64)> = self
+            .slice_names
+            .iter()
+            .zip(&self.slice_counts)
+            .map(|(name, c)| {
+                let share = if served == 0 {
+                    0.0
+                } else {
+                    c.load(Ordering::Relaxed) as f64 / served as f64
+                };
+                (name.clone(), share)
+            })
+            .collect();
+        let slice_drift = self.baseline.as_ref().map(|b| {
+            slice_shares
+                .iter()
+                .map(|(name, share)| {
+                    let base =
+                        b.slice_shares.iter().find(|(n, _)| n == name).map_or(0.0, |(_, s)| *s);
+                    (name.clone(), share - base)
+                })
+                .collect()
+        });
+        TelemetrySnapshot {
+            served,
+            errors: self.errors.load(Ordering::Relaxed),
+            qps: served as f64 / elapsed,
+            mean_latency: self.latency.mean(),
+            p50: self.latency.quantile(0.50),
+            p95: self.latency.quantile(0.95),
+            p99: self.latency.quantile(0.99),
+            mean_confidence,
+            confidence_drift: self.baseline.as_ref().map(|b| mean_confidence - b.mean_confidence),
+            slice_shares,
+            slice_drift,
+        }
+    }
+}
+
+/// A point-in-time telemetry view.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetrySnapshot {
+    /// Successfully served requests.
+    pub served: u64,
+    /// Requests that failed validation or decoding.
+    pub errors: u64,
+    /// Served requests per wall-clock second since the sink started.
+    pub qps: f64,
+    /// Mean request latency.
+    pub mean_latency: Duration,
+    /// Median latency.
+    pub p50: Duration,
+    /// 95th-percentile latency.
+    pub p95: Duration,
+    /// 99th-percentile latency.
+    pub p99: Duration,
+    /// Mean response confidence over served traffic.
+    pub mean_confidence: f64,
+    /// `mean_confidence - baseline.mean_confidence` (with a baseline).
+    pub confidence_drift: Option<f64>,
+    /// Per-slice share of served traffic (predicted membership).
+    pub slice_shares: Vec<(String, f64)>,
+    /// Per-slice `live share - baseline share` (with a baseline).
+    pub slice_drift: Option<Vec<(String, f64)>>,
+}
+
+impl fmt::Display for TelemetrySnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "served {} ({} errors)  qps {:.1}  latency p50 {:?} p95 {:?} p99 {:?}",
+            self.served, self.errors, self.qps, self.p50, self.p95, self.p99
+        )?;
+        write!(f, "confidence {:.3}", self.mean_confidence)?;
+        if let Some(drift) = self.confidence_drift {
+            write!(f, " (drift {drift:+.3})")?;
+        }
+        writeln!(f)?;
+        for (i, (name, share)) in self.slice_shares.iter().enumerate() {
+            write!(f, "  slice {name}: {:.1}% of traffic", share * 100.0)?;
+            if let Some(drifts) = &self.slice_drift {
+                write!(f, " (drift {:+.1}pp)", drifts[i].1 * 100.0)?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_are_monotone_and_bracket_the_data() {
+        let h = LatencyHistogram::default();
+        for micros in [3u64, 5, 9, 40, 100, 900, 5_000, 20_000] {
+            h.record(Duration::from_micros(micros));
+        }
+        assert_eq!(h.count(), 8);
+        let p50 = h.quantile(0.5);
+        let p95 = h.quantile(0.95);
+        let p99 = h.quantile(0.99);
+        assert!(p50 <= p95 && p95 <= p99);
+        assert!(p50 >= Duration::from_micros(9), "p50 {p50:?}");
+        assert!(p99 >= Duration::from_micros(20_000), "p99 {p99:?}");
+        assert!(h.mean() >= Duration::from_micros(1_000));
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.quantile(0.99), Duration::ZERO);
+        assert_eq!(h.mean(), Duration::ZERO);
+    }
+
+    fn response(confidence: f32, slice_prob: f32) -> ServingResponse {
+        ServingResponse {
+            tasks: Default::default(),
+            slices: vec![("hard".into(), slice_prob)],
+            confidence,
+        }
+    }
+
+    #[test]
+    fn snapshot_aggregates_confidence_slices_and_errors() {
+        let baseline =
+            TrafficBaseline { slice_shares: vec![("hard".into(), 0.25)], mean_confidence: 0.9 };
+        let t = Telemetry::new(vec!["hard".into()], Some(baseline));
+        t.observe(&Ok(response(0.8, 0.9)), Duration::from_micros(100));
+        t.observe(&Ok(response(0.6, 0.1)), Duration::from_micros(200));
+        t.observe(&Err(StoreError::Validation("bad".into())), Duration::from_micros(50));
+        let snap = t.snapshot();
+        assert_eq!(snap.served, 2);
+        assert_eq!(snap.errors, 1);
+        assert!((snap.mean_confidence - 0.7).abs() < 1e-3);
+        assert!((snap.confidence_drift.unwrap() - (0.7 - 0.9)).abs() < 1e-3);
+        assert_eq!(snap.slice_shares, vec![("hard".into(), 0.5)]);
+        let drift = snap.slice_drift.as_ref().unwrap();
+        assert!((drift[0].1 - 0.25).abs() < 1e-9);
+        assert!(snap.qps > 0.0);
+        // The report renders.
+        assert!(snap.to_string().contains("slice hard"));
+    }
+}

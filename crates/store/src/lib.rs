@@ -27,8 +27,8 @@ pub use dataset::Dataset;
 pub use error::{Result, StoreError};
 pub use evolution::{diff_schemas, is_backward_compatible, SchemaChange};
 pub use record::{
-    PayloadValue, Record, SetElement, TaskLabel, GOLD_SOURCE, SLICE_PREFIX, TAG_DEV, TAG_TEST,
-    TAG_TRAIN,
+    PayloadValue, Record, SetElement, TaskLabel, GOLD_SOURCE, SLICE_PREFIX, TAG_DEV, TAG_LIVE,
+    TAG_TEST, TAG_TRAIN,
 };
 pub use schema::{
     example_schema, PayloadDef, PayloadKind, Schema, ServingSignature, SignatureInput,

@@ -20,6 +20,10 @@ pub const TAG_TRAIN: &str = "train";
 pub const TAG_DEV: &str = "dev";
 /// Tag marking an example as test data.
 pub const TAG_TEST: &str = "test";
+/// Tag marking an example as live serving traffic (not part of any
+/// training split; produced by the traffic generator and the serving
+/// runtime's shadow/canary logs).
+pub const TAG_LIVE: &str = "live";
 /// Prefix identifying a tag as a slice.
 pub const SLICE_PREFIX: &str = "slice:";
 

@@ -116,12 +116,30 @@ struct Node {
 #[derive(Default)]
 pub struct Graph {
     nodes: Vec<Node>,
+    /// When present, [`Graph::param`] memoizes: the first use of a parameter
+    /// inserts a leaf, later uses return the same node instead of cloning the
+    /// weight matrix again. See [`Graph::with_param_cache`].
+    param_cache: Option<std::collections::HashMap<ParamId, NodeId>>,
 }
 
 impl Graph {
     /// Creates an empty graph.
     pub fn new() -> Self {
-        Self { nodes: Vec::with_capacity(64) }
+        Self { nodes: Vec::with_capacity(64), param_cache: None }
+    }
+
+    /// Creates an empty graph that memoizes [`Graph::param`]: each parameter
+    /// is brought in as a leaf once and every later use shares that node.
+    ///
+    /// [`Graph::param`] copies the weight matrix into the tape, so a loop
+    /// that runs many forward passes through one graph (batched inference)
+    /// would otherwise re-copy every weight — including embedding tables —
+    /// per example. Sharing the leaf amortizes that cost across the batch.
+    /// Gradients still flush correctly (they accumulate on the shared node),
+    /// but the cache assumes the [`ParamStore`] is not mutated while the
+    /// graph is alive, which is why it is opt-in rather than the default.
+    pub fn with_param_cache() -> Self {
+        Self { nodes: Vec::with_capacity(64), param_cache: Some(std::collections::HashMap::new()) }
     }
 
     /// Number of nodes recorded so far.
@@ -173,7 +191,16 @@ impl Graph {
     /// [`backward`](Self::backward), call
     /// [`flush_grads`](Self::flush_grads) to push the gradient back.
     pub fn param(&mut self, store: &ParamStore, id: ParamId) -> NodeId {
-        self.push(store.value(id).clone(), Op::Leaf { param: Some(id) }, true)
+        if let Some(cache) = &self.param_cache {
+            if let Some(&node) = cache.get(&id) {
+                return node;
+            }
+        }
+        let node = self.push(store.value(id).clone(), Op::Leaf { param: Some(id) }, true);
+        if let Some(cache) = &mut self.param_cache {
+            cache.insert(id, node);
+        }
+        node
     }
 
     // ---- arithmetic -------------------------------------------------------
@@ -937,6 +964,36 @@ mod tests {
         let f = g.add(sq, a);
         g.backward(f);
         assert_eq!(g.grad(a).unwrap().scalar_value(), 7.0);
+    }
+
+    #[test]
+    fn param_cache_shares_leaf_nodes_and_flushes_grads_once() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Matrix::scalar(3.0));
+
+        // Uncached: two uses insert two leaves, each flushing its gradient.
+        let mut g = Graph::new();
+        let a = g.param(&store, w);
+        let b = g.param(&store, w);
+        assert_ne!(a, b);
+        let f = g.add(a, b); // d/dw (w + w) = 2
+        g.backward(f);
+        let mut plain = store.clone();
+        g.flush_grads(&mut plain);
+        assert_eq!(plain.grad(w).scalar_value(), 2.0);
+
+        // Cached: one shared leaf, identical value and total gradient.
+        let mut g = Graph::with_param_cache();
+        let a = g.param(&store, w);
+        let b = g.param(&store, w);
+        assert_eq!(a, b);
+        assert_eq!(g.len(), 1);
+        let f = g.add(a, b);
+        assert_eq!(g.value(f).scalar_value(), 6.0);
+        g.backward(f);
+        let mut cached = store.clone();
+        g.flush_grads(&mut cached);
+        assert_eq!(cached.grad(w).scalar_value(), 2.0);
     }
 
     #[test]

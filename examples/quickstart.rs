@@ -9,8 +9,10 @@
 
 use overton::{build, OvertonOptions};
 use overton_model::{Server, TrainConfig};
-use overton_nlp::{generate_workload, WorkloadConfig};
+use overton_nlp::{generate_workload, KnowledgeBase, TrafficConfig, TrafficStream, WorkloadConfig};
+use overton_serving::{CascadeEngine, ServingConfig, TrafficBaseline, WorkerPool};
 use overton_store::{PayloadValue, Record, SetElement};
+use std::sync::Arc;
 
 fn main() {
     // 1. The "data file": a workload of factoid queries with three weak
@@ -86,4 +88,22 @@ fn main() {
         println!("  {task}: {output:?}");
     }
     println!("  slice memberships: {:?}", response.slices);
+
+    // 5. Production serving: a Poisson traffic stream through the batched
+    //    worker pool, with live telemetry against a training-time baseline.
+    println!("\n== serving a live traffic stream ==");
+    let dev_records: Vec<Record> =
+        dataset.dev_indices().iter().map(|&i| dataset.records()[i].clone()).collect();
+    let baseline = TrafficBaseline::collect(&server, &dev_records).expect("baseline");
+    let engine = Arc::new(CascadeEngine::single(server));
+    let pool =
+        WorkerPool::start(engine, ServingConfig { workers: 4, max_batch: 32 }, Some(baseline));
+    let kb = KnowledgeBase::standard();
+    let mut stream =
+        TrafficStream::new(&kb, TrafficConfig { qps: 500.0, seed: 8, ..Default::default() });
+    let replies = pool.process(stream.records(1000));
+    let errors = replies.iter().filter(|r| r.result.is_err()).count();
+    println!("served {} requests ({errors} errors)", replies.len());
+    println!("{}", pool.snapshot());
+    pool.shutdown();
 }

@@ -106,6 +106,63 @@ fn regression_gate_catches_induced_regression() {
 }
 
 #[test]
+fn registry_publish_latest_fetch_hotswap_rollback_roundtrip() {
+    use overton_model::{DeployableModel, FeatureSpace};
+
+    let ds = workload(95);
+    let space = FeatureSpace::build(&ds);
+    let v1_model = CompiledModel::compile(
+        ds.schema(),
+        &space,
+        &ModelConfig { seed: 1, ..Default::default() },
+        None,
+    );
+    let v2_model = CompiledModel::compile(
+        ds.schema(),
+        &space,
+        &ModelConfig { seed: 2, ..Default::default() },
+        None,
+    );
+    let v1_artifact = DeployableModel::package(&v1_model, &space, BTreeMap::new());
+    let v2_artifact = DeployableModel::package(&v2_model, &space, BTreeMap::new());
+
+    let dir = std::env::temp_dir().join(format!("overton-it-rollback-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let registry = ModelRegistry::open(&dir).unwrap();
+    let record = &ds.records()[ds.test_indices()[0]];
+
+    // publish → latest → fetch → serve.
+    let v1 = registry.publish(&v1_artifact, "prod").unwrap();
+    assert_eq!(registry.latest("prod").unwrap().unwrap(), v1);
+    let v1_server = Server::load(&registry.fetch(&v1).unwrap());
+    let v1_response = v1_server.predict(record).unwrap();
+
+    // Hot-swap: v2 becomes latest; the serving signature is unchanged, so
+    // production can reload `latest` blindly.
+    let v2 = registry.publish(&v2_artifact, "prod").unwrap();
+    assert_ne!(v1, v2);
+    assert_eq!(registry.latest("prod").unwrap().unwrap(), v2);
+    let v2_server = Server::load(&registry.fetch(&v2).unwrap());
+    assert_eq!(v1_server.signature(), v2_server.signature());
+    v2_server.predict(record).unwrap();
+
+    // Corrupt the v2 blob: fetching the latest version now fails with a
+    // content-verification error...
+    let blob = dir.join(format!("{}.model.json", v2.0));
+    let mut bytes = std::fs::read(&blob).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    std::fs::write(&blob, bytes).unwrap();
+    assert!(registry.fetch(&v2).is_err());
+
+    // ...and rollback is just re-serving the previous version, which is
+    // still intact and answers exactly as before.
+    let rollback_server = Server::load(&registry.fetch(&v1).unwrap());
+    assert_eq!(rollback_server.predict(record).unwrap(), v1_response);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn trained_model_is_not_wildly_miscalibrated() {
     let ds = workload(94);
     let built = build(

@@ -405,6 +405,8 @@ macro_rules! __proptest_impl {
                 for __case in 0..__runner.cases() {
                     let mut __rng = __runner.rng_for(__case);
                     $( let $arg = $crate::Strategy::new_value(&($strategy), &mut __rng); )+
+                    // The closure gives `$body` a scope where `?` works.
+                    #[allow(clippy::redundant_closure_call)]
                     let __outcome: ::std::result::Result<(), $crate::TestCaseError> =
                         (|| { $body Ok(()) })();
                     if let Err(__e) = __outcome {
