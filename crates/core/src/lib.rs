@@ -39,7 +39,7 @@
 mod pipeline;
 mod workflows;
 
-pub use pipeline::{build, OvertonBuild, OvertonError, OvertonOptions};
+pub use pipeline::{build, build_from_store, OvertonBuild, OvertonError, OvertonOptions};
 pub use workflows::{
     add_slice_supervision, cold_start, retrain_and_compare, worst_slices, ImprovementReport,
     SliceDiagnosis,

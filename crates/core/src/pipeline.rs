@@ -1,12 +1,18 @@
 //! The end-to-end Overton pipeline (Figure 1): schema + data file in,
 //! deployable model + fine-grained quality reports out.
+//!
+//! The pipeline's working form is the sealed [`ShardedStore`]: every hot
+//! stage — supervision combination, feature encoding, evaluation — runs as
+//! shard-parallel scans over it, and splits/slices resolve from the
+//! seal-time index instead of re-scanning records. [`build`] seals the
+//! eager dataset once and delegates to [`build_from_store`].
 
 use overton_model::{
-    evaluate, prepare, search, train_model, CompiledModel, DeployableModel, Evaluation,
+    evaluate_store, prepare_store, search, train_model, CompiledModel, DeployableModel, Evaluation,
     FeatureSpace, ModelConfig, PretrainedEncoder, SearchConfig, TrainConfig, TrainReport,
     TrialResult, TuningSpec,
 };
-use overton_store::Dataset;
+use overton_store::{Dataset, ShardedStore};
 use overton_supervision::{CombineError, CombineMethod, SourceDiagnostics};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -101,20 +107,35 @@ impl OvertonBuild {
     }
 }
 
-/// Runs the full pipeline: combine supervision, (optionally) search, train,
-/// package, evaluate.
+/// Runs the full pipeline on an eager dataset: seals it into a
+/// [`ShardedStore`] (the pipeline's working form) and delegates to
+/// [`build_from_store`].
 pub fn build(dataset: &Dataset, options: &OvertonOptions) -> Result<OvertonBuild, OvertonError> {
-    if dataset.train_indices().is_empty() {
+    build_from_store(&dataset.seal(), options)
+}
+
+/// Runs the full pipeline on a sealed store: combine supervision
+/// (shard-parallel, all tasks in one scan), (optionally) search, train,
+/// package, evaluate (shard-parallel over the test rows from the
+/// seal-time index).
+pub fn build_from_store(
+    store: &ShardedStore,
+    options: &OvertonOptions,
+) -> Result<OvertonBuild, OvertonError> {
+    if store.index().train_rows().is_empty() {
         return Err(OvertonError::NoTrainingData);
     }
-    let prepared = prepare(dataset, &options.combine)?;
+    let prepared = prepare_store(store, &options.combine).map_err(|e| match e {
+        CombineError::Store(e) => OvertonError::Store(e),
+        other => OvertonError::Combine(other),
+    })?;
     if prepared.train.iter().all(|e| e.targets.is_empty()) {
         return Err(OvertonError::NoTrainingData);
     }
 
     let (chosen_config, trials) = match &options.tuning {
         Some(spec) => search(
-            dataset.schema(),
+            store.schema(),
             &prepared.space,
             &prepared.train,
             &prepared.dev,
@@ -127,7 +148,7 @@ pub fn build(dataset: &Dataset, options: &OvertonOptions) -> Result<OvertonBuild
     };
 
     let mut model = CompiledModel::compile(
-        dataset.schema(),
+        store.schema(),
         &prepared.space,
         &chosen_config,
         options.pretrained.as_ref(),
@@ -140,7 +161,7 @@ pub fn build(dataset: &Dataset, options: &OvertonOptions) -> Result<OvertonBuild
     metadata.insert("encoder".into(), format!("{:?}", chosen_config.encoder));
     let artifact = DeployableModel::package(&model, &prepared.space, metadata);
 
-    let evaluation = evaluate(&model, dataset, &dataset.test_indices(), &prepared.space);
+    let evaluation = evaluate_store(&model, store, store.index().test_rows(), &prepared.space)?;
 
     Ok(OvertonBuild {
         artifact,
@@ -191,5 +212,23 @@ mod tests {
     fn empty_dataset_rejected() {
         let ds = Dataset::new(overton_nlp::workload_schema());
         assert!(matches!(build(&ds, &quick_options()), Err(OvertonError::NoTrainingData)));
+    }
+
+    #[test]
+    fn build_from_store_matches_build() {
+        let ds = generate_workload(&WorkloadConfig {
+            n_train: 250,
+            n_dev: 50,
+            n_test: 80,
+            seed: 9,
+            ..Default::default()
+        });
+        let eager = build(&ds, &quick_options()).unwrap();
+        let store = ds.seal_shards(3);
+        let sharded = build_from_store(&store, &quick_options()).unwrap();
+        // Training consumes the same examples in the same order, so the
+        // builds are identical down to the evaluation reports.
+        assert_eq!(sharded.evaluation.reports, eager.evaluation.reports);
+        assert_eq!(sharded.train_report.epochs_run, eager.train_report.epochs_run);
     }
 }

@@ -8,8 +8,8 @@
 //! one-hot targets for model selection.
 
 use crate::features::{gold_to_prob, CompiledExample, FeatureSpace};
-use overton_store::Dataset;
-use overton_supervision::{combine_task, CombineError, CombineMethod, SourceDiagnostics};
+use overton_store::{Dataset, ShardedStore};
+use overton_supervision::{combine_all, CombineError, CombineMethod, SourceDiagnostics};
 use std::collections::BTreeMap;
 
 /// Everything needed to train: the feature space, train/dev examples, and
@@ -26,60 +26,66 @@ pub struct PreparedData {
     pub diagnostics: BTreeMap<String, Vec<SourceDiagnostics>>,
 }
 
-/// Combines supervision for every task and materializes train/dev examples.
+/// Combines supervision for every task and materializes train/dev
+/// examples. Seals the dataset and delegates to [`prepare_store`]; the
+/// sealed sharded store is the pipeline's working form — callers that
+/// already hold one should use [`prepare_store`] directly and skip the
+/// re-encode.
 pub fn prepare(dataset: &Dataset, method: &CombineMethod) -> Result<PreparedData, CombineError> {
-    let schema = dataset.schema();
-    let space = FeatureSpace::build(dataset);
+    prepare_store(&dataset.seal(), method)
+}
 
-    // Combine every task across the dataset.
-    let mut combined = BTreeMap::new();
-    let mut diagnostics = BTreeMap::new();
-    for task in schema.tasks.keys() {
-        match combine_task(dataset, task, method) {
-            Ok(result) => {
-                diagnostics.insert(task.clone(), result.sources.clone());
-                combined.insert(task.clone(), result);
-            }
-            Err(CombineError::UnknownSource { .. }) => {
-                // A single-source ablation may name a source that exists for
-                // some tasks only; tasks without it are left unsupervised.
-            }
-            Err(e) => return Err(e),
-        }
-    }
+/// Combines supervision and materializes train/dev examples from a sealed
+/// [`ShardedStore`]: one shard-parallel scan combines every task
+/// ([`combine_all`]), another builds the feature space, and the train/dev
+/// splits (resolved from the seal-time index, not a tag scan) encode
+/// per shard in parallel. Targets follow the eager rules exactly:
+/// annotator gold overrides the weak combination on training records; dev
+/// records carry gold only.
+pub fn prepare_store(
+    store: &ShardedStore,
+    method: &CombineMethod,
+) -> Result<PreparedData, CombineError> {
+    let schema = store.schema();
+    let space = FeatureSpace::build_from_store(store)?;
+    let combined = combine_all(store, method)?;
+    let diagnostics: BTreeMap<String, Vec<SourceDiagnostics>> =
+        combined.iter().map(|(task, result)| (task.clone(), result.sources.clone())).collect();
 
-    let mut train = Vec::with_capacity(dataset.train_indices().len());
-    for i in dataset.train_indices() {
-        let record = &dataset.records()[i];
-        let mut example = CompiledExample::from_record(record, i, &space, schema);
-        for task in schema.tasks.keys() {
-            // Annotator gold (when present on a training record) overrides
-            // the weak combination.
-            if let Some(gold) = gold_to_prob(schema, record, task) {
-                example.targets.insert(task.clone(), gold);
-                continue;
-            }
-            if let Some(result) = combined.get(task) {
-                if let Some(label) = &result.labels[i] {
-                    example.targets.insert(task.clone(), label.clone());
-                }
-            }
-        }
-        train.push(example);
-    }
+    let encode_split =
+        |rows: &[u32], with_weak: bool| -> Result<Vec<CompiledExample>, CombineError> {
+            let partials = store
+                .par_scan_rows(rows, |scan| {
+                    let mut out = Vec::with_capacity(scan.len());
+                    for (i, record) in scan.records() {
+                        let record = record?;
+                        let mut example = CompiledExample::from_record(&record, i, &space, schema);
+                        for task in schema.tasks.keys() {
+                            // Annotator gold (when present) overrides the weak
+                            // combination.
+                            if let Some(gold) = gold_to_prob(schema, &record, task) {
+                                example.targets.insert(task.clone(), gold);
+                                continue;
+                            }
+                            if !with_weak {
+                                continue;
+                            }
+                            if let Some(result) = combined.get(task) {
+                                if let Some(label) = &result.labels[i] {
+                                    example.targets.insert(task.clone(), label.clone());
+                                }
+                            }
+                        }
+                        out.push(example);
+                    }
+                    Ok(out)
+                })
+                .map_err(CombineError::Store)?;
+            Ok(partials.into_iter().flatten().collect())
+        };
 
-    let mut dev = Vec::with_capacity(dataset.dev_indices().len());
-    for i in dataset.dev_indices() {
-        let record = &dataset.records()[i];
-        let mut example = CompiledExample::from_record(record, i, &space, schema);
-        for task in schema.tasks.keys() {
-            if let Some(gold) = gold_to_prob(schema, record, task) {
-                example.targets.insert(task.clone(), gold);
-            }
-        }
-        dev.push(example);
-    }
-
+    let train = encode_split(store.index().train_rows(), true)?;
+    let dev = encode_split(store.index().dev_rows(), false)?;
     Ok(PreparedData { space, train, dev, diagnostics })
 }
 
@@ -129,6 +135,25 @@ mod tests {
                 assert!((max - 1.0).abs() < 1e-6, "expected one-hot, got {d:?}");
             }
         }
+    }
+
+    #[test]
+    fn prepare_store_matches_prepare() {
+        let ds = workload(0.3);
+        let eager = prepare(&ds, &CombineMethod::default()).unwrap();
+        let store = ds.seal_shards(3).with_scan_workers(2);
+        let sharded = prepare_store(&store, &CombineMethod::default()).unwrap();
+        assert_eq!(sharded.space.token_vocab.len(), eager.space.token_vocab.len());
+        assert_eq!(sharded.space.entity_vocab.len(), eager.space.entity_vocab.len());
+        assert_eq!(sharded.space.slice_names, eager.space.slice_names);
+        assert_eq!(sharded.train.len(), eager.train.len());
+        assert_eq!(sharded.dev.len(), eager.dev.len());
+        for (a, b) in sharded.train.iter().zip(&eager.train) {
+            assert_eq!(a.record_index, b.record_index);
+            assert_eq!(a.sequences, b.sequences);
+            assert_eq!(a.targets.keys().collect::<Vec<_>>(), b.targets.keys().collect::<Vec<_>>());
+        }
+        assert_eq!(sharded.diagnostics.len(), eager.diagnostics.len());
     }
 
     #[test]

@@ -7,8 +7,8 @@
 
 use crate::features::{CompiledExample, FeatureSpace};
 use crate::network::{CompiledModel, Prediction, TaskOutput};
-use overton_monitor::{multiclass_metrics, Metrics, QualityReport};
-use overton_store::{Dataset, TaskKind, TaskLabel};
+use overton_monitor::{multiclass_metrics, Metrics, MetricsAccumulator, QualityReport};
+use overton_store::{Dataset, ShardedStore, TaskKind, TaskLabel};
 use std::collections::BTreeMap;
 
 /// Evaluation output: one report per task plus the raw predictions.
@@ -89,6 +89,90 @@ pub fn evaluate(
         reports.insert(task, report);
     }
     Evaluation { reports, predictions }
+}
+
+/// Evaluates `model` on the given **sorted** global rows of a sealed
+/// store, shard-parallel: every shard decodes its rows, runs the forward
+/// pass, and scores into mergeable per-group
+/// [`MetricsAccumulator`] partials; the partials reduce in shard order, so
+/// the reports (and the prediction order) are identical to the sequential
+/// [`evaluate`] over the equivalent dataset.
+pub fn evaluate_store(
+    model: &CompiledModel,
+    store: &ShardedStore,
+    rows: &[u32],
+    space: &FeatureSpace,
+) -> overton_store::Result<Evaluation> {
+    type Grouped = BTreeMap<String, BTreeMap<String, MetricsAccumulator>>;
+    let schema = store.schema();
+    let partials = store.par_scan_rows(rows, |scan| {
+        let mut grouped: Grouped = BTreeMap::new();
+        let mut predictions = Vec::with_capacity(scan.len());
+        for (i, record) in scan.records() {
+            let record = record?;
+            let example = CompiledExample::from_record(&record, i, space, schema);
+            let prediction = model.predict(&example);
+            for (task, def) in &schema.tasks {
+                let Some(output) = prediction.tasks.get(task) else { continue };
+                let Some(gold) = record.gold(task) else { continue };
+                let Some(scored) = score_one(def.kind.clone(), output, gold) else { continue };
+                let per_task = grouped.entry(task.clone()).or_default();
+                for group in record_groups(&record) {
+                    accumulate(per_task, group, &scored);
+                }
+                accumulate(per_task, "overall".to_string(), &scored);
+            }
+            predictions.push((i, prediction));
+        }
+        Ok((grouped, predictions))
+    })?;
+
+    let mut grouped: Grouped = BTreeMap::new();
+    let mut predictions = Vec::new();
+    for (shard_grouped, shard_predictions) in partials {
+        for (task, groups) in shard_grouped {
+            let per_task = grouped.entry(task).or_default();
+            for (group, acc) in groups {
+                match per_task.get_mut(&group) {
+                    Some(existing) => existing.merge(&acc),
+                    None => {
+                        per_task.insert(group, acc);
+                    }
+                }
+            }
+        }
+        predictions.extend(shard_predictions);
+    }
+
+    let mut reports = BTreeMap::new();
+    for (task, groups) in grouped {
+        let mut report = QualityReport::new(&task);
+        if let Some(acc) = groups.get("overall") {
+            report.push("overall", acc.finalize());
+        }
+        for (group, acc) in &groups {
+            if group != "overall" {
+                report.push(group, acc.finalize());
+            }
+        }
+        reports.insert(task, report);
+    }
+    Ok(Evaluation { reports, predictions })
+}
+
+/// Feeds one scored example into the right per-group accumulator,
+/// creating it with the matching shape on first touch.
+fn accumulate(per_task: &mut BTreeMap<String, MetricsAccumulator>, group: String, scored: &Scored) {
+    let acc = per_task.entry(group).or_insert_with(|| match scored {
+        Scored::Multiclass(_, k) => MetricsAccumulator::multiclass(*k),
+        Scored::Bits(_) => MetricsAccumulator::bits(),
+        Scored::Correct(_) => MetricsAccumulator::binary(),
+    });
+    match scored {
+        Scored::Multiclass(pairs, _) => acc.record_multiclass(pairs),
+        Scored::Bits(rows) => acc.record_bits(rows),
+        Scored::Correct(c) => acc.record_binary(*c),
+    }
 }
 
 fn record_groups(record: &overton_store::Record) -> Vec<String> {
@@ -259,6 +343,21 @@ mod tests {
         // Train records lack gold labels, so evaluating them adds nothing.
         let eval = evaluate(&model, &ds, &ds.train_indices(), &space);
         assert!(eval.reports.is_empty() || eval.accuracy("Intent") == 0.0);
+    }
+
+    #[test]
+    fn store_evaluation_matches_sequential() {
+        let (ds, space, model) = setup();
+        let sequential = evaluate(&model, &ds, &ds.test_indices(), &space);
+        for shards in [1, 4] {
+            let store = ds.seal_shards(shards).with_scan_workers(2);
+            let rows: Vec<u32> = store.index().test_rows().to_vec();
+            let sharded = evaluate_store(&model, &store, &rows, &space).unwrap();
+            assert_eq!(sharded.reports, sequential.reports, "{shards} shards");
+            let seq_order: Vec<usize> = sequential.predictions.iter().map(|(i, _)| *i).collect();
+            let par_order: Vec<usize> = sharded.predictions.iter().map(|(i, _)| *i).collect();
+            assert_eq!(seq_order, par_order);
+        }
     }
 
     #[test]

@@ -1,7 +1,10 @@
 //! Feature extraction: turning schema-conformant records into model inputs.
 
 use overton_nlp::Vocab;
-use overton_store::{Dataset, PayloadKind, PayloadValue, Record, Schema, TaskKind, TaskLabel};
+use overton_store::{
+    Dataset, PayloadKind, PayloadValue, PayloadView, Record, Schema, ShardedStore, TaskKind,
+    TaskLabel,
+};
 use overton_supervision::ProbLabel;
 use std::collections::BTreeMap;
 
@@ -37,6 +40,43 @@ impl FeatureSpace {
         }
         let token_vocab = Vocab::build(tokens.iter().map(String::as_str), 1);
         Self { token_vocab, entity_vocab, slice_names: dataset.slice_names() }
+    }
+
+    /// Builds the feature space from a sealed store: every shard collects
+    /// its token/entity occurrences in parallel from zero-copy views, the
+    /// per-shard lists concatenate in shard order (so the vocabularies are
+    /// bit-for-bit those of [`FeatureSpace::build`] on the equivalent
+    /// dataset), and slice names come from the seal-time index.
+    pub fn build_from_store(store: &ShardedStore) -> overton_store::Result<Self> {
+        let partials = store.par_scan(|scan| {
+            let mut tokens: Vec<String> = Vec::new();
+            let mut entities: Vec<String> = Vec::new();
+            for (_, view) in scan.views() {
+                let view = view?;
+                for (_, value) in &view.payloads {
+                    match value {
+                        PayloadView::Sequence(ts) => {
+                            tokens.extend(ts.iter().map(|t| (*t).to_string()))
+                        }
+                        PayloadView::Singleton(_) => {}
+                        PayloadView::Set(els) => {
+                            entities.extend(els.iter().map(|(id, _)| (*id).to_string()))
+                        }
+                    }
+                }
+            }
+            Ok((tokens, entities))
+        })?;
+        let mut tokens: Vec<String> = Vec::new();
+        let mut entity_vocab = Vocab::reserved();
+        for (shard_tokens, shard_entities) in partials {
+            tokens.extend(shard_tokens);
+            for id in &shard_entities {
+                entity_vocab.intern(id);
+            }
+        }
+        let token_vocab = Vocab::build(tokens.iter().map(String::as_str), 1);
+        Ok(Self { token_vocab, entity_vocab, slice_names: store.index().slice_names() })
     }
 
     /// Index of a slice name.

@@ -22,12 +22,12 @@ mod search;
 mod serve;
 mod trainer;
 
-pub use compiler::{prepare, PreparedData};
+pub use compiler::{prepare, prepare_store, PreparedData};
 pub use config::{
     AggregationKind, EmbeddingKind, EncoderKind, ModelConfig, TrainConfig, TuningSpec,
 };
 pub use distill::{distill, soften_targets};
-pub use evaluate::{evaluate, Evaluation};
+pub use evaluate::{evaluate, evaluate_store, Evaluation};
 pub use features::{gold_to_prob, CompiledExample, FeatureSpace};
 pub use network::{CompiledModel, ForwardPass, Prediction, TaskOutput};
 pub use pretrained::{pretrain, PretrainConfig, PretrainedEncoder};

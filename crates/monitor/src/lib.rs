@@ -7,11 +7,13 @@
 
 #![warn(missing_docs)]
 
+mod accum;
 mod calibration;
 mod confusion;
 mod metrics;
 mod report;
 
+pub use accum::MetricsAccumulator;
 pub use calibration::{calibration_report, CalibrationBin, CalibrationReport};
 pub use confusion::ConfusionMatrix;
 pub use metrics::{

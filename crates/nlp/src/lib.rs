@@ -31,6 +31,6 @@ pub use tokenizer::{detokenize, tokenize};
 pub use traffic::{TrafficConfig, TrafficEvent, TrafficStream};
 pub use vocab::{Vocab, MASK, PAD, UNK};
 pub use workload::{
-    generate_workload, generate_workload_with_kb, query_record, workload_schema, SourceSpec,
-    WorkloadConfig,
+    generate_workload, generate_workload_sealed, generate_workload_with_kb, query_record,
+    workload_schema, SourceSpec, WorkloadConfig,
 };

@@ -9,8 +9,8 @@
 use crate::kb::{KnowledgeBase, ENTITY_TYPES};
 use crate::queries::{GeneratedQuery, QueryGenerator, INTENTS, POS_TAGS, VAGUE_INTENTS};
 use overton_store::{
-    Dataset, PayloadValue, Record, Schema, SetElement, TaskLabel, GOLD_SOURCE, TAG_DEV, TAG_TEST,
-    TAG_TRAIN,
+    Dataset, PayloadValue, Record, Schema, SetElement, ShardedStore, ShardedStoreBuilder,
+    TaskLabel, GOLD_SOURCE, TAG_DEV, TAG_TEST, TAG_TRAIN,
 };
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -183,9 +183,37 @@ fn lf_intent_label(
 
 /// Like [`generate_workload`] but over a caller-provided knowledge base.
 pub fn generate_workload_with_kb(config: &WorkloadConfig, kb: &KnowledgeBase) -> Dataset {
+    let mut dataset = Dataset::new(workload_schema());
+    generate_into(config, kb, |record| dataset.push_unchecked(record));
+    debug_assert!(
+        dataset.records().iter().all(|r| r.validate(dataset.schema()).is_ok()),
+        "generated records must validate"
+    );
+    dataset
+}
+
+/// Generates the workload straight into shard builders: every record is
+/// encoded into the current shard blob as it is produced, so no eager
+/// `Vec<Record>` is ever materialized — the production shape for bulk log
+/// ingest. The record stream is identical to [`generate_workload`]'s for
+/// the same config, so `generate_workload_sealed(c)` equals
+/// `generate_workload(c).seal()` row for row.
+pub fn generate_workload_sealed(config: &WorkloadConfig) -> ShardedStore {
+    let kb = KnowledgeBase::standard();
+    let schema = workload_schema();
+    let mut builder = ShardedStoreBuilder::new(schema.clone());
+    generate_into(config, &kb, |record| {
+        debug_assert!(record.validate(&schema).is_ok(), "records must validate");
+        builder.push_unchecked(&record);
+    });
+    builder.seal()
+}
+
+/// The shared generation loop: drives the RNG exactly once per record and
+/// hands each finished record to `sink`.
+fn generate_into(config: &WorkloadConfig, kb: &KnowledgeBase, mut sink: impl FnMut(Record)) {
     let mut rng = SmallRng::seed_from_u64(config.seed);
     let generator = QueryGenerator::new(kb);
-    let mut dataset = Dataset::new(workload_schema());
     let total = config.n_train + config.n_dev + config.n_test;
     for i in 0..total {
         let split = if i < config.n_train {
@@ -202,14 +230,8 @@ pub fn generate_workload_with_kb(config: &WorkloadConfig, kb: &KnowledgeBase) ->
             generator.generate(&mut rng, force_ambiguous)
         };
         let with_gold = split != TAG_TRAIN || rng.gen_bool(config.gold_train_fraction);
-        let record = build_record(kb, &query, split, with_gold, config, &mut rng);
-        dataset.push_unchecked(record);
+        sink(build_record(kb, &query, split, with_gold, config, &mut rng));
     }
-    debug_assert!(
-        dataset.records().iter().all(|r| r.validate(dataset.schema()).is_ok()),
-        "generated records must validate"
-    );
-    dataset
 }
 
 /// Builds the schema-conformant record for one generated query: payloads,
@@ -498,6 +520,19 @@ mod tests {
         }
         assert!(slice_total > 10);
         assert_eq!(slice_wrong, slice_total, "default-sense LF must be systematically wrong");
+    }
+
+    #[test]
+    fn sealed_workload_matches_eager() {
+        let config = small_config();
+        let store = generate_workload_sealed(&config);
+        let eager = generate_workload(&config);
+        assert_eq!(store.len(), eager.len());
+        assert_eq!(store.dataset_view().unwrap().records(), eager.records());
+        assert_eq!(store.index().train_rows().len(), 200);
+        assert_eq!(store.index().dev_rows().len(), 40);
+        assert_eq!(store.index().test_rows().len(), 60);
+        store.verify().unwrap();
     }
 
     #[test]

@@ -6,22 +6,71 @@
 //! slices — happens by editing this file, never model code.
 
 use crate::error::{Result, StoreError};
-use crate::record::{Record, TAG_DEV, TAG_TEST, TAG_TRAIN};
+use crate::record::{Record, SLICE_PREFIX, TAG_DEV, TAG_TEST, TAG_TRAIN};
+use crate::rowstore::{ShardedStore, StoreIndex};
 use crate::schema::Schema;
+use crate::tags::TagIndex;
+use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
+use std::sync::OnceLock;
+
+/// The lazily-built query index a [`Dataset`] caches: the tag index plus
+/// the per-task supervision source names. Rebuilt on first query after any
+/// mutation.
+#[derive(Debug, Clone)]
+struct DatasetIndex {
+    tags: TagIndex,
+    sources: BTreeMap<String, Vec<String>>,
+}
+
+impl DatasetIndex {
+    fn build(records: &[Record]) -> Self {
+        // The task → non-gold-source rule is StoreIndex's (one collector
+        // for both the eager and sealed paths).
+        let mut store_index = StoreIndex::default();
+        for (i, record) in records.iter().enumerate() {
+            store_index.note_record(i as u32, record);
+        }
+        Self { tags: TagIndex::from_records(records), sources: store_index.into_sources() }
+    }
+}
 
 /// An in-memory dataset: a [`Schema`] and the [`Record`]s conforming to it.
+///
+/// This is the *editable builder* side of the data layer: records are
+/// validated as they enter, and engineers refine labels in place. Tag,
+/// slice and source queries are answered from a cached index that is
+/// invalidated on mutation, so repeated `tagged()`/`in_slice()` calls cost
+/// an index lookup instead of a full scan. For the scan-heavy build loop,
+/// [`Dataset::seal`] freezes the records into a [`ShardedStore`].
 #[derive(Debug, Clone)]
 pub struct Dataset {
     schema: Schema,
     records: Vec<Record>,
+    index: OnceLock<DatasetIndex>,
 }
 
 impl Dataset {
     /// Creates an empty dataset over a schema.
     pub fn new(schema: Schema) -> Self {
-        Self { schema, records: Vec::new() }
+        Self { schema, records: Vec::new(), index: OnceLock::new() }
+    }
+
+    fn index(&self) -> &DatasetIndex {
+        self.index.get_or_init(|| DatasetIndex::build(&self.records))
+    }
+
+    /// Seals the dataset into a [`ShardedStore`] with one shard per
+    /// available core (at least two).
+    pub fn seal(&self) -> ShardedStore {
+        self.seal_shards(ShardedStore::default_shards())
+    }
+
+    /// Seals the dataset into a [`ShardedStore`] with (up to) `n_shards`
+    /// byte-balanced shards.
+    pub fn seal_shards(&self, n_shards: usize) -> ShardedStore {
+        ShardedStore::from_records(self.schema.clone(), &self.records, n_shards)
     }
 
     /// The schema.
@@ -48,12 +97,13 @@ impl Dataset {
     pub fn push(&mut self, mut record: Record) -> Result<()> {
         record.normalize_labels(&self.schema);
         record.validate(&self.schema)?;
-        self.records.push(record);
+        self.push_unchecked(record);
         Ok(())
     }
 
     /// Appends a record without validation (for trusted generators).
     pub fn push_unchecked(&mut self, record: Record) {
+        self.index.take();
         self.records.push(record);
     }
 
@@ -63,36 +113,40 @@ impl Dataset {
     }
 
     /// Mutable record access (engineers "refine labels in that slice").
+    /// Invalidates the cached query index.
     pub fn get_mut(&mut self, idx: usize) -> Option<&mut Record> {
+        self.index.take();
         self.records.get_mut(idx)
     }
 
-    /// Indices of records carrying `tag`.
+    /// Indices of records carrying `tag` (a cached-index lookup).
     pub fn tagged(&self, tag: &str) -> Vec<usize> {
-        self.records.iter().enumerate().filter(|(_, r)| r.has_tag(tag)).map(|(i, _)| i).collect()
+        self.index().tags.rows(tag).iter().map(|&i| i as usize).collect()
     }
 
-    /// Indices of records in the named slice.
+    /// Indices of records in the named slice (a cached-index lookup).
     pub fn in_slice(&self, slice: &str) -> Vec<usize> {
-        self.records.iter().enumerate().filter(|(_, r)| r.in_slice(slice)).map(|(i, _)| i).collect()
+        self.tagged(&format!("{SLICE_PREFIX}{slice}"))
+    }
+
+    /// The cached [`TagIndex`] over the current records.
+    pub fn tag_index(&self) -> &TagIndex {
+        &self.index().tags
     }
 
     /// All slice names present in the data, sorted.
     pub fn slice_names(&self) -> Vec<String> {
-        let mut names: Vec<String> =
-            self.records.iter().flat_map(|r| r.slices().map(str::to_string)).collect();
-        names.sort();
-        names.dedup();
-        names
+        self.index()
+            .tags
+            .tags()
+            .filter_map(|t| t.strip_prefix(SLICE_PREFIX))
+            .map(str::to_string)
+            .collect()
     }
 
     /// All tags present in the data, sorted.
     pub fn tag_names(&self) -> Vec<String> {
-        let mut names: Vec<String> =
-            self.records.iter().flat_map(|r| r.tags.iter().cloned()).collect();
-        names.sort();
-        names.dedup();
-        names
+        self.index().tags.tags().map(str::to_string).collect()
     }
 
     /// Indices of the train split.
@@ -111,16 +165,9 @@ impl Dataset {
     }
 
     /// Names of all supervision sources appearing for `task`, sorted,
-    /// excluding gold.
+    /// excluding gold (a cached-index lookup).
     pub fn sources_for_task(&self, task: &str) -> Vec<String> {
-        let mut names: Vec<String> = self
-            .records
-            .iter()
-            .flat_map(|r| r.weak_sources(task).map(|(s, _)| s.to_string()))
-            .collect();
-        names.sort();
-        names.dedup();
-        names
+        self.index().sources.get(task).cloned().unwrap_or_default()
     }
 
     /// Reads a dataset from a JSON-lines reader (one record per line; blank
@@ -174,6 +221,7 @@ impl Dataset {
         Dataset {
             schema: self.schema.clone(),
             records: indices.iter().map(|&i| self.records[i].clone()).collect(),
+            index: OnceLock::new(),
         }
     }
 }
@@ -257,6 +305,36 @@ mod tests {
         assert_eq!(sub.len(), 2);
         assert!(sub.records()[0].has_tag("test"));
         assert!(sub.records()[1].in_slice("nutrition"));
+    }
+
+    #[test]
+    fn cached_index_invalidated_on_push_and_get_mut() {
+        let mut ds = tiny_dataset();
+        assert_eq!(ds.train_indices(), vec![0, 1]);
+        // Push after a query: the new record must show up.
+        ds.push(
+            Record::new()
+                .with_payload("query", PayloadValue::Singleton("late".into()))
+                .with_tag("train"),
+        )
+        .unwrap();
+        assert_eq!(ds.train_indices(), vec![0, 1, 3]);
+        // Mutation through get_mut invalidates too.
+        assert_eq!(ds.in_slice("nutrition"), vec![0]);
+        ds.get_mut(1).unwrap().tags.insert("slice:nutrition".into());
+        assert_eq!(ds.in_slice("nutrition"), vec![0, 1]);
+        assert!(ds.sources_for_task("Intent").contains(&"weak1".to_string()));
+        assert_eq!(ds.tag_index().count("train"), 3);
+    }
+
+    #[test]
+    fn seal_roundtrips_through_sharded_store() {
+        let ds = tiny_dataset();
+        let store = ds.seal_shards(2);
+        assert_eq!(store.len(), ds.len());
+        assert_eq!(store.index().train_rows(), &[0, 1]);
+        assert_eq!(store.dataset_view().unwrap().records(), ds.records());
+        assert_eq!(store.schema(), ds.schema());
     }
 
     #[test]

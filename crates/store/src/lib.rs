@@ -2,9 +2,15 @@
 //!
 //! Overton's data layer: the **schema** (payloads + tasks, paper §2.1), the
 //! **data file** of JSON records carrying multi-source weak supervision and
-//! tags/slices (paper §2.2), a compact binary **row store** (the paper's
-//! memory-mapped row store, footnote 5), and a **tag index** with
-//! Pandas-compatible CSV export.
+//! tags/slices (paper §2.2), a compact binary **row store** sealed into a
+//! **sharded store** with zero-copy rows, per-shard checksums, a seal-time
+//! tag/slice/source index and parallel scans (the paper's memory-mapped
+//! row store, footnote 5), and a **tag index** with Pandas-compatible CSV
+//! export.
+//!
+//! The [`Dataset`] is the editable builder view (validating, JSON-lines
+//! backed); [`Dataset::seal`] freezes it into a [`ShardedStore`] that the
+//! build pipeline scans shard-parallel end-to-end.
 //!
 //! The central design idea reproduced here is *model independence*: the
 //! schema describes what the model computes — never how — so supervision
@@ -36,3 +42,10 @@ pub use schema::{
 };
 pub use stats::{DatasetStats, TaskStats};
 pub use tags::TagIndex;
+
+// The sharded store is the pipeline's spine; lift its types to the crate
+// root alongside `Dataset`.
+pub use rowstore::{
+    LabelView, PayloadView, RowSetScan, RowView, ShardScan, ShardedStore, ShardedStoreBuilder,
+    StoreIndex,
+};

@@ -6,8 +6,8 @@
 //! alignment, no padding.
 
 use crate::error::{Result, StoreError};
-use crate::record::{PayloadValue, Record, SetElement, TaskLabel};
-use crate::rowstore::varint::{read_str, read_u64, write_str, write_u64};
+use crate::record::{PayloadValue, Record, SetElement, TaskLabel, SLICE_PREFIX};
+use crate::rowstore::varint::{read_str_borrowed, read_u64, write_str, write_u64};
 
 const PAYLOAD_SINGLETON: u8 = 0;
 const PAYLOAD_SEQUENCE: u8 = 1;
@@ -41,32 +41,12 @@ pub fn encode_record(record: &Record, out: &mut Vec<u8>) {
     }
 }
 
-/// Deserializes a record from the front of `buf`, advancing it.
+/// Deserializes a record from the front of `buf`, advancing it. One
+/// decoder owns the wire format: this walks the row as a zero-copy view
+/// and materializes it, so the owned and borrowed paths can never
+/// diverge.
 pub fn decode_record(buf: &mut &[u8]) -> Result<Record> {
-    let mut record = Record::new();
-    let n_payloads = read_u64(buf)? as usize;
-    for _ in 0..n_payloads {
-        let name = read_str(buf)?;
-        let value = decode_payload(buf)?;
-        record.payloads.insert(name, value);
-    }
-    let n_tasks = read_u64(buf)? as usize;
-    for _ in 0..n_tasks {
-        let task = read_str(buf)?;
-        let n_sources = read_u64(buf)? as usize;
-        let mut sources = std::collections::BTreeMap::new();
-        for _ in 0..n_sources {
-            let source = read_str(buf)?;
-            let label = decode_label(buf)?;
-            sources.insert(source, label);
-        }
-        record.tasks.insert(task, sources);
-    }
-    let n_tags = read_u64(buf)? as usize;
-    for _ in 0..n_tags {
-        record.tags.insert(read_str(buf)?);
-    }
-    Ok(record)
+    Ok(decode_view(buf)?.to_record())
 }
 
 fn encode_payload(value: &PayloadValue, out: &mut Vec<u8>) {
@@ -91,33 +71,6 @@ fn encode_payload(value: &PayloadValue, out: &mut Vec<u8>) {
                 write_u64(out, el.span.1 as u64);
             }
         }
-    }
-}
-
-fn decode_payload(buf: &mut &[u8]) -> Result<PayloadValue> {
-    let tag = take_byte(buf)?;
-    match tag {
-        PAYLOAD_SINGLETON => Ok(PayloadValue::Singleton(read_str(buf)?)),
-        PAYLOAD_SEQUENCE => {
-            let n = read_u64(buf)? as usize;
-            let mut items = Vec::with_capacity(n.min(1024));
-            for _ in 0..n {
-                items.push(read_str(buf)?);
-            }
-            Ok(PayloadValue::Sequence(items))
-        }
-        PAYLOAD_SET => {
-            let n = read_u64(buf)? as usize;
-            let mut items = Vec::with_capacity(n.min(1024));
-            for _ in 0..n {
-                let id = read_str(buf)?;
-                let lo = read_u64(buf)? as usize;
-                let hi = read_u64(buf)? as usize;
-                items.push(SetElement { id, span: (lo, hi) });
-            }
-            Ok(PayloadValue::Set(items))
-        }
-        other => Err(StoreError::Corrupt(format!("unknown payload tag {other}"))),
     }
 }
 
@@ -158,25 +111,294 @@ fn encode_label(label: &TaskLabel, out: &mut Vec<u8>) {
     }
 }
 
-fn decode_label(buf: &mut &[u8]) -> Result<TaskLabel> {
+fn take_byte(buf: &mut &[u8]) -> Result<u8> {
+    let (&b, rest) =
+        buf.split_first().ok_or_else(|| StoreError::Corrupt("row truncated".into()))?;
+    *buf = rest;
+    Ok(b)
+}
+
+/// Estimated varint cost of a length/count field (lengths in this corpus
+/// are almost always `< 16384`, i.e. at most two LEB128 bytes).
+const LEN_COST: usize = 2;
+
+fn approx_str(s: &str) -> usize {
+    LEN_COST + s.len()
+}
+
+/// A fast estimate of [`encode_record`]'s output size, computed without
+/// encoding. Used to pre-size store blobs and to balance shards by bytes
+/// rather than by row count.
+pub fn approx_record_bytes(record: &Record) -> usize {
+    let mut n = 3 * LEN_COST; // payload/task/tag counts
+    for (name, value) in &record.payloads {
+        n += approx_str(name) + 1;
+        n += match value {
+            PayloadValue::Singleton(s) => approx_str(s),
+            PayloadValue::Sequence(items) => {
+                LEN_COST + items.iter().map(|s| approx_str(s)).sum::<usize>()
+            }
+            PayloadValue::Set(els) => {
+                LEN_COST + els.iter().map(|el| approx_str(&el.id) + 2 * LEN_COST).sum::<usize>()
+            }
+        };
+    }
+    for (task, sources) in &record.tasks {
+        n += approx_str(task) + LEN_COST;
+        for (source, label) in sources {
+            n += approx_str(source) + 1;
+            n += match label {
+                TaskLabel::MulticlassOne(c) => approx_str(c),
+                TaskLabel::MulticlassSeq(cs) => {
+                    LEN_COST + cs.iter().map(|c| approx_str(c)).sum::<usize>()
+                }
+                TaskLabel::BitvectorOne(bits) => {
+                    LEN_COST + bits.iter().map(|b| approx_str(b)).sum::<usize>()
+                }
+                TaskLabel::BitvectorSeq(rows) => {
+                    LEN_COST
+                        + rows
+                            .iter()
+                            .map(|bits| {
+                                LEN_COST + bits.iter().map(|b| approx_str(b)).sum::<usize>()
+                            })
+                            .sum::<usize>()
+                }
+                TaskLabel::Select(_) => LEN_COST,
+            };
+        }
+    }
+    for tag in &record.tags {
+        n += approx_str(tag);
+    }
+    n
+}
+
+/// A payload value viewed without copying: every string borrows from the
+/// encoded row.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PayloadView<'a> {
+    /// Singleton payload text.
+    Singleton(&'a str),
+    /// Sequence payload tokens.
+    Sequence(Vec<&'a str>),
+    /// Set payload elements: `(entity id, span)`.
+    Set(Vec<(&'a str, (usize, usize))>),
+}
+
+impl PayloadView<'_> {
+    /// Number of elements the payload contributes (1 / seq len / set size).
+    pub fn element_count(&self) -> usize {
+        match self {
+            PayloadView::Singleton(_) => 1,
+            PayloadView::Sequence(items) => items.len(),
+            PayloadView::Set(items) => items.len(),
+        }
+    }
+}
+
+/// A task label viewed without copying.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LabelView<'a> {
+    /// Single class name.
+    MulticlassOne(&'a str),
+    /// Per-element class names.
+    MulticlassSeq(Vec<&'a str>),
+    /// Set bits by label name.
+    BitvectorOne(Vec<&'a str>),
+    /// Per-element set bits.
+    BitvectorSeq(Vec<Vec<&'a str>>),
+    /// Index of the chosen element.
+    Select(usize),
+}
+
+/// A zero-copy view of one encoded row: the structural `Vec`s are small
+/// allocations but every string borrows from the shard blob. Scan-heavy
+/// consumers (supervision combination, vocabulary building, tag/slice
+/// bookkeeping) read rows through this instead of materializing owned
+/// [`Record`]s, which removes all string copies from the hot path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowView<'a> {
+    /// `(payload name, value)`, sorted by name (encoded from a `BTreeMap`).
+    pub payloads: Vec<(&'a str, PayloadView<'a>)>,
+    /// `(task, sources)`, sorted by task; sources sorted by source name.
+    pub tasks: Vec<(&'a str, Vec<(&'a str, LabelView<'a>)>)>,
+    /// Tags, sorted (encoded from a `BTreeSet`).
+    pub tags: Vec<&'a str>,
+}
+
+impl<'a> RowView<'a> {
+    /// Looks up a payload by name.
+    pub fn payload(&self, name: &str) -> Option<&PayloadView<'a>> {
+        self.payloads.binary_search_by_key(&name, |(n, _)| n).ok().map(|i| &self.payloads[i].1)
+    }
+
+    /// Looks up a task's `(source, label)` rows.
+    pub fn task(&self, name: &str) -> Option<&[(&'a str, LabelView<'a>)]> {
+        self.tasks.binary_search_by_key(&name, |(n, _)| n).ok().map(|i| self.tasks[i].1.as_slice())
+    }
+
+    /// One source's label for one task.
+    pub fn label(&self, task: &str, source: &str) -> Option<&LabelView<'a>> {
+        let sources = self.task(task)?;
+        sources.binary_search_by_key(&source, |(s, _)| s).ok().map(|i| &sources[i].1)
+    }
+
+    /// True if the row carries the given tag.
+    pub fn has_tag(&self, tag: &str) -> bool {
+        self.tags.binary_search(&tag).is_ok()
+    }
+
+    /// True if the row is in the given slice.
+    pub fn in_slice(&self, slice: &str) -> bool {
+        self.slices().any(|s| s == slice)
+    }
+
+    /// Names of all slices this row belongs to.
+    pub fn slices(&self) -> impl Iterator<Item = &'a str> + '_ {
+        self.tags.iter().filter_map(|t| t.strip_prefix(SLICE_PREFIX))
+    }
+
+    /// Non-gold supervision sources for a task.
+    pub fn weak_sources(&self, task: &str) -> impl Iterator<Item = (&'a str, &LabelView<'a>)> {
+        self.task(task)
+            .unwrap_or(&[])
+            .iter()
+            .filter(|(s, _)| *s != crate::record::GOLD_SOURCE)
+            .map(|(s, l)| (*s, l))
+    }
+
+    /// Materializes an owned [`Record`] from the view.
+    pub fn to_record(&self) -> Record {
+        let mut record = Record::new();
+        for (name, value) in &self.payloads {
+            let owned = match value {
+                PayloadView::Singleton(s) => PayloadValue::Singleton((*s).to_string()),
+                PayloadView::Sequence(items) => {
+                    PayloadValue::Sequence(items.iter().map(|s| (*s).to_string()).collect())
+                }
+                PayloadView::Set(els) => PayloadValue::Set(
+                    els.iter()
+                        .map(|(id, span)| SetElement { id: (*id).to_string(), span: *span })
+                        .collect(),
+                ),
+            };
+            record.payloads.insert((*name).to_string(), owned);
+        }
+        for (task, sources) in &self.tasks {
+            let owned = sources
+                .iter()
+                .map(|(source, label)| {
+                    let label = match label {
+                        LabelView::MulticlassOne(c) => TaskLabel::MulticlassOne((*c).to_string()),
+                        LabelView::MulticlassSeq(cs) => {
+                            TaskLabel::MulticlassSeq(cs.iter().map(|c| (*c).to_string()).collect())
+                        }
+                        LabelView::BitvectorOne(bits) => {
+                            TaskLabel::BitvectorOne(bits.iter().map(|b| (*b).to_string()).collect())
+                        }
+                        LabelView::BitvectorSeq(rows) => TaskLabel::BitvectorSeq(
+                            rows.iter()
+                                .map(|bits| bits.iter().map(|b| (*b).to_string()).collect())
+                                .collect(),
+                        ),
+                        LabelView::Select(idx) => TaskLabel::Select(*idx),
+                    };
+                    ((*source).to_string(), label)
+                })
+                .collect();
+            record.tasks.insert((*task).to_string(), owned);
+        }
+        for tag in &self.tags {
+            record.tags.insert((*tag).to_string());
+        }
+        record
+    }
+}
+
+/// Decodes a full row into a zero-copy [`RowView`]. Errors if the row has
+/// trailing bytes.
+pub fn decode_row_view(mut buf: &[u8]) -> Result<RowView<'_>> {
+    let view = decode_view(&mut buf)?;
+    if !buf.is_empty() {
+        return Err(StoreError::Corrupt(format!("row has {} trailing bytes", buf.len())));
+    }
+    Ok(view)
+}
+
+fn decode_view<'a>(buf: &mut &'a [u8]) -> Result<RowView<'a>> {
+    let n_payloads = read_u64(buf)? as usize;
+    let mut payloads = Vec::with_capacity(n_payloads.min(1024));
+    for _ in 0..n_payloads {
+        let name = read_str_borrowed(buf)?;
+        payloads.push((name, decode_payload_view(buf)?));
+    }
+    let n_tasks = read_u64(buf)? as usize;
+    let mut tasks = Vec::with_capacity(n_tasks.min(1024));
+    for _ in 0..n_tasks {
+        let task = read_str_borrowed(buf)?;
+        let n_sources = read_u64(buf)? as usize;
+        let mut sources = Vec::with_capacity(n_sources.min(1024));
+        for _ in 0..n_sources {
+            let source = read_str_borrowed(buf)?;
+            sources.push((source, decode_label_view(buf)?));
+        }
+        tasks.push((task, sources));
+    }
+    let n_tags = read_u64(buf)? as usize;
+    let mut tags = Vec::with_capacity(n_tags.min(1024));
+    for _ in 0..n_tags {
+        tags.push(read_str_borrowed(buf)?);
+    }
+    Ok(RowView { payloads, tasks, tags })
+}
+
+fn decode_payload_view<'a>(buf: &mut &'a [u8]) -> Result<PayloadView<'a>> {
     let tag = take_byte(buf)?;
     match tag {
-        LABEL_MC_ONE => Ok(TaskLabel::MulticlassOne(read_str(buf)?)),
+        PAYLOAD_SINGLETON => Ok(PayloadView::Singleton(read_str_borrowed(buf)?)),
+        PAYLOAD_SEQUENCE => {
+            let n = read_u64(buf)? as usize;
+            let mut items = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                items.push(read_str_borrowed(buf)?);
+            }
+            Ok(PayloadView::Sequence(items))
+        }
+        PAYLOAD_SET => {
+            let n = read_u64(buf)? as usize;
+            let mut items = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                let id = read_str_borrowed(buf)?;
+                let lo = read_u64(buf)? as usize;
+                let hi = read_u64(buf)? as usize;
+                items.push((id, (lo, hi)));
+            }
+            Ok(PayloadView::Set(items))
+        }
+        other => Err(StoreError::Corrupt(format!("unknown payload tag {other}"))),
+    }
+}
+
+fn decode_label_view<'a>(buf: &mut &'a [u8]) -> Result<LabelView<'a>> {
+    let tag = take_byte(buf)?;
+    match tag {
+        LABEL_MC_ONE => Ok(LabelView::MulticlassOne(read_str_borrowed(buf)?)),
         LABEL_MC_SEQ => {
             let n = read_u64(buf)? as usize;
             let mut cs = Vec::with_capacity(n.min(1024));
             for _ in 0..n {
-                cs.push(read_str(buf)?);
+                cs.push(read_str_borrowed(buf)?);
             }
-            Ok(TaskLabel::MulticlassSeq(cs))
+            Ok(LabelView::MulticlassSeq(cs))
         }
         LABEL_BV_ONE => {
             let n = read_u64(buf)? as usize;
             let mut bits = Vec::with_capacity(n.min(1024));
             for _ in 0..n {
-                bits.push(read_str(buf)?);
+                bits.push(read_str_borrowed(buf)?);
             }
-            Ok(TaskLabel::BitvectorOne(bits))
+            Ok(LabelView::BitvectorOne(bits))
         }
         LABEL_BV_SEQ => {
             let n = read_u64(buf)? as usize;
@@ -185,22 +407,15 @@ fn decode_label(buf: &mut &[u8]) -> Result<TaskLabel> {
                 let m = read_u64(buf)? as usize;
                 let mut bits = Vec::with_capacity(m.min(1024));
                 for _ in 0..m {
-                    bits.push(read_str(buf)?);
+                    bits.push(read_str_borrowed(buf)?);
                 }
                 rows.push(bits);
             }
-            Ok(TaskLabel::BitvectorSeq(rows))
+            Ok(LabelView::BitvectorSeq(rows))
         }
-        LABEL_SELECT => Ok(TaskLabel::Select(read_u64(buf)? as usize)),
+        LABEL_SELECT => Ok(LabelView::Select(read_u64(buf)? as usize)),
         other => Err(StoreError::Corrupt(format!("unknown label tag {other}"))),
     }
-}
-
-fn take_byte(buf: &mut &[u8]) -> Result<u8> {
-    let (&b, rest) =
-        buf.split_first().ok_or_else(|| StoreError::Corrupt("row truncated".into()))?;
-    *buf = rest;
-    Ok(b)
 }
 
 #[cfg(test)]
@@ -265,6 +480,40 @@ mod tests {
         let mut slice = buf.as_slice();
         let err = decode_record(&mut slice).unwrap_err();
         assert!(err.to_string().contains("unknown payload tag"), "{err}");
+    }
+
+    #[test]
+    fn row_view_matches_record() {
+        let r = sample_record();
+        let mut buf = Vec::new();
+        encode_record(&r, &mut buf);
+        let view = decode_row_view(&buf).unwrap();
+        assert_eq!(view.to_record(), r);
+        assert!(matches!(view.payload("query"), Some(PayloadView::Singleton("how tall"))));
+        assert!(view.payload("missing").is_none());
+        assert!(matches!(view.label("Intent", "weak1"), Some(LabelView::MulticlassOne("Height"))));
+        assert!(view.has_tag("train"));
+        assert!(view.in_slice("hard"));
+        assert_eq!(view.weak_sources("Intent").count(), 1);
+        assert_eq!(view.weak_sources("NoTask").count(), 0);
+    }
+
+    #[test]
+    fn row_view_detects_trailing_bytes() {
+        let mut buf = Vec::new();
+        encode_record(&Record::new(), &mut buf);
+        buf.push(0);
+        assert!(decode_row_view(&buf).is_err());
+    }
+
+    #[test]
+    fn approx_bytes_brackets_actual_size() {
+        let r = sample_record();
+        let mut buf = Vec::new();
+        encode_record(&r, &mut buf);
+        let approx = approx_record_bytes(&r);
+        assert!(approx >= buf.len(), "estimate {approx} under actual {}", buf.len());
+        assert!(approx <= buf.len() * 2 + 64, "estimate {approx} far above {}", buf.len());
     }
 
     #[test]

@@ -1,0 +1,882 @@
+//! The sharded row store: the pipeline's resident data spine.
+//!
+//! A [`ShardedStore`] is N [`RowStore`] segments (zero-copy `Bytes` rows,
+//! per-shard checksums recorded at seal time) plus a [`StoreIndex`] — a
+//! persistent tag/slice/source index built once when the store is sealed,
+//! so the hot paths (supervision combination, feature encoding,
+//! evaluation, slice reports) never re-scan the data to answer "which rows
+//! carry this tag". Scans fan the shards out over `std::thread::scope`
+//! workers via [`ShardedStore::par_scan`]; each worker walks its shard
+//! through zero-copy [`RowView`]s or decoded [`Record`]s and returns a
+//! partial that the caller merges in shard order, which keeps every
+//! parallel computation bit-for-bit deterministic.
+//!
+//! This reproduces the role of the paper's memory-mapped row store
+//! (footnote 5): payloads and supervision live in compact binary rows that
+//! the whole build loop scans at production scale.
+
+use crate::dataset::Dataset;
+use crate::error::{Result, StoreError};
+use crate::record::{Record, SLICE_PREFIX, TAG_DEV, TAG_TEST, TAG_TRAIN};
+use crate::rowstore::encode::{approx_record_bytes, encode_record, RowView};
+use crate::rowstore::store::RowStore;
+use crate::schema::Schema;
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Default target size of one shard produced by the streaming
+/// [`ShardedStoreBuilder`] (4 MiB of encoded rows).
+pub const DEFAULT_SHARD_BYTES: usize = 4 << 20;
+
+/// The persistent inverted index a [`ShardedStore`] builds at seal time:
+/// tag → sorted global row ids, plus the per-task supervision source
+/// names. Everything downstream answers split/slice/source queries from
+/// here instead of scanning rows.
+#[derive(Debug, Clone, Default)]
+pub struct StoreIndex {
+    tags: BTreeMap<String, Vec<u32>>,
+    sources: BTreeMap<String, Vec<String>>,
+    num_rows: usize,
+}
+
+impl StoreIndex {
+    fn note_tags_and_sources<'a>(
+        &mut self,
+        row: u32,
+        tags: impl Iterator<Item = &'a str>,
+        task_sources: impl Iterator<Item = (&'a str, &'a str)>,
+    ) {
+        for tag in tags {
+            self.tags.entry(tag.to_string()).or_default().push(row);
+        }
+        for (task, source) in task_sources {
+            if source == crate::record::GOLD_SOURCE {
+                continue;
+            }
+            let sources = self.sources.entry(task.to_string()).or_default();
+            if let Err(at) = sources.binary_search_by(|s| s.as_str().cmp(source)) {
+                sources.insert(at, source.to_string());
+            }
+        }
+        self.num_rows = self.num_rows.max(row as usize + 1);
+    }
+
+    pub(crate) fn note_record(&mut self, row: u32, record: &Record) {
+        self.note_tags_and_sources(
+            row,
+            record.tags.iter().map(String::as_str),
+            record
+                .tasks
+                .iter()
+                .flat_map(|(t, sources)| sources.keys().map(move |s| (t.as_str(), s.as_str()))),
+        );
+    }
+
+    /// Consumes the index, keeping only the task → sorted non-gold source
+    /// map (shared with `Dataset`'s cached query index so the gold-source
+    /// exclusion rule lives in one place).
+    pub(crate) fn into_sources(self) -> BTreeMap<String, Vec<String>> {
+        self.sources
+    }
+
+    /// Number of rows in the indexed store.
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Sorted global row ids carrying `tag` (empty if unknown).
+    pub fn rows(&self, tag: &str) -> &[u32] {
+        self.tags.get(tag).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of rows carrying `tag`.
+    pub fn count(&self, tag: &str) -> usize {
+        self.rows(tag).len()
+    }
+
+    /// Rows of the train split.
+    pub fn train_rows(&self) -> &[u32] {
+        self.rows(TAG_TRAIN)
+    }
+
+    /// Rows of the dev split.
+    pub fn dev_rows(&self) -> &[u32] {
+        self.rows(TAG_DEV)
+    }
+
+    /// Rows of the test split.
+    pub fn test_rows(&self) -> &[u32] {
+        self.rows(TAG_TEST)
+    }
+
+    /// Rows in the named slice.
+    pub fn slice_rows(&self, slice: &str) -> &[u32] {
+        self.tags.get(&format!("{SLICE_PREFIX}{slice}")).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All tags present, sorted.
+    pub fn tag_names(&self) -> Vec<String> {
+        self.tags.keys().cloned().collect()
+    }
+
+    /// All slice names present, sorted.
+    pub fn slice_names(&self) -> Vec<String> {
+        self.tags.keys().filter_map(|t| t.strip_prefix(SLICE_PREFIX)).map(str::to_string).collect()
+    }
+
+    /// Names of all non-gold supervision sources appearing for `task`,
+    /// sorted.
+    pub fn sources_for_task(&self, task: &str) -> Vec<String> {
+        self.sources.get(task).cloned().unwrap_or_default()
+    }
+
+    /// Tasks that carry at least one non-gold supervision source.
+    pub fn supervised_tasks(&self) -> impl Iterator<Item = &str> {
+        self.sources.keys().map(String::as_str)
+    }
+}
+
+/// One worker's window onto one shard during [`ShardedStore::par_scan`]:
+/// the shard id, the global row id of the shard's first row, and
+/// iterators over the shard as decoded records or zero-copy views.
+pub struct ShardScan<'a> {
+    shard: usize,
+    start: usize,
+    store: &'a RowStore,
+}
+
+impl<'a> ShardScan<'a> {
+    /// Index of this shard within the store.
+    pub fn shard_id(&self) -> usize {
+        self.shard
+    }
+
+    /// Global row id of the shard's first row.
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// Rows in this shard.
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// True when the shard holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+
+    /// The underlying segment.
+    pub fn store(&self) -> &'a RowStore {
+        self.store
+    }
+
+    /// Iterates `(global row id, decoded record)` over the shard.
+    pub fn records(&self) -> impl Iterator<Item = (usize, Result<Record>)> + 'a {
+        let (start, store) = (self.start, self.store);
+        (0..store.len()).map(move |i| (start + i, store.get(i)))
+    }
+
+    /// Iterates `(global row id, zero-copy view)` over the shard.
+    pub fn views(&self) -> impl Iterator<Item = (usize, Result<RowView<'a>>)> + 'a {
+        let (start, store) = (self.start, self.store);
+        (0..store.len()).map(move |i| (start + i, store.view(i)))
+    }
+}
+
+/// One worker's window onto the subset of a shard selected by a sorted
+/// global row set ([`ShardedStore::par_scan_rows`]).
+pub struct RowSetScan<'a> {
+    shard: usize,
+    start: usize,
+    store: &'a RowStore,
+    rows: &'a [u32],
+}
+
+impl<'a> RowSetScan<'a> {
+    /// Index of this shard within the store.
+    pub fn shard_id(&self) -> usize {
+        self.shard
+    }
+
+    /// Number of selected rows in this shard.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows of this shard are selected.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Iterates `(global row id, decoded record)` over the selected rows.
+    pub fn records(&self) -> impl Iterator<Item = (usize, Result<Record>)> + 'a {
+        let (start, store) = (self.start, self.store);
+        self.rows.iter().map(move |&g| (g as usize, store.get(g as usize - start)))
+    }
+
+    /// Iterates `(global row id, zero-copy view)` over the selected rows.
+    pub fn views(&self) -> impl Iterator<Item = (usize, Result<RowView<'a>>)> + 'a {
+        let (start, store) = (self.start, self.store);
+        self.rows.iter().map(move |&g| (g as usize, store.view(g as usize - start)))
+    }
+}
+
+/// An immutable, sealed dataset: N row-store shards balanced by encoded
+/// bytes, per-shard checksums, and a seal-time [`StoreIndex`]. See the
+/// module docs for the design.
+#[derive(Debug, Clone)]
+pub struct ShardedStore {
+    schema: Schema,
+    shards: Vec<RowStore>,
+    /// `starts[s]..starts[s + 1]` are the global row ids of shard `s`.
+    starts: Vec<usize>,
+    checksums: Vec<u64>,
+    index: StoreIndex,
+    scan_workers: usize,
+}
+
+impl ShardedStore {
+    /// The default shard/worker count: one per available core, with a
+    /// floor of two so the sharded structure is always exercised.
+    pub fn default_shards() -> usize {
+        std::thread::available_parallelism().map_or(2, |n| n.get().max(2))
+    }
+
+    /// Seals a slice of records into `n_shards` contiguous shards balanced
+    /// by estimated encoded bytes. Records are assumed already validated
+    /// against `schema` (a [`Dataset`] validates on entry).
+    pub fn from_records(schema: Schema, records: &[Record], n_shards: usize) -> Self {
+        let n_shards = n_shards.clamp(1, records.len().max(1));
+        // Contiguous byte-balanced boundaries: cut when the running
+        // estimate passes the next multiple of total/n.
+        let sizes: Vec<usize> = records.iter().map(approx_record_bytes).collect();
+        let total: usize = sizes.iter().sum();
+        let mut bounds = vec![0usize];
+        let mut running = 0usize;
+        for (i, &sz) in sizes.iter().enumerate() {
+            running += sz;
+            let wanted = bounds.len(); // shards cut so far + 1
+            if wanted < n_shards && running * n_shards >= wanted * total.max(1) {
+                bounds.push(i + 1);
+            }
+        }
+        bounds.push(records.len());
+        bounds.dedup();
+        if bounds.len() < 2 {
+            bounds = vec![0, records.len()]; // empty input: one empty shard
+        }
+
+        // Encode shards in parallel; each worker owns one contiguous range.
+        let n = bounds.len() - 1;
+        let slots: Vec<Mutex<Option<RowStore>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let workers = Self::default_shards().min(n);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let s = next.fetch_add(1, Ordering::Relaxed);
+                    if s >= n {
+                        break;
+                    }
+                    let built = RowStore::build(&records[bounds[s]..bounds[s + 1]]);
+                    *slots[s].lock().expect("shard slot") = Some(built);
+                });
+            }
+        });
+        let shards: Vec<RowStore> =
+            slots.into_iter().map(|m| m.into_inner().expect("slot").expect("built")).collect();
+
+        let mut index = StoreIndex { num_rows: records.len(), ..StoreIndex::default() };
+        for (row, record) in records.iter().enumerate() {
+            index.note_record(row as u32, record);
+        }
+        Self::assemble(schema, shards, index)
+    }
+
+    fn assemble(schema: Schema, shards: Vec<RowStore>, index: StoreIndex) -> Self {
+        let mut starts = Vec::with_capacity(shards.len() + 1);
+        starts.push(0usize);
+        for shard in &shards {
+            starts.push(starts.last().unwrap() + shard.len());
+        }
+        let checksums = shards.iter().map(RowStore::blob_checksum).collect();
+        Self { schema, shards, starts, checksums, index, scan_workers: Self::default_shards() }
+    }
+
+    /// Overrides how many worker threads [`par_scan`](Self::par_scan) and
+    /// friends use (defaults to the available parallelism).
+    pub fn with_scan_workers(mut self, workers: usize) -> Self {
+        self.scan_workers = workers.max(1);
+        self
+    }
+
+    /// The configured scan worker count. Consumers that fan out derived
+    /// work (e.g. per-task combiner runs) should respect this too.
+    pub fn scan_workers(&self) -> usize {
+        self.scan_workers
+    }
+
+    /// The schema the rows conform to.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The seal-time tag/slice/source index.
+    pub fn index(&self) -> &StoreIndex {
+        &self.index
+    }
+
+    /// Total rows across all shards.
+    pub fn len(&self) -> usize {
+        *self.starts.last().unwrap()
+    }
+
+    /// True when the store holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// One shard.
+    pub fn shard(&self, s: usize) -> &RowStore {
+        &self.shards[s]
+    }
+
+    /// Per-shard blob checksums recorded at seal time.
+    pub fn shard_checksums(&self) -> &[u64] {
+        &self.checksums
+    }
+
+    /// Total encoded bytes across shards.
+    pub fn total_bytes(&self) -> usize {
+        self.shards.iter().map(RowStore::blob_len).sum()
+    }
+
+    /// Maps a global row id to `(shard, row-within-shard)`.
+    pub fn shard_of(&self, row: usize) -> Option<(usize, usize)> {
+        if row >= self.len() {
+            return None;
+        }
+        let s = self.starts.partition_point(|&start| start <= row) - 1;
+        Some((s, row - self.starts[s]))
+    }
+
+    /// Decodes one row by global id.
+    pub fn get(&self, row: usize) -> Result<Record> {
+        let (s, local) = self
+            .shard_of(row)
+            .ok_or_else(|| StoreError::Corrupt(format!("row {row} out of {}", self.len())))?;
+        self.shards[s].get(local)
+    }
+
+    /// Zero-copy view of one row by global id.
+    pub fn view(&self, row: usize) -> Result<RowView<'_>> {
+        let (s, local) = self
+            .shard_of(row)
+            .ok_or_else(|| StoreError::Corrupt(format!("row {row} out of {}", self.len())))?;
+        self.shards[s].view(local)
+    }
+
+    /// Sequentially iterates all rows in global order, decoding each.
+    pub fn scan(&self) -> impl Iterator<Item = Result<Record>> + '_ {
+        self.shards.iter().flat_map(|s| s.scan())
+    }
+
+    /// Fans the shards out over scoped worker threads. Each worker calls
+    /// `f` on whole shards and the per-shard results come back **in shard
+    /// order**, so merging them sequentially reproduces the global row
+    /// order — parallel scans stay deterministic regardless of thread
+    /// scheduling. With one worker (or one shard) the scan runs inline.
+    pub fn par_scan<T, F>(&self, f: F) -> Result<Vec<T>>
+    where
+        T: Send,
+        F: Fn(ShardScan<'_>) -> Result<T> + Sync,
+    {
+        let scans: Vec<ShardScan<'_>> = (0..self.shards.len())
+            .map(|s| ShardScan { shard: s, start: self.starts[s], store: &self.shards[s] })
+            .collect();
+        self.run_workers(scans, f)
+    }
+
+    /// Like [`par_scan`](Self::par_scan) but over a **sorted** set of
+    /// global row ids: rows are partitioned by shard boundary and only the
+    /// shards that own selected rows are visited.
+    pub fn par_scan_rows<T, F>(&self, rows: &[u32], f: F) -> Result<Vec<T>>
+    where
+        T: Send,
+        F: Fn(RowSetScan<'_>) -> Result<T> + Sync,
+    {
+        debug_assert!(rows.windows(2).all(|w| w[0] < w[1]), "row set must be sorted");
+        let mut scans = Vec::new();
+        for s in 0..self.shards.len() {
+            let lo = rows.partition_point(|&r| (r as usize) < self.starts[s]);
+            let hi = rows.partition_point(|&r| (r as usize) < self.starts[s + 1]);
+            if lo < hi {
+                scans.push(RowSetScan {
+                    shard: s,
+                    start: self.starts[s],
+                    store: &self.shards[s],
+                    rows: &rows[lo..hi],
+                });
+            }
+        }
+        self.run_workers(scans, f)
+    }
+
+    fn run_workers<S, T, F>(&self, scans: Vec<S>, f: F) -> Result<Vec<T>>
+    where
+        S: Send,
+        T: Send,
+        F: Fn(S) -> Result<T> + Sync,
+    {
+        let n = scans.len();
+        let workers = self.scan_workers.min(n);
+        if workers <= 1 {
+            return scans.into_iter().map(f).collect();
+        }
+        let slots: Vec<Mutex<Option<Result<T>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let queue = Mutex::new(scans.into_iter().enumerate().collect::<Vec<_>>());
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let Some((at, scan)) = queue.lock().expect("scan queue").pop() else {
+                        break;
+                    };
+                    *slots[at].lock().expect("result slot") = Some(f(scan));
+                });
+            }
+        });
+        slots.into_iter().map(|m| m.into_inner().expect("slot").expect("scanned")).collect()
+    }
+
+    /// Decodes the whole store back into an eager [`Dataset`] (the
+    /// editable builder view). Rows were validated when they entered the
+    /// store, so they are not re-validated here.
+    pub fn dataset_view(&self) -> Result<Dataset> {
+        let mut dataset = Dataset::new(self.schema.clone());
+        for record in self.scan() {
+            dataset.push_unchecked(record?);
+        }
+        Ok(dataset)
+    }
+
+    /// Recomputes every shard checksum against the value recorded at seal
+    /// time.
+    pub fn verify(&self) -> Result<()> {
+        for (s, (shard, &expect)) in self.shards.iter().zip(&self.checksums).enumerate() {
+            if shard.blob_checksum() != expect {
+                return Err(StoreError::Corrupt(format!("shard {s} checksum mismatch")));
+            }
+        }
+        Ok(())
+    }
+
+    /// The canonical string the manifest's self-checksum covers: the
+    /// fields that determine what `read_dir` will load.
+    fn manifest_core(shards: usize, schema_checksum: u64, shard_checksums: &[u64]) -> String {
+        let list = shard_checksums.iter().map(u64::to_string).collect::<Vec<_>>().join(",");
+        format!("1|{shards}|{schema_checksum}|{list}")
+    }
+
+    /// Writes the store as a directory: `schema.json`, `manifest.json`,
+    /// and one `shard-NNNN.ovrs` file per shard (each in the checksummed
+    /// [`RowStore`] file format). The manifest records the schema and
+    /// per-shard checksums plus a checksum of its own fields, so
+    /// corruption of *any* file — shards, schema, or the manifest itself —
+    /// surfaces as [`StoreError::Corrupt`] on read.
+    pub fn write_dir(&self, dir: impl AsRef<Path>) -> Result<()> {
+        use crate::rowstore::varint::fnv1a;
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let schema_json = self.schema.to_json();
+        let schema_checksum = fnv1a(schema_json.as_bytes());
+        std::fs::write(dir.join("schema.json"), schema_json)?;
+        let core = Self::manifest_core(self.shards.len(), schema_checksum, &self.checksums);
+        let shard_list =
+            self.checksums.iter().map(|c| format!("\"{c}\"")).collect::<Vec<_>>().join(", ");
+        let manifest = format!(
+            "{{\"version\": 1, \"shards\": {}, \"schema_checksum\": \"{schema_checksum}\", \
+             \"shard_checksums\": [{shard_list}], \"manifest_checksum\": \"{}\"}}\n",
+            self.shards.len(),
+            fnv1a(core.as_bytes()),
+        );
+        std::fs::write(dir.join("manifest.json"), manifest)?;
+        for (s, shard) in self.shards.iter().enumerate() {
+            shard.write_file(dir.join(format!("shard-{s:04}.ovrs")))?;
+        }
+        Ok(())
+    }
+
+    /// Reads a store written by [`write_dir`](Self::write_dir), verifying
+    /// the manifest self-checksum, the schema checksum, and every shard
+    /// against both its own file checksum and the manifest, then
+    /// rebuilding the index from the rows.
+    pub fn read_dir(dir: impl AsRef<Path>) -> Result<Self> {
+        use crate::rowstore::varint::fnv1a;
+        let dir = dir.as_ref();
+        let corrupt = |what: &str| StoreError::Corrupt(format!("manifest: {what}"));
+        let schema_json = std::fs::read_to_string(dir.join("schema.json"))?;
+        let manifest = std::fs::read_to_string(dir.join("manifest.json"))?;
+        let serde_json::Value::Object(map) = serde_json::from_str_value(&manifest)? else {
+            return Err(corrupt("not an object"));
+        };
+        let parse_u64 = |v: Option<&serde_json::Value>| -> Option<u64> {
+            v.and_then(|v| v.as_str()).and_then(|s| s.parse().ok())
+        };
+        let n = map
+            .get("shards")
+            .and_then(|v| v.as_i64())
+            .filter(|&n| n >= 0)
+            .ok_or_else(|| corrupt("missing shard count"))? as usize;
+        let schema_checksum = parse_u64(map.get("schema_checksum"))
+            .ok_or_else(|| corrupt("missing schema checksum"))?;
+        let manifest_checksum = parse_u64(map.get("manifest_checksum"))
+            .ok_or_else(|| corrupt("missing self-checksum"))?;
+        let shard_checksums: Vec<u64> = match map.get("shard_checksums") {
+            Some(serde_json::Value::Array(items)) => items
+                .iter()
+                .map(|v| v.as_str().and_then(|s| s.parse().ok()))
+                .collect::<Option<_>>()
+                .ok_or_else(|| corrupt("malformed shard checksum"))?,
+            _ => return Err(corrupt("missing shard checksums")),
+        };
+        if shard_checksums.len() != n {
+            return Err(corrupt("shard count disagrees with checksum list"));
+        }
+        let core = Self::manifest_core(n, schema_checksum, &shard_checksums);
+        if fnv1a(core.as_bytes()) != manifest_checksum {
+            return Err(corrupt("self-checksum mismatch"));
+        }
+        if fnv1a(schema_json.as_bytes()) != schema_checksum {
+            return Err(StoreError::Corrupt("schema.json does not match the manifest".into()));
+        }
+        let schema = Schema::from_json(&schema_json)?;
+        // The count is now authenticated, but still cap the pre-allocation.
+        let mut shards = Vec::with_capacity(n.min(1024));
+        for (s, &expect) in shard_checksums.iter().enumerate() {
+            let shard = RowStore::read_file(dir.join(format!("shard-{s:04}.ovrs")))?;
+            if shard.blob_checksum() != expect {
+                return Err(StoreError::Corrupt(format!("shard {s} does not match the manifest")));
+            }
+            shards.push(shard);
+        }
+        if dir.join(format!("shard-{n:04}.ovrs")).exists() {
+            return Err(StoreError::Corrupt("unexpected extra shard file".into()));
+        }
+        let mut index = StoreIndex::default();
+        let mut row = 0u32;
+        for shard in &shards {
+            for view in shard.scan_views() {
+                let view = view?;
+                index.note_tags_and_sources(
+                    row,
+                    view.tags.iter().copied(),
+                    view.tasks
+                        .iter()
+                        .flat_map(|(t, sources)| sources.iter().map(move |(s, _)| (*t, *s))),
+                );
+                row += 1;
+            }
+        }
+        index.num_rows = row as usize;
+        Ok(Self::assemble(schema, shards, index))
+    }
+}
+
+/// Streams records straight into shard blobs: each pushed record is
+/// encoded immediately (no intermediate `Vec<Record>`), the index is
+/// maintained incrementally, and a new shard starts whenever the current
+/// blob passes the target size. This is how bulk producers (the workload
+/// generator, log ingest) write the store directly.
+#[derive(Debug)]
+pub struct ShardedStoreBuilder {
+    schema: Schema,
+    shard_bytes: usize,
+    done: Vec<RowStore>,
+    blob: Vec<u8>,
+    offsets: Vec<u64>,
+    index: StoreIndex,
+    rows: usize,
+}
+
+impl ShardedStoreBuilder {
+    /// A builder targeting [`DEFAULT_SHARD_BYTES`] per shard.
+    pub fn new(schema: Schema) -> Self {
+        Self::with_shard_bytes(schema, DEFAULT_SHARD_BYTES)
+    }
+
+    /// A builder that rotates to a new shard once the current blob reaches
+    /// `shard_bytes`.
+    pub fn with_shard_bytes(schema: Schema, shard_bytes: usize) -> Self {
+        Self {
+            schema,
+            shard_bytes: shard_bytes.max(1),
+            done: Vec::new(),
+            blob: Vec::new(),
+            offsets: vec![0],
+            index: StoreIndex::default(),
+            rows: 0,
+        }
+    }
+
+    /// Rows appended so far.
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// True when nothing has been appended.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Validates, normalizes and appends a record.
+    pub fn push(&mut self, mut record: Record) -> Result<()> {
+        record.normalize_labels(&self.schema);
+        record.validate(&self.schema)?;
+        self.push_unchecked(&record);
+        Ok(())
+    }
+
+    /// Appends a record without validation (for trusted generators).
+    pub fn push_unchecked(&mut self, record: &Record) {
+        encode_record(record, &mut self.blob);
+        self.offsets.push(self.blob.len() as u64);
+        self.index.note_record(self.rows as u32, record);
+        self.rows += 1;
+        if self.blob.len() >= self.shard_bytes {
+            self.rotate();
+        }
+    }
+
+    fn rotate(&mut self) {
+        let blob = std::mem::take(&mut self.blob);
+        let offsets = std::mem::replace(&mut self.offsets, vec![0]);
+        self.done.push(RowStore::from_raw_parts(blob, offsets));
+    }
+
+    /// Finishes the current shard and seals the store.
+    pub fn seal(mut self) -> ShardedStore {
+        if self.offsets.len() > 1 || self.done.is_empty() {
+            self.rotate();
+        }
+        self.index.num_rows = self.rows;
+        ShardedStore::assemble(self.schema, self.done, self.index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{PayloadValue, TaskLabel};
+    use crate::schema::example_schema;
+
+    fn records(n: usize) -> Vec<Record> {
+        (0..n)
+            .map(|i| {
+                let r = Record::new()
+                    .with_payload("query", PayloadValue::Singleton(format!("query number {i}")))
+                    .with_label(
+                        "Intent",
+                        if i % 2 == 0 { "weak1" } else { "weak2" },
+                        TaskLabel::MulticlassOne(if i % 2 == 0 { "Age" } else { "Height" }.into()),
+                    )
+                    .with_tag(if i % 10 == 0 { "test" } else { "train" });
+                if i % 5 == 0 {
+                    r.with_slice("hard")
+                } else {
+                    r
+                }
+            })
+            .collect()
+    }
+
+    fn store(n: usize, shards: usize) -> ShardedStore {
+        ShardedStore::from_records(example_schema(), &records(n), shards)
+    }
+
+    #[test]
+    fn shards_are_contiguous_and_balanced() {
+        let s = store(100, 4);
+        assert_eq!(s.num_shards(), 4);
+        assert_eq!(s.len(), 100);
+        for shard in 0..4 {
+            assert!(s.shard(shard).len() >= 15, "shard {shard}: {}", s.shard(shard).len());
+        }
+        // Global order is preserved across shard boundaries.
+        let rs = records(100);
+        for (i, r) in rs.iter().enumerate() {
+            assert_eq!(&s.get(i).unwrap(), r);
+            assert_eq!(&s.view(i).unwrap().to_record(), r);
+        }
+        assert!(s.get(100).is_err());
+        assert_eq!(s.shard_checksums().len(), 4);
+        s.verify().unwrap();
+    }
+
+    #[test]
+    fn index_answers_tag_and_source_queries() {
+        let s = store(50, 3);
+        let idx = s.index();
+        assert_eq!(idx.num_rows(), 50);
+        assert_eq!(idx.test_rows(), &[0, 10, 20, 30, 40]);
+        assert_eq!(idx.train_rows().len(), 45);
+        assert_eq!(idx.slice_rows("hard"), &[0, 5, 10, 15, 20, 25, 30, 35, 40, 45]);
+        assert_eq!(idx.slice_names(), vec!["hard".to_string()]);
+        assert_eq!(idx.sources_for_task("Intent"), vec!["weak1".to_string(), "weak2".into()]);
+        assert!(idx.sources_for_task("POS").is_empty());
+        assert_eq!(idx.supervised_tasks().collect::<Vec<_>>(), vec!["Intent"]);
+    }
+
+    #[test]
+    fn par_scan_merges_in_shard_order() {
+        for workers in [1, 3] {
+            let s = store(60, 5).with_scan_workers(workers);
+            let partials = s
+                .par_scan(|scan| {
+                    let mut rows = Vec::new();
+                    for (row, view) in scan.views() {
+                        let view = view?;
+                        if view.has_tag("train") {
+                            rows.push(row);
+                        }
+                    }
+                    Ok(rows)
+                })
+                .unwrap();
+            assert_eq!(partials.len(), 5);
+            let all: Vec<usize> = partials.into_iter().flatten().collect();
+            let expect: Vec<usize> = (0..60).filter(|i| i % 10 != 0).collect();
+            assert_eq!(all, expect, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn par_scan_rows_visits_only_selected() {
+        let s = store(40, 4).with_scan_workers(2);
+        let rows: Vec<u32> = s.index().test_rows().to_vec();
+        let partials = s
+            .par_scan_rows(&rows, |scan| {
+                Ok(scan.records().map(|(g, r)| (g, r.unwrap())).collect::<Vec<_>>())
+            })
+            .unwrap();
+        let seen: Vec<usize> = partials.iter().flatten().map(|(g, _)| *g).collect();
+        assert_eq!(seen, vec![0, 10, 20, 30]);
+        for (g, r) in partials.into_iter().flatten() {
+            assert!(r.has_tag("test"), "row {g}");
+        }
+    }
+
+    #[test]
+    fn dataset_view_roundtrips() {
+        let s = store(30, 3);
+        let ds = s.dataset_view().unwrap();
+        assert_eq!(ds.records(), &records(30)[..]);
+    }
+
+    #[test]
+    fn builder_streams_and_matches_from_records() {
+        let rs = records(80);
+        let mut b = ShardedStoreBuilder::with_shard_bytes(example_schema(), 512);
+        for r in &rs {
+            b.push_unchecked(r);
+        }
+        let s = b.seal();
+        assert!(s.num_shards() > 1, "target bytes should split shards");
+        assert_eq!(s.len(), 80);
+        for (i, r) in rs.iter().enumerate() {
+            assert_eq!(&s.get(i).unwrap(), r);
+        }
+        assert_eq!(s.index().train_rows().len(), 72);
+        s.verify().unwrap();
+    }
+
+    #[test]
+    fn builder_validates_on_push() {
+        let mut b = ShardedStoreBuilder::new(example_schema());
+        let bad =
+            Record::new().with_label("Intent", "w", TaskLabel::MulticlassOne("NotAClass".into()));
+        assert!(b.push(bad).is_err());
+        assert!(b.is_empty());
+        b.push(records(1).pop().unwrap()).unwrap();
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn empty_store_is_one_empty_shard() {
+        let s = store(0, 4);
+        assert!(s.is_empty());
+        assert_eq!(s.num_shards(), 1);
+        assert_eq!(s.scan().count(), 0);
+        assert!(s.par_scan(|scan| Ok(scan.len())).unwrap().iter().sum::<usize>() == 0);
+        let b = ShardedStoreBuilder::new(example_schema());
+        assert_eq!(b.seal().len(), 0);
+    }
+
+    #[test]
+    fn dir_roundtrip_and_corruption() {
+        let s = store(25, 3);
+        let dir = std::env::temp_dir().join(format!("overton-sharded-{}", std::process::id()));
+        s.write_dir(&dir).unwrap();
+        let back = ShardedStore::read_dir(&dir).unwrap();
+        assert_eq!(back.len(), 25);
+        assert_eq!(back.shard_checksums(), s.shard_checksums());
+        assert_eq!(back.index().train_rows(), s.index().train_rows());
+        assert_eq!(back.dataset_view().unwrap().records(), s.dataset_view().unwrap().records());
+
+        // Flip one byte in a shard file: reading must surface Corrupt.
+        let path = dir.join("shard-0001.ovrs");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(&path, bytes).unwrap();
+        let err = ShardedStore::read_dir(&dir).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt(_)), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_manifest_or_schema_errors() {
+        let s = store(5, 2);
+        let dir = std::env::temp_dir().join(format!("overton-manifest-{}", std::process::id()));
+        s.write_dir(&dir).unwrap();
+        let manifest = std::fs::read_to_string(dir.join("manifest.json")).unwrap();
+        let schema_json = std::fs::read_to_string(dir.join("schema.json")).unwrap();
+
+        // An absurd shard count must error, not abort on allocation.
+        std::fs::write(
+            dir.join("manifest.json"),
+            "{\"version\": 1, \"shards\": 9000000000000000000}\n",
+        )
+        .unwrap();
+        assert!(ShardedStore::read_dir(&dir).is_err());
+
+        // A single corrupted digit in the shard count: the manifest
+        // self-checksum catches it.
+        std::fs::write(
+            dir.join("manifest.json"),
+            manifest.replace("\"shards\": 2", "\"shards\": 1"),
+        )
+        .unwrap();
+        let err = ShardedStore::read_dir(&dir).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt(_)), "{err}");
+        std::fs::write(dir.join("manifest.json"), &manifest).unwrap();
+        ShardedStore::read_dir(&dir).unwrap();
+
+        // A flipped byte inside schema.json: caught by its checksum.
+        let mut bytes = schema_json.into_bytes();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(dir.join("schema.json"), bytes).unwrap();
+        let err = ShardedStore::read_dir(&dir).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt(_)), "{err}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -16,14 +16,19 @@
 
 use crate::error::{Result, StoreError};
 use crate::record::Record;
-use crate::rowstore::encode::{decode_record, encode_record};
-use crate::rowstore::varint::fnv1a;
+use crate::rowstore::encode::{
+    approx_record_bytes, decode_record, decode_row_view, encode_record, RowView,
+};
+use crate::rowstore::varint::{fnv1a, fnv1a_continue, FNV_OFFSET};
 use bytes::Bytes;
 use std::io::{BufWriter, Read, Write};
 use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"OVRS";
-const VERSION: u32 = 1;
+/// Version 2 extends the checksum to cover the header and offset table as
+/// well as the blob, so any single flipped byte in a store file surfaces
+/// as [`StoreError::Corrupt`].
+const VERSION: u32 = 2;
 
 /// An immutable collection of binary-encoded rows with O(1) point access.
 #[derive(Debug, Clone)]
@@ -34,14 +39,31 @@ pub struct RowStore {
 }
 
 impl RowStore {
-    /// Encodes records into a new store.
+    /// Encodes records into a new store. The blob is pre-sized from
+    /// [`RowStore::approx_bytes`] so encoding appends into one allocation
+    /// instead of growing through repeated reallocation.
     pub fn build<'a>(records: impl IntoIterator<Item = &'a Record>) -> Self {
-        let mut blob = Vec::new();
-        let mut offsets = vec![0u64];
+        let records: Vec<&Record> = records.into_iter().collect();
+        let mut blob = Vec::with_capacity(Self::approx_bytes(records.iter().copied()));
+        let mut offsets = Vec::with_capacity(records.len() + 1);
+        offsets.push(0u64);
         for record in records {
             encode_record(record, &mut blob);
             offsets.push(blob.len() as u64);
         }
+        Self { blob: Bytes::from(blob), offsets }
+    }
+
+    /// Estimates the encoded size of a set of records without encoding
+    /// them (pre-sizing blobs, balancing shards by bytes).
+    pub fn approx_bytes<'a>(records: impl IntoIterator<Item = &'a Record>) -> usize {
+        records.into_iter().map(approx_record_bytes).sum()
+    }
+
+    /// Assembles a store from an already-encoded blob and its offset table
+    /// (the streaming shard builder encodes rows as they arrive).
+    pub(crate) fn from_raw_parts(blob: Vec<u8>, offsets: Vec<u64>) -> Self {
+        debug_assert!(!offsets.is_empty() && offsets[0] == 0);
         Self { blob: Bytes::from(blob), offsets }
     }
 
@@ -70,6 +92,36 @@ impl RowStore {
         Some(self.blob.slice(lo..hi))
     }
 
+    /// The raw encoded bytes of row `i` as a borrowed slice of the blob.
+    pub fn row_slice(&self, i: usize) -> Option<&[u8]> {
+        if i >= self.len() {
+            return None;
+        }
+        let lo = self.offsets[i] as usize;
+        let hi = self.offsets[i + 1] as usize;
+        Some(&self.blob[lo..hi])
+    }
+
+    /// Decodes row `i` as a zero-copy [`RowView`] borrowing from the blob.
+    pub fn view(&self, i: usize) -> Result<RowView<'_>> {
+        let bytes = self
+            .row_slice(i)
+            .ok_or_else(|| StoreError::Corrupt(format!("row {i} out of {}", self.len())))?;
+        decode_row_view(bytes)
+    }
+
+    /// Iterates over all rows as zero-copy views.
+    pub fn scan_views(&self) -> impl Iterator<Item = Result<RowView<'_>>> {
+        (0..self.len()).map(move |i| self.view(i))
+    }
+
+    /// FNV-1a checksum of the blob (the per-shard integrity fingerprint a
+    /// [`ShardedStore`](crate::rowstore::ShardedStore) records at seal
+    /// time).
+    pub fn blob_checksum(&self) -> u64 {
+        fnv1a(&self.blob)
+    }
+
     /// Decodes row `i`.
     pub fn get(&self, i: usize) -> Result<Record> {
         let bytes = self
@@ -88,17 +140,21 @@ impl RowStore {
         (0..self.len()).map(move |i| self.get(i))
     }
 
-    /// Writes the store to a writer in the on-disk format.
+    /// Writes the store to a writer in the on-disk format. The trailing
+    /// checksum covers everything before it (header, offsets and blob).
     pub fn write(&self, writer: impl Write) -> Result<()> {
         let mut w = BufWriter::new(writer);
-        w.write_all(MAGIC)?;
-        w.write_all(&VERSION.to_le_bytes())?;
-        w.write_all(&(self.len() as u64).to_le_bytes())?;
+        let mut header = Vec::with_capacity(16 + self.offsets.len() * 8);
+        header.extend_from_slice(MAGIC);
+        header.extend_from_slice(&VERSION.to_le_bytes());
+        header.extend_from_slice(&(self.len() as u64).to_le_bytes());
         for off in &self.offsets {
-            w.write_all(&off.to_le_bytes())?;
+            header.extend_from_slice(&off.to_le_bytes());
         }
+        let checksum = fnv1a_continue(fnv1a_continue(FNV_OFFSET, &header), &self.blob);
+        w.write_all(&header)?;
         w.write_all(&self.blob)?;
-        w.write_all(&fnv1a(&self.blob).to_le_bytes())?;
+        w.write_all(&checksum.to_le_bytes())?;
         w.flush()?;
         Ok(())
     }
@@ -139,21 +195,31 @@ impl RowStore {
             return Err(StoreError::Corrupt(format!("unsupported version {version}")));
         }
         let row_count = u64::from_le_bytes(bytes[8..16].try_into().unwrap()) as usize;
-        let offsets_end = 16 + (row_count + 1) * 8;
+        // `row_count` is untrusted input: checked arithmetic so a corrupt
+        // count surfaces as Corrupt instead of an overflow panic.
+        let offsets_end = row_count
+            .checked_add(1)
+            .and_then(|n| n.checked_mul(8))
+            .and_then(|n| n.checked_add(16))
+            .ok_or_else(|| StoreError::Corrupt(format!("absurd row count {row_count}")))?;
         need(offsets_end, "offset table")?;
         let mut offsets = Vec::with_capacity(row_count + 1);
         for i in 0..=row_count {
             let at = 16 + i * 8;
             offsets.push(u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap()));
         }
+        // The final offset is untrusted too: checked arithmetic again.
         let blob_len = *offsets.last().unwrap() as usize;
-        let blob_end = offsets_end + blob_len;
+        let blob_end = offsets_end
+            .checked_add(blob_len)
+            .filter(|end| end.checked_add(8).is_some())
+            .ok_or_else(|| StoreError::Corrupt(format!("absurd blob length {blob_len}")))?;
         need(blob_end + 8, "blob and checksum")?;
         let stored_checksum = u64::from_le_bytes(bytes[blob_end..blob_end + 8].try_into().unwrap());
-        let blob = Bytes::from(bytes).slice(offsets_end..blob_end);
-        if fnv1a(&blob) != stored_checksum {
+        if fnv1a(&bytes[..blob_end]) != stored_checksum {
             return Err(StoreError::Corrupt("checksum mismatch".into()));
         }
+        let blob = Bytes::from(bytes).slice(offsets_end..blob_end);
         // Offsets must be monotone and in bounds.
         if offsets[0] != 0 || offsets.windows(2).any(|w| w[0] > w[1]) {
             return Err(StoreError::Corrupt("offset table is not monotone".into()));
@@ -234,12 +300,56 @@ mod tests {
     }
 
     #[test]
+    fn any_single_byte_flip_detected() {
+        // Version 2's checksum covers the header and offset table too, so
+        // a flip at *any* position must surface an error.
+        let store = RowStore::build(&records(3));
+        let mut buf = Vec::new();
+        store.write(&mut buf).unwrap();
+        for pos in 0..buf.len() {
+            let mut copy = buf.clone();
+            copy[pos] ^= 0x01;
+            assert!(RowStore::from_bytes(copy).is_err(), "flip at {pos} not detected");
+        }
+    }
+
+    #[test]
+    fn views_match_decoded_records() {
+        let rs = records(9);
+        let store = RowStore::build(&rs);
+        for (i, r) in rs.iter().enumerate() {
+            assert_eq!(&store.view(i).unwrap().to_record(), r);
+        }
+        let n = store.scan_views().filter(|v| v.as_ref().unwrap().has_tag("train")).count();
+        assert_eq!(n, 8);
+        assert!(store.view(9).is_err());
+    }
+
+    #[test]
+    fn blob_checksum_is_stable() {
+        let rs = records(4);
+        let a = RowStore::build(&rs);
+        let b = RowStore::build(&rs);
+        assert_eq!(a.blob_checksum(), b.blob_checksum());
+    }
+
+    #[test]
     fn bad_magic_detected() {
         let store = RowStore::build(&records(2));
         let mut buf = Vec::new();
         store.write(&mut buf).unwrap();
         buf[0] = b'X';
         assert!(RowStore::from_bytes(buf).is_err());
+    }
+
+    #[test]
+    fn absurd_row_count_is_corrupt_not_panic() {
+        let store = RowStore::build(&records(2));
+        let mut buf = Vec::new();
+        store.write(&mut buf).unwrap();
+        buf[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+        let err = RowStore::from_bytes(buf).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt(_)), "{err}");
     }
 
     #[test]

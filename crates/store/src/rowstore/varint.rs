@@ -42,6 +42,13 @@ pub fn write_str(out: &mut Vec<u8>, s: &str) {
 
 /// Reads a length-prefixed UTF-8 string from the front of `buf`.
 pub fn read_str(buf: &mut &[u8]) -> Result<String> {
+    Ok(read_str_borrowed(buf)?.to_string())
+}
+
+/// Reads a length-prefixed UTF-8 string as a slice borrowing from `buf`
+/// (zero-copy), advancing it. This is the scan-path primitive: decoding a
+/// row as a [`RowView`](crate::rowstore::RowView) touches no owned strings.
+pub fn read_str_borrowed<'a>(buf: &mut &'a [u8]) -> Result<&'a str> {
     let len = read_u64(buf)? as usize;
     if buf.len() < len {
         return Err(StoreError::Corrupt(format!(
@@ -51,13 +58,20 @@ pub fn read_str(buf: &mut &[u8]) -> Result<String> {
     }
     let (bytes, rest) = buf.split_at(len);
     *buf = rest;
-    String::from_utf8(bytes.to_vec())
-        .map_err(|_| StoreError::Corrupt("string is not valid UTF-8".into()))
+    std::str::from_utf8(bytes).map_err(|_| StoreError::Corrupt("string is not valid UTF-8".into()))
 }
+
+/// The FNV-1a offset basis (hash of the empty input).
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 
 /// FNV-1a over a byte slice (integrity check for store files).
 pub fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    fnv1a_continue(FNV_OFFSET, bytes)
+}
+
+/// Continues an FNV-1a hash over another chunk (incremental hashing, used
+/// to checksum a store file's header and blob without concatenating them).
+pub fn fnv1a_continue(mut hash: u64, bytes: &[u8]) -> u64 {
     for &b in bytes {
         hash ^= u64::from(b);
         hash = hash.wrapping_mul(0x0000_0100_0000_01b3);

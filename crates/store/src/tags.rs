@@ -5,6 +5,7 @@
 //! interchange format here is CSV.
 
 use crate::dataset::Dataset;
+use crate::record::Record;
 use std::collections::BTreeMap;
 use std::io::Write;
 
@@ -18,13 +19,19 @@ pub struct TagIndex {
 impl TagIndex {
     /// Builds the index from a dataset.
     pub fn build(dataset: &Dataset) -> Self {
+        Self::from_records(dataset.records())
+    }
+
+    /// Builds the index from a record slice (used by [`Dataset`]'s cached
+    /// index, which cannot borrow the dataset while it is being mutated).
+    pub fn from_records(records: &[Record]) -> Self {
         let mut by_tag: BTreeMap<String, Vec<u32>> = BTreeMap::new();
-        for (i, record) in dataset.records().iter().enumerate() {
+        for (i, record) in records.iter().enumerate() {
             for tag in &record.tags {
                 by_tag.entry(tag.clone()).or_default().push(i as u32);
             }
         }
-        Self { by_tag, num_rows: dataset.len() }
+        Self { by_tag, num_rows: records.len() }
     }
 
     /// All tags, sorted.

@@ -4,12 +4,24 @@
 //! (conflicting, incomplete) source votes are flattened into label matrices
 //! at the task's granularity, a combiner resolves them, and the resulting
 //! probabilistic labels are attached back to records for training.
+//!
+//! Two drivers share the combiners: [`combine_task`] traverses an eager
+//! [`Dataset`] (the editable builder view), while [`combine_all`] /
+//! [`combine_task_store`] scan a sealed [`ShardedStore`] — every shard
+//! builds its partial label matrices from zero-copy row views in parallel,
+//! the partials merge in shard order (bit-for-bit the same matrices the
+//! eager path builds), and the combiner runs once on the merged matrix.
+//! One store scan covers *all* tasks, where the eager path re-traverses
+//! the records once per task.
 
 use crate::label_model::{LabelModel, LabelModelConfig};
 use crate::majority::majority_vote;
 use crate::matrix::LabelMatrix;
 use crate::prob::ProbLabel;
-use overton_store::{Dataset, PayloadKind, PayloadValue, Record, TaskKind, TaskLabel};
+use overton_store::{
+    Dataset, LabelView, PayloadKind, PayloadValue, Record, RowView, ShardedStore, StoreError,
+    TaskKind, TaskLabel,
+};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -49,6 +61,8 @@ pub enum CombineError {
         /// The missing source name.
         source: String,
     },
+    /// A sharded-store scan failed (corrupt row, I/O).
+    Store(StoreError),
 }
 
 impl fmt::Display for CombineError {
@@ -61,14 +75,28 @@ impl fmt::Display for CombineError {
             CombineError::UnknownSource { task, source } => {
                 write!(f, "task '{task}': source '{source}' has no votes")
             }
+            CombineError::Store(e) => write!(f, "store scan failed: {e}"),
         }
     }
 }
 
-impl std::error::Error for CombineError {}
+impl std::error::Error for CombineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CombineError::Store(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StoreError> for CombineError {
+    fn from(e: StoreError) -> Self {
+        CombineError::Store(e)
+    }
+}
 
 /// Per-source diagnostics from a combination run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SourceDiagnostics {
     /// Source name.
     pub name: String,
@@ -79,7 +107,7 @@ pub struct SourceDiagnostics {
 }
 
 /// The result of combining supervision for one task.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CombinedSupervision {
     /// One entry per dataset record: `None` when the record carries no
     /// supervision for this task.
@@ -140,6 +168,544 @@ pub fn combine_task(
             unreachable!("unsupported task/payload combination: {kind:?} over {payload:?}")
         }
     }
+}
+
+/// What one task's extraction needs to know, resolved once per scan from
+/// the schema and the store's seal-time index (no per-task re-scan).
+struct TaskSpec {
+    name: String,
+    payload: String,
+    payload_kind: PayloadKind,
+    kind: TaskKind,
+    sources: Vec<String>,
+}
+
+/// Per-shard partial state for one task: label-matrix fragments plus the
+/// bookkeeping that maps matrix items back to global rows. Partials from
+/// different shards concatenate in shard order, reproducing exactly the
+/// matrices a sequential traversal would build.
+enum TaskPartial {
+    /// Multiclass-over-singleton and select tasks: one item per voting row.
+    Single { matrix: LabelMatrix, items: Vec<u32> },
+    /// Multiclass over a sequence payload: one item per (row, token).
+    Seq { matrix: LabelMatrix, item_pos: Vec<(u32, u32)>, record_len: Vec<(u32, u32)> },
+    /// Bitvector tasks: one binary matrix per bit, items aligned across
+    /// bits; `sequence` distinguishes per-token from per-record labels.
+    Bits {
+        matrices: Vec<LabelMatrix>,
+        item_pos: Vec<(u32, u32)>,
+        record_len: Vec<(u32, u32)>,
+        sequence: bool,
+    },
+}
+
+impl TaskPartial {
+    fn new(spec: &TaskSpec) -> Self {
+        let n = spec.sources.len();
+        match (&spec.kind, &spec.payload_kind) {
+            (TaskKind::Multiclass { .. }, PayloadKind::Singleton) | (TaskKind::Select, _) => {
+                TaskPartial::Single { matrix: LabelMatrix::new(n), items: Vec::new() }
+            }
+            (TaskKind::Multiclass { .. }, PayloadKind::Sequence { .. }) => TaskPartial::Seq {
+                matrix: LabelMatrix::new(n),
+                item_pos: Vec::new(),
+                record_len: Vec::new(),
+            },
+            (
+                TaskKind::Bitvector { labels },
+                payload @ (PayloadKind::Singleton | PayloadKind::Sequence { .. }),
+            ) => TaskPartial::Bits {
+                matrices: (0..labels.len()).map(|_| LabelMatrix::new(n)).collect(),
+                item_pos: Vec::new(),
+                record_len: Vec::new(),
+                sequence: matches!(payload, PayloadKind::Sequence { .. }),
+            },
+            (kind, payload) => {
+                // Mirror the eager driver: these combinations are not used
+                // by the paper's schema and are a programming error.
+                unreachable!("unsupported task/payload combination: {kind:?} over {payload:?}")
+            }
+        }
+    }
+
+    fn append(&mut self, other: TaskPartial) {
+        match (self, other) {
+            (
+                TaskPartial::Single { matrix, items },
+                TaskPartial::Single { matrix: m2, items: i2 },
+            ) => {
+                matrix.append(&m2);
+                items.extend(i2);
+            }
+            (
+                TaskPartial::Seq { matrix, item_pos, record_len },
+                TaskPartial::Seq { matrix: m2, item_pos: p2, record_len: l2 },
+            ) => {
+                matrix.append(&m2);
+                item_pos.extend(p2);
+                record_len.extend(l2);
+            }
+            (
+                TaskPartial::Bits { matrices, item_pos, record_len, .. },
+                TaskPartial::Bits { matrices: m2, item_pos: p2, record_len: l2, .. },
+            ) => {
+                for (a, b) in matrices.iter_mut().zip(&m2) {
+                    a.append(b);
+                }
+                item_pos.extend(p2);
+                record_len.extend(l2);
+            }
+            _ => unreachable!("partials of one task share a shape"),
+        }
+    }
+}
+
+fn class_index_view(classes: &[String], name: &str, task: &str) -> Result<u32, CombineError> {
+    classes.iter().position(|c| c == name).map(|i| i as u32).ok_or_else(|| {
+        CombineError::UnknownClass { task: task.to_string(), class: name.to_string() }
+    })
+}
+
+/// Resolves each configured source's label for one task, in source order,
+/// with a single binary search per source (the per-item extraction below
+/// then never touches the row's task table again).
+fn resolve_sources<'v, 'a>(
+    sources_slice: &'v [(&'a str, LabelView<'a>)],
+    sources: &[String],
+) -> Vec<Option<&'v LabelView<'a>>> {
+    sources
+        .iter()
+        .map(|source| {
+            sources_slice
+                .binary_search_by_key(&source.as_str(), |(s, _)| s)
+                .ok()
+                .map(|i| &sources_slice[i].1)
+        })
+        .collect()
+}
+
+/// The set bits of one bitvector label as a mask over the task's bit
+/// vocabulary (bit names outside the vocabulary are ignored, as in the
+/// eager path).
+fn bit_mask(bits: &[&str], labels: &[String]) -> u64 {
+    let mut mask = 0u64;
+    for bit in bits {
+        if let Some(b) = labels.iter().position(|l| l == bit) {
+            mask |= 1 << b;
+        }
+    }
+    mask
+}
+
+/// Extracts one row's votes for one task from a zero-copy view into the
+/// task's partial. Mirrors the eager per-kind extraction in
+/// `combine_multiclass_singleton` & co. exactly — wrong granularity is an
+/// abstain, unknown classes are errors — but resolves the row's source
+/// labels once up front instead of per matrix item, and turns bitvector
+/// labels into bit masks so per-(element, bit) votes are mask tests.
+fn extract_row(
+    spec: &TaskSpec,
+    row: u32,
+    view: &RowView<'_>,
+    partial: &mut TaskPartial,
+    votes: &mut Vec<Option<u32>>,
+) -> Result<(), CombineError> {
+    let task = spec.name.as_str();
+    match partial {
+        TaskPartial::Single { matrix, items } => match &spec.kind {
+            TaskKind::Multiclass { classes } => {
+                let Some(sources_slice) = view.task(task) else { return Ok(()) };
+                let labels = resolve_sources(sources_slice, &spec.sources);
+                votes.clear();
+                for label in &labels {
+                    votes.push(match label {
+                        Some(LabelView::MulticlassOne(c)) => {
+                            Some(class_index_view(classes, c, task)?)
+                        }
+                        _ => None,
+                    });
+                }
+                if votes.iter().any(Option::is_some) {
+                    matrix.push_item(classes.len() as u32, votes);
+                    items.push(row);
+                }
+            }
+            TaskKind::Select => {
+                let Some(overton_store::PayloadView::Set(els)) = view.payload(&spec.payload) else {
+                    return Ok(());
+                };
+                if els.is_empty() {
+                    return Ok(());
+                }
+                let Some(sources_slice) = view.task(task) else { return Ok(()) };
+                let labels = resolve_sources(sources_slice, &spec.sources);
+                votes.clear();
+                for label in &labels {
+                    votes.push(match label {
+                        Some(LabelView::Select(idx)) => Some(*idx as u32),
+                        _ => None,
+                    });
+                }
+                if votes.iter().any(Option::is_some) {
+                    matrix.push_item(els.len() as u32, votes);
+                    items.push(row);
+                }
+            }
+            _ => unreachable!("single-item partial implies multiclass or select"),
+        },
+        TaskPartial::Seq { matrix, item_pos, record_len } => {
+            let TaskKind::Multiclass { classes } = &spec.kind else {
+                unreachable!("seq partial implies multiclass")
+            };
+            let Some(overton_store::PayloadView::Sequence(tokens)) = view.payload(&spec.payload)
+            else {
+                return Ok(());
+            };
+            if view.weak_sources(task).next().is_none() {
+                return Ok(());
+            }
+            let sources_slice = view.task(task).expect("weak sources imply the task");
+            let labels = resolve_sources(sources_slice, &spec.sources);
+            // Per source: the token-aligned class sequence, if that is the
+            // granularity the source voted at.
+            let seqs: Vec<Option<&Vec<&str>>> = labels
+                .iter()
+                .map(|label| match label {
+                    Some(LabelView::MulticlassSeq(cs)) => Some(cs),
+                    _ => None,
+                })
+                .collect();
+            record_len.push((row, tokens.len() as u32));
+            for t in 0..tokens.len() {
+                votes.clear();
+                for seq in &seqs {
+                    votes.push(match seq.and_then(|cs| cs.get(t)) {
+                        Some(c) => Some(class_index_view(classes, c, task)?),
+                        None => None,
+                    });
+                }
+                matrix.push_item(classes.len() as u32, votes);
+                item_pos.push((row, t as u32));
+            }
+        }
+        TaskPartial::Bits { matrices, item_pos, record_len, sequence } => {
+            let TaskKind::Bitvector { labels: bit_names } = &spec.kind else {
+                unreachable!("bits partial implies bitvector")
+            };
+            if view.weak_sources(task).next().is_none() {
+                return Ok(());
+            }
+            let elements = if *sequence {
+                match view.payload(&spec.payload) {
+                    Some(overton_store::PayloadView::Sequence(tokens)) => tokens.len(),
+                    _ => return Ok(()),
+                }
+            } else {
+                1
+            };
+            let sources_slice = view.task(task).expect("weak sources imply the task");
+            let resolved = resolve_sources(sources_slice, &spec.sources);
+            record_len.push((row, elements as u32));
+            if bit_names.len() <= 64 {
+                // Fast path: per source, one mask per element (`None` =
+                // abstain on the whole record; a too-short sequence
+                // abstains past its end).
+                let masks: Vec<Option<Vec<u64>>> = resolved
+                    .iter()
+                    .map(|label| match (label, *sequence) {
+                        (Some(LabelView::BitvectorOne(bits)), false) => {
+                            Some(vec![bit_mask(bits, bit_names)])
+                        }
+                        (Some(LabelView::BitvectorSeq(rows)), true) => {
+                            Some(rows.iter().map(|bits| bit_mask(bits, bit_names)).collect())
+                        }
+                        _ => None,
+                    })
+                    .collect();
+                for t in 0..elements {
+                    for (b, matrix) in matrices.iter_mut().enumerate() {
+                        votes.clear();
+                        for mask in &masks {
+                            votes.push(
+                                mask.as_ref()
+                                    .and_then(|rows| rows.get(t))
+                                    .map(|m| ((m >> b) & 1) as u32),
+                            );
+                        }
+                        matrix.push_item(2, votes);
+                    }
+                    item_pos.push((row, t as u32));
+                }
+            } else {
+                // Wide vocabularies (> 64 bits): scan each label's set
+                // bits directly, as the eager path does.
+                for t in 0..elements {
+                    for (b, matrix) in matrices.iter_mut().enumerate() {
+                        let bit = bit_names[b].as_str();
+                        votes.clear();
+                        for label in &resolved {
+                            let bits: Option<&Vec<&str>> = match (label, *sequence) {
+                                (Some(LabelView::BitvectorOne(bits)), false) => Some(bits),
+                                (Some(LabelView::BitvectorSeq(rows)), true) => rows.get(t),
+                                _ => None,
+                            };
+                            votes.push(bits.map(|bits| u32::from(bits.contains(&bit))));
+                        }
+                        matrix.push_item(2, votes);
+                    }
+                    item_pos.push((row, t as u32));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Runs the combiner on a task's merged partial and scatters the resulting
+/// distributions back to per-row probabilistic labels.
+fn finish_task(
+    spec: &TaskSpec,
+    partial: TaskPartial,
+    num_rows: usize,
+    method: &CombineMethod,
+) -> CombinedSupervision {
+    let mut labels = vec![None; num_rows];
+    match partial {
+        TaskPartial::Single { matrix, items } => {
+            let (dists, diags) = run_combiner(&matrix, &spec.sources, method);
+            for (item, row) in items.iter().enumerate() {
+                if let Some(dist) = &dists[item] {
+                    labels[*row as usize] = Some(ProbLabel::Dist(dist.clone()));
+                }
+            }
+            CombinedSupervision { labels, sources: diags }
+        }
+        TaskPartial::Seq { matrix, item_pos, record_len } => {
+            let (dists, diags) = run_combiner(&matrix, &spec.sources, method);
+            let mut per_record: BTreeMap<u32, Vec<Vec<f32>>> = BTreeMap::new();
+            let mut skipped: std::collections::BTreeSet<u32> = Default::default();
+            for (row, len) in &record_len {
+                per_record.insert(*row, vec![Vec::new(); *len as usize]);
+            }
+            for (item, (row, t)) in item_pos.iter().enumerate() {
+                match &dists[item] {
+                    Some(dist) => {
+                        per_record.get_mut(row).expect("registered")[*t as usize] = dist.clone()
+                    }
+                    None => {
+                        skipped.insert(*row);
+                    }
+                }
+            }
+            for (row, rows) in per_record {
+                if !skipped.contains(&row) {
+                    labels[row as usize] = Some(ProbLabel::SeqDist(rows));
+                }
+            }
+            CombinedSupervision { labels, sources: diags }
+        }
+        TaskPartial::Bits { matrices, item_pos, record_len, sequence } => {
+            let n_sources = spec.sources.len();
+            let mut per_bit_dists: Vec<Vec<Option<Vec<f32>>>> = Vec::with_capacity(matrices.len());
+            let mut acc_sums: Vec<(f32, usize)> = vec![(0.0, 0); n_sources];
+            let mut coverage: Vec<f32> = vec![0.0; n_sources];
+            for matrix in &matrices {
+                let (dists, diags) = run_combiner(matrix, &spec.sources, method);
+                for (j, d) in diags.iter().enumerate() {
+                    if let Some(a) = d.estimated_accuracy {
+                        acc_sums[j].0 += a;
+                        acc_sums[j].1 += 1;
+                    }
+                    coverage[j] = d.coverage;
+                }
+                per_bit_dists.push(dists);
+            }
+            let diags = spec
+                .sources
+                .iter()
+                .enumerate()
+                .map(|(j, n)| SourceDiagnostics {
+                    name: n.clone(),
+                    estimated_accuracy: (acc_sums[j].1 > 0)
+                        .then(|| acc_sums[j].0 / acc_sums[j].1 as f32),
+                    coverage: coverage[j],
+                })
+                .collect();
+            let n_bits = matrices.len();
+            let mut per_record: BTreeMap<u32, Vec<Vec<f32>>> = BTreeMap::new();
+            let mut skipped: std::collections::BTreeSet<u32> = Default::default();
+            for (row, len) in &record_len {
+                per_record.insert(*row, vec![vec![0.0; n_bits]; *len as usize]);
+            }
+            for (item, (row, t)) in item_pos.iter().enumerate() {
+                for (b, bit_dists) in per_bit_dists.iter().enumerate() {
+                    match &bit_dists[item] {
+                        Some(dist) => {
+                            per_record.get_mut(row).expect("registered")[*t as usize][b] = dist[1]
+                        }
+                        None => {
+                            skipped.insert(*row);
+                        }
+                    }
+                }
+            }
+            for (row, rows) in per_record {
+                if skipped.contains(&row) {
+                    continue;
+                }
+                labels[row as usize] = Some(if sequence {
+                    ProbLabel::SeqBits(rows)
+                } else {
+                    ProbLabel::Bits(rows.into_iter().next().expect("one element"))
+                });
+            }
+            CombinedSupervision { labels, sources: diags }
+        }
+    }
+}
+
+fn task_spec(store: &ShardedStore, task: &str) -> Result<TaskSpec, CombineError> {
+    let schema = store.schema();
+    let task_def =
+        schema.tasks.get(task).ok_or_else(|| CombineError::UnknownTask(task.to_string()))?;
+    let payload_kind = schema
+        .payloads
+        .get(&task_def.payload)
+        .map(|p| p.kind.clone())
+        .unwrap_or(PayloadKind::Singleton);
+    Ok(TaskSpec {
+        name: task.to_string(),
+        payload: task_def.payload.clone(),
+        payload_kind,
+        kind: task_def.kind.clone(),
+        sources: store.index().sources_for_task(task),
+    })
+}
+
+/// Scans the store once (shard-parallel, zero-copy) and builds every
+/// task's merged partial.
+fn scan_partials(
+    store: &ShardedStore,
+    specs: &[TaskSpec],
+) -> Result<Vec<TaskPartial>, CombineError> {
+    type ShardOut = Result<Vec<TaskPartial>, CombineError>;
+    let per_shard: Vec<ShardOut> = store
+        .par_scan(|scan| {
+            let run = || -> Result<Vec<TaskPartial>, CombineError> {
+                let mut partials: Vec<TaskPartial> = specs.iter().map(TaskPartial::new).collect();
+                let mut votes: Vec<Option<u32>> = Vec::new();
+                for (row, view) in scan.views() {
+                    let view = view?;
+                    for (spec, partial) in specs.iter().zip(&mut partials) {
+                        extract_row(spec, row as u32, &view, partial, &mut votes)?;
+                    }
+                }
+                Ok(partials)
+            };
+            Ok(run())
+        })
+        .map_err(CombineError::Store)?;
+    let mut merged: Vec<TaskPartial> = specs.iter().map(TaskPartial::new).collect();
+    for shard in per_shard {
+        for (m, p) in merged.iter_mut().zip(shard?) {
+            m.append(p);
+        }
+    }
+    Ok(merged)
+}
+
+/// Combines supervision for one task by scanning a sealed store
+/// (shard-parallel). Produces exactly the result of [`combine_task`] over
+/// the equivalent dataset.
+pub fn combine_task_store(
+    store: &ShardedStore,
+    task: &str,
+    method: &CombineMethod,
+) -> Result<CombinedSupervision, CombineError> {
+    let spec = task_spec(store, task)?;
+    if let CombineMethod::SingleSource(name) = method {
+        if !spec.sources.iter().any(|s| s == name) {
+            return Err(CombineError::UnknownSource {
+                task: task.to_string(),
+                source: name.clone(),
+            });
+        }
+    }
+    if spec.sources.is_empty() {
+        // Nothing votes for this task: no combined supervision.
+        return Ok(CombinedSupervision { labels: vec![None; store.len()], sources: Vec::new() });
+    }
+    let specs = vec![spec];
+    let mut partials = scan_partials(store, &specs)?;
+    Ok(finish_task(&specs[0], partials.pop().expect("one partial"), store.len(), method))
+}
+
+/// Combines supervision for **every** schema task in one shard-parallel
+/// scan of the store — the eager path re-traverses the dataset once per
+/// task; this decodes each row exactly once for all of them.
+///
+/// Tasks with no weak supervision sources (gold-only or unsupervised)
+/// appear in the result with all-`None` labels and empty diagnostics —
+/// their combiner never runs. Tasks for which a
+/// [`CombineMethod::SingleSource`] source never votes are skipped (left
+/// out of the result), matching how the pipeline treats per-task source
+/// ablations.
+pub fn combine_all(
+    store: &ShardedStore,
+    method: &CombineMethod,
+) -> Result<BTreeMap<String, CombinedSupervision>, CombineError> {
+    let mut specs = Vec::new();
+    let mut results: BTreeMap<String, CombinedSupervision> = BTreeMap::new();
+    for task in store.schema().tasks.keys() {
+        let spec = task_spec(store, task)?;
+        if spec.sources.is_empty() {
+            results.insert(
+                task.clone(),
+                CombinedSupervision { labels: vec![None; store.len()], sources: Vec::new() },
+            );
+            continue;
+        }
+        if let CombineMethod::SingleSource(name) = method {
+            if !spec.sources.iter().any(|s| s == name) {
+                continue;
+            }
+        }
+        specs.push(spec);
+    }
+    let partials = scan_partials(store, &specs)?;
+    let workers = store.scan_workers().min(specs.len());
+    if workers > 1 {
+        // The per-task combiner runs are independent; fan them out over a
+        // bounded worker pool (same shape as the store's shard scans).
+        use std::sync::Mutex;
+        let queue: Mutex<Vec<(usize, &TaskSpec, TaskPartial)>> = Mutex::new(
+            specs.iter().zip(partials).enumerate().map(|(i, (s, p))| (i, s, p)).collect(),
+        );
+        let slots: Vec<Mutex<Option<CombinedSupervision>>> =
+            (0..specs.len()).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let Some((at, spec, partial)) = queue.lock().expect("task queue").pop() else {
+                        break;
+                    };
+                    *slots[at].lock().expect("task slot") =
+                        Some(finish_task(spec, partial, store.len(), method));
+                });
+            }
+        });
+        results.extend(
+            specs
+                .iter()
+                .map(|s| s.name.clone())
+                .zip(slots.into_iter().map(|m| m.into_inner().expect("slot").expect("finished"))),
+        );
+        return Ok(results);
+    }
+    results.extend(specs.iter().zip(partials).map(|(spec, partial)| {
+        (spec.name.clone(), finish_task(spec, partial, store.len(), method))
+    }));
+    Ok(results)
 }
 
 /// Runs the chosen combiner over a matrix, returning per-item distributions
@@ -649,6 +1215,150 @@ mod tests {
         assert_eq!(dist.len(), 3);
         let arg = dist.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
         assert_eq!(arg, 1);
+    }
+
+    /// The store-backed shard-parallel combiner must be bit-for-bit
+    /// equivalent to the eager per-task traversal, for every task shape
+    /// and combine method.
+    fn assert_store_parity(ds: &Dataset, task: &str, method: &CombineMethod) {
+        let eager = combine_task(ds, task, method).unwrap();
+        for shards in [1, 3] {
+            let store = ds.seal_shards(shards).with_scan_workers(2);
+            let sharded = combine_task_store(&store, task, method).unwrap();
+            assert_eq!(eager, sharded, "task {task}, {shards} shards");
+            let all = combine_all(&store, method).unwrap();
+            assert_eq!(eager, all[task], "combine_all, task {task}, {shards} shards");
+        }
+    }
+
+    #[test]
+    fn store_combine_matches_eager_for_all_kinds() {
+        // Singleton multiclass.
+        let ds = dataset_with_intent_votes();
+        for method in [
+            CombineMethod::MajorityVote,
+            CombineMethod::default(),
+            CombineMethod::SingleSource("weak2".into()),
+        ] {
+            assert_store_parity(&ds, "Intent", &method);
+        }
+
+        // Sequence multiclass + per-token bitvector + select, mixed with
+        // unsupervised records.
+        let mut ds = Dataset::new(example_schema());
+        for i in 0..12 {
+            let r = Record::new()
+                .with_payload("tokens", PayloadValue::Sequence(vec!["how".into(), "tall".into()]))
+                .with_payload(
+                    "entities",
+                    PayloadValue::Set(vec![
+                        SetElement { id: "E0".into(), span: (0, 1) },
+                        SetElement { id: "E1".into(), span: (1, 2) },
+                    ]),
+                )
+                .with_label(
+                    "POS",
+                    "spacy",
+                    TaskLabel::MulticlassSeq(vec!["ADV".into(), "ADJ".into()]),
+                )
+                .with_label(
+                    "EntityType",
+                    "kb1",
+                    TaskLabel::BitvectorSeq(vec![vec!["location".into()], vec![]]),
+                )
+                .with_label("IntentArg", "w1", TaskLabel::Select(i % 2))
+                .with_label("IntentArg", "w2", TaskLabel::Select(0))
+                .with_tag("train");
+            ds.push(r).unwrap();
+        }
+        ds.push(Record::new().with_payload("query", PayloadValue::Singleton("bare".into())))
+            .unwrap();
+        for task in ["POS", "EntityType", "IntentArg"] {
+            assert_store_parity(&ds, task, &CombineMethod::MajorityVote);
+            assert_store_parity(&ds, task, &CombineMethod::default());
+        }
+    }
+
+    #[test]
+    fn store_combine_matches_eager_for_wide_bitvector() {
+        // More than 64 bit labels: the mask fast path cannot apply, and
+        // the fallback must still match the eager combiner exactly.
+        let labels: Vec<String> = (0..70).map(|i| format!("\"b{i}\"")).collect();
+        let json = format!(
+            r#"{{
+              "payloads": {{
+                "q": {{ "type": "singleton" }},
+                "toks": {{ "type": "sequence", "max_length": 8 }}
+              }},
+              "tasks": {{
+                "Wide": {{ "payload": "q", "type": "bitvector", "labels": [{0}] }},
+                "WideSeq": {{ "payload": "toks", "type": "bitvector", "labels": [{0}] }}
+              }}
+            }}"#,
+            labels.join(", ")
+        );
+        let schema = overton_store::Schema::from_json(&json).unwrap();
+        let mut ds = Dataset::new(schema);
+        for i in 0..8usize {
+            let r = Record::new()
+                .with_payload("q", PayloadValue::Singleton(format!("q{i}")))
+                .with_payload("toks", PayloadValue::Sequence(vec!["a".into(), "b".into()]))
+                .with_label(
+                    "Wide",
+                    "s1",
+                    TaskLabel::BitvectorOne(vec![format!("b{i}"), "b65".into()]),
+                )
+                .with_label("Wide", "s2", TaskLabel::BitvectorOne(vec!["b0".into()]))
+                .with_label(
+                    "WideSeq",
+                    "s1",
+                    TaskLabel::BitvectorSeq(vec![vec![format!("b{}", 60 + i)], vec!["b69".into()]]),
+                )
+                .with_tag("train");
+            ds.push(r).unwrap();
+        }
+        assert_store_parity(&ds, "Wide", &CombineMethod::MajorityVote);
+        assert_store_parity(&ds, "WideSeq", &CombineMethod::MajorityVote);
+    }
+
+    #[test]
+    fn store_combine_unknown_task_and_source_error() {
+        let ds = dataset_with_intent_votes();
+        let store = ds.seal_shards(2);
+        assert!(combine_task_store(&store, "NotATask", &CombineMethod::MajorityVote).is_err());
+        let err = combine_task_store(&store, "Intent", &CombineMethod::SingleSource("nope".into()));
+        assert!(matches!(err, Err(CombineError::UnknownSource { .. })));
+        // combine_all skips tasks lacking the single source instead of
+        // erroring; tasks with no weak sources at all appear as empty
+        // placeholders (no combiner ran).
+        let all = combine_all(&store, &CombineMethod::SingleSource("nope".into())).unwrap();
+        assert!(!all.contains_key("Intent"));
+        assert!(all.values().all(|c| c.sources.is_empty() && c.supervised_count() == 0));
+    }
+
+    #[test]
+    fn gold_only_tasks_get_empty_placeholder() {
+        // A task supervised only by gold: present in combine_all's result
+        // with all-None labels and no diagnostics, and combinable via
+        // combine_task_store without running a combiner.
+        let mut ds = Dataset::new(example_schema());
+        for i in 0..5 {
+            ds.push(
+                Record::new()
+                    .with_payload("query", PayloadValue::Singleton(format!("q{i}")))
+                    .with_label("Intent", "gold", TaskLabel::MulticlassOne("Height".into()))
+                    .with_tag("train"),
+            )
+            .unwrap();
+        }
+        let store = ds.seal_shards(2);
+        let all = combine_all(&store, &CombineMethod::default()).unwrap();
+        let intent = &all["Intent"];
+        assert_eq!(intent.supervised_count(), 0);
+        assert!(intent.sources.is_empty());
+        assert_eq!(intent.labels.len(), 5);
+        let single = combine_task_store(&store, "Intent", &CombineMethod::default()).unwrap();
+        assert_eq!(&single, intent);
     }
 
     #[test]

@@ -23,8 +23,8 @@ mod triplet;
 pub use augment::{AugmentPolicy, SynonymSwap, TokenDropout, Transform, AUG_TAG_PREFIX};
 pub use balance::{class_weights, example_weight};
 pub use combine::{
-    combine_task, weak_supervision_fraction, CombineError, CombineMethod, CombinedSupervision,
-    SourceDiagnostics,
+    combine_all, combine_task, combine_task_store, weak_supervision_fraction, CombineError,
+    CombineMethod, CombinedSupervision, SourceDiagnostics,
 };
 pub use dependencies::{source_dependencies, DependencyDiagnostic};
 pub use label_model::{LabelModel, LabelModelConfig};

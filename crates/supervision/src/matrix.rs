@@ -44,6 +44,17 @@ impl LabelMatrix {
         self.cardinalities.push(k);
     }
 
+    /// Appends all items of `other`, preserving their order (merging
+    /// per-shard partial matrices back into one global matrix).
+    ///
+    /// # Panics
+    /// Panics if the source counts differ.
+    pub fn append(&mut self, other: &LabelMatrix) {
+        assert_eq!(self.n_sources, other.n_sources, "source count mismatch");
+        self.labels.extend_from_slice(&other.labels);
+        self.cardinalities.extend_from_slice(&other.cardinalities);
+    }
+
     /// Number of items (rows).
     pub fn n_items(&self) -> usize {
         self.cardinalities.len()
@@ -157,6 +168,18 @@ mod tests {
     fn out_of_range_label_rejected() {
         let mut m = LabelMatrix::new(1);
         m.push_item(2, &[Some(2)]);
+    }
+
+    #[test]
+    fn append_concatenates_items() {
+        let mut a = LabelMatrix::from_rows(3, &[vec![Some(0), None, Some(2)]]);
+        let mut b = LabelMatrix::new(3);
+        b.push_item(5, &[Some(4), Some(1), None]);
+        a.append(&b);
+        assert_eq!(a.n_items(), 2);
+        assert_eq!(a.votes(1), &[Some(4), Some(1), None]);
+        assert_eq!(a.cardinality(0), 3);
+        assert_eq!(a.cardinality(1), 5);
     }
 
     #[test]

@@ -1,13 +1,14 @@
 //! Quickstart: the complete Overton loop in one file.
 //!
 //! Builds a synthetic factoid-QA product (schema + weakly-supervised data
-//! file), runs the pipeline (combine supervision → train → package), prints
-//! the fine-grained quality reports an engineer monitors, and serves a
-//! query through the deployable artifact.
+//! file), seals it into the sharded row store the pipeline scans, runs the
+//! pipeline (combine supervision → train → package), prints the
+//! fine-grained quality reports an engineer monitors, and serves a query
+//! through the deployable artifact.
 //!
 //! Run with: `cargo run --release -p harness --example quickstart`
 
-use overton::{build, OvertonOptions};
+use overton::{build_from_store, OvertonOptions};
 use overton_model::{Server, TrainConfig};
 use overton_nlp::{generate_workload, KnowledgeBase, TrafficConfig, TrafficStream, WorkloadConfig};
 use overton_serving::{CascadeEngine, ServingConfig, TrafficBaseline, WorkerPool};
@@ -34,15 +35,44 @@ fn main() {
         dataset.slice_names(),
     );
 
-    // 2. Build: Overton combines the conflicting supervision with a label
-    //    model, compiles the schema into a multitask model with slice
-    //    heads, trains, and packages a deployable artifact.
+    // 2. Seal the data file into the sharded row store: zero-copy binary
+    //    rows, per-shard checksums, and a tag/slice/source index built
+    //    once. Every hot pipeline stage scans this, shard-parallel.
+    println!("\n== sealing into the sharded row store ==");
+    let store = dataset.seal();
+    println!(
+        "{} rows in {} shards, {:.1} KiB encoded, per-shard checksums {:?}",
+        store.len(),
+        store.num_shards(),
+        store.total_bytes() as f64 / 1024.0,
+        store.shard_checksums().iter().map(|c| c & 0xffff).collect::<Vec<_>>(),
+    );
+    // A shard-parallel scan: count slice membership without touching the
+    // eager record vector (each worker walks its shard via zero-copy
+    // views; per-shard partials merge in shard order).
+    let sliced: usize = store
+        .par_scan(|scan| {
+            let mut n = 0usize;
+            for (_, view) in scan.views() {
+                n += usize::from(view?.in_slice("complex-disambiguation"));
+            }
+            Ok(n)
+        })
+        .expect("scan succeeds")
+        .into_iter()
+        .sum();
+    println!("par_scan: {sliced} rows in slice complex-disambiguation");
+
+    // 3. Build: Overton combines the conflicting supervision with a label
+    //    model (one shard-parallel scan for all tasks), compiles the
+    //    schema into a multitask model with slice heads, trains, and
+    //    packages a deployable artifact.
     println!("\n== building (combine supervision, train, package) ==");
     let options = OvertonOptions {
         train: TrainConfig { epochs: 8, ..Default::default() },
         ..Default::default()
     };
-    let built = build(&dataset, &options).expect("pipeline succeeds");
+    let built = build_from_store(&store, &options).expect("pipeline succeeds");
 
     println!("chosen architecture: {:?}", built.chosen_config.encoder);
     println!("model weights: {}", built.model.num_weights());
@@ -56,14 +86,14 @@ fn main() {
         );
     }
 
-    // 3. The monitoring view: per-task reports with per-tag/per-slice rows.
+    // 4. The monitoring view: per-task reports with per-tag/per-slice rows.
     println!("\n== fine-grained quality reports (test split) ==");
     for (task, report) in &built.evaluation.reports {
         let _ = task;
         println!("{report}");
     }
 
-    // 4. Serving: load the artifact and answer a query.
+    // 5. Serving: load the artifact and answer a query.
     println!("== serving ==");
     let server = Server::load(&built.artifact);
     let record = Record::new()
@@ -89,7 +119,7 @@ fn main() {
     }
     println!("  slice memberships: {:?}", response.slices);
 
-    // 5. Production serving: a Poisson traffic stream through the batched
+    // 6. Production serving: a Poisson traffic stream through the batched
     //    worker pool, with live telemetry against a training-time baseline.
     println!("\n== serving a live traffic stream ==");
     let dev_records: Vec<Record> =

@@ -4,7 +4,9 @@
 use overton_store::rowstore::{
     decode_record, encode_record, read_str, read_u64, write_str, write_u64, RowStore,
 };
-use overton_store::{PayloadValue, Record, SetElement, TaskLabel};
+use overton_store::{
+    example_schema, Dataset, PayloadValue, Record, SetElement, StoreError, TaskLabel,
+};
 use overton_supervision::{majority_vote, LabelMatrix, LabelModel, LabelModelConfig};
 use proptest::prelude::*;
 
@@ -93,6 +95,60 @@ proptest! {
         for (i, r) in records.iter().enumerate() {
             prop_assert_eq!(&loaded.get(i).unwrap(), r);
         }
+    }
+
+    #[test]
+    fn sharded_store_roundtrip(
+        records in prop::collection::vec(arb_record(), 0..20),
+        shards in 1usize..5,
+    ) {
+        // Records cross shard boundaries at arbitrary points; every
+        // variant must round-trip through encode → shard → decode, both
+        // as owned records and as zero-copy views.
+        let mut ds = Dataset::new(example_schema());
+        for r in &records {
+            ds.push_unchecked(r.clone());
+        }
+        let store = ds.seal_shards(shards);
+        prop_assert_eq!(store.len(), records.len());
+        store.verify().unwrap();
+        for (i, r) in records.iter().enumerate() {
+            prop_assert_eq!(&store.get(i).unwrap(), r);
+            prop_assert_eq!(&store.view(i).unwrap().to_record(), r);
+        }
+        let back = store.dataset_view().unwrap();
+        prop_assert_eq!(back.records(), &records[..]);
+    }
+
+    #[test]
+    fn sharded_store_flipped_byte_surfaces_corrupt(
+        records in prop::collection::vec(arb_record(), 1..10),
+        shards in 1usize..4,
+        shard_pick in any::<u64>(),
+        pos_pick in any::<u64>(),
+    ) {
+        let mut ds = Dataset::new(example_schema());
+        for r in &records {
+            ds.push_unchecked(r.clone());
+        }
+        let store = ds.seal_shards(shards);
+        let dir = std::env::temp_dir().join(format!(
+            "overton-props-{}-{}",
+            std::process::id(),
+            shard_pick ^ pos_pick,
+        ));
+        store.write_dir(&dir).unwrap();
+        // Flip one byte at an arbitrary position of an arbitrary shard
+        // file: the whole-file checksum must surface StoreError::Corrupt.
+        let shard = (shard_pick % store.num_shards() as u64) as usize;
+        let path = dir.join(format!("shard-{shard:04}.ovrs"));
+        let mut bytes = std::fs::read(&path).unwrap();
+        let pos = (pos_pick % bytes.len() as u64) as usize;
+        bytes[pos] ^= 0x01;
+        std::fs::write(&path, bytes).unwrap();
+        let err = overton_store::ShardedStore::read_dir(&dir).unwrap_err();
+        std::fs::remove_dir_all(&dir).ok();
+        prop_assert!(matches!(err, StoreError::Corrupt(_)), "{}", err);
     }
 
     #[test]
