@@ -1,0 +1,279 @@
+//! `overton` — the two-file contract as a command line.
+//!
+//! A *project directory* holds the paper's entire engineer contract:
+//!
+//! ```text
+//! <dir>/schema.json   payloads + tasks
+//! <dir>/data.jsonl    one record per line (supervision, tags, slices)
+//! ```
+//!
+//! Every other artifact is produced by the tool under `<dir>/runs/<id>/`
+//! (sealed store, per-stage artifacts, `report.json`) and
+//! `<dir>/registry/`. No Rust — or any other code — is required of the
+//! engineer: edit the data file, `overton build`, read `overton report`.
+
+use overton::model::Server;
+use overton::nlp::{write_two_file_workload, WorkloadConfig};
+use overton::serving::{CascadeEngine, ServingConfig, WorkerPool};
+use overton::store::ShardedStore;
+use overton::{model::DeployableModel, monitor::QualityReport, OvertonOptions, Project, Stage};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+const USAGE: &str = "\
+overton — the Overton two-file contract, no code required
+
+USAGE:
+    overton <command> <project-dir> [options]
+
+COMMANDS:
+    init      write an example schema.json + data.jsonl workload pair
+    build     run the staged pipeline on the two files (ingest → evaluate)
+    evaluate  re-run evaluation of a persisted run (no retraining)
+    serve     serve a persisted run's test split through the worker pool
+    report    print a persisted run's stage telemetry + quality reports
+
+OPTIONS:
+    --run <id>        operate on this run (default: the latest)
+    --from <stage>    (build) resume the run from this stage:
+                      ingest|combine|search|train|package|evaluate
+                      (a resumed run keeps the options it started with)
+    --epochs <n>      (build) training epochs for new runs [default: 8]
+    --train <n>       (init) training records        [default: 800]
+    --dev <n>         (init) dev records             [default: 100]
+    --test <n>        (init) test records            [default: 200]
+    --seed <n>        (init) workload RNG seed       [default: 0]
+    --requests <n>    (serve) how many records to serve [default: all]
+    --workers <n>     (serve) worker threads         [default: 4]
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("overton: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(command) = args.first() else {
+        eprint!("{USAGE}");
+        return Err("missing command".into());
+    };
+    if command == "--help" || command == "-h" || command == "help" {
+        print!("{USAGE}");
+        return Ok(());
+    }
+    let dir = args
+        .get(1)
+        .filter(|a| !a.starts_with("--"))
+        .ok_or_else(|| format!("missing <project-dir>\n\n{USAGE}"))?;
+    let dir = PathBuf::from(dir);
+    let flags = Flags::parse(&args[2..])?;
+    match command.as_str() {
+        "init" => init(&dir, &flags),
+        "build" => build(&dir, &flags),
+        "evaluate" => evaluate(&dir, &flags),
+        "serve" => serve(&dir, &flags),
+        "report" => report(&dir, &flags),
+        other => Err(format!("unknown command '{other}'\n\n{USAGE}")),
+    }
+}
+
+/// Parsed command-line options (all optional, all `--flag value`).
+#[derive(Default)]
+struct Flags {
+    run: Option<String>,
+    from: Option<Stage>,
+    epochs: Option<usize>,
+    train: Option<usize>,
+    dev: Option<usize>,
+    test: Option<usize>,
+    seed: Option<u64>,
+    requests: Option<usize>,
+    workers: Option<usize>,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut flags = Flags::default();
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let mut value =
+                |name: &str| it.next().map(String::as_str).ok_or(format!("{name} needs a value"));
+            match flag.as_str() {
+                "--run" => flags.run = Some(value("--run")?.to_string()),
+                "--from" => {
+                    let name = value("--from")?;
+                    flags.from = Some(Stage::parse(name).ok_or(format!("unknown stage '{name}'"))?);
+                }
+                "--epochs" => flags.epochs = Some(parse_num(value("--epochs")?, "--epochs")?),
+                "--train" => flags.train = Some(parse_num(value("--train")?, "--train")?),
+                "--dev" => flags.dev = Some(parse_num(value("--dev")?, "--dev")?),
+                "--test" => flags.test = Some(parse_num(value("--test")?, "--test")?),
+                "--seed" => flags.seed = Some(parse_num(value("--seed")?, "--seed")?),
+                "--requests" => {
+                    flags.requests = Some(parse_num(value("--requests")?, "--requests")?)
+                }
+                "--workers" => flags.workers = Some(parse_num(value("--workers")?, "--workers")?),
+                other => return Err(format!("unknown option '{other}'\n\n{USAGE}")),
+            }
+        }
+        Ok(flags)
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(value: &str, flag: &str) -> Result<T, String> {
+    value.parse().map_err(|_| format!("{flag}: '{value}' is not a number"))
+}
+
+/// The project over `<dir>/schema.json` + `<dir>/data.jsonl`, persisting
+/// runs under `<dir>/runs/`.
+fn project(dir: &Path, flags: &Flags) -> Project {
+    let name = dir
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "overton".into());
+    let mut options = OvertonOptions::default();
+    options.train.epochs = flags.epochs.unwrap_or(8);
+    Project::from_files(dir.join("schema.json"), dir.join("data.jsonl"))
+        .named(&name)
+        .with_options(options)
+        .at(dir)
+}
+
+fn run_id(dir: &Path, flags: &Flags) -> Result<String, String> {
+    if let Some(id) = &flags.run {
+        return Ok(id.clone());
+    }
+    project(dir, flags)
+        .latest_run_id()
+        .map_err(|e| e.to_string())?
+        .ok_or_else(|| format!("no runs under {}; run `overton build` first", dir.display()))
+}
+
+fn init(dir: &Path, flags: &Flags) -> Result<(), String> {
+    let config = WorkloadConfig {
+        n_train: flags.train.unwrap_or(800),
+        n_dev: flags.dev.unwrap_or(100),
+        n_test: flags.test.unwrap_or(200),
+        seed: flags.seed.unwrap_or(0),
+        ..Default::default()
+    };
+    let (schema, data) = write_two_file_workload(&config, dir).map_err(|e| e.to_string())?;
+    println!("wrote {}", schema.display());
+    println!(
+        "wrote {} ({} records: {} train / {} dev / {} test)",
+        data.display(),
+        config.n_train + config.n_dev + config.n_test,
+        config.n_train,
+        config.n_dev,
+        config.n_test
+    );
+    println!("next: overton build {}", dir.display());
+    Ok(())
+}
+
+fn build(dir: &Path, flags: &Flags) -> Result<(), String> {
+    let project = project(dir, flags);
+    let mut run = match flags.from {
+        Some(stage) => {
+            let id = run_id(dir, flags)?;
+            println!("resuming {id} from stage {stage}");
+            project.resume(&id, stage).map_err(|e| e.to_string())?
+        }
+        None if flags.run.is_some() => {
+            return Err("--run only selects an existing run; add --from <stage> to resume it \
+                 (or drop --run to start a new run)"
+                .into());
+        }
+        None => project.start().map_err(|e| e.to_string())?,
+    };
+    while let Some(stage) = run.next_stage() {
+        println!("stage {stage}...");
+        run.advance().map_err(|e| e.to_string())?;
+        let done = run.report().stages.last().expect("stage just ran");
+        println!("  {} records in {} ms", done.records, done.wall_ms);
+    }
+    println!();
+    print!("{}", run.report());
+    if let Some(run_dir) = run.dir() {
+        println!("run directory: {}", run_dir.display());
+    }
+    Ok(())
+}
+
+fn evaluate(dir: &Path, flags: &Flags) -> Result<(), String> {
+    let id = run_id(dir, flags)?;
+    let project = project(dir, flags);
+    let mut run = project.resume(&id, Stage::Evaluate).map_err(|e| e.to_string())?;
+    run.complete().map_err(|e| e.to_string())?;
+    for report in run.evaluation().expect("run evaluated").reports.values() {
+        println!("{report}");
+    }
+    print!("{}", run.report());
+    Ok(())
+}
+
+fn serve(dir: &Path, flags: &Flags) -> Result<(), String> {
+    let id = run_id(dir, flags)?;
+    let artifact_path = dir.join("runs").join(&id).join("artifact.model.json");
+    let bytes = std::fs::read(&artifact_path)
+        .map_err(|e| format!("cannot read {}: {e}", artifact_path.display()))?;
+    let artifact = DeployableModel::from_bytes(&bytes).map_err(|e| e.to_string())?;
+    let server = Server::load(&artifact);
+
+    // Serve the run's own test split as stand-in traffic, from the
+    // sealed store persisted at ingest time — the data the artifact was
+    // actually built on, immune to later edits of data.jsonl.
+    let store = ShardedStore::read_dir(dir.join("runs").join(&id).join("store"))
+        .map_err(|e| e.to_string())?;
+    let mut rows = store.index().test_rows().to_vec();
+    if let Some(n) = flags.requests {
+        rows.truncate(n);
+    }
+    if rows.is_empty() {
+        return Err(format!("run {id} has no test-tagged records to serve"));
+    }
+    let records: Vec<_> = rows
+        .into_iter()
+        .map(|row| store.get(row as usize).map_err(|e| e.to_string()))
+        .collect::<Result<_, _>>()?;
+
+    let engine = Arc::new(CascadeEngine::single(server));
+    let config = ServingConfig { workers: flags.workers.unwrap_or(4), ..ServingConfig::default() };
+    let pool = WorkerPool::start(engine, config, None);
+    let total = records.len();
+    let replies = pool.process(records);
+    let errors = replies.iter().filter(|r| r.result.is_err()).count();
+    println!("served {total} requests from run {id} ({errors} errors)");
+    println!("{}", pool.snapshot());
+    pool.shutdown();
+    Ok(())
+}
+
+fn report(dir: &Path, flags: &Flags) -> Result<(), String> {
+    let id = run_id(dir, flags)?;
+    let run_dir = dir.join("runs").join(&id);
+    let report_path = run_dir.join("report.json");
+    let text = std::fs::read_to_string(&report_path)
+        .map_err(|e| format!("cannot read {}: {e}", report_path.display()))?;
+    let report: overton::RunReport =
+        serde_json::from_str(&text).map_err(|e| format!("report.json: {e}"))?;
+    print!("{report}");
+    let eval_path = run_dir.join("evaluation.json");
+    if let Ok(text) = std::fs::read_to_string(&eval_path) {
+        let reports: BTreeMap<String, QualityReport> =
+            serde_json::from_str(&text).map_err(|e| format!("evaluation.json: {e}"))?;
+        println!();
+        for report in reports.values() {
+            println!("{report}");
+        }
+    }
+    Ok(())
+}

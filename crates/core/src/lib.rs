@@ -5,19 +5,23 @@
 //!
 //! The engineer's contract is two files — a *schema* (payloads + tasks) and
 //! a *data file* (records with multi-source weak supervision, tags and
-//! slices). Everything else is automated: supervision combination with a
-//! generative label model, compilation of the schema into a multitask deep
-//! model with slice-based learning, coarse architecture search, training,
-//! fine-grained per-tag/per-slice quality reports, and packaging into a
-//! deployable artifact with a stable serving signature.
+//! slices). Everything else is automated, and the front door matches the
+//! contract: a [`Project`] is constructed from exactly those two files
+//! ([`Project::from_files`], or [`Project::from_store`] for a sealed
+//! store) and executes as a staged, resumable [`Run`] — Ingest → Combine
+//! → Search → Train → Package → Evaluate — with per-stage telemetry in a
+//! [`RunReport`], persisted stage artifacts under `runs/<id>/`, and the
+//! deploy/monitor loop ([`Project::deploy`], [`Project::monitor`]) closing
+//! Figure 1. The same contract works with no Rust at all through the
+//! `overton` CLI (`overton build|evaluate|serve|report <dir>`).
 //!
 //! ```
-//! use overton::{build, OvertonOptions};
+//! use overton::{OvertonOptions, Project};
 //! use overton::model::TrainConfig;
 //! use overton::nlp::{generate_workload, WorkloadConfig};
 //!
 //! // Kept tiny so this doctest *runs*; scale the sizes up for a real
-//! // build (see examples/quickstart.rs).
+//! // build (see examples/quickstart.rs and examples/two_file_contract.rs).
 //! let dataset = generate_workload(&WorkloadConfig {
 //!     n_train: 60,
 //!     n_dev: 16,
@@ -25,21 +29,31 @@
 //!     seed: 7,
 //!     ..Default::default()
 //! });
-//! let options = OvertonOptions {
-//!     train: TrainConfig { epochs: 2, ..Default::default() },
-//!     ..Default::default()
-//! };
-//! let built = build(&dataset, &options).unwrap();
-//! assert!((0.0..=1.0).contains(&built.test_accuracy("Intent")));
-//! println!("{}", built.evaluation.reports["Intent"]);
+//! let run = Project::from_dataset(&dataset)
+//!     .with_options(OvertonOptions {
+//!         train: TrainConfig { epochs: 2, ..Default::default() },
+//!         ..Default::default()
+//!     })
+//!     .run()
+//!     .unwrap();
+//! assert!(run.is_complete());
+//! assert!((0.0..=1.0).contains(&run.test_accuracy("Intent")));
+//! println!("{}", run.report()); // per-stage wall-clock + record counts
+//! println!("{}", run.evaluation().unwrap().reports["Intent"]);
 //! ```
 
 #![warn(missing_docs)]
 
+mod error;
 mod pipeline;
+mod project;
+mod run;
 mod workflows;
 
-pub use pipeline::{build, build_from_store, OvertonBuild, OvertonError, OvertonOptions};
+pub use error::{Error, OvertonError};
+pub use pipeline::{build, build_from_store, OvertonBuild, OvertonOptions};
+pub use project::{Deployment, Project};
+pub use run::{Run, RunReport, Stage, StageReport};
 pub use workflows::{
     add_slice_supervision, cold_start, retrain_and_compare, worst_slices, ImprovementReport,
     SliceDiagnosis,

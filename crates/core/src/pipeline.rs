@@ -1,60 +1,32 @@
-//! The end-to-end Overton pipeline (Figure 1): schema + data file in,
-//! deployable model + fine-grained quality reports out.
+//! The legacy one-shot pipeline entry points, now thin shims over the
+//! staged [`Project`](crate::Project)/[`Run`](crate::Run) API.
 //!
-//! The pipeline's working form is the sealed [`ShardedStore`]: every hot
-//! stage — supervision combination, feature encoding, evaluation — runs as
-//! shard-parallel scans over it, and splits/slices resolve from the
-//! seal-time index instead of re-scanning records. [`build`] seals the
-//! eager dataset once and delegates to [`build_from_store`].
+//! [`build`] and [`build_from_store`] predate the two-file front door:
+//! they run the whole pipeline in one call and return the [`OvertonBuild`]
+//! bundle. They are kept (and parity-tested) for existing callers, but new
+//! code should construct a [`Project`](crate::Project) — it exposes the
+//! same pipeline as explicit stages with per-stage telemetry, run-dir
+//! persistence, resume, and the deploy/monitor loop. Both shims delegate
+//! to `Project`, so a shim build and a project run over the same sealed
+//! store produce bit-identical results.
 
+use crate::error::OvertonError;
+use crate::project::Project;
 use overton_model::{
-    evaluate_store, prepare_store, search, train_model, CompiledModel, DeployableModel, Evaluation,
-    FeatureSpace, ModelConfig, PretrainedEncoder, SearchConfig, TrainConfig, TrainReport,
-    TrialResult, TuningSpec,
+    CompiledModel, DeployableModel, Evaluation, FeatureSpace, ModelConfig, PretrainedEncoder,
+    SearchConfig, TrainConfig, TrainReport, TrialResult, TuningSpec,
 };
 use overton_store::{Dataset, ShardedStore};
-use overton_supervision::{CombineError, CombineMethod, SourceDiagnostics};
+use overton_supervision::{CombineMethod, SourceDiagnostics};
 use std::collections::BTreeMap;
-use std::fmt;
-
-/// Errors from a pipeline run.
-#[derive(Debug)]
-pub enum OvertonError {
-    /// Supervision combination failed.
-    Combine(CombineError),
-    /// The dataset has no usable training data.
-    NoTrainingData,
-    /// Storage/serialization failure.
-    Store(overton_store::StoreError),
-}
-
-impl fmt::Display for OvertonError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            OvertonError::Combine(e) => write!(f, "supervision combination failed: {e}"),
-            OvertonError::NoTrainingData => write!(f, "dataset has no training records"),
-            OvertonError::Store(e) => write!(f, "storage error: {e}"),
-        }
-    }
-}
-
-impl std::error::Error for OvertonError {}
-
-impl From<CombineError> for OvertonError {
-    fn from(e: CombineError) -> Self {
-        OvertonError::Combine(e)
-    }
-}
-
-impl From<overton_store::StoreError> for OvertonError {
-    fn from(e: overton_store::StoreError) -> Self {
-        OvertonError::Store(e)
-    }
-}
 
 /// Pipeline configuration. Everything has sensible defaults; an engineer
 /// usually touches none of it (that is the point of the system).
-#[derive(Default)]
+/// Serializable: a persisted [`Run`](crate::Run) records its options as
+/// `options.json` so resuming re-executes under the run's original
+/// configuration.
+#[derive(Default, Clone, serde::Serialize, serde::Deserialize)]
+#[serde(default)]
 pub struct OvertonOptions {
     /// How conflicting supervision is resolved.
     pub combine: CombineMethod,
@@ -67,6 +39,10 @@ pub struct OvertonOptions {
     /// Final training budget.
     pub train: TrainConfig,
     /// Optional pretrained embedding artifact (Figure 4b "with-BERT").
+    /// Not persisted in a run's `options.json` — the weight table is an
+    /// input artifact (like the data files), so resume takes it from the
+    /// project instead of re-serializing megabytes of embeddings per run.
+    #[serde(skip)]
     pub pretrained: Option<PretrainedEncoder>,
 }
 
@@ -96,88 +72,42 @@ impl OvertonBuild {
         self.evaluation.accuracy(task)
     }
 
-    /// Mean test accuracy over all tasks with reports.
+    /// Mean test accuracy over the tasks that were actually scored: tasks
+    /// whose report has no `overall` row (no gold test examples) are
+    /// excluded from numerator *and* denominator, so they cannot silently
+    /// drag the mean toward zero.
     pub fn mean_test_accuracy(&self) -> f64 {
-        if self.evaluation.reports.is_empty() {
-            return 0.0;
-        }
-        let sum: f64 =
-            self.evaluation.reports.values().filter_map(|r| r.overall().map(|m| m.accuracy)).sum();
-        sum / self.evaluation.reports.len() as f64
+        let scored = crate::workflows::scored_accuracies(&self.evaluation.reports);
+        crate::workflows::mean_accuracy(&scored)
     }
 }
 
-/// Runs the full pipeline on an eager dataset: seals it into a
-/// [`ShardedStore`] (the pipeline's working form) and delegates to
-/// [`build_from_store`].
+/// Runs the full pipeline on an eager dataset. Legacy shim: seals the
+/// dataset and delegates to a [`Project`](crate::Project) run (the
+/// freshly sealed store moves into the project — no copy); prefer the
+/// staged API for anything beyond a one-shot build.
 pub fn build(dataset: &Dataset, options: &OvertonOptions) -> Result<OvertonBuild, OvertonError> {
-    build_from_store(&dataset.seal(), options)
+    Project::from_store(dataset.seal()).with_options(options.clone()).run()?.into_build()
 }
 
-/// Runs the full pipeline on a sealed store: combine supervision
-/// (shard-parallel, all tasks in one scan), (optionally) search, train,
-/// package, evaluate (shard-parallel over the test rows from the
-/// seal-time index).
+/// Runs the full pipeline on a sealed store. Legacy shim delegating to an
+/// in-memory [`Project`](crate::Project) run (combine → search → train →
+/// package → evaluate); prefer the staged API for persistence, resume and
+/// deployment. The borrowed store is cloned once to enter the project
+/// (shard blobs are refcounted `Bytes`, so this copies row offsets and
+/// the seal-time index, not the data); callers that own their store
+/// should use [`Project::from_store`] directly and skip even that.
 pub fn build_from_store(
     store: &ShardedStore,
     options: &OvertonOptions,
 ) -> Result<OvertonBuild, OvertonError> {
-    if store.index().train_rows().is_empty() {
-        return Err(OvertonError::NoTrainingData);
-    }
-    let prepared = prepare_store(store, &options.combine).map_err(|e| match e {
-        CombineError::Store(e) => OvertonError::Store(e),
-        other => OvertonError::Combine(other),
-    })?;
-    if prepared.train.iter().all(|e| e.targets.is_empty()) {
-        return Err(OvertonError::NoTrainingData);
-    }
-
-    let (chosen_config, trials) = match &options.tuning {
-        Some(spec) => search(
-            store.schema(),
-            &prepared.space,
-            &prepared.train,
-            &prepared.dev,
-            spec,
-            &options.base_model,
-            options.pretrained.as_ref(),
-            &options.search,
-        ),
-        None => (options.base_model.clone(), Vec::new()),
-    };
-
-    let mut model = CompiledModel::compile(
-        store.schema(),
-        &prepared.space,
-        &chosen_config,
-        options.pretrained.as_ref(),
-    );
-    let train_report = train_model(&mut model, &prepared.train, &prepared.dev, &options.train);
-
-    let mut metadata = BTreeMap::new();
-    metadata.insert("train_records".into(), prepared.train.len().to_string());
-    metadata.insert("dev_records".into(), prepared.dev.len().to_string());
-    metadata.insert("encoder".into(), format!("{:?}", chosen_config.encoder));
-    let artifact = DeployableModel::package(&model, &prepared.space, metadata);
-
-    let evaluation = evaluate_store(&model, store, store.index().test_rows(), &prepared.space)?;
-
-    Ok(OvertonBuild {
-        artifact,
-        model,
-        space: prepared.space,
-        chosen_config,
-        trials,
-        train_report,
-        diagnostics: prepared.diagnostics,
-        evaluation,
-    })
+    Project::from_store(store.clone()).with_options(options.clone()).run()?.into_build()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use overton_monitor::{Metrics, QualityReport};
     use overton_nlp::{generate_workload, WorkloadConfig};
 
     fn quick_options() -> OvertonOptions {
@@ -230,5 +160,34 @@ mod tests {
         // builds are identical down to the evaluation reports.
         assert_eq!(sharded.evaluation.reports, eager.evaluation.reports);
         assert_eq!(sharded.train_report.epochs_run, eager.train_report.epochs_run);
+    }
+
+    #[test]
+    fn mean_test_accuracy_skips_unscored_tasks() {
+        // A task whose report lacks an `overall` row (no gold test
+        // examples) must not enter the denominator.
+        let mut reports = std::collections::BTreeMap::new();
+        let mut scored = QualityReport::new("Intent");
+        scored.push("overall", Metrics { count: 10, accuracy: 0.8, macro_f1: 0.8, micro_f1: 0.8 });
+        reports.insert("Intent".to_string(), scored);
+        reports.insert("POS".to_string(), QualityReport::new("POS"));
+
+        let ds = generate_workload(&WorkloadConfig {
+            n_train: 60,
+            n_dev: 16,
+            n_test: 16,
+            seed: 5,
+            ..Default::default()
+        });
+        let mut out = build(
+            &ds,
+            &OvertonOptions {
+                train: TrainConfig { epochs: 1, early_stop_patience: 0, ..Default::default() },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        out.evaluation.reports = reports;
+        assert!((out.mean_test_accuracy() - 0.8).abs() < 1e-12, "{}", out.mean_test_accuracy());
     }
 }

@@ -1,0 +1,441 @@
+//! The front door: a declarative [`Project`] built from the paper's
+//! two-file contract.
+//!
+//! An Overton engineer's entire interface is a schema file and a data file
+//! (paper §1–2). [`Project::from_files`] takes exactly those two paths —
+//! the data file streams straight into the sharded row store, no eager
+//! `Vec<Record>` — and executes the pipeline as a staged, resumable
+//! [`Run`]. The project also closes Figure 1's loop: [`Project::deploy`]
+//! hands the packaged artifact to the serving runtime
+//! ([`DeploymentManager`] + [`WorkerPool`]), and [`Project::monitor`]
+//! turns the quality reports coming back from live traffic into the
+//! ranked slice worklist that drives the next data edit.
+
+use crate::error::Error;
+use crate::pipeline::OvertonOptions;
+use crate::run::{Run, Stage};
+use crate::workflows::{diagnose_reports, ImprovementReport, SliceDiagnosis};
+use overton_model::ModelRegistry;
+use overton_monitor::QualityReport;
+use overton_serving::{CascadeEngine, DeploymentManager, ServingConfig, WorkerPool};
+use overton_store::{Dataset, ShardedStore};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Where a project's records come from.
+enum Source {
+    /// The two-file contract: schema JSON + JSONL records. Ingest streams
+    /// the data file into shard builders on every run, so edits to the
+    /// files are picked up by the next run — that *is* the improvement
+    /// loop.
+    Files { schema: PathBuf, data: PathBuf },
+    /// An already-sealed store (in-memory callers, the legacy shims).
+    /// Shared, so repeated runs adopt it without deep-copying the shard
+    /// blobs.
+    Store(Arc<ShardedStore>),
+}
+
+/// A declarative Overton project: a data source, pipeline options, and an
+/// optional root directory under which runs persist (`<root>/runs/<id>/`)
+/// and deployments keep their model registry (`<root>/registry/`).
+pub struct Project {
+    name: String,
+    source: Source,
+    options: OvertonOptions,
+    root: Option<PathBuf>,
+}
+
+impl Project {
+    /// A project over the two-file engineer contract. The files are read
+    /// at [`start`](Project::start)/[`run`](Project::run) time (the ingest
+    /// stage), so construction never fails and re-running picks up edits.
+    pub fn from_files(schema: impl Into<PathBuf>, data: impl Into<PathBuf>) -> Self {
+        Self {
+            name: "overton".into(),
+            source: Source::Files { schema: schema.into(), data: data.into() },
+            options: OvertonOptions::default(),
+            root: None,
+        }
+    }
+
+    /// A project over an already-sealed store.
+    pub fn from_store(store: ShardedStore) -> Self {
+        Self {
+            name: "overton".into(),
+            source: Source::Store(Arc::new(store)),
+            options: OvertonOptions::default(),
+            root: None,
+        }
+    }
+
+    /// A project over an eager dataset (seals it once, up front).
+    pub fn from_dataset(dataset: &Dataset) -> Self {
+        Self::from_store(dataset.seal())
+    }
+
+    /// Names the project (the deployment/registry name; defaults to
+    /// `"overton"`).
+    pub fn named(mut self, name: &str) -> Self {
+        self.name = name.to_string();
+        self
+    }
+
+    /// Sets the pipeline options.
+    pub fn with_options(mut self, options: OvertonOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Sets the project root: runs persist under `<root>/runs/<id>/` and
+    /// become resumable; [`deploy`](Project::deploy) keeps its registry at
+    /// `<root>/registry/`. Without a root everything runs in memory.
+    pub fn at(mut self, root: impl Into<PathBuf>) -> Self {
+        self.root = Some(root.into());
+        self
+    }
+
+    /// The project name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The pipeline options.
+    pub fn options(&self) -> &OvertonOptions {
+        &self.options
+    }
+
+    /// The runs directory, when the project has a root.
+    pub fn runs_dir(&self) -> Option<PathBuf> {
+        self.root.as_ref().map(|r| r.join("runs"))
+    }
+
+    /// The id of the most recent persisted run, if any (highest run
+    /// number, compared numerically).
+    pub fn latest_run_id(&self) -> Result<Option<String>, Error> {
+        let Some(runs) = self.runs_dir() else { return Ok(None) };
+        if !runs.exists() {
+            return Ok(None);
+        }
+        Ok(max_run(&runs)?.map(|(_, name)| name))
+    }
+
+    /// Starts a new run by executing [`Stage::Ingest`]: the two files are
+    /// parsed, validated and streamed into the sharded row store (or the
+    /// sealed source store is adopted), and — when the project has a root
+    /// — the store and the run's options are persisted under a fresh
+    /// `runs/<id>/` directory. The directory is allocated only after
+    /// ingestion succeeds (and removed again if persisting fails), so a
+    /// malformed data file never leaves an empty "latest" run behind.
+    pub fn start(&self) -> Result<Run, Error> {
+        let start = Instant::now();
+        let store = self.ingest_store()?;
+        let (id, dir) = self.allocate_run_dir()?;
+        let persist = |run: &Run| -> Result<(), Error> {
+            if run.dir().is_some() {
+                run.store().write_dir(run.dir().expect("checked").join("store"))?;
+                run.write_json(
+                    "options.json",
+                    &RunOptionsFile {
+                        uses_pretrained: self.options.pretrained.is_some(),
+                        options: self.options.clone(),
+                    },
+                )?;
+            }
+            run.persist_report()?;
+            Ok(())
+        };
+        let records = store.len();
+        let mut run = Run::new(id, dir, self.options.clone(), store);
+        run.note_stage(Stage::Ingest, start, records);
+        if let Err(e) = persist(&run) {
+            if let Some(dir) = run.dir() {
+                std::fs::remove_dir_all(dir).ok();
+            }
+            return Err(e);
+        }
+        Ok(run)
+    }
+
+    /// Starts a run and drives it through every stage.
+    pub fn run(&self) -> Result<Run, Error> {
+        let mut run = self.start()?;
+        run.complete()?;
+        Ok(run)
+    }
+
+    /// Resumes the persisted run `run_id` from stage `from`: `from` and
+    /// everything after it re-execute, everything before it loads from the
+    /// run directory (`ingest` re-reads the project source into the same
+    /// directory; later stages reuse the sealed store and the persisted
+    /// stage artifacts — in particular, resuming after `train` never
+    /// retrains). A resumed run re-executes under the **options it was
+    /// started with** (persisted as `options.json`); the project's current
+    /// options apply only to new runs, so resuming can never silently
+    /// retrain with a different configuration than the run's own
+    /// artifacts record. Returns the run positioned at `from`; drive it
+    /// with [`Run::complete`].
+    pub fn resume(&self, run_id: &str, from: Stage) -> Result<Run, Error> {
+        let runs = self
+            .runs_dir()
+            .ok_or_else(|| Error::run(from, "project has no root; nothing to resume"))?;
+        let dir = runs.join(run_id);
+        if !dir.join("report.json").exists() {
+            return Err(Error::run(from, format!("no persisted run at {}", dir.display())));
+        }
+        let options = self.persisted_options(&dir, from)?;
+        if from == Stage::Ingest {
+            // A full re-run in place: re-ingest the (possibly edited)
+            // source into the same run directory. The new store lands in
+            // a temp directory first, so an ingest or write failure
+            // leaves the old run fully intact; only once it is safely on
+            // disk do we drop the stale downstream artifacts and swap the
+            // store in (a plain overwrite would also strand old shard
+            // files that `read_dir`'s extra-shard check rejects when the
+            // dataset shrank).
+            let start = Instant::now();
+            let store = self.ingest_store()?;
+            let store_dir = dir.join("store");
+            let staging = dir.join("store.tmp");
+            std::fs::remove_dir_all(&staging).ok();
+            store.write_dir(&staging)?;
+            std::fs::remove_dir_all(&store_dir).ok();
+            std::fs::rename(&staging, &store_dir)?;
+            // Only after the new store is swapped in: a failed write or
+            // swap above leaves the old run — artifacts included — fully
+            // intact and still serveable.
+            Run::clear_stage_artifacts(&dir, Stage::Ingest);
+            let records = store.len();
+            let mut run = Run::new(run_id.to_string(), Some(dir), options, store);
+            run.note_stage(Stage::Ingest, start, records);
+            run.persist_report()?;
+            return Ok(run);
+        }
+        let store = Arc::new(ShardedStore::read_dir(dir.join("store"))?);
+        Run::load(dir, run_id.to_string(), options, from, store)
+    }
+
+    /// Ingests the project source: streams the two files into shard
+    /// builders, or adopts the already-sealed store (a cheap `Arc` clone,
+    /// not a copy of the shard blobs).
+    fn ingest_store(&self) -> Result<Arc<ShardedStore>, Error> {
+        Ok(match &self.source {
+            Source::Files { schema, data } => Arc::new(ShardedStore::from_files(schema, data)?),
+            Source::Store(store) => Arc::clone(store),
+        })
+    }
+
+    /// The options a persisted run was started with. A run directory
+    /// predating `options.json` falls back to the project's current
+    /// options; an *unreadable* `options.json` is a hard error — silently
+    /// substituting different options would break the resume guarantee.
+    /// The pretrained encoder itself is an input artifact `options.json`
+    /// does not embed; it comes from the project (like the data files),
+    /// and the persisted `uses_pretrained` marker makes a mismatch a hard
+    /// error instead of a silent retrain without the encoder.
+    fn persisted_options(
+        &self,
+        run_dir: &std::path::Path,
+        from: Stage,
+    ) -> Result<OvertonOptions, Error> {
+        let path = run_dir.join("options.json");
+        match std::fs::read_to_string(&path) {
+            Ok(text) => {
+                let file: RunOptionsFile = serde_json::from_str(&text).map_err(|e| {
+                    Error::run(
+                        from,
+                        format!(
+                            "{}: {e} (the run's original options are unreadable; delete the file \
+                             to resume under the project's current options)",
+                            path.display()
+                        ),
+                    )
+                })?;
+                if file.uses_pretrained != self.options.pretrained.is_some() {
+                    return Err(Error::run(
+                        from,
+                        format!(
+                            "the run was built {} a pretrained encoder but the project is \
+                             configured {} one; supply matching options to resume",
+                            if file.uses_pretrained { "with" } else { "without" },
+                            if self.options.pretrained.is_some() { "with" } else { "without" },
+                        ),
+                    ));
+                }
+                let mut options = file.options;
+                options.pretrained = self.options.pretrained.clone();
+                Ok(options)
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(self.options.clone()),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Deploys a completed run's packaged artifact: publishes it to the
+    /// project registry, opens a [`DeploymentManager`] (the canary/rollback
+    /// gate), and starts a [`WorkerPool`] serving the artifact, attached so
+    /// promotions hot-swap the pool's engine. This is the right-hand side
+    /// of Figure 1 made concrete.
+    pub fn deploy(&self, run: &Run) -> Result<Deployment, Error> {
+        self.deploy_with(run, ServingConfig::default())
+    }
+
+    /// [`deploy`](Project::deploy) with explicit worker-pool sizing.
+    pub fn deploy_with(&self, run: &Run, config: ServingConfig) -> Result<Deployment, Error> {
+        let artifact = run.artifact().ok_or_else(|| {
+            Error::run(Stage::Package, "run has no packaged artifact; complete the run first")
+        })?;
+        // Rootless, run-dir-less deployments get a unique scratch
+        // registry (cleaned up when the Deployment drops) — a fixed path
+        // would grow forever and could collide across processes via pid
+        // reuse.
+        let (registry_dir, temp_registry) = match (&self.root, run.dir()) {
+            (Some(root), _) => (root.join("registry"), None),
+            (None, Some(dir)) => (dir.join("registry"), None),
+            (None, None) => {
+                let unique = DEPLOY_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let dir = std::env::temp_dir().join(format!(
+                    "overton-{}-registry-{}-{unique}",
+                    self.name,
+                    std::process::id()
+                ));
+                (dir.clone(), Some(dir))
+            }
+        };
+        let registry = ModelRegistry::open(registry_dir)?;
+        registry.publish(artifact, &self.name)?;
+        let mut manager = DeploymentManager::open(registry, &self.name, DEPLOY_THRESHOLD)?;
+        let engine: Arc<CascadeEngine> = manager.build_engine()?;
+        let pool = Arc::new(WorkerPool::start(engine, config, None));
+        manager.attach_pool(Arc::clone(&pool));
+        Ok(Deployment { manager, pool, temp_registry })
+    }
+
+    /// Turns quality reports observed on live traffic (e.g. from
+    /// [`DeploymentManager::canary_reports`]) back into the ranked slice
+    /// worklist an engineer triages — the monitoring edge of Figure 1's
+    /// loop. Slices with fewer than `min_count` scored examples are
+    /// skipped.
+    pub fn monitor(
+        &self,
+        reports: &BTreeMap<String, QualityReport>,
+        min_count: usize,
+    ) -> Vec<SliceDiagnosis> {
+        diagnose_reports(reports, min_count)
+    }
+
+    /// Re-runs the pipeline on the project's *current* source (for a
+    /// two-file project, the freshly edited files) and reports the
+    /// targeted `(task, slice)` accuracy before and after — the re-homed
+    /// improve-and-retrain workflow.
+    pub fn retrain_and_compare(
+        &self,
+        previous: &Run,
+        task: &str,
+        slice: &str,
+    ) -> Result<ImprovementReport, Error> {
+        let before =
+            previous.evaluation().and_then(|e| e.slice_accuracy(task, slice)).unwrap_or(0.0);
+        let run = self.run()?;
+        let after = run.evaluation().and_then(|e| e.slice_accuracy(task, slice)).unwrap_or(0.0);
+        Ok(ImprovementReport { build: run.into_build()?, before, after })
+    }
+
+    fn allocate_run_dir(&self) -> Result<(String, Option<PathBuf>), Error> {
+        let Some(runs) = self.runs_dir() else {
+            return Ok(("run-mem".into(), None));
+        };
+        std::fs::create_dir_all(&runs)?;
+        // `create_dir` (not `create_dir_all`) fails on an existing
+        // directory, so two concurrent builds racing for the same number
+        // cannot both claim it — the loser retries with the next one.
+        let mut next = max_run(&runs)?.map_or(1, |(n, _)| n + 1);
+        loop {
+            let id = format!("run-{next:04}");
+            let dir = runs.join(&id);
+            match std::fs::create_dir(&dir) {
+                Ok(()) => return Ok((id, Some(dir))),
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => next += 1,
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+}
+
+/// Confidence below which the serving cascade escalates to the large
+/// model, when one is attached to the deployment.
+const DEPLOY_THRESHOLD: f32 = 0.5;
+
+/// Disambiguates scratch registries of rootless deployments within one
+/// process.
+static DEPLOY_SEQ: std::sync::atomic::AtomicU32 = std::sync::atomic::AtomicU32::new(0);
+
+/// The on-disk shape of a run's `options.json`: the serializable options
+/// plus a marker for the pretrained encoder, which is an input artifact
+/// the file does not embed (resume must be given the same one).
+#[derive(serde::Serialize, serde::Deserialize)]
+struct RunOptionsFile {
+    uses_pretrained: bool,
+    options: OvertonOptions,
+}
+
+fn run_number(name: &str) -> Option<u32> {
+    name.strip_prefix("run-")?.parse().ok()
+}
+
+/// Scans a runs directory for the highest-numbered `run-N` entry — the
+/// one rule shared by "which run is latest" and "which id comes next".
+fn max_run(runs: &std::path::Path) -> Result<Option<(u32, String)>, Error> {
+    let mut max: Option<(u32, String)> = None;
+    for entry in std::fs::read_dir(runs)? {
+        let name = entry?.file_name().to_string_lossy().into_owned();
+        if let Some(n) = run_number(&name) {
+            if max.as_ref().is_none_or(|(m, _)| n > *m) {
+                max = Some((n, name));
+            }
+        }
+    }
+    Ok(max)
+}
+
+/// A live deployment produced by [`Project::deploy`]: the canary gate plus
+/// the worker pool actually answering traffic. Dropping it shuts the pool
+/// down after the queue drains (and removes the scratch registry of a
+/// rootless deployment).
+pub struct Deployment {
+    manager: DeploymentManager,
+    pool: Arc<WorkerPool>,
+    /// Set only for rootless deployments, whose registry lives in a
+    /// unique temp directory removed on drop.
+    temp_registry: Option<PathBuf>,
+}
+
+impl Drop for Deployment {
+    fn drop(&mut self) {
+        if let Some(dir) = &self.temp_registry {
+            std::fs::remove_dir_all(dir).ok();
+        }
+    }
+}
+
+impl Deployment {
+    /// The canary/rollback gate (start canaries, observe traffic, resolve).
+    pub fn manager(&mut self) -> &mut DeploymentManager {
+        &mut self.manager
+    }
+
+    /// The serving pool (submit traffic, read telemetry).
+    pub fn pool(&self) -> &Arc<WorkerPool> {
+        &self.pool
+    }
+
+    /// Serves a burst of live records through the incumbent (and any
+    /// active canary shadow), returning the live responses in input order.
+    pub fn observe(
+        &mut self,
+        records: &[overton_store::Record],
+    ) -> Vec<Result<overton_model::ServingResponse, overton_store::StoreError>> {
+        self.manager.observe(records)
+    }
+}

@@ -1,0 +1,695 @@
+//! The staged pipeline run: Figure 1 as an explicit, resumable state
+//! machine.
+//!
+//! A [`Run`] executes the paper's loop as six explicit [`Stage`]s — Ingest
+//! → Combine → Search → Train → Package → Evaluate — each producing a
+//! typed, serializable artifact under the run directory (`runs/<id>/`) and
+//! a per-stage wall-clock + record-count entry in the [`RunReport`]. The
+//! unit of monitoring is the *run*, not the model: the report is what an
+//! engineer (or the `overton report` CLI) reads to understand what a
+//! retrain did, and the persisted stage artifacts are what let a run
+//! resume from any completed stage instead of starting over.
+//!
+//! Run-directory layout (written only when the owning
+//! [`Project`](crate::Project) has a root):
+//!
+//! ```text
+//! runs/<id>/
+//!   store/              sealed sharded row store (Ingest)
+//!   combine.json        per-source diagnostics + example counts (Combine)
+//!   search.json         chosen architecture + all trials (Search)
+//!   train.json          training report (Train)
+//!   train.model.json    weights snapshot, a loadable artifact (Train)
+//!   artifact.model.json the packaged deployable artifact (Package)
+//!   evaluation.json     per-task quality reports (Evaluate)
+//!   report.json         the RunReport; doubles as the completion record
+//! ```
+
+use crate::error::Error;
+use crate::pipeline::{OvertonBuild, OvertonOptions};
+use crate::workflows::{diagnose_reports, mean_accuracy, scored_accuracies, SliceDiagnosis};
+use overton_model::{
+    evaluate_store, prepare_store, search, train_model, CompiledModel, DeployableModel, Evaluation,
+    FeatureSpace, ModelConfig, PreparedData, TrainReport, TrialResult,
+};
+use overton_store::{ShardedStore, StoreError};
+use overton_supervision::SourceDiagnostics;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One stage of the pipeline, in execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Stage {
+    /// Parse + validate the two files (or adopt a sealed store) and seal
+    /// the sharded row store.
+    Ingest,
+    /// Combine multi-source supervision into probabilistic targets.
+    Combine,
+    /// Coarse architecture search (a no-op pick of the base model when no
+    /// tuning spec is configured).
+    Search,
+    /// Train the compiled multitask model.
+    Train,
+    /// Package the deployable artifact with its serving signature.
+    Package,
+    /// Evaluate on the test split: per-task, per-tag, per-slice reports.
+    Evaluate,
+}
+
+impl Stage {
+    /// All stages, in execution order.
+    pub const ALL: [Stage; 6] = [
+        Stage::Ingest,
+        Stage::Combine,
+        Stage::Search,
+        Stage::Train,
+        Stage::Package,
+        Stage::Evaluate,
+    ];
+
+    /// The stage's lowercase name (stable; used by the CLI and in files).
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Ingest => "ingest",
+            Stage::Combine => "combine",
+            Stage::Search => "search",
+            Stage::Train => "train",
+            Stage::Package => "package",
+            Stage::Evaluate => "evaluate",
+        }
+    }
+
+    /// The following stage, or `None` after [`Stage::Evaluate`].
+    pub fn next(self) -> Option<Stage> {
+        let i = Stage::ALL.iter().position(|&s| s == self).expect("stage in ALL");
+        Stage::ALL.get(i + 1).copied()
+    }
+
+    /// Parses a stage name as printed by [`Stage::name`] (case-insensitive).
+    pub fn parse(name: &str) -> Option<Stage> {
+        Stage::ALL.into_iter().find(|s| s.name().eq_ignore_ascii_case(name))
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Telemetry for one executed stage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageReport {
+    /// The stage.
+    pub stage: Stage,
+    /// Wall-clock time the stage took.
+    pub wall_ms: u64,
+    /// How many records/items the stage processed (rows ingested, examples
+    /// combined, trials searched, examples trained on, weights packaged,
+    /// rows evaluated).
+    pub records: usize,
+}
+
+/// The run-level monitoring artifact: per-stage telemetry plus the final
+/// test accuracies. Persisted as `report.json`, which also serves as the
+/// run's stage-completion record for resume.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct RunReport {
+    /// The run's id (its directory name under `runs/`).
+    pub run_id: String,
+    /// One entry per completed stage, in execution order.
+    pub stages: Vec<StageReport>,
+    /// Overall test accuracy per task, for tasks that produced an
+    /// `overall` row (tasks without scored gold examples are absent, not
+    /// zero).
+    pub task_accuracy: BTreeMap<String, f64>,
+    /// Mean of [`task_accuracy`](Self::task_accuracy) — the mean over
+    /// *scored* tasks only, so unscored tasks cannot drag it down.
+    pub mean_test_accuracy: f64,
+}
+
+impl RunReport {
+    /// Telemetry for one stage, if it completed.
+    pub fn stage(&self, stage: Stage) -> Option<&StageReport> {
+        self.stages.iter().find(|s| s.stage == stage)
+    }
+
+    /// True when the stage has a telemetry entry (i.e. completed).
+    pub fn completed(&self, stage: Stage) -> bool {
+        self.stage(stage).is_some()
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "run: {}", self.run_id)?;
+        writeln!(f, "{:>9}  {:>9}  {:>9}", "stage", "wall_ms", "records")?;
+        for s in &self.stages {
+            writeln!(f, "{:>9}  {:>9}  {:>9}", s.stage.name(), s.wall_ms, s.records)?;
+        }
+        for (task, acc) in &self.task_accuracy {
+            writeln!(f, "test accuracy {task}: {acc:.4}")?;
+        }
+        if !self.task_accuracy.is_empty() {
+            writeln!(
+                f,
+                "mean test accuracy: {:.4} ({} scored tasks)",
+                self.mean_test_accuracy,
+                self.task_accuracy.len()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// The combine stage's persisted artifact.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct CombineArtifact {
+    diagnostics: BTreeMap<String, Vec<SourceDiagnostics>>,
+    train_examples: usize,
+    dev_examples: usize,
+}
+
+/// The search stage's persisted artifact.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct SearchArtifact {
+    chosen: ModelConfig,
+    trials: Vec<TrialResult>,
+}
+
+/// A staged, resumable pipeline execution. Created by
+/// [`Project::start`](crate::Project::start) (which performs
+/// [`Stage::Ingest`]); drive it with [`advance`](Run::advance) or
+/// [`complete`](Run::complete).
+pub struct Run {
+    pub(crate) id: String,
+    pub(crate) dir: Option<PathBuf>,
+    pub(crate) options: OvertonOptions,
+    /// Shared with the owning project when the source is a sealed store,
+    /// so starting a run never deep-copies the shard blobs.
+    pub(crate) store: Arc<ShardedStore>,
+    pub(crate) prepared: Option<PreparedData>,
+    pub(crate) diagnostics: BTreeMap<String, Vec<SourceDiagnostics>>,
+    pub(crate) train_examples: usize,
+    pub(crate) dev_examples: usize,
+    pub(crate) chosen_config: Option<ModelConfig>,
+    pub(crate) trials: Vec<TrialResult>,
+    pub(crate) model: Option<CompiledModel>,
+    pub(crate) space: Option<FeatureSpace>,
+    pub(crate) train_report: Option<TrainReport>,
+    pub(crate) artifact: Option<DeployableModel>,
+    pub(crate) evaluation: Option<Evaluation>,
+    pub(crate) report: RunReport,
+    /// The next stage to execute; `None` once the run is complete.
+    pub(crate) cursor: Option<Stage>,
+}
+
+impl fmt::Debug for Run {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Run")
+            .field("id", &self.id)
+            .field("dir", &self.dir)
+            .field("rows", &self.store.len())
+            .field("next_stage", &self.cursor)
+            .field("completed", &self.report.stages.iter().map(|s| s.stage).collect::<Vec<_>>())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Run {
+    pub(crate) fn new(
+        id: String,
+        dir: Option<PathBuf>,
+        options: OvertonOptions,
+        store: Arc<ShardedStore>,
+    ) -> Self {
+        let report = RunReport { run_id: id.clone(), ..RunReport::default() };
+        Self {
+            id,
+            dir,
+            options,
+            store,
+            prepared: None,
+            diagnostics: BTreeMap::new(),
+            train_examples: 0,
+            dev_examples: 0,
+            chosen_config: None,
+            trials: Vec::new(),
+            model: None,
+            space: None,
+            train_report: None,
+            artifact: None,
+            evaluation: None,
+            report,
+            cursor: Some(Stage::Combine),
+        }
+    }
+
+    /// The run id (`run-NNNN` for persisted runs).
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// The run directory, when the project persists runs.
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+
+    /// The sealed store the run operates on.
+    pub fn store(&self) -> &ShardedStore {
+        &self.store
+    }
+
+    /// Per-stage telemetry plus final accuracies.
+    pub fn report(&self) -> &RunReport {
+        &self.report
+    }
+
+    /// The next stage [`advance`](Run::advance) would execute, or `None`
+    /// when the run is complete.
+    pub fn next_stage(&self) -> Option<Stage> {
+        self.cursor
+    }
+
+    /// True once every stage has executed.
+    pub fn is_complete(&self) -> bool {
+        self.cursor.is_none()
+    }
+
+    /// The searched (or base) architecture, once [`Stage::Search`] ran.
+    pub fn chosen_config(&self) -> Option<&ModelConfig> {
+        self.chosen_config.as_ref()
+    }
+
+    /// All search trials, best first (empty when search was skipped).
+    pub fn trials(&self) -> &[TrialResult] {
+        &self.trials
+    }
+
+    /// Per-task supervision diagnostics, once [`Stage::Combine`] ran.
+    pub fn diagnostics(&self) -> &BTreeMap<String, Vec<SourceDiagnostics>> {
+        &self.diagnostics
+    }
+
+    /// The training summary, once [`Stage::Train`] ran.
+    pub fn train_report(&self) -> Option<&TrainReport> {
+        self.train_report.as_ref()
+    }
+
+    /// The packaged deployable artifact, once [`Stage::Package`] ran.
+    pub fn artifact(&self) -> Option<&DeployableModel> {
+        self.artifact.as_ref()
+    }
+
+    /// The test evaluation, once [`Stage::Evaluate`] ran.
+    pub fn evaluation(&self) -> Option<&Evaluation> {
+        self.evaluation.as_ref()
+    }
+
+    /// Overall test accuracy of a task (0 before evaluation or for an
+    /// unscored task).
+    pub fn test_accuracy(&self, task: &str) -> f64 {
+        self.evaluation.as_ref().map_or(0.0, |e| e.accuracy(task))
+    }
+
+    /// Mean test accuracy over the tasks that were actually scored
+    /// (tasks without an `overall` row are excluded from numerator *and*
+    /// denominator).
+    pub fn mean_test_accuracy(&self) -> f64 {
+        self.report.mean_test_accuracy
+    }
+
+    /// The monitoring worklist: `(task, slice)` pairs of the evaluation
+    /// ranked by accuracy ascending, skipping slices with fewer than
+    /// `min_count` scored examples. The re-homed
+    /// [`worst_slices`](crate::worst_slices) workflow.
+    pub fn worst_slices(&self, min_count: usize) -> Vec<SliceDiagnosis> {
+        self.evaluation.as_ref().map_or_else(Vec::new, |e| diagnose_reports(&e.reports, min_count))
+    }
+
+    /// Executes the next stage, returning which one ran.
+    pub fn advance(&mut self) -> Result<Stage, Error> {
+        let stage =
+            self.cursor.ok_or_else(|| Error::run(Stage::Evaluate, "run is already complete"))?;
+        let start = Instant::now();
+        let records = match stage {
+            Stage::Ingest => unreachable!("ingest runs in Project::start"),
+            Stage::Combine => self.run_combine()?,
+            Stage::Search => self.run_search()?,
+            Stage::Train => self.run_train()?,
+            Stage::Package => self.run_package()?,
+            Stage::Evaluate => self.run_evaluate()?,
+        };
+        self.note_stage(stage, start, records);
+        self.cursor = stage.next();
+        self.persist_report()?;
+        Ok(stage)
+    }
+
+    /// Executes every remaining stage.
+    pub fn complete(&mut self) -> Result<(), Error> {
+        while !self.is_complete() {
+            self.advance()?;
+        }
+        Ok(())
+    }
+
+    /// Consumes the run into the legacy [`OvertonBuild`] bundle. Fails if
+    /// the run is not complete.
+    pub fn into_build(self) -> Result<OvertonBuild, Error> {
+        if !self.is_complete() {
+            return Err(Error::run(
+                self.cursor.expect("incomplete run has a cursor"),
+                "run is not complete; call complete() first",
+            ));
+        }
+        Ok(OvertonBuild {
+            artifact: self.artifact.expect("complete run packaged"),
+            model: self.model.expect("complete run trained"),
+            space: self.space.expect("complete run has a feature space"),
+            chosen_config: self.chosen_config.expect("complete run searched"),
+            trials: self.trials,
+            train_report: self.train_report.expect("complete run trained"),
+            diagnostics: self.diagnostics,
+            evaluation: self.evaluation.expect("complete run evaluated"),
+        })
+    }
+
+    pub(crate) fn note_stage(&mut self, stage: Stage, start: Instant, records: usize) {
+        self.report.stages.push(StageReport {
+            stage,
+            wall_ms: start.elapsed().as_millis() as u64,
+            records,
+        });
+    }
+
+    // ---- stage executors ------------------------------------------------
+
+    fn run_combine(&mut self) -> Result<usize, Error> {
+        if self.store.index().train_rows().is_empty() {
+            return Err(Error::NoTrainingData);
+        }
+        let prepared = prepare_store(&self.store, &self.options.combine)?;
+        if prepared.train.iter().all(|e| e.targets.is_empty()) {
+            return Err(Error::NoTrainingData);
+        }
+        self.diagnostics = prepared.diagnostics.clone();
+        self.train_examples = prepared.train.len();
+        self.dev_examples = prepared.dev.len();
+        let records = prepared.train.len() + prepared.dev.len();
+        self.write_json(
+            "combine.json",
+            &CombineArtifact {
+                diagnostics: self.diagnostics.clone(),
+                train_examples: self.train_examples,
+                dev_examples: self.dev_examples,
+            },
+        )?;
+        self.space = Some(prepared.space.clone());
+        self.prepared = Some(prepared);
+        Ok(records)
+    }
+
+    fn run_search(&mut self) -> Result<usize, Error> {
+        let prepared = self.prepared.as_ref().ok_or_else(|| {
+            Error::run(Stage::Search, "combine output not in memory (resume from combine)")
+        })?;
+        let (chosen, trials) = match &self.options.tuning {
+            Some(spec) => search(
+                self.store.schema(),
+                &prepared.space,
+                &prepared.train,
+                &prepared.dev,
+                spec,
+                &self.options.base_model,
+                self.options.pretrained.as_ref(),
+                &self.options.search,
+            ),
+            None => (self.options.base_model.clone(), Vec::new()),
+        };
+        self.write_json(
+            "search.json",
+            &SearchArtifact { chosen: chosen.clone(), trials: trials.clone() },
+        )?;
+        let records = trials.len();
+        self.chosen_config = Some(chosen);
+        self.trials = trials;
+        Ok(records)
+    }
+
+    fn run_train(&mut self) -> Result<usize, Error> {
+        let prepared = self.prepared.as_ref().ok_or_else(|| {
+            Error::run(Stage::Train, "combine output not in memory (resume from combine)")
+        })?;
+        let chosen = self
+            .chosen_config
+            .clone()
+            .ok_or_else(|| Error::run(Stage::Train, "no architecture chosen (run search first)"))?;
+        let mut model = CompiledModel::compile(
+            self.store.schema(),
+            &prepared.space,
+            &chosen,
+            self.options.pretrained.as_ref(),
+        );
+        let train_report =
+            train_model(&mut model, &prepared.train, &prepared.dev, &self.options.train);
+        self.write_json("train.json", &train_report)?;
+        // The weights snapshot is itself a loadable artifact, which is what
+        // makes the run resumable from `package` without retraining.
+        let mut metadata = BTreeMap::new();
+        metadata.insert("stage".into(), "train".into());
+        metadata.insert("run".into(), self.id.clone());
+        let snapshot = DeployableModel::package(&model, &prepared.space, metadata);
+        self.write_bytes("train.model.json", &snapshot.to_bytes())?;
+        let records = prepared.train.len();
+        self.model = Some(model);
+        self.train_report = Some(train_report);
+        // Training is the last consumer of the combine intermediate
+        // (encoded features + targets for every train/dev example); drop
+        // it so a long-lived Run doesn't pin it through deploy/monitor.
+        self.prepared = None;
+        Ok(records)
+    }
+
+    fn run_package(&mut self) -> Result<usize, Error> {
+        let model = self
+            .model
+            .as_ref()
+            .ok_or_else(|| Error::run(Stage::Package, "no trained model (run train first)"))?;
+        let space = self
+            .space
+            .as_ref()
+            .ok_or_else(|| Error::run(Stage::Package, "no feature space (run combine first)"))?;
+        let chosen = self
+            .chosen_config
+            .as_ref()
+            .ok_or_else(|| Error::run(Stage::Package, "no architecture (run search first)"))?;
+        let mut metadata = BTreeMap::new();
+        metadata.insert("train_records".into(), self.train_examples.to_string());
+        metadata.insert("dev_records".into(), self.dev_examples.to_string());
+        metadata.insert("encoder".into(), format!("{:?}", chosen.encoder));
+        metadata.insert("run".into(), self.id.clone());
+        let artifact = DeployableModel::package(model, space, metadata);
+        self.write_bytes("artifact.model.json", &artifact.to_bytes())?;
+        let records = model.num_weights();
+        self.artifact = Some(artifact);
+        Ok(records)
+    }
+
+    fn run_evaluate(&mut self) -> Result<usize, Error> {
+        let model = self
+            .model
+            .as_ref()
+            .ok_or_else(|| Error::run(Stage::Evaluate, "no trained model (run train first)"))?;
+        let space = self
+            .space
+            .as_ref()
+            .ok_or_else(|| Error::run(Stage::Evaluate, "no feature space (run combine first)"))?;
+        let rows = self.store.index().test_rows();
+        let evaluation = evaluate_store(model, &self.store, rows, space)?;
+        // The filtered mean (shared kernel with `OvertonBuild`): only
+        // tasks that produced an `overall` row enter numerator and
+        // denominator.
+        let task_accuracy = scored_accuracies(&evaluation.reports);
+        self.report.mean_test_accuracy = mean_accuracy(&task_accuracy);
+        self.report.task_accuracy = task_accuracy;
+        let records = rows.len();
+        self.write_json("evaluation.json", &evaluation.reports)?;
+        self.evaluation = Some(evaluation);
+        Ok(records)
+    }
+
+    // ---- persistence ----------------------------------------------------
+
+    pub(crate) fn write_json<T: Serialize>(&self, file: &str, value: &T) -> Result<(), Error> {
+        let Some(dir) = &self.dir else { return Ok(()) };
+        let text = serde_json::to_string_pretty(value).map_err(StoreError::Json)?;
+        std::fs::write(dir.join(file), text)?;
+        Ok(())
+    }
+
+    pub(crate) fn write_bytes(&self, file: &str, bytes: &[u8]) -> Result<(), Error> {
+        let Some(dir) = &self.dir else { return Ok(()) };
+        std::fs::write(dir.join(file), bytes)?;
+        Ok(())
+    }
+
+    pub(crate) fn persist_report(&self) -> Result<(), Error> {
+        self.write_json("report.json", &self.report)
+    }
+
+    // ---- resume ---------------------------------------------------------
+
+    /// The files a stage writes into the run directory (the persisted
+    /// store aside, which ingest always rewrites wholesale).
+    fn stage_files(stage: Stage) -> &'static [&'static str] {
+        match stage {
+            Stage::Ingest => &[],
+            Stage::Combine => &["combine.json"],
+            Stage::Search => &["search.json"],
+            Stage::Train => &["train.json", "train.model.json"],
+            Stage::Package => &["artifact.model.json"],
+            Stage::Evaluate => &["evaluation.json"],
+        }
+    }
+
+    /// Deletes the artifacts of `from` and every later stage, so a run
+    /// directory mid-resume never pairs fresh early-stage state with
+    /// stale downstream artifacts (e.g. a re-ingested store next to an
+    /// old `artifact.model.json`).
+    pub(crate) fn clear_stage_artifacts(dir: &Path, from: Stage) {
+        for stage in Stage::ALL.into_iter().filter(|&s| s >= from) {
+            for file in Self::stage_files(stage) {
+                std::fs::remove_file(dir.join(file)).ok();
+            }
+        }
+    }
+
+    /// Reloads a persisted run so execution restarts at `from` (which is
+    /// re-executed; everything before it is loaded from the run
+    /// directory). The heavyweight combine intermediate (per-example
+    /// probabilistic targets) is not persisted — when `from` is `search`
+    /// or `train` it is rebuilt deterministically from the stored shards —
+    /// while trained weights resume from the `train.model.json` snapshot,
+    /// so no resume point ever retrains.
+    pub(crate) fn load(
+        dir: PathBuf,
+        id: String,
+        options: OvertonOptions,
+        from: Stage,
+        store: Arc<ShardedStore>,
+    ) -> Result<Self, Error> {
+        let report_path = dir.join("report.json");
+        let text = std::fs::read_to_string(&report_path)
+            .map_err(|e| Error::run(from, format!("cannot read {}: {e}", report_path.display())))?;
+        let mut report: RunReport = serde_json::from_str(&text)
+            .map_err(|e| Error::run(from, format!("report.json: {e}")))?;
+        for stage in Stage::ALL.into_iter().take_while(|&s| s != from) {
+            if !report.completed(stage) {
+                return Err(Error::run(
+                    from,
+                    format!("cannot resume: stage {stage} never completed in this run"),
+                ));
+            }
+        }
+        // Keep telemetry for the stages we are not re-running.
+        report.stages.retain(|s| s.stage < from);
+        report.task_accuracy.clear();
+        report.mean_test_accuracy = 0.0;
+        report.run_id = id.clone();
+
+        let mut run = Run::new(id, Some(dir.clone()), options, store);
+        run.report = report;
+        run.cursor = Some(from);
+
+        let read_json = |file: &str| -> Result<String, Error> {
+            std::fs::read_to_string(dir.join(file))
+                .map_err(|e| Error::run(from, format!("cannot read {file}: {e}")))
+        };
+        let parse = |what: &str, e: serde_json::Error| Error::run(from, format!("{what}: {e}"));
+
+        if from > Stage::Combine {
+            let text = read_json("combine.json")?;
+            let combine: CombineArtifact =
+                serde_json::from_str(&text).map_err(|e| parse("combine.json", e))?;
+            run.diagnostics = combine.diagnostics;
+            run.train_examples = combine.train_examples;
+            run.dev_examples = combine.dev_examples;
+            if from <= Stage::Train {
+                // Search/Train need the combined examples; rebuild them
+                // deterministically from the sealed store.
+                let prepared = prepare_store(&run.store, &run.options.combine)?;
+                run.space = Some(prepared.space.clone());
+                run.prepared = Some(prepared);
+            }
+        }
+        if from > Stage::Search {
+            let text = read_json("search.json")?;
+            let search: SearchArtifact =
+                serde_json::from_str(&text).map_err(|e| parse("search.json", e))?;
+            run.chosen_config = Some(search.chosen);
+            run.trials = search.trials;
+        }
+        if from > Stage::Train {
+            let text = read_json("train.json")?;
+            run.train_report =
+                Some(serde_json::from_str(&text).map_err(|e| parse("train.json", e))?);
+            let snapshot_file =
+                if from > Stage::Package { "artifact.model.json" } else { "train.model.json" };
+            let bytes = std::fs::read(dir.join(snapshot_file))
+                .map_err(|e| Error::run(from, format!("cannot read {snapshot_file}: {e}")))?;
+            let snapshot = DeployableModel::from_bytes(&bytes)?;
+            run.model = Some(snapshot.instantiate());
+            run.space = Some(snapshot.space.clone());
+            if from > Stage::Package {
+                run.artifact = Some(snapshot);
+            }
+        }
+
+        // Only now that every needed artifact loaded: delete the stale
+        // artifacts of the stages being re-run and persist the truncated
+        // report, so an abandoned resume can't pair fresh early-stage
+        // state with outdated downstream artifacts — while a resume that
+        // *fails to load* (e.g. a corrupt search.json) leaves the run
+        // directory exactly as it was, still serveable.
+        Run::clear_stage_artifacts(&dir, from);
+        run.persist_report()?;
+        Ok(run)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_order_and_parse() {
+        assert_eq!(Stage::Ingest.next(), Some(Stage::Combine));
+        assert_eq!(Stage::Evaluate.next(), None);
+        assert!(Stage::Combine < Stage::Train);
+        assert_eq!(Stage::parse("TRAIN"), Some(Stage::Train));
+        assert_eq!(Stage::parse("nope"), None);
+        for s in Stage::ALL {
+            assert_eq!(Stage::parse(s.name()), Some(s));
+        }
+    }
+
+    #[test]
+    fn report_roundtrips_and_tracks_completion() {
+        let mut report = RunReport { run_id: "run-0001".into(), ..Default::default() };
+        report.stages.push(StageReport { stage: Stage::Ingest, wall_ms: 3, records: 100 });
+        report.task_accuracy.insert("Intent".into(), 0.75);
+        report.mean_test_accuracy = 0.75;
+        assert!(report.completed(Stage::Ingest));
+        assert!(!report.completed(Stage::Train));
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+        let text = report.to_string();
+        assert!(text.contains("ingest") && text.contains("mean test accuracy"), "{text}");
+    }
+}

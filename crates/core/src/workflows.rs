@@ -1,11 +1,23 @@
-//! "A Day in the Life of an Overton Engineer" (paper §2.3): the two
-//! canonical workflows — improving an existing feature via supervision, and
-//! cold-starting a new feature from synthetic data — expressed over the
-//! pipeline. In both, the engineer only ever touches *data*.
+//! "A Day in the Life of an Overton Engineer" (paper §2.3) over the staged
+//! API: monitoring output → data edit → retrain, plus the cold-start
+//! workflow. The engineer only ever touches *data*.
+//!
+//! The canonical homes of these workflows are now the [`Run`](crate::Run)
+//! and [`Project`](crate::Project) methods —
+//! [`Run::worst_slices`](crate::Run::worst_slices),
+//! [`Project::monitor`](crate::Project::monitor),
+//! [`Project::retrain_and_compare`](crate::Project::retrain_and_compare) —
+//! which operate on quality reports wherever they come from (a run's test
+//! evaluation or live canary scoring). The free functions here are the
+//! original dataset-centric forms, kept for existing callers and for the
+//! data-editing half of the loop ([`add_slice_supervision`],
+//! [`cold_start`]) that inherently works on an editable [`Dataset`].
 
-use crate::pipeline::{build, OvertonBuild, OvertonError, OvertonOptions};
-use overton_monitor::Metrics;
+use crate::error::OvertonError;
+use crate::pipeline::{build, OvertonBuild, OvertonOptions};
+use overton_monitor::{Metrics, QualityReport};
 use overton_store::{Dataset, Record, TaskLabel};
+use std::collections::BTreeMap;
 
 /// A slice that needs attention: the monitoring output an engineer triages.
 #[derive(Debug, Clone)]
@@ -18,12 +30,19 @@ pub struct SliceDiagnosis {
     pub metrics: Metrics,
 }
 
-/// Ranks (task, slice) pairs by accuracy ascending — the worklist an
-/// engineer monitors week to week. Slices with fewer than `min_count`
-/// scored examples are skipped (too noisy to act on).
-pub fn worst_slices(build: &OvertonBuild, min_count: usize) -> Vec<SliceDiagnosis> {
+/// The shared diagnosis kernel: ranks every `slice:` row of the given
+/// per-task quality reports by accuracy ascending, skipping slices with
+/// fewer than `min_count` scored examples (too noisy to act on). Both
+/// [`Run::worst_slices`](crate::Run::worst_slices) and
+/// [`Project::monitor`](crate::Project::monitor) feed this — the reports
+/// can come from a test evaluation or from live canary scoring; the
+/// worklist is the same shape either way.
+pub(crate) fn diagnose_reports(
+    reports: &BTreeMap<String, QualityReport>,
+    min_count: usize,
+) -> Vec<SliceDiagnosis> {
     let mut out = Vec::new();
-    for (task, report) in &build.evaluation.reports {
+    for (task, report) in reports {
         for row in &report.rows {
             let Some(slice) = row.group.strip_prefix(overton_store::SLICE_PREFIX) else {
                 continue;
@@ -40,6 +59,34 @@ pub fn worst_slices(build: &OvertonBuild, min_count: usize) -> Vec<SliceDiagnosi
     }
     out.sort_by(|a, b| a.metrics.accuracy.partial_cmp(&b.metrics.accuracy).unwrap());
     out
+}
+
+/// Per-task overall test accuracy for the tasks that were actually scored
+/// (an `overall` row exists). Shared kernel behind both
+/// [`RunReport`](crate::RunReport)'s accuracies and
+/// [`OvertonBuild::mean_test_accuracy`](crate::OvertonBuild::mean_test_accuracy),
+/// so the "unscored tasks enter neither numerator nor denominator" rule
+/// lives in exactly one place.
+pub(crate) fn scored_accuracies(
+    reports: &BTreeMap<String, QualityReport>,
+) -> BTreeMap<String, f64> {
+    reports.iter().filter_map(|(task, r)| r.overall().map(|m| (task.clone(), m.accuracy))).collect()
+}
+
+/// Mean of the scored-task accuracies (0 when no task was scored).
+pub(crate) fn mean_accuracy(scored: &BTreeMap<String, f64>) -> f64 {
+    if scored.is_empty() {
+        0.0
+    } else {
+        scored.values().sum::<f64>() / scored.len() as f64
+    }
+}
+
+/// Ranks (task, slice) pairs of a build's evaluation by accuracy ascending
+/// — the worklist an engineer monitors week to week. Legacy form of
+/// [`Run::worst_slices`](crate::Run::worst_slices).
+pub fn worst_slices(build: &OvertonBuild, min_count: usize) -> Vec<SliceDiagnosis> {
+    diagnose_reports(&build.evaluation.reports, min_count)
 }
 
 /// Adds supervision to every *training* record of a slice using an
@@ -88,7 +135,9 @@ impl ImprovementReport {
 }
 
 /// Retrains after a supervision change and reports the targeted slice's
-/// before/after accuracy.
+/// before/after accuracy. Legacy form of
+/// [`Project::retrain_and_compare`](crate::Project::retrain_and_compare);
+/// the `previous` baseline may be any earlier build of the feature.
 pub fn retrain_and_compare(
     dataset: &Dataset,
     options: &OvertonOptions,
@@ -108,6 +157,8 @@ pub fn retrain_and_compare(
 ///
 /// `synthesizer` produces one synthetic training record per call; dev/test
 /// records must already be in `dataset` (curated by the launch review).
+/// The build routes through the staged [`Run`](crate::Run) like every
+/// other pipeline entry point.
 pub fn cold_start(
     dataset: &mut Dataset,
     n_synthetic: usize,
@@ -122,10 +173,13 @@ pub fn cold_start(
     build(dataset, options)
 }
 
+// `Run::worst_slices` lives in run.rs; the kernel above is shared so the
+// two stay identical.
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::pipeline::OvertonOptions;
+    use crate::project::Project;
     use overton_model::TrainConfig;
     use overton_nlp::{generate_workload, WorkloadConfig};
     use overton_store::GOLD_SOURCE;
@@ -149,13 +203,19 @@ mod tests {
     }
 
     #[test]
-    fn worst_slices_ranks_ascending() {
+    fn worst_slices_ranks_ascending_and_matches_run_method() {
         let ds = workload();
-        let out = build(&ds, &quick_options()).unwrap();
-        let slices = worst_slices(&out, 3);
-        assert!(!slices.is_empty());
-        for pair in slices.windows(2) {
+        let run = Project::from_dataset(&ds).with_options(quick_options()).run().unwrap();
+        let from_run = run.worst_slices(3);
+        assert!(!from_run.is_empty());
+        for pair in from_run.windows(2) {
             assert!(pair[0].metrics.accuracy <= pair[1].metrics.accuracy);
+        }
+        let build = run.into_build().unwrap();
+        let from_build = worst_slices(&build, 3);
+        assert_eq!(from_run.len(), from_build.len());
+        for (a, b) in from_run.iter().zip(&from_build) {
+            assert_eq!((a.task.as_str(), a.slice.as_str()), (b.task.as_str(), b.slice.as_str()));
         }
     }
 

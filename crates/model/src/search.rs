@@ -16,7 +16,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 /// Search budget and parallelism.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct SearchConfig {
     /// Maximum trials (the spec's cross-product is subsampled when larger).
     pub trials: usize,
@@ -40,7 +40,7 @@ impl Default for SearchConfig {
 }
 
 /// One trial's outcome.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct TrialResult {
     /// The configuration tried.
     pub config: ModelConfig,

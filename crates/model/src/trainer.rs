@@ -8,8 +8,9 @@ use overton_tensor::Graph;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-/// Summary of a training run.
-#[derive(Debug, Clone)]
+/// Summary of a training run. Serializable: the `Run` API persists it as
+/// the train stage's artifact under the run directory.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct TrainReport {
     /// Epochs actually run (early stopping may cut this short).
     pub epochs_run: usize,

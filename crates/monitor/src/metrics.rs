@@ -2,8 +2,10 @@
 
 use crate::confusion::ConfusionMatrix;
 
-/// A bundle of quality metrics for one group of examples.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// A bundle of quality metrics for one group of examples. Serializable:
+/// quality reports are persisted as the evaluate stage's run artifact and
+/// exchanged by the monitoring loop.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Metrics {
     /// Number of scored examples.
     pub count: usize,

@@ -9,7 +9,7 @@ use std::fmt;
 use std::io::Write;
 
 /// One row of a quality report.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct ReportRow {
     /// Group name (`overall`, a tag, or `slice:<name>`).
     pub group: String,
@@ -18,7 +18,7 @@ pub struct ReportRow {
 }
 
 /// A per-group quality report for one task.
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
 pub struct QualityReport {
     /// Task the report describes.
     pub task: String,
@@ -71,7 +71,7 @@ impl QualityReport {
 
 /// RFC 4180 field escaping. Mirrors `csv_escape` in `overton-store`'s
 /// `tags.rs` (`TagIndex::write_csv`); duplicated rather than imported so
-/// this crate stays dependency-free.
+/// this crate stays independent of the data layer.
 fn csv_escape(field: &str) -> String {
     if field.contains([',', '"', '\n']) {
         format!("\"{}\"", field.replace('"', "\"\""))

@@ -32,5 +32,5 @@ pub use traffic::{TrafficConfig, TrafficEvent, TrafficStream};
 pub use vocab::{Vocab, MASK, PAD, UNK};
 pub use workload::{
     generate_workload, generate_workload_sealed, generate_workload_with_kb, query_record,
-    workload_schema, SourceSpec, WorkloadConfig,
+    workload_schema, write_two_file_workload, SourceSpec, WorkloadConfig,
 };

@@ -209,6 +209,41 @@ pub fn generate_workload_sealed(config: &WorkloadConfig) -> ShardedStore {
     builder.seal()
 }
 
+/// Writes the paper's two-file engineer contract for the configured
+/// workload into `dir`: `schema.json` (the workload schema) and
+/// `data.jsonl` (one record per line). Records stream straight from the
+/// generator to the file — no `Vec<Record>` is materialized — so this is
+/// the no-Rust entry point: the emitted pair feeds `overton::Project::
+/// from_files` or the `overton` CLI directly. Returns the two paths
+/// `(schema, data)`.
+pub fn write_two_file_workload(
+    config: &WorkloadConfig,
+    dir: impl AsRef<std::path::Path>,
+) -> overton_store::Result<(std::path::PathBuf, std::path::PathBuf)> {
+    use std::io::Write;
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir)?;
+    let schema_path = dir.join("schema.json");
+    std::fs::write(&schema_path, workload_schema().to_json())?;
+    let data_path = dir.join("data.jsonl");
+    let file = std::fs::File::create(&data_path)?;
+    let mut writer = std::io::BufWriter::new(file);
+    let kb = KnowledgeBase::standard();
+    let mut failed: Option<std::io::Error> = None;
+    generate_into(config, &kb, |record| {
+        if failed.is_none() {
+            if let Err(e) = writeln!(writer, "{}", record.to_json()) {
+                failed = Some(e);
+            }
+        }
+    });
+    if let Some(e) = failed {
+        return Err(e.into());
+    }
+    writer.flush()?;
+    Ok((schema_path, data_path))
+}
+
 /// The shared generation loop: drives the RNG exactly once per record and
 /// hands each finished record to `sink`.
 fn generate_into(config: &WorkloadConfig, kb: &KnowledgeBase, mut sink: impl FnMut(Record)) {
@@ -520,6 +555,20 @@ mod tests {
         }
         assert!(slice_total > 10);
         assert_eq!(slice_wrong, slice_total, "default-sense LF must be systematically wrong");
+    }
+
+    #[test]
+    fn two_file_workload_round_trips_through_files() {
+        let config = small_config();
+        let dir = std::env::temp_dir().join(format!("overton-two-file-nlp-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let (schema_path, data_path) = write_two_file_workload(&config, &dir).unwrap();
+        let store = overton_store::ShardedStore::from_files(&schema_path, &data_path).unwrap();
+        let eager = generate_workload(&config);
+        assert_eq!(store.len(), eager.len());
+        assert_eq!(store.dataset_view().unwrap().records(), eager.records());
+        assert_eq!(store.schema(), eager.schema());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -245,6 +245,33 @@ impl ShardedStore {
         std::thread::available_parallelism().map_or(2, |n| n.get().max(2))
     }
 
+    /// Builds a sealed store from the paper's two-file engineer contract:
+    /// a schema JSON file and a JSON-lines data file. The data file is
+    /// streamed line by line into shard blobs via
+    /// [`ShardedStoreBuilder::ingest_jsonl`] — records are validated as
+    /// they stream and never materialized as an eager `Vec<Record>`.
+    /// Errors are precise: schema problems name the schema file, data
+    /// problems carry `<data file>: line N`.
+    pub fn from_files(schema_path: impl AsRef<Path>, data_path: impl AsRef<Path>) -> Result<Self> {
+        let schema = Schema::from_json_file(schema_path)?;
+        let data_path = data_path.as_ref();
+        let file = std::fs::File::open(data_path).map_err(|e| {
+            StoreError::Io(std::io::Error::new(e.kind(), format!("{}: {e}", data_path.display())))
+        })?;
+        let mut builder = ShardedStoreBuilder::new(schema);
+        builder.ingest_jsonl(file).map_err(|e| match e {
+            StoreError::Validation(msg) => {
+                StoreError::Validation(format!("{}: {msg}", data_path.display()))
+            }
+            StoreError::Io(e) => StoreError::Io(std::io::Error::new(
+                e.kind(),
+                format!("{}: {e}", data_path.display()),
+            )),
+            other => other,
+        })?;
+        Ok(builder.seal())
+    }
+
     /// Seals a slice of records into `n_shards` contiguous shards balanced
     /// by estimated encoded bytes. Records are assumed already validated
     /// against `schema` (a [`Dataset`] validates on entry).
@@ -644,6 +671,42 @@ impl ShardedStoreBuilder {
         Ok(())
     }
 
+    /// Streams a JSON-lines reader straight into the shard blobs: each
+    /// line is parsed, normalized and validated, then encoded into the
+    /// current shard — no intermediate `Vec<Record>` is ever built. Blank
+    /// lines are skipped; errors carry the 1-based line number (a
+    /// truncated line, an unknown task, a payload/kind mismatch each
+    /// surface as a precise [`StoreError`], never a panic). Returns how
+    /// many records were ingested.
+    pub fn ingest_jsonl(&mut self, reader: impl std::io::Read) -> Result<usize> {
+        use std::io::BufRead;
+        let mut reader = std::io::BufReader::new(reader);
+        let mut line = String::new();
+        let mut lineno = 0usize;
+        let mut ingested = 0usize;
+        loop {
+            line.clear();
+            // Read failures (a non-UTF-8 byte, a disk error) carry the
+            // line number too, not just parse/validation failures.
+            let read = reader.read_line(&mut line).map_err(|e| {
+                StoreError::Io(std::io::Error::new(e.kind(), format!("line {}: {e}", lineno + 1)))
+            })?;
+            if read == 0 {
+                break;
+            }
+            lineno += 1;
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            let record = Record::from_json(trimmed)
+                .map_err(|e| StoreError::Validation(format!("line {lineno}: {e}")))?;
+            self.push(record).map_err(|e| StoreError::Validation(format!("line {lineno}: {e}")))?;
+            ingested += 1;
+        }
+        Ok(ingested)
+    }
+
     /// Appends a record without validation (for trusted generators).
     pub fn push_unchecked(&mut self, record: &Record) {
         encode_record(record, &mut self.blob);
@@ -817,6 +880,45 @@ mod tests {
         assert!(s.par_scan(|scan| Ok(scan.len())).unwrap().iter().sum::<usize>() == 0);
         let b = ShardedStoreBuilder::new(example_schema());
         assert_eq!(b.seal().len(), 0);
+    }
+
+    #[test]
+    fn ingest_jsonl_streams_and_validates() {
+        let rs = records(20);
+        let jsonl: String = rs.iter().map(|r| format!("{}\n", r.to_json())).collect();
+        let mut b = ShardedStoreBuilder::with_shard_bytes(example_schema(), 256);
+        assert_eq!(b.ingest_jsonl(jsonl.as_bytes()).unwrap(), 20);
+        let s = b.seal();
+        assert_eq!(s.dataset_view().unwrap().records(), &rs[..]);
+
+        // A malformed line surfaces with its line number.
+        let mut b = ShardedStoreBuilder::new(example_schema());
+        let bad = format!("{}\n{{\"payloads\": {{\"query\"\n", rs[0].to_json());
+        let err = b.ingest_jsonl(bad.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn from_files_matches_eager_seal() {
+        let rs = records(30);
+        let dir = std::env::temp_dir().join(format!("overton-two-file-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("schema.json"), example_schema().to_json()).unwrap();
+        let jsonl: String = rs.iter().map(|r| format!("{}\n", r.to_json())).collect();
+        std::fs::write(dir.join("data.jsonl"), jsonl).unwrap();
+        let s = ShardedStore::from_files(dir.join("schema.json"), dir.join("data.jsonl")).unwrap();
+        assert_eq!(s.len(), 30);
+        assert_eq!(s.dataset_view().unwrap().records(), &rs[..]);
+        assert_eq!(s.index().train_rows(), store(30, 2).index().train_rows());
+
+        // Data errors name the file and the line.
+        std::fs::write(dir.join("data.jsonl"), "{\"tasks\": {\"Nope\": {\"w\": 1}}}\n").unwrap();
+        let err =
+            ShardedStore::from_files(dir.join("schema.json"), dir.join("data.jsonl")).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("data.jsonl") && msg.contains("line 1"), "{msg}");
+        assert!(msg.contains("unknown task"), "{msg}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

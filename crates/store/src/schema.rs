@@ -83,6 +83,20 @@ impl Schema {
         Ok(schema)
     }
 
+    /// Reads, parses and validates a schema file (the first half of the
+    /// paper's two-file engineer contract). Errors name the file.
+    pub fn from_json_file(path: impl AsRef<std::path::Path>) -> Result<Self> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path).map_err(|e| {
+            StoreError::Io(std::io::Error::new(e.kind(), format!("{}: {e}", path.display())))
+        })?;
+        Self::from_json(&text).map_err(|e| match e {
+            StoreError::Schema(msg) => StoreError::Schema(format!("{}: {msg}", path.display())),
+            StoreError::Json(e) => StoreError::Schema(format!("{}: {e}", path.display())),
+            other => other,
+        })
+    }
+
     /// Serializes to pretty JSON.
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self).expect("schema serialization cannot fail")

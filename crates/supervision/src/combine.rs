@@ -25,8 +25,9 @@ use overton_store::{
 use std::collections::BTreeMap;
 use std::fmt;
 
-/// How to resolve conflicting sources.
-#[derive(Debug, Clone)]
+/// How to resolve conflicting sources. Serializable: a persisted run
+/// records its combine method as part of its options.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub enum CombineMethod {
     /// Unweighted majority vote (baseline).
     MajorityVote,
@@ -95,8 +96,9 @@ impl From<StoreError> for CombineError {
     }
 }
 
-/// Per-source diagnostics from a combination run.
-#[derive(Debug, Clone, PartialEq)]
+/// Per-source diagnostics from a combination run. Serializable: the `Run`
+/// API persists these as the combine stage's artifact.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct SourceDiagnostics {
     /// Source name.
     pub name: String,

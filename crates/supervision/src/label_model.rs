@@ -13,7 +13,7 @@
 use crate::matrix::LabelMatrix;
 
 /// Hyperparameters for [`LabelModel::fit`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct LabelModelConfig {
     /// Maximum EM iterations.
     pub max_iter: usize,

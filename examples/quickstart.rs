@@ -1,23 +1,25 @@
-//! Quickstart: the complete Overton loop in one file.
+//! Quickstart: the complete Overton loop in one file, through the front
+//! door.
 //!
-//! Builds a synthetic factoid-QA product (schema + weakly-supervised data
-//! file), seals it into the sharded row store the pipeline scans, runs the
-//! pipeline (combine supervision → train → package), prints the
-//! fine-grained quality reports an engineer monitors, and serves a query
-//! through the deployable artifact.
+//! Builds a synthetic factoid-QA product, runs it as a staged
+//! [`Project`]/[`Run`] (ingest → combine supervision → search → train →
+//! package → evaluate, with per-stage telemetry), prints the fine-grained
+//! quality reports an engineer monitors, deploys the packaged artifact to
+//! the serving runtime, and feeds live-traffic quality reports back into
+//! the slice worklist — Figure 1's loop end to end.
 //!
 //! Run with: `cargo run --release -p harness --example quickstart`
 
-use overton::{build_from_store, OvertonOptions};
-use overton_model::{Server, TrainConfig};
+use overton::{OvertonOptions, Project};
+use overton_model::TrainConfig;
 use overton_nlp::{generate_workload, KnowledgeBase, TrafficConfig, TrafficStream, WorkloadConfig};
-use overton_serving::{CascadeEngine, ServingConfig, TrafficBaseline, WorkerPool};
-use overton_store::{PayloadValue, Record, SetElement};
-use std::sync::Arc;
+use overton_store::Record;
 
 fn main() {
     // 1. The "data file": a workload of factoid queries with three weak
-    //    sources per task, slices, and curated gold dev/test splits.
+    //    sources per task, slices, and curated gold dev/test splits. (For
+    //    the literal two-file form of the same contract, see
+    //    examples/two_file_contract.rs and the `overton` CLI.)
     println!("== generating workload ==");
     let dataset = generate_workload(&WorkloadConfig {
         n_train: 1500,
@@ -35,49 +37,26 @@ fn main() {
         dataset.slice_names(),
     );
 
-    // 2. Seal the data file into the sharded row store: zero-copy binary
-    //    rows, per-shard checksums, and a tag/slice/source index built
-    //    once. Every hot pipeline stage scans this, shard-parallel.
-    println!("\n== sealing into the sharded row store ==");
-    let store = dataset.seal();
-    println!(
-        "{} rows in {} shards, {:.1} KiB encoded, per-shard checksums {:?}",
-        store.len(),
-        store.num_shards(),
-        store.total_bytes() as f64 / 1024.0,
-        store.shard_checksums().iter().map(|c| c & 0xffff).collect::<Vec<_>>(),
-    );
-    // A shard-parallel scan: count slice membership without touching the
-    // eager record vector (each worker walks its shard via zero-copy
-    // views; per-shard partials merge in shard order).
-    let sliced: usize = store
-        .par_scan(|scan| {
-            let mut n = 0usize;
-            for (_, view) in scan.views() {
-                n += usize::from(view?.in_slice("complex-disambiguation"));
-            }
-            Ok(n)
-        })
-        .expect("scan succeeds")
-        .into_iter()
-        .sum();
-    println!("par_scan: {sliced} rows in slice complex-disambiguation");
+    // 2. The project: the declarative front door. Staging the run makes
+    //    every pipeline step an explicit, timed, persisted-when-rooted
+    //    stage.
+    println!("\n== running the staged pipeline ==");
+    let project =
+        Project::from_dataset(&dataset).named("quickstart").with_options(OvertonOptions {
+            train: TrainConfig { epochs: 8, ..Default::default() },
+            ..Default::default()
+        });
+    let mut run = project.start().expect("ingest succeeds");
+    println!("ingested {} rows into {} shards", run.store().len(), run.store().num_shards());
+    while let Some(stage) = run.next_stage() {
+        run.advance().expect("stage succeeds");
+        let done = run.report().stage(stage).expect("stage recorded");
+        println!("  stage {stage:<8} {:>6} records  {:>5} ms", done.records, done.wall_ms);
+    }
 
-    // 3. Build: Overton combines the conflicting supervision with a label
-    //    model (one shard-parallel scan for all tasks), compiles the
-    //    schema into a multitask model with slice heads, trains, and
-    //    packages a deployable artifact.
-    println!("\n== building (combine supervision, train, package) ==");
-    let options = OvertonOptions {
-        train: TrainConfig { epochs: 8, ..Default::default() },
-        ..Default::default()
-    };
-    let built = build_from_store(&store, &options).expect("pipeline succeeds");
-
-    println!("chosen architecture: {:?}", built.chosen_config.encoder);
-    println!("model weights: {}", built.model.num_weights());
+    println!("\nchosen architecture: {:?}", run.chosen_config().unwrap().encoder);
     println!("\nestimated source accuracies (Intent):");
-    for diag in &built.diagnostics["Intent"] {
+    for diag in &run.diagnostics()["Intent"] {
         println!(
             "  {:<14} coverage {:.2}  est. accuracy {}",
             diag.name,
@@ -86,54 +65,46 @@ fn main() {
         );
     }
 
-    // 4. The monitoring view: per-task reports with per-tag/per-slice rows.
+    // 3. The monitoring view: the run report plus per-task reports with
+    //    per-tag/per-slice rows, and the ranked slice worklist.
+    println!("\n== run report ==");
+    print!("{}", run.report());
     println!("\n== fine-grained quality reports (test split) ==");
-    for (task, report) in &built.evaluation.reports {
-        let _ = task;
+    for report in run.evaluation().expect("run evaluated").reports.values() {
         println!("{report}");
     }
-
-    // 5. Serving: load the artifact and answer a query.
-    println!("== serving ==");
-    let server = Server::load(&built.artifact);
-    let record = Record::new()
-        .with_payload(
-            "tokens",
-            PayloadValue::Sequence(
-                ["how", "tall", "is", "washington"].iter().map(|s| s.to_string()).collect(),
-            ),
-        )
-        .with_payload("query", PayloadValue::Singleton("how tall is washington".into()))
-        .with_payload(
-            "entities",
-            PayloadValue::Set(vec![
-                SetElement { id: "george_washington".into(), span: (3, 4) },
-                SetElement { id: "washington_dc".into(), span: (3, 4) },
-                SetElement { id: "washington_state".into(), span: (3, 4) },
-            ]),
+    println!("== worst slices (the week-to-week worklist) ==");
+    for diag in run.worst_slices(5).iter().take(3) {
+        println!(
+            "  {}/{}  acc {:.3} over {} examples",
+            diag.task, diag.slice, diag.metrics.accuracy, diag.metrics.count
         );
-    let response = server.predict(&record).expect("valid record");
-    println!("query: \"how tall is washington\"");
-    for (task, output) in &response.tasks {
-        println!("  {task}: {output:?}");
     }
-    println!("  slice memberships: {:?}", response.slices);
 
-    // 6. Production serving: a Poisson traffic stream through the batched
-    //    worker pool, with live telemetry against a training-time baseline.
-    println!("\n== serving a live traffic stream ==");
-    let dev_records: Vec<Record> =
-        dataset.dev_indices().iter().map(|&i| dataset.records()[i].clone()).collect();
-    let baseline = TrafficBaseline::collect(&server, &dev_records).expect("baseline");
-    let engine = Arc::new(CascadeEngine::single(server));
-    let pool =
-        WorkerPool::start(engine, ServingConfig { workers: 4, max_batch: 32 }, Some(baseline));
+    // 4. Deploy: the packaged artifact goes to the registry and the
+    //    batched worker pool — the right-hand side of Figure 1.
+    println!("\n== deploying ==");
+    let mut deployment = project.deploy(&run).expect("deploy succeeds");
     let kb = KnowledgeBase::standard();
     let mut stream =
         TrafficStream::new(&kb, TrafficConfig { qps: 500.0, seed: 8, ..Default::default() });
-    let replies = pool.process(stream.records(1000));
-    let errors = replies.iter().filter(|r| r.result.is_err()).count();
-    println!("served {} requests ({errors} errors)", replies.len());
-    println!("{}", pool.snapshot());
-    pool.shutdown();
+    let records: Vec<Record> = stream.records(1000);
+    let replies = deployment.observe(&records);
+    let errors = replies.iter().filter(|r| r.is_err()).count();
+    println!("served {} live requests ({errors} errors)", replies.len());
+    println!("{}", deployment.pool().snapshot());
+
+    // 5. Monitor: quality reports — whether from the test evaluation or
+    //    from canary scoring of after-the-fact-labeled live traffic (see
+    //    examples/deployment.rs) — feed straight back into the slice
+    //    worklist: the edge of the loop where the engineer goes back to
+    //    editing data.
+    let worklist = project.monitor(&run.evaluation().unwrap().reports, 5);
+    println!("== monitor: {} (task, slice) pairs in the worklist ==", worklist.len());
+    if let Some(worst) = worklist.first() {
+        println!(
+            "next data edit: task {} on slice '{}' (acc {:.3})",
+            worst.task, worst.slice, worst.metrics.accuracy
+        );
+    }
 }
