@@ -1,0 +1,130 @@
+//! **P6** — observability overhead: the worker pool serving identical
+//! traffic with and without the obs hook attached. The hot-path cost of
+//! observation is one atomic load plus a bounded-channel `try_send` per
+//! request (sample construction included); the acceptance bar is that the
+//! observed path stays within **1.5x** of the unobserved one, asserted at
+//! the end of the run.
+//!
+//! Run with: `cargo bench -p overton-bench --bench obs_overhead`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use overton_model::{CompiledModel, DeployableModel, FeatureSpace, ModelConfig, Server};
+use overton_nlp::{generate_workload, KnowledgeBase, TrafficConfig, TrafficStream, WorkloadConfig};
+use overton_obs::{default_rules, Monitor, ObsConfig};
+use overton_serving::{CascadeEngine, ServingConfig, TrafficBaseline, WorkerPool};
+use overton_store::Record;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+const REQUESTS: usize = 1024;
+const WINDOW: u64 = 128;
+
+fn setup() -> (DeployableModel, TrafficBaseline, Vec<Record>) {
+    let ds = generate_workload(&WorkloadConfig {
+        n_train: 400,
+        n_dev: 50,
+        n_test: 100,
+        seed: 5,
+        ..Default::default()
+    });
+    let space = FeatureSpace::build(&ds);
+    let model = CompiledModel::compile(ds.schema(), &space, &ModelConfig::default(), None);
+    let artifact = DeployableModel::package(&model, &space, std::collections::BTreeMap::new());
+    let server = Server::load(&artifact);
+    let reference: Vec<Record> =
+        ds.test_indices().iter().map(|&i| ds.records()[i].clone()).collect();
+    let baseline = TrafficBaseline::collect(&server, &reference).expect("baseline");
+    let records = TrafficStream::new(
+        &KnowledgeBase::standard(),
+        TrafficConfig { qps: 1000.0, seed: 6, ..Default::default() },
+    )
+    .records(REQUESTS);
+    (artifact, baseline, records)
+}
+
+fn unobserved_pool(artifact: &DeployableModel) -> WorkerPool {
+    WorkerPool::start(
+        Arc::new(CascadeEngine::single(Server::load(artifact))),
+        ServingConfig { workers: 4, max_batch: 32 },
+        None,
+    )
+}
+
+fn observed_pool(artifact: &DeployableModel, baseline: &TrafficBaseline) -> (WorkerPool, Monitor) {
+    let pool = WorkerPool::start(
+        Arc::new(CascadeEngine::single(Server::load(artifact))),
+        ServingConfig { workers: 4, max_batch: 32 },
+        Some(baseline.clone()),
+    );
+    let config = ObsConfig {
+        window_len: WINDOW,
+        rules: default_rules(pool.telemetry().slice_names()),
+        ..Default::default()
+    };
+    let monitor = Monitor::attach(&pool, config, None).expect("attach monitor");
+    (pool, monitor)
+}
+
+fn drive(pool: &WorkerPool, records: &[Record], monitor: Option<&mut Monitor>) {
+    for reply in pool.process(records.to_vec()) {
+        black_box(reply.result.expect("valid"));
+    }
+    if let Some(m) = monitor {
+        m.pump();
+    }
+}
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    let (artifact, baseline, records) = setup();
+    let mut group = c.benchmark_group("obs_overhead");
+    group.sample_size(10);
+
+    let pool = unobserved_pool(&artifact);
+    group.bench_function(&format!("unobserved_x{REQUESTS}"), |bench| {
+        bench.iter(|| drive(&pool, &records, None));
+    });
+    pool.shutdown();
+
+    let (pool, mut monitor) = observed_pool(&artifact, &baseline);
+    group.bench_function(&format!("observed_x{REQUESTS}"), |bench| {
+        bench.iter(|| drive(&pool, &records, Some(&mut monitor)));
+    });
+    group.finish();
+
+    // The acceptance check: a fresh, interleaved head-to-head timing of
+    // the two paths (interleaving rounds averages out machine noise),
+    // asserting the observed serving path stays within 1.5x.
+    const ROUNDS: usize = 6;
+    let plain = unobserved_pool(&artifact);
+    let (obs_pool, mut obs_monitor) = observed_pool(&artifact, &baseline);
+    // Warm both pools before timing.
+    drive(&plain, &records, None);
+    drive(&obs_pool, &records, Some(&mut obs_monitor));
+    let (mut plain_total, mut observed_total) =
+        (std::time::Duration::ZERO, std::time::Duration::ZERO);
+    for _ in 0..ROUNDS {
+        let start = Instant::now();
+        drive(&plain, &records, None);
+        plain_total += start.elapsed();
+        let start = Instant::now();
+        drive(&obs_pool, &records, Some(&mut obs_monitor));
+        observed_total += start.elapsed();
+    }
+    let ratio = observed_total.as_secs_f64() / plain_total.as_secs_f64();
+    println!(
+        "obs_overhead: unobserved {:?}, observed {:?} over {ROUNDS}x{REQUESTS} requests \
+         (ratio {ratio:.3}; {} windows closed, {} samples dropped)",
+        plain_total / ROUNDS as u32,
+        observed_total / ROUNDS as u32,
+        obs_monitor.stats().closed(),
+        obs_pool.telemetry().observer_dropped(),
+    );
+    assert!(obs_monitor.stats().closed() > 0, "the monitor must actually be fed");
+    assert!(ratio <= 1.5, "observed serving path is {ratio:.2}x the unobserved one (budget: 1.5x)");
+    plain.shutdown();
+    obs_pool.shutdown();
+}
+
+criterion_group!(benches, bench_obs_overhead);
+criterion_main!(benches);

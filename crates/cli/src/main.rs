@@ -13,8 +13,12 @@
 //! engineer: edit the data file, `overton build`, read `overton report`.
 
 use overton::model::Server;
-use overton::nlp::{write_two_file_workload, WorkloadConfig};
-use overton::serving::{CascadeEngine, ServingConfig, WorkerPool};
+use overton::nlp::{
+    write_two_file_workload, DriftConfig, DriftingTrafficStream, KnowledgeBase, TrafficConfig,
+    WorkloadConfig,
+};
+use overton::obs::{default_rules, Monitor, ObsConfig, ObsLog};
+use overton::serving::{CascadeEngine, ServingConfig, TrafficBaseline, WorkerPool};
 use overton::store::ShardedStore;
 use overton::{model::DeployableModel, monitor::QualityReport, OvertonOptions, Project, Stage};
 use std::collections::BTreeMap;
@@ -33,6 +37,7 @@ COMMANDS:
     build     run the staged pipeline on the two files (ingest → evaluate)
     evaluate  re-run evaluation of a persisted run (no retraining)
     serve     serve a persisted run's test split through the worker pool
+    monitor   replay the deployment's obslog: windowed history + alerts
     report    print a persisted run's stage telemetry + quality reports
 
 OPTIONS:
@@ -44,9 +49,15 @@ OPTIONS:
     --train <n>       (init) training records        [default: 800]
     --dev <n>         (init) dev records             [default: 100]
     --test <n>        (init) test records            [default: 200]
-    --seed <n>        (init) workload RNG seed       [default: 0]
+    --seed <n>        (init/serve) RNG seed          [default: 0]
     --requests <n>    (serve) how many records to serve [default: all]
     --workers <n>     (serve) worker threads         [default: 4]
+    --obs             (serve) observe the pool: windowed stats, drift
+                      alerts, and an obslog under registry/<name>/obslog
+    --drift           (serve) serve a seeded DriftingTrafficStream (slice
+                      mix + vague-query shift halfway in; implies --obs)
+    --window <n>      (serve) requests per tumbling window [default: 250]
+    --csv             (monitor) dump the windowed history as CSV
 ";
 
 fn main() -> ExitCode {
@@ -80,6 +91,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "build" => build(&dir, &flags),
         "evaluate" => evaluate(&dir, &flags),
         "serve" => serve(&dir, &flags),
+        "monitor" => monitor(&dir, &flags),
         "report" => report(&dir, &flags),
         other => Err(format!("unknown command '{other}'\n\n{USAGE}")),
     }
@@ -97,6 +109,10 @@ struct Flags {
     seed: Option<u64>,
     requests: Option<usize>,
     workers: Option<usize>,
+    obs: bool,
+    drift: bool,
+    window: Option<u64>,
+    csv: bool,
 }
 
 impl Flags {
@@ -121,6 +137,13 @@ impl Flags {
                     flags.requests = Some(parse_num(value("--requests")?, "--requests")?)
                 }
                 "--workers" => flags.workers = Some(parse_num(value("--workers")?, "--workers")?),
+                "--obs" => flags.obs = true,
+                "--drift" => {
+                    flags.drift = true;
+                    flags.obs = true;
+                }
+                "--window" => flags.window = Some(parse_num(value("--window")?, "--window")?),
+                "--csv" => flags.csv = true,
                 other => return Err(format!("unknown option '{other}'\n\n{USAGE}")),
             }
         }
@@ -220,40 +243,196 @@ fn evaluate(dir: &Path, flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// The deployment name a project directory implies (its basename, the
+/// same rule [`project`] uses) — fixes where the obslog lives:
+/// `<dir>/registry/<name>/obslog`.
+fn obslog_dir(dir: &Path) -> PathBuf {
+    let name = dir
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "overton".into());
+    dir.join("registry").join(name).join("obslog")
+}
+
 fn serve(dir: &Path, flags: &Flags) -> Result<(), String> {
     let id = run_id(dir, flags)?;
-    let artifact_path = dir.join("runs").join(&id).join("artifact.model.json");
+    let run_dir = dir.join("runs").join(&id);
+    let artifact_path = run_dir.join("artifact.model.json");
     let bytes = std::fs::read(&artifact_path)
         .map_err(|e| format!("cannot read {}: {e}", artifact_path.display()))?;
     let artifact = DeployableModel::from_bytes(&bytes).map_err(|e| e.to_string())?;
     let server = Server::load(&artifact);
 
-    // Serve the run's own test split as stand-in traffic, from the
-    // sealed store persisted at ingest time — the data the artifact was
-    // actually built on, immune to later edits of data.jsonl.
-    let store = ShardedStore::read_dir(dir.join("runs").join(&id).join("store"))
-        .map_err(|e| e.to_string())?;
-    let mut rows = store.index().test_rows().to_vec();
-    if let Some(n) = flags.requests {
-        rows.truncate(n);
+    // The run's persisted traffic baseline (written at evaluate) arms the
+    // drift detectors; older runs serve without one. A baseline that
+    // exists but does not parse is an error, not a silent downgrade —
+    // otherwise drift detection would be off while looking on.
+    let baseline_path = run_dir.join("baseline.json");
+    let baseline: Option<TrafficBaseline> = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => Some(
+            serde_json::from_str(&text).map_err(|e| format!("{}: {e}", baseline_path.display()))?,
+        ),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+        Err(e) => return Err(format!("cannot read {}: {e}", baseline_path.display())),
+    };
+    if flags.obs && baseline.is_none() {
+        eprintln!(
+            "overton: note: run {id} has no baseline.json; drift rules (psi/ks) will not fire"
+        );
     }
-    if rows.is_empty() {
-        return Err(format!("run {id} has no test-tagged records to serve"));
-    }
-    let records: Vec<_> = rows
-        .into_iter()
-        .map(|row| store.get(row as usize).map_err(|e| e.to_string()))
-        .collect::<Result<_, _>>()?;
+
+    let records: Vec<overton::store::Record> = if flags.drift {
+        // Seeded drifting live traffic: stationary at the training mix,
+        // then the slice mix and vague-query rate ramp halfway through.
+        let n = flags.requests.unwrap_or(2000);
+        let kb = KnowledgeBase::standard();
+        let config = DriftConfig {
+            base: TrafficConfig { seed: flags.seed.unwrap_or(0), ..Default::default() },
+            drift_start: n / 2,
+            drift_ramp: n / 8,
+            ..Default::default()
+        };
+        DriftingTrafficStream::new(&kb, config).records(n)
+    } else {
+        // Serve the run's own test split as stand-in traffic, from the
+        // sealed store persisted at ingest time — the data the artifact
+        // was actually built on, immune to later edits of data.jsonl.
+        let store = ShardedStore::read_dir(run_dir.join("store")).map_err(|e| e.to_string())?;
+        let mut rows = store.index().test_rows().to_vec();
+        if let Some(n) = flags.requests {
+            rows.truncate(n);
+        }
+        if rows.is_empty() {
+            return Err(format!("run {id} has no test-tagged records to serve"));
+        }
+        rows.into_iter()
+            .map(|row| store.get(row as usize).map_err(|e| e.to_string()))
+            .collect::<Result<_, _>>()?
+    };
 
     let engine = Arc::new(CascadeEngine::single(server));
     let config = ServingConfig { workers: flags.workers.unwrap_or(4), ..ServingConfig::default() };
-    let pool = WorkerPool::start(engine, config, None);
+    let pool = WorkerPool::start(engine, config, baseline);
+
+    let mut monitor = if flags.obs {
+        let obs_config = ObsConfig {
+            window_len: flags.window.unwrap_or(250),
+            rules: default_rules(pool.telemetry().slice_names()),
+            ..Default::default()
+        };
+        let log_dir = obslog_dir(dir);
+        let monitor = Monitor::attach(&pool, obs_config, Some(&log_dir))
+            .map_err(|e| format!("cannot attach monitor: {e}"))?;
+        println!("observing: obslog at {}", log_dir.display());
+        Some(monitor)
+    } else {
+        None
+    };
+
+    // Serve in window-sized chunks so the monitor drains its channel
+    // between bursts (the pool never waits on it either way).
     let total = records.len();
-    let replies = pool.process(records);
-    let errors = replies.iter().filter(|r| r.result.is_err()).count();
+    let chunk = flags.window.unwrap_or(250).max(1) as usize;
+    let mut errors = 0usize;
+    for burst in records.chunks(chunk) {
+        let replies = pool.process(burst.to_vec());
+        errors += replies.iter().filter(|r| r.result.is_err()).count();
+        if let Some(m) = monitor.as_mut() {
+            m.pump();
+        }
+    }
     println!("served {total} requests from run {id} ({errors} errors)");
     println!("{}", pool.snapshot());
+    if let Some(m) = monitor.as_mut() {
+        m.pump();
+        println!(
+            "windows: {} closed ({} in the open window; {} samples dropped)",
+            m.stats().closed(),
+            m.stats().open_count(),
+            pool.telemetry().observer_dropped()
+        );
+        if m.alerts().is_empty() {
+            println!("alerts: none");
+        } else {
+            println!("alerts:");
+            for alert in m.alerts() {
+                println!("  {alert}");
+            }
+        }
+        println!("replay the history with: overton monitor {}", dir.display());
+    }
     pool.shutdown();
+    Ok(())
+}
+
+fn monitor(dir: &Path, flags: &Flags) -> Result<(), String> {
+    let log_dir = obslog_dir(dir);
+    let monitor = ObsLog::replay(&log_dir).map_err(|e| {
+        format!("cannot replay {}: {e} (serve with --obs first)", log_dir.display())
+    })?;
+    if flags.csv {
+        let mut out = Vec::new();
+        monitor.stats().write_csv(&mut out).map_err(|e| e.to_string())?;
+        print!("{}", String::from_utf8_lossy(&out));
+        return Ok(());
+    }
+    println!("obslog: {}", log_dir.display());
+    let stats = monitor.stats();
+    println!(
+        "windows: {} closed, {} retained (window_len {}, {} evicted)",
+        stats.closed(),
+        stats.windows().count(),
+        stats.window_len(),
+        stats.evicted()
+    );
+    let names = stats.slice_names().to_vec();
+    print!(
+        "{:>7} {:>7} {:>6} {:>6} {:>9} {:>9}",
+        "window", "count", "errors", "conf", "gold_acc", "p95"
+    );
+    for name in &names {
+        print!(" {name:>24}");
+    }
+    println!();
+    for w in stats.windows() {
+        print!(
+            "{:>7} {:>7} {:>6} {:>6.3} {:>9} {:>9?}",
+            w.index,
+            w.overall.count,
+            w.overall.errors,
+            w.overall.mean_confidence(),
+            w.overall.gold_accuracy().map_or_else(|| "-".to_string(), |a| format!("{a:.3}")),
+            w.latency_quantile(0.95)
+        );
+        for (i, _) in names.iter().enumerate() {
+            print!(" {:>23.1}%", w.slice_share(i) * 100.0);
+        }
+        println!();
+    }
+    if monitor.alerts().is_empty() {
+        println!("alerts: none");
+    } else {
+        println!("alerts ({}):", monitor.alerts().len());
+        for alert in monitor.alerts() {
+            println!("  {alert}");
+        }
+    }
+    let active = monitor.active_alerts();
+    if active.is_empty() {
+        println!("active: none");
+    } else {
+        println!("active ({}):", active.len());
+        for a in &active {
+            println!(
+                "  {} {} breaching for {} windows (value {:.4}, threshold {:.4})",
+                a.rule.signal,
+                a.rule.slice.as_deref().unwrap_or("overall"),
+                a.windows_active,
+                a.value,
+                a.rule.threshold
+            );
+        }
+    }
     Ok(())
 }
 

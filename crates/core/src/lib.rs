@@ -64,6 +64,7 @@ pub use workflows::{
 pub use overton_model as model;
 pub use overton_monitor as monitor;
 pub use overton_nlp as nlp;
+pub use overton_obs as obs;
 pub use overton_serving as serving;
 pub use overton_store as store;
 pub use overton_supervision as supervision;

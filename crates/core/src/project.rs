@@ -17,10 +17,13 @@ use crate::run::{Run, Stage};
 use crate::workflows::{diagnose_reports, ImprovementReport, SliceDiagnosis};
 use overton_model::ModelRegistry;
 use overton_monitor::QualityReport;
-use overton_serving::{CascadeEngine, DeploymentManager, ServingConfig, WorkerPool};
+use overton_obs as obs;
+use overton_serving::{
+    CascadeEngine, DeploymentManager, ServingConfig, TrafficBaseline, WorkerPool,
+};
 use overton_store::{Dataset, ShardedStore};
 use std::collections::BTreeMap;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -303,13 +306,35 @@ impl Project {
                 (dir.clone(), Some(dir))
             }
         };
-        let registry = ModelRegistry::open(registry_dir)?;
+        let registry = ModelRegistry::open(&registry_dir)?;
         registry.publish(artifact, &self.name)?;
         let mut manager = DeploymentManager::open(registry, &self.name, DEPLOY_THRESHOLD)?;
         let engine: Arc<CascadeEngine> = manager.build_engine()?;
-        let pool = Arc::new(WorkerPool::start(engine, config, None));
+        // The run's traffic baseline (collected at evaluate over the test
+        // split, persisted as baseline.json) arms the deployment's drift
+        // detectors. A run without one (evaluated before this feature)
+        // deploys without drift detection; a baseline that exists but
+        // does not parse is a hard error — silently deploying with drift
+        // detection off while it looks on would defeat the monitoring.
+        let baseline = match run.baseline() {
+            Some(b) => Some(b.clone()),
+            None => match run.dir().map(|d| d.join("baseline.json")) {
+                Some(path) if path.exists() => {
+                    let text = std::fs::read_to_string(&path)?;
+                    Some(serde_json::from_str::<TrafficBaseline>(&text).map_err(|e| {
+                        overton_store::StoreError::Validation(format!(
+                            "{}: {e} (delete the file to deploy without drift detection)",
+                            path.display()
+                        ))
+                    })?)
+                }
+                _ => None,
+            },
+        };
+        let pool = Arc::new(WorkerPool::start(engine, config, baseline));
         manager.attach_pool(Arc::clone(&pool));
-        Ok(Deployment { manager, pool, temp_registry })
+        let obslog_dir = registry_dir.join(&self.name).join("obslog");
+        Ok(Deployment { manager, pool, obslog_dir, temp_registry })
     }
 
     /// Turns quality reports observed on live traffic (e.g. from
@@ -340,6 +365,39 @@ impl Project {
         let run = self.run()?;
         let after = run.evaluation().and_then(|e| e.slice_accuracy(task, slice)).unwrap_or(0.0);
         Ok(ImprovementReport { build: run.into_build()?, before, after })
+    }
+
+    /// The automated end of Figure 1's loop: given a slice escalated by
+    /// the obs [`Watchdog`](overton_obs::Watchdog) (whose windowed
+    /// diagnoses are task-agnostic), picks the task that was weakest on
+    /// that slice in `previous`'s evaluation — deterministically, lowest
+    /// accuracy with ties broken on task name — and delegates to
+    /// [`retrain_and_compare`](Project::retrain_and_compare).
+    pub fn retrain_for_slice(
+        &self,
+        previous: &Run,
+        slice: &str,
+    ) -> Result<ImprovementReport, Error> {
+        let evaluation = previous.evaluation().ok_or_else(|| {
+            Error::run(Stage::Evaluate, "previous run has no evaluation; complete it first")
+        })?;
+        let task = evaluation
+            .reports
+            .iter()
+            .filter_map(|(task, report)| {
+                report
+                    .group(&format!("{}{slice}", overton_monitor::SLICE_PREFIX))
+                    .map(|m| (task, m.accuracy))
+            })
+            .min_by(|(ta, a), (tb, b)| a.total_cmp(b).then_with(|| ta.cmp(tb)))
+            .map(|(task, _)| task.clone())
+            .ok_or_else(|| {
+                Error::run(
+                    Stage::Evaluate,
+                    format!("no task of the previous run was evaluated on slice '{slice}'"),
+                )
+            })?;
+        self.retrain_and_compare(previous, &task, slice)
     }
 
     fn allocate_run_dir(&self) -> Result<(String, Option<PathBuf>), Error> {
@@ -406,6 +464,9 @@ fn max_run(runs: &std::path::Path) -> Result<Option<(u32, String)>, Error> {
 pub struct Deployment {
     manager: DeploymentManager,
     pool: Arc<WorkerPool>,
+    /// Where [`watch`](Deployment::watch) persists the metrics log:
+    /// `<registry>/<deployment>/obslog/`.
+    obslog_dir: PathBuf,
     /// Set only for rootless deployments, whose registry lives in a
     /// unique temp directory removed on drop.
     temp_registry: Option<PathBuf>,
@@ -437,5 +498,29 @@ impl Deployment {
         records: &[overton_store::Record],
     ) -> Vec<Result<overton_model::ServingResponse, overton_store::StoreError>> {
         self.manager.observe(records)
+    }
+
+    /// Where [`watch`](Deployment::watch) writes the metrics log.
+    pub fn obslog_dir(&self) -> &Path {
+        &self.obslog_dir
+    }
+
+    /// Starts continuous monitoring of the deployment with the default
+    /// rule set ([`obs::default_rules`] over the serving slice space):
+    /// attaches an [`obs::Monitor`] to the pool's observer hook and
+    /// persists the metrics log under
+    /// [`obslog_dir`](Deployment::obslog_dir), where `overton monitor`
+    /// can replay it.
+    pub fn watch(&self) -> Result<obs::Monitor, Error> {
+        self.watch_with(obs::ObsConfig {
+            rules: obs::default_rules(self.pool.telemetry().slice_names()),
+            ..Default::default()
+        })
+    }
+
+    /// [`watch`](Deployment::watch) with an explicit configuration (the
+    /// rules are taken as given).
+    pub fn watch_with(&self, config: obs::ObsConfig) -> Result<obs::Monitor, Error> {
+        Ok(obs::Monitor::attach(&self.pool, config, Some(&self.obslog_dir))?)
     }
 }

@@ -22,6 +22,7 @@
 //!   train.model.json    weights snapshot, a loadable artifact (Train)
 //!   artifact.model.json the packaged deployable artifact (Package)
 //!   evaluation.json     per-task quality reports (Evaluate)
+//!   baseline.json       traffic baseline for drift detection (Evaluate)
 //!   report.json         the RunReport; doubles as the completion record
 //! ```
 
@@ -30,8 +31,9 @@ use crate::pipeline::{OvertonBuild, OvertonOptions};
 use crate::workflows::{diagnose_reports, mean_accuracy, scored_accuracies, SliceDiagnosis};
 use overton_model::{
     evaluate_store, prepare_store, search, train_model, CompiledModel, DeployableModel, Evaluation,
-    FeatureSpace, ModelConfig, PreparedData, TrainReport, TrialResult,
+    FeatureSpace, ModelConfig, PreparedData, Server, TrainReport, TrialResult,
 };
+use overton_serving::TrafficBaseline;
 use overton_store::{ShardedStore, StoreError};
 use overton_supervision::SourceDiagnostics;
 use serde::{Deserialize, Serialize};
@@ -203,6 +205,7 @@ pub struct Run {
     pub(crate) train_report: Option<TrainReport>,
     pub(crate) artifact: Option<DeployableModel>,
     pub(crate) evaluation: Option<Evaluation>,
+    pub(crate) baseline: Option<TrafficBaseline>,
     pub(crate) report: RunReport,
     /// The next stage to execute; `None` once the run is complete.
     pub(crate) cursor: Option<Stage>,
@@ -244,6 +247,7 @@ impl Run {
             train_report: None,
             artifact: None,
             evaluation: None,
+            baseline: None,
             report,
             cursor: Some(Stage::Combine),
         }
@@ -308,6 +312,14 @@ impl Run {
     /// The test evaluation, once [`Stage::Evaluate`] ran.
     pub fn evaluation(&self) -> Option<&Evaluation> {
         self.evaluation.as_ref()
+    }
+
+    /// The traffic baseline captured over the test split during
+    /// [`Stage::Evaluate`] (persisted as `baseline.json`): the reference
+    /// distribution the deployment's drift detectors compare live
+    /// traffic against.
+    pub fn baseline(&self) -> Option<&TrafficBaseline> {
+        self.baseline.as_ref()
     }
 
     /// Overall test accuracy of a task (0 before evaluation or for an
@@ -520,6 +532,28 @@ impl Run {
         let records = rows.len();
         self.write_json("evaluation.json", &evaluation.reports)?;
         self.evaluation = Some(evaluation);
+        // Capture the traffic baseline over the same split the artifact
+        // was accepted on — the reference distribution deployments reload
+        // for drift detection. The packaged artifact exists (Package runs
+        // before Evaluate), so the baseline reflects exactly the served
+        // weights. This is a second forward pass over the test rows
+        // (evaluate_store just predicted them): a deliberate trade —
+        // the baseline must come from the *served* artifact's outputs
+        // (confidence + slice heads), which the shard-parallel
+        // evaluation kernel does not surface; folding capture into it
+        // is a cross-crate refactor to revisit if evaluate-stage wall
+        // time ever matters.
+        if !rows.is_empty() {
+            let artifact = self.artifact.as_ref().expect("package stage ran before evaluate");
+            let server = Server::load(artifact);
+            let records: Vec<overton_store::Record> = rows
+                .iter()
+                .map(|&r| self.store.get(r as usize))
+                .collect::<Result<_, StoreError>>()?;
+            let baseline = TrafficBaseline::collect(&server, &records)?;
+            self.write_json("baseline.json", &baseline)?;
+            self.baseline = Some(baseline);
+        }
         Ok(records)
     }
 
@@ -553,7 +587,7 @@ impl Run {
             Stage::Search => &["search.json"],
             Stage::Train => &["train.json", "train.model.json"],
             Stage::Package => &["artifact.model.json"],
-            Stage::Evaluate => &["evaluation.json"],
+            Stage::Evaluate => &["evaluation.json", "baseline.json"],
         }
     }
 

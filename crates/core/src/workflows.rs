@@ -15,51 +15,20 @@
 
 use crate::error::OvertonError;
 use crate::pipeline::{build, OvertonBuild, OvertonOptions};
-use overton_monitor::{Metrics, QualityReport};
+use overton_monitor::QualityReport;
 use overton_store::{Dataset, Record, TaskLabel};
 use std::collections::BTreeMap;
 
-/// A slice that needs attention: the monitoring output an engineer triages.
-#[derive(Debug, Clone)]
-pub struct SliceDiagnosis {
-    /// Task whose quality is low.
-    pub task: String,
-    /// Slice name (without the `slice:` prefix).
-    pub slice: String,
-    /// Current metrics on the slice.
-    pub metrics: Metrics,
-}
-
-/// The shared diagnosis kernel: ranks every `slice:` row of the given
-/// per-task quality reports by accuracy ascending, skipping slices with
-/// fewer than `min_count` scored examples (too noisy to act on). Both
-/// [`Run::worst_slices`](crate::Run::worst_slices) and
-/// [`Project::monitor`](crate::Project::monitor) feed this — the reports
-/// can come from a test evaluation or from live canary scoring; the
-/// worklist is the same shape either way.
-pub(crate) fn diagnose_reports(
-    reports: &BTreeMap<String, QualityReport>,
-    min_count: usize,
-) -> Vec<SliceDiagnosis> {
-    let mut out = Vec::new();
-    for (task, report) in reports {
-        for row in &report.rows {
-            let Some(slice) = row.group.strip_prefix(overton_store::SLICE_PREFIX) else {
-                continue;
-            };
-            if row.metrics.count < min_count {
-                continue;
-            }
-            out.push(SliceDiagnosis {
-                task: task.clone(),
-                slice: slice.to_string(),
-                metrics: row.metrics,
-            });
-        }
-    }
-    out.sort_by(|a, b| a.metrics.accuracy.partial_cmp(&b.metrics.accuracy).unwrap());
-    out
-}
+// The shared diagnosis kernel — ranks every `slice:` row of a set of
+// per-task quality reports by accuracy ascending with deterministic
+// tie-breaking — now lives in `overton-monitor` (`diagnose_reports`),
+// where every monitoring surface can reach it: [`Run::worst_slices`]
+// (crate::Run::worst_slices), [`Project::monitor`]
+// (crate::Project::monitor), live canary scoring, and the obs watchdog's
+// automated retrain trigger. Re-exported here so `overton::SliceDiagnosis`
+// keeps working.
+pub(crate) use overton_monitor::diagnose_reports;
+pub use overton_monitor::SliceDiagnosis;
 
 /// Per-task overall test accuracy for the tasks that were actually scored
 /// (an `overall` row exists). Shared kernel behind both

@@ -1,0 +1,121 @@
+//! The shared slice-diagnosis kernel: quality reports → ranked worklist.
+//!
+//! Every monitoring surface in the system — a run's test evaluation, live
+//! canary scoring, and the observability subsystem's windowed gold
+//! accuracy — produces per-task [`QualityReport`]s. This module turns any
+//! such set of reports into the one artifact an engineer (or the
+//! automated retrain watchdog) acts on: `(task, slice)` pairs ranked by
+//! accuracy ascending. The ranking is **fully deterministic**, including
+//! under accuracy ties (stable secondary sort on task then slice name),
+//! so automated retrains triggered from a worklist are reproducible.
+
+use crate::metrics::Metrics;
+use crate::report::QualityReport;
+use std::collections::BTreeMap;
+
+/// The canonical prefix marking slice tags in report group names. Mirrors
+/// `overton-store`'s `SLICE_PREFIX`; duplicated (like `csv_escape`) so
+/// this crate stays dependency-free.
+pub const SLICE_PREFIX: &str = "slice:";
+
+/// A slice that needs attention: the monitoring output an engineer (or
+/// the obs watchdog) triages.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SliceDiagnosis {
+    /// Task whose quality is low.
+    pub task: String,
+    /// Slice name (without the `slice:` prefix).
+    pub slice: String,
+    /// Current metrics on the slice.
+    pub metrics: Metrics,
+}
+
+/// Ranks every `slice:` row of the given per-task quality reports by
+/// accuracy ascending, skipping slices with fewer than `min_count` scored
+/// examples (too noisy to act on). Ties on accuracy break on task name,
+/// then slice name, so the worklist order — and anything automation does
+/// with it — is reproducible run to run.
+pub fn diagnose_reports(
+    reports: &BTreeMap<String, QualityReport>,
+    min_count: usize,
+) -> Vec<SliceDiagnosis> {
+    let mut out = Vec::new();
+    for (task, report) in reports {
+        for row in &report.rows {
+            let Some(slice) = row.group.strip_prefix(SLICE_PREFIX) else {
+                continue;
+            };
+            if row.metrics.count < min_count {
+                continue;
+            }
+            out.push(SliceDiagnosis {
+                task: task.clone(),
+                slice: slice.to_string(),
+                metrics: row.metrics,
+            });
+        }
+    }
+    out.sort_by(|a, b| {
+        a.metrics
+            .accuracy
+            .total_cmp(&b.metrics.accuracy)
+            .then_with(|| a.task.cmp(&b.task))
+            .then_with(|| a.slice.cmp(&b.slice))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(acc: f64, n: usize) -> Metrics {
+        Metrics { count: n, accuracy: acc, macro_f1: acc, micro_f1: acc }
+    }
+
+    fn reports(rows: &[(&str, &str, f64, usize)]) -> BTreeMap<String, QualityReport> {
+        let mut out: BTreeMap<String, QualityReport> = BTreeMap::new();
+        for &(task, group, acc, n) in rows {
+            out.entry(task.to_string())
+                .or_insert_with(|| QualityReport::new(task))
+                .push(group, metrics(acc, n));
+        }
+        out
+    }
+
+    #[test]
+    fn ranks_ascending_and_skips_small_and_nonslice_groups() {
+        let reports = reports(&[
+            ("Intent", "overall", 0.2, 100),
+            ("Intent", "slice:hard", 0.5, 50),
+            ("Intent", "slice:tiny", 0.1, 2),
+            ("Intent", "slice:easy", 0.9, 50),
+        ]);
+        let out = diagnose_reports(&reports, 10);
+        let names: Vec<&str> = out.iter().map(|d| d.slice.as_str()).collect();
+        // `overall` (not a slice) and the under-count slice are skipped;
+        // the rest rank ascending.
+        assert_eq!(names, ["hard", "easy"]);
+    }
+
+    #[test]
+    fn ties_order_deterministically_by_task_then_slice() {
+        // Four diagnoses with identical accuracy: the order must be the
+        // stable (task, slice) lexicographic order, every time.
+        let reports = reports(&[
+            ("B", "slice:x", 0.5, 20),
+            ("B", "slice:a", 0.5, 20),
+            ("A", "slice:z", 0.5, 20),
+            ("A", "slice:m", 0.5, 20),
+        ]);
+        let out = diagnose_reports(&reports, 10);
+        let keys: Vec<(&str, &str)> =
+            out.iter().map(|d| (d.task.as_str(), d.slice.as_str())).collect();
+        assert_eq!(keys, [("A", "m"), ("A", "z"), ("B", "a"), ("B", "x")]);
+        // And a strictly worse slice still sorts ahead of the tie group.
+        let mut with_worse = reports.clone();
+        with_worse.get_mut("B").unwrap().push("slice:worst", metrics(0.1, 20));
+        let out = diagnose_reports(&with_worse, 10);
+        assert_eq!((out[0].task.as_str(), out[0].slice.as_str()), ("B", "worst"));
+    }
+}

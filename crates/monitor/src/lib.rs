@@ -10,14 +10,16 @@
 mod accum;
 mod calibration;
 mod confusion;
+mod diagnose;
 mod metrics;
 mod report;
 
 pub use accum::MetricsAccumulator;
 pub use calibration::{calibration_report, CalibrationBin, CalibrationReport};
 pub use confusion::ConfusionMatrix;
+pub use diagnose::{diagnose_reports, SliceDiagnosis, SLICE_PREFIX};
 pub use metrics::{
     binary_f1, bitvector_metrics, error_reduction_factor, error_reduction_percent,
     multiclass_metrics, relative_quality, Metrics,
 };
-pub use report::{regressions, QualityReport, Regression, ReportRow};
+pub use report::{csv_escape, regressions, QualityReport, Regression, ReportRow};

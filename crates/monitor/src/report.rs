@@ -69,10 +69,15 @@ impl QualityReport {
     }
 }
 
-/// RFC 4180 field escaping. Mirrors `csv_escape` in `overton-store`'s
-/// `tags.rs` (`TagIndex::write_csv`); duplicated rather than imported so
+/// RFC 4180 field escaping: quotes a field containing commas, quotes or
+/// newlines, doubling inner quotes. This is the one CSV-serialization
+/// helper every report-shaped export in the workspace shares — quality
+/// reports here, telemetry snapshots in `overton-serving`, windowed
+/// metric logs in `overton-obs` — so slice and tag names (free-form, can
+/// contain anything) escape identically everywhere. Mirrors `csv_escape`
+/// in `overton-store`'s `tags.rs`; duplicated rather than imported so
 /// this crate stays independent of the data layer.
-fn csv_escape(field: &str) -> String {
+pub fn csv_escape(field: &str) -> String {
     if field.contains([',', '"', '\n']) {
         format!("\"{}\"", field.replace('"', "\"\""))
     } else {

@@ -28,7 +28,7 @@ pub use queries::{
     SLICE_COMPLEX_DISAMBIGUATION, SLICE_NUTRITION, VAGUE_INTENTS, VAGUE_TEMPLATE_OFFSET,
 };
 pub use tokenizer::{detokenize, tokenize};
-pub use traffic::{TrafficConfig, TrafficEvent, TrafficStream};
+pub use traffic::{DriftConfig, DriftingTrafficStream, TrafficConfig, TrafficEvent, TrafficStream};
 pub use vocab::{Vocab, MASK, PAD, UNK};
 pub use workload::{
     generate_workload, generate_workload_sealed, generate_workload_with_kb, query_record,

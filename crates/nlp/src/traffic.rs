@@ -86,22 +86,132 @@ impl<'a> TrafficStream<'a> {
     }
 }
 
-impl Iterator for TrafficStream<'_> {
-    type Item = TrafficEvent;
-
-    fn next(&mut self) -> Option<TrafficEvent> {
+impl TrafficStream<'_> {
+    /// Generates the next event at an explicit `(slice_rate, vague_rate)`
+    /// mix — the shared core of the steady stream ([`Iterator::next`],
+    /// which uses the configured rates) and [`DriftingTrafficStream`]
+    /// (which ramps the rates over time).
+    fn next_with_rates(&mut self, slice_rate: f64, vague_rate: f64) -> TrafficEvent {
         // Exponential inter-arrival via inverse-CDF; clamp u away from 0 so
         // ln stays finite.
         let u: f64 = self.rng.gen::<f64>().max(1e-12);
         self.clock += Duration::from_secs_f64(-u.ln() / self.config.qps);
-        let query = if self.rng.gen_bool(self.config.vague_rate) {
+        let query = if self.rng.gen_bool(vague_rate) {
             self.generator.generate_vague(&mut self.rng)
         } else {
-            let force_ambiguous = self.rng.gen_bool(self.config.slice_rate);
+            let force_ambiguous = self.rng.gen_bool(slice_rate);
             self.generator.generate(&mut self.rng, force_ambiguous)
         };
         let record = query_record(self.kb, &query, TAG_LIVE, self.config.with_gold);
-        Some(TrafficEvent { at: self.clock, record })
+        TrafficEvent { at: self.clock, record }
+    }
+}
+
+impl Iterator for TrafficStream<'_> {
+    type Item = TrafficEvent;
+
+    fn next(&mut self) -> Option<TrafficEvent> {
+        let (slice_rate, vague_rate) = (self.config.slice_rate, self.config.vague_rate);
+        Some(self.next_with_rates(slice_rate, vague_rate))
+    }
+}
+
+/// Configuration of a [`DriftingTrafficStream`]: a base traffic mix that
+/// ramps toward a drifted mix over a window of events.
+#[derive(Debug, Clone)]
+pub struct DriftConfig {
+    /// The pre-drift traffic mix (and QPS/seed/gold settings throughout).
+    pub base: TrafficConfig,
+    /// Slice-mix shift: the complex-disambiguation draw rate the stream
+    /// ramps to (traffic tilting toward the hard slice).
+    pub end_slice_rate: f64,
+    /// Vocabulary/confidence shift: the vague-query rate the stream ramps
+    /// to. Vague queries come from a disjoint template pool whose intent
+    /// is not determined by the text, so raising this both shifts the
+    /// token distribution and drags serving confidence down — the
+    /// "queries changed under the model" failure mode.
+    pub end_vague_rate: f64,
+    /// Event index at which the drift begins (the stream is stationary at
+    /// the base mix before it).
+    pub drift_start: usize,
+    /// Events over which the rates interpolate linearly from base to end
+    /// (0 = a step change at `drift_start`).
+    pub drift_ramp: usize,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        Self {
+            base: TrafficConfig::default(),
+            end_slice_rate: 0.75,
+            end_vague_rate: 0.45,
+            drift_start: 1000,
+            drift_ramp: 250,
+        }
+    }
+}
+
+impl DriftConfig {
+    /// The `(slice_rate, vague_rate)` mix in effect for event `i`.
+    pub fn rates_at(&self, i: usize) -> (f64, f64) {
+        let t = if i < self.drift_start {
+            0.0
+        } else if self.drift_ramp == 0 {
+            1.0
+        } else {
+            (((i - self.drift_start) as f64) / self.drift_ramp as f64).min(1.0)
+        };
+        let lerp = |a: f64, b: f64| a + (b - a) * t;
+        (
+            lerp(self.base.slice_rate, self.end_slice_rate),
+            lerp(self.base.vague_rate, self.end_vague_rate),
+        )
+    }
+}
+
+/// A deterministic traffic stream whose mix *drifts*: stationary at the
+/// base [`TrafficConfig`] until `drift_start`, then ramping the slice and
+/// vague rates toward the configured end mix. This is the workload that
+/// exercises the continuous-monitoring subsystem (`overton-obs`): the
+/// slice-mix shift drives the PSI traffic detector, the vague-query shift
+/// drives the per-slice confidence KS detector, and both are seeded so a
+/// drift scenario replays exactly.
+pub struct DriftingTrafficStream<'a> {
+    inner: TrafficStream<'a>,
+    config: DriftConfig,
+    emitted: usize,
+}
+
+impl<'a> DriftingTrafficStream<'a> {
+    /// Prepares a drifting stream over a knowledge base.
+    pub fn new(kb: &'a KnowledgeBase, config: DriftConfig) -> Self {
+        let inner = TrafficStream::new(kb, config.base.clone());
+        Self { inner, config, emitted: 0 }
+    }
+
+    /// How many events have been emitted so far.
+    pub fn emitted(&self) -> usize {
+        self.emitted
+    }
+
+    /// The drift configuration.
+    pub fn config(&self) -> &DriftConfig {
+        &self.config
+    }
+
+    /// Drains the next `n` requests, dropping arrival times.
+    pub fn records(&mut self, n: usize) -> Vec<Record> {
+        self.by_ref().take(n).map(|e| e.record).collect()
+    }
+}
+
+impl Iterator for DriftingTrafficStream<'_> {
+    type Item = TrafficEvent;
+
+    fn next(&mut self) -> Option<TrafficEvent> {
+        let (slice_rate, vague_rate) = self.config.rates_at(self.emitted);
+        self.emitted += 1;
+        Some(self.inner.next_with_rates(slice_rate, vague_rate))
     }
 }
 
@@ -154,6 +264,68 @@ mod tests {
             assert_eq!(ea.at, eb.at);
             assert_eq!(ea.record, eb.record);
         }
+    }
+
+    #[test]
+    fn drifting_stream_is_stationary_then_shifts() {
+        let kb = KnowledgeBase::standard();
+        let config = DriftConfig {
+            base: TrafficConfig {
+                seed: 11,
+                slice_rate: 0.05,
+                vague_rate: 0.02,
+                ..Default::default()
+            },
+            end_slice_rate: 0.6,
+            end_vague_rate: 0.5,
+            drift_start: 500,
+            drift_ramp: 100,
+        };
+        let mut stream = DriftingTrafficStream::new(&kb, config);
+        let in_slice = |records: &[Record]| {
+            records.iter().filter(|r| r.in_slice(crate::SLICE_COMPLEX_DISAMBIGUATION)).count()
+        };
+        let before = stream.records(500);
+        assert_eq!(stream.emitted(), 500);
+        // Fully past the ramp.
+        let _ramp = stream.records(100);
+        let after = stream.records(500);
+        // The slice draw applies to non-vague queries only, so the
+        // post-drift share is about (1 - vague) * slice_rate = 0.3.
+        let (b, a) = (in_slice(&before), in_slice(&after));
+        assert!(b < 100, "pre-drift slice traffic too high: {b}/500");
+        assert!(a > 130, "post-drift slice traffic too low: {a}/500");
+        // Records still validate and carry the live tag through the drift.
+        let schema = crate::workload::workload_schema();
+        for r in before.iter().chain(&after) {
+            r.validate(&schema).unwrap();
+            assert!(r.tags.contains(TAG_LIVE));
+        }
+    }
+
+    #[test]
+    fn drifting_stream_is_deterministic_and_rates_interpolate() {
+        let kb = KnowledgeBase::standard();
+        let config = DriftConfig {
+            base: TrafficConfig { seed: 23, ..Default::default() },
+            ..Default::default()
+        };
+        let mut a = DriftingTrafficStream::new(&kb, config.clone());
+        let mut b = DriftingTrafficStream::new(&kb, config.clone());
+        for _ in 0..300 {
+            let (ea, eb) = (a.next().unwrap(), b.next().unwrap());
+            assert_eq!(ea.at, eb.at);
+            assert_eq!(ea.record, eb.record);
+        }
+        // Rates: flat before, linear on the ramp, clamped after.
+        assert_eq!(config.rates_at(0).0, config.base.slice_rate);
+        assert_eq!(config.rates_at(config.drift_start - 1).0, config.base.slice_rate);
+        let mid = config.rates_at(config.drift_start + config.drift_ramp / 2).0;
+        assert!(mid > config.base.slice_rate && mid < config.end_slice_rate, "mid {mid}");
+        assert_eq!(config.rates_at(usize::MAX).0, config.end_slice_rate);
+        // A zero-length ramp is a step change.
+        let step = DriftConfig { drift_ramp: 0, ..config };
+        assert_eq!(step.rates_at(step.drift_start).0, step.end_slice_rate);
     }
 
     #[test]

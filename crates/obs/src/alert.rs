@@ -1,0 +1,469 @@
+//! Declarative alert rules over closed windows, with debounce.
+//!
+//! A rule names a scope (one slice, or the whole deployment), a signal, a
+//! threshold, a minimum window population (noise guard) and a severity.
+//! Rules are evaluated at every window close; an [`Alert`] is emitted on
+//! the **rising edge** only, and the rule re-arms after a configurable
+//! run of clean windows — a flapping slice alerts once per episode, not
+//! once per window. Evaluation is a pure function of the window, the
+//! baseline and the rule state, so a replayed obslog reproduces the
+//! exact alert sequence.
+
+use crate::drift::{ks_statistic, psi_binary};
+use crate::window::WindowRecord;
+use overton_serving::TrafficBaseline;
+use std::fmt;
+
+/// How urgent an alert is.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
+pub enum Severity {
+    /// Worth a look on the dashboard.
+    Info,
+    /// Needs triage.
+    Warning,
+    /// Needs action; the watchdog treats sustained criticals (and above
+    /// its configured floor generally) as retrain triggers.
+    Critical,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Critical => "critical",
+        })
+    }
+}
+
+/// The monitored signal a rule thresholds on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Signal {
+    /// Population Stability Index of the slice's traffic share against
+    /// the baseline's tagged share (slice-scoped rules only; fires when
+    /// the value **exceeds** the threshold).
+    TrafficPsi,
+    /// KS statistic between the window's confidence distribution and the
+    /// baseline's (per-slice, or overall); fires when the value
+    /// **exceeds** the threshold.
+    ConfidenceKs,
+    /// Mean gold accuracy over the window's scored requests; fires when
+    /// the value **drops below** the threshold.
+    GoldAccuracy,
+    /// Fraction of requests that failed; fires when the value **exceeds**
+    /// the threshold.
+    ErrorRate,
+}
+
+impl Signal {
+    /// Stable lowercase name (used in displays and the CLI table).
+    pub fn name(self) -> &'static str {
+        match self {
+            Signal::TrafficPsi => "traffic-psi",
+            Signal::ConfidenceKs => "confidence-ks",
+            Signal::GoldAccuracy => "gold-accuracy",
+            Signal::ErrorRate => "error-rate",
+        }
+    }
+
+    /// Whether `value` breaches `threshold` in this signal's direction.
+    pub fn breaches(self, value: f64, threshold: f64) -> bool {
+        match self {
+            Signal::GoldAccuracy => value < threshold,
+            Signal::TrafficPsi | Signal::ConfidenceKs | Signal::ErrorRate => value > threshold,
+        }
+    }
+}
+
+impl fmt::Display for Signal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One declarative alert rule.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct AlertRule {
+    /// The slice the rule watches; `None` scopes it to the whole
+    /// deployment ([`Signal::TrafficPsi`] requires a slice).
+    pub slice: Option<String>,
+    /// The signal thresholded.
+    pub signal: Signal,
+    /// Threshold (direction depends on the signal — see [`Signal`]).
+    pub threshold: f64,
+    /// Minimum population in the rule's scope for the window to be
+    /// evaluated at all: the window's request count for
+    /// [`Signal::TrafficPsi`]/[`Signal::ErrorRate`], the scope's *served*
+    /// count for [`Signal::ConfidenceKs`], the scope's *gold-scored*
+    /// count for [`Signal::GoldAccuracy`]. Windows below it neither fire
+    /// nor clear the rule.
+    pub min_window_count: u64,
+    /// Severity of alerts the rule emits.
+    pub severity: Severity,
+}
+
+/// A fired alert: one rule's rising edge at one window close.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Alert {
+    /// Index of the window whose close fired the alert.
+    pub window: u64,
+    /// The rule's slice scope (`None` = deployment-wide).
+    pub slice: Option<String>,
+    /// The signal that breached.
+    pub signal: Signal,
+    /// The observed value.
+    pub value: f64,
+    /// The rule's threshold.
+    pub threshold: f64,
+    /// The rule's severity.
+    pub severity: Severity,
+}
+
+impl fmt::Display for Alert {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {} {} window={} value={:.4} threshold={:.4}",
+            self.severity,
+            self.signal,
+            self.slice.as_deref().unwrap_or("overall"),
+            self.window,
+            self.value,
+            self.threshold
+        )
+    }
+}
+
+/// A rule that is currently breaching, with how long it has been.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActiveAlert {
+    /// The breaching rule.
+    pub rule: AlertRule,
+    /// Consecutive breaching windows so far (≥ 1).
+    pub windows_active: u32,
+    /// The most recent breaching value.
+    pub value: f64,
+}
+
+#[derive(Debug, Clone, Default, PartialEq)]
+struct RuleState {
+    /// Consecutive breaching windows (0 when currently clean).
+    breaching: u32,
+    /// Consecutive clean windows since the last breach.
+    clean: u32,
+    /// An alert was emitted and the rule has not re-armed yet.
+    alerted: bool,
+    /// Last breaching value (for the active-alerts table).
+    value: f64,
+}
+
+/// Evaluates a fixed rule set against each closed window, maintaining
+/// debounce state and the emitted alert log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlertEngine {
+    rules: Vec<AlertRule>,
+    /// Clean windows required before a fired rule re-arms.
+    rearm_windows: u32,
+    states: Vec<RuleState>,
+    alerts: Vec<Alert>,
+}
+
+impl AlertEngine {
+    /// Creates the engine for a rule set. `rearm_windows` clean windows
+    /// re-arm a fired rule (0 = re-arm immediately, i.e. alert on every
+    /// rising edge).
+    pub fn new(rules: Vec<AlertRule>, rearm_windows: u32) -> Self {
+        let states = rules.iter().map(|_| RuleState::default()).collect();
+        Self { rules, rearm_windows, states, alerts: Vec::new() }
+    }
+
+    /// The rule set.
+    pub fn rules(&self) -> &[AlertRule] {
+        &self.rules
+    }
+
+    /// Every alert emitted so far, in window order.
+    pub fn alerts(&self) -> &[Alert] {
+        &self.alerts
+    }
+
+    /// Rules currently breaching.
+    pub fn active(&self) -> Vec<ActiveAlert> {
+        self.rules
+            .iter()
+            .zip(&self.states)
+            .filter(|(_, s)| s.breaching > 0)
+            .map(|(r, s)| ActiveAlert {
+                rule: r.clone(),
+                windows_active: s.breaching,
+                value: s.value,
+            })
+            .collect()
+    }
+
+    /// Evaluates every rule against a freshly closed window.
+    pub fn evaluate(
+        &mut self,
+        slice_names: &[String],
+        baseline: Option<&TrafficBaseline>,
+        window: &WindowRecord,
+    ) {
+        for (rule, state) in self.rules.iter().zip(&mut self.states) {
+            let Some(value) = signal_value(rule, slice_names, baseline, window) else {
+                // Below the population guard (or no baseline): the window
+                // says nothing about this rule either way.
+                continue;
+            };
+            if rule.signal.breaches(value, rule.threshold) {
+                state.breaching += 1;
+                state.clean = 0;
+                state.value = value;
+                if !state.alerted {
+                    state.alerted = true;
+                    self.alerts.push(Alert {
+                        window: window.index,
+                        slice: rule.slice.clone(),
+                        signal: rule.signal,
+                        value,
+                        threshold: rule.threshold,
+                        severity: rule.severity,
+                    });
+                }
+            } else {
+                state.breaching = 0;
+                state.clean += 1;
+                // Re-arm after `rearm_windows` clean windows, exactly as
+                // documented (0 = any clean window re-arms, i.e. every
+                // rising edge alerts).
+                if state.clean >= self.rearm_windows {
+                    state.alerted = false;
+                }
+            }
+        }
+    }
+}
+
+/// The value a rule's signal takes on a window, or `None` when the
+/// window's population is below the rule's guard (or the signal needs a
+/// baseline/slice the deployment does not have).
+fn signal_value(
+    rule: &AlertRule,
+    slice_names: &[String],
+    baseline: Option<&TrafficBaseline>,
+    window: &WindowRecord,
+) -> Option<f64> {
+    let slice_index = match &rule.slice {
+        Some(name) => Some(slice_names.iter().position(|n| n == name)?),
+        None => None,
+    };
+    let group = match slice_index {
+        Some(i) => &window.slices[i],
+        None => &window.overall,
+    };
+    match rule.signal {
+        Signal::TrafficPsi => {
+            let name = rule.slice.as_deref()?;
+            let base = baseline?.tag_share(name)?;
+            if window.overall.count < rule.min_window_count {
+                return None;
+            }
+            Some(psi_binary(window.slice_share(slice_index?), base))
+        }
+        Signal::ConfidenceKs => {
+            if group.served() < rule.min_window_count {
+                return None;
+            }
+            let base_hist = match rule.slice.as_deref() {
+                Some(name) => baseline?.slice_confidence_hist(name)?,
+                None => baseline?.confidence_hist.as_slice(),
+            };
+            ks_statistic(&group.confidence_hist, base_hist)
+        }
+        Signal::GoldAccuracy => {
+            if group.gold_scored < rule.min_window_count {
+                return None;
+            }
+            group.gold_accuracy()
+        }
+        Signal::ErrorRate => {
+            if group.count < rule.min_window_count {
+                return None;
+            }
+            Some(group.error_rate())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::window::WindowedStats;
+    use overton_serving::{confidence_bin, ServeSample, CONFIDENCE_BINS};
+
+    fn sample(confidence: f32, slice_mask: u64, gold: Option<f64>) -> ServeSample {
+        ServeSample {
+            ok: true,
+            confidence_bin: confidence_bin(confidence),
+            confidence_millionths: (f64::from(confidence) * 1e6) as u64,
+            latency_micros: 50,
+            slice_mask,
+            gold_accuracy_millionths: gold.map(|g| (g * 1e6).round() as u64),
+        }
+    }
+
+    fn baseline(share: f64) -> TrafficBaseline {
+        let mut hist = vec![0u64; CONFIDENCE_BINS];
+        hist[confidence_bin(0.9)] = 100;
+        TrafficBaseline {
+            slice_shares: vec![("hard".into(), share)],
+            mean_confidence: 0.9,
+            tag_shares: vec![("hard".into(), share)],
+            confidence_hist: hist.clone(),
+            slice_confidence_hists: vec![hist],
+        }
+    }
+
+    fn window(n: u64, in_slice: u64, confidence: f32) -> WindowRecord {
+        let mut stats = WindowedStats::new(vec!["hard".into()], n, 4);
+        let mut closed = None;
+        for i in 0..n {
+            closed = stats.ingest(&sample(confidence, u64::from(i < in_slice), Some(1.0)));
+        }
+        closed.expect("window closed")
+    }
+
+    fn psi_rule(min: u64) -> AlertRule {
+        AlertRule {
+            slice: Some("hard".into()),
+            signal: Signal::TrafficPsi,
+            threshold: 0.25,
+            min_window_count: min,
+            severity: Severity::Critical,
+        }
+    }
+
+    #[test]
+    fn psi_rule_fires_on_drifted_share_only() {
+        let names = vec!["hard".to_string()];
+        let base = baseline(0.1);
+        let mut engine = AlertEngine::new(vec![psi_rule(10)], 2);
+        // Stable window: share 0.1 == baseline.
+        engine.evaluate(&names, Some(&base), &window(100, 10, 0.9));
+        assert!(engine.alerts().is_empty());
+        assert!(engine.active().is_empty());
+        // Drifted window: share 0.6.
+        engine.evaluate(&names, Some(&base), &window(100, 60, 0.9));
+        assert_eq!(engine.alerts().len(), 1);
+        let alert = &engine.alerts()[0];
+        assert_eq!(alert.signal, Signal::TrafficPsi);
+        assert_eq!(alert.slice.as_deref(), Some("hard"));
+        assert!(alert.value > 0.25);
+        assert_eq!(alert.severity, Severity::Critical);
+        assert!(alert.to_string().contains("traffic-psi"), "{alert}");
+    }
+
+    #[test]
+    fn debounce_alerts_once_per_episode_and_rearms_after_clean_run() {
+        let names = vec!["hard".to_string()];
+        let base = baseline(0.1);
+        let mut engine = AlertEngine::new(vec![psi_rule(10)], 2);
+        let drifted = window(100, 60, 0.9);
+        let stable = window(100, 10, 0.9);
+        // Five breaching windows: exactly one alert, active the whole time.
+        for _ in 0..5 {
+            engine.evaluate(&names, Some(&base), &drifted);
+        }
+        assert_eq!(engine.alerts().len(), 1);
+        assert_eq!(engine.active().len(), 1);
+        assert_eq!(engine.active()[0].windows_active, 5);
+        // One clean window is not enough to re-arm (flap guard)...
+        engine.evaluate(&names, Some(&base), &stable);
+        engine.evaluate(&names, Some(&base), &drifted);
+        assert_eq!(engine.alerts().len(), 1, "a flap must not re-alert");
+        // ...but a clean run longer than rearm_windows is.
+        for _ in 0..3 {
+            engine.evaluate(&names, Some(&base), &stable);
+        }
+        engine.evaluate(&names, Some(&base), &drifted);
+        assert_eq!(engine.alerts().len(), 2, "re-armed rule fires on the next episode");
+    }
+
+    #[test]
+    fn population_guard_skips_thin_windows() {
+        let names = vec!["hard".to_string()];
+        let base = baseline(0.1);
+        let mut engine = AlertEngine::new(vec![psi_rule(500)], 2);
+        engine.evaluate(&names, Some(&base), &window(100, 60, 0.9));
+        assert!(engine.alerts().is_empty(), "window below min_window_count must not fire");
+        // And without a baseline PSI has no reference: nothing fires.
+        let mut engine = AlertEngine::new(vec![psi_rule(10)], 2);
+        engine.evaluate(&names, None, &window(100, 60, 0.9));
+        assert!(engine.alerts().is_empty());
+    }
+
+    #[test]
+    fn ks_accuracy_and_error_signals_threshold_in_the_right_direction() {
+        let names = vec!["hard".to_string()];
+        let base = baseline(0.1);
+        let rules = vec![
+            AlertRule {
+                slice: Some("hard".into()),
+                signal: Signal::ConfidenceKs,
+                threshold: 0.5,
+                min_window_count: 10,
+                severity: Severity::Warning,
+            },
+            AlertRule {
+                slice: None,
+                signal: Signal::GoldAccuracy,
+                threshold: 0.6,
+                min_window_count: 10,
+                severity: Severity::Critical,
+            },
+            AlertRule {
+                slice: None,
+                signal: Signal::ErrorRate,
+                threshold: 0.5,
+                min_window_count: 10,
+                severity: Severity::Info,
+            },
+        ];
+        let mut engine = AlertEngine::new(rules, 2);
+        // Confidence collapsed to 0.1 (baseline is at 0.9) in the slice;
+        // gold accuracy is 1.0 (no GoldAccuracy breach), errors 0.
+        engine.evaluate(&names, Some(&base), &window(100, 60, 0.1));
+        let signals: Vec<Signal> = engine.alerts().iter().map(|a| a.signal).collect();
+        assert_eq!(signals, vec![Signal::ConfidenceKs]);
+        // Accuracy direction: a low-accuracy window fires GoldAccuracy.
+        let mut stats = WindowedStats::new(vec!["hard".into()], 20, 4);
+        let mut low = None;
+        for _ in 0..20 {
+            low = stats.ingest(&sample(0.9, 0, Some(0.0)));
+        }
+        engine.evaluate(&names, Some(&base), &low.unwrap());
+        assert!(engine.alerts().iter().any(|a| a.signal == Signal::GoldAccuracy));
+    }
+
+    #[test]
+    fn rules_and_alerts_serialize_roundtrip() {
+        let rule = psi_rule(10);
+        let json = serde_json::to_string(&rule).unwrap();
+        let back: AlertRule = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, rule);
+        let alert = Alert {
+            window: 3,
+            slice: None,
+            signal: Signal::ErrorRate,
+            value: 0.4,
+            threshold: 0.2,
+            severity: Severity::Info,
+        };
+        let json = serde_json::to_string(&alert).unwrap();
+        let back: Alert = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, alert);
+        assert!(Severity::Critical > Severity::Warning);
+        assert!(Severity::Warning > Severity::Info);
+    }
+}

@@ -1,0 +1,68 @@
+//! Drift statistics: pure functions from windowed state + baseline to a
+//! scalar, so live evaluation and obslog replay compute identical values.
+
+/// Population Stability Index of a binary in/out-of-slice distribution:
+/// how far a slice's live traffic share has moved from its baseline
+/// share. Shares are clamped away from 0/1 so the statistic stays finite
+/// when a slice vanishes or saturates; the conventional reading is
+/// `< 0.1` stable, `0.1–0.25` drifting, `> 0.25` drifted.
+pub fn psi_binary(live_share: f64, baseline_share: f64) -> f64 {
+    const EPS: f64 = 1e-4;
+    let p = live_share.clamp(EPS, 1.0 - EPS);
+    let q = baseline_share.clamp(EPS, 1.0 - EPS);
+    (p - q) * (p / q).ln() + ((1.0 - p) - (1.0 - q)) * ((1.0 - p) / (1.0 - q)).ln()
+}
+
+/// Kolmogorov–Smirnov-style statistic between two binned distributions
+/// (same binning): the maximum absolute difference of the empirical CDFs,
+/// in `[0, 1]`. `None` when either histogram is empty — no distribution
+/// to compare.
+pub fn ks_statistic(live: &[u64], baseline: &[u64]) -> Option<f64> {
+    let (n_live, n_base) = (live.iter().sum::<u64>(), baseline.iter().sum::<u64>());
+    if n_live == 0 || n_base == 0 {
+        return None;
+    }
+    let mut cdf_live = 0.0f64;
+    let mut cdf_base = 0.0f64;
+    let mut sup = 0.0f64;
+    for i in 0..live.len().max(baseline.len()) {
+        cdf_live += live.get(i).copied().unwrap_or(0) as f64 / n_live as f64;
+        cdf_base += baseline.get(i).copied().unwrap_or(0) as f64 / n_base as f64;
+        sup = sup.max((cdf_live - cdf_base).abs());
+    }
+    Some(sup)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn psi_is_zero_at_baseline_and_grows_with_shift() {
+        assert!(psi_binary(0.1, 0.1).abs() < 1e-12);
+        let small = psi_binary(0.12, 0.1);
+        let large = psi_binary(0.5, 0.1);
+        assert!(small > 0.0 && small < 0.02, "small shift PSI {small}");
+        assert!(large > 0.25, "large shift PSI {large}");
+        assert!(large > small);
+        // Symmetric in direction of shift, finite at the edges.
+        assert!(psi_binary(0.0, 0.5).is_finite());
+        assert!(psi_binary(1.0, 0.5).is_finite());
+        assert!((psi_binary(0.3, 0.1) - psi_binary(0.1, 0.3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ks_detects_distribution_shift() {
+        // Identical distributions (different scales): 0.
+        assert_eq!(ks_statistic(&[10, 20, 10], &[1, 2, 1]), Some(0.0));
+        // Disjoint distributions: 1.
+        assert_eq!(ks_statistic(&[5, 0, 0], &[0, 0, 7]), Some(1.0));
+        // A partial shift lands in between.
+        let ks = ks_statistic(&[8, 2, 0], &[2, 2, 6]).unwrap();
+        assert!(ks > 0.3 && ks < 1.0, "ks {ks}");
+        // Empty sides are undefined, not zero.
+        assert_eq!(ks_statistic(&[], &[1]), None);
+        assert_eq!(ks_statistic(&[0, 0], &[1, 1]), None);
+        assert_eq!(ks_statistic(&[1], &[0]), None);
+    }
+}

@@ -1,0 +1,302 @@
+//! The live monitor: the receiving end of the serving observer hook.
+//!
+//! A [`Monitor`] owns the windowed statistics, the alert engine and
+//! (optionally) the metrics log for one deployment. Attach it to a
+//! running [`WorkerPool`] and every served request flows in as a
+//! [`ServeSample`] over a bounded channel; [`Monitor::pump`] drains the
+//! channel on the *monitoring* thread, so the serving hot path never does
+//! more than an atomic load and a `try_send`.
+
+use crate::alert::{ActiveAlert, Alert, AlertEngine, AlertRule, Severity, Signal};
+use crate::obslog::{ObsLog, ObsLogMeta};
+use crate::window::{WindowRecord, WindowedStats};
+use overton_serving::{ServeSample, TrafficBaseline, WorkerPool};
+use overton_store::StoreError;
+use std::path::Path;
+use std::sync::mpsc::{sync_channel, Receiver};
+
+/// Configuration of a deployment's continuous monitoring.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ObsConfig {
+    /// Requests per tumbling window.
+    pub window_len: u64,
+    /// Closed windows retained in memory (the obslog keeps them all).
+    pub history: usize,
+    /// Clean windows after which a fired alert rule re-arms.
+    pub rearm_windows: u32,
+    /// Bound of the sample channel between the serving workers and the
+    /// monitor; when the monitor falls behind, samples are dropped (and
+    /// counted by the pool's telemetry), never queued unboundedly.
+    pub channel_capacity: usize,
+    /// The alert rules evaluated at every window close.
+    pub rules: Vec<AlertRule>,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        Self {
+            window_len: 256,
+            history: 64,
+            rearm_windows: 2,
+            channel_capacity: 8192,
+            rules: Vec::new(),
+        }
+    }
+}
+
+/// A sensible default rule set for a slice space: per-slice traffic-mix
+/// PSI (critical) and confidence-distribution KS (warning), plus
+/// deployment-wide error-rate and confidence-KS guards. The PSI
+/// threshold sits at the top of the conventional "drifting" band (0.2);
+/// the KS level clears sampling noise at the default window size.
+pub fn default_rules(slice_names: &[String]) -> Vec<AlertRule> {
+    let mut rules = vec![
+        AlertRule {
+            slice: None,
+            signal: Signal::ErrorRate,
+            threshold: 0.2,
+            min_window_count: 32,
+            severity: Severity::Critical,
+        },
+        AlertRule {
+            slice: None,
+            signal: Signal::ConfidenceKs,
+            threshold: 0.35,
+            min_window_count: 64,
+            severity: Severity::Warning,
+        },
+    ];
+    for name in slice_names {
+        rules.push(AlertRule {
+            slice: Some(name.clone()),
+            signal: Signal::TrafficPsi,
+            threshold: 0.2,
+            min_window_count: 64,
+            severity: Severity::Critical,
+        });
+        rules.push(AlertRule {
+            slice: Some(name.clone()),
+            signal: Signal::ConfidenceKs,
+            threshold: 0.45,
+            min_window_count: 32,
+            severity: Severity::Warning,
+        });
+    }
+    rules
+}
+
+/// Continuous monitoring state for one deployment: windowed statistics,
+/// alert engine, optional metrics log, and (when attached to a pool) the
+/// receiving end of the observer channel.
+#[derive(Debug)]
+pub struct Monitor {
+    config: ObsConfig,
+    baseline: Option<TrafficBaseline>,
+    stats: WindowedStats,
+    engine: AlertEngine,
+    log: Option<ObsLog>,
+    rx: Option<Receiver<ServeSample>>,
+    log_errors: u64,
+    last_log_error: Option<String>,
+}
+
+impl Monitor {
+    /// Creates a detached monitor (samples come via [`Monitor::ingest`];
+    /// tests and replay use this form).
+    pub fn new(
+        slice_names: Vec<String>,
+        baseline: Option<TrafficBaseline>,
+        config: ObsConfig,
+    ) -> Self {
+        let stats = WindowedStats::new(slice_names, config.window_len, config.history);
+        let engine = AlertEngine::new(config.rules.clone(), config.rearm_windows);
+        Self {
+            config,
+            baseline,
+            stats,
+            engine,
+            log: None,
+            rx: None,
+            log_errors: 0,
+            last_log_error: None,
+        }
+    }
+
+    /// Attaches a monitor to a running pool: the slice space and baseline
+    /// come from the pool's telemetry, a bounded sample channel is hooked
+    /// into the serving path, and — when `log_dir` is given — an obslog
+    /// is created there (its meta records everything replay needs).
+    /// Fails when the pool already has an observer.
+    pub fn attach(
+        pool: &WorkerPool,
+        config: ObsConfig,
+        log_dir: Option<&Path>,
+    ) -> Result<Self, StoreError> {
+        let slice_names = pool.telemetry().slice_names().to_vec();
+        let baseline = pool.telemetry().baseline().cloned();
+        let mut monitor = Self::new(slice_names, baseline, config);
+        // Create the obslog *before* claiming the pool's (one-shot)
+        // observer slot: an unwritable log directory leaves the pool
+        // untouched and the whole attach retryable, instead of poisoning
+        // the observer hook for the pool's lifetime.
+        if let Some(dir) = log_dir {
+            let meta = ObsLogMeta {
+                slice_names: monitor.stats.slice_names().to_vec(),
+                window_len: monitor.config.window_len,
+                history: monitor.config.history,
+                rearm_windows: monitor.config.rearm_windows,
+                rules: monitor.config.rules.clone(),
+                baseline: monitor.baseline.clone(),
+            };
+            monitor.log = Some(ObsLog::create(dir, &meta)?);
+        }
+        let (tx, rx) = sync_channel(monitor.config.channel_capacity.max(1));
+        pool.telemetry().attach_observer(tx)?;
+        monitor.rx = Some(rx);
+        Ok(monitor)
+    }
+
+    /// The monitoring configuration.
+    pub fn config(&self) -> &ObsConfig {
+        &self.config
+    }
+
+    /// The training-time baseline drift is measured against, if any.
+    pub fn baseline(&self) -> Option<&TrafficBaseline> {
+        self.baseline.as_ref()
+    }
+
+    /// The windowed statistics (ring of closed windows + open window).
+    pub fn stats(&self) -> &WindowedStats {
+        &self.stats
+    }
+
+    /// Every alert emitted so far, in window order.
+    pub fn alerts(&self) -> &[Alert] {
+        self.engine.alerts()
+    }
+
+    /// Rules currently breaching (with how long they have been).
+    pub fn active_alerts(&self) -> Vec<ActiveAlert> {
+        self.engine.active()
+    }
+
+    /// The alert engine's full state (rules + debounce), for equality
+    /// checks between live and replayed monitors.
+    pub fn alert_engine(&self) -> &AlertEngine {
+        &self.engine
+    }
+
+    /// Obslog write failures so far (monitoring keeps running; the log
+    /// has a gap). The most recent message is in
+    /// [`last_log_error`](Monitor::last_log_error).
+    pub fn log_errors(&self) -> u64 {
+        self.log_errors
+    }
+
+    /// The most recent obslog write failure, if any.
+    pub fn last_log_error(&self) -> Option<&str> {
+        self.last_log_error.as_deref()
+    }
+
+    /// Drains every sample currently queued on the observer channel into
+    /// the windowed state; returns how many were absorbed. Call this from
+    /// the monitoring loop — never from a serving worker.
+    pub fn pump(&mut self) -> usize {
+        let Some(rx) = &self.rx else { return 0 };
+        let mut drained = Vec::new();
+        while let Ok(sample) = rx.try_recv() {
+            drained.push(sample);
+        }
+        for sample in &drained {
+            self.ingest(sample);
+        }
+        drained.len()
+    }
+
+    /// Absorbs one sample directly (the channel-free path).
+    pub fn ingest(&mut self, sample: &ServeSample) {
+        if let Some(closed) = self.stats.ingest(sample) {
+            self.on_window_close(&closed);
+        }
+    }
+
+    /// Replays one already-closed window (the obslog path): pushes it
+    /// into the ring and evaluates alerts, exactly as the live close did.
+    pub fn ingest_closed(&mut self, window: WindowRecord) {
+        self.stats.push_closed(window);
+        let closed = self.stats.latest().expect("just pushed").clone();
+        self.evaluate_only(&closed);
+    }
+
+    fn on_window_close(&mut self, closed: &WindowRecord) {
+        self.evaluate_only(closed);
+        if let Some(log) = &mut self.log {
+            if let Err(e) = log.append(closed) {
+                self.log_errors += 1;
+                self.last_log_error = Some(e.to_string());
+            }
+        }
+    }
+
+    fn evaluate_only(&mut self, closed: &WindowRecord) {
+        let names: &[String] = self.stats.slice_names();
+        // Split borrows: engine is a separate field from stats/baseline.
+        let baseline = self.baseline.as_ref();
+        self.engine.evaluate(names, baseline, closed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use overton_serving::confidence_bin;
+
+    fn sample(confidence: f32, slice_mask: u64) -> ServeSample {
+        ServeSample {
+            ok: true,
+            confidence_bin: confidence_bin(confidence),
+            confidence_millionths: (f64::from(confidence) * 1e6) as u64,
+            latency_micros: 25,
+            slice_mask,
+            gold_accuracy_millionths: Some(1_000_000),
+        }
+    }
+
+    #[test]
+    fn default_rules_cover_every_slice_plus_overall() {
+        let rules = default_rules(&["a".to_string(), "b".to_string()]);
+        assert_eq!(rules.len(), 2 + 2 * 2);
+        assert_eq!(rules.iter().filter(|r| r.slice.is_none()).count(), 2);
+        for name in ["a", "b"] {
+            assert!(rules
+                .iter()
+                .any(|r| r.slice.as_deref() == Some(name) && r.signal == Signal::TrafficPsi));
+            assert!(rules
+                .iter()
+                .any(|r| r.slice.as_deref() == Some(name) && r.signal == Signal::ConfidenceKs));
+        }
+    }
+
+    #[test]
+    fn detached_monitor_windows_and_alerts() {
+        let mut config = ObsConfig { window_len: 10, history: 8, ..Default::default() };
+        config.rules = vec![AlertRule {
+            slice: None,
+            signal: Signal::GoldAccuracy,
+            threshold: 2.0, // gold accuracy is always below 2: fires on window 0
+            min_window_count: 1,
+            severity: Severity::Critical,
+        }];
+        let mut monitor = Monitor::new(vec!["hard".into()], None, config);
+        for _ in 0..25 {
+            monitor.ingest(&sample(0.9, 1));
+        }
+        assert_eq!(monitor.stats().closed(), 2);
+        assert_eq!(monitor.stats().open_count(), 5);
+        assert_eq!(monitor.alerts().len(), 1, "debounced to the rising edge");
+        assert_eq!(monitor.active_alerts().len(), 1);
+        assert_eq!(monitor.active_alerts()[0].windows_active, 2);
+        assert_eq!(monitor.pump(), 0, "no channel attached");
+    }
+}

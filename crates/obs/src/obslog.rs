@@ -1,0 +1,207 @@
+//! The append-only metrics log: one JSONL line per closed window.
+//!
+//! Layout under a deployment's registry directory
+//! (`<root>/registry/<deployment>/obslog/`):
+//!
+//! ```text
+//! obslog/
+//!   meta.json       slice space, window/debounce config, rules, baseline
+//!   windows.jsonl   one WindowRecord per line, in close order
+//! ```
+//!
+//! `meta.json` carries everything evaluation depends on, so
+//! [`ObsLog::replay`] reconstructs the **entire** monitoring state — ring
+//! of windows, drift values, alert log, debounce state — from the files
+//! alone, with zero live state. Window records are integer counters and
+//! the vendored JSON printer is shortest-round-trip for floats, so the
+//! replayed state is bit-identical to the live one (asserted in
+//! `tests/observability.rs`).
+
+use crate::monitor::{Monitor, ObsConfig};
+use crate::window::WindowRecord;
+use crate::AlertRule;
+use overton_serving::TrafficBaseline;
+use overton_store::StoreError;
+use std::io::{BufRead, Write};
+use std::path::{Path, PathBuf};
+
+/// The obslog's self-describing header, persisted as `meta.json`.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ObsLogMeta {
+    /// Slice space the windows report over (indicator order).
+    pub slice_names: Vec<String>,
+    /// Requests per tumbling window.
+    pub window_len: u64,
+    /// Ring capacity of the live monitor.
+    pub history: usize,
+    /// Debounce re-arm length.
+    pub rearm_windows: u32,
+    /// The alert rules in force.
+    pub rules: Vec<AlertRule>,
+    /// The training-time baseline drift was measured against.
+    pub baseline: Option<TrafficBaseline>,
+}
+
+/// An open, appendable obslog.
+#[derive(Debug)]
+pub struct ObsLog {
+    dir: PathBuf,
+    file: std::fs::File,
+}
+
+impl ObsLog {
+    /// Creates (or truncates) the obslog at `dir`, writing `meta.json`.
+    pub fn create(dir: &Path, meta: &ObsLogMeta) -> Result<Self, StoreError> {
+        std::fs::create_dir_all(dir)?;
+        let text = serde_json::to_string_pretty(meta)?;
+        std::fs::write(dir.join("meta.json"), text)?;
+        let file = std::fs::File::create(dir.join("windows.jsonl"))?;
+        Ok(Self { dir: dir.to_path_buf(), file })
+    }
+
+    /// The log directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Appends one closed window as a JSONL line (flushed per window —
+    /// windows are coarse, so durability wins over write batching).
+    pub fn append(&mut self, window: &WindowRecord) -> std::io::Result<()> {
+        let line =
+            serde_json::to_string(window).map_err(|e| std::io::Error::other(e.to_string()))?;
+        writeln!(self.file, "{line}")?;
+        self.file.flush()
+    }
+
+    /// Reads a log back: the meta header plus every window, in order.
+    pub fn read(dir: &Path) -> Result<(ObsLogMeta, Vec<WindowRecord>), StoreError> {
+        let meta_path = dir.join("meta.json");
+        let text = std::fs::read_to_string(&meta_path)?;
+        let meta: ObsLogMeta = serde_json::from_str(&text)?;
+        let file = std::fs::File::open(dir.join("windows.jsonl"))?;
+        let mut windows = Vec::new();
+        for (i, line) in std::io::BufReader::new(file).lines().enumerate() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let window: WindowRecord = serde_json::from_str(&line).map_err(|e| {
+                StoreError::Corrupt(format!("{}: line {}: {e}", dir.display(), i + 1))
+            })?;
+            windows.push(window);
+        }
+        Ok((meta, windows))
+    }
+
+    /// Replays a log into a fresh [`Monitor`]: every logged window runs
+    /// through the same ring + alert evaluation the live monitor used, so
+    /// the returned monitor's windowed state, alert log and debounce
+    /// state equal the live monitor's at the moment its last window
+    /// closed.
+    pub fn replay(dir: &Path) -> Result<Monitor, StoreError> {
+        let (meta, windows) = Self::read(dir)?;
+        let config = ObsConfig {
+            window_len: meta.window_len,
+            history: meta.history,
+            rearm_windows: meta.rearm_windows,
+            channel_capacity: 1, // no live channel on a replayed monitor
+            rules: meta.rules,
+        };
+        let mut monitor = Monitor::new(meta.slice_names, meta.baseline, config);
+        for window in windows {
+            monitor.ingest_closed(window);
+        }
+        Ok(monitor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alert::{Severity, Signal};
+    use overton_serving::{confidence_bin, ServeSample};
+
+    fn sample(confidence: f32, slice_mask: u64) -> ServeSample {
+        ServeSample {
+            ok: true,
+            confidence_bin: confidence_bin(confidence),
+            confidence_millionths: (f64::from(confidence) * 1e6) as u64,
+            latency_micros: 80,
+            slice_mask,
+            gold_accuracy_millionths: Some(500_000),
+        }
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("overton-obslog-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn log_roundtrips_and_replay_matches_live() {
+        let dir = temp_dir("roundtrip");
+        let rules = vec![AlertRule {
+            slice: None,
+            signal: Signal::GoldAccuracy,
+            threshold: 0.9,
+            min_window_count: 1,
+            severity: Severity::Warning,
+        }];
+        let config = ObsConfig { window_len: 8, history: 3, rules, ..Default::default() };
+        let meta = ObsLogMeta {
+            slice_names: vec!["hard".into()],
+            window_len: config.window_len,
+            history: config.history,
+            rearm_windows: config.rearm_windows,
+            rules: config.rules.clone(),
+            baseline: None,
+        };
+        let mut live = Monitor::new(meta.slice_names.clone(), None, config);
+        let mut log = ObsLog::create(&dir, &meta).unwrap();
+        // Mirror the live path by hand: ingest, log every closed window.
+        // (40 samples = 5 windows; ring keeps 3, the log keeps all 5.)
+        for i in 0..40u64 {
+            let before = live.stats().closed();
+            live.ingest(&sample(0.3 + (i % 5) as f32 * 0.1, i % 2));
+            if live.stats().closed() > before {
+                log.append(live.stats().latest().unwrap()).unwrap();
+            }
+        }
+        assert_eq!(live.stats().closed(), 5);
+        assert_eq!(live.stats().evicted(), 2);
+        let replayed = ObsLog::replay(&dir).unwrap();
+        assert_eq!(replayed.stats(), live.stats());
+        assert_eq!(replayed.alerts(), live.alerts());
+        assert_eq!(replayed.alert_engine(), live.alert_engine());
+        // The raw read sees all five windows even though the ring kept 3.
+        let (meta_back, windows) = ObsLog::read(&dir).unwrap();
+        assert_eq!(windows.len(), 5);
+        assert_eq!(meta_back.slice_names, vec!["hard".to_string()]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_window_line_is_a_named_error() {
+        let dir = temp_dir("corrupt");
+        let meta = ObsLogMeta {
+            slice_names: vec![],
+            window_len: 4,
+            history: 2,
+            rearm_windows: 1,
+            rules: vec![],
+            baseline: None,
+        };
+        let _ = ObsLog::create(&dir, &meta).unwrap();
+        std::fs::write(dir.join("windows.jsonl"), "{not json\n").unwrap();
+        let err = ObsLog::replay(&dir).unwrap_err();
+        assert!(err.to_string().contains("line 1"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_log_is_an_io_error() {
+        let dir = temp_dir("missing");
+        assert!(matches!(ObsLog::replay(&dir), Err(StoreError::Io(_))));
+    }
+}

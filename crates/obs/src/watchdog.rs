@@ -1,0 +1,209 @@
+//! The closed loop: sustained alerts → ranked retrain worklist.
+//!
+//! Figure 1's feedback edge, automated: when high-severity alerts stay
+//! active for enough consecutive windows, the [`Watchdog`] converts the
+//! flagged slices into the same [`SliceDiagnosis`] worklist every other
+//! monitoring surface produces — via the shared
+//! [`diagnose_reports`](overton_monitor::diagnose_reports) kernel — so
+//! the caller can hand the worst slice straight to
+//! `Project::retrain_and_compare` (see `overton::Project::retrain_for_slice`)
+//! and the loop runs end-to-end without a human. Determinism matters
+//! here: the kernel's tie-breaking makes watchdog-triggered retrains
+//! reproducible.
+
+use crate::alert::Severity;
+use crate::monitor::Monitor;
+use overton_monitor::{diagnose_reports, Metrics, QualityReport, SliceDiagnosis, SLICE_PREFIX};
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+/// The pseudo-task name under which the watchdog reports windowed serving
+/// quality (windowed gold accuracy is task-agnostic; the caller maps the
+/// slice back onto real tasks when retraining).
+pub const WATCHDOG_TASK: &str = "serving";
+
+/// When the watchdog escalates.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct WatchdogConfig {
+    /// Minimum severity of alerts the watchdog acts on.
+    pub min_severity: Severity,
+    /// Consecutive breaching windows before a slice is escalated
+    /// (transient blips never trigger a retrain).
+    pub sustain_windows: u32,
+    /// Minimum scored examples behind a diagnosis (passed to the
+    /// diagnosis kernel's noise guard).
+    pub min_count: usize,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        Self { min_severity: Severity::Warning, sustain_windows: 3, min_count: 10 }
+    }
+}
+
+/// Converts a monitor's sustained alerts into the ranked slice worklist.
+#[derive(Debug, Clone, Default)]
+pub struct Watchdog {
+    config: WatchdogConfig,
+}
+
+impl Watchdog {
+    /// A watchdog with the given escalation policy.
+    pub fn new(config: WatchdogConfig) -> Self {
+        Self { config }
+    }
+
+    /// The escalation policy.
+    pub fn config(&self) -> &WatchdogConfig {
+        &self.config
+    }
+
+    /// Slices whose alerts have been active for at least
+    /// `sustain_windows` windows at `min_severity` or above (sorted, so
+    /// downstream processing is deterministic).
+    pub fn flagged_slices(&self, monitor: &Monitor) -> Vec<String> {
+        let flagged: BTreeSet<String> = monitor
+            .active_alerts()
+            .into_iter()
+            .filter(|a| {
+                a.rule.severity >= self.config.min_severity
+                    && a.windows_active >= self.config.sustain_windows
+            })
+            .filter_map(|a| a.rule.slice)
+            .collect();
+        flagged.into_iter().collect()
+    }
+
+    /// The retrain worklist: flagged slices scored with their windowed
+    /// traffic volume and gold accuracy over the sustained episode (the
+    /// last `sustain_windows` closed windows), ranked by the shared
+    /// diagnosis kernel. A flagged slice whose traffic carried no gold
+    /// scores accuracy 0 — unknown quality on a drifted slice ranks
+    /// worst, which is the safe ordering for a retrain queue. Empty when
+    /// nothing is sustained — the loop stays closed but quiet.
+    pub fn worklist(&self, monitor: &Monitor) -> Vec<SliceDiagnosis> {
+        let flagged = self.flagged_slices(monitor);
+        if flagged.is_empty() {
+            return Vec::new();
+        }
+        let recent: Vec<_> = {
+            let all: Vec<_> = monitor.stats().windows().collect();
+            let keep = (self.config.sustain_windows as usize).min(all.len());
+            all[all.len() - keep..].to_vec()
+        };
+        let mut report = QualityReport::new(WATCHDOG_TASK);
+        for slice in &flagged {
+            let Some(i) = monitor.stats().slice_names().iter().position(|n| n == slice) else {
+                continue;
+            };
+            let mut count = 0u64;
+            let mut gold_scored = 0u64;
+            let mut gold_correct = 0u64;
+            for window in &recent {
+                let group = &window.slices[i];
+                count += group.count;
+                gold_scored += group.gold_scored;
+                gold_correct += group.gold_correct_millionths;
+            }
+            let accuracy =
+                if gold_scored == 0 { 0.0 } else { gold_correct as f64 / 1e6 / gold_scored as f64 };
+            report.push(
+                &format!("{SLICE_PREFIX}{slice}"),
+                Metrics { count: count as usize, accuracy, macro_f1: accuracy, micro_f1: accuracy },
+            );
+        }
+        let reports = BTreeMap::from([(WATCHDOG_TASK.to_string(), report)]);
+        diagnose_reports(&reports, self.config.min_count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alert::{AlertRule, Signal};
+    use crate::monitor::ObsConfig;
+    use overton_serving::{confidence_bin, ServeSample};
+
+    fn sample(slice_mask: u64, gold: f64) -> ServeSample {
+        ServeSample {
+            ok: true,
+            confidence_bin: confidence_bin(0.8),
+            confidence_millionths: 800_000,
+            latency_micros: 40,
+            slice_mask,
+            gold_accuracy_millionths: Some((gold * 1e6).round() as u64),
+        }
+    }
+
+    fn low_accuracy_rule(slice: &str) -> AlertRule {
+        AlertRule {
+            slice: Some(slice.into()),
+            signal: Signal::GoldAccuracy,
+            threshold: 0.5,
+            min_window_count: 1,
+            severity: Severity::Critical,
+        }
+    }
+
+    #[test]
+    fn sustained_alerts_become_a_ranked_worklist() {
+        let config = ObsConfig {
+            window_len: 10,
+            history: 16,
+            rules: vec![low_accuracy_rule("bad"), low_accuracy_rule("fine")],
+            ..Default::default()
+        };
+        let mut monitor = Monitor::new(vec!["bad".into(), "fine".into()], None, config);
+        // 5 windows: "bad" slice always wrong, "fine" slice always right.
+        for i in 0..50u64 {
+            let (mask, gold) = if i % 2 == 0 { (0b01, 0.0) } else { (0b10, 1.0) };
+            monitor.ingest(&sample(mask, gold));
+        }
+        let watchdog = Watchdog::new(WatchdogConfig {
+            min_severity: Severity::Warning,
+            sustain_windows: 3,
+            min_count: 5,
+        });
+        assert_eq!(watchdog.flagged_slices(&monitor), vec!["bad".to_string()]);
+        let worklist = watchdog.worklist(&monitor);
+        assert_eq!(worklist.len(), 1);
+        assert_eq!(worklist[0].slice, "bad");
+        assert_eq!(worklist[0].task, WATCHDOG_TASK);
+        assert!(worklist[0].metrics.accuracy < 0.5);
+        // 3 sustained windows × 5 "bad" samples each.
+        assert_eq!(worklist[0].metrics.count, 15);
+    }
+
+    #[test]
+    fn transient_blips_and_low_severity_do_not_escalate() {
+        let config = ObsConfig {
+            window_len: 10,
+            history: 16,
+            rules: vec![low_accuracy_rule("bad")],
+            ..Default::default()
+        };
+        let mut monitor = Monitor::new(vec!["bad".into()], None, config);
+        // One bad window only.
+        for _ in 0..10 {
+            monitor.ingest(&sample(1, 0.0));
+        }
+        let watchdog = Watchdog::new(WatchdogConfig { sustain_windows: 3, ..Default::default() });
+        assert!(watchdog.flagged_slices(&monitor).is_empty(), "one window is a blip");
+        assert!(watchdog.worklist(&monitor).is_empty());
+        // Severity floor: a Critical-only watchdog ignores Warning rules.
+        let mut warn_rule = low_accuracy_rule("bad");
+        warn_rule.severity = Severity::Warning;
+        let config =
+            ObsConfig { window_len: 10, history: 16, rules: vec![warn_rule], ..Default::default() };
+        let mut monitor = Monitor::new(vec!["bad".into()], None, config);
+        for _ in 0..50 {
+            monitor.ingest(&sample(1, 0.0));
+        }
+        let strict = Watchdog::new(WatchdogConfig {
+            min_severity: Severity::Critical,
+            sustain_windows: 3,
+            min_count: 5,
+        });
+        assert!(strict.flagged_slices(&monitor).is_empty());
+    }
+}

@@ -1,0 +1,434 @@
+//! Windowed serving statistics: bounded-memory aggregation of unbounded
+//! traffic.
+//!
+//! The observability literature's core demand (Shankar & Parameswaran) is
+//! a *historical*, *queryable* view of a deployment — not a single
+//! counter since process start. [`WindowedStats`] provides it with fixed
+//! memory: samples aggregate into **tumbling windows** of a fixed number
+//! of requests, and a fixed-capacity ring of closed windows keeps the
+//! recent history. Every field is an integer counter, so a window
+//! serialized to the obslog and read back reproduces the live state
+//! **bit-identically** — drift statistics and alerts are pure functions
+//! of this state and therefore replay exactly.
+
+use overton_serving::{
+    latency_bucket, latency_bucket_upper, ServeSample, CONFIDENCE_BINS, LATENCY_BUCKETS,
+};
+use std::collections::VecDeque;
+use std::time::Duration;
+
+/// Aggregates for one group — the whole window, or one slice — over one
+/// tumbling window. Integer counters only (see module docs).
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct GroupWindow {
+    /// Requests in the group (including failed ones for the overall
+    /// group; slice membership is only known for served requests).
+    pub count: u64,
+    /// Requests that failed validation or decoding.
+    pub errors: u64,
+    /// Confidence histogram over served requests
+    /// ([`CONFIDENCE_BINS`] fixed-width bins on `[0, 1]`).
+    pub confidence_hist: Vec<u64>,
+    /// Served-confidence sum in millionths.
+    pub confidence_millionths: u64,
+    /// Requests that carried gold labels and were scored.
+    pub gold_scored: u64,
+    /// Sum of per-request gold accuracy in millionths.
+    pub gold_correct_millionths: u64,
+}
+
+impl GroupWindow {
+    fn empty() -> Self {
+        Self {
+            count: 0,
+            errors: 0,
+            confidence_hist: vec![0; CONFIDENCE_BINS],
+            confidence_millionths: 0,
+            gold_scored: 0,
+            gold_correct_millionths: 0,
+        }
+    }
+
+    fn ingest(&mut self, sample: &ServeSample) {
+        self.count += 1;
+        if !sample.ok {
+            self.errors += 1;
+            return;
+        }
+        self.confidence_hist[sample.confidence_bin.min(CONFIDENCE_BINS - 1)] += 1;
+        self.confidence_millionths += sample.confidence_millionths;
+        if let Some(correct) = sample.gold_accuracy_millionths {
+            self.gold_scored += 1;
+            self.gold_correct_millionths += correct;
+        }
+    }
+
+    /// Successfully served requests in the group.
+    pub fn served(&self) -> u64 {
+        self.count - self.errors
+    }
+
+    /// Mean served confidence (0 when nothing was served).
+    pub fn mean_confidence(&self) -> f64 {
+        if self.served() == 0 {
+            0.0
+        } else {
+            self.confidence_millionths as f64 / 1e6 / self.served() as f64
+        }
+    }
+
+    /// Mean gold accuracy over scored requests, `None` when none carried
+    /// gold.
+    pub fn gold_accuracy(&self) -> Option<f64> {
+        if self.gold_scored == 0 {
+            None
+        } else {
+            Some(self.gold_correct_millionths as f64 / 1e6 / self.gold_scored as f64)
+        }
+    }
+
+    /// Error rate over the group (0 when empty).
+    pub fn error_rate(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.errors as f64 / self.count as f64
+        }
+    }
+}
+
+/// One closed tumbling window: the overall aggregate, the latency
+/// histogram, and one [`GroupWindow`] per slice (parallel to the owning
+/// [`WindowedStats`]' slice names). This is exactly what one obslog line
+/// records.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct WindowRecord {
+    /// Window sequence number, starting at 0 for the deployment.
+    pub index: u64,
+    /// Whole-window aggregates.
+    pub overall: GroupWindow,
+    /// Latency histogram over the window ([`LATENCY_BUCKETS`] log2-µs
+    /// buckets, the same scheme as the serving telemetry histogram).
+    pub latency_hist: Vec<u64>,
+    /// Latency sum in microseconds (for the window mean).
+    pub latency_sum_micros: u64,
+    /// Per-slice aggregates.
+    pub slices: Vec<GroupWindow>,
+}
+
+impl WindowRecord {
+    fn empty(index: u64, n_slices: usize) -> Self {
+        Self {
+            index,
+            overall: GroupWindow::empty(),
+            latency_hist: vec![0; LATENCY_BUCKETS],
+            latency_sum_micros: 0,
+            slices: (0..n_slices).map(|_| GroupWindow::empty()).collect(),
+        }
+    }
+
+    fn ingest(&mut self, sample: &ServeSample) {
+        self.overall.ingest(sample);
+        self.latency_hist[latency_bucket(sample.latency_micros)] += 1;
+        self.latency_sum_micros += sample.latency_micros;
+        for (i, slice) in self.slices.iter_mut().enumerate() {
+            if sample.in_slice(i) {
+                slice.ingest(sample);
+            }
+        }
+    }
+
+    /// Share of the window's traffic in slice `i` (0 when the window is
+    /// empty or the slice index is out of range).
+    pub fn slice_share(&self, i: usize) -> f64 {
+        match self.slices.get(i) {
+            Some(slice) if self.overall.count > 0 => slice.count as f64 / self.overall.count as f64,
+            _ => 0.0,
+        }
+    }
+
+    /// The `q`-quantile of the window's latency histogram, resolved to
+    /// the containing bucket's upper bound (same semantics as
+    /// [`overton_serving::LatencyHistogram::quantile`], including the
+    /// defined empty/0/1 bounds).
+    pub fn latency_quantile(&self, q: f64) -> Duration {
+        let total: u64 = self.latency_hist.iter().sum();
+        if total == 0 {
+            return Duration::ZERO;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &c) in self.latency_hist.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return latency_bucket_upper(i);
+            }
+        }
+        latency_bucket_upper(LATENCY_BUCKETS - 1)
+    }
+
+    /// Mean latency over the window (zero when empty).
+    pub fn mean_latency(&self) -> Duration {
+        self.latency_sum_micros
+            .checked_div(self.overall.count)
+            .map_or(Duration::ZERO, Duration::from_micros)
+    }
+}
+
+/// Fixed-memory windowed statistics: an open tumbling window absorbing
+/// samples plus a bounded ring of closed windows. Equality compares the
+/// full windowed state (ring, counters, and the open accumulator), which
+/// is what the obslog replay test relies on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowedStats {
+    slice_names: Vec<String>,
+    window_len: u64,
+    capacity: usize,
+    history: VecDeque<WindowRecord>,
+    /// Closed windows evicted from the ring (total closed = `next_index`).
+    evicted: u64,
+    /// Index the open window will close as.
+    next_index: u64,
+    open: WindowRecord,
+}
+
+impl WindowedStats {
+    /// Creates the windowed state for a slice space. `window_len` is the
+    /// number of requests per tumbling window, `capacity` the ring size.
+    pub fn new(slice_names: Vec<String>, window_len: u64, capacity: usize) -> Self {
+        assert!(window_len > 0, "window_len must be positive");
+        assert!(capacity > 0, "history capacity must be positive");
+        let open = WindowRecord::empty(0, slice_names.len());
+        Self {
+            slice_names,
+            window_len,
+            capacity,
+            history: VecDeque::with_capacity(capacity),
+            evicted: 0,
+            next_index: 0,
+            open,
+        }
+    }
+
+    /// The slice space windows report over (indicator order).
+    pub fn slice_names(&self) -> &[String] {
+        &self.slice_names
+    }
+
+    /// Requests per tumbling window.
+    pub fn window_len(&self) -> u64 {
+        self.window_len
+    }
+
+    /// Ring capacity (closed windows retained).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Closed windows currently retained, oldest first.
+    pub fn windows(&self) -> impl Iterator<Item = &WindowRecord> {
+        self.history.iter()
+    }
+
+    /// The most recently closed window.
+    pub fn latest(&self) -> Option<&WindowRecord> {
+        self.history.back()
+    }
+
+    /// Total windows closed over the deployment's lifetime.
+    pub fn closed(&self) -> u64 {
+        self.next_index
+    }
+
+    /// Closed windows evicted from the ring (memory stayed bounded).
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Samples accumulated in the open (not yet closed) window.
+    pub fn open_count(&self) -> u64 {
+        self.open.overall.count
+    }
+
+    /// Absorbs one sample; returns a clone of the window it closed, if
+    /// this sample completed one (the closed window is also pushed into
+    /// the ring).
+    pub fn ingest(&mut self, sample: &ServeSample) -> Option<WindowRecord> {
+        self.open.ingest(sample);
+        if self.open.overall.count < self.window_len {
+            return None;
+        }
+        let closed = std::mem::replace(
+            &mut self.open,
+            WindowRecord::empty(self.next_index + 1, self.slice_names.len()),
+        );
+        self.push_closed(closed.clone());
+        Some(closed)
+    }
+
+    /// Pushes an already-closed window into the ring — the replay path
+    /// ([`ObsLog::replay`](crate::ObsLog::replay) feeds logged windows
+    /// through here so replayed state equals live state bit for bit).
+    ///
+    /// # Panics
+    /// Panics if the window's slice count does not match this state's
+    /// slice space (a log from a different deployment).
+    pub fn push_closed(&mut self, window: WindowRecord) {
+        assert_eq!(
+            window.slices.len(),
+            self.slice_names.len(),
+            "window's slice space does not match"
+        );
+        self.next_index = window.index + 1;
+        self.open = WindowRecord::empty(self.next_index, self.slice_names.len());
+        if self.history.len() == self.capacity {
+            self.history.pop_front();
+            self.evicted += 1;
+        }
+        self.history.push_back(window);
+    }
+
+    /// Writes the retained history as CSV — one row per (window, group),
+    /// groups being `overall` plus every slice — through the workspace's
+    /// shared CSV-escaping helper, so free-form slice names stay RFC 4180
+    /// clean.
+    pub fn write_csv(&self, mut w: impl std::io::Write) -> std::io::Result<()> {
+        writeln!(
+            w,
+            "window,group,count,errors,share,mean_confidence,gold_scored,gold_accuracy,p95_micros"
+        )?;
+        for window in &self.history {
+            let p95 = window.latency_quantile(0.95).as_micros();
+            let mut row = |group: &str, g: &GroupWindow, share: f64| {
+                writeln!(
+                    w,
+                    "{},{},{},{},{:.6},{:.6},{},{:.6},{}",
+                    window.index,
+                    overton_monitor::csv_escape(group),
+                    g.count,
+                    g.errors,
+                    share,
+                    g.mean_confidence(),
+                    g.gold_scored,
+                    g.gold_accuracy().unwrap_or(0.0),
+                    p95
+                )
+            };
+            row("overall", &window.overall, 1.0)?;
+            for (i, name) in self.slice_names.iter().enumerate() {
+                row(name, &window.slices[i], window.slice_share(i))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn sample(
+        ok: bool,
+        confidence: f32,
+        latency_micros: u64,
+        slice_mask: u64,
+        gold: Option<f64>,
+    ) -> ServeSample {
+        ServeSample {
+            ok,
+            confidence_bin: overton_serving::confidence_bin(confidence),
+            confidence_millionths: (f64::from(confidence) * 1e6) as u64,
+            latency_micros,
+            slice_mask,
+            gold_accuracy_millionths: gold.map(|g| (g * 1e6).round() as u64),
+        }
+    }
+
+    #[test]
+    fn windows_tumble_at_window_len_and_ring_is_bounded() {
+        let mut stats = WindowedStats::new(vec!["hard".into()], 4, 2);
+        let mut closed = Vec::new();
+        for i in 0..20u64 {
+            let s = sample(true, 0.8, 100, u64::from(i % 2 == 0), Some(1.0));
+            if let Some(w) = stats.ingest(&s) {
+                closed.push(w);
+            }
+        }
+        assert_eq!(closed.len(), 5);
+        assert_eq!(stats.closed(), 5);
+        // Ring keeps the last two; three were evicted.
+        assert_eq!(stats.windows().count(), 2);
+        assert_eq!(stats.evicted(), 3);
+        assert_eq!(stats.latest().unwrap().index, 4);
+        assert_eq!(stats.open_count(), 0);
+        let w = &closed[0];
+        assert_eq!(w.overall.count, 4);
+        assert_eq!(w.slices[0].count, 2);
+        assert!((w.slice_share(0) - 0.5).abs() < 1e-12);
+        assert_eq!(w.overall.gold_accuracy(), Some(1.0));
+    }
+
+    #[test]
+    fn errors_count_overall_but_not_in_slices() {
+        let mut stats = WindowedStats::new(vec!["hard".into()], 3, 4);
+        stats.ingest(&sample(true, 0.9, 10, 1, None));
+        stats.ingest(&sample(false, 0.0, 5, 0, None));
+        let w = stats.ingest(&sample(true, 0.5, 10, 1, Some(0.0))).unwrap();
+        assert_eq!(w.overall.count, 3);
+        assert_eq!(w.overall.errors, 1);
+        assert_eq!(w.overall.served(), 2);
+        assert!((w.overall.error_rate() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(w.slices[0].count, 2);
+        assert_eq!(w.slices[0].errors, 0);
+        assert!((w.overall.mean_confidence() - 0.7).abs() < 1e-6);
+        assert_eq!(w.overall.gold_accuracy(), Some(0.0));
+    }
+
+    #[test]
+    fn window_latency_quantiles_are_defined_everywhere() {
+        let empty = WindowRecord::empty(0, 0);
+        assert_eq!(empty.latency_quantile(0.5), Duration::ZERO);
+        assert_eq!(empty.mean_latency(), Duration::ZERO);
+        let mut stats = WindowedStats::new(vec![], 3, 4);
+        stats.ingest(&sample(true, 0.5, 10, 0, None));
+        stats.ingest(&sample(true, 0.5, 100, 0, None));
+        let w = stats.ingest(&sample(true, 0.5, 10_000, 0, None)).unwrap();
+        assert!(w.latency_quantile(0.0) <= w.latency_quantile(0.5));
+        assert!(w.latency_quantile(0.5) <= w.latency_quantile(1.0));
+        assert!(w.latency_quantile(1.0) >= Duration::from_micros(10_000));
+        assert!(w.latency_quantile(-1.0) == w.latency_quantile(0.0));
+        assert!(w.latency_quantile(2.0) == w.latency_quantile(1.0));
+    }
+
+    #[test]
+    fn push_closed_reconstructs_ingested_state() {
+        let names = vec!["hard".to_string(), "rare".to_string()];
+        let mut live = WindowedStats::new(names.clone(), 5, 3);
+        let mut logged = Vec::new();
+        for i in 0..35u64 {
+            let s = sample(i % 7 != 0, 0.1 + (i % 9) as f32 * 0.1, i * 3, i % 4, Some(0.5));
+            if let Some(w) = live.ingest(&s) {
+                logged.push(w);
+            }
+        }
+        let mut replayed = WindowedStats::new(names, 5, 3);
+        for w in logged {
+            replayed.push_closed(w);
+        }
+        assert_eq!(live, replayed);
+    }
+
+    #[test]
+    fn csv_export_escapes_group_names() {
+        let mut stats = WindowedStats::new(vec!["hard, rare".into()], 2, 4);
+        stats.ingest(&sample(true, 0.9, 10, 1, None));
+        stats.ingest(&sample(true, 0.9, 10, 0, None));
+        let mut buf = Vec::new();
+        stats.write_csv(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.lines().count() >= 3);
+        assert!(text.contains("\"hard, rare\""), "{text}");
+        assert!(text.starts_with("window,group"));
+    }
+}

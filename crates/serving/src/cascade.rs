@@ -90,6 +90,11 @@ impl CascadeEngine {
         self.small.signature()
     }
 
+    /// The schema the engine serves (shared by both halves of a pair).
+    pub fn schema(&self) -> &overton_store::Schema {
+        self.small.schema()
+    }
+
     /// Slice names of the serving model's feature space, in indicator
     /// order.
     pub fn slice_names(&self) -> &[String] {

@@ -13,11 +13,12 @@
 
 use crate::cascade::CascadeEngine;
 use crate::pool::WorkerPool;
+use crate::score::score_output;
 use overton_model::{
-    ArtifactId, DeployableModel, ModelPair, ModelRegistry, ServedOutput, Server, ServingResponse,
+    ArtifactId, DeployableModel, ModelPair, ModelRegistry, Server, ServingResponse,
 };
 use overton_monitor::{regressions, Metrics, QualityReport, Regression};
-use overton_store::{Record, Schema, StoreError, TaskLabel};
+use overton_store::{Record, Schema, StoreError};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -72,54 +73,6 @@ impl ScoreBook {
                 (task.clone(), report)
             })
             .collect()
-    }
-}
-
-/// Accuracy of one served output against gold, in `[0, 1]` (sequence tasks
-/// score the fraction of correct elements). `None` when the shapes do not
-/// line up.
-fn score_output(served: &ServedOutput, gold: &TaskLabel) -> Option<f64> {
-    let fraction = |hits: usize, total: usize| {
-        if total == 0 {
-            None
-        } else {
-            Some(hits as f64 / total as f64)
-        }
-    };
-    match (served, gold) {
-        (ServedOutput::Multiclass { class, .. }, TaskLabel::MulticlassOne(g)) => {
-            Some(f64::from(class == g))
-        }
-        (ServedOutput::MulticlassSeq { classes }, TaskLabel::MulticlassSeq(golds))
-            if classes.len() == golds.len() =>
-        {
-            fraction(classes.iter().zip(golds).filter(|(p, g)| p == g).count(), golds.len())
-        }
-        (ServedOutput::Bits { set }, TaskLabel::BitvectorOne(gold_set)) => {
-            let mut a = set.clone();
-            let mut b = gold_set.clone();
-            a.sort();
-            b.sort();
-            Some(f64::from(a == b))
-        }
-        (ServedOutput::BitsSeq { rows }, TaskLabel::BitvectorSeq(gold_rows))
-            if rows.len() == gold_rows.len() =>
-        {
-            let hits = rows
-                .iter()
-                .zip(gold_rows)
-                .filter(|(p, g)| {
-                    let mut a = (*p).clone();
-                    let mut b = (*g).clone();
-                    a.sort();
-                    b.sort();
-                    a == b
-                })
-                .count();
-            fraction(hits, gold_rows.len())
-        }
-        (ServedOutput::Select { index, .. }, TaskLabel::Select(g)) => Some(f64::from(index == g)),
-        _ => None,
     }
 }
 
@@ -403,43 +356,8 @@ impl DeploymentManager {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn score_output_covers_all_shapes() {
-        assert_eq!(
-            score_output(
-                &ServedOutput::Multiclass { class: "A".into(), dist: vec![] },
-                &TaskLabel::MulticlassOne("A".into())
-            ),
-            Some(1.0)
-        );
-        assert_eq!(
-            score_output(
-                &ServedOutput::MulticlassSeq { classes: vec!["A".into(), "B".into()] },
-                &TaskLabel::MulticlassSeq(vec!["A".into(), "C".into()])
-            ),
-            Some(0.5)
-        );
-        assert_eq!(
-            score_output(
-                &ServedOutput::Bits { set: vec!["y".into(), "x".into()] },
-                &TaskLabel::BitvectorOne(vec!["x".into(), "y".into()])
-            ),
-            Some(1.0)
-        );
-        assert_eq!(
-            score_output(&ServedOutput::Select { index: 2, id: "e".into() }, &TaskLabel::Select(1)),
-            Some(0.0)
-        );
-        // Shape mismatch scores nothing.
-        assert_eq!(
-            score_output(
-                &ServedOutput::MulticlassSeq { classes: vec!["A".into()] },
-                &TaskLabel::MulticlassSeq(vec!["A".into(), "B".into()])
-            ),
-            None
-        );
-    }
+    use overton_model::ServedOutput;
+    use overton_store::TaskLabel;
 
     #[test]
     fn scorebook_groups_by_tag_with_overall_first() {

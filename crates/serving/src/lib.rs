@@ -32,9 +32,14 @@
 mod cascade;
 mod deploy;
 mod pool;
+mod score;
 mod telemetry;
 
 pub use cascade::{CascadeCounters, CascadeEngine, Route};
 pub use deploy::{CanaryConfig, CanaryOutcome, DeployEvent, DeploymentManager};
 pub use pool::{ServeReply, ServingConfig, Ticket, WorkerPool};
-pub use telemetry::{LatencyHistogram, Telemetry, TelemetrySnapshot, TrafficBaseline};
+pub use score::score_response;
+pub use telemetry::{
+    confidence_bin, latency_bucket, latency_bucket_upper, LatencyHistogram, ServeSample, Telemetry,
+    TelemetrySnapshot, TrafficBaseline, CONFIDENCE_BINS, LATENCY_BUCKETS,
+};

@@ -194,6 +194,12 @@ impl WorkerPool {
         self.shared.telemetry.snapshot()
     }
 
+    /// The pool's telemetry sink — the attach point for the observability
+    /// hook ([`Telemetry::attach_observer`]) and the baseline accessor.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.shared.telemetry
+    }
+
     /// Signals shutdown, drains the queue, and joins the workers.
     pub fn shutdown(mut self) {
         self.stop_and_join();
@@ -246,9 +252,21 @@ fn worker_loop(shared: &Shared, max_batch: usize) {
             .unzip();
         let results = engine.answer_batch(&records);
         let finished = Instant::now();
-        for (p, (result, route)) in pending.into_iter().zip(results) {
+        let observed = shared.telemetry.observer_attached();
+        for ((p, record), (result, route)) in pending.into_iter().zip(&records).zip(results) {
             let latency = finished.duration_since(p.enqueued);
             shared.telemetry.observe(&result, latency);
+            if observed {
+                // The observability hook: build the flattened sample and
+                // try_send it — bounded channel, never blocks a worker.
+                shared.telemetry.forward(crate::telemetry::ServeSample::collect(
+                    engine.schema(),
+                    shared.telemetry.slice_names(),
+                    record,
+                    &result,
+                    latency,
+                ));
+            }
             // A dropped ticket just means the caller stopped waiting.
             let _ = p.tx.send(ServeReply { seq: p.seq, result, route, latency, batch_size });
         }

@@ -6,18 +6,48 @@
 //! label does — traffic mix shifting toward a hard slice, the serving
 //! model's confidence sagging, tail latencies growing. This module
 //! aggregates those from the worker pool with lock-free counters so the
-//! hot path never blocks on monitoring.
+//! hot path never blocks on monitoring, and offers a single cheap
+//! **observer hook** ([`Telemetry::attach_observer`]) through which the
+//! continuous-monitoring subsystem (`overton-obs`) receives one
+//! [`ServeSample`] per request over a bounded channel — one atomic bump
+//! plus a `try_send`, never a block, never a lock on the serving path.
 
+use crate::score::score_response;
 use overton_model::{Server, ServingResponse};
-use overton_store::{Record, StoreError};
+use overton_store::{Record, Schema, StoreError};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{SyncSender, TrySendError};
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 /// Power-of-two latency buckets from 1µs up: bucket `i` counts latencies
 /// in `[2^(i-1), 2^i)` µs, with the final bucket absorbing everything
-/// slower (~9 minutes and up).
-const LATENCY_BUCKETS: usize = 30;
+/// slower (~9 minutes and up). Public so the windowed statistics of
+/// `overton-obs` can use the identical bucketing scheme.
+pub const LATENCY_BUCKETS: usize = 30;
+
+/// Number of fixed-width confidence histogram bins over `[0, 1]`, shared
+/// by [`TrafficBaseline`] and the windowed confidence distributions of
+/// `overton-obs` (the KS drift statistic compares the two directly).
+pub const CONFIDENCE_BINS: usize = 20;
+
+/// The bucket a latency in microseconds falls into (log2 scale, clamped
+/// to the final bucket).
+pub fn latency_bucket(micros: u64) -> usize {
+    (64 - micros.leading_zeros() as usize).min(LATENCY_BUCKETS - 1)
+}
+
+/// The conservative (upper-bound) latency a bucket index resolves to.
+pub fn latency_bucket_upper(bucket: usize) -> Duration {
+    Duration::from_micros(1u64 << bucket.min(LATENCY_BUCKETS - 1))
+}
+
+/// The fixed-width confidence bin a confidence in `[0, 1]` falls into
+/// (out-of-range values clamp to the edge bins).
+pub fn confidence_bin(confidence: f32) -> usize {
+    ((f64::from(confidence) * CONFIDENCE_BINS as f64) as usize).min(CONFIDENCE_BINS - 1)
+}
 
 /// A lock-free fixed-bucket latency histogram (log2 µs scale).
 #[derive(Debug)]
@@ -39,8 +69,7 @@ impl LatencyHistogram {
     /// Records one observation.
     pub fn record(&self, latency: Duration) {
         let micros = latency.as_micros().min(u128::from(u64::MAX)) as u64;
-        let bucket = (64 - micros.leading_zeros() as usize).min(LATENCY_BUCKETS - 1);
-        self.counts[bucket].fetch_add(1, Ordering::Relaxed);
+        self.counts[latency_bucket(micros)].fetch_add(1, Ordering::Relaxed);
         self.sum_micros.fetch_add(micros, Ordering::Relaxed);
     }
 
@@ -58,35 +87,57 @@ impl LatencyHistogram {
         Duration::from_micros(self.sum_micros.load(Ordering::Relaxed) / n)
     }
 
-    /// The `q`-quantile (`0 < q <= 1`), resolved to the upper bound of the
-    /// bucket containing it — a conservative estimate with at most 2x
-    /// resolution error, which is what an SLA dashboard needs.
+    /// The `q`-quantile, resolved to the upper bound of the bucket
+    /// containing it — a conservative estimate with at most 2x resolution
+    /// error, which is what an SLA dashboard needs.
+    ///
+    /// Every input has a defined value: the empty histogram returns
+    /// [`Duration::ZERO`] for any `q`, and `q` is clamped into `[0, 1]` —
+    /// `q <= 0` resolves to the smallest observed bucket's bound and
+    /// `q >= 1` to the largest.
     pub fn quantile(&self, q: f64) -> Duration {
         let total = self.count();
         if total == 0 {
             return Duration::ZERO;
         }
+        // NaN ends up as target 1 (the minimum), like q = 0.
+        let q = q.clamp(0.0, 1.0);
         let target = ((q * total as f64).ceil() as u64).clamp(1, total);
         let mut seen = 0u64;
         for (i, c) in self.counts.iter().enumerate() {
             seen += c.load(Ordering::Relaxed);
             if seen >= target {
-                return Duration::from_micros(1u64 << i);
+                return latency_bucket_upper(i);
             }
         }
-        Duration::from_micros(1u64 << (LATENCY_BUCKETS - 1))
+        latency_bucket_upper(LATENCY_BUCKETS - 1)
     }
 }
 
 /// Training-time reference distribution for drift detection: what slice
 /// shares and confidence looked like on curated data when the artifact
-/// shipped.
-#[derive(Debug, Clone, PartialEq)]
+/// shipped. Serializable — the evaluate stage persists it as a typed
+/// `baseline.json` artifact in the run directory, and deployments reload
+/// it so post-deployment drift is always measured against the
+/// distribution the model was actually accepted on.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct TrafficBaseline {
-    /// `(slice name, share of records predicted in the slice)`.
+    /// `(slice name, share of records *predicted* in the slice)` — the
+    /// model's own slice-membership heads over the reference set.
     pub slice_shares: Vec<(String, f64)>,
     /// Mean response confidence.
     pub mean_confidence: f64,
+    /// `(slice name, share of records *tagged* in the slice)` — curated
+    /// membership, the reference for traffic-mix drift (PSI) where slice
+    /// attribution of arriving records is available.
+    pub tag_shares: Vec<(String, f64)>,
+    /// Confidence histogram over the whole reference set
+    /// ([`CONFIDENCE_BINS`] fixed-width bins on `[0, 1]`).
+    pub confidence_hist: Vec<u64>,
+    /// Per-slice confidence histograms (tag-based membership), parallel
+    /// to [`tag_shares`](Self::tag_shares) — the reference distributions
+    /// for the per-slice KS drift statistic.
+    pub slice_confidence_hists: Vec<Vec<u64>>,
 }
 
 impl TrafficBaseline {
@@ -95,13 +146,24 @@ impl TrafficBaseline {
     pub fn collect(server: &Server, records: &[Record]) -> Result<Self, StoreError> {
         let slice_names = server.feature_space().slice_names.clone();
         let mut slice_counts = vec![0u64; slice_names.len()];
+        let mut tag_counts = vec![0u64; slice_names.len()];
+        let mut slice_hists = vec![vec![0u64; CONFIDENCE_BINS]; slice_names.len()];
+        let mut confidence_hist = vec![0u64; CONFIDENCE_BINS];
         let mut confidence_sum = 0.0f64;
         let mut n = 0u64;
-        for result in server.predict_batch(records) {
+        for (record, result) in records.iter().zip(server.predict_batch(records)) {
             let response = result?;
+            let bin = confidence_bin(response.confidence);
+            confidence_hist[bin] += 1;
             for (i, (_, prob)) in response.slices.iter().enumerate() {
                 if *prob > 0.5 {
                     slice_counts[i] += 1;
+                }
+            }
+            for (i, name) in slice_names.iter().enumerate() {
+                if record.in_slice(name) {
+                    tag_counts[i] += 1;
+                    slice_hists[i][bin] += 1;
                 }
             }
             confidence_sum += f64::from(response.confidence);
@@ -112,14 +174,113 @@ impl TrafficBaseline {
                 "cannot collect a traffic baseline from zero records".into(),
             ));
         }
-        Ok(Self {
-            slice_shares: slice_names
-                .into_iter()
-                .zip(slice_counts)
+        let share = |counts: Vec<u64>| -> Vec<(String, f64)> {
+            slice_names
+                .iter()
+                .cloned()
+                .zip(counts)
                 .map(|(name, c)| (name, c as f64 / n as f64))
-                .collect(),
+                .collect()
+        };
+        Ok(Self {
+            slice_shares: share(slice_counts),
             mean_confidence: confidence_sum / n as f64,
+            tag_shares: share(tag_counts),
+            confidence_hist,
+            slice_confidence_hists: slice_hists,
         })
+    }
+
+    /// The tagged traffic share of a slice, if the baseline covers it.
+    pub fn tag_share(&self, slice: &str) -> Option<f64> {
+        self.tag_shares.iter().find(|(n, _)| n == slice).map(|(_, s)| *s)
+    }
+
+    /// The confidence histogram of a slice (tag-based membership), if the
+    /// baseline covers it.
+    pub fn slice_confidence_hist(&self, slice: &str) -> Option<&[u64]> {
+        self.tag_shares
+            .iter()
+            .position(|(n, _)| n == slice)
+            .map(|i| self.slice_confidence_hists[i].as_slice())
+    }
+}
+
+/// One served request, as handed to an attached observer — everything the
+/// windowed monitoring layer needs, flattened to plain integers so the
+/// downstream aggregation is exactly reproducible from a replayed log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ServeSample {
+    /// Whether the request was served (vs failed validation/decoding).
+    pub ok: bool,
+    /// Confidence bin of the response ([`CONFIDENCE_BINS`] scale); 0 for
+    /// failed requests (which carry no confidence).
+    pub confidence_bin: usize,
+    /// Response confidence in millionths (0 for failed requests).
+    pub confidence_millionths: u64,
+    /// Queue + inference latency in microseconds.
+    pub latency_micros: u64,
+    /// Slice membership as a bitmask over the telemetry slice space
+    /// (slices beyond 64 are not tracked): the record's slice *tags* when
+    /// it carries any (the synthetic streams do, standing in for
+    /// after-the-fact slice attribution of live traffic), the model's
+    /// *predicted* membership otherwise.
+    pub slice_mask: u64,
+    /// Mean gold accuracy over the record's gold-labeled tasks, in
+    /// millionths; `None` for unlabeled traffic.
+    pub gold_accuracy_millionths: Option<u64>,
+}
+
+impl ServeSample {
+    /// Builds the sample for one served request.
+    pub fn collect(
+        schema: &Schema,
+        slice_names: &[String],
+        record: &Record,
+        result: &Result<ServingResponse, StoreError>,
+        latency: Duration,
+    ) -> Self {
+        let latency_micros = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        let Ok(response) = result else {
+            return Self {
+                ok: false,
+                confidence_bin: 0,
+                confidence_millionths: 0,
+                latency_micros,
+                slice_mask: 0,
+                gold_accuracy_millionths: None,
+            };
+        };
+        let tagged: Vec<bool> = slice_names.iter().map(|s| record.in_slice(s)).collect();
+        let mut mask = 0u64;
+        if tagged.iter().any(|&t| t) {
+            for (i, &t) in tagged.iter().enumerate().take(64) {
+                if t {
+                    mask |= 1 << i;
+                }
+            }
+        } else {
+            for (i, (_, prob)) in response.slices.iter().enumerate().take(64) {
+                if *prob > 0.5 {
+                    mask |= 1 << i;
+                }
+            }
+        }
+        let confidence = response.confidence.clamp(0.0, 1.0);
+        Self {
+            ok: true,
+            confidence_bin: confidence_bin(confidence),
+            confidence_millionths: (f64::from(confidence) * 1e6) as u64,
+            latency_micros,
+            slice_mask: mask,
+            gold_accuracy_millionths: score_response(schema, record, response)
+                .map(|a| (a * 1e6).round() as u64),
+        }
+    }
+
+    /// Whether the sample is in slice `i` of the telemetry slice space.
+    pub fn in_slice(&self, i: usize) -> bool {
+        i < 64 && self.slice_mask & (1 << i) != 0
     }
 }
 
@@ -135,6 +296,12 @@ pub struct Telemetry {
     /// Confidence accumulated in millionths, so the sum stays atomic.
     confidence_sum_millionths: AtomicU64,
     baseline: Option<TrafficBaseline>,
+    /// The observability hook: set once, read with a single atomic load
+    /// on the hot path. Samples go over a *bounded* channel — when the
+    /// monitor falls behind, samples are dropped (and counted), never
+    /// queued unboundedly and never blocking a worker.
+    observer: OnceLock<SyncSender<ServeSample>>,
+    observer_dropped: AtomicU64,
 }
 
 impl Telemetry {
@@ -151,6 +318,50 @@ impl Telemetry {
             slice_counts,
             confidence_sum_millionths: AtomicU64::new(0),
             baseline,
+            observer: OnceLock::new(),
+            observer_dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// The slice space telemetry reports over (indicator order).
+    pub fn slice_names(&self) -> &[String] {
+        &self.slice_names
+    }
+
+    /// The training-time baseline, when drift reporting is enabled.
+    pub fn baseline(&self) -> Option<&TrafficBaseline> {
+        self.baseline.as_ref()
+    }
+
+    /// Attaches the observability hook: every served request is forwarded
+    /// as a [`ServeSample`] over `tx`. At most one observer per sink;
+    /// attaching a second is an error (the channel is an exclusive feed).
+    pub fn attach_observer(&self, tx: SyncSender<ServeSample>) -> Result<(), StoreError> {
+        self.observer
+            .set(tx)
+            .map_err(|_| StoreError::Validation("an observer is already attached".into()))
+    }
+
+    /// Whether an observer hook is attached.
+    pub fn observer_attached(&self) -> bool {
+        self.observer.get().is_some()
+    }
+
+    /// Samples dropped because the observer's bounded channel was full
+    /// (the monitor fell behind; the serving path never waits for it).
+    pub fn observer_dropped(&self) -> u64 {
+        self.observer_dropped.load(Ordering::Relaxed)
+    }
+
+    /// Forwards one sample to the attached observer, if any. Never
+    /// blocks: a full channel drops the sample and bumps the counter; a
+    /// disconnected receiver is treated the same way.
+    pub(crate) fn forward(&self, sample: ServeSample) {
+        if let Some(tx) = self.observer.get() {
+            if let Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) = tx.try_send(sample)
+            {
+                self.observer_dropped.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 
@@ -231,8 +442,10 @@ impl Telemetry {
     }
 }
 
-/// A point-in-time telemetry view.
-#[derive(Debug, Clone, PartialEq)]
+/// A point-in-time telemetry view. Serializable (dashboards, the CLI and
+/// the obslog share one serialization path rather than ad-hoc
+/// formatting); durations roundtrip exactly as `{secs, nanos}`.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct TelemetrySnapshot {
     /// Successfully served requests.
     pub served: u64,
@@ -256,6 +469,22 @@ pub struct TelemetrySnapshot {
     pub slice_shares: Vec<(String, f64)>,
     /// Per-slice `live share - baseline share` (with a baseline).
     pub slice_drift: Option<Vec<(String, f64)>>,
+}
+
+impl TelemetrySnapshot {
+    /// Writes the per-slice table as CSV
+    /// (`slice,share,drift`), using the workspace's one CSV-escaping
+    /// helper ([`overton_monitor::csv_escape`]) — slice names are
+    /// free-form and can contain commas or quotes.
+    pub fn write_csv(&self, mut w: impl std::io::Write) -> std::io::Result<()> {
+        writeln!(w, "slice,share,drift")?;
+        for (i, (name, share)) in self.slice_shares.iter().enumerate() {
+            let drift =
+                self.slice_drift.as_ref().map_or_else(String::new, |d| format!("{:.6}", d[i].1));
+            writeln!(w, "{},{share:.6},{drift}", overton_monitor::csv_escape(name))?;
+        }
+        Ok(())
+    }
 }
 
 impl fmt::Display for TelemetrySnapshot {
@@ -304,8 +533,31 @@ mod tests {
     #[test]
     fn empty_histogram_is_all_zero() {
         let h = LatencyHistogram::default();
-        assert_eq!(h.quantile(0.99), Duration::ZERO);
+        // Every q — in range, at the bounds, out of range — is defined on
+        // the empty histogram.
+        for q in [-1.0, 0.0, 0.5, 0.99, 1.0, 2.0] {
+            assert_eq!(h.quantile(q), Duration::ZERO);
+        }
         assert_eq!(h.mean(), Duration::ZERO);
+    }
+
+    #[test]
+    fn quantile_bounds_are_defined_and_clamped() {
+        let h = LatencyHistogram::default();
+        h.record(Duration::from_micros(3));
+        h.record(Duration::from_micros(100));
+        h.record(Duration::from_micros(20_000));
+        // q = 0 resolves to the smallest observed bucket's bound...
+        let lo = h.quantile(0.0);
+        assert_eq!(lo, latency_bucket_upper(latency_bucket(3)));
+        // ...q = 1 to the largest...
+        let hi = h.quantile(1.0);
+        assert_eq!(hi, latency_bucket_upper(latency_bucket(20_000)));
+        assert!(lo <= hi);
+        // ...and out-of-range q clamps to those same bounds instead of
+        // panicking or indexing out of the histogram.
+        assert_eq!(h.quantile(-3.5), lo);
+        assert_eq!(h.quantile(42.0), hi);
     }
 
     fn response(confidence: f32, slice_prob: f32) -> ServingResponse {
@@ -316,11 +568,19 @@ mod tests {
         }
     }
 
+    fn baseline() -> TrafficBaseline {
+        TrafficBaseline {
+            slice_shares: vec![("hard".into(), 0.25)],
+            mean_confidence: 0.9,
+            tag_shares: vec![("hard".into(), 0.25)],
+            confidence_hist: vec![0; CONFIDENCE_BINS],
+            slice_confidence_hists: vec![vec![0; CONFIDENCE_BINS]],
+        }
+    }
+
     #[test]
     fn snapshot_aggregates_confidence_slices_and_errors() {
-        let baseline =
-            TrafficBaseline { slice_shares: vec![("hard".into(), 0.25)], mean_confidence: 0.9 };
-        let t = Telemetry::new(vec!["hard".into()], Some(baseline));
+        let t = Telemetry::new(vec!["hard".into()], Some(baseline()));
         t.observe(&Ok(response(0.8, 0.9)), Duration::from_micros(100));
         t.observe(&Ok(response(0.6, 0.1)), Duration::from_micros(200));
         t.observe(&Err(StoreError::Validation("bad".into())), Duration::from_micros(50));
@@ -335,5 +595,113 @@ mod tests {
         assert!(snap.qps > 0.0);
         // The report renders.
         assert!(snap.to_string().contains("slice hard"));
+    }
+
+    #[test]
+    fn snapshot_serializes_and_roundtrips() {
+        let t = Telemetry::new(vec!["hard, tricky".into()], None);
+        t.observe(&Ok(response(0.8, 0.9)), Duration::from_micros(1500));
+        let snap = t.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: TelemetrySnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+        // CSV goes through the shared escaping helper: the comma-bearing
+        // slice name is quoted.
+        let mut csv = Vec::new();
+        snap.write_csv(&mut csv).unwrap();
+        let text = String::from_utf8(csv).unwrap();
+        assert!(text.contains("\"hard, tricky\""), "{text}");
+    }
+
+    #[test]
+    fn baseline_serializes_and_roundtrips() {
+        let b = baseline();
+        let json = serde_json::to_string(&b).unwrap();
+        let back: TrafficBaseline = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, b);
+        assert_eq!(b.tag_share("hard"), Some(0.25));
+        assert_eq!(b.tag_share("nope"), None);
+        assert_eq!(b.slice_confidence_hist("hard"), Some(&[0u64; CONFIDENCE_BINS][..]));
+    }
+
+    #[test]
+    fn observer_receives_samples_and_never_blocks() {
+        let t = Telemetry::new(vec!["hard".into()], None);
+        let (tx, rx) = std::sync::mpsc::sync_channel(1);
+        t.attach_observer(tx).unwrap();
+        assert!(t.observer_attached());
+        // A second observer is rejected.
+        let (tx2, _rx2) = std::sync::mpsc::sync_channel(1);
+        assert!(t.attach_observer(tx2).is_err());
+        let sample = ServeSample {
+            ok: true,
+            confidence_bin: confidence_bin(0.8),
+            confidence_millionths: 800_000,
+            latency_micros: 100,
+            slice_mask: 1,
+            gold_accuracy_millionths: Some(1_000_000),
+        };
+        t.forward(sample);
+        // Channel is full now: the next forward drops instead of blocking.
+        t.forward(sample);
+        assert_eq!(t.observer_dropped(), 1);
+        assert_eq!(rx.try_recv().unwrap(), sample);
+        assert!(sample.in_slice(0));
+        assert!(!sample.in_slice(1));
+    }
+
+    #[test]
+    fn sample_collection_prefers_tags_and_scores_gold() {
+        let schema = overton_nlp::workload_schema();
+        let slice_names = vec!["hard".to_string(), "easy".to_string()];
+        let record = Record::new().with_slice("easy").with_label(
+            "Intent",
+            overton_store::GOLD_SOURCE,
+            overton_store::TaskLabel::MulticlassOne("Age".into()),
+        );
+        let resp = ServingResponse {
+            tasks: std::collections::BTreeMap::from([(
+                "Intent".to_string(),
+                overton_model::ServedOutput::Multiclass { class: "Age".into(), dist: vec![] },
+            )]),
+            // The model predicts "hard", but the record's tag says "easy":
+            // tags win when present.
+            slices: vec![("hard".into(), 0.9), ("easy".into(), 0.1)],
+            confidence: 0.73,
+        };
+        let sample = ServeSample::collect(
+            &schema,
+            &slice_names,
+            &record,
+            &Ok(resp.clone()),
+            Duration::from_micros(42),
+        );
+        assert!(sample.ok);
+        assert!(!sample.in_slice(0));
+        assert!(sample.in_slice(1));
+        assert_eq!(sample.gold_accuracy_millionths, Some(1_000_000));
+        assert_eq!(sample.confidence_bin, confidence_bin(0.73));
+        // An untagged record falls back to predicted membership.
+        let untagged = Record::new();
+        let sample = ServeSample::collect(
+            &schema,
+            &slice_names,
+            &untagged,
+            &Ok(resp),
+            Duration::from_micros(42),
+        );
+        assert!(sample.in_slice(0));
+        assert!(!sample.in_slice(1));
+        assert_eq!(sample.gold_accuracy_millionths, None);
+        // Errors carry latency but nothing else.
+        let sample = ServeSample::collect(
+            &schema,
+            &slice_names,
+            &untagged,
+            &Err(StoreError::Validation("bad".into())),
+            Duration::from_micros(7),
+        );
+        assert!(!sample.ok);
+        assert_eq!(sample.slice_mask, 0);
     }
 }

@@ -1,0 +1,244 @@
+//! End-to-end continuous observability: seeded drifting traffic through an
+//! observed worker pool must (a) raise a drift alert on the drifted slice
+//! and stay quiet on stable slices, (b) write an obslog that replays
+//! bit-identically into the live windowed state, and (c) drive the
+//! watchdog → worklist → automated-retrain loop — Figure 1 with no human
+//! in it. Plus the calibration-vs-drift ordering: the KS detector fires
+//! while windowed ECE is still below its alert threshold.
+
+use overton::model::TrainConfig;
+use overton::monitor::calibration_report;
+use overton::nlp::{
+    generate_workload, DriftConfig, DriftingTrafficStream, KnowledgeBase, TrafficConfig,
+    WorkloadConfig, SLICE_COMPLEX_DISAMBIGUATION, SLICE_NUTRITION,
+};
+use overton::obs::{
+    AlertRule, ObsConfig, ObsLog, Severity, Signal, Watchdog, WatchdogConfig, WATCHDOG_TASK,
+};
+use overton::{OvertonOptions, Project};
+use std::path::PathBuf;
+
+fn quick_options() -> OvertonOptions {
+    OvertonOptions {
+        train: TrainConfig { epochs: 2, early_stop_patience: 0, ..Default::default() },
+        ..Default::default()
+    }
+}
+
+fn temp_root(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("overton-obs-e2e-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+const WINDOW: u64 = 250;
+
+#[test]
+fn drift_is_detected_logged_replayed_and_fed_back() {
+    let root = temp_root("loop");
+    let ds = generate_workload(&WorkloadConfig {
+        n_train: 250,
+        n_dev: 40,
+        n_test: 150,
+        seed: 13,
+        ..Default::default()
+    });
+    let project =
+        Project::from_dataset(&ds).named("obsdemo").with_options(quick_options()).at(&root);
+    let run = project.run().unwrap();
+    // The evaluate stage captured and persisted the traffic baseline.
+    let baseline = run.baseline().expect("evaluate collects a baseline").clone();
+    assert!(run.dir().unwrap().join("baseline.json").exists());
+    assert!(baseline.tag_share(SLICE_COMPLEX_DISAMBIGUATION).is_some());
+
+    let deployment = project.deploy(&run).unwrap();
+    let mut monitor = deployment
+        .watch_with(ObsConfig {
+            window_len: WINDOW,
+            rules: overton::obs::default_rules(deployment.pool().telemetry().slice_names()),
+            ..Default::default()
+        })
+        .unwrap();
+    assert_eq!(monitor.baseline(), Some(&baseline), "monitor inherits the run's baseline");
+
+    // 8 windows of seeded traffic: stationary for 4, then the slice mix
+    // ramps toward the hard slice.
+    let kb = KnowledgeBase::standard();
+    let mut stream = DriftingTrafficStream::new(
+        &kb,
+        DriftConfig {
+            base: TrafficConfig { seed: 5, ..Default::default() },
+            drift_start: 4 * WINDOW as usize,
+            drift_ramp: WINDOW as usize,
+            ..Default::default()
+        },
+    );
+    for _ in 0..8 {
+        let burst = stream.records(WINDOW as usize);
+        deployment.pool().process(burst);
+        monitor.pump();
+    }
+    monitor.pump();
+    assert_eq!(deployment.pool().telemetry().observer_dropped(), 0);
+    assert_eq!(monitor.stats().closed(), 8);
+    assert_eq!(monitor.stats().open_count(), 0);
+
+    // (a) A PSI (traffic-mix) alert on the drifted slice...
+    let alerts = monitor.alerts();
+    assert!(
+        alerts.iter().any(|a| a.signal == Signal::TrafficPsi
+            && a.slice.as_deref() == Some(SLICE_COMPLEX_DISAMBIGUATION)),
+        "expected a PSI alert on the drifted slice, got: {alerts:?}"
+    );
+    // ...debounced to one PSI alert despite several breaching windows...
+    assert_eq!(
+        alerts.iter().filter(|a| a.signal == Signal::TrafficPsi).count(),
+        1,
+        "flapping/persistent drift must alert once: {alerts:?}"
+    );
+    // ...and nothing at all on the stable slice.
+    assert!(
+        alerts.iter().all(|a| a.slice.as_deref() != Some(SLICE_NUTRITION)),
+        "stable slice must not alert: {alerts:?}"
+    );
+    // The alert fired only once the drift actually started.
+    let psi_window =
+        alerts.iter().find(|a| a.signal == Signal::TrafficPsi).map(|a| a.window).unwrap();
+    assert!(psi_window >= 4, "PSI fired at window {psi_window}, before the drift began");
+
+    // (b) The obslog replays bit-identically into the live state.
+    let replayed = ObsLog::replay(deployment.obslog_dir()).unwrap();
+    assert_eq!(replayed.stats(), monitor.stats(), "replayed windowed state must be identical");
+    assert_eq!(replayed.alerts(), monitor.alerts());
+    assert_eq!(replayed.alert_engine(), monitor.alert_engine());
+
+    // (c) The watchdog escalates the sustained critical into the shared
+    // worklist shape, naming the drifted slice.
+    let watchdog = Watchdog::new(WatchdogConfig {
+        min_severity: Severity::Warning,
+        sustain_windows: 3,
+        min_count: 10,
+    });
+    assert_eq!(watchdog.flagged_slices(&monitor), vec![SLICE_COMPLEX_DISAMBIGUATION.to_string()]);
+    let worklist = watchdog.worklist(&monitor);
+    assert_eq!(worklist.len(), 1);
+    assert_eq!(worklist[0].slice, SLICE_COMPLEX_DISAMBIGUATION);
+    assert_eq!(worklist[0].task, WATCHDOG_TASK);
+    assert!(worklist[0].metrics.count >= 10);
+    // A transiently-configured watchdog (needs more sustained windows than
+    // the episode has) stays quiet — the loop doesn't fire on blips.
+    let strict = Watchdog::new(WatchdogConfig { sustain_windows: 100, ..Default::default() });
+    assert!(strict.worklist(&monitor).is_empty());
+
+    // (d) Close the loop: hand the worst slice to the automated retrain.
+    // The watchdog's diagnosis is task-agnostic; retrain_for_slice maps it
+    // onto the weakest task of the previous run deterministically.
+    let report = project.retrain_for_slice(&run, &worklist[0].slice).unwrap();
+    assert!((0.0..=1.0).contains(&report.before));
+    assert!((0.0..=1.0).contains(&report.after));
+
+    drop(deployment);
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn ece_degrades_monotonically_and_ks_fires_before_ece_crosses() {
+    // Part 1 (pure calibration): as a synthetic drift widens — the model
+    // keeps claiming 0.9 while accuracy erodes — ECE degrades strictly
+    // monotonically and tracks the injected gap.
+    let mut last = -1.0;
+    for shift in [0.0, 0.1, 0.2, 0.3, 0.4] {
+        let preds: Vec<(f64, bool)> =
+            (0..1000).map(|i| (0.9, (i as f64 / 1000.0) < 0.9 - shift)).collect();
+        let ece = calibration_report(&preds, 10).ece;
+        assert!((ece - shift).abs() < 5e-3, "shift {shift}: ece {ece}");
+        assert!(ece > last, "ECE must degrade monotonically with the drift");
+        last = ece;
+    }
+
+    // Part 2 (one widening drift stream, two detectors): feed the same
+    // synthetic stream both to windowed ECE and to the obs KS rule. The
+    // confidence *distribution* shifts linearly with the drift level
+    // while calibration damage grows quadratically (the shifted cohort's
+    // accuracy erodes gradually), so the KS detector must fire while ECE
+    // is still below its own alert threshold — distribution-level drift
+    // is visible before calibration damage crosses the line, which is
+    // exactly why the KS rule exists.
+    const ECE_ALERT: f64 = 0.25;
+    const KS_ALERT: f64 = 0.3;
+    const N: u64 = 200;
+    let mut baseline_hist = vec![0u64; overton::serving::CONFIDENCE_BINS];
+    baseline_hist[overton::serving::confidence_bin(0.9)] = N;
+    let baseline = overton::serving::TrafficBaseline {
+        slice_shares: vec![],
+        mean_confidence: 0.9,
+        tag_shares: vec![],
+        confidence_hist: baseline_hist,
+        slice_confidence_hists: vec![],
+    };
+    let mut monitor = overton::obs::Monitor::new(
+        vec![],
+        Some(baseline),
+        ObsConfig {
+            window_len: N,
+            rules: vec![AlertRule {
+                slice: None,
+                signal: Signal::ConfidenceKs,
+                threshold: KS_ALERT,
+                min_window_count: 64,
+                severity: Severity::Warning,
+            }],
+            ..Default::default()
+        },
+    );
+    let mut window_ece = Vec::new();
+    for w in 0..=10u64 {
+        let t = w as f64 / 10.0; // drift level of this window
+        let drifted = (N as f64 * t).round() as u64; // cohort at conf 0.6
+        let drifted_correct = (drifted as f64 * (0.6 - 0.55 * t).max(0.0)).round() as u64;
+        let stable_correct = ((N - drifted) as f64 * 0.9).round() as u64;
+        let mut preds = Vec::new();
+        for i in 0..N {
+            let (confidence, correct) = if i < drifted {
+                (0.6f32, i < drifted_correct)
+            } else {
+                (0.9f32, i - drifted < stable_correct)
+            };
+            preds.push((f64::from(confidence), correct));
+            monitor.ingest(&overton::serving::ServeSample {
+                ok: true,
+                confidence_bin: overton::serving::confidence_bin(confidence),
+                confidence_millionths: (f64::from(confidence) * 1e6) as u64,
+                latency_micros: 50,
+                slice_mask: 0,
+                gold_accuracy_millionths: Some(if correct { 1_000_000 } else { 0 }),
+            });
+        }
+        window_ece.push(calibration_report(&preds, 10).ece);
+    }
+    // Windowed ECE degrades monotonically as the drift widens...
+    for pair in window_ece.windows(2) {
+        assert!(pair[1] >= pair[0] - 1e-9, "ECE not monotone: {window_ece:?}");
+    }
+    // ...and eventually crosses its alert threshold...
+    let ece_window = window_ece
+        .iter()
+        .position(|&e| e > ECE_ALERT)
+        .expect("the drift must eventually push ECE over the alert threshold");
+    // ...but the KS detector fired strictly earlier.
+    let ks_window = monitor
+        .alerts()
+        .iter()
+        .find(|a| a.signal == Signal::ConfidenceKs)
+        .map(|a| a.window as usize)
+        .expect("the KS detector must fire on a confidence-distribution shift");
+    assert!(
+        ks_window < ece_window,
+        "KS (window {ks_window}) must fire before ECE crosses {ECE_ALERT} (window {ece_window}); \
+         ece per window: {window_ece:?}"
+    );
+    assert!(
+        window_ece[ks_window] < ECE_ALERT,
+        "at the KS alert, calibration damage was still below the line"
+    );
+}

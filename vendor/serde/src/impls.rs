@@ -242,6 +242,38 @@ impl<V: Deserialize> Deserialize for HashMap<String, V> {
     }
 }
 
+/// Mirrors real serde's representation of `Duration`: an object with
+/// integer `secs` and `nanos` fields, so the roundtrip is exact (no
+/// float truncation of sub-second precision).
+impl Serialize for std::time::Duration {
+    fn to_value(&self) -> Value {
+        let mut m = crate::Map::new();
+        m.insert("secs".to_string(), Value::from(self.as_secs()));
+        m.insert("nanos".to_string(), Value::Int(i64::from(self.subsec_nanos())));
+        Value::Object(m)
+    }
+}
+
+impl Deserialize for std::time::Duration {
+    fn from_value(v: Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(m) => {
+                let field = |name: &str| {
+                    m.get(name)
+                        .and_then(Value::as_i64)
+                        .ok_or_else(|| Error::custom(format!("Duration needs integer `{name}`")))
+                };
+                let secs = u64::try_from(field("secs")?)
+                    .map_err(|_| Error::custom("Duration secs out of range"))?;
+                let nanos = u32::try_from(field("nanos")?)
+                    .map_err(|_| Error::custom("Duration nanos out of range"))?;
+                Ok(std::time::Duration::new(secs, nanos))
+            }
+            other => Err(type_err("object", &other)),
+        }
+    }
+}
+
 macro_rules! impl_tuple {
     ($len:literal: $($t:ident . $idx:tt),+) => {
         impl<$($t: Serialize),+> Serialize for ($($t,)+) {
@@ -281,6 +313,17 @@ mod tests {
         assert_eq!(String::from_value("hi".to_string().to_value()).unwrap(), "hi");
         let pair = ("x".to_string(), 0.5f32);
         assert_eq!(<(String, f32)>::from_value(pair.to_value()).unwrap(), pair);
+    }
+
+    #[test]
+    fn duration_roundtrips_exactly() {
+        let d = std::time::Duration::new(3, 141_592_653);
+        assert_eq!(std::time::Duration::from_value(d.to_value()).unwrap(), d);
+        assert_eq!(
+            std::time::Duration::from_value(std::time::Duration::ZERO.to_value()).unwrap(),
+            std::time::Duration::ZERO
+        );
+        assert!(std::time::Duration::from_value(Value::Int(3)).is_err());
     }
 
     #[test]
