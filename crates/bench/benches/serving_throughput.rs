@@ -9,11 +9,14 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use overton_model::{CompiledModel, DeployableModel, FeatureSpace, ModelConfig, Server};
 use overton_nlp::{generate_workload, KnowledgeBase, TrafficConfig, TrafficStream, WorkloadConfig};
+use overton_serving::net::{NetClient, NetConfig, NetServer, PredictOutcome, ShedPolicy};
 use overton_serving::{CascadeEngine, ServingConfig, WorkerPool};
 use overton_store::Record;
 use std::collections::BTreeMap;
 use std::hint::black_box;
+use std::net::TcpListener;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 const BATCH: usize = 32;
 const REQUESTS: usize = 256;
@@ -84,5 +87,128 @@ fn bench_serving(c: &mut Criterion) {
     pool.shutdown();
 }
 
-criterion_group!(benches, bench_serving);
+/// The same pooled path, but through the socket tier: JSON over loopback
+/// TCP into `NetServer`, one keep-alive connection. The delta against
+/// `pool_4workers` is the wire tax (framing + JSON both ways).
+fn bench_socket(c: &mut Criterion) {
+    let (server, records) = setup();
+    let engine = Arc::new(CascadeEngine::single(server));
+    let pool = Arc::new(WorkerPool::start(
+        Arc::clone(&engine),
+        ServingConfig { workers: 4, max_batch: BATCH },
+        None,
+    ));
+    let net = NetServer::start(
+        TcpListener::bind("127.0.0.1:0").expect("bind loopback"),
+        Arc::clone(&pool),
+        NetConfig::default(),
+    )
+    .expect("start net server");
+    let mut client = NetClient::connect(net.local_addr()).expect("connect loopback");
+
+    let mut group = c.benchmark_group("serving");
+    group.sample_size(10);
+    group.bench_function(&format!("socket_loopback_{BATCH}_x{REQUESTS}"), |bench| {
+        bench.iter(|| {
+            for chunk in records.chunks(BATCH) {
+                match client.predict(chunk).expect("loopback predict") {
+                    PredictOutcome::Answered(results) => {
+                        for result in results {
+                            black_box(result.expect("valid"));
+                        }
+                    }
+                    PredictOutcome::Shed { .. } => panic!("idle server shed"),
+                }
+            }
+        });
+    });
+    group.finish();
+
+    drop(client);
+    net.drain();
+    socket_overload_sheds_but_does_not_collapse(records);
+}
+
+/// Not a timing benchmark — a load assertion that runs with the bench
+/// suite. Drive the socket tier at ~2x its worker capacity and require
+/// the overload answer to be *shedding*, not collapse: some requests get
+/// `503 Retry-After`, and the p99 latency of the *accepted* requests
+/// stays bounded because the queue is capped at the high-water mark.
+fn socket_overload_sheds_but_does_not_collapse(records: Vec<Record>) {
+    const CLIENTS: usize = 8; // vs 2 workers: well past capacity
+    const ROUNDS: usize = 12;
+    let p99_bound = Duration::from_secs(2);
+
+    let (server, _) = setup();
+    let engine = Arc::new(CascadeEngine::single(server));
+    let pool = Arc::new(WorkerPool::start(
+        Arc::clone(&engine),
+        ServingConfig { workers: 2, max_batch: BATCH },
+        None,
+    ));
+    let net = NetServer::start(
+        TcpListener::bind("127.0.0.1:0").expect("bind loopback"),
+        Arc::clone(&pool),
+        NetConfig {
+            max_connections: CLIENTS + 2,
+            shed: ShedPolicy { queue_high_water: 64, retry_after: Duration::from_secs(1) },
+            ..NetConfig::default()
+        },
+    )
+    .expect("start net server");
+    let addr = net.local_addr();
+
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            let records = records.clone();
+            std::thread::spawn(move || {
+                let mut client = NetClient::connect(addr).expect("connect loopback");
+                let mut accepted: Vec<Duration> = Vec::new();
+                let mut shed = 0u64;
+                for _ in 0..ROUNDS {
+                    for chunk in records.chunks(BATCH) {
+                        let begin = Instant::now();
+                        match client.predict(chunk).expect("overload predict") {
+                            PredictOutcome::Answered(results) => {
+                                for result in results {
+                                    black_box(result.expect("valid"));
+                                }
+                                accepted.push(begin.elapsed());
+                            }
+                            PredictOutcome::Shed { .. } => shed += 1,
+                        }
+                    }
+                }
+                (accepted, shed)
+            })
+        })
+        .collect();
+
+    let mut latencies: Vec<Duration> = Vec::new();
+    let mut shed = 0u64;
+    for worker in workers {
+        let (lat, s) = worker.join().expect("overload client thread");
+        latencies.extend(lat);
+        shed += s;
+    }
+    net.drain();
+
+    assert!(!latencies.is_empty(), "overload run answered nothing at all");
+    latencies.sort();
+    let p99 = latencies[(latencies.len() - 1) * 99 / 100];
+    println!(
+        "socket overload: {} accepted, {} shed, p99 {:?} (bound {:?})",
+        latencies.len(),
+        shed,
+        p99,
+        p99_bound
+    );
+    assert!(shed > 0, "2x-capacity load must trip the shed policy at least once");
+    assert!(
+        p99 < p99_bound,
+        "accepted-request p99 {p99:?} breached {p99_bound:?}: the tier is collapsing, not shedding"
+    );
+}
+
+criterion_group!(benches, bench_serving, bench_socket);
 criterion_main!(benches);

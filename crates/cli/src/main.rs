@@ -18,13 +18,17 @@ use overton::nlp::{
     WorkloadConfig,
 };
 use overton::obs::{default_rules, Monitor, ObsConfig, ObsLog};
+use overton::serving::net::{self, NetClient, NetConfig, NetServer, PredictOutcome};
 use overton::serving::{CascadeEngine, ServingConfig, TrafficBaseline, WorkerPool};
 use overton::store::ShardedStore;
 use overton::{model::DeployableModel, monitor::QualityReport, OvertonOptions, Project, Stage};
 use std::collections::BTreeMap;
+use std::net::TcpListener;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 const USAGE: &str = "\
 overton — the Overton two-file contract, no code required
@@ -52,6 +56,15 @@ OPTIONS:
     --seed <n>        (init/serve) RNG seed          [default: 0]
     --requests <n>    (serve) how many records to serve [default: all]
     --workers <n>     (serve) worker threads         [default: 4]
+    --listen <addr>   (serve) serve over TCP on <addr> (e.g. 127.0.0.1:7878;
+                      port 0 picks a free port) instead of replaying the
+                      test split; drain with SIGTERM/Ctrl-C
+    --probe           (serve --listen) one loopback round-trip through the
+                      socket, then drain and exit (CI smoke)
+    --high-water <n>  (serve --listen) shed /predict with 503 once the
+                      pool queue reaches <n> [default: 256]
+    --max-conns <n>   (serve --listen) connection cap; excess connections
+                      get an immediate 503 [default: 64]
     --obs             (serve) observe the pool: windowed stats, drift
                       alerts, and an obslog under registry/<name>/obslog
     --drift           (serve) serve a seeded DriftingTrafficStream (slice
@@ -109,6 +122,10 @@ struct Flags {
     seed: Option<u64>,
     requests: Option<usize>,
     workers: Option<usize>,
+    listen: Option<String>,
+    probe: bool,
+    high_water: Option<usize>,
+    max_conns: Option<usize>,
     obs: bool,
     drift: bool,
     window: Option<u64>,
@@ -137,6 +154,14 @@ impl Flags {
                     flags.requests = Some(parse_num(value("--requests")?, "--requests")?)
                 }
                 "--workers" => flags.workers = Some(parse_num(value("--workers")?, "--workers")?),
+                "--listen" => flags.listen = Some(value("--listen")?.to_string()),
+                "--probe" => flags.probe = true,
+                "--high-water" => {
+                    flags.high_water = Some(parse_num(value("--high-water")?, "--high-water")?)
+                }
+                "--max-conns" => {
+                    flags.max_conns = Some(parse_num(value("--max-conns")?, "--max-conns")?)
+                }
                 "--obs" => flags.obs = true,
                 "--drift" => {
                     flags.drift = true;
@@ -255,6 +280,18 @@ fn obslog_dir(dir: &Path) -> PathBuf {
 }
 
 fn serve(dir: &Path, flags: &Flags) -> Result<(), String> {
+    // Bind before anything expensive: a busy port or an unparseable
+    // --listen address fails in milliseconds, naming the address, instead
+    // of after a full artifact load.
+    let listener = match &flags.listen {
+        Some(addr) => Some(net::bind(addr).map_err(|e| e.to_string())?),
+        None => {
+            if flags.probe {
+                return Err("--probe needs --listen".into());
+            }
+            None
+        }
+    };
     let id = run_id(dir, flags)?;
     let run_dir = dir.join("runs").join(&id);
     let artifact_path = run_dir.join("artifact.model.json");
@@ -279,6 +316,10 @@ fn serve(dir: &Path, flags: &Flags) -> Result<(), String> {
         eprintln!(
             "overton: note: run {id} has no baseline.json; drift rules (psi/ks) will not fire"
         );
+    }
+
+    if let Some(listener) = listener {
+        return serve_listen(dir, flags, listener, &id, server, baseline);
     }
 
     let records: Vec<overton::store::Record> = if flags.drift {
@@ -363,6 +404,139 @@ fn serve(dir: &Path, flags: &Flags) -> Result<(), String> {
     }
     pool.shutdown();
     Ok(())
+}
+
+/// Set by the SIGTERM/SIGINT handlers; the serve loop polls it and
+/// drains when it flips.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_signum: i32) {
+    // A store to a static atomic is async-signal-safe; everything else
+    // (draining, printing) happens back on the main thread.
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+fn install_drain_signals() {
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    extern "C" {
+        // Declared directly — the workspace carries no libc crate, and
+        // `signal` is all the socket tier needs from it.
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    unsafe {
+        signal(SIGINT, on_signal);
+        signal(SIGTERM, on_signal);
+    }
+}
+
+/// `overton serve --listen`: the socket tier over the run's artifact.
+fn serve_listen(
+    dir: &Path,
+    flags: &Flags,
+    listener: TcpListener,
+    id: &str,
+    server: Server,
+    baseline: Option<TrafficBaseline>,
+) -> Result<(), String> {
+    let engine = Arc::new(CascadeEngine::single(server));
+    let config = ServingConfig { workers: flags.workers.unwrap_or(4), ..ServingConfig::default() };
+    let pool = Arc::new(WorkerPool::start(engine, config, baseline));
+
+    let mut monitor = if flags.obs {
+        let obs_config = ObsConfig {
+            window_len: flags.window.unwrap_or(250),
+            rules: default_rules(pool.telemetry().slice_names()),
+            ..Default::default()
+        };
+        let log_dir = obslog_dir(dir);
+        let monitor = Monitor::attach(&pool, obs_config, Some(&log_dir))
+            .map_err(|e| format!("cannot attach monitor: {e}"))?;
+        println!("observing: obslog at {}", log_dir.display());
+        Some(monitor)
+    } else {
+        None
+    };
+
+    let mut net_config = NetConfig::default();
+    if let Some(high_water) = flags.high_water {
+        net_config.shed.queue_high_water = high_water;
+    }
+    if let Some(max_conns) = flags.max_conns {
+        net_config.max_connections = max_conns;
+    }
+    let net =
+        NetServer::start(listener, Arc::clone(&pool), net_config).map_err(|e| e.to_string())?;
+    println!("listening on {} (run {id})", net.local_addr());
+
+    if flags.probe {
+        probe(dir, flags, net.local_addr())?;
+    } else {
+        install_drain_signals();
+        println!("serving; SIGTERM or Ctrl-C drains");
+        while !SHUTDOWN.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(100));
+            if let Some(m) = monitor.as_mut() {
+                m.pump();
+            }
+        }
+        println!("draining: refusing new connections, finishing in-flight requests");
+    }
+    net.drain();
+    if let Some(m) = monitor.as_mut() {
+        m.pump();
+    }
+    print!("{}", pool.snapshot());
+    if let Some(m) = monitor.as_ref() {
+        println!(
+            "windows: {} closed ({} in the open window; {} samples dropped)",
+            m.stats().closed(),
+            m.stats().open_count(),
+            pool.telemetry().observer_dropped()
+        );
+    }
+    println!("drained");
+    // The net server and its handlers are gone; this is the last Arc, so
+    // dropping the pool joins the workers.
+    drop(monitor);
+    drop(pool);
+    Ok(())
+}
+
+/// One loopback round-trip through the socket with records from the
+/// run's test split — proves bind/accept/parse/route/predict/drain all
+/// work without any external client (the CI smoke path).
+fn probe(dir: &Path, flags: &Flags, addr: std::net::SocketAddr) -> Result<(), String> {
+    let id = run_id(dir, flags)?;
+    let run_dir = dir.join("runs").join(&id);
+    let store = ShardedStore::read_dir(run_dir.join("store")).map_err(|e| e.to_string())?;
+    let mut rows = store.index().test_rows().to_vec();
+    rows.truncate(flags.requests.unwrap_or(4).max(1));
+    if rows.is_empty() {
+        return Err(format!("run {id} has no test-tagged records to probe with"));
+    }
+    let records: Vec<overton::store::Record> = rows
+        .into_iter()
+        .map(|row| store.get(row as usize).map_err(|e| e.to_string()))
+        .collect::<Result<_, _>>()?;
+    let mut client = NetClient::connect(addr).map_err(|e| e.to_string())?;
+    if !client.health().map_err(|e| e.to_string())? {
+        return Err("probe: server reports draining before any drain was requested".into());
+    }
+    let n = records.len();
+    match client.predict(&records).map_err(|e| e.to_string())? {
+        PredictOutcome::Answered(results) => {
+            if results.len() != n {
+                return Err(format!("probe sent {n} records, got {} results", results.len()));
+            }
+            if let Some(err) = results.iter().find_map(|r| r.as_ref().err()) {
+                return Err(format!("probe record failed: {err}"));
+            }
+            println!("probe round-trip ok ({n} records answered)");
+            Ok(())
+        }
+        PredictOutcome::Shed { .. } => Err("probe was shed by an otherwise idle server".into()),
+    }
 }
 
 fn monitor(dir: &Path, flags: &Flags) -> Result<(), String> {

@@ -1,0 +1,96 @@
+//! CLI-level socket tests, driven through the real `overton` binary:
+//! `serve --listen` must fail fast — nonzero, naming the address — on a
+//! bad or busy address, and `--probe` must round-trip a prediction
+//! through a real TCP connection on a built project.
+
+use std::net::TcpListener;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn overton(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_overton")).args(args).output().expect("spawn overton binary")
+}
+
+fn temp_project(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("overton-cli-net-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp project dir");
+    dir
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn stdout_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn unparseable_listen_addr_exits_nonzero_naming_the_addr() {
+    let dir = temp_project("badaddr");
+    // The bind happens before any artifact loading, so an empty project
+    // directory is enough to reach it.
+    let out = overton(&["serve", dir.to_str().unwrap(), "--listen", "definitely-not-an-address"]);
+    assert!(!out.status.success(), "bad --listen addr must exit nonzero");
+    let err = stderr_of(&out);
+    assert!(
+        err.contains("definitely-not-an-address"),
+        "error must name the offending address, got: {err}"
+    );
+    assert!(err.contains("cannot listen on"), "got: {err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn busy_port_exits_nonzero_naming_the_addr() {
+    let dir = temp_project("busyport");
+    // Hold the port ourselves; std listeners don't set SO_REUSEADDR, so
+    // the second bind reliably fails on every platform we build on.
+    let holder = TcpListener::bind("127.0.0.1:0").expect("bind holder port");
+    let addr = holder.local_addr().unwrap().to_string();
+    let out = overton(&["serve", dir.to_str().unwrap(), "--listen", &addr]);
+    assert!(!out.status.success(), "busy port must exit nonzero");
+    let err = stderr_of(&out);
+    assert!(err.contains(&addr), "error must name the busy address, got: {err}");
+    assert!(err.contains("cannot listen on"), "got: {err}");
+    drop(holder);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn probe_without_listen_is_rejected() {
+    let dir = temp_project("probeonly");
+    let out = overton(&["serve", dir.to_str().unwrap(), "--probe"]);
+    assert!(!out.status.success());
+    assert!(stderr_of(&out).contains("--probe needs --listen"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn build_tiny_project(dir: &Path) {
+    let out =
+        overton(&["init", dir.to_str().unwrap(), "--train", "40", "--dev", "10", "--test", "20"]);
+    assert!(out.status.success(), "init failed: {}", stderr_of(&out));
+    let out = overton(&["build", dir.to_str().unwrap(), "--epochs", "1"]);
+    assert!(out.status.success(), "build failed: {}", stderr_of(&out));
+}
+
+#[test]
+fn probe_round_trips_through_a_real_socket_and_drains() {
+    let dir = temp_project("probe");
+    build_tiny_project(&dir);
+    // Port 0: the kernel picks a free port, printed in "listening on".
+    let out = overton(&["serve", dir.to_str().unwrap(), "--listen", "127.0.0.1:0", "--probe"]);
+    let stdout = stdout_of(&out);
+    assert!(
+        out.status.success(),
+        "probe serve failed\nstdout: {stdout}\nstderr: {}",
+        stderr_of(&out)
+    );
+    assert!(stdout.contains("listening on 127.0.0.1:"), "got: {stdout}");
+    assert!(stdout.contains("probe round-trip ok"), "got: {stdout}");
+    assert!(stdout.contains("drained"), "got: {stdout}");
+    // The post-drain telemetry covers the probe's served records.
+    assert!(stdout.contains("served 4 "), "got: {stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

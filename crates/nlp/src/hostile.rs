@@ -1,0 +1,227 @@
+//! Seeded hostile-wire generator: malformed HTTP/JSON payloads for the
+//! socket tier's fuzz battery.
+//!
+//! The workload crate already simulates *well-formed* production traffic;
+//! this module simulates the rest of the internet. Each payload is raw
+//! bytes a test writes straight down a TCP connection, drawn from a
+//! family of real-world malformations — garbled request lines, oversized
+//! or duplicate headers, truncated or over-declared `Content-Length`,
+//! bodies that are not UTF-8 or not JSON. The contract under test: a
+//! hardened server answers every one with a 4xx and a closed connection,
+//! never a panic, an unbounded buffer, or a hung handler.
+//!
+//! Generation is seeded and deterministic ([`corpus`] with the same seed
+//! yields byte-identical payloads), so a fuzz failure reproduces from the
+//! seed printed in the test name alone.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One hostile payload plus the contract it exercises.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HostilePayload {
+    /// Raw bytes to write to the socket, exactly as generated.
+    pub bytes: Vec<u8>,
+    /// The malformation family (for failure messages and coverage
+    /// assertions).
+    pub family: &'static str,
+    /// Whether the server can only detect the malformation by waiting
+    /// out a read (truncated bodies: the declared `Content-Length` never
+    /// arrives). Tests shorten the server's read timeout for these.
+    pub needs_patience: bool,
+}
+
+/// The malformation families [`corpus`] draws from.
+pub const HOSTILE_FAMILIES: &[&str] = &[
+    "garbled-request-line",
+    "bad-version",
+    "oversized-request-line",
+    "oversized-header",
+    "too-many-headers",
+    "duplicate-conflicting-length",
+    "junk-content-length",
+    "missing-length-post",
+    "truncated-body",
+    "oversized-body",
+    "bad-utf8-body",
+    "bad-json-body",
+    "wrong-shape-json",
+    "obsolete-fold",
+    "no-colon-header",
+    "transfer-encoding",
+];
+
+fn junk_bytes(rng: &mut SmallRng, len: usize) -> Vec<u8> {
+    (0..len).map(|_| rng.gen_range(0u32..=255) as u8).collect()
+}
+
+fn framed(body: &[u8], declared: usize) -> Vec<u8> {
+    let mut out =
+        format!("POST /predict HTTP/1.1\r\ncontent-length: {declared}\r\n\r\n").into_bytes();
+    out.extend_from_slice(body);
+    out
+}
+
+/// Generates one payload of the given family.
+pub fn payload(family: &'static str, rng: &mut SmallRng) -> HostilePayload {
+    let mut needs_patience = false;
+    let bytes = match family {
+        "garbled-request-line" => {
+            // Junk that is printable enough to form a line but never a
+            // valid `method target version` triple.
+            let len = rng.gen_range(1usize..200);
+            let mut line = junk_bytes(rng, len);
+            for b in &mut line {
+                if *b == b'\r' || *b == b'\n' {
+                    *b = b'#';
+                }
+            }
+            // Spaces would let junk tokenize into three fields and reach
+            // the version check; pepper some in half the time anyway —
+            // both paths must 4xx.
+            if rng.gen_bool(0.5) {
+                for b in line.iter_mut().take(4) {
+                    *b = b' ';
+                }
+            }
+            line.extend_from_slice(b"\r\n\r\n");
+            line
+        }
+        "bad-version" => {
+            let version =
+                ["HTTP/9.9", "HTTP/2.0", "HTCPCP/1.0", "banana"][rng.gen_range(0usize..4)];
+            format!("GET /healthz {version}\r\n\r\n").into_bytes()
+        }
+        "oversized-request-line" => {
+            let target = "a".repeat(rng.gen_range(9_000usize..12_000));
+            format!("GET /{target} HTTP/1.1\r\n\r\n").into_bytes()
+        }
+        "oversized-header" => {
+            let value = "v".repeat(rng.gen_range(9_000usize..12_000));
+            format!("GET / HTTP/1.1\r\nx-junk: {value}\r\n\r\n").into_bytes()
+        }
+        "too-many-headers" => {
+            let mut req = b"GET / HTTP/1.1\r\n".to_vec();
+            for i in 0..rng.gen_range(65usize..200) {
+                req.extend_from_slice(format!("x-h{i}: {i}\r\n").as_bytes());
+            }
+            req.extend_from_slice(b"\r\n");
+            req
+        }
+        "duplicate-conflicting-length" => {
+            let a = rng.gen_range(1usize..100);
+            let b = a + rng.gen_range(1usize..100);
+            format!("POST /predict HTTP/1.1\r\ncontent-length: {a}\r\ncontent-length: {b}\r\n\r\n")
+                .into_bytes()
+        }
+        "junk-content-length" => {
+            let bad = ["-5", "abc", "1e3", "0x10", ""][rng.gen_range(0usize..5)];
+            format!("POST /predict HTTP/1.1\r\ncontent-length: {bad}\r\n\r\nxx").into_bytes()
+        }
+        "missing-length-post" => b"POST /predict HTTP/1.1\r\n\r\n".to_vec(),
+        "truncated-body" => {
+            // Declares more than it sends: only a read timeout can prove
+            // the rest is never coming.
+            needs_patience = true;
+            let sent = rng.gen_range(0usize..32);
+            let declared = sent + rng.gen_range(1usize..512);
+            let body = junk_bytes(rng, sent);
+            framed(&body, declared)
+        }
+        "oversized-body" => {
+            // Declared past max_body: rejected on the declaration alone,
+            // no body bytes needed.
+            framed(b"", 64 * 1024 * 1024)
+        }
+        "bad-utf8-body" => {
+            let len = rng.gen_range(1usize..64);
+            let mut body = junk_bytes(rng, len);
+            // Guarantee invalid UTF-8 regardless of the junk draw.
+            body.insert(0, 0xFF);
+            body.insert(1, 0xFE);
+            let declared = body.len();
+            framed(&body, declared)
+        }
+        "bad-json-body" => {
+            let body: &[u8] = [
+                &b"{\"records\": ["[..],
+                &b"not json at all"[..],
+                &b"{\"records\":}"[..],
+                &b"[1,2,"[..],
+            ][rng.gen_range(0usize..4)];
+            framed(body, body.len())
+        }
+        "wrong-shape-json" => {
+            let body: &[u8] = [
+                &b"{\"records\": 42}"[..],
+                &b"{\"wrong\": []}"[..],
+                &b"[]"[..],
+                &b"{\"records\": [42]}"[..],
+                &b"{\"records\": []}"[..],
+            ][rng.gen_range(0usize..5)];
+            framed(body, body.len())
+        }
+        "obsolete-fold" => b"GET / HTTP/1.1\r\nx-a: 1\r\n folded continuation\r\n\r\n".to_vec(),
+        "no-colon-header" => b"GET / HTTP/1.1\r\nthis-is-not-a-header\r\n\r\n".to_vec(),
+        "transfer-encoding" => {
+            b"POST /predict HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n0\r\n\r\n".to_vec()
+        }
+        other => unreachable!("unknown hostile family {other}"),
+    };
+    HostilePayload { bytes, family, needs_patience }
+}
+
+/// A deterministic corpus of `n` payloads cycling through every family
+/// (so even a small corpus covers all of them), with per-payload
+/// randomization drawn from `seed`.
+pub fn corpus(seed: u64, n: usize) -> Vec<HostilePayload> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n).map(|i| payload(HOSTILE_FAMILIES[i % HOSTILE_FAMILIES.len()], &mut rng)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_deterministic_and_covers_every_family() {
+        let a = corpus(42, 64);
+        let b = corpus(42, 64);
+        assert_eq!(a, b, "same seed must reproduce byte-identical payloads");
+        let c = corpus(43, 64);
+        assert_ne!(a, c, "different seeds should differ somewhere");
+        for family in HOSTILE_FAMILIES {
+            assert!(
+                a.iter().any(|p| p.family == *family),
+                "family {family} missing from a {}-payload corpus",
+                a.len()
+            );
+        }
+    }
+
+    #[test]
+    fn payloads_are_nonempty_and_patience_is_flagged_only_for_truncation() {
+        for p in corpus(7, 96) {
+            assert!(!p.bytes.is_empty(), "{} generated an empty payload", p.family);
+            assert_eq!(
+                p.needs_patience,
+                p.family == "truncated-body",
+                "{} patience flag",
+                p.family
+            );
+        }
+    }
+
+    #[test]
+    fn bad_utf8_bodies_actually_are() {
+        for p in corpus(11, 96).into_iter().filter(|p| p.family == "bad-utf8-body") {
+            let body_start = p
+                .bytes
+                .windows(4)
+                .position(|w| w == b"\r\n\r\n")
+                .map(|i| i + 4)
+                .expect("framed payload has a header/body split");
+            assert!(std::str::from_utf8(&p.bytes[body_start..]).is_err());
+        }
+    }
+}

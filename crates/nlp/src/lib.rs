@@ -3,8 +3,9 @@
 //! The synthetic production workload: a tokenizer, vocabularies, a
 //! knowledge base with deliberately ambiguous aliases, a template-based
 //! factoid query generator with gold labels for all four schema tasks, a
-//! weak-source simulator with controlled accuracy/coverage, and a
-//! pretraining corpus generator.
+//! weak-source simulator with controlled accuracy/coverage, a
+//! pretraining corpus generator, and a seeded hostile-wire generator
+//! ([`hostile_corpus`]) for fuzzing the socket tier.
 //!
 //! This crate substitutes for the paper's proprietary query logs: the
 //! evaluation only depends on task *shapes* (singleton / sequence / set),
@@ -14,6 +15,7 @@
 #![warn(missing_docs)]
 
 mod corpus;
+mod hostile;
 mod kb;
 mod queries;
 mod tokenizer;
@@ -22,6 +24,9 @@ mod vocab;
 mod workload;
 
 pub use corpus::pretraining_corpus;
+pub use hostile::{
+    corpus as hostile_corpus, payload as hostile_payload, HostilePayload, HOSTILE_FAMILIES,
+};
 pub use kb::{Entity, KnowledgeBase, ENTITY_TYPES};
 pub use queries::{
     required_types, template_catalog, Candidate, GeneratedQuery, QueryGenerator, INTENTS, POS_TAGS,

@@ -13,7 +13,9 @@ use crate::window::{WindowRecord, WindowedStats};
 use overton_serving::{ServeSample, TrafficBaseline, WorkerPool};
 use overton_store::StoreError;
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver};
+use std::time::Duration;
 
 /// Configuration of a deployment's continuous monitoring.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -214,6 +216,20 @@ impl Monitor {
         drained.len()
     }
 
+    /// Runs the monitoring loop on the calling thread: pump, sleep
+    /// `interval`, repeat until `stop` is set, then drain once more so no
+    /// sample queued before the stop is lost. Returns the total absorbed.
+    /// This is the loop `overton serve` runs on its dedicated monitoring
+    /// thread alongside the socket tier.
+    pub fn pump_loop(&mut self, stop: &AtomicBool, interval: Duration) -> usize {
+        let mut total = 0;
+        while !stop.load(Ordering::SeqCst) {
+            total += self.pump();
+            std::thread::sleep(interval);
+        }
+        total + self.pump()
+    }
+
     /// Absorbs one sample directly (the channel-free path).
     pub fn ingest(&mut self, sample: &ServeSample) {
         if let Some(closed) = self.stats.ingest(sample) {
@@ -298,5 +314,36 @@ mod tests {
         assert_eq!(monitor.active_alerts().len(), 1);
         assert_eq!(monitor.active_alerts()[0].windows_active, 2);
         assert_eq!(monitor.pump(), 0, "no channel attached");
+    }
+
+    #[test]
+    fn pump_loop_drains_until_stopped_and_takes_a_final_pass() {
+        use std::sync::mpsc::sync_channel;
+        use std::sync::Arc;
+
+        let mut monitor =
+            Monitor::new(vec![], None, ObsConfig { window_len: 4, ..Default::default() });
+        let (tx, rx) = sync_channel(64);
+        monitor.rx = Some(rx);
+        let stop = Arc::new(AtomicBool::new(false));
+        for _ in 0..6 {
+            tx.send(sample(0.9, 0)).unwrap();
+        }
+        let stopper = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                // Samples that land right before the stop must still be
+                // absorbed by the loop's final pass.
+                for _ in 0..3 {
+                    tx.send(sample(0.8, 0)).unwrap();
+                }
+                stop.store(true, Ordering::SeqCst);
+            })
+        };
+        let total = monitor.pump_loop(&stop, Duration::from_millis(1));
+        stopper.join().unwrap();
+        assert_eq!(total, 9);
+        assert_eq!(monitor.stats().closed(), 2);
+        assert_eq!(monitor.stats().open_count(), 1);
     }
 }

@@ -19,9 +19,13 @@
 //!   promoted (hot-swap behind the stable serving signature) or
 //!   auto-rolled-back on any per-group regression.
 //! - **Live telemetry** ([`Telemetry`]): QPS, latency quantiles
-//!   (p50/p95/p99), per-slice traffic shares and confidence drift against
-//!   a training-time [`TrafficBaseline`] — the pre-gold-label monitoring
-//!   signals of §1.
+//!   (p50/p95/p99), shed counts, per-slice traffic shares and confidence
+//!   drift against a training-time [`TrafficBaseline`] — the
+//!   pre-gold-label monitoring signals of §1.
+//! - **The socket tier** ([`net`]): `overton serve --listen` — a bounded
+//!   hand-rolled HTTP/1.1 front end feeding the same pool, with
+//!   load-shedding past a queue high-water mark, connection caps,
+//!   per-request deadlines, and graceful drain.
 //!
 //! Drive it with `overton-nlp`'s `TrafficStream` (Poisson arrivals over
 //! the synthetic query generator); see `tests/serving.rs` for the full loop
@@ -31,6 +35,7 @@
 
 mod cascade;
 mod deploy;
+pub mod net;
 mod pool;
 mod score;
 mod telemetry;

@@ -1,0 +1,260 @@
+//! A minimal blocking loopback client for the serving tier's wire
+//! format — the test battery's, CLI probe's, and bench's view of the
+//! socket, built on the same bounded line reader discipline as the
+//! server (a misbehaving *server* can't hang a test either).
+
+use super::http::HttpLimits;
+use super::wire;
+use overton_model::ServingResponse;
+use overton_store::Record;
+use std::io::{self, BufReader, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connect, read, write, timeout).
+    Io(io::Error),
+    /// The server's bytes did not parse as the expected HTTP/JSON shape.
+    Protocol(String),
+    /// A non-2xx, non-shed status.
+    Http {
+        /// The status code.
+        status: u16,
+        /// The (lossy-decoded) response body.
+        body: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ClientError::Http { status, body } => write!(f, "HTTP {status}: {body}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// One parsed response.
+#[derive(Debug)]
+pub struct ClientResponse {
+    /// Status code.
+    pub status: u16,
+    /// Headers, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// The first value of a header, by lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+}
+
+/// The outcome of one prediction call.
+#[derive(Debug)]
+pub enum PredictOutcome {
+    /// The batch was admitted; per-record results in submission order.
+    Answered(Vec<Result<ServingResponse, String>>),
+    /// The server shed the request (overload or drain); retry after the
+    /// hinted seconds.
+    Shed {
+        /// The server's `Retry-After` hint, when present and numeric.
+        retry_after_secs: Option<u64>,
+    },
+}
+
+/// A blocking keep-alive connection to a [`super::NetServer`].
+pub struct NetClient {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl NetClient {
+    /// Connects with 5-second transport timeouts.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        Self::connect_with_timeout(addr, Duration::from_secs(5))
+    }
+
+    /// Connects with the given read/write timeout.
+    pub fn connect_with_timeout(addr: impl ToSocketAddrs, timeout: Duration) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Self { writer: stream, reader })
+    }
+
+    /// Sends one request and reads the response.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&[u8]>,
+    ) -> Result<ClientResponse, ClientError> {
+        let mut out = Vec::with_capacity(body.map_or(0, <[u8]>::len) + 128);
+        write!(out, "{method} {path} HTTP/1.1\r\n")?;
+        out.extend_from_slice(b"host: overton\r\n");
+        if let Some(body) = body {
+            write!(out, "content-type: application/json\r\ncontent-length: {}\r\n", body.len())?;
+        }
+        out.extend_from_slice(b"\r\n");
+        if let Some(body) = body {
+            out.extend_from_slice(body);
+        }
+        self.writer.write_all(&out)?;
+        self.read_response()
+    }
+
+    /// `POST /predict` for a batch of records.
+    pub fn predict(&mut self, records: &[Record]) -> Result<PredictOutcome, ClientError> {
+        let body = wire::encode_predict_request(records);
+        let response = self.request("POST", "/predict", Some(body.as_bytes()))?;
+        match response.status {
+            200 => wire::decode_predict_response(&response.body)
+                .map(PredictOutcome::Answered)
+                .map_err(ClientError::Protocol),
+            503 => Ok(PredictOutcome::Shed {
+                retry_after_secs: response.header("retry-after").and_then(|v| v.parse().ok()),
+            }),
+            status => Err(ClientError::Http {
+                status,
+                body: String::from_utf8_lossy(&response.body).into_owned(),
+            }),
+        }
+    }
+
+    /// `GET /healthz`; `Ok(true)` when serving, `Ok(false)` when draining.
+    pub fn health(&mut self) -> Result<bool, ClientError> {
+        let response = self.request("GET", "/healthz", None)?;
+        match response.status {
+            200 => Ok(true),
+            503 => Ok(false),
+            status => Err(ClientError::Http {
+                status,
+                body: String::from_utf8_lossy(&response.body).into_owned(),
+            }),
+        }
+    }
+
+    /// `GET /telemetry`, parsed into the shared snapshot type.
+    pub fn telemetry(&mut self) -> Result<crate::TelemetrySnapshot, ClientError> {
+        let response = self.request("GET", "/telemetry", None)?;
+        if response.status != 200 {
+            return Err(ClientError::Http {
+                status: response.status,
+                body: String::from_utf8_lossy(&response.body).into_owned(),
+            });
+        }
+        let text = std::str::from_utf8(&response.body)
+            .map_err(|e| ClientError::Protocol(format!("telemetry body not UTF-8: {e}")))?;
+        serde_json::from_str(text).map_err(|e| ClientError::Protocol(e.to_string()))
+    }
+
+    fn read_line(&mut self) -> Result<String, ClientError> {
+        let limits = HttpLimits::default();
+        let mut line = Vec::new();
+        loop {
+            let mut byte = [0u8; 1];
+            match self.reader.read(&mut byte) {
+                Ok(0) => {
+                    return Err(ClientError::Protocol("server closed mid-response".into()));
+                }
+                Ok(_) => {
+                    if byte[0] == b'\n' {
+                        if line.last() == Some(&b'\r') {
+                            line.pop();
+                        }
+                        return String::from_utf8(line)
+                            .map_err(|e| ClientError::Protocol(format!("non-UTF-8 header: {e}")));
+                    }
+                    line.push(byte[0]);
+                    if line.len() > limits.max_header_line {
+                        return Err(ClientError::Protocol("response header too long".into()));
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(ClientError::Io(e)),
+            }
+        }
+    }
+
+    /// Reads one full response (status line, headers, `Content-Length`
+    /// body).
+    pub fn read_response(&mut self) -> Result<ClientResponse, ClientError> {
+        let status_line = self.read_line()?;
+        let mut parts = status_line.split(' ');
+        let (version, status) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+        if !version.starts_with("HTTP/1.") {
+            return Err(ClientError::Protocol(format!("bad status line: {status_line}")));
+        }
+        let status: u16 = status
+            .parse()
+            .map_err(|_| ClientError::Protocol(format!("bad status in: {status_line}")))?;
+        let mut headers = Vec::new();
+        let mut length: Option<usize> = None;
+        loop {
+            let line = self.read_line()?;
+            if line.is_empty() {
+                break;
+            }
+            if headers.len() >= HttpLimits::default().max_headers {
+                return Err(ClientError::Protocol("too many response headers".into()));
+            }
+            let Some((name, value)) = line.split_once(':') else {
+                return Err(ClientError::Protocol(format!("bad header: {line}")));
+            };
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim().to_string();
+            if name == "content-length" {
+                length = Some(
+                    value
+                        .parse()
+                        .map_err(|_| ClientError::Protocol(format!("bad length: {value}")))?,
+                );
+            }
+            headers.push((name, value));
+        }
+        let length = length
+            .ok_or_else(|| ClientError::Protocol("response without content-length".into()))?;
+        if length > HttpLimits::default().max_body {
+            return Err(ClientError::Protocol(format!("{length}-byte response too large")));
+        }
+        let mut body = vec![0u8; length];
+        self.reader.read_exact(&mut body)?;
+        Ok(ClientResponse { status, headers, body })
+    }
+
+    /// Sends raw bytes down the connection (the hostile-input battery)
+    /// and reads back whatever response the server gives.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> Result<ClientResponse, ClientError> {
+        self.writer.write_all(bytes)?;
+        self.read_response()
+    }
+
+    /// Consumes whatever remains on the connection until the server
+    /// closes it; `true` if close was observed within the read timeout.
+    pub fn server_closed(mut self) -> bool {
+        let mut sink = Vec::new();
+        self.reader.read_to_end(&mut sink).is_ok()
+    }
+
+    /// Whether buffered response bytes remain unread (protocol hygiene
+    /// checks in tests).
+    pub fn has_buffered(&self) -> bool {
+        !self.reader.buffer().is_empty()
+    }
+}

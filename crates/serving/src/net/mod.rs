@@ -1,0 +1,40 @@
+//! The networked serving tier: Overton on a socket.
+//!
+//! `overton serve --listen <addr>` puts the in-process
+//! [`WorkerPool`](crate::WorkerPool) behind a TCP front end speaking a
+//! hand-rolled, strictly bounded HTTP/1.1 subset (the vendor tree is
+//! offline — no tokio, no hyper, and none needed for this wire surface).
+//! Production hardening is built in rather than bolted on:
+//!
+//! - **Bounded parsing** ([`http`]): every read is capped in bytes and
+//!   wall time; malformed, oversized, truncated, or trickled requests
+//!   yield a 4xx and a closed connection, never a panic or a hung
+//!   handler.
+//! - **Admission control** ([`shed`]): past the pool-queue high-water
+//!   mark, `/predict` answers `503` + `Retry-After` immediately — the
+//!   tier sheds load instead of letting queue depth eat the p99.
+//! - **Connection caps + timeouts** ([`listener`]): a fixed handler
+//!   budget with `503`-at-the-door beyond it, per-read socket timeouts
+//!   and a per-request deadline (slowloris defense).
+//! - **Graceful drain** ([`NetServer::drain`] / [`DrainHandle`]): stop
+//!   accepting, finish every in-flight request, then return — wired to
+//!   SIGTERM in the CLI and reused around engine hot-swap.
+//! - **One wire codec** ([`wire`]) shared by the router and the loopback
+//!   [`NetClient`], so a wire round-trip reproduces the in-process
+//!   response bit for bit.
+//!
+//! Telemetry and the observability hook see socket traffic exactly as
+//! in-process traffic: both paths meet in the same pool, and shed
+//! decisions surface in [`TelemetrySnapshot::shed`](crate::TelemetrySnapshot).
+
+pub mod client;
+pub mod http;
+pub mod listener;
+mod router;
+pub mod shed;
+pub mod wire;
+
+pub use client::{ClientError, ClientResponse, NetClient, PredictOutcome};
+pub use http::{HttpError, HttpLimits, Request, Response};
+pub use listener::{bind, DrainHandle, NetConfig, NetError, NetServer};
+pub use shed::{Admission, ShedPolicy};

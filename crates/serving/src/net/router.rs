@@ -1,0 +1,95 @@
+//! Routing the HTTP subset onto the worker pool.
+//!
+//! Three routes:
+//!
+//! - `POST /predict` — decode a batched JSON prediction request, pass it
+//!   through admission control ([`ShedPolicy`] over the live pool queue
+//!   depth), feed the admitted batch to [`WorkerPool`], answer with the
+//!   per-record results in submission order.
+//! - `GET /healthz` — liveness + drain state.
+//! - `GET /telemetry` — the pool's [`TelemetrySnapshot`] as JSON, the
+//!   same serialization the CLI and obslog use.
+//!
+//! Everything else is `404`; wrong methods on known routes are `405`.
+
+use super::http::{Request, Response};
+use super::shed::{Admission, ShedPolicy};
+use super::wire;
+use crate::pool::WorkerPool;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Shared state the router needs per request.
+pub(crate) struct RouterCtx {
+    /// The pool answering admitted predictions.
+    pub pool: Arc<WorkerPool>,
+    /// Admission control over the pool queue.
+    pub shed: ShedPolicy,
+    /// Set during graceful drain: new predictions are refused.
+    pub draining: Arc<AtomicBool>,
+    /// Per-request record cap (oversize batches are `413`).
+    pub max_records: usize,
+}
+
+/// Answers one parsed request.
+pub(crate) fn route(ctx: &RouterCtx, req: &Request) -> Response {
+    match (req.method.as_str(), req.target.as_str()) {
+        ("POST", "/predict") => predict(ctx, req),
+        ("GET", "/predict") => {
+            Response::json(405, "{\"error\":\"use POST\"}").with_header("allow", "POST")
+        }
+        ("GET", "/healthz") => {
+            if ctx.draining.load(Ordering::SeqCst) {
+                Response::json(503, "{\"status\":\"draining\"}")
+            } else {
+                Response::json(200, "{\"status\":\"ok\"}")
+            }
+        }
+        ("GET", "/telemetry") => match serde_json::to_string(&ctx.pool.snapshot()) {
+            Ok(body) => Response::json(200, &body),
+            Err(e) => Response::json(500, &format!("{{\"error\":\"{e}\"}}")),
+        },
+        ("POST" | "GET" | "HEAD", _) => Response::json(404, "{\"error\":\"no such route\"}"),
+        _ => Response::json(405, "{\"error\":\"unsupported method\"}")
+            .with_header("allow", "GET, POST"),
+    }
+}
+
+fn predict(ctx: &RouterCtx, req: &Request) -> Response {
+    // Drain refuses new work outright — in-flight requests (already in
+    // the pool queue) finish, but this one never starts.
+    if ctx.draining.load(Ordering::SeqCst) {
+        return Response::json(503, "{\"error\":\"draining\"}").with_header("retry-after", "1");
+    }
+    // Admission control *before* the (possibly large) body is decoded:
+    // shedding has to stay cheap precisely when the tier is busiest.
+    if let Admission::Shed { retry_after_secs } = ctx.shed.decide(ctx.pool.queue_depth()) {
+        ctx.pool.telemetry().record_shed();
+        return Response::json(503, "{\"error\":\"overloaded, retry later\"}")
+            .with_header("retry-after", &retry_after_secs.to_string());
+    }
+    let mut records = match wire::decode_predict_request(&req.body, ctx.max_records) {
+        Ok(records) => records,
+        Err(msg) => {
+            let status = if msg.contains("batch cap") { 413 } else { 400 };
+            return Response::json(
+                status,
+                &serde_json::to_string(&serde::Value::Object(serde::Map::from([(
+                    "error".to_string(),
+                    serde::Value::String(msg),
+                )])))
+                .expect("error body serializes"),
+            );
+        }
+    };
+    // Canonicalize JSON-ambiguous label variants exactly as file ingest
+    // does, so a record means the same thing over the wire and in
+    // data.jsonl.
+    let schema = ctx.pool.engine().schema().clone();
+    for record in &mut records {
+        record.normalize_labels(&schema);
+    }
+    let replies = ctx.pool.process(records);
+    let results: Vec<_> = replies.into_iter().map(|r| r.result).collect();
+    Response::json(200, &wire::encode_predict_response(&results))
+}

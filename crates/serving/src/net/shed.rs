@@ -1,0 +1,75 @@
+//! Admission control for the socket tier: shed load instead of queueing
+//! without bound.
+//!
+//! The worker pool's queue is the only place latency can hide — workers
+//! drain in micro-batches, so once the queue is deeper than the pool can
+//! clear in an SLA, every additional accepted request only makes every
+//! response later. The policy here is the classic high-water mark: when
+//! the queue is at or past it, new `/predict` requests are answered
+//! immediately with `503` + `Retry-After` (cheap for us, actionable for a
+//! well-behaved client) rather than admitted. Shedding keeps p99 of the
+//! *accepted* requests bounded under overload — the serving tier degrades
+//! by answering fewer requests, not by answering all of them late.
+
+use std::time::Duration;
+
+/// The load-shedding policy for one listener.
+#[derive(Debug, Clone)]
+pub struct ShedPolicy {
+    /// Queue depth (jobs waiting in the worker pool) at or beyond which
+    /// new prediction requests are shed.
+    pub queue_high_water: usize,
+    /// The `Retry-After` hint attached to shed responses.
+    pub retry_after: Duration,
+}
+
+impl Default for ShedPolicy {
+    fn default() -> Self {
+        Self { queue_high_water: 256, retry_after: Duration::from_secs(1) }
+    }
+}
+
+/// One admission decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Admit the request into the pool queue.
+    Accept,
+    /// Shed it: answer `503` with this `Retry-After`, in whole seconds
+    /// (minimum 1 — a zero hint reads as "retry immediately", which is
+    /// exactly the stampede the shed exists to prevent).
+    Shed {
+        /// Whole-second retry hint.
+        retry_after_secs: u64,
+    },
+}
+
+impl ShedPolicy {
+    /// Decides admission for a request given the current queue depth.
+    pub fn decide(&self, queue_depth: usize) -> Admission {
+        if queue_depth >= self.queue_high_water {
+            Admission::Shed { retry_after_secs: self.retry_after.as_secs().max(1) }
+        } else {
+            Admission::Accept
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sheds_at_and_above_the_high_water_mark() {
+        let policy = ShedPolicy { queue_high_water: 4, retry_after: Duration::from_secs(3) };
+        assert_eq!(policy.decide(0), Admission::Accept);
+        assert_eq!(policy.decide(3), Admission::Accept);
+        assert_eq!(policy.decide(4), Admission::Shed { retry_after_secs: 3 });
+        assert_eq!(policy.decide(1000), Admission::Shed { retry_after_secs: 3 });
+    }
+
+    #[test]
+    fn retry_after_never_rounds_to_zero() {
+        let policy = ShedPolicy { queue_high_water: 0, retry_after: Duration::from_millis(100) };
+        assert_eq!(policy.decide(0), Admission::Shed { retry_after_secs: 1 });
+    }
+}

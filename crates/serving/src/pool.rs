@@ -83,6 +83,7 @@ struct Shared {
     queue: Mutex<VecDeque<Job>>,
     available: Condvar,
     shutdown: AtomicBool,
+    paused: AtomicBool,
     engine: RwLock<Arc<CascadeEngine>>,
     telemetry: Telemetry,
     next_seq: AtomicU64,
@@ -110,6 +111,7 @@ impl WorkerPool {
             queue: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            paused: AtomicBool::new(false),
             telemetry: Telemetry::new(engine.slice_names().to_vec(), baseline),
             engine: RwLock::new(engine),
             next_seq: AtomicU64::new(0),
@@ -159,6 +161,28 @@ impl WorkerPool {
     /// order.
     pub fn process(&self, records: Vec<Record>) -> Vec<ServeReply> {
         self.submit_burst(records).into_iter().map(Ticket::wait).collect()
+    }
+
+    /// Requests currently waiting in the queue (not yet drained into a
+    /// worker's batch) — the admission-control signal the socket tier's
+    /// shed policy reads.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.lock().expect("queue poisoned").len()
+    }
+
+    /// Pauses the workers: submissions still enqueue, but nothing is
+    /// drained until [`resume`](Self::resume). Deterministic backpressure
+    /// for overload and drain tests — fill the queue to a known depth,
+    /// assert shedding, then release. Shutdown overrides a pause, so a
+    /// paused pool still drains on drop.
+    pub fn pause(&self) {
+        self.shared.paused.store(true, Ordering::SeqCst);
+    }
+
+    /// Resumes draining after [`pause`](Self::pause).
+    pub fn resume(&self) {
+        self.shared.paused.store(false, Ordering::SeqCst);
+        self.shared.available.notify_all();
     }
 
     /// The currently-serving engine.
@@ -225,10 +249,13 @@ fn worker_loop(shared: &Shared, max_batch: usize) {
         let batch: Vec<Job> = {
             let mut queue = shared.queue.lock().expect("queue poisoned");
             loop {
-                if !queue.is_empty() {
+                // Shutdown overrides pause: a paused pool still drains its
+                // queue on the way down, so no ticket is ever dropped.
+                let shutdown = shared.shutdown.load(Ordering::SeqCst);
+                if !queue.is_empty() && (shutdown || !shared.paused.load(Ordering::SeqCst)) {
                     break;
                 }
-                if shared.shutdown.load(Ordering::SeqCst) {
+                if shutdown && queue.is_empty() {
                     return;
                 }
                 queue = shared.available.wait(queue).expect("queue poisoned");
@@ -334,6 +361,36 @@ mod tests {
         assert_eq!(replies.iter().filter(|r| r.result.is_err()).count(), 1);
         assert!(replies.last().unwrap().result.is_err());
         assert_eq!(pool.snapshot().errors, 1);
+    }
+
+    #[test]
+    fn pause_holds_the_queue_and_resume_releases_it() {
+        let (engine, mut records) = engine_and_records(75);
+        records.truncate(6);
+        let pool = WorkerPool::start(engine, ServingConfig { workers: 2, max_batch: 4 }, None);
+        pool.pause();
+        let tickets = pool.submit_burst(records);
+        // Paused workers drain nothing; the queue holds the whole burst.
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(pool.queue_depth(), tickets.len());
+        pool.resume();
+        let replies: Vec<ServeReply> = tickets.into_iter().map(Ticket::wait).collect();
+        assert!(replies.iter().all(|r| r.result.is_ok()));
+        assert_eq!(pool.queue_depth(), 0);
+    }
+
+    #[test]
+    fn shutdown_overrides_pause_and_still_drains() {
+        let (engine, mut records) = engine_and_records(76);
+        records.truncate(3);
+        let pool = WorkerPool::start(engine, ServingConfig { workers: 1, max_batch: 8 }, None);
+        pool.pause();
+        let tickets = pool.submit_burst(records);
+        pool.shutdown();
+        // Every queued request was still answered on the way down.
+        for ticket in tickets {
+            assert!(ticket.wait().result.is_ok());
+        }
     }
 
     #[test]

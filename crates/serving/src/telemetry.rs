@@ -290,6 +290,7 @@ pub struct Telemetry {
     started: Instant,
     served: AtomicU64,
     errors: AtomicU64,
+    shed: AtomicU64,
     latency: LatencyHistogram,
     slice_names: Vec<String>,
     slice_counts: Vec<AtomicU64>,
@@ -313,6 +314,7 @@ impl Telemetry {
             started: Instant::now(),
             served: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
             latency: LatencyHistogram::default(),
             slice_names,
             slice_counts,
@@ -363,6 +365,18 @@ impl Telemetry {
                 self.observer_dropped.fetch_add(1, Ordering::Relaxed);
             }
         }
+    }
+
+    /// Records one shed request — admission control turned it away
+    /// (queue past its high-water mark, connection cap, or drain) before
+    /// it ever reached a worker.
+    pub fn record_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Requests shed by admission control so far.
+    pub fn shed(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
     }
 
     /// Records one served request.
@@ -429,6 +443,7 @@ impl Telemetry {
         TelemetrySnapshot {
             served,
             errors: self.errors.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
             qps: served as f64 / elapsed,
             mean_latency: self.latency.mean(),
             p50: self.latency.quantile(0.50),
@@ -451,6 +466,11 @@ pub struct TelemetrySnapshot {
     pub served: u64,
     /// Requests that failed validation or decoding.
     pub errors: u64,
+    /// Requests shed by admission control (503 before reaching a worker).
+    /// Defaults to zero when absent, so snapshots serialized before the
+    /// socket tier existed still deserialize.
+    #[serde(default)]
+    pub shed: u64,
     /// Served requests per wall-clock second since the sink started.
     pub qps: f64,
     /// Mean request latency.
@@ -491,8 +511,8 @@ impl fmt::Display for TelemetrySnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "served {} ({} errors)  qps {:.1}  latency p50 {:?} p95 {:?} p99 {:?}",
-            self.served, self.errors, self.qps, self.p50, self.p95, self.p99
+            "served {} ({} errors, {} shed)  qps {:.1}  latency p50 {:?} p95 {:?} p99 {:?}",
+            self.served, self.errors, self.shed, self.qps, self.p50, self.p95, self.p99
         )?;
         write!(f, "confidence {:.3}", self.mean_confidence)?;
         if let Some(drift) = self.confidence_drift {
@@ -611,6 +631,24 @@ mod tests {
         snap.write_csv(&mut csv).unwrap();
         let text = String::from_utf8(csv).unwrap();
         assert!(text.contains("\"hard, tricky\""), "{text}");
+    }
+
+    #[test]
+    fn shed_counts_surface_in_snapshot_and_old_snapshots_still_parse() {
+        let t = Telemetry::new(vec![], None);
+        t.record_shed();
+        t.record_shed();
+        assert_eq!(t.shed(), 2);
+        let snap = t.snapshot();
+        assert_eq!(snap.shed, 2);
+        assert!(snap.to_string().contains("2 shed"));
+        // A snapshot serialized before the socket tier existed carries no
+        // `shed` field; it deserializes to zero rather than failing.
+        let json = serde_json::to_string(&snap).unwrap();
+        let legacy = json.replace("\"shed\":2,", "");
+        assert_ne!(legacy, json, "test must actually strip the field");
+        let back: TelemetrySnapshot = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(back.shed, 0);
     }
 
     #[test]

@@ -1,0 +1,135 @@
+//! The socket tier's parser battery: the bounded HTTP subset against
+//! arbitrary bytes (proptest) and the seeded hostile-wire corpus
+//! (`overton_nlp::hostile_corpus`). The contract under test: every
+//! malformed input yields a client-error response (or a clean quiet
+//! close), never a panic, an unbounded buffer, or a hang.
+
+use overton_nlp::{hostile_corpus, HOSTILE_FAMILIES};
+use overton_serving::net::http::{read_request, HttpLimits};
+use overton_serving::net::wire::decode_predict_request;
+use overton_serving::net::{HttpError, Request};
+use proptest::prelude::*;
+use std::io::BufReader;
+use std::time::{Duration, Instant};
+
+fn far() -> Instant {
+    Instant::now() + Duration::from_secs(5)
+}
+
+fn parse(bytes: &[u8]) -> Result<Request, HttpError> {
+    read_request(&mut BufReader::new(bytes), &HttpLimits::default(), far())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary bytes: the parser may accept or reject, but it must
+    /// return — no panic — and a rejection must map to a well-formed
+    /// client-error status or a quiet close (clean EOF).
+    #[test]
+    fn arbitrary_bytes_never_panic_the_parser(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        match parse(&bytes) {
+            Ok(req) => {
+                // Whatever parsed is internally consistent.
+                prop_assert!(!req.method.is_empty());
+                prop_assert!(!req.target.is_empty());
+                for (name, _) in &req.headers {
+                    prop_assert_eq!(name.to_ascii_lowercase(), name.clone());
+                }
+            }
+            Err(e) => {
+                if let Some(status) = e.status() {
+                    prop_assert!(
+                        (400..=505).contains(&status),
+                        "non-client-error status {} for {:?}", status, e
+                    );
+                    // Every answerable error produces a response that
+                    // closes the connection.
+                    let response = e.response().expect("status implies a response");
+                    prop_assert_eq!(response.status, status);
+                    prop_assert_eq!(response.header("connection"), Some("close"));
+                }
+            }
+        }
+    }
+
+    /// A structurally valid request round-trips through the parser with
+    /// method, target, headers, and body intact.
+    #[test]
+    fn valid_requests_roundtrip(
+        method_idx in 0usize..4,
+        target in "/[a-z0-9/_-]{0,40}",
+        headers in prop::collection::btree_map("x-[a-z]{1,10}", "[a-zA-Z0-9 _.-]{0,40}", 0..8),
+        body in prop::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let method = ["GET", "POST", "PUT", "DELETE"][method_idx];
+        let mut bytes = format!("{method} {target} HTTP/1.1\r\n").into_bytes();
+        for (name, value) in &headers {
+            bytes.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+        }
+        bytes.extend_from_slice(format!("content-length: {}\r\n\r\n", body.len()).as_bytes());
+        bytes.extend_from_slice(&body);
+        let req = parse(&bytes).expect("structurally valid request must parse");
+        prop_assert_eq!(&req.method, method);
+        prop_assert_eq!(&req.target, &target);
+        prop_assert_eq!(&req.body, &body);
+        for (name, value) in &headers {
+            // Names arrive lowercased, values trimmed.
+            prop_assert_eq!(req.header(name), Some(value.trim()));
+        }
+    }
+}
+
+/// The full hostile corpus through the parser (and, for the payloads
+/// whose framing is valid, through the wire decoder): every family is
+/// rejected with a client-visible error — the parser-level half of the
+/// fuzz battery (`net_serving.rs` repeats it over a real socket).
+#[test]
+fn every_hostile_family_is_rejected_without_panicking() {
+    for payload in hostile_corpus(0xC1D7, 96) {
+        match parse(&payload.bytes) {
+            Err(e) => {
+                let status = e.status().unwrap_or_else(|| {
+                    panic!(
+                        "{}: parser error {e:?} has no status (quiet close is for \
+                            EOF/timeouts, not malformed bytes)",
+                        payload.family
+                    )
+                });
+                let expected: std::ops::RangeInclusive<u16> = match payload.family {
+                    // A real-looking but unsupported version token is the
+                    // one 5xx in the battery (505); junk versions are 400.
+                    "bad-version" => 400..=505,
+                    _ => 400..=499,
+                };
+                assert!(
+                    expected.contains(&status),
+                    "{}: expected {expected:?}, got {status} ({e:?})",
+                    payload.family
+                );
+            }
+            Ok(req) => {
+                // Only body-level families survive the parser; the wire
+                // decoder must then reject the body.
+                assert!(
+                    matches!(
+                        payload.family,
+                        "bad-utf8-body" | "bad-json-body" | "wrong-shape-json"
+                    ),
+                    "{}: parser unexpectedly accepted {:?}",
+                    payload.family,
+                    String::from_utf8_lossy(&payload.bytes)
+                );
+                decode_predict_request(&req.body, 4096)
+                    .expect_err("hostile body must not decode into records");
+            }
+        }
+    }
+    // The corpus actually exercised every family (guards against the
+    // corpus and this test drifting apart).
+    let seen: std::collections::BTreeSet<&str> =
+        hostile_corpus(0xC1D7, 96).iter().map(|p| p.family).collect();
+    for family in HOSTILE_FAMILIES {
+        assert!(seen.contains(family), "family {family} not covered");
+    }
+}
