@@ -126,7 +126,8 @@ fn bench_socket(c: &mut Criterion) {
 
     drop(client);
     net.drain();
-    socket_overload_sheds_but_does_not_collapse(records);
+    socket_overload_sheds_but_does_not_collapse(records.clone());
+    socket_tracing_overhead_is_bounded(records);
 }
 
 /// Not a timing benchmark — a load assertion that runs with the bench
@@ -207,6 +208,77 @@ fn socket_overload_sheds_but_does_not_collapse(records: Vec<Record>) {
     assert!(
         p99 < p99_bound,
         "accepted-request p99 {p99:?} breached {p99_bound:?}: the tier is collapsing, not shedding"
+    );
+}
+
+/// Tracing-overhead assertion (also not a timing benchmark): the same
+/// traffic through a trace-off server and a trace-on server where every
+/// request carries an `x-overton-trace` header — the most expensive
+/// tracing path: always admitted, inserted into the recent ring, folded
+/// into the stage histograms and the slowest-K set. Rounds interleave so
+/// machine-load drift hits both sides equally; total wall time with
+/// tracing must stay within 1.10x of tracing off.
+fn socket_tracing_overhead_is_bounded(records: Vec<Record>) {
+    const ROUNDS: usize = 8;
+    const MAX_RATIO: f64 = 1.10;
+
+    let start_server = |trace: Option<overton_serving::TraceConfig>| {
+        let (server, _) = setup();
+        let engine = Arc::new(CascadeEngine::single(server));
+        let pool = Arc::new(WorkerPool::start(
+            Arc::clone(&engine),
+            ServingConfig { workers: 4, max_batch: BATCH },
+            None,
+        ));
+        let net = NetServer::start(
+            TcpListener::bind("127.0.0.1:0").expect("bind loopback"),
+            Arc::clone(&pool),
+            NetConfig { trace, ..NetConfig::default() },
+        )
+        .expect("start net server");
+        let client = NetClient::connect(net.local_addr()).expect("connect loopback");
+        (net, client)
+    };
+    let (plain_net, mut plain) = start_server(None);
+    let (traced_net, mut traced) = start_server(Some(overton_serving::TraceConfig::default()));
+
+    let pass = |client: &mut NetClient, trace_id: Option<&str>| -> Duration {
+        let begin = Instant::now();
+        for chunk in records.chunks(BATCH) {
+            match client.predict_traced(chunk, trace_id).expect("tracing-overhead predict") {
+                (PredictOutcome::Answered(results), _) => {
+                    for result in results {
+                        black_box(result.expect("valid"));
+                    }
+                }
+                (PredictOutcome::Shed { .. }, _) => panic!("idle server shed"),
+            }
+        }
+        begin.elapsed()
+    };
+
+    // Warm both paths (first-touch allocation, lazy TLS, page faults).
+    pass(&mut plain, None);
+    pass(&mut traced, Some("warmup"));
+
+    let mut plain_total = Duration::ZERO;
+    let mut traced_total = Duration::ZERO;
+    for round in 0..ROUNDS {
+        plain_total += pass(&mut plain, None);
+        let id = format!("bench-{round}");
+        traced_total += pass(&mut traced, Some(&id));
+    }
+    plain_net.drain();
+    traced_net.drain();
+
+    let ratio = traced_total.as_secs_f64() / plain_total.as_secs_f64().max(f64::MIN_POSITIVE);
+    println!(
+        "socket tracing overhead: off {plain_total:?}, on {traced_total:?}, ratio {ratio:.3} \
+         (bound {MAX_RATIO})"
+    );
+    assert!(
+        ratio <= MAX_RATIO,
+        "tracing added {ratio:.3}x (> {MAX_RATIO}x) to socket serving wall time"
     );
 }
 

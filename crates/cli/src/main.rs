@@ -43,6 +43,9 @@ COMMANDS:
     serve     serve a persisted run's test split through the worker pool
     monitor   replay the deployment's obslog: windowed history + alerts
     report    print a persisted run's stage telemetry + quality reports
+    trace     render spans: a run's trace.jsonl (trace <project-dir>), or
+              a live server's slowest requests (trace <addr>, e.g.
+              trace 127.0.0.1:7878)
 
 OPTIONS:
     --run <id>        operate on this run (default: the latest)
@@ -58,7 +61,10 @@ OPTIONS:
     --workers <n>     (serve) worker threads         [default: 4]
     --listen <addr>   (serve) serve over TCP on <addr> (e.g. 127.0.0.1:7878;
                       port 0 picks a free port) instead of replaying the
-                      test split; drain with SIGTERM/Ctrl-C
+                      test split; drain with SIGTERM/Ctrl-C. Also exposes
+                      GET /metrics (Prometheus text), /traces and
+                      /trace/<id>; requests may carry an x-overton-trace
+                      header to name their trace
     --probe           (serve --listen) one loopback round-trip through the
                       socket, then drain and exit (CI smoke)
     --high-water <n>  (serve --listen) shed /predict with 503 once the
@@ -71,6 +77,8 @@ OPTIONS:
                       mix + vague-query shift halfway in; implies --obs)
     --window <n>      (serve) requests per tumbling window [default: 250]
     --csv             (monitor) dump the windowed history as CSV
+    --id <trace-id>   (trace <addr>) fetch one trace by id instead of the
+                      slowest-request list
 ";
 
 fn main() -> ExitCode {
@@ -106,6 +114,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "serve" => serve(&dir, &flags),
         "monitor" => monitor(&dir, &flags),
         "report" => report(&dir, &flags),
+        "trace" => trace(&dir, &flags),
         other => Err(format!("unknown command '{other}'\n\n{USAGE}")),
     }
 }
@@ -130,6 +139,7 @@ struct Flags {
     drift: bool,
     window: Option<u64>,
     csv: bool,
+    id: Option<String>,
 }
 
 impl Flags {
@@ -169,6 +179,7 @@ impl Flags {
                 }
                 "--window" => flags.window = Some(parse_num(value("--window")?, "--window")?),
                 "--csv" => flags.csv = true,
+                "--id" => flags.id = Some(value("--id")?.to_string()),
                 other => return Err(format!("unknown option '{other}'\n\n{USAGE}")),
             }
         }
@@ -277,6 +288,20 @@ fn obslog_dir(dir: &Path) -> PathBuf {
         .map(|n| n.to_string_lossy().into_owned())
         .unwrap_or_else(|| "overton".into());
     dir.join("registry").join(name).join("obslog")
+}
+
+/// Prints a monitor's obslog write failures, if it recorded any. A
+/// failed append is a permanent gap in the durable history, so every
+/// path that owns a monitor surfaces it instead of swallowing it.
+fn report_log_failures(monitor: &Monitor) {
+    if monitor.log_errors() > 0 {
+        eprintln!(
+            "overton: warning: {} obslog write failure(s); the windowed history has gaps \
+             (last: {})",
+            monitor.log_errors(),
+            monitor.last_log_error().unwrap_or("unknown")
+        );
+    }
 }
 
 fn serve(dir: &Path, flags: &Flags) -> Result<(), String> {
@@ -400,6 +425,7 @@ fn serve(dir: &Path, flags: &Flags) -> Result<(), String> {
                 println!("  {alert}");
             }
         }
+        report_log_failures(m);
         println!("replay the history with: overton monitor {}", dir.display());
     }
     pool.shutdown();
@@ -443,7 +469,11 @@ fn serve_listen(
     let config = ServingConfig { workers: flags.workers.unwrap_or(4), ..ServingConfig::default() };
     let pool = Arc::new(WorkerPool::start(engine, config, baseline));
 
-    let mut monitor = if flags.obs {
+    // The monitor is shared between the pump loop (this thread) and the
+    // `/metrics` scrape hook (connection handlers), so it lives behind a
+    // mutex; handlers only take it for the duration of one exposition
+    // render, never on the predict path.
+    let monitor = if flags.obs {
         let obs_config = ObsConfig {
             window_len: flags.window.unwrap_or(250),
             rules: default_rules(pool.telemetry().slice_names()),
@@ -453,9 +483,14 @@ fn serve_listen(
         let monitor = Monitor::attach(&pool, obs_config, Some(&log_dir))
             .map_err(|e| format!("cannot attach monitor: {e}"))?;
         println!("observing: obslog at {}", log_dir.display());
-        Some(monitor)
+        Some(Arc::new(std::sync::Mutex::new(monitor)))
     } else {
         None
+    };
+    let pump = |m: &Arc<std::sync::Mutex<Monitor>>| {
+        if let Ok(mut m) = m.lock() {
+            m.pump();
+        }
     };
 
     let mut net_config = NetConfig::default();
@@ -464,6 +499,9 @@ fn serve_listen(
     }
     if let Some(max_conns) = flags.max_conns {
         net_config.max_connections = max_conns;
+    }
+    if let Some(m) = &monitor {
+        net_config.metrics_ext = Some(overton::obs::metrics_ext(Arc::clone(m)));
     }
     let net =
         NetServer::start(listener, Arc::clone(&pool), net_config).map_err(|e| e.to_string())?;
@@ -476,24 +514,27 @@ fn serve_listen(
         println!("serving; SIGTERM or Ctrl-C drains");
         while !SHUTDOWN.load(Ordering::SeqCst) {
             std::thread::sleep(Duration::from_millis(100));
-            if let Some(m) = monitor.as_mut() {
-                m.pump();
+            if let Some(m) = &monitor {
+                pump(m);
             }
         }
         println!("draining: refusing new connections, finishing in-flight requests");
     }
     net.drain();
-    if let Some(m) = monitor.as_mut() {
-        m.pump();
+    if let Some(m) = &monitor {
+        pump(m);
     }
     print!("{}", pool.snapshot());
-    if let Some(m) = monitor.as_ref() {
-        println!(
-            "windows: {} closed ({} in the open window; {} samples dropped)",
-            m.stats().closed(),
-            m.stats().open_count(),
-            pool.telemetry().observer_dropped()
-        );
+    if let Some(m) = &monitor {
+        if let Ok(m) = m.lock() {
+            println!(
+                "windows: {} closed ({} in the open window; {} samples dropped)",
+                m.stats().closed(),
+                m.stats().open_count(),
+                pool.telemetry().observer_dropped()
+            );
+            report_log_failures(&m);
+        }
     }
     println!("drained");
     // The net server and its handlers are gone; this is the last Arc, so
@@ -533,10 +574,50 @@ fn probe(dir: &Path, flags: &Flags, addr: std::net::SocketAddr) -> Result<(), St
                 return Err(format!("probe record failed: {err}"));
             }
             println!("probe round-trip ok ({n} records answered)");
-            Ok(())
         }
-        PredictOutcome::Shed { .. } => Err("probe was shed by an otherwise idle server".into()),
+        PredictOutcome::Shed { .. } => {
+            return Err("probe was shed by an otherwise idle server".into())
+        }
     }
+
+    // Traced round-trip: name the trace, assert the id echoes back, and
+    // fetch the retained spans — all eight request-path stages, starts in
+    // causal order.
+    let trace_id = "probe-trace";
+    let (outcome, echoed) =
+        client.predict_traced(&records[..1], Some(trace_id)).map_err(|e| e.to_string())?;
+    if !matches!(outcome, PredictOutcome::Answered(_)) {
+        return Err("traced probe was shed by an otherwise idle server".into());
+    }
+    if echoed.as_deref() != Some(trace_id) {
+        return Err(format!("probe sent trace id {trace_id:?}, response echoed {echoed:?}"));
+    }
+    let report =
+        client.trace(trace_id).map_err(|e| format!("probe: GET /trace/{trace_id}: {e}"))?;
+    let names: Vec<&str> = report.spans.iter().map(|s| s.name.as_str()).collect();
+    let expected: Vec<&str> = overton::serving::SpanName::ALL.iter().map(|s| s.name()).collect();
+    if names != expected {
+        return Err(format!("probe trace spans {names:?}, expected {expected:?}"));
+    }
+    let mut prev = 0;
+    for span in &report.spans {
+        if span.start_micros < prev {
+            return Err(format!("probe trace span starts not monotonic: {:?}", report.spans));
+        }
+        prev = span.start_micros;
+    }
+    println!("trace round-trip ok ({} spans)", report.spans.len());
+
+    // Scrape /metrics: the exposition must parse line-by-line and carry
+    // the shed counter (satellite of the CI smoke).
+    let text = client.metrics().map_err(|e| e.to_string())?;
+    overton::serving::validate_exposition(&text)
+        .map_err(|e| format!("probe: /metrics failed exposition grammar: {e}"))?;
+    if !text.contains("overton_requests_shed_total") {
+        return Err("probe: /metrics is missing overton_requests_shed_total".into());
+    }
+    println!("metrics scrape ok ({} lines)", text.lines().count());
+    Ok(())
 }
 
 fn monitor(dir: &Path, flags: &Flags) -> Result<(), String> {
@@ -551,6 +632,7 @@ fn monitor(dir: &Path, flags: &Flags) -> Result<(), String> {
         return Ok(());
     }
     println!("obslog: {}", log_dir.display());
+    report_log_failures(&monitor);
     let stats = monitor.stats();
     println!(
         "windows: {} closed, {} retained (window_len {}, {} evicted)",
@@ -608,6 +690,93 @@ fn monitor(dir: &Path, flags: &Flags) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// `overton trace`: render spans — a run directory's `trace.jsonl`
+/// (build-side stage spans) or a live server's retained request traces
+/// over the socket. Both sides emit the same `Span` schema, so one
+/// waterfall renderer covers both.
+fn trace(dir: &Path, flags: &Flags) -> Result<(), String> {
+    let target = dir.to_string_lossy();
+    match target.parse::<std::net::SocketAddr>() {
+        Ok(addr) => trace_net(addr, flags),
+        Err(_) => trace_run(dir, flags),
+    }
+}
+
+/// Dir mode: the stage spans `overton build` appended to the run's
+/// `trace.jsonl`.
+fn trace_run(dir: &Path, flags: &Flags) -> Result<(), String> {
+    let id = run_id(dir, flags)?;
+    let path = dir.join("runs").join(&id).join("trace.jsonl");
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {}: {e} (run `overton build` first)", path.display()))?;
+    let mut spans = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let span: overton::serving::Span = serde_json::from_str(line)
+            .map_err(|e| format!("{}: line {}: {e}", path.display(), i + 1))?;
+        spans.push(span);
+    }
+    println!("run {id}: {} stage span(s)", spans.len());
+    print_spans(&spans);
+    Ok(())
+}
+
+/// Socket mode: the server's slowest-request retention, or one trace by
+/// id with `--id`.
+fn trace_net(addr: std::net::SocketAddr, flags: &Flags) -> Result<(), String> {
+    let mut client = NetClient::connect(addr).map_err(|e| e.to_string())?;
+    if let Some(id) = &flags.id {
+        let report = client.trace(id).map_err(|e| e.to_string())?;
+        println!(
+            "trace {}: outcome {}, {} record(s), {:.3} ms total",
+            report.id,
+            report.outcome,
+            report.records,
+            report.total_micros as f64 / 1000.0
+        );
+        print_spans(&report.spans);
+        return Ok(());
+    }
+    let slowest = client.traces().map_err(|e| e.to_string())?;
+    if slowest.is_empty() {
+        println!("no traces retained yet (server idle, tracing disabled, or sampled out)");
+        return Ok(());
+    }
+    println!("slowest {} trace(s) on {addr}:", slowest.len());
+    println!("{:>18}  {:>8}  {:>8}  {:>10}", "id", "outcome", "records", "total_ms");
+    for t in &slowest {
+        println!(
+            "{:>18}  {:>8}  {:>8}  {:>10.3}",
+            t.id,
+            t.outcome,
+            t.records,
+            t.total_micros as f64 / 1000.0
+        );
+    }
+    println!("render one with: overton trace {addr} --id <id>");
+    Ok(())
+}
+
+/// Spans as a fixed-width waterfall: name, wall time, and a bar placed
+/// at the span's offset within the trace.
+fn print_spans(spans: &[overton::serving::Span]) {
+    const WIDTH: u64 = 48;
+    let total = spans.iter().map(|s| s.end_micros).max().unwrap_or(0).max(1);
+    for span in spans {
+        let lead = (span.start_micros * WIDTH / total) as usize;
+        let fill = ((span.wall_micros() * WIDTH / total).max(1) as usize).min(WIDTH as usize);
+        println!(
+            "{:>16} {:>10.3} ms  {}{}",
+            span.name,
+            span.wall_micros() as f64 / 1000.0,
+            " ".repeat(lead),
+            "#".repeat(fill),
+        );
+    }
 }
 
 fn report(dir: &Path, flags: &Flags) -> Result<(), String> {

@@ -89,8 +89,11 @@ fn probe_round_trips_through_a_real_socket_and_drains() {
     );
     assert!(stdout.contains("listening on 127.0.0.1:"), "got: {stdout}");
     assert!(stdout.contains("probe round-trip ok"), "got: {stdout}");
+    assert!(stdout.contains("trace round-trip ok (8 spans)"), "got: {stdout}");
+    assert!(stdout.contains("metrics scrape ok"), "got: {stdout}");
     assert!(stdout.contains("drained"), "got: {stdout}");
-    // The post-drain telemetry covers the probe's served records.
-    assert!(stdout.contains("served 4 "), "got: {stdout}");
+    // The post-drain telemetry covers the probe's served requests: the
+    // 4-record batch plus the single-record traced round-trip.
+    assert!(stdout.contains("served 5 "), "got: {stdout}");
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -24,7 +24,12 @@
 //!   evaluation.json     per-task quality reports (Evaluate)
 //!   baseline.json       traffic baseline for drift detection (Evaluate)
 //!   report.json         the RunReport; doubles as the completion record
+//!   trace.jsonl         one Span JSON line per completed stage
 //! ```
+//!
+//! `trace.jsonl` uses the same [`Span`](overton_serving::Span) schema the
+//! socket tier records per request, with stage names instead of
+//! request-path names — `overton trace <dir>` renders either one.
 
 use crate::error::Error;
 use crate::pipeline::{OvertonBuild, OvertonOptions};
@@ -33,7 +38,7 @@ use overton_model::{
     evaluate_store, prepare_store, search, train_model, CompiledModel, DeployableModel, Evaluation,
     FeatureSpace, ModelConfig, PreparedData, Server, TrainReport, TrialResult,
 };
-use overton_serving::TrafficBaseline;
+use overton_serving::{Span, TrafficBaseline};
 use overton_store::{ShardedStore, StoreError};
 use overton_supervision::SourceDiagnostics;
 use serde::{Deserialize, Serialize};
@@ -209,6 +214,11 @@ pub struct Run {
     pub(crate) report: RunReport,
     /// The next stage to execute; `None` once the run is complete.
     pub(crate) cursor: Option<Stage>,
+    /// Origin instant the `trace.jsonl` span offsets are measured from.
+    /// Shifted back in [`note_stage`](Run::note_stage) when a stage
+    /// started before construction (ingest runs in `Project::start`), so
+    /// offsets are always non-negative.
+    trace_origin: Instant,
 }
 
 impl fmt::Debug for Run {
@@ -250,6 +260,7 @@ impl Run {
             baseline: None,
             report,
             cursor: Some(Stage::Combine),
+            trace_origin: Instant::now(),
         }
     }
 
@@ -392,11 +403,36 @@ impl Run {
     }
 
     pub(crate) fn note_stage(&mut self, stage: Stage, start: Instant, records: usize) {
+        let end = Instant::now();
         self.report.stages.push(StageReport {
             stage,
-            wall_ms: start.elapsed().as_millis() as u64,
+            wall_ms: end.duration_since(start).as_millis() as u64,
             records,
         });
+        // Ingest starts in `Project::start`, before this Run exists; fold
+        // its start into the origin so every span offset stays positive.
+        if start < self.trace_origin {
+            self.trace_origin = start;
+        }
+        self.append_trace_span(Span {
+            name: stage.name().to_string(),
+            start_micros: start.duration_since(self.trace_origin).as_micros() as u64,
+            end_micros: end.duration_since(self.trace_origin).as_micros() as u64,
+        });
+    }
+
+    /// Appends one stage span to `trace.jsonl` — the build-side twin of
+    /// the socket tier's request traces, same [`Span`] schema. Best
+    /// effort: a trace write failure never fails the stage.
+    fn append_trace_span(&self, span: Span) {
+        let Some(dir) = &self.dir else { return };
+        let Ok(line) = serde_json::to_string(&span) else { return };
+        let open =
+            std::fs::OpenOptions::new().create(true).append(true).open(dir.join("trace.jsonl"));
+        if let Ok(mut file) = open {
+            use std::io::Write;
+            let _ = writeln!(file, "{line}");
+        }
     }
 
     // ---- stage executors ------------------------------------------------
@@ -596,6 +632,10 @@ impl Run {
     /// stale downstream artifacts (e.g. a re-ingested store next to an
     /// old `artifact.model.json`).
     pub(crate) fn clear_stage_artifacts(dir: &Path, from: Stage) {
+        // Span offsets are relative to one execution's origin, so a
+        // resumed run always starts the trace fresh — whatever `from`,
+        // mixing spans from two executions would mix two origins.
+        std::fs::remove_file(dir.join("trace.jsonl")).ok();
         for stage in Stage::ALL.into_iter().filter(|&s| s >= from) {
             for file in Self::stage_files(stage) {
                 std::fs::remove_file(dir.join(file)).ok();

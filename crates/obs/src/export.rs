@@ -1,0 +1,170 @@
+//! Prometheus exposition for the monitoring layer.
+//!
+//! The serving crate renders pool/trace/connection metrics for `GET
+//! /metrics` ([`overton_serving::prom`]); this module renders the *obs*
+//! side — windowed state, obslog health, and the alert ledger — in the
+//! same text format, and packages it as the
+//! [`MetricsExt`](overton_serving::MetricsExt) hook the socket tier
+//! appends to its own exposition. The CLI wires the two together for
+//! `overton serve --listen --obs`, so one scrape covers the whole stack:
+//! request counters and histograms from serving, drift windows and
+//! alerts from monitoring.
+
+use crate::monitor::Monitor;
+use overton_serving::{MetricsExt, PromWriter};
+use std::sync::{Arc, Mutex};
+
+/// Renders a monitor's windowed state and alert ledger as Prometheus
+/// text exposition.
+pub fn monitor_metrics(monitor: &Monitor) -> String {
+    let mut w = PromWriter::new();
+    let stats = monitor.stats();
+    w.family("overton_obs_windows_closed_total", "counter", "Tumbling windows closed so far.");
+    w.count("overton_obs_windows_closed_total", &[], stats.closed());
+    w.family(
+        "overton_obs_windows_evicted_total",
+        "counter",
+        "Closed windows evicted from the in-memory ring.",
+    );
+    w.count("overton_obs_windows_evicted_total", &[], stats.evicted());
+    w.family("overton_obs_open_samples", "gauge", "Samples in the not-yet-closed window.");
+    w.count("overton_obs_open_samples", &[], stats.open_count());
+    w.family(
+        "overton_obs_log_failures_total",
+        "counter",
+        "Obslog window appends that failed (the log has gaps).",
+    );
+    w.count("overton_obs_log_failures_total", &[], monitor.log_errors());
+    w.family("overton_obs_alerts_total", "counter", "Alerts fired, by severity.");
+    for severity in ["info", "warning", "critical"] {
+        let n = monitor.alerts().iter().filter(|a| a.severity.to_string() == severity).count();
+        w.count("overton_obs_alerts_total", &[("severity", severity)], n as u64);
+    }
+    w.family("overton_obs_active_alerts", "gauge", "Alert rules currently in breach.");
+    w.count("overton_obs_active_alerts", &[], monitor.active_alerts().len() as u64);
+    if let Some(window) = stats.latest() {
+        w.family("overton_obs_window_index", "gauge", "Index of the latest closed window.");
+        w.count("overton_obs_window_index", &[], window.index);
+        w.family(
+            "overton_obs_window_error_rate",
+            "gauge",
+            "Error rate over the latest closed window.",
+        );
+        w.sample("overton_obs_window_error_rate", &[], window.overall.error_rate());
+        w.family(
+            "overton_obs_window_mean_confidence",
+            "gauge",
+            "Mean confidence over the latest closed window.",
+        );
+        w.sample("overton_obs_window_mean_confidence", &[], window.overall.mean_confidence());
+        if let Some(accuracy) = window.overall.gold_accuracy() {
+            w.family(
+                "overton_obs_window_gold_accuracy",
+                "gauge",
+                "Gold accuracy over the latest closed window's labeled traffic.",
+            );
+            w.sample("overton_obs_window_gold_accuracy", &[], accuracy);
+        }
+        w.family(
+            "overton_obs_window_latency_seconds",
+            "gauge",
+            "Latency quantiles over the latest closed window.",
+        );
+        for q in [0.5, 0.95, 0.99] {
+            let label = format!("{q}");
+            w.sample(
+                "overton_obs_window_latency_seconds",
+                &[("quantile", &label)],
+                window.latency_quantile(q).as_secs_f64(),
+            );
+        }
+        w.family(
+            "overton_obs_window_traffic_share",
+            "gauge",
+            "Per-slice traffic share over the latest closed window.",
+        );
+        for (i, name) in stats.slice_names().iter().enumerate() {
+            w.sample("overton_obs_window_traffic_share", &[("slice", name)], window.slice_share(i));
+        }
+        w.family(
+            "overton_obs_window_slice_mean_confidence",
+            "gauge",
+            "Per-slice mean confidence over the latest closed window.",
+        );
+        for (i, name) in stats.slice_names().iter().enumerate() {
+            if let Some(slice) = window.slices.get(i) {
+                w.sample(
+                    "overton_obs_window_slice_mean_confidence",
+                    &[("slice", name)],
+                    slice.mean_confidence(),
+                );
+            }
+        }
+    }
+    w.finish()
+}
+
+/// Packages a shared monitor as the socket tier's `/metrics` extension
+/// hook ([`overton_serving::net::NetConfig::metrics_ext`]): each scrape
+/// appends the monitor's exposition under its lock. The serving side
+/// never blocks on this — the hook runs on the connection handler
+/// answering the scrape, not on a worker.
+pub fn metrics_ext(monitor: Arc<Mutex<Monitor>>) -> MetricsExt {
+    Arc::new(move |out: &mut String| {
+        if let Ok(monitor) = monitor.lock() {
+            out.push_str(&monitor_metrics(&monitor));
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::ObsConfig;
+    use overton_serving::{confidence_bin, validate_exposition, ServeSample};
+
+    fn sample(confidence: f32, ok: bool) -> ServeSample {
+        ServeSample {
+            ok,
+            confidence_bin: confidence_bin(confidence),
+            confidence_millionths: (f64::from(confidence) * 1e6) as u64,
+            latency_micros: 120,
+            slice_mask: 1,
+            gold_accuracy_millionths: Some(900_000),
+        }
+    }
+
+    #[test]
+    fn monitor_exposition_is_valid_and_covers_windows() {
+        let config = ObsConfig { window_len: 4, history: 4, ..Default::default() };
+        let mut monitor = Monitor::new(vec!["hard".into()], None, config);
+        for _ in 0..4 {
+            monitor.ingest(&sample(0.8, true));
+        }
+        monitor.ingest(&sample(0.2, false));
+        let text = monitor_metrics(&monitor);
+        validate_exposition(&text).unwrap();
+        for needle in [
+            "overton_obs_windows_closed_total 1",
+            "overton_obs_open_samples 1",
+            "overton_obs_log_failures_total 0",
+            "overton_obs_window_traffic_share{slice=\"hard\"} 1",
+            "overton_obs_window_gold_accuracy 0.9",
+            "overton_obs_window_latency_seconds{quantile=\"0.99\"}",
+            "overton_obs_alerts_total{severity=\"critical\"}",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn metrics_ext_appends_under_the_shared_lock() {
+        let config = ObsConfig { window_len: 2, history: 2, ..Default::default() };
+        let monitor = Arc::new(Mutex::new(Monitor::new(vec![], None, config)));
+        let ext = metrics_ext(Arc::clone(&monitor));
+        let mut out = String::from("overton_requests_served_total 0\n");
+        ext(&mut out);
+        validate_exposition(&out).unwrap();
+        assert!(out.contains("overton_obs_windows_closed_total 0"), "{out}");
+    }
+}

@@ -26,6 +26,10 @@
 //!   become the same ranked [`SliceDiagnosis`](overton_monitor::SliceDiagnosis)
 //!   worklist the rest of the system uses, feeding
 //!   `Project::retrain_and_compare` — Figure 1 as running code.
+//! - **Scrape exposition** ([`monitor_metrics`], [`metrics_ext`]): the
+//!   windowed state, obslog health, and alert ledger rendered as
+//!   Prometheus text, appended to the socket tier's `GET /metrics` via
+//!   the [`MetricsExt`](overton_serving::MetricsExt) hook.
 //!
 //! The serving hot path pays one atomic load plus a bounded-channel
 //! `try_send` per request (`crates/bench`'s `obs_overhead` measures the
@@ -36,6 +40,7 @@
 
 mod alert;
 mod drift;
+mod export;
 mod monitor;
 mod obslog;
 mod watchdog;
@@ -43,6 +48,7 @@ mod window;
 
 pub use alert::{ActiveAlert, Alert, AlertEngine, AlertRule, Severity, Signal};
 pub use drift::{ks_statistic, psi_binary};
+pub use export::{metrics_ext, monitor_metrics};
 pub use monitor::{default_rules, Monitor, ObsConfig};
 pub use obslog::{ObsLog, ObsLogMeta};
 pub use watchdog::{Watchdog, WatchdogConfig, WATCHDOG_TASK};

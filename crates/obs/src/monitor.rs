@@ -201,6 +201,15 @@ impl Monitor {
         self.last_log_error.as_deref()
     }
 
+    /// Records obslog write failures detected after the fact —
+    /// [`ObsLog::replay`](crate::ObsLog::replay) calls this when
+    /// `windows.jsonl` skips window indexes, the durable footprint of an
+    /// append that failed at write time.
+    pub(crate) fn note_log_failure(&mut self, count: u64, message: String) {
+        self.log_errors += count;
+        self.last_log_error = Some(message);
+    }
+
     /// Drains every sample currently queued on the observer channel into
     /// the windowed state; returns how many were absorbed. Call this from
     /// the monitoring loop — never from a serving worker.

@@ -98,6 +98,11 @@ impl ObsLog {
     /// the returned monitor's windowed state, alert log and debounce
     /// state equal the live monitor's at the moment its last window
     /// closed.
+    ///
+    /// Skipped window indexes in `windows.jsonl` — the durable footprint
+    /// of appends that failed at write time — are surfaced on the
+    /// replayed monitor as [`Monitor::log_errors`], so a historical write
+    /// failure is visible in `overton monitor`, not silently absorbed.
     pub fn replay(dir: &Path) -> Result<Monitor, StoreError> {
         let (meta, windows) = Self::read(dir)?;
         let config = ObsConfig {
@@ -108,8 +113,27 @@ impl ObsLog {
             rules: meta.rules,
         };
         let mut monitor = Monitor::new(meta.slice_names, meta.baseline, config);
+        let mut expected: Option<u64> = None;
+        let mut missing = 0u64;
+        let mut last_gap = None;
         for window in windows {
+            if let Some(expected) = expected {
+                if window.index > expected {
+                    missing += window.index - expected;
+                    last_gap = Some((expected, window.index));
+                }
+            }
+            expected = Some(window.index + 1);
             monitor.ingest_closed(window);
+        }
+        if let Some((from, until)) = last_gap {
+            monitor.note_log_failure(
+                missing,
+                format!(
+                    "windows.jsonl skips {missing} window(s) (latest gap: window {from} missing \
+                     before window {until}) — appends failed when the log was written"
+                ),
+            );
         }
         Ok(monitor)
     }

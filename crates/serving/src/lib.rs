@@ -26,6 +26,11 @@
 //!   hand-rolled HTTP/1.1 front end feeding the same pool, with
 //!   load-shedding past a queue high-water mark, connection caps,
 //!   per-request deadlines, and graceful drain.
+//! - **Request tracing + scrape exposition** ([`trace`], [`prom`]): every
+//!   socket request carries a trace id (`x-overton-trace`, echoed) and an
+//!   eight-span timeline (accept → … → write) retained in a bounded store
+//!   with slowest-K retention; `GET /metrics` renders counters, gauges,
+//!   and per-stage/per-slice histograms as Prometheus text exposition.
 //!
 //! Drive it with `overton-nlp`'s `TrafficStream` (Poisson arrivals over
 //! the synthetic query generator); see `tests/serving.rs` for the full loop
@@ -37,14 +42,20 @@ mod cascade;
 mod deploy;
 pub mod net;
 mod pool;
+pub mod prom;
 mod score;
 mod telemetry;
+pub mod trace;
 
 pub use cascade::{CascadeCounters, CascadeEngine, Route};
 pub use deploy::{CanaryConfig, CanaryOutcome, DeployEvent, DeploymentManager};
 pub use pool::{ServeReply, ServingConfig, Ticket, WorkerPool};
+pub use prom::{validate_exposition, ConnGauges, MetricsExt, PromWriter};
 pub use score::score_response;
 pub use telemetry::{
     confidence_bin, latency_bucket, latency_bucket_upper, LatencyHistogram, ServeSample, Telemetry,
     TelemetrySnapshot, TrafficBaseline, CONFIDENCE_BINS, LATENCY_BUCKETS,
+};
+pub use trace::{
+    RequestTrace, Span, SpanName, TraceConfig, TraceOutcome, TraceReport, TraceStore, REQUEST_SPANS,
 };

@@ -105,9 +105,23 @@ impl NetClient {
         path: &str,
         body: Option<&[u8]>,
     ) -> Result<ClientResponse, ClientError> {
+        self.request_with(method, path, body, &[])
+    }
+
+    /// Sends one request with extra headers and reads the response.
+    pub fn request_with(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&[u8]>,
+        extra_headers: &[(&str, &str)],
+    ) -> Result<ClientResponse, ClientError> {
         let mut out = Vec::with_capacity(body.map_or(0, <[u8]>::len) + 128);
         write!(out, "{method} {path} HTTP/1.1\r\n")?;
         out.extend_from_slice(b"host: overton\r\n");
+        for (name, value) in extra_headers {
+            write!(out, "{name}: {value}\r\n")?;
+        }
         if let Some(body) = body {
             write!(out, "content-type: application/json\r\ncontent-length: {}\r\n", body.len())?;
         }
@@ -121,20 +135,38 @@ impl NetClient {
 
     /// `POST /predict` for a batch of records.
     pub fn predict(&mut self, records: &[Record]) -> Result<PredictOutcome, ClientError> {
+        Ok(self.predict_traced(records, None)?.0)
+    }
+
+    /// `POST /predict` carrying an `x-overton-trace` header when
+    /// `trace_id` is given. Returns the outcome plus the trace id the
+    /// server echoed back (`None` when the server has tracing off or the
+    /// request was refused before tracing).
+    pub fn predict_traced(
+        &mut self,
+        records: &[Record],
+        trace_id: Option<&str>,
+    ) -> Result<(PredictOutcome, Option<String>), ClientError> {
         let body = wire::encode_predict_request(records);
-        let response = self.request("POST", "/predict", Some(body.as_bytes()))?;
-        match response.status {
+        let headers: Vec<(&str, &str)> =
+            trace_id.map(|id| ("x-overton-trace", id)).into_iter().collect();
+        let response = self.request_with("POST", "/predict", Some(body.as_bytes()), &headers)?;
+        let echoed = response.header("x-overton-trace").map(str::to_string);
+        let outcome = match response.status {
             200 => wire::decode_predict_response(&response.body)
                 .map(PredictOutcome::Answered)
-                .map_err(ClientError::Protocol),
-            503 => Ok(PredictOutcome::Shed {
+                .map_err(ClientError::Protocol)?,
+            503 => PredictOutcome::Shed {
                 retry_after_secs: response.header("retry-after").and_then(|v| v.parse().ok()),
-            }),
-            status => Err(ClientError::Http {
-                status,
-                body: String::from_utf8_lossy(&response.body).into_owned(),
-            }),
-        }
+            },
+            status => {
+                return Err(ClientError::Http {
+                    status,
+                    body: String::from_utf8_lossy(&response.body).into_owned(),
+                })
+            }
+        };
+        Ok((outcome, echoed))
     }
 
     /// `GET /healthz`; `Ok(true)` when serving, `Ok(false)` when draining.
@@ -162,6 +194,45 @@ impl NetClient {
         let text = std::str::from_utf8(&response.body)
             .map_err(|e| ClientError::Protocol(format!("telemetry body not UTF-8: {e}")))?;
         serde_json::from_str(text).map_err(|e| ClientError::Protocol(e.to_string()))
+    }
+
+    fn expect_200(response: ClientResponse) -> Result<ClientResponse, ClientError> {
+        if response.status != 200 {
+            return Err(ClientError::Http {
+                status: response.status,
+                body: String::from_utf8_lossy(&response.body).into_owned(),
+            });
+        }
+        Ok(response)
+    }
+
+    /// `GET /metrics` — the raw Prometheus text exposition.
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        let response = Self::expect_200(self.request("GET", "/metrics", None)?)?;
+        String::from_utf8(response.body)
+            .map_err(|e| ClientError::Protocol(format!("metrics body not UTF-8: {e}")))
+    }
+
+    /// `GET /trace/<id>` — one retained trace.
+    pub fn trace(&mut self, id: &str) -> Result<crate::TraceReport, ClientError> {
+        let response = Self::expect_200(self.request("GET", &format!("/trace/{id}"), None)?)?;
+        let text = std::str::from_utf8(&response.body)
+            .map_err(|e| ClientError::Protocol(format!("trace body not UTF-8: {e}")))?;
+        serde_json::from_str(text).map_err(|e| ClientError::Protocol(e.to_string()))
+    }
+
+    /// `GET /traces` — the slowest retained traces, slowest first.
+    pub fn traces(&mut self) -> Result<Vec<crate::TraceReport>, ClientError> {
+        #[derive(serde::Deserialize)]
+        struct Slowest {
+            slowest: Vec<crate::TraceReport>,
+        }
+        let response = Self::expect_200(self.request("GET", "/traces", None)?)?;
+        let text = std::str::from_utf8(&response.body)
+            .map_err(|e| ClientError::Protocol(format!("traces body not UTF-8: {e}")))?;
+        serde_json::from_str::<Slowest>(text)
+            .map(|s| s.slowest)
+            .map_err(|e| ClientError::Protocol(e.to_string()))
     }
 
     fn read_line(&mut self) -> Result<String, ClientError> {

@@ -21,6 +21,8 @@ use super::http::{read_request, HttpLimits, Response};
 use super::router::{route, RouterCtx};
 use super::shed::ShedPolicy;
 use crate::pool::WorkerPool;
+use crate::prom::{ConnGauges, MetricsExt};
+use crate::trace::{SpanName, TraceConfig, TraceStore};
 use std::io::{self, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -29,7 +31,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Socket-tier configuration.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct NetConfig {
     /// Most simultaneously open connections; excess connections are
     /// answered `503` and closed without reading the request.
@@ -47,6 +49,12 @@ pub struct NetConfig {
     pub shed: ShedPolicy,
     /// Most records accepted in one prediction request.
     pub max_records: usize,
+    /// Request tracing; `None` disables the span layer entirely (no
+    /// `x-overton-trace` echo, `/trace/<id>` answers 404).
+    pub trace: Option<TraceConfig>,
+    /// Extra exposition text appended to `GET /metrics` (the CLI hooks
+    /// the obs layer's monitor metrics in here).
+    pub metrics_ext: Option<MetricsExt>,
 }
 
 impl Default for NetConfig {
@@ -59,7 +67,25 @@ impl Default for NetConfig {
             limits: HttpLimits::default(),
             shed: ShedPolicy::default(),
             max_records: 4096,
+            trace: Some(TraceConfig::default()),
+            metrics_ext: None,
         }
+    }
+}
+
+impl std::fmt::Debug for NetConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetConfig")
+            .field("max_connections", &self.max_connections)
+            .field("read_timeout", &self.read_timeout)
+            .field("write_timeout", &self.write_timeout)
+            .field("request_deadline", &self.request_deadline)
+            .field("limits", &self.limits)
+            .field("shed", &self.shed)
+            .field("max_records", &self.max_records)
+            .field("trace", &self.trace)
+            .field("metrics_ext", &self.metrics_ext.as_ref().map(|_| "<fn>"))
+            .finish()
     }
 }
 
@@ -112,14 +138,26 @@ pub fn bind(addr: &str) -> Result<TcpListener, NetError> {
     TcpListener::bind(&addrs[..]).map_err(wrap)
 }
 
-struct Shared {
-    pool: Arc<WorkerPool>,
-    config: NetConfig,
-    draining: Arc<AtomicBool>,
+pub(crate) struct Shared {
+    pub(crate) pool: Arc<WorkerPool>,
+    pub(crate) config: NetConfig,
+    pub(crate) draining: Arc<AtomicBool>,
+    pub(crate) traces: Option<Arc<TraceStore>>,
     active: Mutex<usize>,
     idle: Condvar,
     accepted: AtomicU64,
     refused: AtomicU64,
+}
+
+impl Shared {
+    /// Point-in-time connection gauges for `/metrics`.
+    pub(crate) fn conn_gauges(&self) -> ConnGauges {
+        ConnGauges {
+            active: *self.active.lock().expect("active gauge poisoned") as u64,
+            accepted: self.accepted.load(Ordering::Relaxed),
+            refused: self.refused.load(Ordering::Relaxed),
+        }
+    }
 }
 
 /// A handle for requesting graceful drain from elsewhere — another
@@ -158,10 +196,12 @@ impl NetServer {
     ) -> Result<Self, NetError> {
         let local_addr = listener.local_addr().map_err(NetError::Io)?;
         listener.set_nonblocking(true).map_err(NetError::Io)?;
+        let traces = config.trace.clone().map(|tc| Arc::new(TraceStore::new(tc)));
         let shared = Arc::new(Shared {
             pool,
             config,
             draining: Arc::new(AtomicBool::new(false)),
+            traces,
             active: Mutex::new(0),
             idle: Condvar::new(),
             accepted: AtomicU64::new(0),
@@ -209,6 +249,13 @@ impl NetServer {
     /// Connections refused at the door (over the connection cap).
     pub fn refused_connections(&self) -> u64 {
         self.shared.refused.load(Ordering::Relaxed)
+    }
+
+    /// The server's trace retention store, when tracing is enabled —
+    /// in-process access to the same traces `/trace/<id>` and `/traces`
+    /// serve over the wire.
+    pub fn trace_store(&self) -> Option<Arc<TraceStore>> {
+        self.shared.traces.clone()
     }
 
     /// Gracefully drains: stop accepting (new connections are refused by
@@ -309,24 +356,32 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
     let Ok(read_half) = stream.try_clone() else { return };
     let mut reader = BufReader::new(read_half);
     let mut writer = stream;
-    let ctx = RouterCtx {
-        pool: Arc::clone(&shared.pool),
-        shed: config.shed.clone(),
-        draining: Arc::clone(&shared.draining),
-        max_records: config.max_records,
-    };
+    let ctx = RouterCtx { shared: Arc::clone(shared) };
     loop {
-        let deadline = Instant::now() + config.request_deadline;
+        // The cycle start doubles as the trace origin: the accept span
+        // covers socket read (keep-alive idle wait included) + HTTP parse.
+        let received = Instant::now();
+        let deadline = received + config.request_deadline;
         match read_request(&mut reader, &config.limits, deadline) {
             Ok(req) => {
                 // Decide connection fate *before* handling: a drain that
                 // lands mid-request must still close afterwards.
                 let close = req.wants_close() || shared.draining.load(Ordering::SeqCst);
-                let mut response = route(&ctx, &req);
+                let (mut response, trace) = route(&ctx, &req, received);
                 if close {
                     response = response.with_header("connection", "close");
                 }
-                if write_response(&mut writer, &response).is_err() || close {
+                if let Some(t) = &trace {
+                    t.begin(SpanName::Write);
+                }
+                let wrote = write_response(&mut writer, &response);
+                if let Some(t) = &trace {
+                    t.end(SpanName::Write);
+                    if let Some(store) = &shared.traces {
+                        store.finish(t);
+                    }
+                }
+                if wrote.is_err() || close {
                     return;
                 }
                 // A request read after drain began was answered (likely

@@ -1,95 +1,226 @@
 //! Routing the HTTP subset onto the worker pool.
 //!
-//! Three routes:
+//! Routes:
 //!
 //! - `POST /predict` — decode a batched JSON prediction request, pass it
 //!   through admission control ([`ShedPolicy`] over the live pool queue
-//!   depth), feed the admitted batch to [`WorkerPool`], answer with the
-//!   per-record results in submission order.
+//!   depth), feed the admitted batch to the pool, answer with the
+//!   per-record results in submission order. When tracing is on, the
+//!   request gets a [`RequestTrace`] (id from `x-overton-trace` or
+//!   generated, echoed back in the same header) with spans stamped at
+//!   every stage boundary.
 //! - `GET /healthz` — liveness + drain state.
-//! - `GET /telemetry` — the pool's [`TelemetrySnapshot`] as JSON, the
+//! - `GET /telemetry` — the pool's `TelemetrySnapshot` as JSON, the
 //!   same serialization the CLI and obslog use.
+//! - `GET /metrics` — Prometheus text exposition ([`crate::prom`]).
+//! - `GET /trace/<id>` — one retained trace as JSON.
+//! - `GET /traces` — the slowest retained traces, slowest first.
 //!
 //! Everything else is `404`; wrong methods on known routes are `405`.
 
 use super::http::{Request, Response};
-use super::shed::{Admission, ShedPolicy};
+use super::listener::Shared;
+use super::shed::Admission;
 use super::wire;
-use crate::pool::WorkerPool;
-use std::sync::atomic::{AtomicBool, Ordering};
+use crate::trace::{RequestTrace, SpanName, TraceOutcome};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
+use std::time::Instant;
+
+/// The request header (and response echo header) carrying the trace id.
+pub(crate) const TRACE_HEADER: &str = "x-overton-trace";
 
 /// Shared state the router needs per request.
 pub(crate) struct RouterCtx {
-    /// The pool answering admitted predictions.
-    pub pool: Arc<WorkerPool>,
-    /// Admission control over the pool queue.
-    pub shed: ShedPolicy,
-    /// Set during graceful drain: new predictions are refused.
-    pub draining: Arc<AtomicBool>,
-    /// Per-request record cap (oversize batches are `413`).
-    pub max_records: usize,
+    /// The listener's shared state: pool, config, drain flag, trace
+    /// store, connection gauges.
+    pub shared: Arc<Shared>,
 }
 
-/// Answers one parsed request.
-pub(crate) fn route(ctx: &RouterCtx, req: &Request) -> Response {
+/// Answers one parsed request; `received` is the instant the connection
+/// began reading it (the trace origin). Returns the request's trace,
+/// when it got one, so the listener can stamp the write span and
+/// finalize.
+pub(crate) fn route(
+    ctx: &RouterCtx,
+    req: &Request,
+    received: Instant,
+) -> (Response, Option<Arc<RequestTrace>>) {
+    let shared = &ctx.shared;
     match (req.method.as_str(), req.target.as_str()) {
-        ("POST", "/predict") => predict(ctx, req),
+        ("POST", "/predict") => predict(ctx, req, received),
         ("GET", "/predict") => {
-            Response::json(405, "{\"error\":\"use POST\"}").with_header("allow", "POST")
+            (Response::json(405, "{\"error\":\"use POST\"}").with_header("allow", "POST"), None)
         }
         ("GET", "/healthz") => {
-            if ctx.draining.load(Ordering::SeqCst) {
+            let body = if shared.draining.load(Ordering::SeqCst) {
                 Response::json(503, "{\"status\":\"draining\"}")
             } else {
                 Response::json(200, "{\"status\":\"ok\"}")
-            }
+            };
+            (body, None)
         }
-        ("GET", "/telemetry") => match serde_json::to_string(&ctx.pool.snapshot()) {
-            Ok(body) => Response::json(200, &body),
-            Err(e) => Response::json(500, &format!("{{\"error\":\"{e}\"}}")),
-        },
-        ("POST" | "GET" | "HEAD", _) => Response::json(404, "{\"error\":\"no such route\"}"),
-        _ => Response::json(405, "{\"error\":\"unsupported method\"}")
-            .with_header("allow", "GET, POST"),
+        ("GET", "/telemetry") => {
+            let response = match serde_json::to_string(&shared.pool.snapshot()) {
+                Ok(body) => Response::json(200, &body),
+                Err(e) => Response::json(500, &format!("{{\"error\":\"{e}\"}}")),
+            };
+            (response, None)
+        }
+        ("GET", "/metrics") => (metrics(ctx), None),
+        ("GET", "/traces") => (slowest_traces(ctx), None),
+        (method, target) if target.starts_with("/trace/") => {
+            let response = if method == "GET" {
+                trace_by_id(ctx, &target["/trace/".len()..])
+            } else {
+                Response::json(405, "{\"error\":\"use GET\"}").with_header("allow", "GET")
+            };
+            (response, None)
+        }
+        ("POST" | "GET" | "HEAD", _) => {
+            (Response::json(404, "{\"error\":\"no such route\"}"), None)
+        }
+        _ => (
+            Response::json(405, "{\"error\":\"unsupported method\"}")
+                .with_header("allow", "GET, POST"),
+            None,
+        ),
     }
 }
 
-fn predict(ctx: &RouterCtx, req: &Request) -> Response {
+fn metrics(ctx: &RouterCtx) -> Response {
+    let shared = &ctx.shared;
+    let mut body = crate::prom::render_metrics(
+        shared.pool.telemetry(),
+        shared.traces.as_deref(),
+        Some(shared.conn_gauges()),
+    );
+    if let Some(ext) = &shared.config.metrics_ext {
+        ext(&mut body);
+    }
+    Response::text(200, &body)
+}
+
+fn trace_by_id(ctx: &RouterCtx, id: &str) -> Response {
+    let Some(store) = &ctx.shared.traces else {
+        return Response::json(404, "{\"error\":\"tracing is disabled\"}");
+    };
+    match store.get(id) {
+        Some(report) => match serde_json::to_string(&report) {
+            Ok(body) => Response::json(200, &body),
+            Err(e) => Response::json(500, &format!("{{\"error\":\"{e}\"}}")),
+        },
+        None => Response::json(404, "{\"error\":\"no such trace (evicted or never recorded)\"}"),
+    }
+}
+
+fn slowest_traces(ctx: &RouterCtx) -> Response {
+    let Some(store) = &ctx.shared.traces else {
+        return Response::json(404, "{\"error\":\"tracing is disabled\"}");
+    };
+    match serde_json::to_string(&store.slowest()) {
+        Ok(list) => Response::json(200, &format!("{{\"slowest\":{list}}}")),
+        Err(e) => Response::json(500, &format!("{{\"error\":\"{e}\"}}")),
+    }
+}
+
+fn error_body(msg: String) -> String {
+    serde_json::to_string(&serde::Value::Object(serde::Map::from([(
+        "error".to_string(),
+        serde::Value::String(msg),
+    )])))
+    .expect("error body serializes")
+}
+
+fn predict(
+    ctx: &RouterCtx,
+    req: &Request,
+    received: Instant,
+) -> (Response, Option<Arc<RequestTrace>>) {
+    let shared = &ctx.shared;
     // Drain refuses new work outright — in-flight requests (already in
     // the pool queue) finish, but this one never starts.
-    if ctx.draining.load(Ordering::SeqCst) {
-        return Response::json(503, "{\"error\":\"draining\"}").with_header("retry-after", "1");
+    if shared.draining.load(Ordering::SeqCst) {
+        let response =
+            Response::json(503, "{\"error\":\"draining\"}").with_header("retry-after", "1");
+        return (response, None);
     }
-    // Admission control *before* the (possibly large) body is decoded:
-    // shedding has to stay cheap precisely when the tier is busiest.
-    if let Admission::Shed { retry_after_secs } = ctx.shed.decide(ctx.pool.queue_depth()) {
-        ctx.pool.telemetry().record_shed();
-        return Response::json(503, "{\"error\":\"overloaded, retry later\"}")
+    // The cheap pre-decode shed path: under overload the tier answers
+    // 503 before spending anything on the (possibly large) body — these
+    // fast-path refusals are counted but not traced.
+    let shed_policy = &shared.config.shed;
+    if let Admission::Shed { retry_after_secs } = shed_policy.decide(shared.pool.queue_depth()) {
+        shared.pool.telemetry().record_shed();
+        let response = Response::json(503, "{\"error\":\"overloaded, retry later\"}")
             .with_header("retry-after", &retry_after_secs.to_string());
+        return (response, None);
     }
-    let mut records = match wire::decode_predict_request(&req.body, ctx.max_records) {
+    let trace = shared.traces.as_ref().and_then(|s| s.admit(req.header(TRACE_HEADER), received));
+    if let Some(t) = &trace {
+        t.begin_at(SpanName::Accept, received);
+        t.end(SpanName::Accept);
+        t.begin(SpanName::Parse);
+    }
+    let mut records = match wire::decode_predict_request(&req.body, shared.config.max_records) {
         Ok(records) => records,
         Err(msg) => {
+            if let Some(t) = &trace {
+                t.end(SpanName::Parse);
+                t.set_outcome(TraceOutcome::Error);
+            }
             let status = if msg.contains("batch cap") { 413 } else { 400 };
-            return Response::json(
-                status,
-                &serde_json::to_string(&serde::Value::Object(serde::Map::from([(
-                    "error".to_string(),
-                    serde::Value::String(msg),
-                )])))
-                .expect("error body serializes"),
-            );
+            return (echo_trace(Response::json(status, &error_body(msg)), &trace), trace);
         }
     };
     // Canonicalize JSON-ambiguous label variants exactly as file ingest
     // does, so a record means the same thing over the wire and in
     // data.jsonl.
-    let schema = ctx.pool.engine().schema().clone();
+    let schema = shared.pool.engine().schema().clone();
     for record in &mut records {
         record.normalize_labels(&schema);
     }
-    let replies = ctx.pool.process(records);
+    if let Some(t) = &trace {
+        t.set_records(records.len() as u64);
+        t.end(SpanName::Parse);
+        t.begin(SpanName::Admission);
+    }
+    // The authoritative admission decision: decode took real time, so
+    // re-check the queue before committing the batch — this closes the
+    // window between the cheap pre-decode check and the enqueue.
+    if let Admission::Shed { retry_after_secs } = shed_policy.decide(shared.pool.queue_depth()) {
+        shared.pool.telemetry().record_shed();
+        if let Some(t) = &trace {
+            t.end(SpanName::Admission);
+            t.set_outcome(TraceOutcome::Shed);
+        }
+        let response = Response::json(503, "{\"error\":\"overloaded, retry later\"}")
+            .with_header("retry-after", &retry_after_secs.to_string());
+        return (echo_trace(response, &trace), trace);
+    }
+    if let Some(t) = &trace {
+        t.end(SpanName::Admission);
+    }
+    let replies = shared.pool.process_traced(records, trace.clone());
+    if let Some(t) = &trace {
+        t.begin(SpanName::Encode);
+    }
     let results: Vec<_> = replies.into_iter().map(|r| r.result).collect();
-    Response::json(200, &wire::encode_predict_response(&results))
+    let body = wire::encode_predict_response(&results);
+    if let Some(t) = &trace {
+        t.set_outcome(if results.iter().any(Result::is_err) {
+            TraceOutcome::Error
+        } else {
+            TraceOutcome::Ok
+        });
+        t.end(SpanName::Encode);
+    }
+    (echo_trace(Response::json(200, &body), &trace), trace)
+}
+
+/// Echoes the trace id back to the client when the request was traced.
+fn echo_trace(response: Response, trace: &Option<Arc<RequestTrace>>) -> Response {
+    match trace {
+        Some(t) => response.with_header(TRACE_HEADER, t.id()),
+        None => response,
+    }
 }

@@ -12,6 +12,7 @@
 
 use crate::cascade::{CascadeEngine, Route};
 use crate::telemetry::{Telemetry, TelemetrySnapshot, TrafficBaseline};
+use crate::trace::{RequestTrace, SpanName};
 use overton_model::ServingResponse;
 use overton_store::{Record, StoreError};
 use std::collections::VecDeque;
@@ -77,6 +78,10 @@ struct Job {
     record: Record,
     enqueued: Instant,
     tx: mpsc::Sender<ServeReply>,
+    /// The request trace this job belongs to, when the request is being
+    /// traced. Workers only stamp its lock-free atomics — a traced batch
+    /// costs a few atomic stores, never a lock.
+    trace: Option<Arc<RequestTrace>>,
 }
 
 struct Shared {
@@ -143,13 +148,32 @@ impl WorkerPool {
     /// Enqueues a burst of records under one queue lock, so an arriving
     /// burst is visible to workers all at once and actually batches.
     pub fn submit_burst(&self, records: Vec<Record>) -> Vec<Ticket> {
+        self.submit_burst_traced(records, None)
+    }
+
+    /// [`submit_burst`](Self::submit_burst), stamping queue/batch/forward
+    /// span boundaries onto `trace` as the burst moves through the pool.
+    pub fn submit_burst_traced(
+        &self,
+        records: Vec<Record>,
+        trace: Option<Arc<RequestTrace>>,
+    ) -> Vec<Ticket> {
+        if let Some(t) = &trace {
+            t.begin(SpanName::QueueWait);
+        }
         let mut tickets = Vec::with_capacity(records.len());
         {
             let mut queue = self.shared.queue.lock().expect("queue poisoned");
             for record in records {
                 let seq = self.shared.next_seq.fetch_add(1, Ordering::Relaxed);
                 let (tx, rx) = mpsc::channel();
-                queue.push_back(Job { seq, record, enqueued: Instant::now(), tx });
+                queue.push_back(Job {
+                    seq,
+                    record,
+                    enqueued: Instant::now(),
+                    tx,
+                    trace: trace.clone(),
+                });
                 tickets.push(Ticket { seq, rx });
             }
         }
@@ -161,6 +185,15 @@ impl WorkerPool {
     /// order.
     pub fn process(&self, records: Vec<Record>) -> Vec<ServeReply> {
         self.submit_burst(records).into_iter().map(Ticket::wait).collect()
+    }
+
+    /// [`process`](Self::process) with span stamping onto `trace`.
+    pub fn process_traced(
+        &self,
+        records: Vec<Record>,
+        trace: Option<Arc<RequestTrace>>,
+    ) -> Vec<ServeReply> {
+        self.submit_burst_traced(records, trace).into_iter().map(Ticket::wait).collect()
     }
 
     /// Requests currently waiting in the queue (not yet drained into a
@@ -266,19 +299,45 @@ fn worker_loop(shared: &Shared, max_batch: usize) {
         // More work may remain for the other workers.
         shared.available.notify_all();
 
+        // Dequeue boundary: queue-wait ends, batch formation begins. One
+        // request's records can split across batches and workers; the
+        // fetch_min/fetch_max merge in RequestTrace folds every stamp
+        // into a single envelope per span.
+        let drained = Instant::now();
+        for job in &batch {
+            if let Some(t) = &job.trace {
+                t.end_at(SpanName::QueueWait, drained);
+                t.begin_at(SpanName::BatchWait, drained);
+            }
+        }
         let engine = Arc::clone(&shared.engine.read().expect("engine lock poisoned"));
         let batch_size = batch.len();
         struct Pending {
             seq: u64,
             enqueued: Instant,
             tx: mpsc::Sender<ServeReply>,
+            trace: Option<Arc<RequestTrace>>,
         }
         let (pending, records): (Vec<Pending>, Vec<Record>) = batch
             .into_iter()
-            .map(|j| (Pending { seq: j.seq, enqueued: j.enqueued, tx: j.tx }, j.record))
+            .map(|j| {
+                (Pending { seq: j.seq, enqueued: j.enqueued, tx: j.tx, trace: j.trace }, j.record)
+            })
             .unzip();
+        let forward_start = Instant::now();
+        for p in &pending {
+            if let Some(t) = &p.trace {
+                t.end_at(SpanName::BatchWait, forward_start);
+                t.begin_at(SpanName::EngineForward, forward_start);
+            }
+        }
         let results = engine.answer_batch(&records);
         let finished = Instant::now();
+        for p in &pending {
+            if let Some(t) = &p.trace {
+                t.end_at(SpanName::EngineForward, finished);
+            }
+        }
         let observed = shared.telemetry.observer_attached();
         for ((p, record), (result, route)) in pending.into_iter().zip(&records).zip(results) {
             let latency = finished.duration_since(p.enqueued);

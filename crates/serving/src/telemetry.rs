@@ -58,14 +58,21 @@ pub struct LatencyHistogram {
 
 impl Default for LatencyHistogram {
     fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram. `const` so fixed arrays of histograms (the
+    /// per-stage store in [`crate::trace::TraceStore`]) can be built
+    /// without `Default` machinery.
+    pub const fn new() -> Self {
         Self {
             counts: [const { AtomicU64::new(0) }; LATENCY_BUCKETS],
             sum_micros: AtomicU64::new(0),
         }
     }
-}
 
-impl LatencyHistogram {
     /// Records one observation.
     pub fn record(&self, latency: Duration) {
         let micros = latency.as_micros().min(u128::from(u64::MAX)) as u64;
@@ -76,6 +83,18 @@ impl LatencyHistogram {
     /// Total observations.
     pub fn count(&self) -> u64 {
         self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// A point-in-time copy of the per-bucket counts (index `i` counts
+    /// latencies up to [`latency_bucket_upper`]`(i)`) — the raw series
+    /// the `/metrics` exposition derives its cumulative buckets from.
+    pub fn bucket_counts(&self) -> [u64; LATENCY_BUCKETS] {
+        std::array::from_fn(|i| self.counts[i].load(Ordering::Relaxed))
+    }
+
+    /// Sum of all observations in microseconds (the histogram `_sum`).
+    pub fn sum_micros(&self) -> u64 {
+        self.sum_micros.load(Ordering::Relaxed)
     }
 
     /// Mean latency (zero when empty).
@@ -294,6 +313,13 @@ pub struct Telemetry {
     latency: LatencyHistogram,
     slice_names: Vec<String>,
     slice_counts: Vec<AtomicU64>,
+    /// Confidence histogram over served traffic ([`CONFIDENCE_BINS`]
+    /// fixed-width bins) — the live counterpart of
+    /// [`TrafficBaseline::confidence_hist`], exposed per scrape.
+    confidence_hist: Vec<AtomicU64>,
+    /// Per-slice confidence histograms (predicted membership), parallel
+    /// to `slice_counts`.
+    slice_confidence_hists: Vec<Vec<AtomicU64>>,
     /// Confidence accumulated in millionths, so the sum stays atomic.
     confidence_sum_millionths: AtomicU64,
     baseline: Option<TrafficBaseline>,
@@ -310,6 +336,8 @@ impl Telemetry {
     /// `baseline` enables drift reporting.
     pub fn new(slice_names: Vec<String>, baseline: Option<TrafficBaseline>) -> Self {
         let slice_counts = slice_names.iter().map(|_| AtomicU64::new(0)).collect();
+        let bins = || (0..CONFIDENCE_BINS).map(|_| AtomicU64::new(0)).collect::<Vec<_>>();
+        let slice_confidence_hists = slice_names.iter().map(|_| bins()).collect();
         Self {
             started: Instant::now(),
             served: AtomicU64::new(0),
@@ -318,6 +346,8 @@ impl Telemetry {
             latency: LatencyHistogram::default(),
             slice_names,
             slice_counts,
+            confidence_hist: bins(),
+            slice_confidence_hists,
             confidence_sum_millionths: AtomicU64::new(0),
             baseline,
             observer: OnceLock::new(),
@@ -385,14 +415,18 @@ impl Telemetry {
         match result {
             Ok(response) => {
                 self.served.fetch_add(1, Ordering::Relaxed);
-                self.confidence_sum_millionths.fetch_add(
-                    (f64::from(response.confidence.clamp(0.0, 1.0)) * 1e6) as u64,
-                    Ordering::Relaxed,
-                );
+                let confidence = response.confidence.clamp(0.0, 1.0);
+                self.confidence_sum_millionths
+                    .fetch_add((f64::from(confidence) * 1e6) as u64, Ordering::Relaxed);
+                let bin = confidence_bin(confidence);
+                self.confidence_hist[bin].fetch_add(1, Ordering::Relaxed);
                 for (i, (_, prob)) in response.slices.iter().enumerate() {
                     if *prob > 0.5 {
                         if let Some(c) = self.slice_counts.get(i) {
                             c.fetch_add(1, Ordering::Relaxed);
+                        }
+                        if let Some(h) = self.slice_confidence_hists.get(i) {
+                            h[bin].fetch_add(1, Ordering::Relaxed);
                         }
                     }
                 }
@@ -406,6 +440,26 @@ impl Telemetry {
     /// The underlying latency histogram.
     pub fn latency(&self) -> &LatencyHistogram {
         &self.latency
+    }
+
+    /// A point-in-time copy of the confidence histogram over served
+    /// traffic ([`CONFIDENCE_BINS`] fixed-width bins on `[0, 1]`).
+    pub fn confidence_counts(&self) -> Vec<u64> {
+        self.confidence_hist.iter().map(|c| c.load(Ordering::Relaxed)).collect()
+    }
+
+    /// A point-in-time copy of slice `i`'s confidence histogram
+    /// (predicted membership), when the slice exists.
+    pub fn slice_confidence_counts(&self, i: usize) -> Option<Vec<u64>> {
+        self.slice_confidence_hists
+            .get(i)
+            .map(|h| h.iter().map(|c| c.load(Ordering::Relaxed)).collect())
+    }
+
+    /// Per-slice served-request counts, parallel to
+    /// [`slice_names`](Self::slice_names).
+    pub fn slice_counts(&self) -> Vec<u64> {
+        self.slice_counts.iter().map(|c| c.load(Ordering::Relaxed)).collect()
     }
 
     /// A consistent-enough point-in-time view for dashboards and gates.
@@ -444,6 +498,7 @@ impl Telemetry {
             served,
             errors: self.errors.load(Ordering::Relaxed),
             shed: self.shed.load(Ordering::Relaxed),
+            observer_dropped: self.observer_dropped.load(Ordering::Relaxed),
             qps: served as f64 / elapsed,
             mean_latency: self.latency.mean(),
             p50: self.latency.quantile(0.50),
@@ -471,6 +526,11 @@ pub struct TelemetrySnapshot {
     /// socket tier existed still deserialize.
     #[serde(default)]
     pub shed: u64,
+    /// Observer samples dropped because the bounded channel was full (the
+    /// monitor fell behind; the serving path never waits). Defaults to
+    /// zero for snapshots serialized before the counter existed.
+    #[serde(default)]
+    pub observer_dropped: u64,
     /// Served requests per wall-clock second since the sink started.
     pub qps: f64,
     /// Mean request latency.
@@ -492,11 +552,18 @@ pub struct TelemetrySnapshot {
 }
 
 impl TelemetrySnapshot {
-    /// Writes the per-slice table as CSV
-    /// (`slice,share,drift`), using the workspace's one CSV-escaping
-    /// helper ([`overton_monitor::csv_escape`]) — slice names are
-    /// free-form and can contain commas or quotes.
+    /// Writes the snapshot as CSV: a `metric,value` counter section
+    /// (served/errors/shed/observer-dropped), a blank line, then the
+    /// per-slice table (`slice,share,drift`), using the workspace's one
+    /// CSV-escaping helper ([`overton_monitor::csv_escape`]) — slice
+    /// names are free-form and can contain commas or quotes.
     pub fn write_csv(&self, mut w: impl std::io::Write) -> std::io::Result<()> {
+        writeln!(w, "metric,value")?;
+        writeln!(w, "served,{}", self.served)?;
+        writeln!(w, "errors,{}", self.errors)?;
+        writeln!(w, "shed,{}", self.shed)?;
+        writeln!(w, "observer_dropped,{}", self.observer_dropped)?;
+        writeln!(w)?;
         writeln!(w, "slice,share,drift")?;
         for (i, (name, share)) in self.slice_shares.iter().enumerate() {
             let drift =
@@ -631,6 +698,11 @@ mod tests {
         snap.write_csv(&mut csv).unwrap();
         let text = String::from_utf8(csv).unwrap();
         assert!(text.contains("\"hard, tricky\""), "{text}");
+        // The counter section leads with the shed and observer-dropped
+        // counts the JSON snapshot carries.
+        assert!(text.starts_with("metric,value\nserved,1\n"), "{text}");
+        assert!(text.contains("shed,0\n"), "{text}");
+        assert!(text.contains("observer_dropped,0\n"), "{text}");
     }
 
     #[test]

@@ -1,0 +1,560 @@
+//! End-to-end request tracing: per-request span timelines recorded into a
+//! bounded store with slowest-trace retention.
+//!
+//! Every socket request can carry a trace id (from an `x-overton-trace`
+//! header, or generated) and a [`RequestTrace`] — eight monotonic spans
+//! covering the whole request path:
+//! accept → parse → admission → queue-wait → batch-wait → engine-forward
+//! → encode → write. Span boundaries are plain atomic stores of
+//! microsecond offsets from the request's arrival instant, merged with
+//! `fetch_min`/`fetch_max` so a request whose records split across
+//! micro-batches still yields one coherent timeline. The same discipline
+//! as [`crate::Telemetry::attach_observer`] applies: workers only ever
+//! touch lock-free atomics; the handler-side [`TraceStore`] mutex is
+//! never taken on the worker hot path, and a contended slowest-list
+//! update is dropped (and counted), never waited on.
+//!
+//! The serde types ([`Span`], [`TraceReport`]) double as the span schema
+//! the build pipeline writes to `runs/<id>/trace.jsonl`, so `overton
+//! trace` reads one format for both serve-side and build-side timelines.
+
+use crate::telemetry::LatencyHistogram;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Number of spans on the request path.
+pub const REQUEST_SPANS: usize = 8;
+
+/// The stages of the request path, in causal order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanName {
+    /// Socket read of the request (keep-alive idle wait + HTTP parse).
+    Accept,
+    /// JSON body decode and label normalization.
+    Parse,
+    /// Admission control (the authoritative post-parse shed decision).
+    Admission,
+    /// Enqueue until a worker drains the job into a batch.
+    QueueWait,
+    /// Batch formation: drain until the engine forward begins.
+    BatchWait,
+    /// The engine's batched forward pass.
+    EngineForward,
+    /// Response JSON encoding.
+    Encode,
+    /// Serializing and writing the response to the socket.
+    Write,
+}
+
+impl SpanName {
+    /// All spans, in causal order.
+    pub const ALL: [SpanName; REQUEST_SPANS] = [
+        SpanName::Accept,
+        SpanName::Parse,
+        SpanName::Admission,
+        SpanName::QueueWait,
+        SpanName::BatchWait,
+        SpanName::EngineForward,
+        SpanName::Encode,
+        SpanName::Write,
+    ];
+
+    /// The stable wire name of the span (used in `/metrics` labels and
+    /// `trace.jsonl`).
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanName::Accept => "accept",
+            SpanName::Parse => "parse",
+            SpanName::Admission => "admission",
+            SpanName::QueueWait => "queue-wait",
+            SpanName::BatchWait => "batch-wait",
+            SpanName::EngineForward => "engine-forward",
+            SpanName::Encode => "encode",
+            SpanName::Write => "write",
+        }
+    }
+
+    fn index(self) -> usize {
+        SpanName::ALL.iter().position(|&s| s == self).expect("span is in ALL")
+    }
+}
+
+/// One completed span: `[start, end]` as microsecond offsets from the
+/// trace origin. The serialization is the span schema shared by the
+/// serving tier (`/trace/<id>`) and the build pipeline
+/// (`runs/<id>/trace.jsonl`).
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Span {
+    /// Stage name (one of the [`SpanName`] wire names, or a pipeline
+    /// stage name on the build side).
+    pub name: String,
+    /// Start offset from the trace origin, in microseconds.
+    pub start_micros: u64,
+    /// End offset from the trace origin, in microseconds.
+    pub end_micros: u64,
+}
+
+impl Span {
+    /// The span's wall time in microseconds (zero if the clock skewed).
+    pub fn wall_micros(&self) -> u64 {
+        self.end_micros.saturating_sub(self.start_micros)
+    }
+}
+
+/// How a traced request ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceOutcome {
+    /// The request is still being handled.
+    InFlight,
+    /// Every record was answered.
+    Ok,
+    /// Decoding or validation failed (a 4xx, or per-record errors).
+    Error,
+    /// Admission control turned the request away after parse.
+    Shed,
+}
+
+impl TraceOutcome {
+    /// The stable wire name of the outcome.
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceOutcome::InFlight => "in-flight",
+            TraceOutcome::Ok => "ok",
+            TraceOutcome::Error => "error",
+            TraceOutcome::Shed => "shed",
+        }
+    }
+
+    fn from_u8(v: u8) -> Self {
+        match v {
+            1 => TraceOutcome::Ok,
+            2 => TraceOutcome::Error,
+            3 => TraceOutcome::Shed,
+            _ => TraceOutcome::InFlight,
+        }
+    }
+}
+
+/// One trace as JSON — the `/trace/<id>` response body and the shape the
+/// CLI renders.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct TraceReport {
+    /// The trace id (client-supplied or generated).
+    pub id: String,
+    /// How the request ended (a [`TraceOutcome`] wire name).
+    pub outcome: String,
+    /// Records in the request batch.
+    pub records: u64,
+    /// Offset of the latest recorded span end — the request's total wall
+    /// time in microseconds.
+    pub total_micros: u64,
+    /// Recorded spans, in causal order; spans a request never reached
+    /// (e.g. queue-wait on a shed request) are absent.
+    pub spans: Vec<Span>,
+}
+
+const UNSET_START: u64 = u64::MAX;
+
+/// The live, lock-free span record of one in-flight request.
+///
+/// Shared as `Arc` between the connection handler and every pool job the
+/// request fanned into; all stamping is atomic (`fetch_min` on starts,
+/// `fetch_max` on ends), so concurrent workers of one batch — or several
+/// batches of one request — merge into a single envelope per span.
+#[derive(Debug)]
+pub struct RequestTrace {
+    id: String,
+    started: Instant,
+    starts: [AtomicU64; REQUEST_SPANS],
+    ends: [AtomicU64; REQUEST_SPANS],
+    records: AtomicU64,
+    outcome: AtomicU8,
+}
+
+impl RequestTrace {
+    /// Starts a trace; `started` is the origin all span offsets are
+    /// measured from (the instant the connection began reading the
+    /// request).
+    pub fn start(id: String, started: Instant) -> Arc<Self> {
+        Arc::new(Self {
+            id,
+            started,
+            starts: [const { AtomicU64::new(UNSET_START) }; REQUEST_SPANS],
+            ends: [const { AtomicU64::new(0) }; REQUEST_SPANS],
+            records: AtomicU64::new(0),
+            outcome: AtomicU8::new(0),
+        })
+    }
+
+    /// The trace id.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    fn offset(&self, at: Instant) -> u64 {
+        at.saturating_duration_since(self.started).as_micros().min(u128::from(u64::MAX - 1)) as u64
+    }
+
+    /// Marks `span` as starting now.
+    pub fn begin(&self, span: SpanName) {
+        self.begin_at(span, Instant::now());
+    }
+
+    /// Marks `span` as starting at `at` (merged with `fetch_min` when
+    /// stamped from several workers).
+    pub fn begin_at(&self, span: SpanName, at: Instant) {
+        let off = self.offset(at);
+        self.starts[span.index()].fetch_min(off, Ordering::Relaxed);
+    }
+
+    /// Marks `span` as ending now.
+    pub fn end(&self, span: SpanName) {
+        self.end_at(span, Instant::now());
+    }
+
+    /// Marks `span` as ending at `at` (merged with `fetch_max`).
+    pub fn end_at(&self, span: SpanName, at: Instant) {
+        let off = self.offset(at);
+        self.ends[span.index()].fetch_max(off, Ordering::Relaxed);
+    }
+
+    /// Records the batch size of the request.
+    pub fn set_records(&self, n: u64) {
+        self.records.store(n, Ordering::Relaxed);
+    }
+
+    /// Records how the request ended.
+    pub fn set_outcome(&self, outcome: TraceOutcome) {
+        let v = match outcome {
+            TraceOutcome::InFlight => 0,
+            TraceOutcome::Ok => 1,
+            TraceOutcome::Error => 2,
+            TraceOutcome::Shed => 3,
+        };
+        self.outcome.store(v, Ordering::Relaxed);
+    }
+
+    /// The `[start, end]` offsets of a span, when both were stamped.
+    pub fn span_micros(&self, span: SpanName) -> Option<(u64, u64)> {
+        let i = span.index();
+        let start = self.starts[i].load(Ordering::Relaxed);
+        let end = self.ends[i].load(Ordering::Relaxed);
+        (start != UNSET_START && end >= start).then_some((start, end))
+    }
+
+    /// Offset of the latest recorded span end — total wall time so far.
+    pub fn total_micros(&self) -> u64 {
+        self.ends.iter().map(|e| e.load(Ordering::Relaxed)).max().unwrap_or(0)
+    }
+
+    /// A point-in-time serialized view of the trace.
+    pub fn report(&self) -> TraceReport {
+        let spans = SpanName::ALL
+            .iter()
+            .filter_map(|&s| {
+                self.span_micros(s).map(|(start_micros, end_micros)| Span {
+                    name: s.name().to_string(),
+                    start_micros,
+                    end_micros,
+                })
+            })
+            .collect();
+        TraceReport {
+            id: self.id.clone(),
+            outcome: TraceOutcome::from_u8(self.outcome.load(Ordering::Relaxed)).name().into(),
+            records: self.records.load(Ordering::Relaxed),
+            total_micros: self.total_micros(),
+            spans,
+        }
+    }
+}
+
+/// Tracing knobs for the socket tier.
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// Most recent traces retained for `/trace/<id>` lookup.
+    pub capacity: usize,
+    /// Slowest traces retained by total duration (top-K, survives ring
+    /// eviction).
+    pub slowest: usize,
+    /// Trace every Nth request without a client-supplied id (`1` traces
+    /// everything, `0` traces only requests that send `x-overton-trace`).
+    pub sample_every: u64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        Self { capacity: 256, slowest: 16, sample_every: 1 }
+    }
+}
+
+/// Whether a client-supplied trace id is acceptable: 1–64 characters of
+/// `[A-Za-z0-9._-]`. Anything else is ignored and a fresh id generated —
+/// header values flow into logs and metrics labels, so the alphabet is
+/// closed.
+pub fn valid_trace_id(id: &str) -> bool {
+    !id.is_empty()
+        && id.len() <= 64
+        && id.bytes().all(|b| b.is_ascii_alphanumeric() || matches!(b, b'-' | b'_' | b'.'))
+}
+
+struct StoreInner {
+    recent: VecDeque<Arc<RequestTrace>>,
+    slowest: Vec<Arc<RequestTrace>>,
+}
+
+/// A bounded trace retention store: a ring of recent traces for
+/// `/trace/<id>` lookup plus a top-K slowest list for `/traces` and
+/// `overton trace <addr>`.
+///
+/// Workers never touch this — only the connection handler inserts (at
+/// admission) and finalizes (after the response write). Per-stage
+/// duration histograms are lock-free atomics updated at finalization, so
+/// `/metrics` rendering never contends with request handling either.
+pub struct TraceStore {
+    config: TraceConfig,
+    seq: AtomicU64,
+    recorded: AtomicU64,
+    sampled_out: AtomicU64,
+    id_seed: u64,
+    stage_hist: [LatencyHistogram; REQUEST_SPANS],
+    open: AtomicUsize,
+    inner: Mutex<StoreInner>,
+}
+
+impl std::fmt::Debug for TraceStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceStore")
+            .field("config", &self.config)
+            .field("recorded", &self.recorded.load(Ordering::Relaxed))
+            .field("sampled_out", &self.sampled_out.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl TraceStore {
+    /// Creates an empty store.
+    pub fn new(config: TraceConfig) -> Self {
+        // A per-store seed keeps generated ids distinct across server
+        // restarts without any global state.
+        let id_seed = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x9e37_79b9_7f4a_7c15);
+        Self {
+            config,
+            seq: AtomicU64::new(0),
+            recorded: AtomicU64::new(0),
+            sampled_out: AtomicU64::new(0),
+            id_seed,
+            stage_hist: [const { LatencyHistogram::new() }; REQUEST_SPANS],
+            open: AtomicUsize::new(0),
+            inner: Mutex::new(StoreInner { recent: VecDeque::new(), slowest: Vec::new() }),
+        }
+    }
+
+    /// The store's configuration.
+    pub fn config(&self) -> &TraceConfig {
+        &self.config
+    }
+
+    /// Admits one request into tracing: a valid client-supplied id is
+    /// always traced (and echoed); without one, every
+    /// [`TraceConfig::sample_every`]-th request is. Returns `None` when
+    /// the request is sampled out.
+    pub fn admit(&self, header_id: Option<&str>, started: Instant) -> Option<Arc<RequestTrace>> {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let id = match header_id.filter(|id| valid_trace_id(id)) {
+            Some(id) => id.to_string(),
+            None => {
+                if self.config.sample_every == 0 || !seq.is_multiple_of(self.config.sample_every) {
+                    self.sampled_out.fetch_add(1, Ordering::Relaxed);
+                    return None;
+                }
+                self.generate_id(seq)
+            }
+        };
+        let trace = RequestTrace::start(id, started);
+        self.recorded.fetch_add(1, Ordering::Relaxed);
+        self.open.fetch_add(1, Ordering::Relaxed);
+        let mut inner = self.inner.lock().expect("trace store poisoned");
+        if inner.recent.len() >= self.config.capacity.max(1) {
+            inner.recent.pop_front();
+        }
+        inner.recent.push_back(Arc::clone(&trace));
+        Some(trace)
+    }
+
+    fn generate_id(&self, seq: u64) -> String {
+        // splitmix64 over (seed, seq): well-mixed, collision-free per
+        // store, and cheap — no RNG state to lock.
+        let mut z = self.id_seed.wrapping_add(seq.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        format!("{:016x}", z ^ (z >> 31))
+    }
+
+    /// Finalizes a trace after the response write: folds each completed
+    /// span into the per-stage duration histograms and offers the trace
+    /// to the slowest-K list.
+    pub fn finish(&self, trace: &Arc<RequestTrace>) {
+        self.open.fetch_sub(1, Ordering::Relaxed);
+        for span in SpanName::ALL {
+            if let Some((start, end)) = trace.span_micros(span) {
+                self.stage_hist[span.index()]
+                    .record(std::time::Duration::from_micros(end.saturating_sub(start)));
+            }
+        }
+        if self.config.slowest == 0 {
+            return;
+        }
+        let total = trace.total_micros();
+        // try_lock: a contended slowest-list update is dropped rather
+        // than waited on — retention is best-effort, latency is not.
+        let Ok(mut inner) = self.inner.try_lock() else { return };
+        let slowest = &mut inner.slowest;
+        if slowest.len() < self.config.slowest {
+            slowest.push(Arc::clone(trace));
+            slowest.sort_by_key(|t| std::cmp::Reverse(t.total_micros()));
+        } else if slowest.last().is_some_and(|t| t.total_micros() < total) {
+            slowest.pop();
+            slowest.push(Arc::clone(trace));
+            slowest.sort_by_key(|t| std::cmp::Reverse(t.total_micros()));
+        }
+    }
+
+    /// Looks a trace up by id (recent ring first, then the slowest list).
+    pub fn get(&self, id: &str) -> Option<TraceReport> {
+        let inner = self.inner.lock().expect("trace store poisoned");
+        inner
+            .recent
+            .iter()
+            .rev()
+            .chain(inner.slowest.iter())
+            .find(|t| t.id() == id)
+            .map(|t| t.report())
+    }
+
+    /// The slowest retained traces, slowest first.
+    pub fn slowest(&self) -> Vec<TraceReport> {
+        let inner = self.inner.lock().expect("trace store poisoned");
+        let mut reports: Vec<TraceReport> = inner.slowest.iter().map(|t| t.report()).collect();
+        reports.sort_by_key(|r| std::cmp::Reverse(r.total_micros));
+        reports
+    }
+
+    /// Traces recorded (admitted) so far.
+    pub fn recorded(&self) -> u64 {
+        self.recorded.load(Ordering::Relaxed)
+    }
+
+    /// Requests not traced because sampling skipped them.
+    pub fn sampled_out(&self) -> u64 {
+        self.sampled_out.load(Ordering::Relaxed)
+    }
+
+    /// Admitted traces not yet finalized.
+    pub fn open(&self) -> usize {
+        self.open.load(Ordering::Relaxed)
+    }
+
+    /// The duration histogram of one request-path stage.
+    pub fn stage_histogram(&self, span: SpanName) -> &LatencyHistogram {
+        &self.stage_hist[span.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn spans_merge_across_stampers_and_report_in_order() {
+        let origin = Instant::now();
+        let trace = RequestTrace::start("t1".into(), origin);
+        let at = |ms: u64| origin + Duration::from_millis(ms);
+        trace.begin_at(SpanName::Accept, at(0));
+        trace.end_at(SpanName::Accept, at(1));
+        trace.begin_at(SpanName::QueueWait, at(2));
+        // Two workers stamp the same span: min start, max end win.
+        trace.end_at(SpanName::QueueWait, at(5));
+        trace.end_at(SpanName::QueueWait, at(4));
+        trace.begin_at(SpanName::QueueWait, at(3));
+        trace.set_outcome(TraceOutcome::Ok);
+        trace.set_records(4);
+        let report = trace.report();
+        assert_eq!(report.outcome, "ok");
+        assert_eq!(report.records, 4);
+        assert_eq!(report.spans.len(), 2);
+        assert_eq!(report.spans[0].name, "accept");
+        let qw = &report.spans[1];
+        assert_eq!((qw.start_micros, qw.end_micros), (2_000, 5_000));
+        assert_eq!(report.total_micros, 5_000);
+        // A span that only began (no end) is not reported.
+        trace.begin_at(SpanName::BatchWait, at(6));
+        assert_eq!(trace.report().spans.len(), 2);
+    }
+
+    #[test]
+    fn store_retains_recent_and_slowest_and_samples() {
+        let store = TraceStore::new(TraceConfig { capacity: 4, slowest: 2, sample_every: 1 });
+        let origin = Instant::now();
+        for i in 0..8u64 {
+            let trace = store.admit(None, origin).expect("sample_every=1 traces all");
+            trace.begin_at(SpanName::Accept, origin);
+            trace.end_at(SpanName::Accept, origin + Duration::from_millis(i));
+            store.finish(&trace);
+        }
+        assert_eq!(store.recorded(), 8);
+        assert_eq!(store.open(), 0);
+        let slowest = store.slowest();
+        assert_eq!(slowest.len(), 2);
+        assert!(slowest[0].total_micros >= slowest[1].total_micros);
+        assert_eq!(slowest[0].total_micros, 7_000);
+        // The slowest trace outlives ring eviction (capacity 4 < 8).
+        assert!(store.get(&slowest[0].id).is_some());
+        assert_eq!(store.stage_histogram(SpanName::Accept).count(), 8);
+        assert_eq!(store.stage_histogram(SpanName::Parse).count(), 0);
+    }
+
+    #[test]
+    fn client_ids_validate_and_sampling_skips() {
+        assert!(valid_trace_id("req-1.a_B"));
+        assert!(!valid_trace_id(""));
+        assert!(!valid_trace_id("has space"));
+        assert!(!valid_trace_id(&"x".repeat(65)));
+        let store = TraceStore::new(TraceConfig { capacity: 8, slowest: 2, sample_every: 0 });
+        // sample_every = 0: only explicit ids are traced.
+        assert!(store.admit(None, Instant::now()).is_none());
+        assert_eq!(store.sampled_out(), 1);
+        let t = store.admit(Some("mine"), Instant::now()).expect("explicit id always traces");
+        assert_eq!(t.id(), "mine");
+        // An invalid header id falls back to sampling (here: off).
+        assert!(store.admit(Some("bad id!"), Instant::now()).is_none());
+    }
+
+    #[test]
+    fn generated_ids_are_distinct() {
+        let store = TraceStore::new(TraceConfig::default());
+        let a = store.admit(None, Instant::now()).unwrap();
+        let b = store.admit(None, Instant::now()).unwrap();
+        assert_ne!(a.id(), b.id());
+        assert_eq!(a.id().len(), 16);
+    }
+
+    #[test]
+    fn report_roundtrips_as_json() {
+        let trace = RequestTrace::start("rt".into(), Instant::now());
+        trace.begin(SpanName::Accept);
+        trace.end(SpanName::Accept);
+        trace.set_outcome(TraceOutcome::Error);
+        let report = trace.report();
+        let json = serde_json::to_string(&report).unwrap();
+        let back: TraceReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+        assert_eq!(back.outcome, "error");
+    }
+}

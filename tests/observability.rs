@@ -242,3 +242,70 @@ fn ece_degrades_monotonically_and_ks_fires_before_ece_crosses() {
         "at the KS alert, calibration damage was still below the line"
     );
 }
+
+/// Satellite: observation must never backpressure serving. A deliberately
+/// slow observer — a capacity-1 channel that is never drained — forces
+/// every post-first `try_send` to fail; the pool must drop those samples
+/// (counted in `observer_dropped`), answer every request correctly, and
+/// keep request latency in the same range an unobserved pool sees.
+#[test]
+fn slow_observer_drops_samples_without_inflating_latency() {
+    use overton::model::{CompiledModel, DeployableModel, FeatureSpace, ModelConfig, Server};
+    use overton::serving::{CascadeEngine, ServingConfig, WorkerPool};
+    use std::sync::Arc;
+
+    let ds = generate_workload(&WorkloadConfig {
+        n_train: 60,
+        n_dev: 15,
+        n_test: 100,
+        seed: 91,
+        ..Default::default()
+    });
+    let space = FeatureSpace::build(&ds);
+    let model = CompiledModel::compile(ds.schema(), &space, &ModelConfig::default(), None);
+    let artifact = DeployableModel::package(&model, &space, std::collections::BTreeMap::new());
+    let records: Vec<overton::store::Record> =
+        ds.test_indices().iter().map(|&i| ds.records()[i].clone()).collect();
+    let engine = Arc::new(CascadeEngine::single(Server::load(&artifact)));
+    let config = ServingConfig { workers: 2, max_batch: 8 };
+
+    // Reference: the same traffic through an unobserved pool.
+    let unobserved = WorkerPool::start(Arc::clone(&engine), config.clone(), None);
+    for chunk in records.chunks(10) {
+        for reply in unobserved.process(chunk.to_vec()) {
+            reply.result.expect("unobserved record must answer");
+        }
+    }
+    let baseline_p99 = unobserved.telemetry().latency().quantile(0.99);
+    unobserved.shutdown();
+
+    // The stalled observer: capacity 1, receiver alive but never drained.
+    let (tx, _rx) = std::sync::mpsc::sync_channel(1);
+    let observed = WorkerPool::start(engine, config, None);
+    observed.telemetry().attach_observer(tx).unwrap();
+    for chunk in records.chunks(10) {
+        for reply in observed.process(chunk.to_vec()) {
+            reply.result.expect("observed record must still answer");
+        }
+    }
+    let served = records.len() as u64;
+    assert_eq!(observed.telemetry().snapshot().served, served);
+    // One sample fit in the channel; every later one was dropped, not
+    // waited for.
+    assert_eq!(
+        observed.telemetry().observer_dropped(),
+        served - 1,
+        "a stalled observer must shed samples, not block workers"
+    );
+    // And dropping is cheap: p99 stays in the unobserved pool's range
+    // (generous 10x + 5ms bound — this guards against *blocking*, where a
+    // stalled rendezvous would stall every request behind it).
+    let observed_p99 = observed.telemetry().latency().quantile(0.99);
+    let ceiling = baseline_p99 * 10 + std::time::Duration::from_millis(5);
+    assert!(
+        observed_p99 <= ceiling,
+        "observed p99 {observed_p99:?} vs unobserved {baseline_p99:?}: dropping must not \
+         inflate request latency"
+    );
+    observed.shutdown();
+}
