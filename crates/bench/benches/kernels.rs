@@ -1,0 +1,251 @@
+//! **K1–K3** — release-mode smoke for the hardware-fast compute core:
+//! blocked GEMM vs the naive loop at production shapes, deterministic
+//! data-parallel training scaling, and the i8 quantized small-model
+//! forward vs f32. Emits `BENCH_kernels.json` with the measured medians
+//! and panics (failing the CI step) when a floor is missed:
+//!
+//! - blocked GEMM must be >= 2x naive at 256^3 and beat it clearly at
+//!   `predict_batch`-like shapes;
+//! - `grad_workers = 4` must be >= 1.8x over serial (asserted only when
+//!   the host actually has >= 4 cores);
+//! - the quantized small forward must be >= 1.5x over the f32 tape path.
+//!
+//! Run with: `cargo bench -p overton-bench --bench kernels`
+
+use overton_model::{
+    CompiledExample, CompiledModel, FeatureSpace, ModelConfig, QuantizedModel, TrainConfig,
+};
+use overton_nlp::{generate_workload, WorkloadConfig};
+use overton_tensor::Matrix;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// Median wall time of `reps` runs of `f`, in seconds (one warmup run).
+fn median_secs(reps: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+fn random_matrix(rows: usize, cols: usize, rng: &mut SmallRng) -> Matrix {
+    let data: Vec<f32> = (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+/// The seed's dense fallback loop (i-k-j, contiguous inner loop), kept
+/// here verbatim as the baseline the blocked kernels are measured against.
+fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let (m, _k) = a.shape();
+    let n = b.cols();
+    let mut out = Matrix::zeros(m, n);
+    for i in 0..m {
+        let a_row = a.row(i);
+        for (kk, &av) in a_row.iter().enumerate() {
+            let b_row = b.row(kk);
+            let out_row = out.row_mut(i);
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
+    }
+    out
+}
+
+struct GemmResult {
+    label: String,
+    naive_s: f64,
+    blocked_s: f64,
+    speedup: f64,
+}
+
+fn bench_gemm(m: usize, k: usize, n: usize, reps: usize, rng: &mut SmallRng) -> GemmResult {
+    let a = random_matrix(m, k, rng);
+    let b = random_matrix(k, n, rng);
+    // Keep the results alive so neither loop is dead code.
+    let mut sink = 0.0f32;
+    let naive_s = median_secs(reps, || sink += naive_matmul(&a, &b).as_slice()[0]);
+    let blocked_s = median_secs(reps, || sink += a.matmul(&b).as_slice()[0]);
+    assert!(sink.is_finite());
+    assert!(
+        naive_matmul(&a, &b).max_abs_diff(&a.matmul(&b)) == 0.0,
+        "blocked GEMM is not bit-exact with the naive loop at {m}x{k}x{n}"
+    );
+    GemmResult { label: format!("{m}x{k}x{n}"), naive_s, blocked_s, speedup: naive_s / blocked_s }
+}
+
+fn training_examples() -> (overton_store::Dataset, FeatureSpace, Vec<CompiledExample>) {
+    let ds = generate_workload(&WorkloadConfig {
+        n_train: 48,
+        n_dev: 10,
+        n_test: 40,
+        seed: 17,
+        ..Default::default()
+    });
+    let space = FeatureSpace::build(&ds);
+    let train: Vec<CompiledExample> = ds
+        .train_indices()
+        .iter()
+        .map(|&i| {
+            let record = &ds.records()[i];
+            let mut ex = CompiledExample::from_record(record, i, &space, ds.schema());
+            for task in ds.schema().tasks.keys() {
+                if let Some(p) = overton_model::gold_to_prob(ds.schema(), record, task) {
+                    ex.targets.insert(task.clone(), p);
+                }
+            }
+            ex
+        })
+        .collect();
+    (ds, space, train)
+}
+
+fn main() {
+    let mut rng = SmallRng::seed_from_u64(42);
+    let reps = 5;
+
+    println!("K1: blocked GEMM vs naive loop (median of {reps})");
+    let shapes = [(256, 256, 256), (200, 64, 64), (200, 128, 128)];
+    let gemm: Vec<GemmResult> =
+        shapes.iter().map(|&(m, k, n)| bench_gemm(m, k, n, reps, &mut rng)).collect();
+    for r in &gemm {
+        println!(
+            "  {:>12}  naive {:>8.3} ms  blocked {:>8.3} ms  speedup {:.2}x",
+            r.label,
+            r.naive_s * 1e3,
+            r.blocked_s * 1e3,
+            r.speedup
+        );
+    }
+    assert!(
+        gemm[0].speedup >= 2.0,
+        "blocked GEMM must be >= 2x naive at 256^3, got {:.2}x",
+        gemm[0].speedup
+    );
+    for r in &gemm[1..] {
+        assert!(
+            r.speedup >= 1.3,
+            "blocked GEMM must clearly beat naive at {} (predict_batch shape), got {:.2}x",
+            r.label,
+            r.speedup
+        );
+    }
+
+    println!("K2: data-parallel training scaling (fixed seed, identical trajectories)");
+    let (ds, space, train) = training_examples();
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let time_with_workers = |workers: usize| {
+        let mut model = CompiledModel::compile(ds.schema(), &space, &ModelConfig::default(), None);
+        let config = TrainConfig {
+            epochs: 2,
+            early_stop_patience: 0,
+            grad_workers: workers,
+            ..Default::default()
+        };
+        let start = Instant::now();
+        let report = overton_model::train_model(&mut model, &train, &[], &config);
+        (start.elapsed().as_secs_f64(), report.history)
+    };
+    let (serial_s, serial_history) = time_with_workers(1);
+    let (parallel_s, parallel_history) = time_with_workers(4);
+    let train_speedup = serial_s / parallel_s;
+    println!(
+        "  cores {cores}  1 worker {:.3} s  4 workers {:.3} s  speedup {train_speedup:.2}x",
+        serial_s, parallel_s
+    );
+    assert!(serial_history == parallel_history, "grad_workers changed the training trajectory");
+    if cores >= 4 {
+        assert!(
+            train_speedup >= 1.8,
+            "4 gradient workers must be >= 1.8x over serial on a {cores}-core host, \
+             got {train_speedup:.2}x"
+        );
+    } else {
+        println!("  (scaling floor not asserted: host has {cores} core(s))");
+    }
+
+    println!("K3: quantized small-model forward vs f32 tape path (median of {reps})");
+    let small_cfg = ModelConfig { hidden_dim: 16, token_dim: 16, ..Default::default() };
+    let small = CompiledModel::compile(ds.schema(), &space, &small_cfg, None);
+    let quantized = QuantizedModel::from_model(&small);
+    let test: Vec<CompiledExample> = ds
+        .test_indices()
+        .iter()
+        .map(|&i| CompiledExample::from_record(&ds.records()[i], i, &space, ds.schema()))
+        .collect();
+    // Interleave f32/quantized rounds and compare per-round ratios: on a
+    // busy host, drift hits both paths of a round equally, so the median
+    // ratio is far more stable than the ratio of independent medians.
+    let round = |f: &dyn Fn()| {
+        let start = Instant::now();
+        f();
+        start.elapsed().as_secs_f64()
+    };
+    let f32_round: &dyn Fn() = &|| {
+        for ex in &test {
+            std::hint::black_box(small.predict(ex));
+        }
+    };
+    let quant_round: &dyn Fn() = &|| {
+        for ex in &test {
+            std::hint::black_box(quantized.predict(ex));
+        }
+    };
+    f32_round();
+    quant_round();
+    let rounds = 25;
+    let mut f32_times = Vec::with_capacity(rounds);
+    let mut quant_times = Vec::with_capacity(rounds);
+    let mut ratios = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let f = round(f32_round);
+        let q = round(quant_round);
+        f32_times.push(f);
+        quant_times.push(q);
+        ratios.push(f / q);
+    }
+    f32_times.sort_by(f64::total_cmp);
+    quant_times.sort_by(f64::total_cmp);
+    ratios.sort_by(f64::total_cmp);
+    let f32_s = f32_times[rounds / 2];
+    let quant_s = quant_times[rounds / 2];
+    let quant_speedup = ratios[rounds / 2];
+    println!(
+        "  f32 {:.3} ms/batch  quantized {:.3} ms/batch  speedup {quant_speedup:.2}x",
+        f32_s * 1e3,
+        quant_s * 1e3
+    );
+    assert!(
+        quant_speedup >= 1.5,
+        "quantized small forward must be >= 1.5x over f32, got {quant_speedup:.2}x"
+    );
+
+    let mut json = String::from("{\n  \"gemm\": [\n");
+    for (i, r) in gemm.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"shape\": \"{}\", \"naive_s\": {}, \"blocked_s\": {}, \"speedup\": {:.3}}}{}\n",
+            r.label,
+            r.naive_s,
+            r.blocked_s,
+            r.speedup,
+            if i + 1 < gemm.len() { "," } else { "" }
+        ));
+    }
+    json.push_str(&format!(
+        "  ],\n  \"training\": {{\"cores\": {cores}, \"serial_s\": {serial_s}, \
+         \"workers4_s\": {parallel_s}, \"speedup\": {train_speedup:.3}}},\n"
+    ));
+    json.push_str(&format!(
+        "  \"quantized\": {{\"f32_s\": {f32_s}, \"quantized_s\": {quant_s}, \
+         \"speedup\": {quant_speedup:.3}}}\n}}\n"
+    ));
+    std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");
+    println!("wrote BENCH_kernels.json");
+}

@@ -53,6 +53,9 @@ OPTIONS:
                       ingest|combine|search|train|package|evaluate
                       (a resumed run keeps the options it started with)
     --epochs <n>      (build) training epochs for new runs [default: 8]
+    --grad-workers <n> (build) threads sharing each optimizer step's
+                      gradient computation [default: 1]. Any value yields
+                      bit-identical weights; this is a wall-time knob only
     --train <n>       (init) training records        [default: 800]
     --dev <n>         (init) dev records             [default: 100]
     --test <n>        (init) test records            [default: 200]
@@ -125,6 +128,7 @@ struct Flags {
     run: Option<String>,
     from: Option<Stage>,
     epochs: Option<usize>,
+    grad_workers: Option<usize>,
     train: Option<usize>,
     dev: Option<usize>,
     test: Option<usize>,
@@ -156,6 +160,10 @@ impl Flags {
                     flags.from = Some(Stage::parse(name).ok_or(format!("unknown stage '{name}'"))?);
                 }
                 "--epochs" => flags.epochs = Some(parse_num(value("--epochs")?, "--epochs")?),
+                "--grad-workers" => {
+                    flags.grad_workers =
+                        Some(parse_num(value("--grad-workers")?, "--grad-workers")?)
+                }
                 "--train" => flags.train = Some(parse_num(value("--train")?, "--train")?),
                 "--dev" => flags.dev = Some(parse_num(value("--dev")?, "--dev")?),
                 "--test" => flags.test = Some(parse_num(value("--test")?, "--test")?),
@@ -200,6 +208,7 @@ fn project(dir: &Path, flags: &Flags) -> Project {
         .unwrap_or_else(|| "overton".into());
     let mut options = OvertonOptions::default();
     options.train.epochs = flags.epochs.unwrap_or(8);
+    options.train.grad_workers = flags.grad_workers.unwrap_or(1);
     Project::from_files(dir.join("schema.json"), dir.join("data.jsonl"))
         .named(&name)
         .with_options(options)

@@ -106,6 +106,13 @@ pub struct TrainConfig {
     pub slice_loss_boost: f32,
     /// Shuffling/dropout seed.
     pub seed: u64,
+    /// Threads sharing each optimizer window's gradient computation
+    /// (`0` or `1` = single-threaded). Any value produces bit-identical
+    /// weights: per-example gradients are merged in example order, so
+    /// workers change wall-time only, never the trajectory. Defaults low
+    /// because training often runs alongside serving.
+    #[serde(default)]
+    pub grad_workers: usize,
 }
 
 impl Default for TrainConfig {
@@ -120,6 +127,7 @@ impl Default for TrainConfig {
             indicator_loss_weight: 0.3,
             slice_loss_boost: 2.0,
             seed: 0,
+            grad_workers: 1,
         }
     }
 }

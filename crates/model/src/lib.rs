@@ -17,6 +17,7 @@ mod evaluate;
 mod features;
 mod network;
 mod pretrained;
+mod quantized;
 mod registry;
 mod search;
 mod serve;
@@ -31,6 +32,7 @@ pub use evaluate::{evaluate, evaluate_store, Evaluation};
 pub use features::{gold_to_prob, CompiledExample, FeatureSpace};
 pub use network::{CompiledModel, ForwardPass, Prediction, TaskOutput};
 pub use pretrained::{pretrain, PretrainConfig, PretrainedEncoder};
+pub use quantized::QuantizedModel;
 pub use registry::{ArtifactEntry, ArtifactId, ModelRegistry};
 pub use search::{search, SearchConfig, TrialResult};
 pub use serve::{DeployableModel, ModelPair, ServedOutput, Server, ServingResponse};

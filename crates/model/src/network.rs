@@ -33,7 +33,7 @@ use std::collections::BTreeMap;
 
 /// A sequence encoder producing `[T, hidden]` from `[T, token_dim]`.
 #[derive(Debug, Clone)]
-enum Encoder {
+pub(crate) enum Encoder {
     MeanBag(Linear),
     Cnn(Conv1d),
     Lstm(Lstm),
@@ -119,7 +119,7 @@ impl Encoder {
 
 /// A task head bound to a payload.
 #[derive(Debug, Clone)]
-enum Head {
+pub(crate) enum Head {
     /// Multiclass/bitvector over a sequence payload: logits per row.
     PerElement { payload: String, linear: Linear, bce: bool },
     /// Multiclass/bitvector over a singleton payload: logits on the shared
@@ -131,11 +131,11 @@ enum Head {
 
 /// Slice-based learning heads.
 #[derive(Debug, Clone)]
-struct SliceModule {
+pub(crate) struct SliceModule {
     /// One membership indicator per slice (`[1,2]` logits each).
-    indicators: Vec<Linear>,
+    pub(crate) indicators: Vec<Linear>,
     /// One expert transform per slice.
-    experts: Vec<Linear>,
+    pub(crate) experts: Vec<Linear>,
 }
 
 /// The compiled model: parameters plus the layer graph blueprint.
@@ -144,15 +144,15 @@ pub struct CompiledModel {
     config: ModelConfig,
     /// All learnable weights.
     pub params: ParamStore,
-    token_embedding: Embedding,
-    entity_embedding: Embedding,
-    encoders: BTreeMap<String, Encoder>,
+    pub(crate) token_embedding: Embedding,
+    pub(crate) entity_embedding: Embedding,
+    pub(crate) encoders: BTreeMap<String, Encoder>,
     /// Learned fallback representation for payloads with no content.
-    set_proj: Linear,
-    heads: BTreeMap<String, Head>,
-    slices: Option<SliceModule>,
+    pub(crate) set_proj: Linear,
+    pub(crate) heads: BTreeMap<String, Head>,
+    pub(crate) slices: Option<SliceModule>,
     dropout: Dropout,
-    hidden: usize,
+    pub(crate) hidden: usize,
 }
 
 /// Everything a forward pass produces (node ids into the caller's graph).

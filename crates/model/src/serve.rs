@@ -118,6 +118,7 @@ pub struct ServingResponse {
 /// A loaded model ready to answer queries.
 pub struct Server {
     model: CompiledModel,
+    quantized: Option<crate::QuantizedModel>,
     space: FeatureSpace,
     signature: ServingSignature,
 }
@@ -127,9 +128,25 @@ impl Server {
     pub fn load(artifact: &DeployableModel) -> Self {
         Self {
             model: artifact.instantiate(),
+            quantized: None,
             space: artifact.space.clone(),
             signature: artifact.signature.clone(),
         }
+    }
+
+    /// Converts the loaded weights to the i8 inference path
+    /// ([`crate::QuantizedModel`]). Subsequent [`Server::predict`] and
+    /// [`Server::predict_batch`] calls run tape-free quantized forwards;
+    /// the f32 weights are retained (for schema metadata and possible
+    /// re-deployment) but no longer drive inference.
+    pub fn quantize(mut self) -> Self {
+        self.quantized = Some(crate::QuantizedModel::from_model(&self.model));
+        self
+    }
+
+    /// Whether inference runs on the quantized path.
+    pub fn is_quantized(&self) -> bool {
+        self.quantized.is_some()
     }
 
     /// The serving signature (stable across retrains of the same schema).
@@ -151,7 +168,10 @@ impl Server {
     pub fn predict(&self, record: &Record) -> Result<ServingResponse, StoreError> {
         record.validate(self.model.schema())?;
         let example = CompiledExample::from_record(record, 0, &self.space, self.model.schema());
-        let prediction = self.model.predict(&example);
+        let prediction = match &self.quantized {
+            Some(q) => q.predict(&example),
+            None => self.model.predict(&example),
+        };
         self.decode_response(record, &prediction)
     }
 
@@ -169,7 +189,10 @@ impl Server {
             .iter()
             .map(|&i| CompiledExample::from_record(&records[i], i, &self.space, schema))
             .collect();
-        let predictions = self.model.predict_batch(&examples);
+        let predictions = match &self.quantized {
+            Some(q) => examples.iter().map(|ex| q.predict(ex)).collect(),
+            None => self.model.predict_batch(&examples),
+        };
         for (&i, prediction) in valid.iter().zip(&predictions) {
             out[i] = Some(self.decode_response(&records[i], prediction));
         }

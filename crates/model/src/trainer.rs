@@ -1,12 +1,31 @@
 //! Minibatch training with early stopping on a dev split.
+//!
+//! # Determinism contract
+//!
+//! Gradient computation is data-parallel ([`TrainConfig::grad_workers`])
+//! but the trajectory is worker-count-invariant: final weights are
+//! bit-identical whether a window's gradients were computed by 1 thread
+//! or 8. Three properties make that hold:
+//!
+//! 1. Every example draws a private dropout seed from the main RNG *in
+//!    shuffle order*, before dispatch — the main RNG stream never
+//!    depends on scheduling.
+//! 2. Windows are aligned to optimizer steps: forwards never mutate
+//!    parameters, and a window never extends past the example that
+//!    completes a minibatch, so every forward sees exactly the
+//!    parameters the serial loop would have shown it.
+//! 3. Per-example gradient partials are merged into the store in
+//!    example order (and in tape order within an example), so the f32
+//!    accumulation order — and thus every rounding — is fixed.
 
 use crate::config::TrainConfig;
 use crate::features::CompiledExample;
 use crate::network::CompiledModel;
 use overton_tensor::optim::{Adam, Optimizer};
-use overton_tensor::Graph;
+use overton_tensor::{Graph, Matrix, ParamId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Mutex;
 
 /// Summary of a training run. Serializable: the `Run` API persists it as
 /// the train stage's artifact under the run directory.
@@ -47,26 +66,28 @@ pub fn train_model(
         let mut epoch_loss = 0.0f64;
         let mut batch_count = 0usize;
         let mut in_batch = 0usize;
-        for &idx in &order {
-            let example = &train[idx];
-            let mut g = Graph::new();
-            let pass = model.forward(&mut g, example, true, &mut rng);
-            let Some(mut loss) = model.loss(&mut g, &pass, example, config.indicator_loss_weight)
-            else {
-                continue;
-            };
-            // Declared slices get extra training focus (the loss-side half
-            // of slice-based learning).
-            if model.has_slice_heads()
-                && config.slice_loss_boost != 1.0
-                && example.slice_membership.iter().any(|&m| m)
-            {
-                loss = g.scale(loss, config.slice_loss_boost);
+        let mut cursor = 0usize;
+        while cursor < order.len() {
+            // Step-aligned window: take exactly as many examples as the
+            // current minibatch still needs. Some may contribute no loss,
+            // in which case the next window tops the batch up — a step
+            // can therefore only ever land on a window boundary, exactly
+            // where the serial loop would have stepped.
+            let needed = config.batch_size.saturating_sub(in_batch).max(1);
+            let take = needed.min(order.len() - cursor);
+            let window = &order[cursor..cursor + take];
+            cursor += take;
+            // Per-example dropout seeds come off the main RNG in shuffle
+            // order, so the stream is identical for any worker count.
+            let seeds: Vec<u64> = window.iter().map(|_| rng.gen()).collect();
+            for result in window_gradients(model, train, window, &seeds, config) {
+                let Some(partial) = result else { continue };
+                epoch_loss += f64::from(partial.loss);
+                for (pid, grad) in &partial.grads {
+                    model.params.grad_mut(*pid).add_assign(grad);
+                }
+                in_batch += 1;
             }
-            epoch_loss += f64::from(g.value(loss).scalar_value());
-            g.backward(loss);
-            g.flush_grads(&mut model.params);
-            in_batch += 1;
             if in_batch >= config.batch_size {
                 model.params.clip_grad_norm(config.clip_norm);
                 opt.step(&mut model.params);
@@ -97,6 +118,78 @@ pub fn train_model(
     }
     model.params = best_params;
     TrainReport { epochs_run, best_dev_score: best_dev, history }
+}
+
+/// One example's contribution to the current minibatch: its scalar loss
+/// and its parameter-gradient partials in tape order.
+struct ExampleGrad {
+    loss: f32,
+    grads: Vec<(ParamId, Matrix)>,
+}
+
+/// Forward + backward for a single example on its own tape, using a
+/// private RNG so dropout draws are independent of which worker runs it.
+/// Returns `None` when the example contributes no loss (no usable
+/// targets), mirroring the serial loop's `continue`.
+fn example_gradient(
+    model: &CompiledModel,
+    example: &CompiledExample,
+    seed: u64,
+    config: &TrainConfig,
+) -> Option<ExampleGrad> {
+    let mut ex_rng = SmallRng::seed_from_u64(seed);
+    let mut g = Graph::new();
+    let pass = model.forward(&mut g, example, true, &mut ex_rng);
+    let mut loss = model.loss(&mut g, &pass, example, config.indicator_loss_weight)?;
+    // Declared slices get extra training focus (the loss-side half of
+    // slice-based learning).
+    if model.has_slice_heads()
+        && config.slice_loss_boost != 1.0
+        && example.slice_membership.iter().any(|&m| m)
+    {
+        loss = g.scale(loss, config.slice_loss_boost);
+    }
+    let loss_value = g.value(loss).scalar_value();
+    g.backward(loss);
+    Some(ExampleGrad { loss: loss_value, grads: g.take_param_grads() })
+}
+
+/// Computes the window's per-example gradients, fanned out over
+/// `config.grad_workers` scoped threads. Results come back indexed by
+/// window position, so the caller merges them in example order no matter
+/// which worker produced which — this is what keeps the trajectory
+/// bit-identical across worker counts.
+fn window_gradients(
+    model: &CompiledModel,
+    train: &[CompiledExample],
+    window: &[usize],
+    seeds: &[u64],
+    config: &TrainConfig,
+) -> Vec<Option<ExampleGrad>> {
+    let workers = config.grad_workers.min(window.len());
+    if workers <= 1 {
+        return window
+            .iter()
+            .zip(seeds)
+            .map(|(&idx, &seed)| example_gradient(model, &train[idx], seed, config))
+            .collect();
+    }
+    let slots: Vec<Mutex<Option<Option<ExampleGrad>>>> =
+        window.iter().map(|_| Mutex::new(None)).collect();
+    let queue = Mutex::new((0..window.len()).rev().collect::<Vec<usize>>());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let Some(at) = queue.lock().expect("window queue").pop() else { break };
+                let result = example_gradient(model, &train[window[at]], seeds[at], config);
+                *slots[at].lock().expect("gradient slot") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("gradient slot").expect("worker filled slot"))
+        .collect()
 }
 
 /// Mean per-task agreement of model predictions with example targets
@@ -256,6 +349,46 @@ mod tests {
             "restored {final_score} vs reported best {}",
             report.best_dev_score
         );
+    }
+
+    #[test]
+    fn grad_workers_do_not_change_the_trajectory() {
+        let ds = workload();
+        let space = FeatureSpace::build(&ds);
+        let train = gold_examples(&ds, &ds.train_indices()[..48], &space);
+        let dev = gold_examples(&ds, &ds.dev_indices(), &space);
+        // batch_size 7 does not divide 48, so windows hit both the
+        // full-batch and trailing-partial step paths.
+        let config = |workers: usize| TrainConfig {
+            epochs: 2,
+            batch_size: 7,
+            early_stop_patience: 0,
+            grad_workers: workers,
+            ..Default::default()
+        };
+        let mut reference: Option<(CompiledModel, TrainReport)> = None;
+        for workers in [1usize, 2, 4] {
+            let mut model =
+                CompiledModel::compile(ds.schema(), &space, &ModelConfig::default(), None);
+            let report = train_model(&mut model, &train, &dev, &config(workers));
+            match &reference {
+                None => reference = Some((model, report)),
+                Some((ref_model, ref_report)) => {
+                    assert_eq!(
+                        report, *ref_report,
+                        "training report diverged at {workers} workers"
+                    );
+                    for id in ref_model.params.ids() {
+                        assert_eq!(
+                            model.params.value(id),
+                            ref_model.params.value(id),
+                            "param {:?} diverged at {workers} workers",
+                            ref_model.params.name(id)
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -139,6 +139,7 @@ pub struct DeploymentManager {
     incumbent_artifact: DeployableModel,
     incumbent_server: Server,
     large: Option<DeployableModel>,
+    quantize_small: bool,
     pool: Option<Arc<WorkerPool>>,
     canary: Option<CanaryState>,
     events: Vec<DeployEvent>,
@@ -162,10 +163,22 @@ impl DeploymentManager {
             incumbent_artifact,
             incumbent_server,
             large: None,
+            quantize_small: false,
             pool: None,
             canary: None,
             events: Vec::new(),
         })
+    }
+
+    /// Opts engines built by this deployment into the i8 quantized serving
+    /// path for the small (incumbent) model. Off by default — quantization
+    /// trades a bounded accuracy loss for latency, which is a deployment
+    /// decision, not a registry property. Applies to [`Self::build_engine`]
+    /// and to engines hot-swapped on canary promotion.
+    #[must_use]
+    pub fn with_quantized_small(mut self) -> Self {
+        self.quantize_small = true;
+        self
     }
 
     /// Attaches the large half of the model pair, enabling the cascade in
@@ -188,13 +201,16 @@ impl DeploymentManager {
     /// Builds a serving engine for the current incumbent (a cascade when a
     /// large model is attached).
     pub fn build_engine(&self) -> Result<Arc<CascadeEngine>, StoreError> {
-        let engine = match &self.large {
+        let mut engine = match &self.large {
             Some(large) => CascadeEngine::from_pair(
                 &ModelPair { large: large.clone(), small: self.incumbent_artifact.clone() },
                 self.threshold,
             )?,
             None => CascadeEngine::single(Server::load(&self.incumbent_artifact)),
         };
+        if self.quantize_small {
+            engine = engine.with_quantized_small();
+        }
         Ok(Arc::new(engine))
     }
 
@@ -329,14 +345,17 @@ impl DeploymentManager {
             // Track the promotion in the registry so `latest` follows.
             self.registry.publish(&canary.artifact, &self.name)?;
             if let Some(pool) = &self.pool {
-                let engine = match &self.large {
-                    Some(large) => Arc::new(CascadeEngine::from_pair(
+                let mut engine = match &self.large {
+                    Some(large) => CascadeEngine::from_pair(
                         &ModelPair { large: large.clone(), small: canary.artifact.clone() },
                         self.threshold,
-                    )?),
-                    None => Arc::new(CascadeEngine::single(Server::load(&canary.artifact))),
+                    )?,
+                    None => CascadeEngine::single(Server::load(&canary.artifact)),
                 };
-                pool.swap_engine(engine)?;
+                if self.quantize_small {
+                    engine = engine.with_quantized_small();
+                }
+                pool.swap_engine(Arc::new(engine))?;
             }
             let canary = self.canary.take().expect("checked above");
             self.incumbent_id = canary.id.clone();

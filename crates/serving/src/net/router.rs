@@ -94,6 +94,7 @@ fn metrics(ctx: &RouterCtx) -> Response {
         shared.pool.telemetry(),
         shared.traces.as_deref(),
         Some(shared.conn_gauges()),
+        Some(shared.pool.engine().counters()),
     );
     if let Some(ext) = &shared.config.metrics_ext {
         ext(&mut body);

@@ -165,12 +165,15 @@ fn confidence_histogram(w: &mut PromWriter, name: &str, labels: &[(&str, &str)],
 /// Renders the serving tier's metrics as Prometheus text exposition.
 ///
 /// `traces` adds per-stage duration histograms and trace-store counters;
-/// `conns` adds the listener's connection gauges. Both are optional so
-/// the renderer also serves embedded (non-socket) pools.
+/// `conns` adds the listener's connection gauges; `cascade` adds per-route
+/// model-pair counters (small/large routing, quantized answers, escalation
+/// rate). All are optional so the renderer also serves embedded
+/// (non-socket, single-model) pools.
 pub fn render_metrics(
     telemetry: &Telemetry,
     traces: Option<&TraceStore>,
     conns: Option<ConnGauges>,
+    cascade: Option<crate::cascade::CascadeCounters>,
 ) -> String {
     let mut w = PromWriter::new();
     let snap = telemetry.snapshot();
@@ -253,6 +256,28 @@ pub fn render_metrics(
             "Connections refused over the connection cap.",
         );
         w.count("overton_connections_refused_total", &[], conns.refused);
+    }
+    if let Some(cascade) = cascade {
+        w.family(
+            "overton_cascade_requests_total",
+            "counter",
+            "Answered requests per cascade route (small = answered by the SLA model, \
+             large = escalated on low confidence).",
+        );
+        w.count("overton_cascade_requests_total", &[("route", "small")], cascade.small);
+        w.count("overton_cascade_requests_total", &[("route", "large")], cascade.escalated);
+        w.family(
+            "overton_cascade_quantized_answers_total",
+            "counter",
+            "Responses produced by the small model's i8 quantized inference path.",
+        );
+        w.count("overton_cascade_quantized_answers_total", &[], cascade.quantized);
+        w.family(
+            "overton_cascade_escalation_rate",
+            "gauge",
+            "Fraction of routed requests escalated to the large model since engine start.",
+        );
+        w.sample("overton_cascade_escalation_rate", &[], cascade.escalation_rate());
     }
     w.finish()
 }
@@ -443,9 +468,14 @@ mod tests {
             &telemetry,
             Some(&store),
             Some(ConnGauges { active: 2, accepted: 5, refused: 1 }),
+            Some(crate::cascade::CascadeCounters { small: 6, escalated: 2, quantized: 8 }),
         );
         validate_exposition(&text).unwrap();
         for needle in [
+            "overton_cascade_requests_total{route=\"small\"} 6",
+            "overton_cascade_requests_total{route=\"large\"} 2",
+            "overton_cascade_quantized_answers_total 8",
+            "overton_cascade_escalation_rate 0.25",
             "overton_requests_shed_total 1",
             "overton_observer_dropped_total 0",
             "overton_request_latency_seconds_bucket",

@@ -899,6 +899,24 @@ impl Graph {
             }
         }
     }
+
+    /// Drains the leaf gradients into an owned list, in the same node
+    /// order [`Graph::flush_grads`] applies them. Data-parallel training
+    /// computes these per-example partials on worker threads, then merges
+    /// them into the shared store in a fixed example order — the
+    /// accumulated sums are bit-identical to serial flushing for any
+    /// worker count.
+    pub fn take_param_grads(&mut self) -> Vec<(ParamId, Matrix)> {
+        let mut out = Vec::new();
+        for node in &mut self.nodes {
+            if let Op::Leaf { param: Some(pid) } = node.op {
+                if let Some(g) = node.grad.take() {
+                    out.push((pid, g));
+                }
+            }
+        }
+        out
+    }
 }
 
 /// Numerically stable logistic sigmoid.

@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 mod graph;
+mod kernels;
 mod matrix;
 mod params;
 
@@ -46,6 +47,7 @@ pub mod gradcheck;
 pub mod init;
 pub mod nn;
 pub mod optim;
+pub mod quant;
 pub mod schedule;
 
 pub use graph::{softmax_in_place, stable_sigmoid, Graph, NodeId, LN_CLAMP};

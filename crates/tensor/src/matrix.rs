@@ -6,6 +6,7 @@
 //! single concrete rank makes the autograd rules small and easy to verify by
 //! finite differences.
 
+use crate::kernels;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -207,6 +208,11 @@ impl Matrix {
 
     /// Matrix product `self * other`.
     ///
+    /// Dispatches to the cache-blocked kernels (`kernels` module) above
+    /// a size cutoff; small shapes use the naive loops. Both paths
+    /// accumulate each output element in the same strictly-increasing-k
+    /// order, so the result is bit-identical regardless of dispatch.
+    ///
     /// # Panics
     /// Panics if `self.cols() != other.rows()`.
     pub fn matmul(&self, other: &Self) -> Self {
@@ -217,18 +223,35 @@ impl Matrix {
         );
         let (m, k, n) = (self.rows, self.cols, other.cols);
         let mut out = vec![0.0f32; m * n];
-        // i-k-j loop order keeps the inner loop contiguous in both `other`
-        // and `out`, which lets LLVM vectorize it.
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let out_row = &mut out[i * n..(i + 1) * n];
-            for (kk, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
+        if kernels::use_blocked(m, k, n) {
+            kernels::gemm(m, k, n, &self.data, &other.data, &mut out);
+        } else if kernels::probe_sparse(&self.data) {
+            // Sparse operand (e.g. one-hot selections): skipping a zero
+            // saves the whole n-wide inner loop, worth a branch per k.
+            for i in 0..m {
+                let a_row = &self.data[i * k..(i + 1) * k];
+                let out_row = &mut out[i * n..(i + 1) * n];
+                for (kk, &a) in a_row.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let b_row = &other.data[kk * n..(kk + 1) * n];
+                    for (o, &b) in out_row.iter_mut().zip(b_row) {
+                        *o += a * b;
+                    }
                 }
-                let b_row = &other.data[kk * n..(kk + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
+            }
+        } else {
+            // i-k-j loop order keeps the inner loop contiguous in both
+            // `other` and `out`, which lets LLVM vectorize it.
+            for i in 0..m {
+                let a_row = &self.data[i * k..(i + 1) * k];
+                let out_row = &mut out[i * n..(i + 1) * n];
+                for (kk, &a) in a_row.iter().enumerate() {
+                    let b_row = &other.data[kk * n..(kk + 1) * n];
+                    for (o, &b) in out_row.iter_mut().zip(b_row) {
+                        *o += a * b;
+                    }
                 }
             }
         }
@@ -236,6 +259,8 @@ impl Matrix {
     }
 
     /// Matrix product `self * other^T`.
+    ///
+    /// Blocked-kernel dispatch as in [`Matrix::matmul`].
     ///
     /// # Panics
     /// Panics if `self.cols() != other.cols()`.
@@ -247,17 +272,23 @@ impl Matrix {
         );
         let (m, k, n) = (self.rows, self.cols, other.rows);
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            for j in 0..n {
-                let b_row = &other.data[j * k..(j + 1) * k];
-                out[i * n + j] = dot(a_row, b_row);
+        if kernels::use_blocked(m, k, n) {
+            kernels::gemm_bt(m, k, n, &self.data, &other.data, &mut out);
+        } else {
+            for i in 0..m {
+                let a_row = &self.data[i * k..(i + 1) * k];
+                for j in 0..n {
+                    let b_row = &other.data[j * k..(j + 1) * k];
+                    out[i * n + j] = dot(a_row, b_row);
+                }
             }
         }
         Self::from_vec(m, n, out)
     }
 
     /// Matrix product `self^T * other`.
+    ///
+    /// Blocked-kernel dispatch as in [`Matrix::matmul`].
     ///
     /// # Panics
     /// Panics if `self.rows() != other.rows()`.
@@ -269,16 +300,31 @@ impl Matrix {
         );
         let (m, k, n) = (self.cols, self.rows, other.cols);
         let mut out = vec![0.0f32; m * n];
-        for kk in 0..k {
-            let a_row = &self.data[kk * m..(kk + 1) * m];
-            let b_row = &other.data[kk * n..(kk + 1) * n];
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
+        if kernels::use_blocked(m, k, n) {
+            kernels::gemm_at(m, k, n, &self.data, &other.data, &mut out);
+        } else if kernels::probe_sparse(&self.data) {
+            for kk in 0..k {
+                let a_row = &self.data[kk * m..(kk + 1) * m];
+                let b_row = &other.data[kk * n..(kk + 1) * n];
+                for (i, &a) in a_row.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let out_row = &mut out[i * n..(i + 1) * n];
+                    for (o, &b) in out_row.iter_mut().zip(b_row) {
+                        *o += a * b;
+                    }
                 }
-                let out_row = &mut out[i * n..(i + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
+            }
+        } else {
+            for kk in 0..k {
+                let a_row = &self.data[kk * m..(kk + 1) * m];
+                let b_row = &other.data[kk * n..(kk + 1) * n];
+                for (i, &a) in a_row.iter().enumerate() {
+                    let out_row = &mut out[i * n..(i + 1) * n];
+                    for (o, &b) in out_row.iter_mut().zip(b_row) {
+                        *o += a * b;
+                    }
                 }
             }
         }

@@ -54,6 +54,26 @@ impl MultiHeadSelfAttention {
         self.heads
     }
 
+    /// The query projection.
+    pub fn wq(&self) -> &Linear {
+        &self.wq
+    }
+
+    /// The key projection.
+    pub fn wk(&self) -> &Linear {
+        &self.wk
+    }
+
+    /// The value projection.
+    pub fn wv(&self) -> &Linear {
+        &self.wv
+    }
+
+    /// The output projection.
+    pub fn wo(&self) -> &Linear {
+        &self.wo
+    }
+
     /// Self-attention: queries, keys and values all come from `xs`.
     pub fn forward(&self, g: &mut Graph, store: &ParamStore, xs: NodeId) -> NodeId {
         self.forward_cross(g, store, xs, xs)

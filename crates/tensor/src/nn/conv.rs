@@ -43,6 +43,26 @@ impl Conv1d {
         self.out_dim
     }
 
+    /// Input feature size.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Kernel width (odd).
+    pub fn kernel(&self) -> usize {
+        self.kernel
+    }
+
+    /// Handle to the `kernel * in_dim x out_dim` weight matrix.
+    pub fn weight_id(&self) -> ParamId {
+        self.weight
+    }
+
+    /// Handle to the `1 x out_dim` bias row.
+    pub fn bias_id(&self) -> ParamId {
+        self.bias
+    }
+
     /// Applies the convolution to a `T x in_dim` node.
     pub fn forward(&self, g: &mut Graph, store: &ParamStore, xs: NodeId) -> NodeId {
         debug_assert_eq!(g.value(xs).cols(), self.in_dim, "Conv1d input width mismatch");

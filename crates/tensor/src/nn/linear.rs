@@ -47,6 +47,18 @@ impl Linear {
         self.in_dim
     }
 
+    /// Handle to the `in_dim x out_dim` weight matrix (for offline
+    /// conversions such as post-training quantization).
+    pub fn weight_id(&self) -> ParamId {
+        self.weight
+    }
+
+    /// Handle to the `1 x out_dim` bias row, absent for
+    /// [`Linear::new_no_bias`] layers.
+    pub fn bias_id(&self) -> Option<ParamId> {
+        self.bias
+    }
+
     /// Output feature dimension.
     pub fn out_dim(&self) -> usize {
         self.out_dim

@@ -50,6 +50,21 @@ impl Lstm {
         self.in_dim
     }
 
+    /// Handle to the `in_dim x 4*hidden` input weight matrix.
+    pub fn wx_id(&self) -> ParamId {
+        self.wx
+    }
+
+    /// Handle to the `hidden x 4*hidden` recurrent weight matrix.
+    pub fn wh_id(&self) -> ParamId {
+        self.wh
+    }
+
+    /// Handle to the `1 x 4*hidden` gate bias row.
+    pub fn bias_id(&self) -> ParamId {
+        self.bias
+    }
+
     /// Runs the recurrence over a `T x in_dim` node, returning `T x hidden`
     /// (the hidden state at every step).
     pub fn forward(&self, g: &mut Graph, store: &ParamStore, xs: NodeId) -> NodeId {
@@ -127,6 +142,16 @@ impl BiLstm {
     /// Output width (`2 * hidden`).
     pub fn out_dim(&self) -> usize {
         2 * self.fwd.hidden()
+    }
+
+    /// The forward-direction LSTM.
+    pub fn fwd(&self) -> &Lstm {
+        &self.fwd
+    }
+
+    /// The backward-direction LSTM.
+    pub fn bwd(&self) -> &Lstm {
+        &self.bwd
     }
 
     /// Encodes a `T x in_dim` node into `T x 2*hidden`.

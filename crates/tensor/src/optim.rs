@@ -49,24 +49,34 @@ impl Sgd {
 impl Optimizer for Sgd {
     fn step(&mut self, store: &mut ParamStore) {
         self.velocity.resize_with(store.len(), || None);
+        let (lr, momentum, wd) = (self.lr, self.momentum, self.weight_decay);
         for id in store.ids().collect::<Vec<_>>() {
             if store.is_frozen(id) {
                 continue;
             }
-            let mut g = store.grad(id);
-            if self.weight_decay != 0.0 {
-                g.axpy(self.weight_decay, store.value(id));
-            }
-            let update = if self.momentum != 0.0 {
-                let v = self.velocity[id.0 as usize]
-                    .get_or_insert_with(|| Matrix::zeros(g.rows(), g.cols()));
-                v.scale_inplace(self.momentum);
-                v.add_assign(&g);
-                v.clone()
+            // Fused single-pass update: no gradient clone, no velocity
+            // clone, no temporaries — same arithmetic order as the
+            // multi-pass version, so trajectories are bit-identical.
+            let (value, grad) = store.value_and_grad_mut(id);
+            let (rows, cols) = value.shape();
+            let ws = value.as_mut_slice();
+            let gs = grad.map(Matrix::as_slice);
+            if momentum != 0.0 {
+                let v =
+                    self.velocity[id.0 as usize].get_or_insert_with(|| Matrix::zeros(rows, cols));
+                for (i, (wi, vi)) in ws.iter_mut().zip(v.as_mut_slice()).enumerate() {
+                    let g = gs.map_or(0.0, |g| g[i]);
+                    let t = if wd != 0.0 { g + wd * *wi } else { g };
+                    *vi = momentum * *vi + t;
+                    *wi += -lr * *vi;
+                }
             } else {
-                g
-            };
-            store.value_mut(id).axpy(-self.lr, &update);
+                for (i, wi) in ws.iter_mut().enumerate() {
+                    let g = gs.map_or(0.0, |g| g[i]);
+                    let t = if wd != 0.0 { g + wd * *wi } else { g };
+                    *wi += -lr * t;
+                }
+            }
         }
     }
 
@@ -128,28 +138,30 @@ impl Optimizer for Adam {
         self.t += 1;
         let bias1 = 1.0 - self.beta1.powi(self.t as i32);
         let bias2 = 1.0 - self.beta2.powi(self.t as i32);
+        let (lr, beta1, beta2, eps, wd) =
+            (self.lr, self.beta1, self.beta2, self.eps, self.weight_decay);
         for id in store.ids().collect::<Vec<_>>() {
             if store.is_frozen(id) {
                 continue;
             }
-            let g = store.grad(id);
             let idx = id.0 as usize;
-            let m = self.m[idx].get_or_insert_with(|| Matrix::zeros(g.rows(), g.cols()));
-            let v = self.v[idx].get_or_insert_with(|| Matrix::zeros(g.rows(), g.cols()));
-            for ((mi, vi), &gi) in
-                m.as_mut_slice().iter_mut().zip(v.as_mut_slice()).zip(g.as_slice())
+            // Fused single-pass update: moments and weights advance in one
+            // sweep with no gradient clone; per-element arithmetic is
+            // unchanged, so trajectories are bit-identical.
+            let (value, grad) = store.value_and_grad_mut(id);
+            let (rows, cols) = value.shape();
+            let ws = value.as_mut_slice();
+            let gs = grad.map(Matrix::as_slice);
+            let m = self.m[idx].get_or_insert_with(|| Matrix::zeros(rows, cols));
+            let v = self.v[idx].get_or_insert_with(|| Matrix::zeros(rows, cols));
+            for (i, (wi, (mi, vi))) in
+                ws.iter_mut().zip(m.as_mut_slice().iter_mut().zip(v.as_mut_slice())).enumerate()
             {
-                *mi = self.beta1 * *mi + (1.0 - self.beta1) * gi;
-                *vi = self.beta2 * *vi + (1.0 - self.beta2) * gi * gi;
-            }
-            let lr = self.lr;
-            let (eps, wd) = (self.eps, self.weight_decay);
-            let value = store.value_mut(id);
-            for ((wi, &mi), &vi) in
-                value.as_mut_slice().iter_mut().zip(m.as_slice()).zip(v.as_slice())
-            {
-                let m_hat = mi / bias1;
-                let v_hat = vi / bias2;
+                let gi = gs.map_or(0.0, |g| g[i]);
+                *mi = beta1 * *mi + (1.0 - beta1) * gi;
+                *vi = beta2 * *vi + (1.0 - beta2) * gi * gi;
+                let m_hat = *mi / bias1;
+                let v_hat = *vi / bias2;
                 *wi -= lr * (m_hat / (v_hat.sqrt() + eps) + wd * *wi);
             }
         }

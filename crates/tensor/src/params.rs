@@ -89,6 +89,14 @@ impl ParamStore {
         e.grad.get_or_insert_with(|| Matrix::zeros(e.value.rows(), e.value.cols()))
     }
 
+    /// Split borrow of one parameter: the mutable value together with its
+    /// accumulated gradient (if any touched it). Lets optimizers run
+    /// single-pass fused updates without cloning the gradient.
+    pub fn value_and_grad_mut(&mut self, id: ParamId) -> (&mut Matrix, Option<&Matrix>) {
+        let e = &mut self.entries[id.0 as usize];
+        (&mut e.value, e.grad.as_ref())
+    }
+
     /// Marks a parameter as frozen; optimizers will skip it.
     pub fn freeze(&mut self, id: ParamId) {
         self.entries[id.0 as usize].frozen = true;

@@ -1,0 +1,255 @@
+//! i8 symmetric per-row quantization for inference-only weights.
+//!
+//! The cascade's small model (Overton §2.4) exists to be cheap, so its
+//! affine layers can trade a little precision for a lot of bandwidth:
+//! weights are stored transposed (one row per output channel) as `i8`
+//! with a per-row symmetric scale, activations are quantized dynamically
+//! per example row, and the affine kernel accumulates `i8 x i8` products
+//! in `i32` before one dequantizing multiply per output. Quantization is
+//! a deploy-time conversion — training and the large model stay `f32`.
+
+use crate::matrix::Matrix;
+
+/// Symmetric quantization bound: values map into `[-127, 127]` so the
+/// scheme has no zero-point and negation stays exact.
+const QMAX: f32 = 127.0;
+
+/// An `i8` matrix with one symmetric scale per row.
+///
+/// Stored row-major like [`Matrix`]; element `(r, c)` reconstructs as
+/// `data[r][c] as f32 * scale[r]`.
+#[derive(Debug, Clone)]
+pub struct QuantizedMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<i8>,
+    scales: Vec<f32>,
+}
+
+impl QuantizedMatrix {
+    /// Quantizes a matrix row-wise: each row gets scale `max_abs / 127`
+    /// (zero for an all-zero row) and round-to-nearest `i8` codes.
+    pub fn quantize(m: &Matrix) -> Self {
+        let (rows, cols) = m.shape();
+        let mut data = Vec::with_capacity(rows * cols);
+        let mut scales = Vec::with_capacity(rows);
+        for r in 0..rows {
+            let row = m.row(r);
+            let max_abs = row.iter().fold(0.0f32, |acc, &x| acc.max(x.abs()));
+            if max_abs == 0.0 {
+                scales.push(0.0);
+                data.extend(std::iter::repeat_n(0i8, cols));
+            } else {
+                let scale = max_abs / QMAX;
+                scales.push(scale);
+                data.extend(row.iter().map(|&x| (x / scale).round().clamp(-QMAX, QMAX) as i8));
+            }
+        }
+        Self { rows, cols, data, scales }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Reconstructs the nearest `f32` matrix (for tests and telemetry).
+    pub fn dequantize(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            let scale = self.scales[r];
+            let codes = &self.data[r * self.cols..(r + 1) * self.cols];
+            for (slot, &q) in out.row_mut(r).iter_mut().zip(codes) {
+                *slot = f32::from(q) * scale;
+            }
+        }
+        out
+    }
+
+    /// Worst-case reconstruction error of any element, `max |deq - orig|`.
+    pub fn reconstruction_error(&self, original: &Matrix) -> f32 {
+        self.dequantize().max_abs_diff(original)
+    }
+}
+
+/// A deploy-time quantized affine layer `y = x * W + b`.
+///
+/// `W` (given `in_dim x out_dim`, as a [`crate::ParamStore`] stores it)
+/// is kept transposed so each output channel is one contiguous `i8` row —
+/// the inner product runs over `i8` codes with an `i32` accumulator and
+/// dequantizes once per output element.
+#[derive(Debug, Clone)]
+pub struct QuantizedLinear {
+    /// `out_dim x in_dim`: row `o` holds output channel `o`'s weights.
+    weight_t: QuantizedMatrix,
+    bias: Option<Matrix>,
+}
+
+impl QuantizedLinear {
+    /// Quantizes an `in_dim x out_dim` weight (and optional `1 x out_dim`
+    /// bias, kept `f32`) into the transposed per-channel representation.
+    pub fn new(weight: &Matrix, bias: Option<&Matrix>) -> Self {
+        Self { weight_t: QuantizedMatrix::quantize(&weight.transpose()), bias: bias.cloned() }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.weight_t.cols()
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.weight_t.rows()
+    }
+
+    /// The quantized affine kernel: dynamically quantizes each row of `x`
+    /// (per-row symmetric scale), accumulates `i8 x i8` products in
+    /// `i32`, and dequantizes with the product of the two scales.
+    ///
+    /// # Panics
+    /// Panics if `x.cols() != in_dim`.
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        let (m, k) = x.shape();
+        assert_eq!(k, self.in_dim(), "quantized affine input width mismatch");
+        let out_dim = self.out_dim();
+        let mut out = Matrix::zeros(m, out_dim);
+        // Serving runs this on many tiny (often 1-row) inputs — slice
+        // heads, set elements, attention projections — so the activation
+        // scratch row lives on the stack whenever it fits.
+        let mut qx_stack = [0i8; 512];
+        let mut qx_heap;
+        let qx: &mut [i8] = if k <= qx_stack.len() {
+            &mut qx_stack[..k]
+        } else {
+            qx_heap = vec![0i8; k];
+            &mut qx_heap
+        };
+        let bias_row = self.bias.as_ref().map(|b| b.row(0));
+        for r in 0..m {
+            let row = x.row(r);
+            let max_abs = row.iter().fold(0.0f32, |acc, &v| acc.max(v.abs()));
+            let out_row = out.row_mut(r);
+            if max_abs == 0.0 || !max_abs.is_finite() {
+                // Zero (or non-finite, which quantization cannot honor)
+                // activations contribute nothing: the affine output is
+                // just the bias.
+                if let Some(b) = bias_row {
+                    out_row.copy_from_slice(b);
+                }
+                continue;
+            }
+            let x_scale = max_abs / QMAX;
+            let inv_scale = QMAX / max_abs;
+            for (slot, &v) in qx.iter_mut().zip(row) {
+                // Branchless round-half-away-from-zero: adding a
+                // sign-matched 0.5 then truncating matches `f32::round`
+                // without the per-element libm call the baseline target
+                // would otherwise emit.
+                let scaled = v * inv_scale;
+                let rounded = (scaled + f32::copysign(0.5, scaled)) as i32;
+                *slot = rounded.clamp(-127, 127) as i8;
+            }
+            for (o, slot) in out_row.iter_mut().enumerate() {
+                let codes = &self.weight_t.data[o * k..(o + 1) * k];
+                let mut acc = 0i32;
+                // i8 x i8 fits in i16 exactly (|x| <= 127), and the
+                // narrower product lets the autovectorizer use widening
+                // multiply-add instead of full i32 lane multiplies.
+                for (&xa, &wb) in qx.iter().zip(codes) {
+                    acc += i32::from(i16::from(xa) * i16::from(wb));
+                }
+                let bias = bias_row.map_or(0.0, |b| b[o]);
+                *slot = acc as f32 * (x_scale * self.weight_t.scales[o]) + bias;
+            }
+        }
+        out
+    }
+
+    /// Total `i8` weight count (for size/telemetry reporting).
+    pub fn weight_count(&self) -> usize {
+        self.weight_t.rows() * self.weight_t.cols()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_matrix(rng: &mut SmallRng, rows: usize, cols: usize) -> Matrix {
+        let data = (0..rows * cols).map(|_| rng.gen_range(-1.5f32..1.5)).collect();
+        Matrix::from_vec(rows, cols, data)
+    }
+
+    #[test]
+    fn roundtrip_error_bounded_by_half_step() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let m = random_matrix(&mut rng, 12, 33);
+        let q = QuantizedMatrix::quantize(&m);
+        // Symmetric round-to-nearest: error is at most half a step per row.
+        for r in 0..m.rows() {
+            let max_abs = m.row(r).iter().fold(0.0f32, |a, &x| a.max(x.abs()));
+            let step = max_abs / 127.0;
+            let deq = q.dequantize();
+            for c in 0..m.cols() {
+                assert!((deq[(r, c)] - m[(r, c)]).abs() <= step * 0.5 + 1e-7);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_rows_quantize_to_zero() {
+        let m = Matrix::zeros(3, 5);
+        let q = QuantizedMatrix::quantize(&m);
+        assert_eq!(q.dequantize(), m);
+    }
+
+    #[test]
+    fn affine_tracks_f32_reference() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let w = random_matrix(&mut rng, 48, 24);
+        let b = random_matrix(&mut rng, 1, 24);
+        let x = random_matrix(&mut rng, 9, 48);
+        let ql = QuantizedLinear::new(&w, Some(&b));
+        let exact = {
+            let mut y = x.matmul(&w);
+            for r in 0..y.rows() {
+                for c in 0..y.cols() {
+                    y[(r, c)] += b[(0, c)];
+                }
+            }
+            y
+        };
+        let approx = ql.forward(&x);
+        assert_eq!(approx.shape(), exact.shape());
+        // Per-term error is ~|w|*dx + |x|*dw ~ 0.02 here; 48 random-sign
+        // terms keep the sum error well under 0.15.
+        assert!(exact.max_abs_diff(&approx) < 0.15, "err {}", exact.max_abs_diff(&approx));
+    }
+
+    #[test]
+    fn zero_activations_pass_bias_through() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let w = random_matrix(&mut rng, 6, 4);
+        let b = Matrix::row_vector(&[1.0, -2.0, 3.0, -4.0]);
+        let ql = QuantizedLinear::new(&w, Some(&b));
+        let y = ql.forward(&Matrix::zeros(2, 6));
+        assert_eq!(y.row(0), b.row(0));
+        assert_eq!(y.row(1), b.row(0));
+    }
+
+    #[test]
+    fn no_bias_affine_is_pure_product() {
+        let w = Matrix::eye(3);
+        let ql = QuantizedLinear::new(&w, None);
+        let x = Matrix::from_rows(&[vec![1.0, -0.5, 0.25]]);
+        let y = ql.forward(&x);
+        assert!(x.max_abs_diff(&y) < 0.01);
+    }
+}
