@@ -161,14 +161,19 @@ fn main() {
         serial_s, parallel_s
     );
     assert!(serial_history == parallel_history, "grad_workers changed the training trajectory");
-    if cores >= 4 {
+    // The scaling floor only means something on a host that can actually
+    // run 4 workers; either way the outcome is stated explicitly so the
+    // CI log (which greps for these markers) can't silently skip it.
+    let k2_floor_enforced = cores >= 4;
+    if k2_floor_enforced {
         assert!(
             train_speedup >= 1.8,
             "4 gradient workers must be >= 1.8x over serial on a {cores}-core host, \
              got {train_speedup:.2}x"
         );
+        println!("  K2 floor: ENFORCED (>= 1.8x on {cores} cores, got {train_speedup:.2}x)");
     } else {
-        println!("  (scaling floor not asserted: host has {cores} core(s))");
+        println!("  K2 floor: SKIPPED ({cores} core(s) < 4)");
     }
 
     println!("K3: quantized small-model forward vs f32 tape path (median of {reps})");
@@ -240,7 +245,8 @@ fn main() {
     }
     json.push_str(&format!(
         "  ],\n  \"training\": {{\"cores\": {cores}, \"serial_s\": {serial_s}, \
-         \"workers4_s\": {parallel_s}, \"speedup\": {train_speedup:.3}}},\n"
+         \"workers4_s\": {parallel_s}, \"speedup\": {train_speedup:.3}, \
+         \"floor_enforced\": {k2_floor_enforced}}},\n"
     ));
     json.push_str(&format!(
         "  \"quantized\": {{\"f32_s\": {f32_s}, \"quantized_s\": {quant_s}, \

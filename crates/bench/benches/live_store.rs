@@ -1,0 +1,170 @@
+//! **Live store** — incremental retrain vs full re-ingest at the
+//! tentpole scale: a 50k-row sealed base plus a 5k-row sealed delta.
+//!
+//! The cold path is what a scheduled rebuild does without the live
+//! store: re-parse the merged two-file contract (55k JSONL lines),
+//! rebuild the feature space, re-run architecture search, and train
+//! from random init. The incremental path is the live-store loop:
+//! pin a base+delta [`StoreSnapshot`], reuse the previous artifact's
+//! feature space and searched architecture, and continue training from
+//! its weights. Both paths run under the *same* `OvertonOptions`; the
+//! incremental run skips search by design (a fresh architecture would
+//! orphan the warm weights).
+//!
+//! Emits `BENCH_live_store.json` and panics (failing the CI step) when
+//! the incremental path is not >= 1.5x faster, or when two identical
+//! incremental runs disagree on a single promoted weight (training is
+//! seeded and deterministic, so they must be bit-identical).
+//!
+//! Run with: `cargo bench -p overton-bench --bench live_store`
+
+use overton::store::LiveStore;
+use overton::{OvertonOptions, Project};
+use overton_model::{SearchConfig, TrainConfig, TuningSpec};
+use overton_nlp::{generate_workload, WorkloadConfig};
+use overton_store::Dataset;
+use overton_tensor::ParamStore;
+use std::time::Instant;
+
+/// 47k train + 1k dev + 2k test = the 50k-row sealed base.
+const BASE_TRAIN: usize = 47_000;
+const BASE_DEV: usize = 1_000;
+const BASE_TEST: usize = 2_000;
+/// One sealed delta of captured live traffic.
+const DELTA_ROWS: usize = 5_000;
+
+/// The rebuild budget both paths run under: coarse search plus a short
+/// final training pass.
+fn options() -> OvertonOptions {
+    OvertonOptions {
+        tuning: Some(TuningSpec::default()),
+        search: SearchConfig {
+            trials: 6,
+            threads: 4,
+            train: TrainConfig { epochs: 2, early_stop_patience: 0, ..Default::default() },
+            ..Default::default()
+        },
+        train: TrainConfig { epochs: 3, early_stop_patience: 0, ..Default::default() },
+        ..Default::default()
+    }
+}
+
+fn params_equal(a: &ParamStore, b: &ParamStore) -> bool {
+    a.len() == b.len()
+        && a.ids().zip(b.ids()).all(|(x, y)| a.name(x) == b.name(y) && a.value(x) == b.value(y))
+}
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("overton-bench-live-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("bench scratch dir");
+
+    println!(
+        "live store: incremental retrain vs full re-ingest \
+         ({}k-row base, {}k-row delta)",
+        (BASE_TRAIN + BASE_DEV + BASE_TEST) / 1000,
+        DELTA_ROWS / 1000
+    );
+    let base = generate_workload(&WorkloadConfig {
+        n_train: BASE_TRAIN,
+        n_dev: BASE_DEV,
+        n_test: BASE_TEST,
+        seed: 17,
+        ..Default::default()
+    });
+    let delta = generate_workload(&WorkloadConfig {
+        n_train: DELTA_ROWS,
+        n_dev: 0,
+        n_test: 0,
+        seed: 404,
+        ..Default::default()
+    });
+
+    // The previous production run (untimed): the artifact the
+    // incremental path warm-starts from. A fixed architecture is enough
+    // here; what matters is its feature space and trained weights.
+    println!("  building the previous artifact on the base (untimed)...");
+    let previous = Project::from_dataset(&base)
+        .with_options(OvertonOptions {
+            train: TrainConfig { epochs: 3, early_stop_patience: 0, ..Default::default() },
+            ..Default::default()
+        })
+        .run()
+        .expect("previous run");
+    let artifact = previous.artifact().expect("previous artifact").clone();
+
+    // The live store: sealed base plus one sealed delta, snapshot pinned.
+    let live = LiveStore::create_from(dir.join("live"), base.seal()).expect("live store");
+    for record in delta.records() {
+        live.append(record.clone()).expect("append delta row");
+    }
+    live.flush().expect("seal delta");
+    let snapshot = live.snapshot();
+    assert_eq!(snapshot.len(), BASE_TRAIN + BASE_DEV + BASE_TEST + DELTA_ROWS);
+
+    // The cold path's input: the merged world as a fresh two-file
+    // contract, exactly what a rebuild without the live store re-ingests.
+    let schema_path = dir.join("schema.json");
+    let data_path = dir.join("data.jsonl");
+    let mut merged = Dataset::new(base.schema().clone());
+    for record in base.records().iter().chain(delta.records()) {
+        merged.push_unchecked(record.clone());
+    }
+    std::fs::write(&schema_path, base.schema().to_json()).expect("write schema.json");
+    merged.write_jsonl_file(&data_path).expect("write data.jsonl");
+
+    println!("  cold: re-ingest both files, search, train from scratch...");
+    let start = Instant::now();
+    let cold = Project::from_files(&schema_path, &data_path)
+        .with_options(options())
+        .run()
+        .expect("cold run");
+    let cold_s = start.elapsed().as_secs_f64();
+    assert!(!cold.report().warm_started);
+
+    // Two identical incremental runs: the slower one is the measured
+    // time (conservative), and their promoted weights must agree bit
+    // for bit — seeded training from the same snapshot and the same
+    // warm weights has exactly one trajectory.
+    let mut incremental_times = Vec::new();
+    let mut params: Vec<ParamStore> = Vec::new();
+    for round in 0..2 {
+        println!("  incremental (round {}): snapshot + warm start...", round + 1);
+        let start = Instant::now();
+        let run = Project::from_snapshot(&snapshot)
+            .with_options(options())
+            .warm_started(artifact.clone())
+            .run()
+            .expect("incremental run");
+        incremental_times.push(start.elapsed().as_secs_f64());
+        let incr = run.artifact().expect("incremental artifact");
+        assert!(run.report().warm_started);
+        assert_eq!(run.report().snapshot_generation, Some(snapshot.generation()));
+        assert_eq!(incr.config, artifact.config, "warm start must keep the architecture");
+        params.push(incr.params.clone());
+    }
+    let incremental_s = incremental_times.iter().cloned().fold(0.0, f64::max);
+    let weight_parity = params_equal(&params[0], &params[1]);
+    assert!(weight_parity, "identical incremental runs promoted different weights");
+
+    let speedup = cold_s / incremental_s;
+    println!(
+        "  cold {cold_s:.2} s  incremental {incremental_s:.2} s  speedup {speedup:.2}x  \
+         weight parity: ok"
+    );
+    assert!(
+        speedup >= 1.5,
+        "incremental retrain must be >= 1.5x over full re-ingest, got {speedup:.2}x"
+    );
+
+    let json = format!(
+        "{{\n  \"base_rows\": {},\n  \"delta_rows\": {},\n  \"cold_s\": {cold_s},\n  \
+         \"incremental_s\": {incremental_s},\n  \"speedup\": {speedup:.3},\n  \
+         \"weight_parity\": {weight_parity}\n}}\n",
+        BASE_TRAIN + BASE_DEV + BASE_TEST,
+        DELTA_ROWS
+    );
+    std::fs::write("BENCH_live_store.json", &json).expect("write BENCH_live_store.json");
+    println!("wrote BENCH_live_store.json");
+    std::fs::remove_dir_all(&dir).ok();
+}

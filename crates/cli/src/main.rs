@@ -17,10 +17,11 @@ use overton::nlp::{
     write_two_file_workload, DriftConfig, DriftingTrafficStream, KnowledgeBase, TrafficConfig,
     WorkloadConfig,
 };
-use overton::obs::{default_rules, Monitor, ObsConfig, ObsLog};
+use overton::obs::{default_rules, Monitor, ObsConfig, ObsLog, Watchdog, WatchdogConfig};
 use overton::serving::net::{self, NetClient, NetConfig, NetServer, PredictOutcome};
 use overton::serving::{CascadeEngine, ServingConfig, TrafficBaseline, WorkerPool};
-use overton::store::ShardedStore;
+use overton::store::live::LIVE_MANIFEST;
+use overton::store::{LiveStore, Schema, ShardedStore};
 use overton::{model::DeployableModel, monitor::QualityReport, OvertonOptions, Project, Stage};
 use std::collections::BTreeMap;
 use std::net::TcpListener;
@@ -46,6 +47,13 @@ COMMANDS:
     trace     render spans: a run's trace.jsonl (trace <project-dir>), or
               a live server's slowest requests (trace <addr>, e.g.
               trace 127.0.0.1:7878)
+    append    append <dir> <file>: append JSONL records into the project's
+              live store (<dir>/live), sealing them as a delta segment
+    compact   merge the live store's sealed deltas into its base (atomic,
+              crash-safe; readers pinned to older snapshots are unaffected)
+    store     store verify <dir>: run checksum verification across the
+              live store's base + delta segments (or a plain sealed store
+              directory), printing per-segment status
 
 OPTIONS:
     --run <id>        operate on this run (default: the latest)
@@ -78,6 +86,9 @@ OPTIONS:
                       alerts, and an obslog under registry/<name>/obslog
     --drift           (serve) serve a seeded DriftingTrafficStream (slice
                       mix + vague-query shift halfway in; implies --obs)
+    --capture         (serve) after serving, append gold-labeled traffic
+                      from watchdog-escalated slices into <dir>/live for
+                      the next incremental retrain (implies --obs)
     --window <n>      (serve) requests per tumbling window [default: 250]
     --csv             (monitor) dump the windowed history as CSV
     --id <trace-id>   (trace <addr>) fetch one trace by id instead of the
@@ -104,11 +115,36 @@ fn run(args: &[String]) -> Result<(), String> {
         print!("{USAGE}");
         return Ok(());
     }
+    // `store verify <dir>` nests a subcommand before the directory.
+    if command == "store" {
+        return match args.get(1).map(String::as_str) {
+            Some("verify") => {
+                let dir = args
+                    .get(2)
+                    .filter(|a| !a.starts_with("--"))
+                    .ok_or_else(|| format!("missing <dir>\n\n{USAGE}"))?;
+                store_verify(Path::new(dir))
+            }
+            other => Err(format!(
+                "unknown store subcommand {:?}; try `overton store verify <dir>`",
+                other.unwrap_or("")
+            )),
+        };
+    }
     let dir = args
         .get(1)
         .filter(|a| !a.starts_with("--"))
         .ok_or_else(|| format!("missing <project-dir>\n\n{USAGE}"))?;
     let dir = PathBuf::from(dir);
+    // `append <dir> <file>` takes one more positional operand.
+    if command == "append" {
+        let file = args
+            .get(2)
+            .filter(|a| !a.starts_with("--"))
+            .ok_or_else(|| format!("missing <file>: append <dir> <file>\n\n{USAGE}"))?;
+        let _ = Flags::parse(&args[3..])?;
+        return append(&dir, Path::new(file));
+    }
     let flags = Flags::parse(&args[2..])?;
     match command.as_str() {
         "init" => init(&dir, &flags),
@@ -118,6 +154,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "monitor" => monitor(&dir, &flags),
         "report" => report(&dir, &flags),
         "trace" => trace(&dir, &flags),
+        "compact" => compact(&dir),
         other => Err(format!("unknown command '{other}'\n\n{USAGE}")),
     }
 }
@@ -141,6 +178,7 @@ struct Flags {
     max_conns: Option<usize>,
     obs: bool,
     drift: bool,
+    capture: bool,
     window: Option<u64>,
     csv: bool,
     id: Option<String>,
@@ -183,6 +221,10 @@ impl Flags {
                 "--obs" => flags.obs = true,
                 "--drift" => {
                     flags.drift = true;
+                    flags.obs = true;
+                }
+                "--capture" => {
+                    flags.capture = true;
                     flags.obs = true;
                 }
                 "--window" => flags.window = Some(parse_num(value("--window")?, "--window")?),
@@ -353,6 +395,9 @@ fn serve(dir: &Path, flags: &Flags) -> Result<(), String> {
     }
 
     if let Some(listener) = listener {
+        if flags.capture {
+            return Err("--capture works in replay mode; drop --listen".into());
+        }
         return serve_listen(dir, flags, listener, &id, server, baseline);
     }
 
@@ -435,6 +480,28 @@ fn serve(dir: &Path, flags: &Flags) -> Result<(), String> {
             }
         }
         report_log_failures(m);
+        // The capture half of the closed loop: gold-labeled traffic from
+        // watchdog-escalated slices lands in the live store, where
+        // `overton compact` and the next incremental retrain pick it up.
+        if flags.capture {
+            let watchdog = Watchdog::new(WatchdogConfig::default());
+            let flagged = watchdog.flagged_slices(m);
+            if flagged.is_empty() {
+                println!("capture: no sustained alerts; nothing captured");
+            } else {
+                let live = open_or_create_live(dir)?;
+                let captured =
+                    watchdog.capture_into(m, &records, &live).map_err(|e| e.to_string())?;
+                let generation = live.flush().map_err(|e| e.to_string())?;
+                println!(
+                    "capture: {captured} gold record(s) from {} slice(s) [{}] appended to {} \
+                     (generation {generation})",
+                    flagged.len(),
+                    flagged.join(", "),
+                    live.dir().display()
+                );
+            }
+        }
         println!("replay the history with: overton monitor {}", dir.display());
     }
     pool.shutdown();
@@ -785,6 +852,102 @@ fn print_spans(spans: &[overton::serving::Span]) {
             " ".repeat(lead),
             "#".repeat(fill),
         );
+    }
+}
+
+/// Where a project directory keeps its live store.
+fn live_dir(dir: &Path) -> PathBuf {
+    dir.join("live")
+}
+
+/// Opens the project's live store, creating it (from `<dir>/schema.json`)
+/// on first use.
+fn open_or_create_live(dir: &Path) -> Result<LiveStore, String> {
+    let live = live_dir(dir);
+    if live.join(LIVE_MANIFEST).exists() {
+        LiveStore::open(&live).map_err(|e| e.to_string())
+    } else {
+        let schema_path = dir.join("schema.json");
+        let schema = Schema::from_json_file(&schema_path)
+            .map_err(|e| format!("{}: {e}", schema_path.display()))?;
+        LiveStore::create(&live, schema).map_err(|e| e.to_string())
+    }
+}
+
+/// `overton append <dir> <file>`: stream a JSONL file into the project's
+/// live store and seal it as a delta segment.
+fn append(dir: &Path, file: &Path) -> Result<(), String> {
+    let live = open_or_create_live(dir)?;
+    let reader = std::fs::File::open(file).map_err(|e| format!("{}: {e}", file.display()))?;
+    let appended = live
+        .append_jsonl(std::io::BufReader::new(reader))
+        .map_err(|e| format!("{}: {e}", file.display()))?;
+    let generation = live.flush().map_err(|e| e.to_string())?;
+    println!(
+        "appended {appended} records to {} (generation {generation}, {} sealed rows, {} deltas)",
+        live.dir().display(),
+        live.sealed_rows(),
+        live.num_deltas()
+    );
+    Ok(())
+}
+
+/// `overton compact <dir>`: merge the live store's sealed deltas into its
+/// base segment.
+fn compact(dir: &Path) -> Result<(), String> {
+    let path = live_dir(dir);
+    let live = LiveStore::open(&path)
+        .map_err(|e| format!("{}: {e} (run `overton append` first)", path.display()))?;
+    let deltas = live.num_deltas();
+    if deltas == 0 {
+        println!("{}: no deltas to compact (generation {})", path.display(), live.generation());
+        return Ok(());
+    }
+    let generation = live.compact().map_err(|e| e.to_string())?;
+    println!(
+        "compacted {deltas} delta(s) into the base: generation {generation}, {} rows",
+        live.sealed_rows()
+    );
+    Ok(())
+}
+
+/// `overton store verify <dir>`: checksum-verify every segment of a live
+/// store (base + deltas) or plain sealed store directory, printing
+/// per-segment status. Accepts the store directory itself or a project
+/// directory holding one at `<dir>/live`.
+fn store_verify(dir: &Path) -> Result<(), String> {
+    let target = if dir.join(LIVE_MANIFEST).exists() || dir.join("manifest.json").exists() {
+        dir.to_path_buf()
+    } else if live_dir(dir).join(LIVE_MANIFEST).exists() {
+        live_dir(dir)
+    } else {
+        return Err(format!(
+            "{}: neither a live store, a sealed store, nor a project with one at live/",
+            dir.display()
+        ));
+    };
+    let report = overton::store::live::verify_dir(&target).map_err(|e| e.to_string())?;
+    if let Some(generation) = report.generation {
+        println!("{}: live store at generation {generation}", target.display());
+    } else {
+        println!("{}: sealed store", target.display());
+    }
+    for segment in &report.segments {
+        if segment.ok {
+            println!("  ok      {:<24} {}", segment.name, segment.detail);
+        } else {
+            println!("  FAILED  {:<24} {}", segment.name, segment.detail);
+        }
+    }
+    if report.ok() {
+        println!("all {} segment(s) verified", report.segments.len());
+        Ok(())
+    } else {
+        Err(format!(
+            "{} of {} segment(s) failed verification",
+            report.segments.iter().filter(|s| !s.ok).count(),
+            report.segments.len()
+        ))
     }
 }
 

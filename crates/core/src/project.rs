@@ -15,13 +15,13 @@ use crate::error::Error;
 use crate::pipeline::OvertonOptions;
 use crate::run::{Run, Stage};
 use crate::workflows::{diagnose_reports, ImprovementReport, SliceDiagnosis};
-use overton_model::ModelRegistry;
+use overton_model::{DeployableModel, ModelRegistry};
 use overton_monitor::QualityReport;
 use overton_obs as obs;
 use overton_serving::{
     CascadeEngine, DeploymentManager, ServingConfig, TrafficBaseline, WorkerPool,
 };
-use overton_store::{Dataset, ShardedStore};
+use overton_store::{Dataset, ShardedStore, StoreSnapshot};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -48,6 +48,15 @@ pub struct Project {
     source: Source,
     options: OvertonOptions,
     root: Option<PathBuf>,
+    /// A previous run's packaged artifact to warm-start new runs from
+    /// (the incremental retrain path): combine encodes in its feature
+    /// space, search keeps its architecture, train continues from its
+    /// weights.
+    warm: Option<Arc<DeployableModel>>,
+    /// The live-store snapshot generation the source store was pinned at,
+    /// when the project was built with [`Project::from_snapshot`];
+    /// recorded in the run's report and artifact metadata as lineage.
+    snapshot_generation: Option<u64>,
 }
 
 impl Project {
@@ -60,6 +69,8 @@ impl Project {
             source: Source::Files { schema: schema.into(), data: data.into() },
             options: OvertonOptions::default(),
             root: None,
+            warm: None,
+            snapshot_generation: None,
         }
     }
 
@@ -70,7 +81,39 @@ impl Project {
             source: Source::Store(Arc::new(store)),
             options: OvertonOptions::default(),
             root: None,
+            warm: None,
+            snapshot_generation: None,
         }
+    }
+
+    /// A project over a pinned [`StoreSnapshot`] of a live store
+    /// ([`LiveStore::snapshot`](overton_store::LiveStore::snapshot)).
+    /// The snapshot's merged base+delta store is adopted without copying
+    /// the shard blobs, and its generation id is recorded in every run's
+    /// report (and packaged artifact metadata) as data lineage — the
+    /// incremental-ingest loop's answer to "which data did these weights
+    /// see". Appends and compactions after the pin never perturb the run.
+    pub fn from_snapshot(snapshot: &StoreSnapshot) -> Self {
+        Self {
+            name: "overton".into(),
+            source: Source::Store(snapshot.store_arc()),
+            options: OvertonOptions::default(),
+            root: None,
+            warm: None,
+            snapshot_generation: Some(snapshot.generation()),
+        }
+    }
+
+    /// Warm-starts every run of this project from `artifact` (a previous
+    /// run's packaged model): combine encodes new rows in the artifact's
+    /// feature space (unseen tokens map to `<unk>`), search keeps its
+    /// architecture, and training continues from its weights. This is
+    /// the incremental retrain path — pair it with
+    /// [`from_snapshot`](Project::from_snapshot) over a base+delta world
+    /// to skip the full re-ingest.
+    pub fn warm_started(mut self, artifact: DeployableModel) -> Self {
+        self.warm = Some(Arc::new(artifact));
+        self
     }
 
     /// A project over an eager dataset (seals it once, up front).
@@ -151,6 +194,9 @@ impl Project {
         };
         let records = store.len();
         let mut run = Run::new(id, dir, self.options.clone(), store);
+        run.warm = self.warm.clone();
+        run.report.snapshot_generation = self.snapshot_generation;
+        run.report.warm_started = self.warm.is_some();
         run.note_stage(Stage::Ingest, start, records);
         if let Err(e) = persist(&run) {
             if let Some(dir) = run.dir() {
@@ -211,6 +257,9 @@ impl Project {
             Run::clear_stage_artifacts(&dir, Stage::Ingest);
             let records = store.len();
             let mut run = Run::new(run_id.to_string(), Some(dir), options, store);
+            run.warm = self.warm.clone();
+            run.report.snapshot_generation = self.snapshot_generation;
+            run.report.warm_started = self.warm.is_some();
             run.note_stage(Stage::Ingest, start, records);
             run.persist_report()?;
             return Ok(run);
@@ -378,10 +427,70 @@ impl Project {
         previous: &Run,
         slice: &str,
     ) -> Result<ImprovementReport, Error> {
+        let task = self.weakest_task_on_slice(previous, slice)?;
+        self.retrain_and_compare(previous, &task, slice)
+    }
+
+    /// Incremental variant of
+    /// [`retrain_and_compare`](Project::retrain_and_compare): instead of
+    /// re-ingesting the project source from scratch, trains on a pinned
+    /// live-store [`StoreSnapshot`] (base + sealed deltas) and
+    /// warm-starts from `previous`'s packaged weights — combine encodes
+    /// the snapshot in the previous run's feature space, search keeps
+    /// its architecture, train continues from its weights. The new run
+    /// records the snapshot generation in its report and artifact
+    /// metadata. Runs under this project's name, root and options.
+    pub fn retrain_incremental(
+        &self,
+        previous: &Run,
+        snapshot: &StoreSnapshot,
+        task: &str,
+        slice: &str,
+    ) -> Result<ImprovementReport, Error> {
+        let artifact = previous.artifact().ok_or_else(|| {
+            Error::run(
+                Stage::Package,
+                "previous run has no packaged artifact to warm-start from; complete it first",
+            )
+        })?;
+        let before =
+            previous.evaluation().and_then(|e| e.slice_accuracy(task, slice)).unwrap_or(0.0);
+        let project = Project {
+            name: self.name.clone(),
+            source: Source::Store(snapshot.store_arc()),
+            options: self.options.clone(),
+            root: self.root.clone(),
+            warm: Some(Arc::new(artifact.clone())),
+            snapshot_generation: Some(snapshot.generation()),
+        };
+        let run = project.run()?;
+        let after = run.evaluation().and_then(|e| e.slice_accuracy(task, slice)).unwrap_or(0.0);
+        Ok(ImprovementReport { build: run.into_build()?, before, after })
+    }
+
+    /// The incremental twin of
+    /// [`retrain_for_slice`](Project::retrain_for_slice): picks the task
+    /// that was weakest on the escalated slice in `previous`'s evaluation
+    /// (deterministically — lowest accuracy, ties on task name) and
+    /// delegates to [`retrain_incremental`](Project::retrain_incremental)
+    /// over the pinned snapshot.
+    pub fn retrain_for_slice_incremental(
+        &self,
+        previous: &Run,
+        snapshot: &StoreSnapshot,
+        slice: &str,
+    ) -> Result<ImprovementReport, Error> {
+        let task = self.weakest_task_on_slice(previous, slice)?;
+        self.retrain_incremental(previous, snapshot, &task, slice)
+    }
+
+    /// The task of `previous`'s evaluation that scored lowest on `slice`
+    /// (the shared picker behind both retrain-for-slice forms).
+    fn weakest_task_on_slice(&self, previous: &Run, slice: &str) -> Result<String, Error> {
         let evaluation = previous.evaluation().ok_or_else(|| {
             Error::run(Stage::Evaluate, "previous run has no evaluation; complete it first")
         })?;
-        let task = evaluation
+        evaluation
             .reports
             .iter()
             .filter_map(|(task, report)| {
@@ -396,8 +505,7 @@ impl Project {
                     Stage::Evaluate,
                     format!("no task of the previous run was evaluated on slice '{slice}'"),
                 )
-            })?;
-        self.retrain_and_compare(previous, &task, slice)
+            })
     }
 
     fn allocate_run_dir(&self) -> Result<(String, Option<PathBuf>), Error> {
@@ -522,5 +630,83 @@ impl Deployment {
     /// rules are taken as given).
     pub fn watch_with(&self, config: obs::ObsConfig) -> Result<obs::Monitor, Error> {
         Ok(obs::Monitor::attach(&self.pool, config, Some(&self.obslog_dir))?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use overton_model::TrainConfig;
+    use overton_nlp::{generate_workload, WorkloadConfig};
+    use overton_store::LiveStore;
+
+    fn quick_options() -> OvertonOptions {
+        OvertonOptions {
+            train: TrainConfig { epochs: 2, early_stop_patience: 0, ..Default::default() },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn incremental_retrain_warm_starts_from_a_pinned_snapshot() {
+        let dir = std::env::temp_dir()
+            .join(format!("overton-proj-incr-{}", std::process::id()))
+            .join("live");
+        std::fs::remove_dir_all(dir.parent().unwrap()).ok();
+
+        let base = generate_workload(&WorkloadConfig {
+            n_train: 120,
+            n_dev: 30,
+            n_test: 40,
+            seed: 21,
+            ..Default::default()
+        });
+        let live = LiveStore::create_from(&dir, base.seal_shards(2)).unwrap();
+
+        // Cold run over the generation-0 snapshot.
+        let snap0 = live.snapshot();
+        let project = Project::from_snapshot(&snap0).with_options(quick_options());
+        let run = project.run().unwrap();
+        assert_eq!(run.report().snapshot_generation, Some(0));
+        assert!(!run.report().warm_started);
+        let cold_artifact = run.artifact().unwrap().clone();
+
+        // Fresh labeled traffic lands in a delta; the pinned cold
+        // snapshot must not see it.
+        let extra = generate_workload(&WorkloadConfig {
+            n_train: 40,
+            n_dev: 0,
+            n_test: 0,
+            seed: 404,
+            ..Default::default()
+        });
+        for record in extra.records() {
+            live.append(record.clone()).unwrap();
+        }
+        live.flush().unwrap();
+        let snap1 = live.snapshot();
+        assert!(snap1.generation() > snap0.generation());
+        assert_eq!(snap0.len(), 190, "pinned snapshot saw appended rows");
+
+        // Warm retrain over the new snapshot: previous space and
+        // architecture carry over, lineage is recorded.
+        let report =
+            project.retrain_incremental(&run, &snap1, "Intent", "complex-disambiguation").unwrap();
+        assert!((0.0..=1.0).contains(&report.before));
+        assert!((0.0..=1.0).contains(&report.after));
+        let artifact = &report.build.artifact;
+        assert_eq!(artifact.metadata.get("warm_started").map(String::as_str), Some("true"));
+        assert_eq!(
+            artifact.metadata.get("snapshot_generation"),
+            Some(&snap1.generation().to_string())
+        );
+        assert!(report.build.trials.is_empty(), "warm runs never search");
+        assert_eq!(
+            artifact.space.token_vocab.len(),
+            cold_artifact.space.token_vocab.len(),
+            "warm run must encode in the previous run's feature space"
+        );
+
+        std::fs::remove_dir_all(dir.parent().unwrap()).ok();
     }
 }

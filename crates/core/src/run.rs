@@ -35,8 +35,9 @@ use crate::error::Error;
 use crate::pipeline::{OvertonBuild, OvertonOptions};
 use crate::workflows::{diagnose_reports, mean_accuracy, scored_accuracies, SliceDiagnosis};
 use overton_model::{
-    evaluate_store, prepare_store, search, train_model, CompiledModel, DeployableModel, Evaluation,
-    FeatureSpace, ModelConfig, PreparedData, Server, TrainReport, TrialResult,
+    evaluate_store, prepare_store, prepare_store_with_space, search, train_model, CompiledModel,
+    DeployableModel, Evaluation, FeatureSpace, ModelConfig, PreparedData, Server, TrainReport,
+    TrialResult,
 };
 use overton_serving::{Span, TrafficBaseline};
 use overton_store::{ShardedStore, StoreError};
@@ -137,6 +138,17 @@ pub struct RunReport {
     /// Mean of [`task_accuracy`](Self::task_accuracy) — the mean over
     /// *scored* tasks only, so unscored tasks cannot drag it down.
     pub mean_test_accuracy: f64,
+    /// The live-store snapshot generation the run trained on, when the
+    /// project was built from a [`StoreSnapshot`](overton_store::StoreSnapshot)
+    /// (absent for two-file and plain-store projects). Serde-defaulted so
+    /// reports persisted before this field parse unchanged.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub snapshot_generation: Option<u64>,
+    /// True when the run warm-started from a previous run's packaged
+    /// weights (the incremental retrain path) instead of training from a
+    /// fresh initialization.
+    #[serde(default, skip_serializing_if = "std::ops::Not::not")]
+    pub warm_started: bool,
 }
 
 impl RunReport {
@@ -211,6 +223,11 @@ pub struct Run {
     pub(crate) artifact: Option<DeployableModel>,
     pub(crate) evaluation: Option<Evaluation>,
     pub(crate) baseline: Option<TrafficBaseline>,
+    /// A previous run's packaged weights to warm-start from (the
+    /// incremental retrain path): combine encodes in this artifact's
+    /// feature space, search adopts its architecture, and train continues
+    /// from its weights instead of a fresh initialization.
+    pub(crate) warm: Option<Arc<DeployableModel>>,
     pub(crate) report: RunReport,
     /// The next stage to execute; `None` once the run is complete.
     pub(crate) cursor: Option<Stage>,
@@ -258,6 +275,7 @@ impl Run {
             artifact: None,
             evaluation: None,
             baseline: None,
+            warm: None,
             report,
             cursor: Some(Stage::Combine),
             trace_origin: Instant::now(),
@@ -441,7 +459,16 @@ impl Run {
         if self.store.index().train_rows().is_empty() {
             return Err(Error::NoTrainingData);
         }
-        let prepared = prepare_store(&self.store, &self.options.combine)?;
+        // Warm-started runs encode in the previous artifact's feature
+        // space (unseen tokens map to `<unk>`), so the carried-over
+        // weights keep their meaning; cold runs build the space from the
+        // rows as usual.
+        let prepared = match &self.warm {
+            Some(warm) => {
+                prepare_store_with_space(&self.store, &self.options.combine, warm.space.clone())?
+            }
+            None => prepare_store(&self.store, &self.options.combine)?,
+        };
         if prepared.train.iter().all(|e| e.targets.is_empty()) {
             return Err(Error::NoTrainingData);
         }
@@ -466,8 +493,13 @@ impl Run {
         let prepared = self.prepared.as_ref().ok_or_else(|| {
             Error::run(Stage::Search, "combine output not in memory (resume from combine)")
         })?;
-        let (chosen, trials) = match &self.options.tuning {
-            Some(spec) => search(
+        // A warm-started run must keep the architecture its weights were
+        // trained under — searching a new one would orphan them — so the
+        // previous artifact's config wins over both the tuning spec and
+        // the base model.
+        let (chosen, trials) = match (&self.warm, &self.options.tuning) {
+            (Some(warm), _) => (warm.config.clone(), Vec::new()),
+            (None, Some(spec)) => search(
                 self.store.schema(),
                 &prepared.space,
                 &prepared.train,
@@ -477,7 +509,7 @@ impl Run {
                 self.options.pretrained.as_ref(),
                 &self.options.search,
             ),
-            None => (self.options.base_model.clone(), Vec::new()),
+            (None, None) => (self.options.base_model.clone(), Vec::new()),
         };
         self.write_json(
             "search.json",
@@ -497,12 +529,17 @@ impl Run {
             .chosen_config
             .clone()
             .ok_or_else(|| Error::run(Stage::Train, "no architecture chosen (run search first)"))?;
-        let mut model = CompiledModel::compile(
-            self.store.schema(),
-            &prepared.space,
-            &chosen,
-            self.options.pretrained.as_ref(),
-        );
+        // Warm start: reinstantiate the previous run's weights and keep
+        // training; otherwise compile fresh.
+        let mut model = match &self.warm {
+            Some(warm) => warm.instantiate(),
+            None => CompiledModel::compile(
+                self.store.schema(),
+                &prepared.space,
+                &chosen,
+                self.options.pretrained.as_ref(),
+            ),
+        };
         let train_report =
             train_model(&mut model, &prepared.train, &prepared.dev, &self.options.train);
         self.write_json("train.json", &train_report)?;
@@ -541,6 +578,15 @@ impl Run {
         metadata.insert("dev_records".into(), self.dev_examples.to_string());
         metadata.insert("encoder".into(), format!("{:?}", chosen.encoder));
         metadata.insert("run".into(), self.id.clone());
+        // Data lineage for the incremental path: which live-store
+        // generation the weights saw, and whether they continued from a
+        // previous run's artifact.
+        if let Some(generation) = self.report.snapshot_generation {
+            metadata.insert("snapshot_generation".into(), generation.to_string());
+        }
+        if self.warm.is_some() {
+            metadata.insert("warm_started".into(), "true".into());
+        }
         let artifact = DeployableModel::package(model, space, metadata);
         self.write_bytes("artifact.model.json", &artifact.to_bytes())?;
         let records = model.num_weights();
@@ -669,6 +715,20 @@ impl Run {
                     format!("cannot resume: stage {stage} never completed in this run"),
                 ));
             }
+        }
+        // A warm-started run's combine/search/train stages depend on the
+        // previous artifact (its space, architecture and weights), which
+        // — like the pretrained encoder — is an input the run directory
+        // does not embed. Resuming one into a retraining stage would
+        // silently rebuild a *cold* feature space under warm artifacts;
+        // resume is only sound from package onward (those stages reload
+        // the trained snapshot, space included).
+        if report.warm_started && from <= Stage::Train {
+            return Err(Error::run(
+                from,
+                "cannot resume a warm-started (incremental) run from a stage that retrains; \
+                 re-run the incremental retrain against a fresh snapshot instead",
+            ));
         }
         // Keep telemetry for the stages we are not re-running.
         report.stages.retain(|s| s.stage < from);

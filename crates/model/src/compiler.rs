@@ -46,8 +46,22 @@ pub fn prepare_store(
     store: &ShardedStore,
     method: &CombineMethod,
 ) -> Result<PreparedData, CombineError> {
-    let schema = store.schema();
     let space = FeatureSpace::build_from_store(store)?;
+    prepare_store_with_space(store, method, space)
+}
+
+/// [`prepare_store`] with a caller-supplied [`FeatureSpace`] instead of
+/// one rebuilt from the rows. This is the incremental-retrain path: a
+/// warm-started run must encode new data in the *previous* run's space so
+/// the persisted weights keep their meaning (vocabularies map unseen
+/// tokens to `<unk>`, so fresh delta rows encode safely; slice membership
+/// is limited to the slices the space already names).
+pub fn prepare_store_with_space(
+    store: &ShardedStore,
+    method: &CombineMethod,
+    space: FeatureSpace,
+) -> Result<PreparedData, CombineError> {
+    let schema = store.schema();
     let combined = combine_all(store, method)?;
     let diagnostics: BTreeMap<String, Vec<SourceDiagnostics>> =
         combined.iter().map(|(task, result)| (task.clone(), result.sources.clone())).collect();
@@ -154,6 +168,46 @@ mod tests {
             assert_eq!(a.targets.keys().collect::<Vec<_>>(), b.targets.keys().collect::<Vec<_>>());
         }
         assert_eq!(sharded.diagnostics.len(), eager.diagnostics.len());
+    }
+
+    #[test]
+    fn prepare_with_previous_space_encodes_new_rows_via_unk() {
+        // Incremental retrain: encode a bigger store in the space built
+        // from a smaller one. Same-space prepare must be identical to the
+        // plain path; unseen tokens must map to <unk> without error.
+        let old = workload(0.3);
+        let old_store = old.seal_shards(2);
+        let old_space = FeatureSpace::build_from_store(&old_store).unwrap();
+
+        let same = prepare_store(&old_store, &CombineMethod::default()).unwrap();
+        let reused =
+            prepare_store_with_space(&old_store, &CombineMethod::default(), old_space.clone())
+                .unwrap();
+        assert_eq!(same.train.len(), reused.train.len());
+        for (a, b) in same.train.iter().zip(&reused.train) {
+            assert_eq!(a.sequences, b.sequences);
+            assert_eq!(a.sets, b.sets);
+        }
+
+        let newer = generate_workload(&WorkloadConfig {
+            n_train: 120,
+            n_dev: 20,
+            n_test: 20,
+            seed: 991, // different seed: fresh token material
+            ..Default::default()
+        });
+        let new_store = newer.seal_shards(2);
+        let prepared =
+            prepare_store_with_space(&new_store, &CombineMethod::default(), old_space.clone())
+                .unwrap();
+        assert_eq!(prepared.train.len(), 120);
+        assert_eq!(prepared.space.token_vocab.len(), old_space.token_vocab.len());
+        // Every encoded id is in the old vocab's range.
+        for ex in &prepared.train {
+            for ids in ex.sequences.values() {
+                assert!(ids.iter().all(|&id| id < old_space.token_vocab.len()));
+            }
+        }
     }
 
     #[test]

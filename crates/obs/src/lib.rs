@@ -51,5 +51,5 @@ pub use drift::{ks_statistic, psi_binary};
 pub use export::{metrics_ext, monitor_metrics};
 pub use monitor::{default_rules, Monitor, ObsConfig};
 pub use obslog::{ObsLog, ObsLogMeta};
-pub use watchdog::{Watchdog, WatchdogConfig, WATCHDOG_TASK};
+pub use watchdog::{Watchdog, WatchdogConfig, TAG_CAPTURED, WATCHDOG_TASK};
 pub use window::{GroupWindow, WindowRecord, WindowedStats};

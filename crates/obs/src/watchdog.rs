@@ -14,6 +14,7 @@
 use crate::alert::Severity;
 use crate::monitor::Monitor;
 use overton_monitor::{diagnose_reports, Metrics, QualityReport, SliceDiagnosis, SLICE_PREFIX};
+use overton_store::{LiveStore, Record, StoreError, TAG_DEV, TAG_TEST, TAG_TRAIN};
 use std::collections::BTreeMap;
 use std::collections::BTreeSet;
 
@@ -21,6 +22,11 @@ use std::collections::BTreeSet;
 /// quality (windowed gold accuracy is task-agnostic; the caller maps the
 /// slice back onto real tasks when retraining).
 pub const WATCHDOG_TASK: &str = "serving";
+
+/// Lineage tag stamped on every record the watchdog captures into a live
+/// store, so captured traffic stays queryable (and excludable) downstream
+/// exactly like synthetic cold-start data.
+pub const TAG_CAPTURED: &str = "capture:watchdog";
 
 /// When the watchdog escalates.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -115,6 +121,47 @@ impl Watchdog {
         let reports = BTreeMap::from([(WATCHDOG_TASK.to_string(), report)]);
         diagnose_reports(&reports, self.config.min_count)
     }
+
+    /// The capture half of the closed loop: appends the gold-labeled
+    /// records of `records` that belong to a currently escalated slice
+    /// ([`flagged_slices`](Watchdog::flagged_slices)) into `live`, where
+    /// the next incremental retrain picks them up as a sealed delta.
+    ///
+    /// Captured records are re-tagged as training data: `dev`/`test`
+    /// split tags are stripped (live traffic must never leak into the
+    /// held-out splits), `train` is ensured, and [`TAG_CAPTURED`] records
+    /// the lineage. Records without gold supervision are skipped — the
+    /// retrain needs labels, not more unlabeled drift. Returns how many
+    /// records were appended; the rows become visible to snapshots at
+    /// the next seal ([`LiveStore::flush`] or the byte/row target).
+    pub fn capture_into(
+        &self,
+        monitor: &Monitor,
+        records: &[Record],
+        live: &LiveStore,
+    ) -> Result<usize, StoreError> {
+        let flagged = self.flagged_slices(monitor);
+        if flagged.is_empty() {
+            return Ok(0);
+        }
+        let mut captured = 0;
+        for record in records {
+            if !record.slices().any(|s| flagged.iter().any(|f| f == s)) {
+                continue;
+            }
+            if !record.tasks.keys().any(|task| record.gold(task).is_some()) {
+                continue;
+            }
+            let mut capture = record.clone();
+            capture.tags.remove(TAG_DEV);
+            capture.tags.remove(TAG_TEST);
+            capture.tags.insert(TAG_TRAIN.to_string());
+            capture.tags.insert(TAG_CAPTURED.to_string());
+            live.append(capture)?;
+            captured += 1;
+        }
+        Ok(captured)
+    }
 }
 
 #[cfg(test)]
@@ -205,5 +252,68 @@ mod tests {
             min_count: 5,
         });
         assert!(strict.flagged_slices(&monitor).is_empty());
+    }
+
+    #[test]
+    fn capture_appends_gold_rows_from_flagged_slices_only() {
+        use overton_nlp::{generate_workload, WorkloadConfig};
+
+        const SLICE: &str = "complex-disambiguation";
+        let config = ObsConfig {
+            window_len: 10,
+            history: 16,
+            rules: vec![low_accuracy_rule(SLICE)],
+            ..Default::default()
+        };
+        let mut monitor = Monitor::new(vec![SLICE.into()], None, config);
+        for _ in 0..50 {
+            monitor.ingest(&sample(1, 0.0));
+        }
+        let watchdog = Watchdog::new(WatchdogConfig {
+            min_severity: Severity::Warning,
+            sustain_windows: 3,
+            min_count: 5,
+        });
+        assert_eq!(watchdog.flagged_slices(&monitor), vec![SLICE.to_string()]);
+
+        let ds = generate_workload(&WorkloadConfig {
+            n_train: 60,
+            n_dev: 20,
+            n_test: 20,
+            seed: 33,
+            slice_rate: 0.3,
+            ..Default::default()
+        });
+        let dir =
+            std::env::temp_dir().join(format!("overton-watchdog-capture-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let live = LiveStore::create(&dir, ds.schema().clone()).unwrap();
+
+        let captured = watchdog.capture_into(&monitor, ds.records(), &live).unwrap();
+        let eligible = ds
+            .records()
+            .iter()
+            .filter(|r| r.in_slice(SLICE) && r.tasks.keys().any(|t| r.gold(t).is_some()))
+            .count();
+        assert!(captured > 0);
+        assert_eq!(captured, eligible, "exactly the gold-labeled slice members are captured");
+        assert_eq!(live.pending_rows(), captured);
+
+        // Captured rows are retagged training data with capture lineage.
+        live.flush().unwrap();
+        let snapshot = live.snapshot();
+        for row in 0..snapshot.len() {
+            let record = snapshot.store().get(row).unwrap();
+            assert!(record.in_slice(SLICE));
+            assert!(record.has_tag(TAG_TRAIN) && record.has_tag(TAG_CAPTURED));
+            assert!(!record.has_tag(TAG_DEV) && !record.has_tag(TAG_TEST));
+            assert!(record.tasks.keys().any(|t| record.gold(t).is_some()));
+        }
+
+        // A quiet watchdog captures nothing.
+        let quiet = Monitor::new(vec![SLICE.into()], None, ObsConfig::default());
+        assert_eq!(watchdog.capture_into(&quiet, ds.records(), &live).unwrap(), 0);
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

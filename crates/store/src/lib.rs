@@ -27,6 +27,7 @@ mod schema;
 mod stats;
 mod tags;
 
+pub mod live;
 pub mod rowstore;
 
 pub use dataset::Dataset;
@@ -49,3 +50,7 @@ pub use rowstore::{
     LabelView, PayloadView, RowSetScan, RowView, ShardScan, ShardedStore, ShardedStoreBuilder,
     StoreIndex,
 };
+
+// The live store rides on top of it: append/seal/compact with
+// snapshot-isolated readers.
+pub use live::{LiveStore, LiveStoreConfig, StoreSnapshot};

@@ -74,11 +74,40 @@ impl StoreIndex {
         );
     }
 
+    /// Notes a zero-copy row view (what `read_dir` and the live store's
+    /// `open` rebuild per-segment indexes from, without decoding records).
+    pub(crate) fn note_view(&mut self, row: u32, view: &RowView<'_>) {
+        self.note_tags_and_sources(
+            row,
+            view.tags.iter().copied(),
+            view.tasks.iter().flat_map(|(t, sources)| sources.iter().map(move |(s, _)| (*t, *s))),
+        );
+    }
+
     /// Consumes the index, keeping only the task → sorted non-gold source
     /// map (shared with `Dataset`'s cached query index so the gold-source
     /// exclusion rule lives in one place).
     pub(crate) fn into_sources(self) -> BTreeMap<String, Vec<String>> {
         self.sources
+    }
+
+    /// Merges `other`'s entries into `self` with every row id shifted by
+    /// `offset`. Because live-store snapshots append segments *after* the
+    /// base rows (offsets strictly increase segment to segment), the
+    /// per-tag row lists stay sorted without a re-sort.
+    pub(crate) fn merge_shifted(&mut self, other: &StoreIndex, offset: u32) {
+        for (tag, rows) in &other.tags {
+            self.tags.entry(tag.clone()).or_default().extend(rows.iter().map(|&r| r + offset));
+        }
+        for (task, sources) in &other.sources {
+            let dst = self.sources.entry(task.clone()).or_default();
+            for source in sources {
+                if let Err(at) = dst.binary_search(source) {
+                    dst.insert(at, source.clone());
+                }
+            }
+        }
+        self.num_rows = self.num_rows.max(offset as usize + other.num_rows);
     }
 
     /// Number of rows in the indexed store.
@@ -323,7 +352,7 @@ impl ShardedStore {
         Self::assemble(schema, shards, index)
     }
 
-    fn assemble(schema: Schema, shards: Vec<RowStore>, index: StoreIndex) -> Self {
+    pub(crate) fn assemble(schema: Schema, shards: Vec<RowStore>, index: StoreIndex) -> Self {
         let mut starts = Vec::with_capacity(shards.len() + 1);
         starts.push(0usize);
         for shard in &shards {
@@ -331,6 +360,26 @@ impl ShardedStore {
         }
         let checksums = shards.iter().map(RowStore::blob_checksum).collect();
         Self { schema, shards, starts, checksums, index, scan_workers: Self::default_shards() }
+    }
+
+    /// Builds the merged read view a live-store snapshot hands out: this
+    /// store's shards followed by `extras` segments appended in order, with
+    /// each extra's index merged in at the right row offset. Shard blobs
+    /// are `Bytes`, so the merge clones refcounts, not row data.
+    pub(crate) fn with_extra_segments<'a>(
+        &self,
+        extras: impl Iterator<Item = (&'a RowStore, &'a StoreIndex)>,
+    ) -> Self {
+        let mut shards = self.shards.clone();
+        let mut index = self.index.clone();
+        let mut offset = self.len();
+        for (segment, segment_index) in extras {
+            index.merge_shifted(segment_index, offset as u32);
+            offset += segment.len();
+            shards.push(segment.clone());
+        }
+        index.num_rows = offset;
+        Self::assemble(self.schema.clone(), shards, index)
     }
 
     /// Overrides how many worker threads [`par_scan`](Self::par_scan) and
@@ -588,9 +637,32 @@ impl ShardedStore {
         // The count is now authenticated, but still cap the pre-allocation.
         let mut shards = Vec::with_capacity(n.min(1024));
         for (s, &expect) in shard_checksums.iter().enumerate() {
-            let shard = RowStore::read_file(dir.join(format!("shard-{s:04}.ovrs")))?;
+            let path = dir.join(format!("shard-{s:04}.ovrs"));
+            // Shard-file problems must name the offending path precisely:
+            // a file missing mid-sequence and a segment written in a
+            // different format version are distinct operator mistakes, not
+            // generic corruption.
+            let shard = RowStore::read_file(&path).map_err(|e| match e {
+                StoreError::Io(io) if io.kind() == std::io::ErrorKind::NotFound => {
+                    StoreError::Corrupt(format!(
+                        "{}: shard file {s} of {n} is missing",
+                        path.display()
+                    ))
+                }
+                StoreError::Io(io) => StoreError::Io(std::io::Error::new(
+                    io.kind(),
+                    format!("{}: {io}", path.display()),
+                )),
+                StoreError::Corrupt(msg) => {
+                    StoreError::Corrupt(format!("{}: {msg}", path.display()))
+                }
+                other => other,
+            })?;
             if shard.blob_checksum() != expect {
-                return Err(StoreError::Corrupt(format!("shard {s} does not match the manifest")));
+                return Err(StoreError::Corrupt(format!(
+                    "{}: shard {s} does not match the manifest",
+                    path.display()
+                )));
             }
             shards.push(shard);
         }
@@ -941,6 +1013,55 @@ mod tests {
         let err = ShardedStore::read_dir(&dir).unwrap_err();
         assert!(matches!(err, StoreError::Corrupt(_)), "{err}");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_shard_mid_sequence_names_the_path() {
+        let s = store(40, 3);
+        let dir =
+            std::env::temp_dir().join(format!("overton-missing-shard-{}", std::process::id()));
+        s.write_dir(&dir).unwrap();
+        std::fs::remove_file(dir.join("shard-0001.ovrs")).unwrap();
+        let err = ShardedStore::read_dir(&dir).unwrap_err();
+        let msg = err.to_string();
+        assert!(matches!(err, StoreError::Corrupt(_)), "{err}");
+        assert!(msg.contains("shard-0001.ovrs"), "must name the missing file: {msg}");
+        assert!(msg.contains("missing"), "{msg}");
+        assert!(msg.contains("1 of 3"), "must say where in the sequence: {msg}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mixed_shard_format_versions_name_the_path() {
+        let s = store(40, 3);
+        let dir = std::env::temp_dir().join(format!("overton-mixed-ver-{}", std::process::id()));
+        s.write_dir(&dir).unwrap();
+        // Rewrite one shard's header as format version 1: the version
+        // check fires before the checksum check, so the error is about the
+        // version — and it must say which file is the odd one out.
+        let path = dir.join("shard-0002.ovrs");
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[4..8].copy_from_slice(&1u32.to_le_bytes());
+        std::fs::write(&path, bytes).unwrap();
+        let err = ShardedStore::read_dir(&dir).unwrap_err();
+        let msg = err.to_string();
+        assert!(matches!(err, StoreError::Corrupt(_)), "{err}");
+        assert!(msg.contains("shard-0002.ovrs"), "must name the offending file: {msg}");
+        assert!(msg.contains("unsupported version 1"), "{msg}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn merge_shifted_appends_sorted_rows_and_sources() {
+        let a = store(20, 2);
+        let b = store(10, 1);
+        let mut merged = a.index().clone();
+        merged.merge_shifted(b.index(), 20);
+        assert_eq!(merged.num_rows(), 30);
+        assert_eq!(merged.test_rows(), &[0, 10, 20]);
+        assert_eq!(merged.slice_rows("hard"), &[0, 5, 10, 15, 20, 25]);
+        assert!(merged.rows(TAG_TRAIN).windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(merged.sources_for_task("Intent"), vec!["weak1".to_string(), "weak2".into()]);
     }
 
     #[test]
