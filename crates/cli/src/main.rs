@@ -43,6 +43,8 @@ COMMANDS:
     evaluate  re-run evaluation of a persisted run (no retraining)
     serve     serve a persisted run's test split through the worker pool
     monitor   replay the deployment's obslog: windowed history + alerts
+    meter     print the project's test-set reuse budget ledger
+              (<dir>/meter.json): initial budget, per-run debits, remaining
     report    print a persisted run's stage telemetry + quality reports
     trace     render spans: a run's trace.jsonl (trace <project-dir>), or
               a live server's slowest requests (trace <addr>, e.g.
@@ -152,6 +154,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "evaluate" => evaluate(&dir, &flags),
         "serve" => serve(&dir, &flags),
         "monitor" => monitor(&dir, &flags),
+        "meter" => meter(&dir),
         "report" => report(&dir, &flags),
         "trace" => trace(&dir, &flags),
         "compact" => compact(&dir),
@@ -577,7 +580,14 @@ fn serve_listen(
         net_config.max_connections = max_conns;
     }
     if let Some(m) = &monitor {
-        net_config.metrics_ext = Some(overton::obs::metrics_ext(Arc::clone(m)));
+        // The meter-aware hook re-reads <dir>/meter.json per scrape, so
+        // `overton_meter_budget_remaining` tracks retrains running
+        // alongside the server (the gauge is simply absent until a build
+        // starts the ledger).
+        net_config.metrics_ext = Some(overton::obs::metrics_ext_with_meter(
+            Arc::clone(m),
+            dir.join(overton::stats::METER_FILE),
+        ));
     }
     let net =
         NetServer::start(listener, Arc::clone(&pool), net_config).map_err(|e| e.to_string())?;
@@ -719,21 +729,32 @@ fn monitor(dir: &Path, flags: &Flags) -> Result<(), String> {
     );
     let names = stats.slice_names().to_vec();
     print!(
-        "{:>7} {:>7} {:>6} {:>6} {:>9} {:>9}",
-        "window", "count", "errors", "conf", "gold_acc", "p95"
+        "{:>7} {:>7} {:>6} {:>6} {:>9} {:>18} {:>9}",
+        "window", "count", "errors", "conf", "gold_acc", "gold_acc_95ci", "p95"
     );
     for name in &names {
         print!(" {name:>24}");
     }
     println!();
     for w in stats.windows() {
+        // Clopper-Pearson bounds on the window's gold accuracy, so a
+        // "drop" over a thin window reads as the wide interval it is.
+        let ci = (w.overall.gold_scored > 0).then(|| {
+            let successes = (w.overall.gold_correct_millionths as f64 / 1e6).round() as u64;
+            overton::stats::clopper_pearson(
+                successes,
+                w.overall.gold_scored,
+                overton::stats::DEFAULT_ALPHA,
+            )
+        });
         print!(
-            "{:>7} {:>7} {:>6} {:>6.3} {:>9} {:>9?}",
+            "{:>7} {:>7} {:>6} {:>6.3} {:>9} {:>18} {:>9?}",
             w.index,
             w.overall.count,
             w.overall.errors,
             w.overall.mean_confidence(),
             w.overall.gold_accuracy().map_or_else(|| "-".to_string(), |a| format!("{a:.3}")),
+            ci.map_or_else(|| "-".to_string(), |ci| ci.to_string()),
             w.latency_quantile(0.95)
         );
         for (i, _) in names.iter().enumerate() {
@@ -764,6 +785,33 @@ fn monitor(dir: &Path, flags: &Flags) -> Result<(), String> {
                 a.rule.threshold
             );
         }
+    }
+    Ok(())
+}
+
+/// `overton meter <dir>`: the project's test-set reuse budget ledger —
+/// how much statistical validity the holdout has left (every `overton
+/// build`/`evaluate` debits one look).
+fn meter(dir: &Path) -> Result<(), String> {
+    let path = dir.join(overton::stats::METER_FILE);
+    let ledger = overton::stats::MeterLedger::load(&path).map_err(|e| {
+        format!("cannot read {}: {e} (run `overton build` to start the ledger)", path.display())
+    })?;
+    println!("meter: {}", path.display());
+    println!(
+        "budget: {} initial, {} spent, {} remaining",
+        ledger.initial(),
+        ledger.spent(),
+        ledger.remaining()
+    );
+    for debit in ledger.debits() {
+        println!("  debit {:>4} {}", debit.amount, debit.run_id);
+    }
+    if ledger.exhausted() {
+        println!(
+            "WARNING: budget exhausted — holdout conclusions are no longer statistically \
+             trustworthy; collect a fresh test split"
+        );
     }
     Ok(())
 }

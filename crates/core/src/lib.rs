@@ -59,6 +59,11 @@ pub use workflows::{
     SliceDiagnosis,
 };
 
+// The deterministic statistics kernel — confidence intervals,
+// significance tests, and the test-set reuse meter — re-exported from
+// `overton-monitor` so every decision surface shares one implementation.
+pub use overton_monitor::stats;
+
 // Re-export the subsystem crates so downstream users need a single
 // dependency.
 pub use overton_model as model;

@@ -403,6 +403,16 @@ impl Project {
     /// two-file project, the freshly edited files) and reports the
     /// targeted `(task, slice)` accuracy before and after — the re-homed
     /// improve-and-retrain workflow.
+    ///
+    /// The comparison is significance-gated: the report carries
+    /// [`PromotionEvidence`](overton_monitor::stats::PromotionEvidence)
+    /// (per-slice success counts, confidence bounds, a one-sided
+    /// two-proportion p-value), and
+    /// [`ImprovementReport::promoted`] is true only when the new run's
+    /// per-slice win is statistically significant — a positive point
+    /// delta within holdout noise holds the old model. The evidence
+    /// (plus the remaining test-set reuse budget) is persisted into the
+    /// new run's `report.json` and its artifact metadata.
     pub fn retrain_and_compare(
         &self,
         previous: &Run,
@@ -411,9 +421,35 @@ impl Project {
     ) -> Result<ImprovementReport, Error> {
         let before =
             previous.evaluation().and_then(|e| e.slice_accuracy(task, slice)).unwrap_or(0.0);
-        let run = self.run()?;
+        let mut run = self.run()?;
         let after = run.evaluation().and_then(|e| e.slice_accuracy(task, slice)).unwrap_or(0.0);
-        Ok(ImprovementReport { build: run.into_build()?, before, after })
+        let evidence = Self::promotion_evidence(previous, &run, task, slice)?;
+        run.record_promotion(&evidence)?;
+        Ok(ImprovementReport { build: run.into_build()?, before, after, evidence })
+    }
+
+    /// The shared significance gate behind both retrain-and-compare
+    /// forms: evaluates the one-sided two-proportion test over the two
+    /// runs' per-slice success counts and attaches the new run's
+    /// remaining test-set reuse budget.
+    fn promotion_evidence(
+        previous: &Run,
+        run: &Run,
+        task: &str,
+        slice: &str,
+    ) -> Result<overton_monitor::stats::PromotionEvidence, Error> {
+        use crate::workflows::slice_counts;
+        let before = previous.evaluation().map_or((0, 0), |e| slice_counts(e, task, slice));
+        let after = run.evaluation().map_or((0, 0), |e| slice_counts(e, task, slice));
+        let mut evidence = overton_monitor::stats::evaluate_promotion(
+            task,
+            slice,
+            before,
+            after,
+            overton_monitor::stats::DEFAULT_ALPHA,
+        );
+        evidence.meter_remaining = run.report().meter_remaining;
+        Ok(evidence)
     }
 
     /// The automated end of Figure 1's loop: given a slice escalated by
@@ -463,9 +499,11 @@ impl Project {
             warm: Some(Arc::new(artifact.clone())),
             snapshot_generation: Some(snapshot.generation()),
         };
-        let run = project.run()?;
+        let mut run = project.run()?;
         let after = run.evaluation().and_then(|e| e.slice_accuracy(task, slice)).unwrap_or(0.0);
-        Ok(ImprovementReport { build: run.into_build()?, before, after })
+        let evidence = Self::promotion_evidence(previous, &run, task, slice)?;
+        run.record_promotion(&evidence)?;
+        Ok(ImprovementReport { build: run.into_build()?, before, after, evidence })
     }
 
     /// The incremental twin of

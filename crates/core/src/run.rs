@@ -149,6 +149,23 @@ pub struct RunReport {
     /// fresh initialization.
     #[serde(default, skip_serializing_if = "std::ops::Not::not")]
     pub warm_started: bool,
+    /// Seeded-bootstrap 95% interval on
+    /// [`mean_test_accuracy`](Self::mean_test_accuracy) (resampling over
+    /// the scored per-task accuracies; absent when no task scored or for
+    /// reports persisted before this field existed).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub mean_accuracy_ci: Option<overton_monitor::stats::Interval>,
+    /// Test-set reuse budget remaining after this run's evaluate stage
+    /// debited the project meter (ease.ml/meter-style ledger at
+    /// `<root>/meter.json`). Absent for rootless runs and for reports
+    /// persisted before the meter existed.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub meter_remaining: Option<u64>,
+    /// Statistical evidence behind the promotion decision this run was
+    /// part of, when it was produced by a retrain-and-compare workflow
+    /// (absent for plain builds and for pre-gate reports).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub promotion: Option<overton_monitor::stats::PromotionEvidence>,
 }
 
 impl RunReport {
@@ -180,6 +197,15 @@ impl fmt::Display for RunReport {
                 self.mean_test_accuracy,
                 self.task_accuracy.len()
             )?;
+        }
+        if let Some(ci) = &self.mean_accuracy_ci {
+            writeln!(f, "mean accuracy 95% bootstrap CI: {ci}")?;
+        }
+        if let Some(remaining) = self.meter_remaining {
+            writeln!(f, "test-set reuse budget remaining: {remaining}")?;
+        }
+        if let Some(promotion) = &self.promotion {
+            writeln!(f, "promotion: {promotion}")?;
         }
         Ok(())
     }
@@ -605,11 +631,37 @@ impl Run {
             .ok_or_else(|| Error::run(Stage::Evaluate, "no feature space (run combine first)"))?;
         let rows = self.store.index().test_rows();
         let evaluation = evaluate_store(model, &self.store, rows, space)?;
+        // Every look at the holdout spends statistical validity
+        // (ease.ml/meter): debit the project-level reuse ledger before
+        // reporting the numbers. Rootless/in-memory runs have no project
+        // directory and therefore no ledger to debit. The debit saturates
+        // rather than fails when the budget is exhausted — the remaining
+        // balance (surfaced in the report, `/metrics` and `overton
+        // meter`) is the warning, not a hard stop.
+        if let Some(root) = self.dir.as_ref().and_then(|d| d.parent()).and_then(|p| p.parent()) {
+            if !root.as_os_str().is_empty() {
+                let mut ledger = overton_monitor::stats::MeterLedger::open_or_create(root)?;
+                self.report.meter_remaining = Some(ledger.debit(&self.id, 1)?);
+            }
+        }
         // The filtered mean (shared kernel with `OvertonBuild`): only
         // tasks that produced an `overall` row enter numerator and
         // denominator.
         let task_accuracy = scored_accuracies(&evaluation.reports);
         self.report.mean_test_accuracy = mean_accuracy(&task_accuracy);
+        // Seeded bootstrap over the scored per-task accuracies — the
+        // non-binomial companion to the per-slice Clopper-Pearson bounds
+        // in the quality reports. Seed 0 always: same evaluation, same
+        // bounds, bit for bit.
+        let accuracies: Vec<f64> = task_accuracy.values().copied().collect();
+        self.report.mean_accuracy_ci = (!accuracies.is_empty()).then(|| {
+            overton_monitor::stats::bootstrap_mean_interval(
+                &accuracies,
+                overton_monitor::stats::DEFAULT_ALPHA,
+                1000,
+                0,
+            )
+        });
         self.report.task_accuracy = task_accuracy;
         let records = rows.len();
         self.write_json("evaluation.json", &evaluation.reports)?;
@@ -656,6 +708,32 @@ impl Run {
 
     pub(crate) fn persist_report(&self) -> Result<(), Error> {
         self.write_json("report.json", &self.report)
+    }
+
+    /// Records a retrain-and-compare promotion decision on this run: the
+    /// full evidence goes into the report (re-persisted as `report.json`)
+    /// and a summary into the packaged artifact's metadata (the artifact
+    /// file is rewritten), so both the run's monitoring record and the
+    /// deployable bytes carry the statistical trail.
+    pub(crate) fn record_promotion(
+        &mut self,
+        evidence: &overton_monitor::stats::PromotionEvidence,
+    ) -> Result<(), Error> {
+        self.report.promotion = Some(evidence.clone());
+        self.persist_report()?;
+        if let Some(artifact) = self.artifact.as_mut() {
+            let decision = if evidence.significant { "promote" } else { "hold" };
+            artifact.metadata.insert("promotion".into(), decision.into());
+            artifact
+                .metadata
+                .insert("promotion_p_value".into(), format!("{:.6}", evidence.p_value));
+            if let Some(remaining) = evidence.meter_remaining {
+                artifact.metadata.insert("meter_remaining".into(), remaining.to_string());
+            }
+            let bytes = artifact.to_bytes();
+            self.write_bytes("artifact.model.json", &bytes)?;
+        }
+        Ok(())
     }
 
     // ---- resume ---------------------------------------------------------
@@ -734,6 +812,9 @@ impl Run {
         report.stages.retain(|s| s.stage < from);
         report.task_accuracy.clear();
         report.mean_test_accuracy = 0.0;
+        report.mean_accuracy_ci = None;
+        report.meter_remaining = None;
+        report.promotion = None;
         report.run_id = id.clone();
 
         let mut run = Run::new(id, Some(dir.clone()), options, store);

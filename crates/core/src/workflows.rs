@@ -15,6 +15,7 @@
 
 use crate::error::OvertonError;
 use crate::pipeline::{build, OvertonBuild, OvertonOptions};
+use overton_monitor::stats;
 use overton_monitor::QualityReport;
 use overton_store::{Dataset, Record, TaskLabel};
 use std::collections::BTreeMap;
@@ -94,6 +95,10 @@ pub struct ImprovementReport {
     pub before: f64,
     /// Accuracy after the change.
     pub after: f64,
+    /// Statistical evidence for (or against) promoting the new build:
+    /// per-slice success counts, Clopper-Pearson bounds, and the
+    /// one-sided two-proportion p-value of the improvement.
+    pub evidence: stats::PromotionEvidence,
 }
 
 impl ImprovementReport {
@@ -101,6 +106,24 @@ impl ImprovementReport {
     pub fn delta(&self) -> f64 {
         self.after - self.before
     }
+
+    /// True when the retrain's per-slice win is statistically significant
+    /// — the promotion gate. A positive [`delta`](Self::delta) alone is
+    /// not enough; the improvement must be distinguishable from holdout
+    /// noise at the evidence's significance level.
+    pub fn promoted(&self) -> bool {
+        self.evidence.significant
+    }
+}
+
+/// `(successes, trials)` for a task on one slice of an evaluation —
+/// `(0, 0)` (total ignorance) when the slice row is absent.
+pub(crate) fn slice_counts(
+    evaluation: &overton_model::Evaluation,
+    task: &str,
+    slice: &str,
+) -> (u64, u64) {
+    evaluation.slice_metrics(task, slice).map_or((0, 0), |m| (m.successes(), m.count as u64))
 }
 
 /// Retrains after a supervision change and reports the targeted slice's
@@ -117,7 +140,14 @@ pub fn retrain_and_compare(
     let before = previous.evaluation.slice_accuracy(task, slice).unwrap_or(0.0);
     let new_build = build(dataset, options)?;
     let after = new_build.evaluation.slice_accuracy(task, slice).unwrap_or(0.0);
-    Ok(ImprovementReport { build: new_build, before, after })
+    let evidence = stats::evaluate_promotion(
+        task,
+        slice,
+        slice_counts(&previous.evaluation, task, slice),
+        slice_counts(&new_build.evaluation, task, slice),
+        stats::DEFAULT_ALPHA,
+    );
+    Ok(ImprovementReport { build: new_build, before, after, evidence })
 }
 
 /// Cold start (paper §2.3): a new feature launches with **zero** organic

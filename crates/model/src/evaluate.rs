@@ -30,6 +30,14 @@ impl Evaluation {
     pub fn slice_accuracy(&self, task: &str, slice: &str) -> Option<f64> {
         self.reports.get(task)?.group(&format!("slice:{slice}")).map(|m| m.accuracy)
     }
+
+    /// Full metrics for a task on one slice — unlike
+    /// [`slice_accuracy`](Self::slice_accuracy) this keeps the scored
+    /// example count, which is what significance tests and confidence
+    /// intervals need.
+    pub fn slice_metrics(&self, task: &str, slice: &str) -> Option<Metrics> {
+        self.reports.get(task)?.group(&format!("slice:{slice}")).copied()
+    }
 }
 
 /// Scored pairs for one task on one record.

@@ -2,8 +2,9 @@
 //!
 //! Fine-grained quality monitoring (the paper's first key challenge):
 //! confusion matrices, multiclass/bitvector metrics, per-tag and per-slice
-//! quality reports with CSV (Pandas) export, and version-over-version
-//! regression detection.
+//! quality reports with CSV (Pandas) export, version-over-version
+//! regression detection, and the deterministic statistics kernel
+//! ([`stats`]) the automated loop gates on.
 
 #![warn(missing_docs)]
 
@@ -13,6 +14,7 @@ mod confusion;
 mod diagnose;
 mod metrics;
 mod report;
+pub mod stats;
 
 pub use accum::MetricsAccumulator;
 pub use calibration::{calibration_report, CalibrationBin, CalibrationReport};

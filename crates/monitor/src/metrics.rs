@@ -27,6 +27,19 @@ impl Metrics {
     pub fn error(&self) -> f64 {
         1.0 - self.accuracy
     }
+
+    /// Number of exactly-correct examples implied by `accuracy * count`
+    /// (rounded — accuracy is stored as a fraction of an integer count).
+    pub fn successes(&self) -> u64 {
+        (self.accuracy * self.count as f64).round() as u64
+    }
+
+    /// Exact Clopper-Pearson `1 - alpha` confidence interval on
+    /// `accuracy`, reconstructed from the integer success count. An empty
+    /// group is total ignorance, `[0, 1]`.
+    pub fn accuracy_interval(&self, alpha: f64) -> crate::stats::Interval {
+        crate::stats::clopper_pearson(self.successes(), self.count as u64, alpha)
+    }
 }
 
 /// Computes multiclass metrics from parallel prediction/gold class slices.

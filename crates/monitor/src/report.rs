@@ -5,6 +5,7 @@
 //! exportable to CSV for Pandas.
 
 use crate::metrics::Metrics;
+use crate::stats::{Interval, DEFAULT_ALPHA};
 use std::fmt;
 use std::io::Write;
 
@@ -15,6 +16,11 @@ pub struct ReportRow {
     pub group: String,
     /// Metrics over the group.
     pub metrics: Metrics,
+    /// 95% Clopper-Pearson bounds on `metrics.accuracy` (`None` on rows
+    /// deserialized from reports written before bounds existed —
+    /// recompute via [`Metrics::accuracy_interval`] if needed).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub accuracy_ci: Option<Interval>,
 }
 
 /// A per-group quality report for one task.
@@ -32,9 +38,11 @@ impl QualityReport {
         Self { task: task.to_string(), rows: Vec::new() }
     }
 
-    /// Appends a group row.
+    /// Appends a group row, computing 95% Clopper-Pearson bounds on its
+    /// accuracy from the group's sample size.
     pub fn push(&mut self, group: &str, metrics: Metrics) {
-        self.rows.push(ReportRow { group: group.to_string(), metrics });
+        let accuracy_ci = Some(metrics.accuracy_interval(DEFAULT_ALPHA));
+        self.rows.push(ReportRow { group: group.to_string(), metrics, accuracy_ci });
     }
 
     /// Looks up a group's metrics.
@@ -47,22 +55,29 @@ impl QualityReport {
         self.group("overall")
     }
 
-    /// Writes the report as CSV (`task,group,count,accuracy,macro_f1,micro_f1`).
-    /// Task and group names are CSV-escaped: slice and tag names are
-    /// free-form and can contain commas or quotes.
+    /// Writes the report as CSV
+    /// (`task,group,count,accuracy,macro_f1,micro_f1,acc_lower,acc_upper`;
+    /// the trailing columns are the row's 95% Clopper-Pearson accuracy
+    /// bounds, recomputed when a legacy row lacks them). Task and group
+    /// names are CSV-escaped: slice and tag names are free-form and can
+    /// contain commas or quotes.
     pub fn write_csv(&self, mut w: impl Write) -> std::io::Result<()> {
-        writeln!(w, "task,group,count,accuracy,macro_f1,micro_f1")?;
+        writeln!(w, "task,group,count,accuracy,macro_f1,micro_f1,acc_lower,acc_upper")?;
         let task = csv_escape(&self.task);
         for row in &self.rows {
+            let ci =
+                row.accuracy_ci.unwrap_or_else(|| row.metrics.accuracy_interval(DEFAULT_ALPHA));
             writeln!(
                 w,
-                "{},{},{},{:.6},{:.6},{:.6}",
+                "{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6}",
                 task,
                 csv_escape(&row.group),
                 row.metrics.count,
                 row.metrics.accuracy,
                 row.metrics.macro_f1,
-                row.metrics.micro_f1
+                row.metrics.micro_f1,
+                ci.lower,
+                ci.upper
             )?;
         }
         Ok(())
@@ -89,16 +104,23 @@ impl fmt::Display for QualityReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let width = self.rows.iter().map(|r| r.group.len()).max().unwrap_or(7).max(7);
         writeln!(f, "task: {}", self.task)?;
-        writeln!(f, "{:>width$}  {:>6}  {:>8}  {:>8}  {:>8}", "group", "n", "acc", "maF1", "miF1")?;
+        writeln!(
+            f,
+            "{:>width$}  {:>6}  {:>8}  {:>8}  {:>8}  {:>16}",
+            "group", "n", "acc", "maF1", "miF1", "acc 95% CI"
+        )?;
         for row in &self.rows {
+            let ci =
+                row.accuracy_ci.unwrap_or_else(|| row.metrics.accuracy_interval(DEFAULT_ALPHA));
             writeln!(
                 f,
-                "{:>width$}  {:>6}  {:>8.4}  {:>8.4}  {:>8.4}",
+                "{:>width$}  {:>6}  {:>8.4}  {:>8.4}  {:>8.4}  {:>16}",
                 row.group,
                 row.metrics.count,
                 row.metrics.accuracy,
                 row.metrics.macro_f1,
-                row.metrics.micro_f1
+                row.metrics.micro_f1,
+                ci.to_string()
             )?;
         }
         Ok(())
@@ -186,7 +208,10 @@ mod tests {
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 2);
         assert!(lines[0].starts_with("task,group"));
+        assert!(lines[0].ends_with("acc_lower,acc_upper"));
         assert!(lines[1].starts_with("Intent,overall,100,0.9"));
+        // The CI columns ride at the end of every row.
+        assert_eq!(lines[1].split(',').count(), 8);
     }
 
     #[test]
@@ -241,10 +266,44 @@ mod tests {
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 2);
         // Both free-form fields are quoted with inner quotes doubled, so
-        // the row parses back into exactly 6 fields under RFC 4180.
+        // the row parses back into exactly 8 fields under RFC 4180.
+        let ci = metrics(0.5, 10).accuracy_interval(DEFAULT_ALPHA);
         assert_eq!(
             lines[1],
-            "\"Intent,v2\",\"slice:hard, rare \"\"tail\"\"\",10,0.500000,0.500000,0.500000"
+            format!(
+                "\"Intent,v2\",\"slice:hard, rare \"\"tail\"\"\",10,0.500000,0.500000,0.500000,{:.6},{:.6}",
+                ci.lower, ci.upper
+            )
         );
+    }
+
+    #[test]
+    fn rows_carry_accuracy_bounds() {
+        let r = report(&[("overall", 0.9)]);
+        let ci = r.rows[0].accuracy_ci.unwrap();
+        assert!(ci.lower < 0.9 && 0.9 < ci.upper);
+        assert_eq!(ci, metrics(0.9, 100).accuracy_interval(DEFAULT_ALPHA));
+        assert!(r.to_string().contains(&ci.to_string()));
+    }
+
+    #[test]
+    fn legacy_rows_without_bounds_still_deserialize() {
+        // A report serialized before accuracy bounds existed has no
+        // `accuracy_ci` key; `#[serde(default)]` must accept it.
+        let json = "{\"task\":\"Intent\",\"rows\":[{\"group\":\"overall\",\
+                    \"metrics\":{\"count\":10,\"accuracy\":0.5,\
+                    \"macro_f1\":0.5,\"micro_f1\":0.5}}]}";
+        let r: QualityReport = serde_json::from_str(json).unwrap();
+        assert_eq!(r.rows[0].accuracy_ci, None);
+        // CSV export recomputes the bounds on the fly.
+        let mut buf = Vec::new();
+        r.write_csv(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let ci = metrics(0.5, 10).accuracy_interval(DEFAULT_ALPHA);
+        assert!(text
+            .lines()
+            .nth(1)
+            .unwrap()
+            .ends_with(&format!("{:.6},{:.6}", ci.lower, ci.upper)));
     }
 }

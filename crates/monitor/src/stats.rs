@@ -1,0 +1,788 @@
+//! Deterministic statistics kernel for the monitoring loop.
+//!
+//! Every automated decision Overton makes — firing an alert, promoting a
+//! retrained model — is ultimately a comparison of two noisy proportions,
+//! and at production traffic volumes a point estimate is not evidence.
+//! This module supplies the primitives the rest of the workspace gates
+//! on: exact Clopper-Pearson binomial intervals, seeded percentile
+//! bootstrap intervals for non-binomial metrics, one- and two-sided
+//! two-proportion significance tests, and the ease.ml/meter-style
+//! test-set reuse budget ledger ([`MeterLedger`]) that accounts for the
+//! statistical cost of re-evaluating against the same held-out split.
+//!
+//! Everything here is bit-deterministic: no system entropy, no wall
+//! clock, no platform-dependent libm calls on the result path (erf and
+//! the incomplete beta are computed in-module), so replaying an obslog or
+//! re-running an evaluation reproduces identical p-values and bounds.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Default significance level used across the workspace (95% intervals,
+/// promote/alert at p < 0.05 unless a rule says otherwise).
+pub const DEFAULT_ALPHA: f64 = 0.05;
+
+/// A closed confidence interval `[lower, upper]` on a scalar metric.
+#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct Interval {
+    /// Lower confidence bound.
+    pub lower: f64,
+    /// Upper confidence bound.
+    pub upper: f64,
+}
+
+impl Interval {
+    /// Interval width, `upper - lower`.
+    pub fn width(&self) -> f64 {
+        self.upper - self.lower
+    }
+
+    /// Whether `x` lies within the closed interval.
+    pub fn contains(&self, x: f64) -> bool {
+        self.lower <= x && x <= self.upper
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:.4}, {:.4}]", self.lower, self.upper)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Special functions (deterministic, in-module — no libm on the result path).
+// ---------------------------------------------------------------------------
+
+/// Lanczos g=7 coefficients for `ln_gamma`.
+const LANCZOS: [f64; 9] = [
+    0.999_999_999_999_809_9,
+    676.520_368_121_885_1,
+    -1_259.139_216_722_402_8,
+    771.323_428_777_653_1,
+    -176.615_029_162_140_6,
+    12.507_343_278_686_905,
+    -0.138_571_095_265_720_12,
+    9.984_369_578_019_572e-6,
+    1.505_632_735_149_311_6e-7,
+];
+
+/// Natural log of the gamma function (Lanczos approximation, g=7).
+/// Only called with positive arguments here.
+fn ln_gamma(x: f64) -> f64 {
+    if x < 0.5 {
+        let pi = std::f64::consts::PI;
+        (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x)
+    } else {
+        let x = x - 1.0;
+        let mut acc = LANCZOS[0];
+        let t = x + 7.5;
+        for (i, &c) in LANCZOS.iter().enumerate().skip(1) {
+            acc += c / (x + i as f64);
+        }
+        0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+    }
+}
+
+/// Continued-fraction core of the regularized incomplete beta (modified
+/// Lentz's method, Numerical Recipes `betacf`).
+fn betacf(a: f64, b: f64, x: f64) -> f64 {
+    const EPS: f64 = 3.0e-14;
+    const FPMIN: f64 = 1.0e-300;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < FPMIN {
+        d = FPMIN;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=200 {
+        let mf = m as f64;
+        let m2 = 2.0 * mf;
+        let aa = mf * (b - mf) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        let aa = -(a + mf) * (qab + mf) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Regularized incomplete beta function `I_x(a, b)` for `a, b > 0`.
+pub fn beta_inc(a: f64, b: f64, x: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x >= 1.0 {
+        return 1.0;
+    }
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * betacf(a, b, x) / a
+    } else {
+        1.0 - front * betacf(b, a, 1.0 - x) / b
+    }
+}
+
+/// Quantile of the Beta(a, b) distribution by bisection on [`beta_inc`].
+/// Bisection (100 halvings, past f64 resolution) rather than Newton: a
+/// fixed iteration count is branch-free across platforms, so results are
+/// bit-identical everywhere.
+fn beta_quantile(p: f64, a: f64, b: f64) -> f64 {
+    if p <= 0.0 {
+        return 0.0;
+    }
+    if p >= 1.0 {
+        return 1.0;
+    }
+    let (mut lo, mut hi) = (0.0_f64, 1.0_f64);
+    for _ in 0..100 {
+        let mid = 0.5 * (lo + hi);
+        if beta_inc(a, b, mid) < p {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Error function via Abramowitz & Stegun 7.1.26 (|error| ≤ 1.5e-7 —
+/// ample for p-values, and deterministic across platforms).
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = ((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
+        * t
+        + 0.254_829_592;
+    sign * (1.0 - poly * t * (-x * x).exp())
+}
+
+/// Standard normal CDF `Φ(z)`.
+pub fn normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+// ---------------------------------------------------------------------------
+// Interval estimators.
+// ---------------------------------------------------------------------------
+
+/// Exact Clopper-Pearson `1 - alpha` confidence interval for a binomial
+/// proportion with `successes` out of `trials`.
+///
+/// Edge behavior: `trials == 0` is total ignorance, `[0, 1]`; the lower
+/// bound is exactly 0 when `successes == 0` and the upper bound exactly 1
+/// when `successes == trials`. `successes` is clamped to `trials`.
+pub fn clopper_pearson(successes: u64, trials: u64, alpha: f64) -> Interval {
+    if trials == 0 {
+        return Interval { lower: 0.0, upper: 1.0 };
+    }
+    let successes = successes.min(trials);
+    let k = successes as f64;
+    let n = trials as f64;
+    let alpha = alpha.clamp(1e-12, 1.0 - 1e-12);
+    let lower = if successes == 0 { 0.0 } else { beta_quantile(alpha / 2.0, k, n - k + 1.0) };
+    let upper =
+        if successes == trials { 1.0 } else { beta_quantile(1.0 - alpha / 2.0, k + 1.0, n - k) };
+    Interval { lower, upper }
+}
+
+/// Seeded percentile-bootstrap `1 - alpha` interval on the mean of
+/// `values` — for metrics that are not success counts (macro-F1, mean
+/// task accuracy, latency summaries). The resampling stream is fully
+/// determined by `seed`, so the same inputs always yield bit-identical
+/// bounds. Empty input (or zero resamples) collapses to `[0, 0]`.
+pub fn bootstrap_mean_interval(
+    values: &[f64],
+    alpha: f64,
+    resamples: usize,
+    seed: u64,
+) -> Interval {
+    if values.is_empty() || resamples == 0 {
+        return Interval { lower: 0.0, upper: 0.0 };
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut means = Vec::with_capacity(resamples);
+    for _ in 0..resamples {
+        let mut sum = 0.0;
+        for _ in 0..values.len() {
+            sum += values[rng.gen_range(0..values.len())];
+        }
+        means.push(sum / values.len() as f64);
+    }
+    means.sort_by(f64::total_cmp);
+    let alpha = alpha.clamp(0.0, 1.0);
+    let last = resamples - 1;
+    let lo = ((alpha / 2.0) * last as f64).round() as usize;
+    let hi = (((1.0 - alpha / 2.0) * last as f64).round() as usize).clamp(lo, last);
+    Interval { lower: means[lo], upper: means[hi] }
+}
+
+// ---------------------------------------------------------------------------
+// Significance tests.
+// ---------------------------------------------------------------------------
+
+/// Pooled two-proportion z statistic; `None` when either sample is empty
+/// or the pooled variance is zero (both proportions at the same extreme —
+/// the data cannot distinguish them).
+fn pooled_z(k1: u64, n1: u64, k2: u64, n2: u64) -> Option<f64> {
+    if n1 == 0 || n2 == 0 {
+        return None;
+    }
+    let (k1, n1f) = (k1.min(n1) as f64, n1 as f64);
+    let (k2, n2f) = (k2.min(n2) as f64, n2 as f64);
+    let p1 = k1 / n1f;
+    let p2 = k2 / n2f;
+    let pool = (k1 + k2) / (n1f + n2f);
+    let se = (pool * (1.0 - pool) * (1.0 / n1f + 1.0 / n2f)).sqrt();
+    if se == 0.0 || !se.is_finite() {
+        return None;
+    }
+    Some((p1 - p2) / se)
+}
+
+/// Two-sided pooled two-proportion z-test: p-value for the hypothesis
+/// that `k1/n1` and `k2/n2` are draws from the same proportion.
+/// Degenerate inputs (an empty sample, or zero pooled variance) return
+/// 1.0 — no evidence either way.
+pub fn two_proportion_p_value(k1: u64, n1: u64, k2: u64, n2: u64) -> f64 {
+    match pooled_z(k1, n1, k2, n2) {
+        None => 1.0,
+        Some(z) => (2.0 * (1.0 - normal_cdf(z.abs()))).clamp(0.0, 1.0),
+    }
+}
+
+/// One-sided pooled two-proportion z-test: p-value for `k1/n1` being
+/// *greater* than `k2/n2`. This is the direction both gates care about —
+/// a slice's live traffic share significantly above its baseline share,
+/// a retrained model's slice accuracy significantly above the incumbent's.
+/// Degenerate inputs return 1.0.
+pub fn two_proportion_p_value_greater(k1: u64, n1: u64, k2: u64, n2: u64) -> f64 {
+    match pooled_z(k1, n1, k2, n2) {
+        None => 1.0,
+        Some(z) => (1.0 - normal_cdf(z)).clamp(0.0, 1.0),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Summaries and promotion evidence.
+// ---------------------------------------------------------------------------
+
+/// A binomial proportion with its exact confidence bounds — the unit of
+/// evidence the promotion gate records (`successes`/`trials` is the
+/// effective sample size a reader needs to judge the bounds).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ProportionSummary {
+    /// Number of successes (e.g. correct predictions on the slice).
+    pub successes: u64,
+    /// Number of trials (scored examples).
+    pub trials: u64,
+    /// Clopper-Pearson lower bound.
+    pub lower: f64,
+    /// Clopper-Pearson upper bound.
+    pub upper: f64,
+}
+
+impl ProportionSummary {
+    /// Summarizes `successes`/`trials` with `1 - alpha` Clopper-Pearson
+    /// bounds.
+    pub fn new(successes: u64, trials: u64, alpha: f64) -> Self {
+        let ci = clopper_pearson(successes, trials, alpha);
+        Self { successes: successes.min(trials), trials, lower: ci.lower, upper: ci.upper }
+    }
+
+    /// Point estimate `successes / trials` (0 when `trials == 0`).
+    pub fn point(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.successes as f64 / self.trials as f64
+        }
+    }
+
+    /// The bounds as an [`Interval`].
+    pub fn interval(&self) -> Interval {
+        Interval { lower: self.lower, upper: self.upper }
+    }
+}
+
+impl fmt::Display for ProportionSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4} ({}/{}) {}", self.point(), self.successes, self.trials, self.interval())
+    }
+}
+
+/// The statistical record behind a promote/hold decision: before and
+/// after per-slice accuracy summaries, the one-sided p-value of the
+/// improvement, the significance level it was judged at, and the test-set
+/// reuse budget remaining after the evaluation that produced it.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PromotionEvidence {
+    /// Task whose slice accuracy was compared.
+    pub task: String,
+    /// Slice the retrain targeted.
+    pub slice: String,
+    /// Incumbent model's slice accuracy with bounds.
+    pub before: ProportionSummary,
+    /// Candidate model's slice accuracy with bounds.
+    pub after: ProportionSummary,
+    /// One-sided p-value that `after` beats `before`.
+    pub p_value: f64,
+    /// Significance level the decision used.
+    pub alpha: f64,
+    /// Whether the win is statistically significant — the promote gate.
+    pub significant: bool,
+    /// Test-set reuse budget remaining after the candidate's evaluation
+    /// (absent for rootless runs with no ledger).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub meter_remaining: Option<u64>,
+}
+
+impl fmt::Display for PromotionEvidence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{}: {} -> {}, p={:.4} vs alpha={} -> {}",
+            self.task,
+            self.slice,
+            self.before,
+            self.after,
+            self.p_value,
+            self.alpha,
+            if self.significant { "promote" } else { "hold" }
+        )?;
+        if let Some(rem) = self.meter_remaining {
+            write!(f, " (meter remaining: {rem})")?;
+        }
+        Ok(())
+    }
+}
+
+/// Judges a candidate's per-slice win over the incumbent: one-sided
+/// two-proportion test of `after` > `before`, significant only when
+/// `p < alpha` *and* the point estimate actually improved.
+pub fn evaluate_promotion(
+    task: &str,
+    slice: &str,
+    before: (u64, u64),
+    after: (u64, u64),
+    alpha: f64,
+) -> PromotionEvidence {
+    let p_value = two_proportion_p_value_greater(after.0, after.1, before.0, before.1);
+    let before = ProportionSummary::new(before.0, before.1, alpha);
+    let after = ProportionSummary::new(after.0, after.1, alpha);
+    let significant = p_value < alpha && after.point() > before.point();
+    PromotionEvidence {
+        task: task.to_string(),
+        slice: slice.to_string(),
+        before,
+        after,
+        p_value,
+        alpha,
+        significant,
+        meter_remaining: None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Test-set reuse budget (ease.ml/meter).
+// ---------------------------------------------------------------------------
+
+/// Default test-set reuse budget granted to a fresh project: the number
+/// of adaptive holdout evaluations before the split should be considered
+/// burned (ease.ml/meter's budget, sized for the watchdog's retrain
+/// cadence rather than n^2 pessimism).
+pub const DEFAULT_METER_BUDGET: u64 = 40;
+
+/// File name of the ledger under the project root.
+pub const METER_FILE: &str = "meter.json";
+
+/// One recorded holdout evaluation.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MeterDebit {
+    /// Run that spent the evaluation.
+    pub run_id: String,
+    /// Units spent (1 per holdout evaluation).
+    pub amount: u64,
+}
+
+/// The per-project test-set reuse ledger, persisted as `meter.json` under
+/// the project root. Every holdout evaluation debits it; the remaining
+/// balance ships with promotion evidence and the `/metrics` exposition so
+/// an operator can see how much statistical validity the split has left.
+///
+/// On-disk format: `{"initial": N, "spent": M, "debits": [{"run_id":
+/// "run-0001", "amount": 1}, ...]}`.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MeterLedger {
+    initial: u64,
+    spent: u64,
+    #[serde(default)]
+    debits: Vec<MeterDebit>,
+    #[serde(skip)]
+    path: Option<PathBuf>,
+}
+
+impl MeterLedger {
+    /// A fresh in-memory ledger with the given budget (not persisted
+    /// until attached to a path via [`MeterLedger::open_or_create`]).
+    pub fn with_budget(initial: u64) -> Self {
+        Self { initial, spent: 0, debits: Vec::new(), path: None }
+    }
+
+    /// Opens `<root>/meter.json`, creating (and persisting) a fresh
+    /// ledger with [`DEFAULT_METER_BUDGET`] if none exists. A present but
+    /// unparsable ledger is a hard error — silently resetting a spent
+    /// budget would defeat the meter.
+    pub fn open_or_create(root: &Path) -> io::Result<Self> {
+        let path = root.join(METER_FILE);
+        if path.exists() {
+            return Self::load(&path);
+        }
+        let mut ledger = Self::with_budget(DEFAULT_METER_BUDGET);
+        ledger.path = Some(path);
+        ledger.persist()?;
+        Ok(ledger)
+    }
+
+    /// Loads an existing ledger file.
+    pub fn load(path: &Path) -> io::Result<Self> {
+        let text = std::fs::read_to_string(path)?;
+        let mut ledger: MeterLedger = serde_json::from_str(&text).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{}: corrupt meter ledger: {e}", path.display()),
+            )
+        })?;
+        ledger.path = Some(path.to_path_buf());
+        Ok(ledger)
+    }
+
+    /// Records `amount` holdout evaluations by `run_id`, persists the
+    /// ledger if it has a path, and returns the remaining budget.
+    /// Spending past zero is recorded (the overrun is visible evidence),
+    /// but `remaining` saturates at 0.
+    pub fn debit(&mut self, run_id: &str, amount: u64) -> io::Result<u64> {
+        self.spent += amount;
+        self.debits.push(MeterDebit { run_id: run_id.to_string(), amount });
+        self.persist()?;
+        Ok(self.remaining())
+    }
+
+    /// Budget granted at creation.
+    pub fn initial(&self) -> u64 {
+        self.initial
+    }
+
+    /// Units spent so far.
+    pub fn spent(&self) -> u64 {
+        self.spent
+    }
+
+    /// Budget remaining (saturating at 0).
+    pub fn remaining(&self) -> u64 {
+        self.initial.saturating_sub(self.spent)
+    }
+
+    /// Whether the budget is exhausted.
+    pub fn exhausted(&self) -> bool {
+        self.spent >= self.initial
+    }
+
+    /// The recorded per-run debits, oldest first.
+    pub fn debits(&self) -> &[MeterDebit] {
+        &self.debits
+    }
+
+    /// Where the ledger persists, when attached to a file.
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+
+    fn persist(&self) -> io::Result<()> {
+        let Some(path) = &self.path else {
+            return Ok(());
+        };
+        let text = serde_json::to_string_pretty(self)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        // Write-then-rename so a crash mid-write can't half-overwrite a
+        // valid ledger.
+        let tmp = path.with_extension("json.tmp");
+        std::fs::write(&tmp, text)?;
+        std::fs::rename(&tmp, path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "overton-stats-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn normal_cdf_reference_points() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-9);
+        assert!((normal_cdf(1.959_964) - 0.975).abs() < 1e-5);
+        assert!((normal_cdf(-1.959_964) - 0.025).abs() < 1e-5);
+        assert!(normal_cdf(8.0) > 0.999_999);
+        assert!(normal_cdf(-8.0) < 1e-6);
+    }
+
+    #[test]
+    fn beta_inc_matches_closed_forms() {
+        // I_x(1, 1) = x (uniform CDF).
+        for &x in &[0.1, 0.5, 0.9] {
+            assert!((beta_inc(1.0, 1.0, x) - x).abs() < 1e-10);
+        }
+        // I_x(1, b) = 1 - (1-x)^b.
+        let x = 0.3;
+        let b = 4.0;
+        assert!((beta_inc(1.0, b, x) - (1.0 - (1.0 - x).powf(b))).abs() < 1e-10);
+        // Symmetry: I_x(a, b) = 1 - I_{1-x}(b, a).
+        assert!((beta_inc(2.5, 3.5, 0.4) - (1.0 - beta_inc(3.5, 2.5, 0.6))).abs() < 1e-10);
+    }
+
+    #[test]
+    fn clopper_pearson_known_value() {
+        // 5/10 at 95%: the textbook Clopper-Pearson interval is
+        // (0.1871, 0.8129).
+        let ci = clopper_pearson(5, 10, 0.05);
+        assert!((ci.lower - 0.1871).abs() < 5e-4, "lower {}", ci.lower);
+        assert!((ci.upper - 0.8129).abs() < 5e-4, "upper {}", ci.upper);
+    }
+
+    #[test]
+    fn clopper_pearson_edge_cases() {
+        // n = 0: total ignorance.
+        assert_eq!(clopper_pearson(0, 0, 0.05), Interval { lower: 0.0, upper: 1.0 });
+        // k = 0: lower bound exactly 0, upper = 1 - (alpha/2)^(1/n).
+        let ci = clopper_pearson(0, 20, 0.05);
+        assert_eq!(ci.lower, 0.0);
+        assert!((ci.upper - (1.0 - 0.025_f64.powf(1.0 / 20.0))).abs() < 1e-9);
+        // k = n: upper bound exactly 1, symmetric with the k = 0 case.
+        let ci_full = clopper_pearson(20, 20, 0.05);
+        assert_eq!(ci_full.upper, 1.0);
+        assert!((ci_full.lower - (1.0 - ci.upper)).abs() < 1e-9);
+        // n = 1: a single trial tells almost nothing.
+        let one = clopper_pearson(1, 1, 0.05);
+        assert_eq!(one.upper, 1.0);
+        assert!((one.lower - 0.025).abs() < 1e-9);
+        assert!(one.width() > 0.9);
+        // k > n clamps.
+        assert_eq!(clopper_pearson(7, 5, 0.05).upper, 1.0);
+    }
+
+    #[test]
+    fn clopper_pearson_is_bit_deterministic() {
+        for (k, n) in [(0u64, 0u64), (3, 17), (250, 1000), (999, 1000)] {
+            let a = clopper_pearson(k, n, 0.05);
+            let b = clopper_pearson(k, n, 0.05);
+            assert_eq!(a.lower.to_bits(), b.lower.to_bits());
+            assert_eq!(a.upper.to_bits(), b.upper.to_bits());
+        }
+    }
+
+    #[test]
+    fn two_proportion_tests_behave() {
+        // Identical proportions: no evidence.
+        assert!(two_proportion_p_value(50, 100, 50, 100) > 0.9);
+        // A big separation at decent n is decisive.
+        assert!(two_proportion_p_value(90, 100, 50, 100) < 1e-6);
+        // One-sided: significant in the winning direction only.
+        assert!(two_proportion_p_value_greater(90, 100, 50, 100) < 1e-6);
+        assert!(two_proportion_p_value_greater(50, 100, 90, 100) > 0.999);
+        // The same delta at tiny n is not significant.
+        assert!(two_proportion_p_value_greater(5, 6, 3, 6) > 0.05);
+        // Degenerate: empty samples and zero pooled variance.
+        assert_eq!(two_proportion_p_value(0, 0, 5, 10), 1.0);
+        assert_eq!(two_proportion_p_value(5, 10, 0, 0), 1.0);
+        assert_eq!(two_proportion_p_value(10, 10, 10, 10), 1.0);
+        assert_eq!(two_proportion_p_value(0, 10, 0, 10), 1.0);
+        // Known value: 60/100 vs 45/100 pooled z ≈ 2.13, two-sided
+        // p ≈ 0.0334.
+        let p = two_proportion_p_value(60, 100, 45, 100);
+        assert!((p - 0.0334).abs() < 2e-3, "p {p}");
+    }
+
+    #[test]
+    fn bootstrap_is_seeded_and_bounded() {
+        let values: Vec<f64> = (0..40).map(|i| (i % 7) as f64 / 6.0).collect();
+        let a = bootstrap_mean_interval(&values, 0.05, 500, 42);
+        let b = bootstrap_mean_interval(&values, 0.05, 500, 42);
+        assert_eq!(a.lower.to_bits(), b.lower.to_bits());
+        assert_eq!(a.upper.to_bits(), b.upper.to_bits());
+        let (lo, hi) = values.iter().fold((f64::MAX, f64::MIN), |(l, h), &v| (l.min(v), h.max(v)));
+        assert!(a.lower >= lo && a.upper <= hi);
+        assert!(a.lower <= a.upper);
+        // A different seed resamples differently.
+        let c = bootstrap_mean_interval(&values, 0.05, 500, 43);
+        assert!(c != a || values.iter().all(|&v| v == values[0]));
+        // Degenerate inputs collapse.
+        assert_eq!(bootstrap_mean_interval(&[], 0.05, 500, 1), Interval::default());
+        assert_eq!(bootstrap_mean_interval(&[1.0], 0.05, 0, 1), Interval::default());
+        let constant = bootstrap_mean_interval(&[0.25; 8], 0.05, 100, 7);
+        assert_eq!(constant, Interval { lower: 0.25, upper: 0.25 });
+    }
+
+    #[test]
+    fn promotion_gate_requires_significance_and_direction() {
+        // Decisive win at decent n promotes.
+        let win = evaluate_promotion("Intent", "hard", (20, 40), (36, 40), 0.05);
+        assert!(win.significant);
+        assert!(win.p_value < 0.05);
+        assert!(win.after.point() > win.before.point());
+        // The same ratio at tiny n holds.
+        let tiny = evaluate_promotion("Intent", "hard", (2, 4), (4, 4), 0.05);
+        assert!(!tiny.significant);
+        // No movement holds (one-sided p at z = 0 is exactly one half).
+        let flat = evaluate_promotion("Intent", "hard", (30, 40), (30, 40), 0.05);
+        assert!(!flat.significant);
+        assert!((flat.p_value - 0.5).abs() < 1e-9);
+        // A regression holds even if someone passes a silly alpha.
+        let worse = evaluate_promotion("Intent", "hard", (36, 40), (20, 40), 0.999);
+        assert!(!worse.significant);
+        // Display carries the decision.
+        assert!(win.to_string().contains("promote"));
+        assert!(flat.to_string().contains("hold"));
+    }
+
+    #[test]
+    fn meter_ledger_persists_debits() {
+        let root = temp_dir("ledger");
+        let mut ledger = MeterLedger::open_or_create(&root).unwrap();
+        assert_eq!(ledger.initial(), DEFAULT_METER_BUDGET);
+        assert_eq!(ledger.remaining(), DEFAULT_METER_BUDGET);
+        assert_eq!(ledger.debit("run-0001", 1).unwrap(), DEFAULT_METER_BUDGET - 1);
+        assert_eq!(ledger.debit("run-0002", 1).unwrap(), DEFAULT_METER_BUDGET - 2);
+        // Reopen: the file remembers.
+        let reopened = MeterLedger::open_or_create(&root).unwrap();
+        assert_eq!(reopened.spent(), 2);
+        assert_eq!(reopened.remaining(), DEFAULT_METER_BUDGET - 2);
+        assert_eq!(reopened.debits().len(), 2);
+        assert_eq!(reopened.debits()[0].run_id, "run-0001");
+        assert!(!reopened.exhausted());
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn meter_ledger_saturates_and_reports_exhaustion() {
+        let mut ledger = MeterLedger::with_budget(2);
+        assert_eq!(ledger.debit("a", 1).unwrap(), 1);
+        assert_eq!(ledger.debit("b", 1).unwrap(), 0);
+        assert!(ledger.exhausted());
+        // Overrun is recorded but remaining saturates.
+        assert_eq!(ledger.debit("c", 1).unwrap(), 0);
+        assert_eq!(ledger.spent(), 3);
+    }
+
+    #[test]
+    fn meter_ledger_rejects_corruption() {
+        let root = temp_dir("corrupt");
+        std::fs::write(root.join(METER_FILE), "{not json").unwrap();
+        let err = MeterLedger::open_or_create(&root).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn cp_interval_is_sane(k in 0u64..500, extra in 0u64..500) {
+            let n = k + extra;
+            let ci = clopper_pearson(k, n, 0.05);
+            // Bounds stay in [0, 1] and ordered.
+            prop_assert!((0.0..=1.0).contains(&ci.lower));
+            prop_assert!((0.0..=1.0).contains(&ci.upper));
+            prop_assert!(ci.lower <= ci.upper);
+            // The interval contains the point estimate.
+            if n > 0 {
+                prop_assert!(ci.contains(k as f64 / n as f64));
+            }
+        }
+
+        #[test]
+        fn cp_interval_shrinks_with_n(k in 1u64..200, extra in 1u64..200, scale in 2u64..5) {
+            // Same proportion, `scale`x the evidence: the interval must
+            // narrow (strictly, away from the degenerate n = 0 case).
+            let n = k + extra;
+            let small = clopper_pearson(k, n, 0.05);
+            let big = clopper_pearson(k * scale, n * scale, 0.05);
+            prop_assert!(
+                big.width() < small.width(),
+                "width {} !< {} at k={k} n={n} scale={scale}",
+                big.width(),
+                small.width()
+            );
+        }
+
+        #[test]
+        fn p_values_stay_in_unit_range(
+            k1 in 0u64..300, e1 in 0u64..300, k2 in 0u64..300, e2 in 0u64..300
+        ) {
+            let (n1, n2) = (k1 + e1, k2 + e2);
+            for p in [
+                two_proportion_p_value(k1, n1, k2, n2),
+                two_proportion_p_value_greater(k1, n1, k2, n2),
+            ] {
+                prop_assert!((0.0..=1.0).contains(&p), "p {p}");
+                prop_assert!(p.is_finite());
+            }
+        }
+
+        #[test]
+        fn bootstrap_stays_within_data_range(
+            values in prop::collection::vec(0.0f64..1.0, 1..40),
+            seed in any::<u64>()
+        ) {
+            let ci = bootstrap_mean_interval(&values, 0.05, 64, seed);
+            let lo = values.iter().cloned().fold(f64::MAX, f64::min);
+            let hi = values.iter().cloned().fold(f64::MIN, f64::max);
+            prop_assert!(ci.lower >= lo - 1e-12 && ci.upper <= hi + 1e-12);
+            prop_assert!(ci.lower <= ci.upper);
+        }
+    }
+}

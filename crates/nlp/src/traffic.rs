@@ -152,6 +152,22 @@ impl Default for DriftConfig {
 }
 
 impl DriftConfig {
+    /// A *mild* drift over `base`: the slice and vague rates tick up by a
+    /// hair (0.06 → 0.09, 0.05 → 0.07 at the defaults) — a real shift,
+    /// but one whose per-window effect is within sampling noise at the
+    /// monitoring window sizes. This is the calibration workload for the
+    /// statistical alert gate: a naive point-estimate threshold pages on
+    /// it, a significance-tested one holds.
+    pub fn mild(base: TrafficConfig) -> Self {
+        Self {
+            end_slice_rate: (base.slice_rate + 0.03).min(1.0),
+            end_vague_rate: (base.vague_rate + 0.02).min(1.0),
+            drift_start: 1000,
+            drift_ramp: 250,
+            base,
+        }
+    }
+
     /// The `(slice_rate, vague_rate)` mix in effect for event `i`.
     pub fn rates_at(&self, i: usize) -> (f64, f64) {
         let t = if i < self.drift_start {
@@ -326,6 +342,23 @@ mod tests {
         // A zero-length ramp is a step change.
         let step = DriftConfig { drift_ramp: 0, ..config };
         assert_eq!(step.rates_at(step.drift_start).0, step.end_slice_rate);
+    }
+
+    #[test]
+    fn mild_drift_is_a_small_but_real_shift() {
+        let config = DriftConfig::mild(TrafficConfig::default());
+        // Real: both rates move up...
+        assert!(config.end_slice_rate > config.base.slice_rate);
+        assert!(config.end_vague_rate > config.base.vague_rate);
+        // ...but small: the slice-mix shift stays within a few points, so
+        // a monitoring window of a few hundred requests cannot
+        // distinguish it from sampling noise.
+        assert!(config.end_slice_rate - config.base.slice_rate < 0.05);
+        assert!(config.end_vague_rate - config.base.vague_rate < 0.05);
+        assert_eq!(config.rates_at(usize::MAX).0, config.end_slice_rate);
+        // Saturating near the top of the range stays a valid probability.
+        let hot = DriftConfig::mild(TrafficConfig { slice_rate: 0.99, ..Default::default() });
+        assert!(hot.end_slice_rate <= 1.0);
     }
 
     #[test]

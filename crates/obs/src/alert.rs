@@ -55,6 +55,18 @@ pub enum Signal {
     /// Fraction of requests that failed; fires when the value **exceeds**
     /// the threshold.
     ErrorRate,
+    /// Statistically gated traffic drift (slice-scoped rules only): the
+    /// one-sided two-proportion p-value that the slice's windowed traffic
+    /// share is *greater* than its baseline tagged share, given both
+    /// sample sizes. The threshold is the significance level — the rule
+    /// fires when the value **drops below** it (p < alpha), i.e. when the
+    /// observed shift is too large to be sampling noise at this window
+    /// size. Needs a baseline that recorded integer tag counts
+    /// ([`TrafficBaseline::sample_size`] > 0); older baselines silently
+    /// disable the rule. One-sided deliberately: under a mix shift toward
+    /// one slice, every *other* slice's share shrinks — a two-sided test
+    /// would page for healthy slices that merely got diluted.
+    Significance,
 }
 
 impl Signal {
@@ -65,13 +77,15 @@ impl Signal {
             Signal::ConfidenceKs => "confidence-ks",
             Signal::GoldAccuracy => "gold-accuracy",
             Signal::ErrorRate => "error-rate",
+            Signal::Significance => "significance",
         }
     }
 
     /// Whether `value` breaches `threshold` in this signal's direction.
     pub fn breaches(self, value: f64, threshold: f64) -> bool {
         match self {
-            Signal::GoldAccuracy => value < threshold,
+            // A p-value below the significance level is the breach.
+            Signal::GoldAccuracy | Signal::Significance => value < threshold,
             Signal::TrafficPsi | Signal::ConfidenceKs | Signal::ErrorRate => value > threshold,
         }
     }
@@ -279,7 +293,7 @@ fn signal_value(
                 Some(name) => baseline?.slice_confidence_hist(name)?,
                 None => baseline?.confidence_hist.as_slice(),
             };
-            ks_statistic(&group.confidence_hist, base_hist)
+            Some(ks_statistic(&group.confidence_hist, base_hist))
         }
         Signal::GoldAccuracy => {
             if group.gold_scored < rule.min_window_count {
@@ -292,6 +306,25 @@ fn signal_value(
                 return None;
             }
             Some(group.error_rate())
+        }
+        Signal::Significance => {
+            let name = rule.slice.as_deref()?;
+            let base = baseline?;
+            // Older baselines recorded shares only; without integer
+            // counts there is no sample size to test against.
+            if base.sample_size == 0 {
+                return None;
+            }
+            let base_count = base.tag_count(name)?;
+            if window.overall.count < rule.min_window_count {
+                return None;
+            }
+            Some(overton_monitor::stats::two_proportion_p_value_greater(
+                window.slices[slice_index?].count,
+                window.overall.count,
+                base_count,
+                base.sample_size,
+            ))
         }
     }
 }
@@ -316,12 +349,17 @@ mod tests {
     fn baseline(share: f64) -> TrafficBaseline {
         let mut hist = vec![0u64; CONFIDENCE_BINS];
         hist[confidence_bin(0.9)] = 100;
+        // Anchor the share to a concrete reference sample of 1000
+        // records so significance rules have counts to test against.
+        let sample_size = 1000u64;
         TrafficBaseline {
             slice_shares: vec![("hard".into(), share)],
             mean_confidence: 0.9,
             tag_shares: vec![("hard".into(), share)],
             confidence_hist: hist.clone(),
             slice_confidence_hists: vec![hist],
+            sample_size,
+            tag_counts: vec![(share * sample_size as f64).round() as u64],
         }
     }
 
@@ -446,9 +484,64 @@ mod tests {
         assert!(engine.alerts().iter().any(|a| a.signal == Signal::GoldAccuracy));
     }
 
+    fn significance_rule(alpha: f64, min: u64) -> AlertRule {
+        AlertRule {
+            slice: Some("hard".into()),
+            signal: Signal::Significance,
+            threshold: alpha,
+            min_window_count: min,
+            severity: Severity::Critical,
+        }
+    }
+
+    #[test]
+    fn significance_rule_fires_on_real_shifts_and_suppresses_noise() {
+        let names = vec!["hard".to_string()];
+        let base = baseline(0.1);
+        let mut engine = AlertEngine::new(vec![significance_rule(0.01, 10)], 2);
+        // Share 0.14 on a 100-request window against baseline 0.10/1000:
+        // a real-but-small wobble, p well above alpha — no page.
+        engine.evaluate(&names, Some(&base), &window(100, 14, 0.9));
+        assert!(engine.alerts().is_empty(), "insignificant wobble must not fire");
+        // Share 0.60 on the same window size is unmistakable.
+        engine.evaluate(&names, Some(&base), &window(100, 60, 0.9));
+        assert_eq!(engine.alerts().len(), 1);
+        let alert = &engine.alerts()[0];
+        assert_eq!(alert.signal, Signal::Significance);
+        assert!(alert.value < 0.01, "fired value is the p-value: {}", alert.value);
+        assert!(alert.to_string().contains("significance"), "{alert}");
+    }
+
+    #[test]
+    fn significance_rule_is_one_sided_and_needs_counts() {
+        let names = vec!["hard".to_string()];
+        // A slice whose live share *collapses* (dilution under a mix
+        // shift toward some other slice) must not fire.
+        let base = baseline(0.5);
+        let mut engine = AlertEngine::new(vec![significance_rule(0.01, 10)], 2);
+        engine.evaluate(&names, Some(&base), &window(200, 10, 0.9));
+        assert!(engine.alerts().is_empty(), "a shrinking share is not this rule's business");
+        // A pre-sample-size baseline (counts defaulted away) disables the
+        // rule rather than firing on garbage.
+        let mut legacy = baseline(0.1);
+        legacy.sample_size = 0;
+        legacy.tag_counts.clear();
+        let mut engine = AlertEngine::new(vec![significance_rule(0.01, 10)], 2);
+        engine.evaluate(&names, Some(&legacy), &window(100, 60, 0.9));
+        assert!(engine.alerts().is_empty(), "no counts, no significance test");
+        // And below the population guard nothing is evaluated.
+        let mut engine = AlertEngine::new(vec![significance_rule(0.01, 500)], 2);
+        engine.evaluate(&names, Some(&baseline(0.1)), &window(100, 60, 0.9));
+        assert!(engine.alerts().is_empty());
+    }
+
     #[test]
     fn rules_and_alerts_serialize_roundtrip() {
         let rule = psi_rule(10);
+        let json = serde_json::to_string(&rule).unwrap();
+        let back: AlertRule = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, rule);
+        let rule = significance_rule(0.01, 64);
         let json = serde_json::to_string(&rule).unwrap();
         let back: AlertRule = serde_json::from_str(&json).unwrap();
         assert_eq!(back, rule);

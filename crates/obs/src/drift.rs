@@ -4,10 +4,16 @@
 /// Population Stability Index of a binary in/out-of-slice distribution:
 /// how far a slice's live traffic share has moved from its baseline
 /// share. Shares are clamped away from 0/1 so the statistic stays finite
-/// when a slice vanishes or saturates; the conventional reading is
-/// `< 0.1` stable, `0.1–0.25` drifting, `> 0.25` drifted.
+/// when a slice vanishes or saturates, and non-finite inputs (a share
+/// computed over an empty window) yield 0.0 — drift statistics feed the
+/// significance gates downstream and must never be NaN/inf. The
+/// conventional reading is `< 0.1` stable, `0.1–0.25` drifting, `> 0.25`
+/// drifted.
 pub fn psi_binary(live_share: f64, baseline_share: f64) -> f64 {
     const EPS: f64 = 1e-4;
+    if !live_share.is_finite() || !baseline_share.is_finite() {
+        return 0.0;
+    }
     let p = live_share.clamp(EPS, 1.0 - EPS);
     let q = baseline_share.clamp(EPS, 1.0 - EPS);
     (p - q) * (p / q).ln() + ((1.0 - p) - (1.0 - q)) * ((1.0 - p) / (1.0 - q)).ln()
@@ -15,12 +21,14 @@ pub fn psi_binary(live_share: f64, baseline_share: f64) -> f64 {
 
 /// Kolmogorov–Smirnov-style statistic between two binned distributions
 /// (same binning): the maximum absolute difference of the empirical CDFs,
-/// in `[0, 1]`. `None` when either histogram is empty — no distribution
-/// to compare.
-pub fn ks_statistic(live: &[u64], baseline: &[u64]) -> Option<f64> {
+/// in `[0, 1]`. A degenerate comparison — either histogram empty or
+/// all-zero — is 0.0: no observable evidence of drift, never NaN/inf
+/// (alert guards keep thin windows from being *evaluated* at all; this
+/// keeps a poisoned value out of any path that slips through).
+pub fn ks_statistic(live: &[u64], baseline: &[u64]) -> f64 {
     let (n_live, n_base) = (live.iter().sum::<u64>(), baseline.iter().sum::<u64>());
     if n_live == 0 || n_base == 0 {
-        return None;
+        return 0.0;
     }
     let mut cdf_live = 0.0f64;
     let mut cdf_base = 0.0f64;
@@ -30,7 +38,7 @@ pub fn ks_statistic(live: &[u64], baseline: &[u64]) -> Option<f64> {
         cdf_base += baseline.get(i).copied().unwrap_or(0) as f64 / n_base as f64;
         sup = sup.max((cdf_live - cdf_base).abs());
     }
-    Some(sup)
+    sup
 }
 
 #[cfg(test)]
@@ -52,17 +60,39 @@ mod tests {
     }
 
     #[test]
+    fn psi_never_emits_non_finite_values() {
+        // Poisoned inputs (a share computed over an empty window) are 0.0.
+        assert_eq!(psi_binary(f64::NAN, 0.5), 0.0);
+        assert_eq!(psi_binary(0.5, f64::NAN), 0.0);
+        assert_eq!(psi_binary(f64::INFINITY, 0.5), 0.0);
+        assert_eq!(psi_binary(0.5, f64::NEG_INFINITY), 0.0);
+        // Extreme but finite inputs clamp rather than blow up.
+        for (p, q) in [(0.0, 1.0), (1.0, 0.0), (-3.0, 7.0)] {
+            assert!(psi_binary(p, q).is_finite());
+        }
+    }
+
+    #[test]
     fn ks_detects_distribution_shift() {
         // Identical distributions (different scales): 0.
-        assert_eq!(ks_statistic(&[10, 20, 10], &[1, 2, 1]), Some(0.0));
+        assert_eq!(ks_statistic(&[10, 20, 10], &[1, 2, 1]), 0.0);
         // Disjoint distributions: 1.
-        assert_eq!(ks_statistic(&[5, 0, 0], &[0, 0, 7]), Some(1.0));
+        assert_eq!(ks_statistic(&[5, 0, 0], &[0, 0, 7]), 1.0);
         // A partial shift lands in between.
-        let ks = ks_statistic(&[8, 2, 0], &[2, 2, 6]).unwrap();
+        let ks = ks_statistic(&[8, 2, 0], &[2, 2, 6]);
         assert!(ks > 0.3 && ks < 1.0, "ks {ks}");
-        // Empty sides are undefined, not zero.
-        assert_eq!(ks_statistic(&[], &[1]), None);
-        assert_eq!(ks_statistic(&[0, 0], &[1, 1]), None);
-        assert_eq!(ks_statistic(&[1], &[0]), None);
+    }
+
+    #[test]
+    fn ks_degenerate_windows_are_zero_never_nan() {
+        // Empty or all-zero sides carry no evidence: exactly 0.0.
+        assert_eq!(ks_statistic(&[], &[1]), 0.0);
+        assert_eq!(ks_statistic(&[1], &[]), 0.0);
+        assert_eq!(ks_statistic(&[0, 0], &[1, 1]), 0.0);
+        assert_eq!(ks_statistic(&[1], &[0]), 0.0);
+        assert_eq!(ks_statistic(&[], &[]), 0.0);
+        // And a zero KS can never breach a positive threshold, so a
+        // degenerate window cannot fire a confidence-drift alert.
+        assert!(!crate::alert::Signal::ConfidenceKs.breaches(ks_statistic(&[], &[]), 0.35));
     }
 }

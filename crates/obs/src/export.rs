@@ -100,7 +100,47 @@ pub fn monitor_metrics(monitor: &Monitor) -> String {
                 );
             }
         }
+        // Per-slice gold-accuracy confidence bounds over the latest
+        // window: the dashboard-facing face of the statistics kernel. A
+        // slice with no scored gold traffic this window is omitted — its
+        // bounds would be the vacuous [0, 1].
+        w.family(
+            "overton_slice_accuracy_ci_lower",
+            "gauge",
+            "Lower 95% Clopper-Pearson bound on per-slice gold accuracy (latest window).",
+        );
+        w.family(
+            "overton_slice_accuracy_ci_upper",
+            "gauge",
+            "Upper 95% Clopper-Pearson bound on per-slice gold accuracy (latest window).",
+        );
+        for (i, name) in stats.slice_names().iter().enumerate() {
+            let Some(slice) = window.slices.get(i) else { continue };
+            if slice.gold_scored == 0 {
+                continue;
+            }
+            let successes = (slice.gold_correct_millionths as f64 / 1e6).round() as u64;
+            let ci = overton_monitor::stats::clopper_pearson(
+                successes,
+                slice.gold_scored,
+                overton_monitor::stats::DEFAULT_ALPHA,
+            );
+            w.sample("overton_slice_accuracy_ci_lower", &[("slice", name)], ci.lower);
+            w.sample("overton_slice_accuracy_ci_upper", &[("slice", name)], ci.upper);
+        }
     }
+    w.finish()
+}
+
+/// Renders the test-set reuse budget as a one-gauge exposition block.
+pub fn meter_metrics(ledger: &overton_monitor::stats::MeterLedger) -> String {
+    let mut w = PromWriter::new();
+    w.family(
+        "overton_meter_budget_remaining",
+        "gauge",
+        "Test-set reuse budget remaining for this project (ease.ml/meter).",
+    );
+    w.count("overton_meter_budget_remaining", &[], ledger.remaining());
     w.finish()
 }
 
@@ -113,6 +153,25 @@ pub fn metrics_ext(monitor: Arc<Mutex<Monitor>>) -> MetricsExt {
     Arc::new(move |out: &mut String| {
         if let Ok(monitor) = monitor.lock() {
             out.push_str(&monitor_metrics(&monitor));
+        }
+    })
+}
+
+/// Like [`metrics_ext`], additionally re-reading the project's meter
+/// ledger at every scrape so `overton_meter_budget_remaining` tracks
+/// debits made by retrains running concurrently with the server. A
+/// missing or unreadable ledger simply omits the gauge — scrapes must
+/// never fail because a project has not evaluated yet.
+pub fn metrics_ext_with_meter(
+    monitor: Arc<Mutex<Monitor>>,
+    meter_path: std::path::PathBuf,
+) -> MetricsExt {
+    Arc::new(move |out: &mut String| {
+        if let Ok(monitor) = monitor.lock() {
+            out.push_str(&monitor_metrics(&monitor));
+        }
+        if let Ok(ledger) = overton_monitor::stats::MeterLedger::load(&meter_path) {
+            out.push_str(&meter_metrics(&ledger));
         }
     })
 }
@@ -152,9 +211,67 @@ mod tests {
             "overton_obs_window_gold_accuracy 0.9",
             "overton_obs_window_latency_seconds{quantile=\"0.99\"}",
             "overton_obs_alerts_total{severity=\"critical\"}",
+            "overton_slice_accuracy_ci_lower{slice=\"hard\"}",
+            "overton_slice_accuracy_ci_upper{slice=\"hard\"}",
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }
+    }
+
+    #[test]
+    fn slices_without_gold_traffic_omit_ci_gauges() {
+        let config = ObsConfig { window_len: 2, history: 2, ..Default::default() };
+        let mut monitor = Monitor::new(vec!["hard".into()], None, config);
+        for _ in 0..2 {
+            let mut s = sample(0.8, true);
+            s.slice_mask = 0;
+            s.gold_accuracy_millionths = None;
+            monitor.ingest(&s);
+        }
+        let text = monitor_metrics(&monitor);
+        validate_exposition(&text).unwrap();
+        assert!(!text.contains("overton_slice_accuracy_ci_lower{"), "{text}");
+    }
+
+    #[test]
+    fn meter_gauge_renders_and_composes_with_the_monitor_ext() {
+        use overton_monitor::stats::{MeterLedger, DEFAULT_METER_BUDGET};
+        let dir = std::env::temp_dir().join(format!("overton-meter-ext-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut ledger = MeterLedger::open_or_create(&dir).unwrap();
+        ledger.debit("run-0001", 1).unwrap();
+        let path = ledger.path().unwrap().to_path_buf();
+
+        let text = meter_metrics(&ledger);
+        validate_exposition(&text).unwrap();
+        let expect = format!("overton_meter_budget_remaining {}", DEFAULT_METER_BUDGET - 1);
+        assert!(text.contains(&expect), "{text}");
+
+        // Composed hook: monitor families + the live ledger, one scrape.
+        let config = ObsConfig { window_len: 2, history: 2, ..Default::default() };
+        let monitor = Arc::new(Mutex::new(Monitor::new(vec![], None, config)));
+        let ext = metrics_ext_with_meter(Arc::clone(&monitor), path.clone());
+        let mut out = String::new();
+        ext(&mut out);
+        validate_exposition(&out).unwrap();
+        assert!(out.contains("overton_obs_windows_closed_total 0"), "{out}");
+        assert!(out.contains(&expect), "{out}");
+
+        // A scrape after another debit sees the new balance; a scrape
+        // with no ledger omits the gauge but still validates.
+        ledger.debit("run-0002", 1).unwrap();
+        let mut out = String::new();
+        ext(&mut out);
+        assert!(
+            out.contains(&format!("overton_meter_budget_remaining {}", DEFAULT_METER_BUDGET - 2)),
+            "{out}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+        let mut out = String::new();
+        ext(&mut out);
+        validate_exposition(&out).unwrap();
+        assert!(!out.contains("overton_meter_budget_remaining"), "{out}");
     }
 
     #[test]

@@ -27,9 +27,11 @@
 //!   worklist the rest of the system uses, feeding
 //!   `Project::retrain_and_compare` — Figure 1 as running code.
 //! - **Scrape exposition** ([`monitor_metrics`], [`metrics_ext`]): the
-//!   windowed state, obslog health, and alert ledger rendered as
-//!   Prometheus text, appended to the socket tier's `GET /metrics` via
-//!   the [`MetricsExt`](overton_serving::MetricsExt) hook.
+//!   windowed state, obslog health, alert ledger, per-slice accuracy
+//!   confidence bounds and the test-set reuse budget
+//!   ([`metrics_ext_with_meter`]) rendered as Prometheus text, appended
+//!   to the socket tier's `GET /metrics` via the
+//!   [`MetricsExt`](overton_serving::MetricsExt) hook.
 //!
 //! The serving hot path pays one atomic load plus a bounded-channel
 //! `try_send` per request (`crates/bench`'s `obs_overhead` measures the
@@ -48,7 +50,7 @@ mod window;
 
 pub use alert::{ActiveAlert, Alert, AlertEngine, AlertRule, Severity, Signal};
 pub use drift::{ks_statistic, psi_binary};
-pub use export::{metrics_ext, monitor_metrics};
+pub use export::{meter_metrics, metrics_ext, metrics_ext_with_meter, monitor_metrics};
 pub use monitor::{default_rules, Monitor, ObsConfig};
 pub use obslog::{ObsLog, ObsLogMeta};
 pub use watchdog::{Watchdog, WatchdogConfig, TAG_CAPTURED, WATCHDOG_TASK};

@@ -47,10 +47,14 @@ impl Default for ObsConfig {
 }
 
 /// A sensible default rule set for a slice space: per-slice traffic-mix
-/// PSI (critical) and confidence-distribution KS (warning), plus
+/// PSI (critical), statistically gated traffic-share significance
+/// (critical, alpha 0.01) and confidence-distribution KS (warning), plus
 /// deployment-wide error-rate and confidence-KS guards. The PSI
 /// threshold sits at the top of the conventional "drifting" band (0.2);
-/// the KS level clears sampling noise at the default window size.
+/// the KS level clears sampling noise at the default window size; the
+/// significance rule fires only when a share excursion is too large to
+/// be sampling noise given the window and baseline sample sizes (it
+/// disables itself on baselines that predate integer tag counts).
 pub fn default_rules(slice_names: &[String]) -> Vec<AlertRule> {
     let mut rules = vec![
         AlertRule {
@@ -82,6 +86,13 @@ pub fn default_rules(slice_names: &[String]) -> Vec<AlertRule> {
             threshold: 0.45,
             min_window_count: 32,
             severity: Severity::Warning,
+        });
+        rules.push(AlertRule {
+            slice: Some(name.clone()),
+            signal: Signal::Significance,
+            threshold: 0.01,
+            min_window_count: 64,
+            severity: Severity::Critical,
         });
     }
     rules
@@ -291,7 +302,7 @@ mod tests {
     #[test]
     fn default_rules_cover_every_slice_plus_overall() {
         let rules = default_rules(&["a".to_string(), "b".to_string()]);
-        assert_eq!(rules.len(), 2 + 2 * 2);
+        assert_eq!(rules.len(), 2 + 3 * 2);
         assert_eq!(rules.iter().filter(|r| r.slice.is_none()).count(), 2);
         for name in ["a", "b"] {
             assert!(rules
@@ -300,6 +311,9 @@ mod tests {
             assert!(rules
                 .iter()
                 .any(|r| r.slice.as_deref() == Some(name) && r.signal == Signal::ConfidenceKs));
+            assert!(rules
+                .iter()
+                .any(|r| r.slice.as_deref() == Some(name) && r.signal == Signal::Significance));
         }
     }
 

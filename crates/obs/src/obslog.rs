@@ -206,6 +206,85 @@ mod tests {
     }
 
     #[test]
+    fn pre_statistics_obslog_still_replays_bit_identically() {
+        use overton_serving::CONFIDENCE_BINS;
+        let dir = temp_dir("legacy");
+        let mut hist = vec![0u64; CONFIDENCE_BINS];
+        hist[confidence_bin(0.9)] = 100;
+        // A baseline exactly as builds persisted it before sample sizes
+        // and tag counts were recorded: both fields at their defaults,
+        // and (below) absent from the JSON entirely.
+        let baseline = TrafficBaseline {
+            slice_shares: vec![("hard".into(), 0.5)],
+            mean_confidence: 0.9,
+            tag_shares: vec![("hard".into(), 0.5)],
+            confidence_hist: hist.clone(),
+            slice_confidence_hists: vec![hist],
+            sample_size: 0,
+            tag_counts: vec![],
+        };
+        let rules = vec![
+            AlertRule {
+                slice: None,
+                signal: Signal::GoldAccuracy,
+                threshold: 0.9,
+                min_window_count: 1,
+                severity: Severity::Warning,
+            },
+            AlertRule {
+                slice: Some("hard".into()),
+                signal: Signal::TrafficPsi,
+                threshold: 0.05,
+                min_window_count: 1,
+                severity: Severity::Critical,
+            },
+        ];
+        let config = ObsConfig { window_len: 8, history: 4, rules, ..Default::default() };
+        let meta = ObsLogMeta {
+            slice_names: vec!["hard".into()],
+            window_len: config.window_len,
+            history: config.history,
+            rearm_windows: config.rearm_windows,
+            rules: config.rules.clone(),
+            baseline: Some(baseline.clone()),
+        };
+        let mut live = Monitor::new(meta.slice_names.clone(), Some(baseline), config);
+        let mut log = ObsLog::create(&dir, &meta).unwrap();
+        for i in 0..32u64 {
+            let before = live.stats().closed();
+            live.ingest(&sample(0.3 + (i % 5) as f32 * 0.1, i % 2));
+            if live.stats().closed() > before {
+                log.append(live.stats().latest().unwrap()).unwrap();
+            }
+        }
+        assert_eq!(live.stats().closed(), 4);
+        // Rewrite meta.json in the legacy schema: strip the keys the
+        // statistics work added, leaving the file a pre-upgrade build
+        // would have written.
+        let stripped = serde_json::to_string(&meta)
+            .unwrap()
+            .replace(",\"sample_size\":0", "")
+            .replace(",\"tag_counts\":[]", "");
+        assert!(!stripped.contains("sample_size"), "{stripped}");
+        std::fs::write(dir.join("meta.json"), stripped).unwrap();
+
+        // The stripped header parses with the serde defaults...
+        let (meta_back, windows) = ObsLog::read(&dir).unwrap();
+        let base_back = meta_back.baseline.as_ref().unwrap();
+        assert_eq!(base_back.sample_size, 0);
+        assert!(base_back.tag_counts.is_empty());
+        assert_eq!(windows.len(), 4);
+
+        // ...and the legacy log replays to exactly the live state: the
+        // defaulted fields change nothing about window evaluation.
+        let replayed = ObsLog::replay(&dir).unwrap();
+        assert_eq!(replayed.stats(), live.stats());
+        assert_eq!(replayed.alerts(), live.alerts());
+        assert_eq!(replayed.alert_engine(), live.alert_engine());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn corrupt_window_line_is_a_named_error() {
         let dir = temp_dir("corrupt");
         let meta = ObsLogMeta {

@@ -157,6 +157,19 @@ pub struct TrafficBaseline {
     /// to [`tag_shares`](Self::tag_shares) — the reference distributions
     /// for the per-slice KS drift statistic.
     pub slice_confidence_hists: Vec<Vec<u64>>,
+    /// Number of reference records the baseline was measured over. Zero
+    /// on baselines persisted before sample sizes were recorded
+    /// (`#[serde(default)]`), which disables significance-gated rules —
+    /// a share without its sample size cannot anchor a significance test.
+    #[serde(default)]
+    pub sample_size: u64,
+    /// Integer tagged-membership counts, parallel to
+    /// [`tag_shares`](Self::tag_shares) (empty on pre-sample-size
+    /// baselines). Together with [`sample_size`](Self::sample_size) these
+    /// are the exact binomial counts the two-proportion significance test
+    /// needs.
+    #[serde(default)]
+    pub tag_counts: Vec<u64>,
 }
 
 impl TrafficBaseline {
@@ -204,15 +217,24 @@ impl TrafficBaseline {
         Ok(Self {
             slice_shares: share(slice_counts),
             mean_confidence: confidence_sum / n as f64,
-            tag_shares: share(tag_counts),
+            tag_shares: share(tag_counts.clone()),
             confidence_hist,
             slice_confidence_hists: slice_hists,
+            sample_size: n,
+            tag_counts,
         })
     }
 
     /// The tagged traffic share of a slice, if the baseline covers it.
     pub fn tag_share(&self, slice: &str) -> Option<f64> {
         self.tag_shares.iter().find(|(n, _)| n == slice).map(|(_, s)| *s)
+    }
+
+    /// The integer tagged-membership count of a slice, if the baseline
+    /// recorded counts (post-sample-size baselines only).
+    pub fn tag_count(&self, slice: &str) -> Option<u64> {
+        let i = self.tag_shares.iter().position(|(n, _)| n == slice)?;
+        self.tag_counts.get(i).copied()
     }
 
     /// The confidence histogram of a slice (tag-based membership), if the
@@ -662,6 +684,8 @@ mod tests {
             tag_shares: vec![("hard".into(), 0.25)],
             confidence_hist: vec![0; CONFIDENCE_BINS],
             slice_confidence_hists: vec![vec![0; CONFIDENCE_BINS]],
+            sample_size: 100,
+            tag_counts: vec![25],
         }
     }
 
@@ -732,6 +756,24 @@ mod tests {
         assert_eq!(b.tag_share("hard"), Some(0.25));
         assert_eq!(b.tag_share("nope"), None);
         assert_eq!(b.slice_confidence_hist("hard"), Some(&[0u64; CONFIDENCE_BINS][..]));
+        assert_eq!(b.tag_count("hard"), Some(25));
+        assert_eq!(b.tag_count("nope"), None);
+    }
+
+    #[test]
+    fn pre_sample_size_baselines_still_parse() {
+        // A baseline persisted before integer counts existed carries
+        // neither `sample_size` nor `tag_counts`; it must deserialize
+        // with both defaulted (disabling significance rules) rather than
+        // failing the deployment load.
+        let json = serde_json::to_string(&baseline()).unwrap();
+        let legacy = json.replace(",\"sample_size\":100", "").replace(",\"tag_counts\":[25]", "");
+        assert_ne!(legacy, json, "test must actually strip the fields");
+        let back: TrafficBaseline = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(back.sample_size, 0);
+        assert!(back.tag_counts.is_empty());
+        assert_eq!(back.tag_count("hard"), None);
+        assert_eq!(back.tag_share("hard"), Some(0.25));
     }
 
     #[test]

@@ -175,6 +175,8 @@ fn ece_degrades_monotonically_and_ks_fires_before_ece_crosses() {
         tag_shares: vec![],
         confidence_hist: baseline_hist,
         slice_confidence_hists: vec![],
+        sample_size: N,
+        tag_counts: vec![],
     };
     let mut monitor = overton::obs::Monitor::new(
         vec![],
@@ -241,6 +243,223 @@ fn ece_degrades_monotonically_and_ks_fires_before_ece_crosses() {
         window_ece[ks_window] < ECE_ALERT,
         "at the KS alert, calibration damage was still below the line"
     );
+}
+
+/// The significance gate end to end, both directions in ONE test:
+///
+/// 1. a mild drift stream — a real shift, but statistically insignificant
+///    at the monitoring window size — raises no alert at all;
+/// 2. a retrain whose delta is pure holdout noise is *held*, with the
+///    evidence (p-value, intervals, meter balance) persisted into the new
+///    run's report and artifact metadata;
+/// 3. the strong drift scenario still alerts, now including the
+///    significance rule, on the drifted slice only;
+/// 4. a genuinely better retrain clears the gate and promotes;
+///
+/// and every statistical decision is seeded and replays bit-identically.
+#[test]
+fn significance_gate_blocks_noise_and_promotes_real_improvements() {
+    let root = temp_root("gate");
+    // A generous slice rate so the per-slice holdout counts are large
+    // enough for a real improvement to be distinguishable from noise.
+    let slice_rate = 0.25;
+    let ds = generate_workload(&WorkloadConfig {
+        n_train: 250,
+        n_dev: 40,
+        n_test: 300,
+        seed: 13,
+        slice_rate,
+        ..Default::default()
+    });
+    // A deliberately broken incumbent: its slice supervision is corrupted
+    // so every IntentArg source votes the default sense — unanimously
+    // wrong on the slice (lf_default_sense already does; the two good
+    // sources are overwritten). The incumbent learns that mistake, which
+    // leaves real headroom for the corrected retrain in (4).
+    let mut broken = ds.clone();
+    for source in ["lf_heuristic", "crowd_arg"] {
+        let corrupted = overton::add_slice_supervision(
+            &mut broken,
+            SLICE_COMPLEX_DISAMBIGUATION,
+            "IntentArg",
+            source,
+            |_| Some(overton::store::TaskLabel::Select(0)),
+        );
+        assert!(corrupted > 0);
+    }
+    let weak_options = OvertonOptions {
+        train: TrainConfig { epochs: 1, early_stop_patience: 0, ..Default::default() },
+        ..Default::default()
+    };
+    let project = Project::from_dataset(&broken).named("gate").with_options(weak_options).at(&root);
+    let run = project.run().unwrap();
+    let baseline = run.baseline().expect("evaluate collects a baseline").clone();
+    assert!(baseline.sample_size > 0, "baselines now carry their sample size");
+
+    // The evaluate stage debited the project's test-set reuse meter.
+    let meter_path = root.join(overton::stats::METER_FILE);
+    assert!(meter_path.exists(), "evaluate must start the reuse ledger");
+    assert_eq!(
+        run.report().meter_remaining,
+        Some(overton::stats::DEFAULT_METER_BUDGET - 1),
+        "first holdout look must debit the meter"
+    );
+
+    let obs_config = |deployment: &overton::Deployment| ObsConfig {
+        window_len: WINDOW,
+        rules: overton::obs::default_rules(deployment.pool().telemetry().slice_names()),
+        ..Default::default()
+    };
+    let kb = KnowledgeBase::standard();
+
+    // (1) Mild drift: the slice mix really does shift (see
+    // DriftConfig::mild), but by an amount indistinguishable from
+    // sampling noise over 250-request windows — nothing may page.
+    {
+        let deployment = project.deploy(&run).unwrap();
+        let mut monitor = deployment.watch_with(obs_config(&deployment)).unwrap();
+        let mut stream = DriftingTrafficStream::new(
+            &kb,
+            DriftConfig::mild(TrafficConfig { seed: 5, slice_rate, ..Default::default() }),
+        );
+        for _ in 0..8 {
+            deployment.pool().process(stream.records(WINDOW as usize));
+            monitor.pump();
+        }
+        monitor.pump();
+        assert_eq!(monitor.stats().closed(), 8);
+        assert!(
+            monitor.alerts().is_empty(),
+            "an insignificant shift must not raise any alert: {:?}",
+            monitor.alerts()
+        );
+        drop(deployment);
+    }
+
+    // (2) Retraining on unchanged data: training is deterministic, so the
+    // candidate equals the incumbent and the delta is exactly zero — the
+    // canonical noise case. The gate must hold.
+    let unchanged =
+        project.retrain_and_compare(&run, "IntentArg", SLICE_COMPLEX_DISAMBIGUATION).unwrap();
+    assert!(!unchanged.promoted(), "a noise delta must not promote: {}", unchanged.evidence);
+    assert!(
+        unchanged.evidence.p_value >= overton::stats::DEFAULT_ALPHA,
+        "identical models cannot be significantly different: {}",
+        unchanged.evidence
+    );
+
+    // The evidence is durable: the candidate run's report.json carries
+    // the full record, its artifact metadata the decision.
+    let run2_dir = root.join("runs").join("run-0002");
+    let report2: overton::RunReport =
+        serde_json::from_str(&std::fs::read_to_string(run2_dir.join("report.json")).unwrap())
+            .unwrap();
+    let recorded = report2.promotion.clone().expect("the gate records its evidence");
+    assert!(!recorded.significant);
+    assert_eq!(recorded.slice, SLICE_COMPLEX_DISAMBIGUATION);
+    assert_eq!(report2.meter_remaining, Some(overton::stats::DEFAULT_METER_BUDGET - 2));
+    assert_eq!(recorded.meter_remaining, report2.meter_remaining);
+    let artifact2 = overton::model::DeployableModel::from_bytes(
+        &std::fs::read(run2_dir.join("artifact.model.json")).unwrap(),
+    )
+    .unwrap();
+    assert_eq!(artifact2.metadata.get("promotion").map(String::as_str), Some("hold"));
+
+    // Bit-identical statistics: re-evaluating the recorded counts
+    // reproduces the persisted p-value and bounds exactly, and the
+    // seeded bootstrap behind the report's mean-accuracy interval
+    // replays to the same bits.
+    let replayed = overton::stats::evaluate_promotion(
+        &recorded.task,
+        &recorded.slice,
+        (recorded.before.successes, recorded.before.trials),
+        (recorded.after.successes, recorded.after.trials),
+        recorded.alpha,
+    );
+    assert_eq!(replayed.p_value.to_bits(), recorded.p_value.to_bits());
+    assert_eq!(replayed.before.lower.to_bits(), recorded.before.lower.to_bits());
+    assert_eq!(replayed.after.upper.to_bits(), recorded.after.upper.to_bits());
+    let accuracies: Vec<f64> = report2.task_accuracy.values().copied().collect();
+    let ci = overton::stats::bootstrap_mean_interval(
+        &accuracies,
+        overton::stats::DEFAULT_ALPHA,
+        1000,
+        0,
+    );
+    let persisted_ci = report2.mean_accuracy_ci.expect("evaluate records the bootstrap CI");
+    assert_eq!(persisted_ci.lower.to_bits(), ci.lower.to_bits());
+    assert_eq!(persisted_ci.upper.to_bits(), ci.upper.to_bits());
+
+    // (3) The strong drift scenario still alerts — and the significance
+    // rule confirms the excursion on the drifted slice, only there.
+    {
+        let deployment = project.deploy(&run).unwrap();
+        let mut monitor = deployment.watch_with(obs_config(&deployment)).unwrap();
+        let mut stream = DriftingTrafficStream::new(
+            &kb,
+            DriftConfig {
+                base: TrafficConfig { seed: 5, slice_rate, ..Default::default() },
+                drift_start: 4 * WINDOW as usize,
+                drift_ramp: WINDOW as usize,
+                ..Default::default()
+            },
+        );
+        for _ in 0..8 {
+            deployment.pool().process(stream.records(WINDOW as usize));
+            monitor.pump();
+        }
+        monitor.pump();
+        let alerts = monitor.alerts();
+        assert!(
+            alerts.iter().any(|a| a.signal == Signal::Significance
+                && a.slice.as_deref() == Some(SLICE_COMPLEX_DISAMBIGUATION)),
+            "real drift must raise the significance alert on the drifted slice: {alerts:?}"
+        );
+        assert!(
+            alerts.iter().all(|a| a.slice.as_deref() != Some(SLICE_NUTRITION)),
+            "the stable slice must stay quiet: {alerts:?}"
+        );
+        drop(deployment);
+    }
+
+    // (4) A real improvement — corrective labels on the slice plus a
+    // serious training budget against the 1-epoch incumbent — clears
+    // the gate.
+    let mut improved = ds.clone();
+    let added = overton::add_slice_supervision(
+        &mut improved,
+        SLICE_COMPLEX_DISAMBIGUATION,
+        "IntentArg",
+        "annotator_pass",
+        |record| match record.tasks.get("IntentArg").and_then(|m| m.get("lf_heuristic")) {
+            Some(overton::store::TaskLabel::Select(v)) if *v != 0 => {
+                Some(overton::store::TaskLabel::Select(*v))
+            }
+            _ => None,
+        },
+    );
+    assert!(added > 0);
+    let better = Project::from_dataset(&improved)
+        .named("gate")
+        .with_options(OvertonOptions::default())
+        .at(&root);
+    let win = better.retrain_and_compare(&run, "IntentArg", SLICE_COMPLEX_DISAMBIGUATION).unwrap();
+    assert!(
+        win.promoted(),
+        "a real improvement must clear the gate: {} (delta {:+.4})",
+        win.evidence,
+        win.delta()
+    );
+    assert!(win.evidence.p_value < win.evidence.alpha);
+    assert_eq!(win.evidence.meter_remaining, Some(overton::stats::DEFAULT_METER_BUDGET - 3));
+    let run3_dir = root.join("runs").join("run-0003");
+    let artifact3 = overton::model::DeployableModel::from_bytes(
+        &std::fs::read(run3_dir.join("artifact.model.json")).unwrap(),
+    )
+    .unwrap();
+    assert_eq!(artifact3.metadata.get("promotion").map(String::as_str), Some("promote"));
+
+    std::fs::remove_dir_all(&root).ok();
 }
 
 /// Satellite: observation must never backpressure serving. A deliberately
